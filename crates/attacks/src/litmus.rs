@@ -1,0 +1,285 @@
+//! Targeted litmus tests for Attacks 2–6 of the paper.
+//!
+//! Each function drives the memory models directly (rather than running full
+//! programs) and checks the specific observable the attack relies on. The
+//! return value is `true` when the attacker-visible signal exists — i.e. the
+//! configuration *leaks* — so the integration tests can assert the baseline
+//! leaks and MuonTrap does not.
+
+use simkit::addr::VirtAddr;
+use simkit::config::SystemConfig;
+use simkit::cycles::Cycle;
+
+use defenses::{build_defense, DefenseKind};
+use memsys::tlb::PageTable;
+use ooo_core::memmodel::{MemAccessCtx, MemOutcome, MemoryModel};
+
+use crate::AttackOutcome;
+
+/// Builds the memory model for `kind` with all cores sharing one address space
+/// (attacker and victim sharing memory, as the coherence attacks require).
+fn shared_address_space_model(kind: DefenseKind, config: &SystemConfig) -> Box<dyn MemoryModel> {
+    let mut model = build_defense(kind, config);
+    for core in 0..config.cores {
+        model.set_page_table(core, PageTable::new(config.tlb.page_bytes, 0));
+    }
+    model
+}
+
+fn ctx(core: usize, vaddr: u64, speculative: bool, is_store: bool, when: u64) -> MemAccessCtx {
+    MemAccessCtx {
+        core,
+        vaddr: VirtAddr::new(vaddr),
+        pc: VirtAddr::new(0x40_0000),
+        when: Cycle::new(when),
+        speculative,
+        is_store,
+        under_unresolved_branch: speculative,
+        addr_tainted_spectre: false,
+        addr_tainted_future: false,
+    }
+}
+
+/// Times a non-speculative load of `vaddr` on `core`. A different line in the
+/// same page is touched first so that the measurement is not polluted by
+/// TLB-walk latency or DRAM row-buffer state — the litmus tests are about
+/// *cache* channels, which is what the paper defends, and real attackers also
+/// warm those structures before measuring.
+fn probe_latency(model: &mut Box<dyn MemoryModel>, core: usize, vaddr: u64, when: u64) -> u64 {
+    let warm = vaddr ^ 0x800; // same 4 KiB page, different cache line
+    let _ = model.load(&ctx(core, warm, false, false, when));
+    match model.load(&ctx(core, vaddr, false, false, when + 500)) {
+        MemOutcome::Done { latency } => latency,
+        MemOutcome::RetryWhenNonSpeculative => u64::MAX,
+    }
+}
+
+/// Attack 2 — inclusion-policy attack.
+///
+/// The victim's speculative accesses must not evict the attacker's data from
+/// the non-speculative caches (which would let the attacker infer the
+/// speculative access from its own later miss). The litmus primes a set of
+/// lines non-speculatively, streams a large set of *speculative* accesses that
+/// conflict with them, and then re-times the primed lines. A slow re-access
+/// means speculation evicted them: the configuration leaks.
+pub fn inclusion_attack_leaks(kind: DefenseKind, config: &SystemConfig) -> bool {
+    let mut model = shared_address_space_model(kind, config);
+    let line_bytes = config.line_bytes;
+    // Prime: bring a small set of lines in non-speculatively (commit them).
+    let primed: Vec<u64> = (0..16u64).map(|i| 0x10_0000 + i * line_bytes).collect();
+    for (i, addr) in primed.iter().enumerate() {
+        let _ = model.load(&ctx(0, *addr, false, false, i as u64));
+        let _ = model.commit_access(&ctx(0, *addr, false, false, i as u64));
+    }
+    // Speculate: a large conflicting stream that is never committed.
+    for i in 0..4096u64 {
+        let addr = 0x20_0000 + i * line_bytes;
+        let _ = model.load(&ctx(0, addr, true, false, 1_000 + i));
+    }
+    // Probe: if any primed line now misses badly, speculation displaced it.
+    let mut evicted = 0;
+    for (i, addr) in primed.iter().enumerate() {
+        let latency = probe_latency(&mut model, 0, *addr, 100_000 + i as u64);
+        if latency > config.l2.hit_latency + config.l1d.hit_latency {
+            evicted += 1;
+        }
+    }
+    evicted >= 4
+}
+
+/// Attack 3 — shared-data coherence attack.
+///
+/// The attacker holds shared data exclusively (it just wrote it). A victim
+/// speculative load that downgrades the attacker's line makes the attacker's
+/// *next* store measurably slower (it must re-acquire ownership). The litmus
+/// measures exactly that store-after-speculation penalty.
+pub fn coherence_attack_leaks(kind: DefenseKind, config: &SystemConfig) -> bool {
+    let shared = 0x30_0000u64;
+    // The attacker's second store is issued as a non-speculative exclusive
+    // access (the same path an atomic at the head of the ROB takes), so its
+    // latency reflects whether ownership had to be re-acquired.
+    let second_store = |model: &mut Box<dyn MemoryModel>| -> u64 {
+        model
+            .load(&ctx(0, shared, false, true, 2_000))
+            .latency()
+            .unwrap_or(u64::MAX)
+    };
+
+    // Reference timing: attacker writes twice with no victim activity.
+    let mut model = shared_address_space_model(kind, config);
+    let _ = model.commit_access(&ctx(0, shared, false, true, 10));
+    let baseline_second_store = second_store(&mut model);
+
+    // Attacked timing: the victim (core 1) speculatively loads the shared line
+    // between the attacker's two stores.
+    let mut model = shared_address_space_model(kind, config);
+    let _ = model.commit_access(&ctx(0, shared, false, true, 10));
+    let _ = model.load(&ctx(1, shared, true, false, 1_000));
+    let attacked_second_store = second_store(&mut model);
+
+    attacked_second_store > baseline_second_store
+}
+
+/// Attack 4 — filter-cache coherence attack.
+///
+/// One victim core's *speculative* (filter-cache) copy of a line must not make
+/// another core's access to that line observably different. The litmus times
+/// an attacker load of a line (a) when no one else has touched it and (b) when
+/// the victim core has it speculatively; a timing difference leaks the
+/// victim's speculative access.
+pub fn filter_timing_attack_leaks(kind: DefenseKind, config: &SystemConfig) -> bool {
+    let target = 0x40_0000u64;
+
+    // (a) nobody has touched the line.
+    let mut model = shared_address_space_model(kind, config);
+    let untouched = probe_latency(&mut model, 0, target, 1_000);
+
+    // (b) the victim (core 1) loaded it speculatively first.
+    let mut model = shared_address_space_model(kind, config);
+    let _ = model.load(&ctx(1, target, true, false, 10));
+    let after_victim = probe_latency(&mut model, 0, target, 1_000);
+
+    // Any measurable difference (beyond DRAM row-buffer noise) is a channel.
+    untouched.abs_diff(after_victim) > config.l2.hit_latency
+}
+
+/// Attack 5 — prefetcher attack.
+///
+/// The victim's speculative streaming accesses must not train the prefetcher
+/// into fetching the *next* line into the non-speculative hierarchy, because
+/// the attacker can then time that line. The litmus streams speculatively from
+/// one PC and checks whether the following line became an L2 hit.
+pub fn prefetch_attack_leaks(kind: DefenseKind, config: &SystemConfig) -> bool {
+    let mut model = shared_address_space_model(kind, config);
+    let line_bytes = config.line_bytes;
+    let base = 0x50_0000u64;
+    let pc = 0x40_2000u64;
+    // Speculative unit-stride stream from a single PC (never committed).
+    for i in 0..12u64 {
+        let mut c = ctx(1, base + i * line_bytes, true, false, 10 + i);
+        c.pc = VirtAddr::new(pc);
+        let _ = model.load(&c);
+    }
+    // The attacker times the next line in the stream from another core. If the
+    // prefetcher was trained speculatively, the line is already in the L2 and
+    // the access is fast (an L1+L2 hit path, with a little slack for the
+    // filter-cache lookup and TLB hit of the protected configurations).
+    let next = base + 12 * line_bytes;
+    let latency = probe_latency(&mut model, 0, next, 10_000);
+    latency <= config.l2.hit_latency + config.l1d.hit_latency + config.data_filter.hit_latency + 2
+}
+
+/// Attack 6 — instruction-cache attack.
+///
+/// A victim tricked into a speculative, secret-dependent jump leaves the
+/// target's instruction-cache line behind; the attacker then times instruction
+/// fetches from the shared code region. The litmus performs a speculative
+/// instruction fetch on the victim core and checks whether the attacker core's
+/// fetch of the same line got faster.
+pub fn icache_attack_leaks(kind: DefenseKind, config: &SystemConfig) -> bool {
+    let code_va = 0x41_0000u64;
+    // Like `probe_latency`, warm the instruction TLB and the DRAM row with a
+    // different line in the same page before timing, so the only signal left
+    // is cache state.
+    let timed_fetch = |model: &mut Box<dyn MemoryModel>| -> u64 {
+        let _ = model.fetch_instruction(&ctx(0, code_va ^ 0x800, false, false, 900));
+        model
+            .fetch_instruction(&ctx(0, code_va, false, false, 1_500))
+            .latency()
+            .unwrap_or(u64::MAX)
+    };
+
+    // (a) attacker fetch with no victim activity.
+    let mut model = shared_address_space_model(kind, config);
+    let cold = timed_fetch(&mut model);
+
+    // (b) attacker fetch after the victim speculatively fetched the same line.
+    // The leak path is through the shared L2: the victim's speculative fetch
+    // installs the line there, and the attacker's fetch then hits.
+    let mut model = shared_address_space_model(kind, config);
+    let _ = model.fetch_instruction(&ctx(1, code_va, true, false, 10));
+    let after_victim = timed_fetch(&mut model);
+
+    after_victim + config.l2.hit_latency <= cold
+}
+
+/// Runs attacks 2–6 against `kind` and returns one outcome per attack.
+pub fn run_litmus_suite(kind: DefenseKind, config: &SystemConfig) -> Vec<AttackOutcome> {
+    vec![
+        AttackOutcome::new(
+            "attack 2: inclusion policy",
+            kind.label(),
+            inclusion_attack_leaks(kind, config),
+            "speculative conflicting stream evicts primed non-speculative lines",
+        ),
+        AttackOutcome::new(
+            "attack 3: shared-data coherence",
+            kind.label(),
+            coherence_attack_leaks(kind, config),
+            "victim speculative load slows the attacker's next store",
+        ),
+        AttackOutcome::new(
+            "attack 4: filter-cache coherence",
+            kind.label(),
+            filter_timing_attack_leaks(kind, config),
+            "victim speculative copy changes attacker access timing",
+        ),
+        AttackOutcome::new(
+            "attack 5: prefetcher",
+            kind.label(),
+            prefetch_attack_leaks(kind, config),
+            "speculative stream trains the prefetcher into visible fills",
+        ),
+        AttackOutcome::new(
+            "attack 6: instruction cache",
+            kind.label(),
+            icache_attack_leaks(kind, config),
+            "speculative instruction fetch visible to another core",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+
+    #[test]
+    fn inclusion_attack_distinguishes_baseline_from_muontrap() {
+        assert!(inclusion_attack_leaks(DefenseKind::Unprotected, &cfg()));
+        assert!(!inclusion_attack_leaks(DefenseKind::MuonTrap, &cfg()));
+    }
+
+    #[test]
+    fn coherence_attack_distinguishes_baseline_from_muontrap() {
+        assert!(coherence_attack_leaks(DefenseKind::Unprotected, &cfg()));
+        assert!(!coherence_attack_leaks(DefenseKind::MuonTrap, &cfg()));
+    }
+
+    #[test]
+    fn filter_timing_attack_never_leaks_under_muontrap() {
+        assert!(!filter_timing_attack_leaks(DefenseKind::MuonTrap, &cfg()));
+    }
+
+    #[test]
+    fn prefetch_attack_distinguishes_baseline_from_muontrap() {
+        assert!(prefetch_attack_leaks(DefenseKind::Unprotected, &cfg()));
+        assert!(!prefetch_attack_leaks(DefenseKind::MuonTrap, &cfg()));
+    }
+
+    #[test]
+    fn icache_attack_distinguishes_baseline_from_muontrap() {
+        assert!(icache_attack_leaks(DefenseKind::Unprotected, &cfg()));
+        assert!(!icache_attack_leaks(DefenseKind::MuonTrap, &cfg()));
+    }
+
+    #[test]
+    fn litmus_suite_reports_all_five_attacks() {
+        let outcomes = run_litmus_suite(DefenseKind::MuonTrap, &cfg());
+        assert_eq!(outcomes.len(), 5);
+        assert!(outcomes.iter().all(|o| !o.leaked), "MuonTrap must stop attacks 2-6: {outcomes:?}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion bench for the figure4 harness: regenerates a reduced-scale
+//! version of the series (printed to stderr) and measures the wall-clock cost
+//! of one representative simulation so regressions in simulator throughput
+//! are visible. The full-scale series is produced by the `fig4` binary.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = simkit::config::SystemConfig::small_test();
+    let figure = bench::figure4(workloads::Scale::Tiny, &config);
+    eprintln!("{}", figure.render());
+
+    let workload = workloads::spec_suite(workloads::Scale::Tiny)
+        .into_iter()
+        .nth(20)
+        .expect("suite has at least 21 kernels");
+    let mut group = c.benchmark_group("fig4_parsec");
+    group.sample_size(10);
+    group.bench_function("muontrap_one_workload", |b| {
+        b.iter(|| bench::one_run_cycles(&workload, defenses::DefenseKind::MuonTrap, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs attacks 1-6 against each memory-system configuration and prints which
+//! configurations leak (the paper's security argument, in executable form).
+fn main() {
+    let config = simkit::config::SystemConfig::paper_default();
+    println!("{}", bench::security_matrix(&config));
+}

@@ -1,0 +1,4 @@
+//! Prints Table 1 of the paper (the simulated system configuration).
+fn main() {
+    println!("{}", bench::table1());
+}

@@ -1,0 +1,349 @@
+//! Shared harness code behind the figure binaries and Criterion benches.
+//!
+//! Every table and figure in the paper's evaluation section (§6) has a
+//! function here that produces its data series, and a thin binary in
+//! `src/bin/` that prints it. The Criterion benches in `benches/` call the
+//! same functions at reduced scale so `cargo bench` both regenerates the
+//! series and tracks the simulator's own throughput.
+//!
+//! | Paper artefact | Function | Binary |
+//! |----------------|----------|--------|
+//! | Table 1        | [`table1`] | `table1` |
+//! | Figure 3       | [`figure3`] | `fig3` |
+//! | Figure 4       | [`figure4`] | `fig4` |
+//! | Figure 5       | [`figure5`] | `fig5` |
+//! | Figure 6       | [`figure6`] | `fig6` |
+//! | Figure 7       | [`figure7`] | `fig7` |
+//! | Figure 8       | [`figure8`] | `fig8` |
+//! | Figure 9       | [`figure9`] | `fig9` |
+//! | Attacks 1–6    | [`security_matrix`] | `attacks_report` |
+
+use simkit::config::{ProtectionConfig, SystemConfig};
+use simkit::stats::geometric_mean;
+
+use defenses::DefenseKind;
+use simsys::experiment::{normalized_times, run_workload, with_filter_cache, write_invalidate_rate};
+use workloads::{parsec_suite, spec_suite, Scale, Workload};
+
+/// One row of a normalised-execution-time figure: a workload plus one value
+/// per configuration, in the same order as the `configs` header.
+#[derive(Debug, Clone)]
+pub struct FigureRow {
+    /// Workload (benchmark) name.
+    pub workload: String,
+    /// Normalised execution time per configuration (1.0 = unprotected).
+    pub values: Vec<f64>,
+}
+
+/// A complete figure: the configuration labels and one row per workload, plus
+/// the geometric-mean row the paper reports.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure title.
+    pub title: String,
+    /// One label per configuration column.
+    pub configs: Vec<String>,
+    /// One row per workload.
+    pub rows: Vec<FigureRow>,
+}
+
+impl Figure {
+    /// The geometric mean of each column across all rows.
+    pub fn geomeans(&self) -> Vec<f64> {
+        (0..self.configs.len())
+            .map(|c| {
+                let column: Vec<f64> = self.rows.iter().map(|r| r.values[c]).collect();
+                geometric_mean(&column)
+            })
+            .collect()
+    }
+
+    /// Renders the figure as an aligned text table (what the binaries print).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:<16}", "workload"));
+        for c in &self.configs {
+            out.push_str(&format!("{c:>24}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<16}", row.workload));
+            for v in &row.values {
+                out.push_str(&format!("{v:>24.3}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<16}", "geomean"));
+        for g in self.geomeans() {
+            out.push_str(&format!("{g:>24.3}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn build_figure(
+    title: &str,
+    workloads: &[Workload],
+    kinds: &[DefenseKind],
+    config: &SystemConfig,
+) -> Figure {
+    let configs: Vec<String> = kinds.iter().map(|k| k.label().to_string()).collect();
+    let rows = workloads
+        .iter()
+        .map(|w| FigureRow {
+            workload: w.name.clone(),
+            values: normalized_times(w, kinds, config).into_iter().map(|(_, v)| v).collect(),
+        })
+        .collect();
+    Figure { title: title.to_string(), configs, rows }
+}
+
+/// Table 1: the simulated system configuration.
+pub fn table1() -> String {
+    format!("== Table 1: system configuration ==\n{}", SystemConfig::paper_default())
+}
+
+/// Figure 3: normalised execution time on the SPEC-CPU2006-like suite for
+/// MuonTrap, InvisiSpec (both variants) and STT (both variants).
+pub fn figure3(scale: Scale, config: &SystemConfig) -> Figure {
+    build_figure(
+        "Figure 3: SPEC CPU2006-like, normalised execution time (lower is better)",
+        &spec_suite(scale),
+        &DefenseKind::figure3_set(),
+        config,
+    )
+}
+
+/// Figure 4: normalised execution time on the Parsec-like suite (4 threads).
+pub fn figure4(scale: Scale, config: &SystemConfig) -> Figure {
+    build_figure(
+        "Figure 4: Parsec-like (4 threads), normalised execution time (lower is better)",
+        &parsec_suite(scale, config.cores),
+        &DefenseKind::figure3_set(),
+        config,
+    )
+}
+
+/// Figure 5: Parsec-like performance as the (fully-associative) data filter
+/// cache is swept from 64 B to 4 KiB.
+pub fn figure5(scale: Scale, config: &SystemConfig) -> Figure {
+    let sizes: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+    let workloads = parsec_suite(scale, config.cores);
+    let configs: Vec<String> = sizes.iter().map(|s| format!("{s} B")).collect();
+    let rows = workloads
+        .iter()
+        .map(|w| {
+            let values = sizes
+                .iter()
+                .map(|size| {
+                    // Fully associative at every size, as in the paper's sweep.
+                    let cfg = with_filter_cache(config, *size, (*size / config.line_bytes) as usize);
+                    simsys::experiment::normalized_time(w, DefenseKind::MuonTrap, &cfg)
+                })
+                .collect();
+            FigureRow { workload: w.name.clone(), values }
+        })
+        .collect();
+    Figure {
+        title: "Figure 5: filter-cache size sweep (fully associative), Parsec-like".to_string(),
+        configs,
+        rows,
+    }
+}
+
+/// Figure 6: Parsec-like performance as the associativity of a 2 KiB filter
+/// cache is swept from direct-mapped to fully associative.
+pub fn figure6(scale: Scale, config: &SystemConfig) -> Figure {
+    let ways: [usize; 6] = [1, 2, 4, 8, 16, 32];
+    let workloads = parsec_suite(scale, config.cores);
+    let configs: Vec<String> = ways.iter().map(|w| format!("{w}-way")).collect();
+    let rows = workloads
+        .iter()
+        .map(|w| {
+            let values = ways
+                .iter()
+                .map(|assoc| {
+                    let cfg = with_filter_cache(config, 2048, *assoc);
+                    simsys::experiment::normalized_time(w, DefenseKind::MuonTrap, &cfg)
+                })
+                .collect();
+            FigureRow { workload: w.name.clone(), values }
+        })
+        .collect();
+    Figure {
+        title: "Figure 6: 2 KiB filter-cache associativity sweep, Parsec-like".to_string(),
+        configs,
+        rows,
+    }
+}
+
+/// Figure 7: the proportion of committed stores that trigger a filter-cache
+/// invalidation broadcast, per SPEC-like workload, under full MuonTrap.
+pub fn figure7(scale: Scale, config: &SystemConfig) -> Figure {
+    let workloads = spec_suite(scale);
+    let rows = workloads
+        .iter()
+        .map(|w| FigureRow {
+            workload: w.name.clone(),
+            values: vec![write_invalidate_rate(w, config)],
+        })
+        .collect();
+    Figure {
+        title: "Figure 7: fraction of writes triggering filter-cache invalidation broadcasts"
+            .to_string(),
+        configs: vec!["invalidate rate".to_string()],
+        rows,
+    }
+}
+
+/// The cumulative protection configurations of figures 8 and 9, in the order
+/// the paper stacks them.
+pub fn cumulative_protection_kinds(include_parallel_l1: bool) -> Vec<(String, DefenseKind)> {
+    let mut insecure = ProtectionConfig::insecure_l0();
+    insecure.prefetch_at_commit = false;
+
+    let fcache_only = ProtectionConfig {
+        data_filter_cache: true,
+        secure_filter: true,
+        coherence_protection: false,
+        instruction_filter_cache: false,
+        prefetch_at_commit: false,
+        clear_on_misspeculate: false,
+        parallel_l1_access: false,
+        filter_tlb: true,
+    };
+    let coherency = ProtectionConfig { coherence_protection: true, ..fcache_only };
+    let ifcache = ProtectionConfig { instruction_filter_cache: true, ..coherency };
+    let prefetching = ProtectionConfig { prefetch_at_commit: true, ..ifcache };
+    let clear_misspec = ProtectionConfig { clear_on_misspeculate: true, ..prefetching };
+
+    let mut kinds = vec![
+        ("insecure L0".to_string(), DefenseKind::MuonTrapCustom(insecure)),
+        ("fcache only".to_string(), DefenseKind::MuonTrapCustom(fcache_only)),
+        ("coherency".to_string(), DefenseKind::MuonTrapCustom(coherency)),
+        ("ifcache".to_string(), DefenseKind::MuonTrapCustom(ifcache)),
+        ("prefetching".to_string(), DefenseKind::MuonTrapCustom(prefetching)),
+        ("clear misspec".to_string(), DefenseKind::MuonTrapCustom(clear_misspec)),
+    ];
+    if include_parallel_l1 {
+        let parallel = ProtectionConfig { parallel_l1_access: true, ..prefetching };
+        kinds.push(("parallel L1d".to_string(), DefenseKind::MuonTrapCustom(parallel)));
+    }
+    kinds
+}
+
+fn cumulative_figure(title: &str, workloads: &[Workload], config: &SystemConfig, parallel: bool) -> Figure {
+    let kinds = cumulative_protection_kinds(parallel);
+    let configs: Vec<String> = kinds.iter().map(|(label, _)| label.clone()).collect();
+    let kind_list: Vec<DefenseKind> = kinds.iter().map(|(_, k)| *k).collect();
+    let rows = workloads
+        .iter()
+        .map(|w| FigureRow {
+            workload: w.name.clone(),
+            values: normalized_times(w, &kind_list, config).into_iter().map(|(_, v)| v).collect(),
+        })
+        .collect();
+    Figure { title: title.to_string(), configs, rows }
+}
+
+/// Figure 8: cumulatively adding protection mechanisms, Parsec-like suite.
+pub fn figure8(scale: Scale, config: &SystemConfig) -> Figure {
+    cumulative_figure(
+        "Figure 8: cumulative protection mechanisms, Parsec-like",
+        &parsec_suite(scale, config.cores),
+        config,
+        false,
+    )
+}
+
+/// Figure 9: cumulatively adding protection mechanisms plus the parallel
+/// L0/L1 lookup option, SPEC-like suite.
+pub fn figure9(scale: Scale, config: &SystemConfig) -> Figure {
+    cumulative_figure(
+        "Figure 9: cumulative protection mechanisms (+ parallel L1d), SPEC-like",
+        &spec_suite(scale),
+        config,
+        true,
+    )
+}
+
+/// The security matrix: every attack against every configuration, reporting
+/// which configurations leak (the paper's qualitative security argument).
+pub fn security_matrix(config: &SystemConfig) -> String {
+    let kinds = [
+        DefenseKind::Unprotected,
+        DefenseKind::InsecureL0,
+        DefenseKind::MuonTrap,
+        DefenseKind::InvisiSpecSpectre,
+        DefenseKind::SttSpectre,
+    ];
+    let mut out = String::new();
+    out.push_str("== Security litmus: does the attack extract information? ==\n");
+    for kind in kinds {
+        out.push_str(&format!("--- {} ---\n", kind.label()));
+        let spectre = attacks::spectre_prime_probe(kind, config);
+        out.push_str(&format!(
+            "  {:40} leaked: {}\n",
+            spectre.attack, spectre.leaked
+        ));
+        for outcome in attacks::litmus::run_litmus_suite(kind, config) {
+            out.push_str(&format!("  {:40} leaked: {}\n", outcome.attack, outcome.leaked));
+        }
+    }
+    out
+}
+
+/// A small summary line used by benches: runs one workload under one defense
+/// and returns its simulated cycle count (so Criterion has a deterministic
+/// piece of work to measure).
+pub fn one_run_cycles(workload: &Workload, kind: DefenseKind, config: &SystemConfig) -> u64 {
+    run_workload(workload, kind, config).cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_render_includes_geomean() {
+        let fig = Figure {
+            title: "test".to_string(),
+            configs: vec!["a".to_string(), "b".to_string()],
+            rows: vec![
+                FigureRow { workload: "w1".to_string(), values: vec![1.0, 2.0] },
+                FigureRow { workload: "w2".to_string(), values: vec![4.0, 8.0] },
+            ],
+        };
+        let text = fig.render();
+        assert!(text.contains("geomean"));
+        let geo = fig.geomeans();
+        assert!((geo[0] - 2.0).abs() < 1e-9);
+        assert!((geo[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_mentions_the_core_count() {
+        assert!(table1().contains("cores: 4"));
+    }
+
+    #[test]
+    fn cumulative_kinds_grow_monotonically() {
+        let kinds = cumulative_protection_kinds(true);
+        assert_eq!(kinds.len(), 7);
+        assert_eq!(kinds[0].0, "insecure L0");
+        assert_eq!(kinds.last().unwrap().0, "parallel L1d");
+    }
+
+    #[test]
+    fn tiny_figure_3_subset_runs() {
+        // A smoke test over two workloads so the full harness logic (shared
+        // baseline, normalisation, geomean) is exercised quickly.
+        let cfg = SystemConfig::small_test();
+        let workloads = &spec_suite(Scale::Tiny)[..2];
+        let fig = build_figure("smoke", workloads, &[DefenseKind::MuonTrap], &cfg);
+        assert_eq!(fig.rows.len(), 2);
+        assert!(fig.rows.iter().all(|r| r.values[0] > 0.2 && r.values[0] < 5.0));
+    }
+}

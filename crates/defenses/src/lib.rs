@@ -1,0 +1,167 @@
+//! Baseline and comparison memory models.
+//!
+//! The MuonTrap paper evaluates against an unprotected system and against two
+//! published defenses re-run on the same platform: **InvisiSpec** (Yan et al.,
+//! MICRO 2018) and **Speculative Taint Tracking** (Yu et al., MICRO 2019),
+//! each in a "Spectre" and a "Future" (futuristic attack model) variant. This
+//! crate reimplements those policies on top of the shared `memsys` hierarchy
+//! so every configuration in the evaluation runs on exactly the same substrate
+//! and only the protection policy differs:
+//!
+//! * [`Unprotected`] — the insecure baseline all figures are normalised to,
+//! * [`InvisiSpec`] — speculative loads go to an invisible per-core buffer and
+//!   the cache is only updated by an exposure/validation access once the load
+//!   is safe (modelled at commit; see DESIGN.md for the fidelity discussion),
+//! * [`Stt`] — speculative loads may execute, but *transmitters* (loads whose
+//!   address depends on an unsafe speculative load's value) are blocked until
+//!   the source becomes safe,
+//! * the insecure L0 and every MuonTrap configuration come from the
+//!   `muontrap` crate via [`simkit::config::ProtectionConfig`].
+//!
+//! [`DefenseKind`] and [`build_defense`] give the experiment harness a single
+//! way to instantiate any configuration that appears in the paper's figures.
+
+pub mod invisispec;
+pub mod stt;
+pub mod unprotected;
+
+use ooo_core::MemoryModel;
+use simkit::config::{ProtectionConfig, SystemConfig};
+
+pub use invisispec::{InvisiSpec, InvisiSpecVariant};
+pub use stt::{Stt, SttVariant};
+pub use unprotected::Unprotected;
+
+/// Every memory-system configuration evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefenseKind {
+    /// No protection at all (the normalisation baseline).
+    Unprotected,
+    /// A small L0 in front of the L1 with none of MuonTrap's protections.
+    InsecureL0,
+    /// Full MuonTrap (figures 3 and 4).
+    MuonTrap,
+    /// MuonTrap plus clear-on-misspeculate (figures 8 and 9).
+    MuonTrapClearOnMisspeculate,
+    /// MuonTrap with parallel L0/L1 lookup (figure 9).
+    MuonTrapParallelL1,
+    /// MuonTrap with an explicit protection configuration (cost breakdown).
+    MuonTrapCustom(ProtectionConfig),
+    /// InvisiSpec, Spectre attack model.
+    InvisiSpecSpectre,
+    /// InvisiSpec, futuristic attack model.
+    InvisiSpecFuture,
+    /// Speculative taint tracking, Spectre attack model.
+    SttSpectre,
+    /// Speculative taint tracking, futuristic attack model.
+    SttFuture,
+}
+
+impl DefenseKind {
+    /// A stable label used in reports and benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseKind::Unprotected => "unprotected",
+            DefenseKind::InsecureL0 => "insecure-l0",
+            DefenseKind::MuonTrap => "muontrap",
+            DefenseKind::MuonTrapClearOnMisspeculate => "muontrap-clear-misspec",
+            DefenseKind::MuonTrapParallelL1 => "muontrap-parallel-l1",
+            DefenseKind::MuonTrapCustom(_) => "muontrap-custom",
+            DefenseKind::InvisiSpecSpectre => "invisispec-spectre",
+            DefenseKind::InvisiSpecFuture => "invisispec-future",
+            DefenseKind::SttSpectre => "stt-spectre",
+            DefenseKind::SttFuture => "stt-future",
+        }
+    }
+
+    /// The five configurations compared in figures 3 and 4.
+    pub fn figure3_set() -> Vec<DefenseKind> {
+        vec![
+            DefenseKind::MuonTrap,
+            DefenseKind::InvisiSpecSpectre,
+            DefenseKind::InvisiSpecFuture,
+            DefenseKind::SttSpectre,
+            DefenseKind::SttFuture,
+        ]
+    }
+}
+
+/// Builds the memory model for `kind` over a fresh hierarchy described by
+/// `config`. The `protection` field of `config` is overridden as required by
+/// the chosen kind.
+pub fn build_defense(kind: DefenseKind, config: &SystemConfig) -> Box<dyn MemoryModel> {
+    let mut cfg = config.clone();
+    match kind {
+        DefenseKind::Unprotected => Box::new(Unprotected::new(&cfg)),
+        DefenseKind::InsecureL0 => {
+            cfg.protection = ProtectionConfig::insecure_l0();
+            Box::new(muontrap::MuonTrap::new(&cfg))
+        }
+        DefenseKind::MuonTrap => {
+            cfg.protection = ProtectionConfig::muontrap_default();
+            Box::new(muontrap::MuonTrap::new(&cfg))
+        }
+        DefenseKind::MuonTrapClearOnMisspeculate => {
+            cfg.protection = ProtectionConfig::muontrap_clear_on_misspeculate();
+            Box::new(muontrap::MuonTrap::new(&cfg))
+        }
+        DefenseKind::MuonTrapParallelL1 => {
+            cfg.protection = ProtectionConfig::muontrap_parallel_l1();
+            Box::new(muontrap::MuonTrap::new(&cfg))
+        }
+        DefenseKind::MuonTrapCustom(protection) => {
+            cfg.protection = protection;
+            Box::new(muontrap::MuonTrap::new(&cfg))
+        }
+        DefenseKind::InvisiSpecSpectre => {
+            Box::new(InvisiSpec::new(&cfg, InvisiSpecVariant::Spectre))
+        }
+        DefenseKind::InvisiSpecFuture => Box::new(InvisiSpec::new(&cfg, InvisiSpecVariant::Future)),
+        DefenseKind::SttSpectre => Box::new(Stt::new(&cfg, SttVariant::Spectre)),
+        DefenseKind::SttFuture => Box::new(Stt::new(&cfg, SttVariant::Future)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let cfg = SystemConfig::paper_default();
+        for kind in [
+            DefenseKind::Unprotected,
+            DefenseKind::InsecureL0,
+            DefenseKind::MuonTrap,
+            DefenseKind::MuonTrapClearOnMisspeculate,
+            DefenseKind::MuonTrapParallelL1,
+            DefenseKind::MuonTrapCustom(ProtectionConfig::muontrap_default()),
+            DefenseKind::InvisiSpecSpectre,
+            DefenseKind::InvisiSpecFuture,
+            DefenseKind::SttSpectre,
+            DefenseKind::SttFuture,
+        ] {
+            let model = build_defense(kind, &cfg);
+            assert!(!model.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn figure3_set_has_the_five_compared_configurations() {
+        let set = DefenseKind::figure3_set();
+        assert_eq!(set.len(), 5);
+        assert!(set.contains(&DefenseKind::MuonTrap));
+        assert!(set.contains(&DefenseKind::SttFuture));
+    }
+
+    #[test]
+    fn only_stt_requests_taint_tracking() {
+        let cfg = SystemConfig::paper_default();
+        assert!(build_defense(DefenseKind::SttSpectre, &cfg).needs_taint_tracking());
+        assert!(build_defense(DefenseKind::SttFuture, &cfg).needs_taint_tracking());
+        assert!(!build_defense(DefenseKind::MuonTrap, &cfg).needs_taint_tracking());
+        assert!(!build_defense(DefenseKind::Unprotected, &cfg).needs_taint_tracking());
+        assert!(!build_defense(DefenseKind::InvisiSpecFuture, &cfg).needs_taint_tracking());
+    }
+}

@@ -1,0 +1,236 @@
+//! Speculative taint tracking (STT, Yu et al., MICRO 2019), re-implemented as
+//! a memory model over the shared hierarchy.
+//!
+//! The policy family (which also covers NDA, SpecShield and Conditional
+//! Speculation) does not hide speculative cache fills; instead it prevents
+//! secrets from reaching a *transmitter*. Loads whose address depends on the
+//! value produced by an unsafe speculative load are blocked until that source
+//! load reaches its visibility point:
+//!
+//! * **Spectre variant** — a source load is unsafe while it has an older
+//!   unresolved conditional branch;
+//! * **Future variant** — a source load is unsafe while anything older than it
+//!   has not finished executing (it could still be squashed).
+//!
+//! The dataflow tracking itself lives in the core (`ooo-core` computes the
+//! `addr_tainted_*` flags only when [`MemoryModel::needs_taint_tracking`]
+//! returns true); this model just applies the blocking policy and otherwise
+//! behaves exactly like the unprotected hierarchy — which is why its cache
+//! side effects are identical to the baseline and its cost is purely the
+//! delayed execution of dependent loads.
+
+use simkit::addr::LineAddr;
+use simkit::config::SystemConfig;
+use simkit::cycles::Cycle;
+use simkit::stats::StatSet;
+
+use memsys::hierarchy::MemoryHierarchy;
+use memsys::tlb::{Mmu, PageTable};
+use memsys::types::{AccessKind, AccessRequest};
+
+use ooo_core::memmodel::{DomainSwitch, MemAccessCtx, MemOutcome, MemoryModel};
+
+/// Which attack model the STT configuration defends against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SttVariant {
+    /// Block transmitters only while their source load sits behind an
+    /// unresolved branch.
+    Spectre,
+    /// Block transmitters while their source load could be squashed at all.
+    Future,
+}
+
+/// The speculative-taint-tracking memory model.
+#[derive(Debug)]
+pub struct Stt {
+    config: SystemConfig,
+    variant: SttVariant,
+    hierarchy: MemoryHierarchy,
+    mmus: Vec<Mmu>,
+    stats: StatSet,
+}
+
+impl Stt {
+    /// Builds an STT configuration of the given variant.
+    pub fn new(config: &SystemConfig, variant: SttVariant) -> Self {
+        let mmus = (0..config.cores)
+            .map(|i| Mmu::new(&config.tlb, PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32)))
+            .collect();
+        Stt {
+            config: config.clone(),
+            variant,
+            hierarchy: MemoryHierarchy::new(config),
+            mmus,
+            stats: StatSet::new(),
+        }
+    }
+
+    /// The configured variant.
+    pub fn variant(&self) -> SttVariant {
+        self.variant
+    }
+
+    /// Read-only access to the hierarchy (for the attack harness).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Translates a virtual address on `core` to its physical line without
+    /// timing side effects.
+    pub fn phys_line(&self, core: usize, vaddr: simkit::addr::VirtAddr) -> LineAddr {
+        let pa = self.mmus[core].page_table().translate(vaddr);
+        LineAddr::from_phys(pa, self.config.line_bytes)
+    }
+
+    fn data_line(&mut self, core: usize, ctx: &MemAccessCtx) -> (LineAddr, u64) {
+        let t = self.mmus[core].translate_data(ctx.vaddr);
+        (LineAddr::from_phys(t.paddr, self.config.line_bytes), t.latency)
+    }
+
+    fn blocked(&self, ctx: &MemAccessCtx) -> bool {
+        if !ctx.speculative {
+            return false;
+        }
+        match self.variant {
+            SttVariant::Spectre => ctx.addr_tainted_spectre,
+            SttVariant::Future => ctx.addr_tainted_future,
+        }
+    }
+}
+
+impl MemoryModel for Stt {
+    fn name(&self) -> &str {
+        match self.variant {
+            SttVariant::Spectre => "stt-spectre",
+            SttVariant::Future => "stt-future",
+        }
+    }
+
+    fn needs_taint_tracking(&self) -> bool {
+        true
+    }
+
+    fn fetch_instruction(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        let t = self.mmus[ctx.core].translate_inst(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
+        let resp = self.hierarchy.access(&req);
+        MemOutcome::Done { latency: resp.latency + t.latency }
+    }
+
+    fn load(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        if self.blocked(ctx) {
+            // The address is derived from an unsafe speculative load's value:
+            // executing this access would transmit the secret into the cache
+            // state, so STT stalls it until the source becomes safe (the core
+            // retries and the taint flag clears, or the load reaches the head
+            // of the ROB and is non-speculative).
+            self.stats.bump("stt.blocked_transmits");
+            return MemOutcome::RetryWhenNonSpeculative;
+        }
+        let (line, xlat) = self.data_line(ctx.core, ctx);
+        self.stats.bump("stt.loads");
+        // Atomics arrive here with `is_store` set and need exclusive ownership.
+        let kind = if ctx.is_store { AccessKind::Store } else { AccessKind::Load };
+        let req = AccessRequest::new(ctx.core, line, kind, ctx.when).with_pc(ctx.pc.raw());
+        let resp = self.hierarchy.access(&req);
+        MemOutcome::Done { latency: resp.latency + xlat }
+    }
+
+    fn store_address_ready(&mut self, _ctx: &MemAccessCtx) {}
+
+    fn commit_access(&mut self, ctx: &MemAccessCtx) -> u64 {
+        let (line, _) = self.data_line(ctx.core, ctx);
+        if ctx.is_store {
+            self.stats.bump("stt.stores");
+            let req =
+                AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when).with_pc(ctx.pc.raw());
+            let _ = self.hierarchy.access(&req);
+        }
+        0
+    }
+
+    fn set_page_table(&mut self, core: usize, table: PageTable) {
+        self.mmus[core].set_page_table(table);
+    }
+
+    fn on_squash(&mut self, _core: usize, _when: Cycle) {}
+
+    fn on_domain_switch(&mut self, _core: usize, _kind: DomainSwitch, _when: Cycle) {}
+
+    fn stats(&self) -> StatSet {
+        let mut s = self.stats.clone();
+        s.merge(self.hierarchy.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::addr::VirtAddr;
+
+    fn ctx(vaddr: u64, tainted_spectre: bool, tainted_future: bool) -> MemAccessCtx {
+        MemAccessCtx {
+            core: 0,
+            vaddr: VirtAddr::new(vaddr),
+            pc: VirtAddr::new(0x40_0000),
+            when: Cycle::ZERO,
+            speculative: true,
+            is_store: false,
+            under_unresolved_branch: true,
+            addr_tainted_spectre: tainted_spectre,
+            addr_tainted_future: tainted_future,
+        }
+    }
+
+    #[test]
+    fn untainted_loads_proceed_normally() {
+        let mut m = Stt::new(&SystemConfig::paper_default(), SttVariant::Spectre);
+        let outcome = m.load(&ctx(0x8000, false, false));
+        assert!(matches!(outcome, MemOutcome::Done { .. }));
+        let line = m.phys_line(0, VirtAddr::new(0x8000));
+        assert!(m.hierarchy().own_l1_contains(0, line), "STT does not hide cache fills");
+    }
+
+    #[test]
+    fn tainted_loads_are_blocked_per_variant() {
+        let mut spectre = Stt::new(&SystemConfig::paper_default(), SttVariant::Spectre);
+        let mut future = Stt::new(&SystemConfig::paper_default(), SttVariant::Future);
+        // Tainted only under the futuristic model (source load no longer under
+        // a branch, but still squashable): Spectre permits it, Future blocks.
+        let c = ctx(0x8000, false, true);
+        assert!(matches!(spectre.load(&c), MemOutcome::Done { .. }));
+        assert_eq!(future.load(&c), MemOutcome::RetryWhenNonSpeculative);
+        // Tainted under both models: both block.
+        let c = ctx(0x9000, true, true);
+        assert_eq!(spectre.load(&c), MemOutcome::RetryWhenNonSpeculative);
+        assert_eq!(future.load(&c), MemOutcome::RetryWhenNonSpeculative);
+        assert_eq!(spectre.stats().counter("stt.blocked_transmits"), 1);
+    }
+
+    #[test]
+    fn non_speculative_accesses_are_never_blocked() {
+        let mut m = Stt::new(&SystemConfig::paper_default(), SttVariant::Future);
+        let mut c = ctx(0x8000, true, true);
+        c.speculative = false;
+        assert!(matches!(m.load(&c), MemOutcome::Done { .. }));
+    }
+
+    #[test]
+    fn taint_tracking_is_requested_from_the_core() {
+        let m = Stt::new(&SystemConfig::paper_default(), SttVariant::Spectre);
+        assert!(m.needs_taint_tracking());
+    }
+
+    #[test]
+    fn store_commit_gains_ownership() {
+        let mut m = Stt::new(&SystemConfig::paper_default(), SttVariant::Spectre);
+        let mut c = ctx(0xa000, false, false);
+        c.is_store = true;
+        c.speculative = false;
+        let _ = m.commit_access(&c);
+        let line = m.phys_line(0, VirtAddr::new(0xa000));
+        assert!(m.hierarchy().own_l1_exclusive(0, line));
+    }
+}

@@ -1,0 +1,181 @@
+//! The unprotected baseline.
+//!
+//! Every figure in the paper is normalised to this configuration: a
+//! conventional hierarchy in which speculative loads fill the L1/L2 as usual,
+//! the prefetcher trains on every access, and nothing is flushed on
+//! protection-domain switches (other than the TLBs on a context switch, which
+//! every OS does).
+
+use simkit::addr::LineAddr;
+use simkit::config::SystemConfig;
+use simkit::cycles::Cycle;
+use simkit::stats::StatSet;
+
+use memsys::hierarchy::MemoryHierarchy;
+use memsys::tlb::{Mmu, PageTable};
+use memsys::types::{AccessKind, AccessRequest};
+
+use ooo_core::memmodel::{DomainSwitch, MemAccessCtx, MemOutcome, MemoryModel};
+
+/// The insecure baseline memory model.
+#[derive(Debug)]
+pub struct Unprotected {
+    config: SystemConfig,
+    hierarchy: MemoryHierarchy,
+    mmus: Vec<Mmu>,
+    stats: StatSet,
+}
+
+impl Unprotected {
+    /// Builds the baseline over a fresh hierarchy.
+    pub fn new(config: &SystemConfig) -> Self {
+        let mmus = (0..config.cores)
+            .map(|i| Mmu::new(&config.tlb, PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32)))
+            .collect();
+        Unprotected {
+            config: config.clone(),
+            hierarchy: MemoryHierarchy::new(config),
+            mmus,
+            stats: StatSet::new(),
+        }
+    }
+
+    /// Read-only access to the hierarchy (used by the attack harness to check
+    /// what speculative execution left behind).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Translates a virtual address on `core` to its physical line with no
+    /// timing side effects.
+    pub fn phys_line(&self, core: usize, vaddr: simkit::addr::VirtAddr) -> LineAddr {
+        let pa = self.mmus[core].page_table().translate(vaddr);
+        LineAddr::from_phys(pa, self.config.line_bytes)
+    }
+
+    fn data_line(&mut self, core: usize, ctx: &MemAccessCtx) -> (LineAddr, u64) {
+        let t = self.mmus[core].translate_data(ctx.vaddr);
+        (LineAddr::from_phys(t.paddr, self.config.line_bytes), t.latency)
+    }
+}
+
+impl MemoryModel for Unprotected {
+    fn name(&self) -> &str {
+        "unprotected"
+    }
+
+    fn fetch_instruction(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        let t = self.mmus[ctx.core].translate_inst(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
+        let resp = self.hierarchy.access(&req);
+        MemOutcome::Done { latency: resp.latency + t.latency }
+    }
+
+    fn load(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        let (line, xlat) = self.data_line(ctx.core, ctx);
+        self.stats.bump("unprotected.loads");
+        // Atomics arrive here with `is_store` set and need exclusive ownership.
+        let kind = if ctx.is_store { AccessKind::Store } else { AccessKind::Load };
+        let req = AccessRequest::new(ctx.core, line, kind, ctx.when).with_pc(ctx.pc.raw());
+        let resp = self.hierarchy.access(&req);
+        MemOutcome::Done { latency: resp.latency + xlat }
+    }
+
+    fn store_address_ready(&mut self, _ctx: &MemAccessCtx) {}
+
+    fn commit_access(&mut self, ctx: &MemAccessCtx) -> u64 {
+        let (line, _) = self.data_line(ctx.core, ctx);
+        if ctx.is_store {
+            self.stats.bump("unprotected.stores");
+            let req =
+                AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when).with_pc(ctx.pc.raw());
+            let _ = self.hierarchy.access(&req);
+        }
+        0
+    }
+
+    fn set_page_table(&mut self, core: usize, table: PageTable) {
+        self.mmus[core].set_page_table(table);
+    }
+
+    fn on_squash(&mut self, _core: usize, _when: Cycle) {}
+
+    fn on_domain_switch(&mut self, core: usize, kind: DomainSwitch, _when: Cycle) {
+        // Only the ordinary TLB flush on a context switch; caches are left
+        // exactly as speculation perturbed them, which is what the attacks
+        // exploit.
+        if matches!(kind, DomainSwitch::ContextSwitch) {
+            let table = self.mmus[core].page_table().clone();
+            self.mmus[core].set_page_table(table);
+        }
+    }
+
+    fn stats(&self) -> StatSet {
+        let mut s = self.stats.clone();
+        s.merge(self.hierarchy.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::addr::VirtAddr;
+
+    fn ctx(core: usize, vaddr: u64, speculative: bool, is_store: bool) -> MemAccessCtx {
+        MemAccessCtx {
+            core,
+            vaddr: VirtAddr::new(vaddr),
+            pc: VirtAddr::new(0x40_0000),
+            when: Cycle::ZERO,
+            speculative,
+            is_store,
+            under_unresolved_branch: speculative,
+            addr_tainted_spectre: false,
+            addr_tainted_future: false,
+        }
+    }
+
+    #[test]
+    fn speculative_loads_fill_the_l1() {
+        let mut u = Unprotected::new(&SystemConfig::paper_default());
+        let _ = u.load(&ctx(0, 0x8000, true, false));
+        let line = u.phys_line(0, VirtAddr::new(0x8000));
+        assert!(u.hierarchy().own_l1_contains(0, line), "this is exactly the Spectre vulnerability");
+    }
+
+    #[test]
+    fn repeat_loads_hit_quickly() {
+        let mut u = Unprotected::new(&SystemConfig::paper_default());
+        let first = u.load(&ctx(0, 0x8000, true, false)).latency().unwrap();
+        let second = u.load(&ctx(0, 0x8000, true, false)).latency().unwrap();
+        assert!(second < first);
+        assert!(second <= 3);
+    }
+
+    #[test]
+    fn domain_switches_do_not_clear_caches() {
+        let mut u = Unprotected::new(&SystemConfig::paper_default());
+        let _ = u.load(&ctx(0, 0x8000, true, false));
+        u.on_domain_switch(0, DomainSwitch::ContextSwitch, Cycle::ZERO);
+        let line = u.phys_line(0, VirtAddr::new(0x8000));
+        assert!(u.hierarchy().own_l1_contains(0, line));
+    }
+
+    #[test]
+    fn commit_of_store_updates_coherence() {
+        let mut u = Unprotected::new(&SystemConfig::paper_default());
+        let _ = u.commit_access(&ctx(0, 0x9000, false, true));
+        let line = u.phys_line(0, VirtAddr::new(0x9000));
+        assert!(u.hierarchy().own_l1_exclusive(0, line));
+    }
+
+    #[test]
+    fn stats_report_hierarchy_activity() {
+        let mut u = Unprotected::new(&SystemConfig::paper_default());
+        let _ = u.load(&ctx(0, 0x8000, true, false));
+        assert!(u.stats().counter("hierarchy.data_accesses") > 0);
+        assert_eq!(u.stats().counter("unprotected.loads"), 1);
+    }
+}

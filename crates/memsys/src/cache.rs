@@ -1,0 +1,362 @@
+//! Generic set-associative cache arrays.
+//!
+//! [`CacheArray`] models the tag array of a cache: which lines are present, in
+//! which coherence state, with LRU replacement inside each set. It is generic
+//! over a per-line metadata type so the MuonTrap filter cache can attach its
+//! committed bit, virtual tag and fill-level tag without this crate knowing
+//! about them.
+
+use simkit::addr::LineAddr;
+use simkit::config::CacheConfig;
+
+use crate::mesi::MesiState;
+
+/// One line in a [`CacheArray`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheLine<M> {
+    /// The physical line address stored here.
+    pub addr: LineAddr,
+    /// Coherence state (Invalid lines are treated as empty slots).
+    pub state: MesiState,
+    /// Dirty bit (tracked separately from MESI for the shared L2, which does
+    /// not participate in MESI as an owner).
+    pub dirty: bool,
+    /// LRU timestamp: larger means more recently used.
+    pub lru: u64,
+    /// Caller-defined metadata (e.g. the filter cache's committed bit).
+    pub meta: M,
+}
+
+/// The result of inserting a line into a set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eviction<M> {
+    /// The line that was evicted to make room, if a valid line had to go.
+    pub victim: Option<CacheLine<M>>,
+}
+
+/// A set-associative cache tag array with per-set LRU replacement.
+///
+/// The array is indexed by physical line address. Lookups update LRU;
+/// [`CacheArray::peek`] does not, and exists so coherence probes stay
+/// side-effect free.
+#[derive(Debug, Clone)]
+pub struct CacheArray<M> {
+    sets: Vec<Vec<CacheLine<M>>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<M: Default + Clone> CacheArray<M> {
+    /// Creates a cache array from a configuration and the line size.
+    ///
+    /// # Panics
+    /// Panics if the configuration describes fewer than one line.
+    pub fn new(config: &CacheConfig, line_bytes: u64) -> Self {
+        let lines = config.num_lines(line_bytes);
+        assert!(lines >= 1, "cache must hold at least one line");
+        let ways = config.ways.min(lines);
+        let num_sets = (lines / ways).max(1);
+        CacheArray {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Creates a cache array with explicit geometry (used in tests and sweeps).
+    pub fn with_geometry(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets >= 1 && ways >= 1, "geometry must be at least 1x1");
+        CacheArray {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().filter(|l| l.state.can_read()).count()).sum()
+    }
+
+    /// Hits recorded by [`CacheArray::lookup`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded by [`CacheArray::lookup`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_index(&self, addr: LineAddr) -> usize {
+        addr.set_index(self.sets.len())
+    }
+
+    /// Looks up `addr`, updating LRU and hit/miss counters. Returns a mutable
+    /// reference to the line if present and readable.
+    pub fn lookup(&mut self, addr: LineAddr) -> Option<&mut CacheLine<M>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.iter_mut().find(|l| l.addr == addr && l.state.can_read()) {
+            line.lru = tick;
+            self.hits += 1;
+            Some(line)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Returns the line for `addr` without updating LRU or counters.
+    pub fn peek(&self, addr: LineAddr) -> Option<&CacheLine<M>> {
+        let idx = self.set_index(addr);
+        self.sets[idx].iter().find(|l| l.addr == addr && l.state.can_read())
+    }
+
+    /// Returns a mutable reference without updating LRU or counters.
+    pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut CacheLine<M>> {
+        let idx = self.set_index(addr);
+        self.sets[idx].iter_mut().find(|l| l.addr == addr && l.state.can_read())
+    }
+
+    /// Whether `addr` is present and readable.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.peek(addr).is_some()
+    }
+
+    /// Inserts `addr` with the given state and metadata, evicting the LRU line
+    /// of the set if it is full. If the line is already present its state and
+    /// metadata are overwritten instead (no duplicate entries are created).
+    pub fn insert(&mut self, addr: LineAddr, state: MesiState, meta: M) -> Eviction<M> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(addr);
+        let ways = self.ways;
+        let set = &mut self.sets[idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.addr == addr && l.state.can_read()) {
+            line.state = state;
+            line.meta = meta;
+            line.lru = tick;
+            return Eviction { victim: None };
+        }
+
+        // Reuse an invalid slot if one exists.
+        if let Some(slot) = set.iter_mut().find(|l| !l.state.can_read()) {
+            *slot = CacheLine { addr, state, dirty: false, lru: tick, meta };
+            return Eviction { victim: None };
+        }
+
+        if set.len() < ways {
+            set.push(CacheLine { addr, state, dirty: false, lru: tick, meta });
+            return Eviction { victim: None };
+        }
+
+        // Evict the least recently used line.
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i)
+            .expect("non-empty set");
+        let victim = std::mem::replace(
+            &mut set[victim_idx],
+            CacheLine { addr, state, dirty: false, lru: tick, meta },
+        );
+        Eviction { victim: Some(victim) }
+    }
+
+    /// Invalidates `addr` if present, returning the removed line.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<CacheLine<M>> {
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|l| l.addr == addr && l.state.can_read())?;
+        let mut line = set.remove(pos);
+        line.state = MesiState::Invalid;
+        Some(line)
+    }
+
+    /// Invalidates every line, returning how many were valid. This is the
+    /// single-cycle "clear every valid bit" operation of §4.3.
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut count = 0;
+        for set in &mut self.sets {
+            count += set.iter().filter(|l| l.state.can_read()).count();
+            set.clear();
+        }
+        count
+    }
+
+    /// Applies `f` to every valid line.
+    pub fn for_each_valid(&self, mut f: impl FnMut(&CacheLine<M>)) {
+        for set in &self.sets {
+            for line in set.iter().filter(|l| l.state.can_read()) {
+                f(line);
+            }
+        }
+    }
+
+    /// Applies `f` to every valid line mutably.
+    pub fn for_each_valid_mut(&mut self, mut f: impl FnMut(&mut CacheLine<M>)) {
+        for set in &mut self.sets {
+            for line in set.iter_mut().filter(|l| l.state.can_read()) {
+                f(line);
+            }
+        }
+    }
+
+    /// Collects the addresses of all valid lines (useful in tests).
+    pub fn resident_lines(&self) -> Vec<LineAddr> {
+        let mut lines = Vec::new();
+        self.for_each_valid(|l| lines.push(l.addr));
+        lines.sort_unstable();
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::config::CacheConfig;
+
+    fn small_cache() -> CacheArray<()> {
+        // 4 sets x 2 ways of 64-byte lines = 512 bytes.
+        CacheArray::new(&CacheConfig::new(512, 2, 1, 4), 64)
+    }
+
+    #[test]
+    fn geometry_from_config() {
+        let c = small_cache();
+        assert_eq!(c.num_sets(), 4);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.capacity_lines(), 8);
+    }
+
+    #[test]
+    fn fully_associative_when_ways_exceed_lines() {
+        let c: CacheArray<()> = CacheArray::new(&CacheConfig::new(256, 64, 1, 4), 64);
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.ways(), 4);
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(12), MesiState::Shared, ());
+        assert!(c.lookup(LineAddr::new(12)).is_some());
+        assert!(c.lookup(LineAddr::new(13)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_picks_least_recently_used() {
+        let mut c = small_cache();
+        // Lines 0, 4, 8 all map to set 0 (4 sets). Two ways available.
+        c.insert(LineAddr::new(0), MesiState::Shared, ());
+        c.insert(LineAddr::new(4), MesiState::Shared, ());
+        // Touch line 0 so line 4 becomes LRU.
+        assert!(c.lookup(LineAddr::new(0)).is_some());
+        let ev = c.insert(LineAddr::new(8), MesiState::Shared, ());
+        assert_eq!(ev.victim.expect("one line must be evicted").addr, LineAddr::new(4));
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(c.contains(LineAddr::new(8)));
+        assert!(!c.contains(LineAddr::new(4)));
+    }
+
+    #[test]
+    fn reinserting_existing_line_does_not_duplicate() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(3), MesiState::Shared, ());
+        c.insert(LineAddr::new(3), MesiState::Modified, ());
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.peek(LineAddr::new(3)).unwrap().state, MesiState::Modified);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(5), MesiState::Exclusive, ());
+        let removed = c.invalidate(LineAddr::new(5)).expect("line was present");
+        assert_eq!(removed.addr, LineAddr::new(5));
+        assert!(!c.contains(LineAddr::new(5)));
+        assert!(c.invalidate(LineAddr::new(5)).is_none());
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let mut c = small_cache();
+        for i in 0..8 {
+            c.insert(LineAddr::new(i), MesiState::Shared, ());
+        }
+        assert_eq!(c.occupancy(), 8);
+        assert_eq!(c.invalidate_all(), 8);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru_or_counters() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(0), MesiState::Shared, ());
+        c.insert(LineAddr::new(4), MesiState::Shared, ());
+        let hits_before = c.hits();
+        // Peek line 0 (would make it MRU if it updated LRU), then insert a
+        // conflicting line; the victim must still be line 0 because peek must
+        // not have refreshed it.
+        assert!(c.peek(LineAddr::new(0)).is_some());
+        assert_eq!(c.hits(), hits_before);
+        let ev = c.insert(LineAddr::new(8), MesiState::Shared, ());
+        assert_eq!(ev.victim.unwrap().addr, LineAddr::new(0));
+    }
+
+    #[test]
+    fn metadata_round_trips() {
+        let mut c: CacheArray<u32> = CacheArray::with_geometry(2, 2);
+        c.insert(LineAddr::new(1), MesiState::Shared, 99);
+        assert_eq!(c.peek(LineAddr::new(1)).unwrap().meta, 99);
+        c.peek_mut(LineAddr::new(1)).unwrap().meta = 7;
+        assert_eq!(c.peek(LineAddr::new(1)).unwrap().meta, 7);
+    }
+
+    #[test]
+    fn occupancy_tracks_valid_lines() {
+        let mut c = small_cache();
+        assert_eq!(c.occupancy(), 0);
+        c.insert(LineAddr::new(1), MesiState::Shared, ());
+        c.insert(LineAddr::new(2), MesiState::Shared, ());
+        assert_eq!(c.occupancy(), 2);
+        c.invalidate(LineAddr::new(1));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn resident_lines_are_sorted() {
+        let mut c = small_cache();
+        c.insert(LineAddr::new(9), MesiState::Shared, ());
+        c.insert(LineAddr::new(2), MesiState::Shared, ());
+        assert_eq!(c.resident_lines(), vec![LineAddr::new(2), LineAddr::new(9)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Architectural thread context.
+//!
+//! A [`ThreadContext`] is everything the OS needs to schedule a software
+//! thread onto a core: the program it runs, its architectural registers, its
+//! program counter, and a handle to its (possibly shared) functional data
+//! memory. Threads of the same process share one [`SharedMemory`], which is
+//! how the Parsec-like multithreaded workloads and the attacker/victim
+//! shared-memory litmus tests are expressed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simkit::addr::VirtAddr;
+use uarch_isa::inst::MemWidth;
+use uarch_isa::mem::SparseMemory;
+use uarch_isa::prog::Program;
+use uarch_isa::reg::{Reg, RegFile};
+
+/// A functional data memory shared between the threads of one process.
+///
+/// The simulation is single-threaded, so interior mutability through
+/// `Rc<RefCell<..>>` is sufficient and keeps the core free of locking.
+pub type SharedMemory = Rc<RefCell<SparseMemory>>;
+
+/// Creates a fresh [`SharedMemory`] preloaded with a program's data segments.
+pub fn shared_memory_for(program: &Program) -> SharedMemory {
+    let mut mem = SparseMemory::new();
+    for seg in program.data_segments() {
+        mem.write_bytes(seg.addr, &seg.bytes);
+    }
+    Rc::new(RefCell::new(mem))
+}
+
+/// The architectural state of one software thread.
+#[derive(Debug, Clone)]
+pub struct ThreadContext {
+    /// The program this thread executes.
+    pub program: Program,
+    /// Committed architectural registers.
+    pub regs: RegFile,
+    /// Committed program counter (instruction index).
+    pub pc: usize,
+    /// Functional data memory (shared with sibling threads of the process).
+    pub memory: SharedMemory,
+    /// Identifier of the owning process (protection domain).
+    pub process_id: usize,
+    /// Whether the thread has halted.
+    pub halted: bool,
+}
+
+impl ThreadContext {
+    /// Creates a context at the program's entry point with fresh private
+    /// memory initialised from the program's data segments.
+    pub fn new(program: Program, process_id: usize) -> Self {
+        let memory = shared_memory_for(&program);
+        ThreadContext { program, regs: RegFile::new(), pc: 0, memory, process_id, halted: false }
+    }
+
+    /// Creates a context sharing an existing memory (a sibling thread of the
+    /// same process), starting at instruction index `entry`.
+    pub fn with_shared_memory(
+        program: Program,
+        process_id: usize,
+        memory: SharedMemory,
+        entry: usize,
+    ) -> Self {
+        ThreadContext { program, regs: RegFile::new(), pc: entry, memory, process_id, halted: false }
+    }
+
+    /// Sets a register (used to pass per-thread arguments such as thread ids).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        self.regs.write(reg, value);
+    }
+
+    /// Reads a 64-bit value from this thread's functional memory.
+    pub fn read_memory(&self, addr: VirtAddr) -> u64 {
+        self.memory.borrow().read(addr, MemWidth::Double)
+    }
+
+    /// Writes a 64-bit value into this thread's functional memory.
+    pub fn write_memory(&mut self, addr: VirtAddr, value: u64) {
+        self.memory.borrow_mut().write(addr, value, MemWidth::Double);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_isa::prog::ProgramBuilder;
+
+    fn trivial_program() -> Program {
+        let mut b = ProgramBuilder::new("trivial");
+        b.data_u64(VirtAddr::new(0x1000), &[42]);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn new_context_loads_data_segments() {
+        let ctx = ThreadContext::new(trivial_program(), 0);
+        assert_eq!(ctx.read_memory(VirtAddr::new(0x1000)), 42);
+        assert_eq!(ctx.pc, 0);
+        assert!(!ctx.halted);
+    }
+
+    #[test]
+    fn sibling_threads_share_memory() {
+        let program = trivial_program();
+        let memory = shared_memory_for(&program);
+        let mut a = ThreadContext::with_shared_memory(program.clone(), 1, memory.clone(), 0);
+        let b = ThreadContext::with_shared_memory(program, 1, memory, 0);
+        a.write_memory(VirtAddr::new(0x2000), 7);
+        assert_eq!(b.read_memory(VirtAddr::new(0x2000)), 7);
+    }
+
+    #[test]
+    fn registers_can_be_preset() {
+        let mut ctx = ThreadContext::new(trivial_program(), 0);
+        ctx.set_reg(Reg::X5, 99);
+        assert_eq!(ctx.regs.read(Reg::X5), 99);
+    }
+}

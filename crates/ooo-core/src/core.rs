@@ -1,0 +1,1302 @@
+//! The out-of-order pipeline.
+//!
+//! [`OooCore`] is an execute-at-issue out-of-order timing model. Instructions
+//! are fetched along the predicted path, dispatched into a reorder buffer,
+//! executed once their operands are available and a functional unit is free,
+//! and retired in program order. Wrong-path instructions genuinely execute —
+//! including their memory accesses, which go through the pluggable
+//! [`MemoryModel`] — and are squashed when the mispredicted branch resolves.
+//! Stores update functional memory only at commit, so architectural state is
+//! always correct; the speculative damage the paper studies is confined to the
+//! cache side, exactly as on real hardware.
+
+use std::collections::VecDeque;
+
+use simkit::addr::VirtAddr;
+use simkit::config::{PipelineConfig, SystemConfig};
+use simkit::cycles::Cycle;
+use simkit::stats::StatSet;
+
+use uarch_isa::inst::{eval_alu, eval_branch, eval_fpu, InstClass, Instruction, MemWidth};
+use uarch_isa::prog::INST_BYTES;
+use uarch_isa::reg::Reg;
+
+use crate::branch::{BranchPredictor, BranchUpdate};
+use crate::context::ThreadContext;
+use crate::events::CoreEvent;
+use crate::memmodel::{MemAccessCtx, MemOutcome, MemoryModel};
+
+/// Execution status of a reorder-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Dispatched, waiting for operands or a functional unit.
+    Waiting,
+    /// Executing; the result is available at the contained cycle.
+    Executing(Cycle),
+    /// Finished executing.
+    Done,
+}
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // `seq` and `predicted_taken` are kept for debugging and future recovery logic
+struct RobEntry {
+    seq: u64,
+    pc: usize,
+    inst: Instruction,
+    status: Status,
+    result: Option<u64>,
+    /// Computed virtual address for memory operations.
+    mem_addr: Option<VirtAddr>,
+    /// Value to be stored (for stores/atomics), captured at execute.
+    store_data: Option<u64>,
+    /// The memory model asked for this access to be retried later.
+    mem_retry: bool,
+    /// Whether the load's value was forwarded from an older in-flight store.
+    forwarded: bool,
+    /// Fetch-time prediction: the instruction index fetched after this one.
+    predicted_next: usize,
+    /// Fetch-time direction prediction for conditional branches.
+    predicted_taken: bool,
+    /// Resolved actual next PC (valid once `Done` for control flow).
+    actual_next: usize,
+}
+
+impl RobEntry {
+    fn is_done(&self) -> bool {
+        matches!(self.status, Status::Done)
+    }
+
+    fn is_memory(&self) -> bool {
+        self.inst.class().is_memory()
+    }
+
+    fn is_load(&self) -> bool {
+        matches!(self.inst.class(), InstClass::Load | InstClass::Atomic)
+    }
+
+    fn is_store(&self) -> bool {
+        matches!(self.inst.class(), InstClass::Store | InstClass::Atomic)
+    }
+
+    fn is_branch(&self) -> bool {
+        self.inst.class().is_control()
+    }
+}
+
+/// Statistics accumulated by one core.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreStats {
+    /// Cycles this core has been ticked.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Committed branches (conditional only).
+    pub branches: u64,
+    /// Mispredicted branches (of any kind) that caused a squash.
+    pub mispredictions: u64,
+    /// Instructions squashed from the ROB.
+    pub squashed: u64,
+    /// Loads that were issued speculatively and later squashed.
+    pub squashed_loads: u64,
+    /// Accesses the memory model asked to retry non-speculatively.
+    pub mem_retries: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Converts the statistics into a generic [`StatSet`].
+    pub fn to_stat_set(&self, prefix: &str) -> StatSet {
+        let mut s = StatSet::new();
+        s.add(&format!("{prefix}.cycles"), self.cycles);
+        s.add(&format!("{prefix}.committed"), self.committed);
+        s.add(&format!("{prefix}.loads"), self.loads);
+        s.add(&format!("{prefix}.stores"), self.stores);
+        s.add(&format!("{prefix}.branches"), self.branches);
+        s.add(&format!("{prefix}.mispredictions"), self.mispredictions);
+        s.add(&format!("{prefix}.squashed"), self.squashed);
+        s.add(&format!("{prefix}.squashed_loads"), self.squashed_loads);
+        s.add(&format!("{prefix}.mem_retries"), self.mem_retries);
+        s.set_scalar(&format!("{prefix}.ipc"), self.ipc());
+        s
+    }
+}
+
+/// The out-of-order core.
+pub struct OooCore {
+    core_id: usize,
+    pipeline: PipelineConfig,
+    predictor: BranchPredictor,
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    thread: Option<ThreadContext>,
+    /// Speculative fetch program counter (instruction index).
+    fetch_pc: usize,
+    /// Front end is refilling until this cycle (misprediction or I-miss).
+    fetch_stalled_until: Cycle,
+    /// Fetch stops after a halt or running off the program.
+    fetch_halted: bool,
+    /// Last instruction-cache line fetched, to charge I-fetch once per line.
+    last_fetch_line: Option<u64>,
+    /// Commit is stalled until this cycle (memory model commit charges).
+    commit_stalled_until: Cycle,
+    halted: bool,
+    stats: CoreStats,
+}
+
+impl OooCore {
+    /// Creates a core with the given id using the pipeline and predictor
+    /// parameters from `config`.
+    pub fn new(core_id: usize, config: &SystemConfig) -> Self {
+        OooCore {
+            core_id,
+            pipeline: config.pipeline,
+            predictor: BranchPredictor::new(&config.branch_predictor),
+            rob: VecDeque::new(),
+            next_seq: 0,
+            thread: None,
+            fetch_pc: 0,
+            fetch_stalled_until: Cycle::ZERO,
+            fetch_halted: false,
+            last_fetch_line: None,
+            commit_stalled_until: Cycle::ZERO,
+            halted: true,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> usize {
+        self.core_id
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Whether the core currently has no runnable thread (idle or halted).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Read-only access to the running thread's context, if any.
+    pub fn thread(&self) -> Option<&ThreadContext> {
+        self.thread.as_ref()
+    }
+
+    /// Mutable access to the branch predictor (the OS model flushes the BTB on
+    /// context switches when that mitigation is enabled).
+    pub fn predictor_mut(&mut self) -> &mut BranchPredictor {
+        &mut self.predictor
+    }
+
+    /// Installs a thread on this core, discarding any in-flight speculative
+    /// work, and returns the previously running thread's context.
+    pub fn swap_thread(&mut self, new_thread: Option<ThreadContext>) -> Option<ThreadContext> {
+        self.rob.clear();
+        self.last_fetch_line = None;
+        let old = self.thread.take();
+        self.thread = new_thread;
+        if let Some(t) = &self.thread {
+            self.fetch_pc = t.pc;
+            self.fetch_halted = t.halted;
+            self.halted = t.halted;
+        } else {
+            self.halted = true;
+            self.fetch_halted = true;
+        }
+        old
+    }
+
+    /// Runs a single-threaded program to completion on this core with the
+    /// given memory model, returning the cycle at which it halted.
+    ///
+    /// # Errors
+    /// Returns `Err(cycles_simulated)` if the program does not halt within
+    /// `max_cycles`.
+    pub fn run_to_halt(
+        &mut self,
+        thread: ThreadContext,
+        mem: &mut dyn MemoryModel,
+        max_cycles: u64,
+    ) -> Result<u64, u64> {
+        self.swap_thread(Some(thread));
+        let mut now = Cycle::ZERO;
+        while !self.halted && now.raw() < max_cycles {
+            self.tick(now, mem);
+            now += 1;
+        }
+        if self.halted {
+            Ok(now.raw())
+        } else {
+            Err(now.raw())
+        }
+    }
+
+    /// Advances the core by one cycle. Returns the architectural events that
+    /// committed during this cycle.
+    pub fn tick(&mut self, now: Cycle, mem: &mut dyn MemoryModel) -> Vec<CoreEvent> {
+        if self.thread.is_none() || self.halted {
+            return Vec::new();
+        }
+        self.stats.cycles += 1;
+        mem.tick(self.core_id, now);
+
+        let events = self.commit_stage(now, mem);
+        self.complete_stage(now, mem);
+        self.issue_stage(now, mem);
+        self.fetch_stage(now, mem);
+        events
+    }
+
+    // ------------------------------------------------------------------
+    // commit
+    // ------------------------------------------------------------------
+
+    fn commit_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) -> Vec<CoreEvent> {
+        let mut events = Vec::new();
+        if now < self.commit_stalled_until {
+            return events;
+        }
+        let width = self.pipeline.width;
+        for _ in 0..width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.is_done() {
+                break;
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+            self.retire_entry(&entry, now, mem, &mut events);
+            if self.halted || now < self.commit_stalled_until {
+                break;
+            }
+        }
+        events
+    }
+
+    fn retire_entry(
+        &mut self,
+        entry: &RobEntry,
+        now: Cycle,
+        mem: &mut dyn MemoryModel,
+        events: &mut Vec<CoreEvent>,
+    ) {
+        let entry_pc_addr = self.pc_addr(entry.pc);
+        let thread = self.thread.as_mut().expect("running thread");
+        self.stats.committed += 1;
+
+        // Architectural register update.
+        if let (Some(dest), Some(result)) = (entry.inst.dest(), entry.result) {
+            thread.regs.write(dest, result);
+        }
+
+        // Memory effects and commit-time notifications.
+        if entry.is_memory() {
+            let addr = entry.mem_addr.expect("memory op has an address");
+            if entry.is_store() {
+                let data = entry.store_data.expect("store has data");
+                let width = match entry.inst {
+                    Instruction::Store { width, .. } => width,
+                    _ => MemWidth::Double,
+                };
+                thread.memory.borrow_mut().write(addr, data, width);
+                self.stats.stores += 1;
+            }
+            if entry.is_load() {
+                self.stats.loads += 1;
+            }
+            let ctx = MemAccessCtx {
+                core: self.core_id,
+                vaddr: addr,
+                pc: entry_pc_addr,
+                when: now,
+                speculative: false,
+                is_store: entry.is_store(),
+                under_unresolved_branch: false,
+                addr_tainted_spectre: false,
+                addr_tainted_future: false,
+            };
+            let extra = mem.commit_access(&ctx);
+            if extra > 0 {
+                self.commit_stalled_until = now.saturating_add(extra);
+            }
+        }
+
+        if matches!(entry.inst.class(), InstClass::Branch) {
+            self.stats.branches += 1;
+        }
+
+        // Notify the memory model that the instruction itself committed, so
+        // instruction-filter-cache lines can be marked committed (§4.7).
+        let fetch_ctx = MemAccessCtx {
+            core: self.core_id,
+            vaddr: entry_pc_addr,
+            pc: entry_pc_addr,
+            when: now,
+            speculative: false,
+            is_store: false,
+            under_unresolved_branch: false,
+            addr_tainted_spectre: false,
+            addr_tainted_future: false,
+        };
+        mem.commit_fetch(&fetch_ctx);
+
+        // Committed program counter follows the actual path.
+        thread.pc = entry.actual_next;
+
+        match entry.inst {
+            Instruction::Syscall { code } => events.push(CoreEvent::Syscall(code)),
+            Instruction::SandboxEnter => events.push(CoreEvent::SandboxEnter),
+            Instruction::SandboxExit => events.push(CoreEvent::SandboxExit),
+            Instruction::Halt => {
+                thread.halted = true;
+                self.halted = true;
+                self.fetch_halted = true;
+                events.push(CoreEvent::Halted);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // complete (writeback + branch resolution)
+    // ------------------------------------------------------------------
+
+    fn complete_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) {
+        // Move finished executions to Done, oldest first, resolving branches.
+        let mut squash_after: Option<(usize, usize)> = None; // (rob index, redirect pc)
+        for idx in 0..self.rob.len() {
+            let entry = &self.rob[idx];
+            let finished = match entry.status {
+                Status::Executing(done_at) => done_at <= now,
+                _ => false,
+            };
+            if !finished {
+                continue;
+            }
+            self.rob[idx].status = Status::Done;
+            if self.rob[idx].is_branch() {
+                let (mispredicted, redirect) = self.resolve_branch(idx);
+                if mispredicted {
+                    squash_after = Some((idx, redirect));
+                    break;
+                }
+            }
+        }
+        if let Some((idx, redirect)) = squash_after {
+            self.squash_younger_than(idx, redirect, now, mem);
+        }
+    }
+
+    /// Resolves the control-flow instruction at ROB index `idx`. Returns
+    /// whether it was mispredicted and the correct next instruction index.
+    fn resolve_branch(&mut self, idx: usize) -> (bool, usize) {
+        let entry = &self.rob[idx];
+        let actual_next = entry.actual_next;
+        let mispredicted = actual_next != entry.predicted_next;
+        let conditional = matches!(entry.inst.class(), InstClass::Branch);
+        let taken = match entry.inst {
+            Instruction::Branch { .. } => actual_next != entry.pc + 1,
+            _ => true,
+        };
+        let update = BranchUpdate {
+            pc: self.pc_addr(entry.pc),
+            taken,
+            target: actual_next,
+            conditional,
+        };
+        self.predictor.update(&update, mispredicted);
+        if mispredicted {
+            self.stats.mispredictions += 1;
+        }
+        (mispredicted, actual_next)
+    }
+
+    /// Squashes every ROB entry younger than index `idx` and redirects fetch.
+    fn squash_younger_than(
+        &mut self,
+        idx: usize,
+        redirect: usize,
+        now: Cycle,
+        mem: &mut dyn MemoryModel,
+    ) {
+        let removed = self.rob.len().saturating_sub(idx + 1);
+        if removed > 0 {
+            for e in self.rob.iter().skip(idx + 1) {
+                self.stats.squashed += 1;
+                if e.is_load() && !matches!(e.status, Status::Waiting) {
+                    self.stats.squashed_loads += 1;
+                }
+            }
+            self.rob.truncate(idx + 1);
+        }
+        mem.on_squash(self.core_id, now);
+        self.predictor.clear_ras();
+        self.fetch_pc = redirect;
+        self.fetch_halted = false;
+        self.last_fetch_line = None;
+        self.fetch_stalled_until = now.saturating_add(self.pipeline.mispredict_penalty);
+    }
+
+    // ------------------------------------------------------------------
+    // issue / execute
+    // ------------------------------------------------------------------
+
+    fn issue_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) {
+        let mut issued = 0usize;
+        let mut int_used = 0usize;
+        let mut fp_used = 0usize;
+        let mut muldiv_used = 0usize;
+        let mut mem_ports_used = 0usize;
+        // The instruction window: only the first `iq_entries` waiting entries
+        // are candidates for issue.
+        let mut window_seen = 0usize;
+
+        for idx in 0..self.rob.len() {
+            if issued >= self.pipeline.width {
+                break;
+            }
+            let status = self.rob[idx].status;
+            let class = self.rob[idx].inst.class();
+
+            // A serialising instruction blocks younger instructions from
+            // issuing until it has finished executing.
+            if self.rob[idx].inst.is_serialising() && !self.rob[idx].is_done() && idx > 0 {
+                // It may itself execute only at the head (handled below), and
+                // nothing younger may proceed.
+                if idx == 0 {
+                } else if !self.try_issue_at(idx, now, mem) {
+                    // fallthrough: still blocks younger entries
+                }
+                break;
+            }
+
+            if matches!(status, Status::Waiting) {
+                window_seen += 1;
+                if window_seen > self.pipeline.iq_entries {
+                    break;
+                }
+                // Functional unit availability.
+                let fu_ok = match class {
+                    InstClass::IntAlu
+                    | InstClass::Branch
+                    | InstClass::Jump
+                    | InstClass::Call
+                    | InstClass::Return
+                    | InstClass::Nop
+                    | InstClass::SandboxMarker
+                    | InstClass::Syscall
+                    | InstClass::Barrier
+                    | InstClass::Halt => int_used < self.pipeline.int_alus,
+                    InstClass::FpAlu => fp_used < self.pipeline.fp_alus,
+                    InstClass::MulDiv => muldiv_used < self.pipeline.mul_div_units,
+                    InstClass::Load | InstClass::Store | InstClass::Atomic => mem_ports_used < 4,
+                };
+                if !fu_ok {
+                    continue;
+                }
+                if self.try_issue_at(idx, now, mem) {
+                    issued += 1;
+                    match class {
+                        InstClass::FpAlu => fp_used += 1,
+                        InstClass::MulDiv => muldiv_used += 1,
+                        InstClass::Load | InstClass::Store | InstClass::Atomic => {
+                            mem_ports_used += 1
+                        }
+                        _ => int_used += 1,
+                    }
+                }
+            } else if matches!(status, Status::Executing(_)) && self.rob[idx].mem_retry {
+                // A previously delayed memory access: retry it (the memory
+                // model re-evaluates its condition; at the head it is
+                // non-speculative and must succeed).
+                if self.try_issue_at(idx, now, mem) {
+                    issued += 1;
+                    mem_ports_used += 1;
+                }
+            }
+        }
+    }
+
+    /// Attempts to execute the entry at ROB index `idx`. Returns whether it
+    /// started (or completed) execution this cycle.
+    fn try_issue_at(&mut self, idx: usize, now: Cycle, mem: &mut dyn MemoryModel) -> bool {
+        let inst = self.rob[idx].inst;
+        let class = inst.class();
+
+        // Serialising instructions and atomics execute only at the ROB head.
+        if (inst.is_serialising() || matches!(class, InstClass::Atomic)) && idx != 0 {
+            return false;
+        }
+        // A cycle-counter read waits until every older instruction has
+        // finished so it observes an accurate time (like lfence; rdtsc).
+        if matches!(inst, Instruction::ReadCycle { .. })
+            && self.rob.iter().take(idx).any(|e| !e.is_done())
+        {
+            return false;
+        }
+
+        // Gather operand values from the ROB (youngest older producer) or the
+        // architectural register file.
+        let mut operands = Vec::new();
+        for src in inst.sources() {
+            match self.operand_value(idx, src) {
+                Some(v) => operands.push(v),
+                None => return false,
+            }
+        }
+
+        match class {
+            InstClass::Load | InstClass::Store | InstClass::Atomic => {
+                self.issue_memory(idx, now, mem, &operands)
+            }
+            _ => {
+                self.issue_non_memory(idx, now, &operands);
+                true
+            }
+        }
+    }
+
+    fn issue_non_memory(&mut self, idx: usize, now: Cycle, operands: &[u64]) {
+        let entry = &mut self.rob[idx];
+        let latency = entry.inst.exec_latency();
+        let mut result = None;
+        let mut actual_next = entry.pc + 1;
+        match entry.inst {
+            Instruction::AluReg { op, .. } => result = Some(eval_alu(op, operands[0], operands[1])),
+            Instruction::AluImm { op, imm, .. } => {
+                result = Some(eval_alu(op, operands[0], imm as u64))
+            }
+            Instruction::LoadImm { imm, .. } => result = Some(imm),
+            Instruction::Fpu { op, .. } => result = Some(eval_fpu(op, operands[0], operands[1])),
+            Instruction::Branch { cond, target, .. } => {
+                let taken = eval_branch(cond, operands[0], operands[1]);
+                actual_next = if taken { target } else { entry.pc + 1 };
+            }
+            Instruction::Jump { target } => actual_next = target,
+            Instruction::JumpIndirect { offset, .. } => {
+                actual_next = operands[0].wrapping_add(offset as u64) as usize;
+            }
+            Instruction::Call { target, .. } => {
+                result = Some((entry.pc + 1) as u64);
+                actual_next = target;
+            }
+            Instruction::Return { .. } => actual_next = operands[0] as usize,
+            Instruction::ReadCycle { .. } => result = Some(now.raw()),
+            _ => {}
+        }
+        entry.result = result;
+        entry.actual_next = actual_next;
+        entry.status = Status::Executing(now.saturating_add(latency));
+    }
+
+    fn issue_memory(
+        &mut self,
+        idx: usize,
+        now: Cycle,
+        mem: &mut dyn MemoryModel,
+        operands: &[u64],
+    ) -> bool {
+        let inst = self.rob[idx].inst;
+        // Compute the effective address and (for stores) the data value.
+        let (addr, data) = match inst {
+            Instruction::Load { offset, .. } => {
+                (VirtAddr::new(operands[0].wrapping_add(offset as u64)), None)
+            }
+            Instruction::Store { offset, .. } => {
+                (VirtAddr::new(operands[1].wrapping_add(offset as u64)), Some(operands[0]))
+            }
+            Instruction::AtomicSwap { .. } | Instruction::AtomicAdd { .. } => {
+                (VirtAddr::new(operands[1]), Some(operands[0]))
+            }
+            _ => unreachable!("issue_memory called for non-memory instruction"),
+        };
+
+        // Memory disambiguation: a load may not issue past an older store
+        // whose address is unknown; if an older store to the same address has
+        // its data, forward it.
+        let is_load = matches!(inst.class(), InstClass::Load | InstClass::Atomic);
+        let mut forwarded_value = None;
+        if is_load {
+            for older in (0..idx).rev() {
+                if !self.rob[older].is_store() {
+                    continue;
+                }
+                match self.rob[older].mem_addr {
+                    None => return false, // unknown older store address: wait
+                    Some(a) if a == addr => {
+                        forwarded_value = self.rob[older].store_data;
+                        break;
+                    }
+                    Some(_) => continue,
+                }
+            }
+        }
+
+        let under_unresolved_branch = self.has_older_unresolved_branch(idx);
+        let (ts, tf) = if mem.needs_taint_tracking() {
+            self.address_taint(idx)
+        } else {
+            (false, false)
+        };
+        let speculative = idx != 0;
+        let pc_vaddr = self.pc_addr(self.rob[idx].pc);
+
+        let entry = &mut self.rob[idx];
+        entry.mem_addr = Some(addr);
+        entry.store_data = data;
+
+        match inst.class() {
+            InstClass::Store => {
+                // Stores execute (compute address/data) without touching the
+                // cache; the write happens at commit. Tell the memory model so
+                // it can prefetch the line in shared state if it wants.
+                let ctx = MemAccessCtx {
+                    core: self.core_id,
+                    vaddr: addr,
+                    pc: pc_vaddr,
+                    when: now,
+                    speculative,
+                    is_store: true,
+                    under_unresolved_branch,
+                    addr_tainted_spectre: ts,
+                    addr_tainted_future: tf,
+                };
+                entry.status = Status::Executing(now.saturating_add(1));
+                entry.actual_next = entry.pc + 1;
+                mem.store_address_ready(&ctx);
+                true
+            }
+            InstClass::Load | InstClass::Atomic => {
+                let pc_addr = pc_vaddr;
+                let is_atomic = matches!(inst.class(), InstClass::Atomic);
+                if let Some(value) = forwarded_value {
+                    // Store-to-load forwarding: 1-cycle, no cache access.
+                    let entry = &mut self.rob[idx];
+                    entry.result = Some(value);
+                    entry.forwarded = true;
+                    entry.actual_next = entry.pc + 1;
+                    entry.status = Status::Executing(now.saturating_add(1));
+                    return true;
+                }
+                let ctx = MemAccessCtx {
+                    core: self.core_id,
+                    vaddr: addr,
+                    pc: pc_addr,
+                    when: now,
+                    speculative,
+                    is_store: is_atomic,
+                    under_unresolved_branch,
+                    addr_tainted_spectre: ts,
+                    addr_tainted_future: tf,
+                };
+                match mem.load(&ctx) {
+                    MemOutcome::Done { latency } => {
+                        // Functional read happens now (execute-at-issue).
+                        let thread = self.thread.as_ref().expect("running thread");
+                        let width = match inst {
+                            Instruction::Load { width, .. } => width,
+                            _ => MemWidth::Double,
+                        };
+                        let loaded = thread.memory.borrow().read(addr, width);
+                        let entry = &mut self.rob[idx];
+                        entry.result = Some(loaded);
+                        entry.actual_next = entry.pc + 1;
+                        entry.mem_retry = false;
+                        entry.status = Status::Executing(now.saturating_add(latency.max(1)));
+                        // Atomics perform their read-modify-write functionally
+                        // at execute time; they only run at the ROB head, so
+                        // this is never speculative.
+                        if is_atomic {
+                            let thread = self.thread.as_ref().expect("running thread");
+                            let new_value = match inst {
+                                Instruction::AtomicSwap { .. } => data.unwrap_or(0),
+                                Instruction::AtomicAdd { .. } => {
+                                    loaded.wrapping_add(data.unwrap_or(0))
+                                }
+                                _ => unreachable!(),
+                            };
+                            thread.memory.borrow_mut().write(addr, new_value, MemWidth::Double);
+                            let entry = &mut self.rob[idx];
+                            entry.store_data = Some(new_value);
+                        }
+                        true
+                    }
+                    MemOutcome::RetryWhenNonSpeculative => {
+                        self.stats.mem_retries += 1;
+                        let entry = &mut self.rob[idx];
+                        entry.mem_retry = true;
+                        // Park the entry; it stays "executing" far in the
+                        // future and is retried by the issue stage.
+                        entry.status = Status::Executing(Cycle::NEVER);
+                        entry.actual_next = entry.pc + 1;
+                        true
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Looks up the value of `reg` as seen by the entry at ROB index `idx`:
+    /// the youngest older producer's result, or the architectural register.
+    /// Returns `None` if the producing instruction has not finished.
+    fn operand_value(&self, idx: usize, reg: Reg) -> Option<u64> {
+        if reg.is_zero() {
+            return Some(0);
+        }
+        for older in (0..idx).rev() {
+            if self.rob[older].inst.dest() == Some(reg) {
+                return if self.rob[older].is_done()
+                    || matches!(self.rob[older].status, Status::Executing(c) if c != Cycle::NEVER)
+                {
+                    // Execute-at-issue: results exist as soon as the producer
+                    // starts executing, but consumers still wait for the
+                    // producer's latency through the `Executing` status check
+                    // below. To model the dependency correctly we only forward
+                    // once the producer is Done.
+                    if self.rob[older].is_done() {
+                        self.rob[older].result
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+            }
+        }
+        let thread = self.thread.as_ref()?;
+        Some(thread.regs.read(reg))
+    }
+
+    /// Computes the taint of entry `idx`'s address operands for speculative
+    /// taint tracking (STT): whether any value feeding the address was
+    /// produced by an in-flight load that is still "unsafe".
+    ///
+    /// A source load is unsafe under the *Spectre* attack model while it has
+    /// an older unresolved conditional branch, and under the *Futuristic*
+    /// model while any older instruction remains in the reorder buffer at all
+    /// (conservatively, the load can be squashed — by an interrupt, fault or
+    /// ordering violation of anything older — until it reaches the head).
+    /// Taint is recomputed every time the access is (re)tried, so it naturally
+    /// clears when the source load becomes safe — which is exactly when STT
+    /// un-blocks the dependent transmitter.
+    fn address_taint(&self, idx: usize) -> (bool, bool) {
+        let mut spectre = false;
+        let mut future = false;
+        let mut visited = vec![false; idx];
+        let mut worklist: Vec<usize> = Vec::new();
+
+        let seed = |reg: Reg, worklist: &mut Vec<usize>| {
+            if reg.is_zero() {
+                return;
+            }
+            for older in (0..idx).rev() {
+                if self.rob[older].inst.dest() == Some(reg) {
+                    worklist.push(older);
+                    break;
+                }
+            }
+        };
+        for src in self.rob[idx].inst.sources() {
+            seed(src, &mut worklist);
+        }
+
+        while let Some(producer) = worklist.pop() {
+            if visited[producer] {
+                continue;
+            }
+            visited[producer] = true;
+            if self.rob[producer].is_load() {
+                if self.has_older_unresolved_branch(producer) {
+                    spectre = true;
+                }
+                if producer > 0 {
+                    future = true;
+                }
+            }
+            // Follow the producer's own operands further up the chain.
+            for src in self.rob[producer].inst.sources() {
+                if src.is_zero() {
+                    continue;
+                }
+                for older in (0..producer).rev() {
+                    if self.rob[older].inst.dest() == Some(src) {
+                        if !visited[older] {
+                            worklist.push(older);
+                        }
+                        break;
+                    }
+                }
+            }
+            if spectre && future {
+                break;
+            }
+        }
+        (spectre, future)
+    }
+
+    /// Whether any conditional branch older than ROB index `idx` has not yet
+    /// resolved (finished executing).
+    fn has_older_unresolved_branch(&self, idx: usize) -> bool {
+        self.rob.iter().take(idx).any(|e| e.is_branch() && !e.is_done())
+    }
+
+    // ------------------------------------------------------------------
+    // fetch / dispatch
+    // ------------------------------------------------------------------
+
+    fn fetch_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) {
+        if self.fetch_halted || now < self.fetch_stalled_until {
+            return;
+        }
+        let line_bytes = 64;
+        for _ in 0..self.pipeline.width {
+            if self.rob.len() >= self.pipeline.rob_entries {
+                break;
+            }
+            let loads_in_flight = self.rob.iter().filter(|e| e.is_load()).count();
+            let stores_in_flight = self.rob.iter().filter(|e| e.is_store()).count();
+            let Some(thread) = self.thread.as_ref() else { break };
+            let Some(inst) = thread.program.fetch(self.fetch_pc) else {
+                self.fetch_halted = true;
+                break;
+            };
+            if inst.class().is_memory() {
+                if matches!(inst.class(), InstClass::Load | InstClass::Atomic)
+                    && loads_in_flight >= self.pipeline.lq_entries
+                {
+                    break;
+                }
+                if matches!(inst.class(), InstClass::Store | InstClass::Atomic)
+                    && stores_in_flight >= self.pipeline.sq_entries
+                {
+                    break;
+                }
+            }
+
+            // Instruction-cache timing, charged once per new line.
+            let fetch_addr = thread.program.inst_addr(self.fetch_pc);
+            let fetch_line = fetch_addr.raw() / line_bytes;
+            if self.last_fetch_line != Some(fetch_line) {
+                let ctx = MemAccessCtx {
+                    core: self.core_id,
+                    vaddr: fetch_addr,
+                    pc: fetch_addr,
+                    when: now,
+                    speculative: !self.rob.is_empty(),
+                    is_store: false,
+                    under_unresolved_branch: self.has_older_unresolved_branch(self.rob.len()),
+                    addr_tainted_spectre: false,
+                    addr_tainted_future: false,
+                };
+                let latency = match mem.fetch_instruction(&ctx) {
+                    MemOutcome::Done { latency } => latency,
+                    MemOutcome::RetryWhenNonSpeculative => 1,
+                };
+                self.last_fetch_line = Some(fetch_line);
+                if latency > 1 {
+                    self.fetch_stalled_until = now.saturating_add(latency);
+                    break;
+                }
+            }
+
+            // Branch prediction decides the next fetch PC.
+            let pc = self.fetch_pc;
+            let pc_vaddr = self.pc_addr(pc);
+            let (predicted_next, predicted_taken) = match inst {
+                Instruction::Branch { target, .. } => {
+                    let taken = self.predictor.predict_direction(pc_vaddr);
+                    (if taken { target } else { pc + 1 }, taken)
+                }
+                Instruction::Jump { target } => (target, true),
+                Instruction::JumpIndirect { .. } => {
+                    let target = self
+                        .predictor
+                        .predict_indirect_target(pc_vaddr)
+                        .unwrap_or(pc + 1);
+                    (target, true)
+                }
+                Instruction::Call { target, .. } => {
+                    self.predictor.push_return(pc + 1);
+                    (target, true)
+                }
+                Instruction::Return { .. } => {
+                    let target = self
+                        .predictor
+                        .predict_return()
+                        .or_else(|| self.predictor.predict_indirect_target(pc_vaddr))
+                        .unwrap_or(pc + 1);
+                    (target, true)
+                }
+                Instruction::Halt => (pc + 1, false),
+                _ => (pc + 1, false),
+            };
+
+            let entry = RobEntry {
+                seq: self.next_seq,
+                pc,
+                inst,
+                status: Status::Waiting,
+                result: None,
+                mem_addr: None,
+                store_data: None,
+                mem_retry: false,
+                forwarded: false,
+                predicted_next,
+                predicted_taken,
+                actual_next: pc + 1,
+            };
+            self.next_seq += 1;
+            self.rob.push_back(entry);
+            self.fetch_pc = predicted_next;
+
+            if matches!(inst, Instruction::Halt) {
+                // Stop fetching past a halt on the speculative path.
+                self.fetch_halted = true;
+                break;
+            }
+        }
+    }
+
+    fn pc_addr(&self, pc: usize) -> VirtAddr {
+        match &self.thread {
+            Some(t) => t.program.inst_addr(pc),
+            None => VirtAddr::new(pc as u64 * INST_BYTES),
+        }
+    }
+}
+
+impl std::fmt::Debug for OooCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OooCore")
+            .field("core_id", &self.core_id)
+            .field("rob_occupancy", &self.rob.len())
+            .field("fetch_pc", &self.fetch_pc)
+            .field("halted", &self.halted)
+            .field("committed", &self.stats.committed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memmodel::FixedLatencyMemory;
+    use uarch_isa::interp::Interpreter;
+    use uarch_isa::prog::{Program, ProgramBuilder};
+    use uarch_isa::reg::Reg;
+
+    fn run_program(program: &Program) -> (OooCore, ThreadContext, u64) {
+        let cfg = SystemConfig::paper_default();
+        let mut core = OooCore::new(0, &cfg);
+        let mut mem = FixedLatencyMemory::default();
+        let thread = ThreadContext::new(program.clone(), 0);
+        let cycles = core
+            .run_to_halt(thread, &mut mem, 2_000_000)
+            .expect("program should halt");
+        let finished = core.swap_thread(None).expect("thread present");
+        (core, finished, cycles)
+    }
+
+    /// Runs a program on both the functional interpreter and the OoO core and
+    /// asserts the architectural register results match.
+    fn assert_matches_interpreter(program: &Program, regs_to_check: &[Reg]) {
+        let mut interp = Interpreter::new(program);
+        let golden = interp.run(5_000_000).expect("interpreter halts");
+        let (_, finished, _) = run_program(program);
+        for reg in regs_to_check {
+            assert_eq!(
+                finished.regs.read(*reg),
+                golden.regs.read(*reg),
+                "architectural mismatch in {reg}"
+            );
+        }
+    }
+
+    #[test]
+    fn straight_line_arithmetic_matches_interpreter() {
+        let mut b = ProgramBuilder::new("alu");
+        b.li(Reg::X1, 10);
+        b.li(Reg::X2, 3);
+        b.mul(Reg::X3, Reg::X1, Reg::X2);
+        b.sub(Reg::X4, Reg::X3, Reg::X2);
+        b.addi(Reg::X5, Reg::X4, 100);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_matches_interpreter(&p, &[Reg::X3, Reg::X4, Reg::X5]);
+    }
+
+    #[test]
+    fn loop_with_memory_matches_interpreter() {
+        // Sum an array of 32 values through loads in a loop.
+        let mut b = ProgramBuilder::new("sum-array");
+        let values: Vec<u64> = (0..32).map(|i| i * 7 + 1).collect();
+        b.data_u64(VirtAddr::new(0x1_0000), &values);
+        let top = b.new_label();
+        b.li(Reg::X1, 0x1_0000); // base
+        b.li(Reg::X2, 0); // index
+        b.li(Reg::X3, 0); // sum
+        b.bind_label(top);
+        b.shli(Reg::X4, Reg::X2, 3);
+        b.add(Reg::X4, Reg::X1, Reg::X4);
+        b.load(Reg::X5, Reg::X4, 0);
+        b.add(Reg::X3, Reg::X3, Reg::X5);
+        b.addi(Reg::X2, Reg::X2, 1);
+        b.blt_imm(Reg::X2, 32, top);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_matches_interpreter(&p, &[Reg::X3]);
+        let (_, finished, _) = run_program(&p);
+        assert_eq!(finished.regs.read(Reg::X3), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn stores_then_loads_round_trip() {
+        let mut b = ProgramBuilder::new("store-load");
+        b.li(Reg::X1, 0x2_0000);
+        b.li(Reg::X2, 1234);
+        b.store(Reg::X2, Reg::X1, 0);
+        b.load(Reg::X3, Reg::X1, 0);
+        b.addi(Reg::X3, Reg::X3, 1);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_matches_interpreter(&p, &[Reg::X3]);
+        let (_, finished, _) = run_program(&p);
+        assert_eq!(finished.regs.read(Reg::X3), 1235);
+    }
+
+    #[test]
+    fn calls_and_returns_match_interpreter() {
+        let mut b = ProgramBuilder::new("calls");
+        let func = b.new_label();
+        let done = b.new_label();
+        b.li(Reg::X1, 1);
+        b.call(func, Reg::X30);
+        b.call(func, Reg::X30);
+        b.jump(done);
+        b.bind_label(func);
+        b.shli(Reg::X1, Reg::X1, 2);
+        b.ret(Reg::X30);
+        b.bind_label(done);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_matches_interpreter(&p, &[Reg::X1]);
+    }
+
+    #[test]
+    fn data_dependent_branches_match_interpreter() {
+        // A loop whose branch direction depends on loaded data, with an
+        // irregular pattern so mispredictions occur.
+        let mut b = ProgramBuilder::new("branchy");
+        let values: Vec<u64> = (0..64).map(|i| (i * 2654435761u64) % 7).collect();
+        b.data_u64(VirtAddr::new(0x3_0000), &values);
+        let top = b.new_label();
+        let skip = b.new_label();
+        b.li(Reg::X1, 0x3_0000);
+        b.li(Reg::X2, 0);
+        b.li(Reg::X3, 0);
+        b.bind_label(top);
+        b.shli(Reg::X4, Reg::X2, 3);
+        b.add(Reg::X4, Reg::X1, Reg::X4);
+        b.load(Reg::X5, Reg::X4, 0);
+        b.li(Reg::X6, 3);
+        b.blt(Reg::X5, Reg::X6, skip);
+        b.addi(Reg::X3, Reg::X3, 1);
+        b.bind_label(skip);
+        b.addi(Reg::X2, Reg::X2, 1);
+        b.blt_imm(Reg::X2, 64, top);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_matches_interpreter(&p, &[Reg::X3]);
+        let (core, _, _) = run_program(&p);
+        assert!(core.stats().mispredictions > 0, "irregular branches should mispredict");
+        assert!(core.stats().squashed > 0, "mispredictions should squash wrong-path work");
+    }
+
+    #[test]
+    fn wrong_path_loads_reach_the_memory_model() {
+        // Train a branch not-taken, then make it taken once: the wrong-path
+        // load behind the mispredicted branch must reach the memory model and
+        // then be squashed.
+        let mut b = ProgramBuilder::new("wrong-path");
+        b.data_u64(VirtAddr::new(0x9000), &[0]);
+        let top = b.new_label();
+        let skip = b.new_label();
+        let after = b.new_label();
+        b.li(Reg::X1, 0);
+        b.li(Reg::X9, 0x9000);
+        b.bind_label(top);
+        // if X1 < 20 skip the "secret" load, else fall through to it.
+        b.li(Reg::X2, 20);
+        b.blt(Reg::X1, Reg::X2, skip);
+        b.load(Reg::X3, Reg::X9, 0); // executed speculatively when mispredicted
+        b.jump(after);
+        b.bind_label(skip);
+        b.nop();
+        b.bind_label(after);
+        b.addi(Reg::X1, Reg::X1, 1);
+        b.blt_imm(Reg::X1, 24, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let (core, _, _) = run_program(&p);
+        assert!(core.stats().mispredictions > 0);
+        // The functional result is unaffected by wrong-path execution.
+        assert_matches_interpreter(&p, &[Reg::X1, Reg::X3]);
+    }
+
+    #[test]
+    fn rdcycle_reads_increase_monotonically() {
+        let mut b = ProgramBuilder::new("rdcycle");
+        b.rdcycle(Reg::X1);
+        b.li(Reg::X5, 0x4_0000);
+        b.load(Reg::X6, Reg::X5, 0);
+        b.add(Reg::X7, Reg::X6, Reg::X6);
+        b.rdcycle(Reg::X2);
+        b.sub(Reg::X3, Reg::X2, Reg::X1);
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, finished, _) = run_program(&p);
+        let delta = finished.regs.read(Reg::X3);
+        assert!(delta > 0, "the second rdcycle must observe later time than the first");
+        assert!((delta as i64) > 0);
+    }
+
+    #[test]
+    fn atomics_are_executed_at_the_head_and_update_memory() {
+        let mut b = ProgramBuilder::new("atomic");
+        b.data_u64(VirtAddr::new(0x5000), &[10]);
+        b.li(Reg::X1, 0x5000);
+        b.li(Reg::X2, 5);
+        b.amoadd(Reg::X3, Reg::X2, Reg::X1);
+        b.load(Reg::X4, Reg::X1, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_matches_interpreter(&p, &[Reg::X3, Reg::X4]);
+        let (_, finished, _) = run_program(&p);
+        assert_eq!(finished.regs.read(Reg::X3), 10);
+        assert_eq!(finished.regs.read(Reg::X4), 15);
+    }
+
+    #[test]
+    fn spec_barrier_and_syscall_programs_complete() {
+        let mut b = ProgramBuilder::new("serialising");
+        b.li(Reg::X1, 1);
+        b.spec_barrier();
+        b.addi(Reg::X1, Reg::X1, 1);
+        b.syscall(7);
+        b.addi(Reg::X1, Reg::X1, 1);
+        b.sandbox_enter();
+        b.addi(Reg::X1, Reg::X1, 1);
+        b.sandbox_exit();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_matches_interpreter(&p, &[Reg::X1]);
+    }
+
+    #[test]
+    fn core_reports_committed_events() {
+        let mut b = ProgramBuilder::new("events");
+        b.syscall(3);
+        b.sandbox_enter();
+        b.sandbox_exit();
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = SystemConfig::paper_default();
+        let mut core = OooCore::new(0, &cfg);
+        let mut mem = FixedLatencyMemory::default();
+        core.swap_thread(Some(ThreadContext::new(p, 0)));
+        let mut seen = Vec::new();
+        let mut now = Cycle::ZERO;
+        while !core.is_halted() && now.raw() < 10_000 {
+            seen.extend(core.tick(now, &mut mem));
+            now += 1;
+        }
+        assert_eq!(
+            seen,
+            vec![
+                CoreEvent::Syscall(3),
+                CoreEvent::SandboxEnter,
+                CoreEvent::SandboxExit,
+                CoreEvent::Halted
+            ]
+        );
+    }
+
+    #[test]
+    fn ipc_is_positive_and_bounded_by_width() {
+        let mut b = ProgramBuilder::new("ipc");
+        let top = b.new_label();
+        b.li(Reg::X1, 0);
+        b.bind_label(top);
+        for _ in 0..8 {
+            b.addi(Reg::X2, Reg::X2, 1);
+        }
+        b.addi(Reg::X1, Reg::X1, 1);
+        b.blt_imm(Reg::X1, 200, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let (core, _, _) = run_program(&p);
+        let ipc = core.stats().ipc();
+        assert!(ipc > 0.5, "simple ALU loop should achieve reasonable IPC, got {ipc}");
+        assert!(ipc <= 8.0, "IPC cannot exceed the commit width");
+    }
+
+    #[test]
+    fn swap_thread_preserves_architectural_state() {
+        let mut b = ProgramBuilder::new("first");
+        b.li(Reg::X1, 77);
+        b.halt();
+        let p1 = b.build().unwrap();
+        let cfg = SystemConfig::paper_default();
+        let mut core = OooCore::new(0, &cfg);
+        let mut mem = FixedLatencyMemory::default();
+        core.swap_thread(Some(ThreadContext::new(p1, 0)));
+        let mut now = Cycle::ZERO;
+        while !core.is_halted() && now.raw() < 10_000 {
+            core.tick(now, &mut mem);
+            now += 1;
+        }
+        let saved = core.swap_thread(None).expect("context returned");
+        assert_eq!(saved.regs.read(Reg::X1), 77);
+        assert!(saved.halted);
+        assert!(core.is_halted());
+    }
+
+    #[test]
+    fn run_to_halt_times_out_on_infinite_loops() {
+        let mut b = ProgramBuilder::new("spin");
+        let top = b.here();
+        b.jump(top);
+        let p = b.build().unwrap();
+        let cfg = SystemConfig::paper_default();
+        let mut core = OooCore::new(0, &cfg);
+        let mut mem = FixedLatencyMemory::default();
+        let result = core.run_to_halt(ThreadContext::new(p, 0), &mut mem, 5_000);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn stats_convert_to_stat_set() {
+        let mut b = ProgramBuilder::new("stats");
+        b.li(Reg::X1, 1);
+        b.halt();
+        let p = b.build().unwrap();
+        let (core, _, _) = run_program(&p);
+        let set = core.stats().to_stat_set("core0");
+        assert!(set.counter("core0.committed") >= 2);
+        assert!(set.scalar("core0.ipc").is_some());
+    }
+}

@@ -1,0 +1,30 @@
+//! Events the core reports to the system layer.
+
+/// An architecturally visible event produced when an instruction commits.
+///
+/// The core itself gives these no semantics beyond reporting them; the OS
+/// model in `simsys` reacts (performing domain switches, scheduling, halting
+/// threads) and invokes the memory model's domain-switch hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreEvent {
+    /// A syscall instruction committed with the given code.
+    Syscall(u16),
+    /// A sandbox-entry marker committed.
+    SandboxEnter,
+    /// A sandbox-exit marker committed.
+    SandboxExit,
+    /// The running thread halted.
+    Halted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable() {
+        assert_eq!(CoreEvent::Syscall(3), CoreEvent::Syscall(3));
+        assert_ne!(CoreEvent::Syscall(3), CoreEvent::Syscall(4));
+        assert_ne!(CoreEvent::SandboxEnter, CoreEvent::SandboxExit);
+    }
+}

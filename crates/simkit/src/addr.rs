@@ -1,0 +1,203 @@
+//! Address newtypes and cache-line arithmetic.
+//!
+//! The simulator distinguishes virtual addresses (what the core issues) from
+//! physical addresses (what the memory hierarchy is indexed by), because the
+//! MuonTrap filter cache is virtually indexed from the CPU side and physically
+//! indexed from the memory side (§4.4 of the paper). [`LineAddr`] identifies a
+//! cache line within the physical address space.
+
+use std::fmt;
+
+/// A virtual address as issued by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A physical address after translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+/// A physical cache-line number (physical address divided by the line size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from its raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Returns the raw numeric value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Self {
+        VirtAddr(self.0.wrapping_add(bytes))
+    }
+
+    /// Returns the virtual page number for a given page size.
+    ///
+    /// # Panics
+    /// Panics if `page_bytes` is not a power of two.
+    #[inline]
+    pub fn page_number(self, page_bytes: u64) -> u64 {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        self.0 / page_bytes
+    }
+
+    /// Returns the offset of this address within its page.
+    #[inline]
+    pub fn page_offset(self, page_bytes: u64) -> u64 {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        self.0 & (page_bytes - 1)
+    }
+}
+
+impl PhysAddr {
+    /// Creates a physical address from its raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw numeric value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Self {
+        PhysAddr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl LineAddr {
+    /// Creates a line address directly from a line number.
+    #[inline]
+    pub const fn new(line_number: u64) -> Self {
+        LineAddr(line_number)
+    }
+
+    /// Computes the line containing physical address `pa` for `line_bytes`-byte lines.
+    ///
+    /// # Panics
+    /// Panics if `line_bytes` is not a power of two.
+    #[inline]
+    pub fn from_phys(pa: PhysAddr, line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        LineAddr(pa.0 / line_bytes)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical address of the first byte of the line.
+    #[inline]
+    pub const fn base(self, line_bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 * line_bytes)
+    }
+
+    /// Returns the line `n` lines after this one.
+    #[inline]
+    pub const fn next(self, n: u64) -> Self {
+        LineAddr(self.0.wrapping_add(n))
+    }
+
+    /// Returns the set index within a cache of `num_sets` sets.
+    ///
+    /// # Panics
+    /// Panics if `num_sets` is zero.
+    #[inline]
+    pub fn set_index(self, num_sets: usize) -> usize {
+        assert!(num_sets > 0, "cache must have at least one set");
+        (self.0 % num_sets as u64) as usize
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_from_phys_truncates_offset() {
+        let pa = PhysAddr::new(0x1043);
+        let line = LineAddr::from_phys(pa, 64);
+        assert_eq!(line.raw(), 0x1043 / 64);
+        assert_eq!(line.base(64).raw(), 0x1040);
+    }
+
+    #[test]
+    fn page_number_and_offset_partition_address() {
+        let va = VirtAddr::new(0xdead_beef);
+        let page = va.page_number(4096);
+        let off = va.page_offset(4096);
+        assert_eq!(page * 4096 + off, 0xdead_beef);
+    }
+
+    #[test]
+    fn set_index_stays_in_range() {
+        for l in 0..1000u64 {
+            let idx = LineAddr::new(l).set_index(8);
+            assert!(idx < 8);
+        }
+    }
+
+    #[test]
+    fn offsets_advance_addresses() {
+        assert_eq!(VirtAddr::new(16).offset(48).raw(), 64);
+        assert_eq!(PhysAddr::new(16).offset(48).raw(), 64);
+        assert_eq!(LineAddr::new(3).next(2).raw(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_line_size_panics() {
+        let _ = LineAddr::from_phys(PhysAddr::new(0), 48);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", VirtAddr::new(1)).is_empty());
+        assert!(!format!("{}", PhysAddr::new(1)).is_empty());
+        assert!(!format!("{}", LineAddr::new(1)).is_empty());
+    }
+}

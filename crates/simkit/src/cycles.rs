@@ -1,0 +1,116 @@
+//! Cycle counting.
+//!
+//! The whole simulator is expressed in core clock cycles. [`Cycle`] is a thin
+//! newtype over `u64` so latencies and absolute times cannot be confused with
+//! other integers, and so saturating arithmetic is applied consistently.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulation time or a duration, in core clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Cycle zero — the beginning of simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// A value used for "never happens": effectively infinite.
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a number of cycles.
+    #[inline]
+    pub const fn saturating_add(self, delta: u64) -> Self {
+        Cycle(self.0.saturating_add(delta))
+    }
+
+    /// Returns the number of cycles from `earlier` until `self`, or zero if
+    /// `earlier` is later.
+    #[inline]
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Returns the maximum of two cycle values.
+    #[inline]
+    pub fn max_of(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Cycle::NEVER + 1, Cycle::NEVER);
+        assert_eq!(Cycle::ZERO.since(Cycle::new(5)), 0);
+        assert_eq!(Cycle::new(10) - Cycle::new(3), 7);
+        assert_eq!(Cycle::new(3) - Cycle::new(10), 0);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut c = Cycle::ZERO;
+        c += 5;
+        c += 7;
+        assert_eq!(c.raw(), 12);
+    }
+
+    #[test]
+    fn max_of_picks_later() {
+        assert_eq!(Cycle::new(4).max_of(Cycle::new(9)), Cycle::new(9));
+        assert_eq!(Cycle::new(9).max_of(Cycle::new(4)), Cycle::new(9));
+    }
+}

@@ -1,0 +1,35 @@
+//! Foundational simulation substrate for the MuonTrap reproduction.
+//!
+//! This crate provides the pieces every other crate in the workspace builds on:
+//!
+//! * [`addr`] — physical/virtual address newtypes and cache-line arithmetic,
+//! * [`config`] — the system configuration mirroring Table 1 of the paper,
+//! * [`stats`] — counters, histograms and derived statistics,
+//! * [`rng`] — a small deterministic xorshift RNG used where reproducibility
+//!   matters more than statistical quality,
+//! * [`cycles`] — the `Cycle` newtype and simple clock bookkeeping.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::config::SystemConfig;
+//! use simkit::addr::{PhysAddr, LineAddr};
+//!
+//! let cfg = SystemConfig::paper_default();
+//! assert_eq!(cfg.cores, 4);
+//! let pa = PhysAddr::new(0x1_2345);
+//! let line = LineAddr::from_phys(pa, cfg.line_bytes);
+//! assert_eq!(line.base(cfg.line_bytes).raw(), 0x1_2340);
+//! ```
+
+pub mod addr;
+pub mod config;
+pub mod cycles;
+pub mod rng;
+pub mod stats;
+
+pub use addr::{LineAddr, PhysAddr, VirtAddr};
+pub use config::SystemConfig;
+pub use cycles::Cycle;
+pub use rng::SimRng;
+pub use stats::{Histogram, StatSet};

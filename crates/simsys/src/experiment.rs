@@ -1,0 +1,182 @@
+//! The experiment runner used by every figure harness.
+//!
+//! The paper's figures all have the same shape: run a workload under several
+//! memory-system configurations and report execution time normalised to the
+//! unprotected baseline. This module provides exactly that, plus parameter
+//! sweeps (filter-cache size/associativity for figures 5 and 6) and access to
+//! raw statistics (invalidation-broadcast rates for figure 7).
+
+use simkit::config::SystemConfig;
+use simkit::stats::StatSet;
+
+use defenses::{build_defense, DefenseKind};
+use workloads::Workload;
+
+use crate::system::System;
+
+/// Result of running one workload under one configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Workload name.
+    pub workload: String,
+    /// Defense label.
+    pub defense: String,
+    /// Simulated cycles to completion.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Whether the run finished within its cycle budget.
+    pub completed: bool,
+    /// All statistics collected from the cores and the memory model.
+    pub stats: StatSet,
+}
+
+impl ExperimentResult {
+    /// Instructions per cycle for this run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Runs `workload` under `kind` on a machine described by `config`.
+pub fn run_workload(workload: &Workload, kind: DefenseKind, config: &SystemConfig) -> ExperimentResult {
+    let memory_model = build_defense(kind, config);
+    let mut system = System::new(config, memory_model);
+    system.load_workload(&workload.thread_programs, workload.shared_memory);
+    let report = system.run(workload.cycle_budget);
+    ExperimentResult {
+        workload: workload.name.clone(),
+        defense: kind.label().to_string(),
+        cycles: report.cycles,
+        committed: report.committed,
+        completed: report.completed,
+        stats: report.stats,
+    }
+}
+
+/// Runs `workload` under `kind` and under the unprotected baseline, returning
+/// execution time normalised to the baseline (1.0 = identical, >1.0 = slower,
+/// <1.0 = faster). This is the y-axis of figures 3, 4, 5, 6, 8 and 9.
+pub fn normalized_time(workload: &Workload, kind: DefenseKind, config: &SystemConfig) -> f64 {
+    let baseline = run_workload(workload, DefenseKind::Unprotected, config);
+    let protected = run_workload(workload, kind, config);
+    if baseline.cycles == 0 {
+        return 1.0;
+    }
+    protected.cycles as f64 / baseline.cycles as f64
+}
+
+/// Runs `workload` under every configuration in `kinds` and returns
+/// `(label, normalised execution time)` pairs, sharing one baseline run.
+pub fn normalized_times(
+    workload: &Workload,
+    kinds: &[DefenseKind],
+    config: &SystemConfig,
+) -> Vec<(String, f64)> {
+    let baseline = run_workload(workload, DefenseKind::Unprotected, config);
+    kinds
+        .iter()
+        .map(|kind| {
+            let result = run_workload(workload, *kind, config);
+            let normalised = if baseline.cycles == 0 {
+                1.0
+            } else {
+                result.cycles as f64 / baseline.cycles as f64
+            };
+            (kind.label().to_string(), normalised)
+        })
+        .collect()
+}
+
+/// Returns a copy of `config` with the data filter cache resized to
+/// `size_bytes` bytes and `ways` ways (used by the figure 5/6 sweeps).
+pub fn with_filter_cache(config: &SystemConfig, size_bytes: u64, ways: usize) -> SystemConfig {
+    let mut cfg = config.clone();
+    cfg.data_filter = simkit::config::CacheConfig::new(
+        size_bytes,
+        ways,
+        cfg.data_filter.hit_latency,
+        cfg.data_filter.mshrs,
+    );
+    cfg
+}
+
+/// The write/invalidate-broadcast measurement behind figure 7: runs the
+/// workload under full MuonTrap and returns the fraction of committed stores
+/// that triggered a filter-cache invalidation broadcast.
+pub fn write_invalidate_rate(workload: &Workload, config: &SystemConfig) -> f64 {
+    let result = run_workload(workload, DefenseKind::MuonTrap, config);
+    let stores = result.stats.counter("muontrap.committed_stores");
+    let broadcasts = result.stats.counter("muontrap.store_upgrade_broadcasts");
+    if stores == 0 {
+        0.0
+    } else {
+        broadcasts as f64 / stores as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{parsec_suite, spec_suite, Scale};
+
+    fn quick_config() -> SystemConfig {
+        SystemConfig::small_test()
+    }
+
+    #[test]
+    fn run_workload_produces_complete_results() {
+        let w = &spec_suite(Scale::Tiny)[20]; // sjeng (branchy)
+        let r = run_workload(w, DefenseKind::MuonTrap, &quick_config());
+        assert!(r.completed);
+        assert!(r.cycles > 0);
+        assert!(r.ipc() > 0.0);
+        assert_eq!(r.defense, "muontrap");
+        assert_eq!(r.workload, "sjeng");
+    }
+
+    #[test]
+    fn normalized_time_is_close_to_one_for_muontrap() {
+        // MuonTrap's whole point: overheads stay small. On a tiny kernel we
+        // only sanity-check the ratio is in a plausible band.
+        let w = &spec_suite(Scale::Tiny)[4]; // calculix (compute bound)
+        let t = normalized_time(w, DefenseKind::MuonTrap, &quick_config());
+        assert!(t > 0.5 && t < 2.0, "normalised time {t} outside plausible band");
+    }
+
+    #[test]
+    fn normalized_times_shares_the_baseline() {
+        let w = &spec_suite(Scale::Tiny)[0];
+        let results = normalized_times(
+            w,
+            &[DefenseKind::MuonTrap, DefenseKind::SttSpectre],
+            &quick_config(),
+        );
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn filter_cache_sweep_produces_distinct_configs() {
+        let cfg = quick_config();
+        let small = with_filter_cache(&cfg, 64, 1);
+        let large = with_filter_cache(&cfg, 4096, 64);
+        assert_eq!(small.data_filter.size_bytes, 64);
+        assert_eq!(large.data_filter.size_bytes, 4096);
+        assert!(small.validate().is_ok());
+        assert!(large.validate().is_ok());
+    }
+
+    #[test]
+    fn write_invalidate_rate_is_a_fraction() {
+        let w = &parsec_suite(Scale::Tiny, 2)[3]; // fluidanimate (lock based)
+        let mut cfg = quick_config();
+        cfg.cores = 2;
+        let rate = write_invalidate_rate(w, &cfg);
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} must be a fraction");
+    }
+}

@@ -1,0 +1,550 @@
+//! Instruction definitions and their functional semantics.
+//!
+//! Instructions are plain Rust enums; there is no binary encoding because the
+//! simulator never needs one. Each instruction knows its source and destination
+//! registers, its execution class (which functional unit it needs) and its
+//! execution latency, and the pure ALU/branch evaluation functions live here so
+//! that the in-order interpreter and the out-of-order core share exactly the
+//! same semantics.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Set if less than (signed): produces 0 or 1.
+    Slt,
+    /// Set if less than (unsigned): produces 0 or 1.
+    Sltu,
+}
+
+/// Floating-point operations. Operands are reinterpreted as `f64` bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FpuOp {
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+}
+
+/// Conditional branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// Width of a memory access in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum MemWidth {
+    Byte,
+    Half,
+    Word,
+    Double,
+}
+
+impl MemWidth {
+    /// Number of bytes accessed.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+            MemWidth::Double => 8,
+        }
+    }
+}
+
+/// Class of an instruction: which functional unit it occupies and how the
+/// pipeline must treat it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum InstClass {
+    IntAlu,
+    MulDiv,
+    FpAlu,
+    Load,
+    Store,
+    Atomic,
+    Branch,
+    Jump,
+    Call,
+    Return,
+    Syscall,
+    Barrier,
+    SandboxMarker,
+    Halt,
+    Nop,
+}
+
+impl InstClass {
+    /// Whether instructions of this class access data memory.
+    pub const fn is_memory(self) -> bool {
+        matches!(self, InstClass::Load | InstClass::Store | InstClass::Atomic)
+    }
+
+    /// Whether instructions of this class change control flow.
+    pub const fn is_control(self) -> bool {
+        matches!(
+            self,
+            InstClass::Branch | InstClass::Jump | InstClass::Call | InstClass::Return
+        )
+    }
+}
+
+/// A µISA instruction. Branch and jump targets are instruction indices within
+/// the program (the program counter is an instruction index, not a byte
+/// address; the byte address used for instruction-cache modelling is derived
+/// from the index by the program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Does nothing.
+    Nop,
+    /// `rd <- rs1 op rs2`.
+    AluReg {
+        /// Operation to perform.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `rd <- rs1 op imm`.
+    AluImm {
+        /// Operation to perform.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// `rd <- imm` (load immediate).
+    LoadImm {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// Floating-point operation over register bit patterns.
+    Fpu {
+        /// Operation to perform.
+        op: FpuOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `rd <- mem[rs1 + offset]`.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `mem[base + offset] <- rs`.
+    Store {
+        /// Source (data) register.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Atomic swap: `rd <- mem[base]; mem[base] <- rs` (8-byte).
+    AtomicSwap {
+        /// Destination register receiving the old memory value.
+        rd: Reg,
+        /// Register whose value is stored.
+        rs: Reg,
+        /// Address register.
+        base: Reg,
+    },
+    /// Atomic add: `rd <- mem[base]; mem[base] <- rd + rs` (8-byte).
+    AtomicAdd {
+        /// Destination register receiving the old memory value.
+        rd: Reg,
+        /// Register added to memory.
+        rs: Reg,
+        /// Address register.
+        base: Reg,
+    },
+    /// Conditional branch to instruction index `target`.
+    Branch {
+        /// Condition evaluated over `rs1` and `rs2`.
+        cond: BranchCond,
+        /// First comparison register.
+        rs1: Reg,
+        /// Second comparison register.
+        rs2: Reg,
+        /// Target instruction index when the branch is taken.
+        target: usize,
+    },
+    /// Unconditional direct jump to instruction index `target`.
+    Jump {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Indirect jump to the instruction index held in `base` plus `offset`.
+    JumpIndirect {
+        /// Register holding the target instruction index.
+        base: Reg,
+        /// Constant added to the register value.
+        offset: i64,
+    },
+    /// Direct call: pushes the return index and jumps to `target`.
+    Call {
+        /// Target instruction index.
+        target: usize,
+        /// Register that receives the return instruction index (link register).
+        link: Reg,
+    },
+    /// Return: jumps to the instruction index in the link register.
+    Return {
+        /// Register holding the return instruction index.
+        link: Reg,
+    },
+    /// Reads the current cycle counter into `rd`. This is the timing primitive
+    /// attack code uses to observe the cache side channel.
+    ReadCycle {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// System call with a small immediate code; enters the kernel domain.
+    Syscall {
+        /// Syscall number (interpreted by the OS model in `simsys`).
+        code: u16,
+    },
+    /// Marks entry into a sandboxed region (e.g. untrusted JIT-ed code).
+    SandboxEnter,
+    /// Marks exit from a sandboxed region.
+    SandboxExit,
+    /// Speculation barrier: younger instructions may not execute until this
+    /// instruction is the oldest in the pipeline.
+    SpecBarrier,
+    /// Stops the hardware thread.
+    Halt,
+}
+
+impl Instruction {
+    /// Returns the instruction's class.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Instruction::Nop => InstClass::Nop,
+            Instruction::AluReg { op, .. } | Instruction::AluImm { op, .. } => match op {
+                AluOp::Mul | AluOp::Div | AluOp::Rem => InstClass::MulDiv,
+                _ => InstClass::IntAlu,
+            },
+            Instruction::LoadImm { .. } | Instruction::ReadCycle { .. } => InstClass::IntAlu,
+            Instruction::Fpu { .. } => InstClass::FpAlu,
+            Instruction::Load { .. } => InstClass::Load,
+            Instruction::Store { .. } => InstClass::Store,
+            Instruction::AtomicSwap { .. } | Instruction::AtomicAdd { .. } => InstClass::Atomic,
+            Instruction::Branch { .. } => InstClass::Branch,
+            Instruction::Jump { .. } | Instruction::JumpIndirect { .. } => InstClass::Jump,
+            Instruction::Call { .. } => InstClass::Call,
+            Instruction::Return { .. } => InstClass::Return,
+            Instruction::Syscall { .. } => InstClass::Syscall,
+            Instruction::SpecBarrier => InstClass::Barrier,
+            Instruction::SandboxEnter | Instruction::SandboxExit => InstClass::SandboxMarker,
+            Instruction::Halt => InstClass::Halt,
+        }
+    }
+
+    /// Execution latency in cycles once the instruction begins executing,
+    /// excluding any memory-hierarchy latency.
+    pub fn exec_latency(&self) -> u64 {
+        match self.class() {
+            InstClass::IntAlu | InstClass::Nop | InstClass::SandboxMarker => 1,
+            InstClass::MulDiv => match self {
+                Instruction::AluReg { op: AluOp::Mul, .. }
+                | Instruction::AluImm { op: AluOp::Mul, .. } => 3,
+                _ => 12,
+            },
+            InstClass::FpAlu => match self {
+                Instruction::Fpu { op: FpuOp::FDiv, .. } => 12,
+                _ => 4,
+            },
+            InstClass::Load | InstClass::Store | InstClass::Atomic => 1,
+            InstClass::Branch | InstClass::Jump | InstClass::Call | InstClass::Return => 1,
+            InstClass::Syscall | InstClass::Barrier | InstClass::Halt => 1,
+        }
+    }
+
+    /// Source registers read by this instruction (up to three).
+    pub fn sources(&self) -> Vec<Reg> {
+        match *self {
+            Instruction::AluReg { rs1, rs2, .. } | Instruction::Fpu { rs1, rs2, .. } => {
+                vec![rs1, rs2]
+            }
+            Instruction::AluImm { rs1, .. } => vec![rs1],
+            Instruction::Load { base, .. } => vec![base],
+            Instruction::Store { rs, base, .. } => vec![rs, base],
+            Instruction::AtomicSwap { rs, base, .. } | Instruction::AtomicAdd { rs, base, .. } => {
+                vec![rs, base]
+            }
+            Instruction::Branch { rs1, rs2, .. } => vec![rs1, rs2],
+            Instruction::JumpIndirect { base, .. } => vec![base],
+            Instruction::Return { link } => vec![link],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Destination register written by this instruction, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Instruction::AluReg { rd, .. }
+            | Instruction::AluImm { rd, .. }
+            | Instruction::LoadImm { rd, .. }
+            | Instruction::Fpu { rd, .. }
+            | Instruction::Load { rd, .. }
+            | Instruction::AtomicSwap { rd, .. }
+            | Instruction::AtomicAdd { rd, .. }
+            | Instruction::ReadCycle { rd, .. } => Some(rd),
+            Instruction::Call { link, .. } => Some(link),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction is a serialising point for speculation (the
+    /// pipeline must not execute younger instructions speculatively past it).
+    pub fn is_serialising(&self) -> bool {
+        matches!(
+            self,
+            Instruction::SpecBarrier
+                | Instruction::Syscall { .. }
+                | Instruction::SandboxEnter
+                | Instruction::SandboxExit
+                | Instruction::Halt
+        )
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Nop => write!(f, "nop"),
+            Instruction::AluReg { op, rd, rs1, rs2 } => write!(f, "{op:?} {rd}, {rs1}, {rs2}"),
+            Instruction::AluImm { op, rd, rs1, imm } => write!(f, "{op:?}i {rd}, {rs1}, {imm}"),
+            Instruction::LoadImm { rd, imm } => write!(f, "li {rd}, {imm:#x}"),
+            Instruction::Fpu { op, rd, rs1, rs2 } => write!(f, "{op:?} {rd}, {rs1}, {rs2}"),
+            Instruction::Load { rd, base, offset, width } => {
+                write!(f, "load.{} {rd}, [{base}{offset:+}]", width.bytes())
+            }
+            Instruction::Store { rs, base, offset, width } => {
+                write!(f, "store.{} {rs}, [{base}{offset:+}]", width.bytes())
+            }
+            Instruction::AtomicSwap { rd, rs, base } => write!(f, "amoswap {rd}, {rs}, [{base}]"),
+            Instruction::AtomicAdd { rd, rs, base } => write!(f, "amoadd {rd}, {rs}, [{base}]"),
+            Instruction::Branch { cond, rs1, rs2, target } => {
+                write!(f, "b{cond:?} {rs1}, {rs2} -> #{target}")
+            }
+            Instruction::Jump { target } => write!(f, "jmp #{target}"),
+            Instruction::JumpIndirect { base, offset } => write!(f, "jmpi [{base}{offset:+}]"),
+            Instruction::Call { target, link } => write!(f, "call #{target} (link {link})"),
+            Instruction::Return { link } => write!(f, "ret [{link}]"),
+            Instruction::ReadCycle { rd } => write!(f, "rdcycle {rd}"),
+            Instruction::Syscall { code } => write!(f, "syscall {code}"),
+            Instruction::SandboxEnter => write!(f, "sandbox.enter"),
+            Instruction::SandboxExit => write!(f, "sandbox.exit"),
+            Instruction::SpecBarrier => write!(f, "specbar"),
+            Instruction::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// Evaluates an integer ALU operation.
+///
+/// Division and remainder by zero produce `u64::MAX` and the dividend
+/// respectively (mirroring RISC-V), so the simulator never faults.
+pub fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                ((a as i64).wrapping_div(b as i64)) as u64
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                ((a as i64).wrapping_rem(b as i64)) as u64
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+        AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        AluOp::Sltu => u64::from(a < b),
+    }
+}
+
+/// Evaluates a floating-point operation over `f64` bit patterns.
+pub fn eval_fpu(op: FpuOp, a: u64, b: u64) -> u64 {
+    let x = f64::from_bits(a);
+    let y = f64::from_bits(b);
+    let r = match op {
+        FpuOp::FAdd => x + y,
+        FpuOp::FSub => x - y,
+        FpuOp::FMul => x * y,
+        FpuOp::FDiv => x / y,
+    };
+    r.to_bits()
+}
+
+/// Evaluates a branch condition.
+pub fn eval_branch(cond: BranchCond, a: u64, b: u64) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Lt => (a as i64) < (b as i64),
+        BranchCond::Ge => (a as i64) >= (b as i64),
+        BranchCond::Ltu => a < b,
+        BranchCond::Geu => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(eval_alu(AluOp::Add, 2, 3), 5);
+        assert_eq!(eval_alu(AluOp::Sub, 2, 3), u64::MAX);
+        assert_eq!(eval_alu(AluOp::Mul, 7, 6), 42);
+        assert_eq!(eval_alu(AluOp::Div, 42, 6), 7);
+        assert_eq!(eval_alu(AluOp::Div, 42, 0), u64::MAX);
+        assert_eq!(eval_alu(AluOp::Rem, 43, 6), 1);
+        assert_eq!(eval_alu(AluOp::Rem, 43, 0), 43);
+        assert_eq!(eval_alu(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(eval_alu(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(eval_alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(eval_alu(AluOp::Shl, 1, 4), 16);
+        assert_eq!(eval_alu(AluOp::Shr, 16, 4), 1);
+        assert_eq!(eval_alu(AluOp::Slt, (-1i64) as u64, 0), 1);
+        assert_eq!(eval_alu(AluOp::Sltu, (-1i64) as u64, 0), 0);
+    }
+
+    #[test]
+    fn fpu_semantics() {
+        let two = 2.0f64.to_bits();
+        let three = 3.0f64.to_bits();
+        assert_eq!(f64::from_bits(eval_fpu(FpuOp::FAdd, two, three)), 5.0);
+        assert_eq!(f64::from_bits(eval_fpu(FpuOp::FMul, two, three)), 6.0);
+        assert_eq!(f64::from_bits(eval_fpu(FpuOp::FSub, three, two)), 1.0);
+        assert_eq!(f64::from_bits(eval_fpu(FpuOp::FDiv, three, two)), 1.5);
+    }
+
+    #[test]
+    fn branch_semantics() {
+        assert!(eval_branch(BranchCond::Eq, 4, 4));
+        assert!(eval_branch(BranchCond::Ne, 4, 5));
+        assert!(eval_branch(BranchCond::Lt, (-3i64) as u64, 2));
+        assert!(!eval_branch(BranchCond::Ltu, (-3i64) as u64, 2));
+        assert!(eval_branch(BranchCond::Ge, 7, 7));
+        assert!(eval_branch(BranchCond::Geu, 7, 2));
+    }
+
+    #[test]
+    fn classes_and_latencies() {
+        let ld = Instruction::Load { rd: Reg::X1, base: Reg::X2, offset: 0, width: MemWidth::Double };
+        assert_eq!(ld.class(), InstClass::Load);
+        assert!(ld.class().is_memory());
+        let br = Instruction::Branch { cond: BranchCond::Eq, rs1: Reg::X1, rs2: Reg::X2, target: 0 };
+        assert!(br.class().is_control());
+        let div = Instruction::AluReg { op: AluOp::Div, rd: Reg::X1, rs1: Reg::X2, rs2: Reg::X3 };
+        assert_eq!(div.class(), InstClass::MulDiv);
+        assert!(div.exec_latency() > 1);
+        let mul = Instruction::AluImm { op: AluOp::Mul, rd: Reg::X1, rs1: Reg::X2, imm: 3 };
+        assert_eq!(mul.exec_latency(), 3);
+    }
+
+    #[test]
+    fn sources_and_dests() {
+        let st = Instruction::Store { rs: Reg::X3, base: Reg::X4, offset: 8, width: MemWidth::Word };
+        assert_eq!(st.sources(), vec![Reg::X3, Reg::X4]);
+        assert_eq!(st.dest(), None);
+        let amo = Instruction::AtomicAdd { rd: Reg::X1, rs: Reg::X2, base: Reg::X3 };
+        assert_eq!(amo.dest(), Some(Reg::X1));
+        assert_eq!(amo.sources(), vec![Reg::X2, Reg::X3]);
+        let call = Instruction::Call { target: 7, link: Reg::X30 };
+        assert_eq!(call.dest(), Some(Reg::X30));
+        let ret = Instruction::Return { link: Reg::X30 };
+        assert_eq!(ret.sources(), vec![Reg::X30]);
+    }
+
+    #[test]
+    fn serialising_instructions() {
+        assert!(Instruction::SpecBarrier.is_serialising());
+        assert!(Instruction::Syscall { code: 1 }.is_serialising());
+        assert!(Instruction::SandboxEnter.is_serialising());
+        assert!(!Instruction::Nop.is_serialising());
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_shapes() {
+        let insts = [
+            Instruction::Nop,
+            Instruction::AluReg { op: AluOp::Add, rd: Reg::X1, rs1: Reg::X2, rs2: Reg::X3 },
+            Instruction::Load { rd: Reg::X1, base: Reg::X2, offset: -8, width: MemWidth::Byte },
+            Instruction::Branch { cond: BranchCond::Ne, rs1: Reg::X1, rs2: Reg::X0, target: 3 },
+            Instruction::Syscall { code: 2 },
+            Instruction::Halt,
+        ];
+        for i in insts {
+            assert!(!format!("{i}").is_empty());
+        }
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::Half.bytes(), 2);
+        assert_eq!(MemWidth::Word.bytes(), 4);
+        assert_eq!(MemWidth::Double.bytes(), 8);
+    }
+}

@@ -1,0 +1,395 @@
+//! Functional in-order interpreter (golden model).
+//!
+//! The interpreter executes a [`Program`] one instruction at a time with no
+//! timing model at all. It serves three purposes:
+//!
+//! 1. validating workload programs independently of the microarchitecture,
+//! 2. acting as a golden reference: the out-of-order core must produce the
+//!    same architectural register and memory state,
+//! 3. giving workloads a cheap way to compute expected results in tests.
+//!
+//! Syscalls and sandbox markers are recorded as [`SystemEvent`]s for the
+//! caller to inspect; the interpreter itself gives them no semantics beyond
+//! sequencing.
+
+use std::fmt;
+
+use simkit::addr::VirtAddr;
+
+use crate::inst::{eval_alu, eval_branch, eval_fpu, Instruction, MemWidth};
+use crate::mem::SparseMemory;
+use crate::prog::Program;
+use crate::reg::{Reg, RegFile};
+
+/// A system-level event observed during functional execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemEvent {
+    /// A syscall instruction was retired, with its code.
+    Syscall(u16),
+    /// Execution entered a sandboxed region.
+    SandboxEnter,
+    /// Execution left a sandboxed region.
+    SandboxExit,
+}
+
+/// Why the interpreter stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `Halt` instruction was executed.
+    Halted,
+    /// The step budget was exhausted before halting.
+    OutOfBudget,
+    /// The program counter left the program (fell off the end).
+    PcOutOfRange,
+}
+
+/// Error for a program that did not halt within its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// Why execution stopped.
+    pub reason: StopReason,
+    /// Instructions retired before stopping.
+    pub retired: u64,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program did not halt: {:?} after {} instructions", self.reason, self.retired)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Final state of a completed functional run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Architectural registers at halt.
+    pub regs: RegFile,
+    /// Data memory at halt.
+    pub memory: SparseMemory,
+    /// Instructions retired (including the halt).
+    pub retired: u64,
+    /// System events in program order.
+    pub events: Vec<SystemEvent>,
+}
+
+/// The functional, in-order interpreter.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    program: Program,
+    regs: RegFile,
+    memory: SparseMemory,
+    pc: usize,
+    retired: u64,
+    halted: bool,
+    events: Vec<SystemEvent>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the program's data segments loaded.
+    pub fn new(program: &Program) -> Self {
+        let mut memory = SparseMemory::new();
+        for seg in program.data_segments() {
+            memory.write_bytes(seg.addr, &seg.bytes);
+        }
+        Interpreter {
+            program: program.clone(),
+            regs: RegFile::new(),
+            memory,
+            pc: 0,
+            retired: 0,
+            halted: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Pre-sets a register before running (useful for passing arguments).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        self.regs.write(reg, value);
+    }
+
+    /// Pre-writes memory before running.
+    pub fn set_memory(&mut self, addr: VirtAddr, value: u64, width: MemWidth) {
+        self.memory.write(addr, value, width);
+    }
+
+    /// Whether the program has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Read-only view of the register file.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Read-only view of data memory.
+    pub fn memory(&self) -> &SparseMemory {
+        &self.memory
+    }
+
+    /// Executes one instruction. Returns `false` once halted or the PC has
+    /// left the program.
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let Some(inst) = self.program.fetch(self.pc) else {
+            self.halted = true;
+            return false;
+        };
+        let mut next_pc = self.pc + 1;
+        match inst {
+            Instruction::Nop | Instruction::SpecBarrier => {}
+            Instruction::AluReg { op, rd, rs1, rs2 } => {
+                let v = eval_alu(op, self.regs.read(rs1), self.regs.read(rs2));
+                self.regs.write(rd, v);
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let v = eval_alu(op, self.regs.read(rs1), imm as u64);
+                self.regs.write(rd, v);
+            }
+            Instruction::LoadImm { rd, imm } => self.regs.write(rd, imm),
+            Instruction::Fpu { op, rd, rs1, rs2 } => {
+                let v = eval_fpu(op, self.regs.read(rs1), self.regs.read(rs2));
+                self.regs.write(rd, v);
+            }
+            Instruction::Load { rd, base, offset, width } => {
+                let addr = VirtAddr::new(self.regs.read(base).wrapping_add(offset as u64));
+                let v = self.memory.read(addr, width);
+                self.regs.write(rd, v);
+            }
+            Instruction::Store { rs, base, offset, width } => {
+                let addr = VirtAddr::new(self.regs.read(base).wrapping_add(offset as u64));
+                self.memory.write(addr, self.regs.read(rs), width);
+            }
+            Instruction::AtomicSwap { rd, rs, base } => {
+                let addr = VirtAddr::new(self.regs.read(base));
+                let old = self.memory.read(addr, MemWidth::Double);
+                self.memory.write(addr, self.regs.read(rs), MemWidth::Double);
+                self.regs.write(rd, old);
+            }
+            Instruction::AtomicAdd { rd, rs, base } => {
+                let addr = VirtAddr::new(self.regs.read(base));
+                let old = self.memory.read(addr, MemWidth::Double);
+                self.memory.write(addr, old.wrapping_add(self.regs.read(rs)), MemWidth::Double);
+                self.regs.write(rd, old);
+            }
+            Instruction::Branch { cond, rs1, rs2, target } => {
+                if eval_branch(cond, self.regs.read(rs1), self.regs.read(rs2)) {
+                    next_pc = target;
+                }
+            }
+            Instruction::Jump { target } => next_pc = target,
+            Instruction::JumpIndirect { base, offset } => {
+                next_pc = self.regs.read(base).wrapping_add(offset as u64) as usize;
+            }
+            Instruction::Call { target, link } => {
+                self.regs.write(link, (self.pc + 1) as u64);
+                next_pc = target;
+            }
+            Instruction::Return { link } => {
+                next_pc = self.regs.read(link) as usize;
+            }
+            Instruction::ReadCycle { rd } => {
+                // The functional model has no clock; retired-instruction count
+                // stands in so timing loops still terminate.
+                self.regs.write(rd, self.retired);
+            }
+            Instruction::Syscall { code } => self.events.push(SystemEvent::Syscall(code)),
+            Instruction::SandboxEnter => self.events.push(SystemEvent::SandboxEnter),
+            Instruction::SandboxExit => self.events.push(SystemEvent::SandboxExit),
+            Instruction::Halt => {
+                self.retired += 1;
+                self.halted = true;
+                return false;
+            }
+        }
+        self.retired += 1;
+        self.pc = next_pc;
+        true
+    }
+
+    /// Runs until halt or until `max_steps` instructions have retired.
+    ///
+    /// # Errors
+    /// Returns [`RunError`] if the program does not halt within the budget or
+    /// the PC leaves the program without halting.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, RunError> {
+        while self.retired < max_steps {
+            if !self.step() {
+                if self.halted && self.program.fetch(self.pc).is_some() {
+                    return Ok(self.result());
+                }
+                // Either halted on the final instruction or ran off the end.
+                if self.halted {
+                    return Ok(self.result());
+                }
+                return Err(RunError { reason: StopReason::PcOutOfRange, retired: self.retired });
+            }
+        }
+        if self.halted {
+            Ok(self.result())
+        } else {
+            Err(RunError { reason: StopReason::OutOfBudget, retired: self.retired })
+        }
+    }
+
+    fn result(&self) -> RunResult {
+        RunResult {
+            regs: self.regs.clone(),
+            memory: self.memory.clone(),
+            retired: self.retired,
+            events: self.events.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prog::ProgramBuilder;
+
+    #[test]
+    fn arithmetic_program_computes_expected_result() {
+        let mut b = ProgramBuilder::new("arith");
+        b.li(Reg::X1, 6);
+        b.li(Reg::X2, 7);
+        b.mul(Reg::X3, Reg::X1, Reg::X2);
+        b.addi(Reg::X3, Reg::X3, 100);
+        b.halt();
+        let p = b.build().unwrap();
+        let result = Interpreter::new(&p).run(100).unwrap();
+        assert_eq!(result.regs.read(Reg::X3), 142);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_through_memory() {
+        let mut b = ProgramBuilder::new("mem");
+        b.li(Reg::X1, 0x8000);
+        b.li(Reg::X2, 0xabcd);
+        b.store(Reg::X2, Reg::X1, 16);
+        b.load(Reg::X3, Reg::X1, 16);
+        b.halt();
+        let p = b.build().unwrap();
+        let result = Interpreter::new(&p).run(100).unwrap();
+        assert_eq!(result.regs.read(Reg::X3), 0xabcd);
+        assert_eq!(result.memory.read(VirtAddr::new(0x8010), MemWidth::Double), 0xabcd);
+    }
+
+    #[test]
+    fn data_segments_visible_to_loads() {
+        let mut b = ProgramBuilder::new("segments");
+        b.data_u64(VirtAddr::new(0x2000), &[11, 22, 33]);
+        b.li(Reg::X1, 0x2000);
+        b.load(Reg::X2, Reg::X1, 8);
+        b.halt();
+        let p = b.build().unwrap();
+        let result = Interpreter::new(&p).run(100).unwrap();
+        assert_eq!(result.regs.read(Reg::X2), 22);
+    }
+
+    #[test]
+    fn call_and_return_use_link_register() {
+        let mut b = ProgramBuilder::new("call");
+        let func = b.new_label();
+        let done = b.new_label();
+        b.li(Reg::X1, 5);
+        b.call(func, Reg::X30);
+        b.jump(done);
+        b.bind_label(func);
+        b.addi(Reg::X1, Reg::X1, 10);
+        b.ret(Reg::X30);
+        b.bind_label(done);
+        b.halt();
+        let p = b.build().unwrap();
+        let result = Interpreter::new(&p).run(100).unwrap();
+        assert_eq!(result.regs.read(Reg::X1), 15);
+    }
+
+    #[test]
+    fn atomics_update_memory_and_return_old_value() {
+        let mut b = ProgramBuilder::new("amo");
+        b.li(Reg::X1, 0x3000);
+        b.li(Reg::X2, 5);
+        b.store(Reg::X2, Reg::X1, 0);
+        b.li(Reg::X3, 3);
+        b.amoadd(Reg::X4, Reg::X3, Reg::X1);
+        b.amoswap(Reg::X5, Reg::X0, Reg::X1);
+        b.halt();
+        let p = b.build().unwrap();
+        let result = Interpreter::new(&p).run(100).unwrap();
+        assert_eq!(result.regs.read(Reg::X4), 5); // old value before add
+        assert_eq!(result.regs.read(Reg::X5), 8); // value after add, before swap
+        assert_eq!(result.memory.read(VirtAddr::new(0x3000), MemWidth::Double), 0);
+    }
+
+    #[test]
+    fn system_events_are_recorded_in_order() {
+        let mut b = ProgramBuilder::new("sys");
+        b.syscall(1);
+        b.sandbox_enter();
+        b.sandbox_exit();
+        b.syscall(2);
+        b.halt();
+        let p = b.build().unwrap();
+        let result = Interpreter::new(&p).run(100).unwrap();
+        assert_eq!(
+            result.events,
+            vec![
+                SystemEvent::Syscall(1),
+                SystemEvent::SandboxEnter,
+                SystemEvent::SandboxExit,
+                SystemEvent::Syscall(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_budget() {
+        let mut b = ProgramBuilder::new("spin");
+        let top = b.here();
+        b.jump(top);
+        let p = b.build().unwrap();
+        let err = Interpreter::new(&p).run(1000).unwrap_err();
+        assert_eq!(err.reason, StopReason::OutOfBudget);
+    }
+
+    #[test]
+    fn indirect_jump_lands_on_register_value() {
+        let mut b = ProgramBuilder::new("jmpi");
+        b.li(Reg::X1, 4);
+        b.jump_indirect(Reg::X1, 0);
+        b.li(Reg::X2, 111); // skipped
+        b.halt(); // skipped
+        b.li(Reg::X2, 222); // index 4
+        b.halt();
+        let p = b.build().unwrap();
+        let result = Interpreter::new(&p).run(100).unwrap();
+        assert_eq!(result.regs.read(Reg::X2), 222);
+    }
+
+    #[test]
+    fn set_reg_and_memory_act_as_inputs() {
+        let mut b = ProgramBuilder::new("inputs");
+        b.load(Reg::X2, Reg::X1, 0);
+        b.addi(Reg::X2, Reg::X2, 1);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut interp = Interpreter::new(&p);
+        interp.set_reg(Reg::X1, 0x7000);
+        interp.set_memory(VirtAddr::new(0x7000), 41, MemWidth::Double);
+        let result = interp.run(10).unwrap();
+        assert_eq!(result.regs.read(Reg::X2), 42);
+    }
+}

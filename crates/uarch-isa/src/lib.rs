@@ -1,0 +1,56 @@
+//! A small RISC-like instruction set ("µISA") used as the workload substrate
+//! for the MuonTrap reproduction.
+//!
+//! The paper evaluates MuonTrap on ARMv8 binaries running under gem5. We have
+//! no ARMv8 front end, so workloads, baselines and attack litmus tests in this
+//! repository are written in this µISA instead. The ISA is deliberately small
+//! but complete enough to express the behaviours the paper depends on:
+//!
+//! * loads, stores and atomics with computed addresses (so speculative loads
+//!   can have attacker-influenced addresses),
+//! * conditional branches, indirect jumps, calls and returns (so the branch
+//!   predictor, BTB and RAS have something to mispredict),
+//! * a cycle-counter read (so attack code can time its own accesses, which is
+//!   the cache side channel itself),
+//! * syscall and sandbox-entry/exit markers (the protection-domain switches
+//!   MuonTrap flushes on).
+//!
+//! The crate also contains [`interp::Interpreter`], a purely functional
+//! in-order interpreter used as a golden model: the out-of-order core in
+//! `ooo-core` must produce exactly the same architectural results.
+//!
+//! # Example
+//!
+//! ```
+//! use uarch_isa::prog::ProgramBuilder;
+//! use uarch_isa::reg::Reg;
+//! use uarch_isa::interp::Interpreter;
+//!
+//! // Sum the integers 0..10 into x1.
+//! let mut b = ProgramBuilder::new("sum");
+//! let loop_top = b.new_label();
+//! b.li(Reg::X1, 0);
+//! b.li(Reg::X2, 0);
+//! b.bind_label(loop_top);
+//! b.add(Reg::X1, Reg::X1, Reg::X2);
+//! b.addi(Reg::X2, Reg::X2, 1);
+//! b.blt_imm(Reg::X2, 10, loop_top);
+//! b.halt();
+//! let program = b.build().expect("label resolution succeeds");
+//!
+//! let mut interp = Interpreter::new(&program);
+//! let result = interp.run(10_000).expect("program halts");
+//! assert_eq!(result.regs.read(Reg::X1), 45);
+//! ```
+
+pub mod inst;
+pub mod interp;
+pub mod mem;
+pub mod prog;
+pub mod reg;
+
+pub use inst::{AluOp, BranchCond, FpuOp, InstClass, Instruction, MemWidth};
+pub use interp::Interpreter;
+pub use mem::SparseMemory;
+pub use prog::{Program, ProgramBuilder};
+pub use reg::{Reg, RegFile};

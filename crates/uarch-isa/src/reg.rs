@@ -1,0 +1,144 @@
+//! Architectural registers and the register file.
+//!
+//! The µISA has 32 general-purpose 64-bit registers. `X0` always reads as
+//! zero, like RISC-V's `zero` register, which keeps generated code simple.
+
+use std::fmt;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+/// A general-purpose architectural register.
+///
+/// `X0` is hard-wired to zero: writes to it are ignored and reads return 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    X0, X1, X2, X3, X4, X5, X6, X7,
+    X8, X9, X10, X11, X12, X13, X14, X15,
+    X16, X17, X18, X19, X20, X21, X22, X23,
+    X24, X25, X26, X27, X28, X29, X30, X31,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; NUM_REGS] = [
+        Reg::X0, Reg::X1, Reg::X2, Reg::X3, Reg::X4, Reg::X5, Reg::X6, Reg::X7,
+        Reg::X8, Reg::X9, Reg::X10, Reg::X11, Reg::X12, Reg::X13, Reg::X14, Reg::X15,
+        Reg::X16, Reg::X17, Reg::X18, Reg::X19, Reg::X20, Reg::X21, Reg::X22, Reg::X23,
+        Reg::X24, Reg::X25, Reg::X26, Reg::X27, Reg::X28, Reg::X29, Reg::X30, Reg::X31,
+    ];
+
+    /// Returns the register's index (0..32).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index.
+    ///
+    /// # Panics
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Reg {
+        assert!(index < NUM_REGS, "register index out of range");
+        Reg::ALL[index]
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Reg::X0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.index())
+    }
+}
+
+/// The architectural register file: 32 64-bit registers with `X0` pinned to zero.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegFile {
+    values: [u64; NUM_REGS],
+}
+
+impl RegFile {
+    /// Creates a register file with all registers zero.
+    pub fn new() -> Self {
+        RegFile::default()
+    }
+
+    /// Reads a register. `X0` always returns zero.
+    #[inline]
+    pub fn read(&self, reg: Reg) -> u64 {
+        if reg.is_zero() {
+            0
+        } else {
+            self.values[reg.index()]
+        }
+    }
+
+    /// Writes a register. Writes to `X0` are discarded.
+    #[inline]
+    pub fn write(&mut self, reg: Reg, value: u64) {
+        if !reg.is_zero() {
+            self.values[reg.index()] = value;
+        }
+    }
+
+    /// Returns a snapshot of all register values (with `X0` forced to zero).
+    pub fn snapshot(&self) -> [u64; NUM_REGS] {
+        let mut copy = self.values;
+        copy[0] = 0;
+        copy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired_to_zero() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::X0, 0xdead);
+        assert_eq!(rf.read(Reg::X0), 0);
+    }
+
+    #[test]
+    fn writes_are_readable() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::X5, 123);
+        rf.write(Reg::X31, 456);
+        assert_eq!(rf.read(Reg::X5), 123);
+        assert_eq!(rf.read(Reg::X31), 456);
+        assert_eq!(rf.read(Reg::X6), 0);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_rejects_out_of_range() {
+        let _ = Reg::from_index(32);
+    }
+
+    #[test]
+    fn display_uses_x_prefix() {
+        assert_eq!(format!("{}", Reg::X7), "x7");
+    }
+
+    #[test]
+    fn snapshot_masks_x0() {
+        let rf = RegFile::new();
+        assert_eq!(rf.snapshot()[0], 0);
+    }
+}

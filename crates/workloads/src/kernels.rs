@@ -1,0 +1,693 @@
+//! Parameterised kernel generators.
+//!
+//! Each generator emits a µISA program exhibiting one memory/branch behaviour
+//! class. The SPEC-like and Parsec-like suites are thin mappings from
+//! benchmark names onto these generators with different parameters.
+
+use simkit::addr::VirtAddr;
+use simkit::rng::SimRng;
+use uarch_isa::inst::{AluOp, BranchCond, FpuOp};
+use uarch_isa::prog::{Program, ProgramBuilder};
+use uarch_isa::reg::Reg;
+
+/// Base virtual address of the heap used by all kernels.
+pub const HEAP_BASE: u64 = 0x10_0000;
+
+/// Conventional register roles used by the generators.
+const BASE: Reg = Reg::X1;
+const IDX: Reg = Reg::X2;
+const ACC: Reg = Reg::X3;
+const TMP: Reg = Reg::X4;
+const VAL: Reg = Reg::X5;
+const PTR: Reg = Reg::X6;
+const LIMIT: Reg = Reg::X7;
+const BASE2: Reg = Reg::X9;
+const TID: Reg = Reg::X10;
+const LOCK: Reg = Reg::X11;
+const SCRATCH: Reg = Reg::X12;
+
+/// Parameters for a streaming (sequential-access) kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamParams {
+    /// Number of 8-byte elements per array.
+    pub elements: u64,
+    /// Number of passes over the arrays.
+    pub passes: u64,
+    /// Number of distinct arrays streamed concurrently (1–3).
+    pub arrays: u64,
+    /// Whether the inner loop writes one of the arrays.
+    pub writes: bool,
+    /// Whether floating-point work is done per element.
+    pub fp: bool,
+}
+
+/// Generates a streaming kernel: sequential loads (and optionally stores) over
+/// one or more large arrays, the behaviour of `bwaves`, `lbm`, `libquantum`,
+/// `GemsFDTD`, `milc` and `leslie3d`.
+pub fn stream(name: &str, p: StreamParams) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let array_bytes = p.elements * 8;
+    // Initialise the first array with data so loads return varied values.
+    let init: Vec<u64> = (0..p.elements.min(512)).map(|i| i * 3 + 1).collect();
+    b.data_u64(VirtAddr::new(HEAP_BASE), &init);
+
+    b.li(ACC, 0);
+    b.li(Reg::X20, 0); // pass counter
+    let pass_top = b.here();
+    b.li(BASE, HEAP_BASE);
+    b.li(BASE2, HEAP_BASE + array_bytes);
+    b.li(Reg::X21, HEAP_BASE + 2 * array_bytes);
+    b.li(IDX, 0);
+    b.li(LIMIT, p.elements);
+    let loop_top = b.here();
+    // Element address = base + idx*8.
+    b.shli(TMP, IDX, 3);
+    b.add(PTR, BASE, TMP);
+    b.load(VAL, PTR, 0);
+    if p.arrays >= 2 {
+        b.add(PTR, BASE2, TMP);
+        b.load(SCRATCH, PTR, 0);
+        b.add(VAL, VAL, SCRATCH);
+    }
+    if p.fp {
+        b.fpu(FpuOp::FMul, VAL, VAL, VAL);
+        b.fpu(FpuOp::FAdd, ACC, ACC, VAL);
+    } else {
+        b.add(ACC, ACC, VAL);
+    }
+    if p.writes {
+        let dest = if p.arrays >= 3 { Reg::X21 } else { BASE2 };
+        b.add(PTR, dest, TMP);
+        b.store(ACC, PTR, 0);
+    }
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, loop_top);
+    b.addi(Reg::X20, Reg::X20, 1);
+    b.li(TMP, p.passes);
+    b.blt(Reg::X20, TMP, pass_top);
+    b.halt();
+    b.build().expect("stream kernel builds")
+}
+
+/// Parameters for a pointer-chasing kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseParams {
+    /// Number of nodes in the linked structure.
+    pub nodes: u64,
+    /// Number of pointer dereferences to perform.
+    pub hops: u64,
+    /// Random seed for the permutation.
+    pub seed: u64,
+}
+
+/// Generates a pointer-chasing kernel: a random circular permutation is
+/// walked, so every load's address depends on the previous load's value. This
+/// is the latency-bound behaviour of `mcf`, `omnetpp`, `xalancbmk` and
+/// `astar`.
+pub fn pointer_chase(name: &str, p: ChaseParams) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let mut rng = SimRng::seed_from(p.seed);
+    // Build a random cycle over the nodes: node i stores the address of its
+    // successor in the permutation.
+    let mut order: Vec<u64> = (0..p.nodes).collect();
+    rng.shuffle(&mut order);
+    let mut next = vec![0u64; p.nodes as usize];
+    for i in 0..p.nodes as usize {
+        let from = order[i] as usize;
+        let to = order[(i + 1) % p.nodes as usize];
+        next[from] = HEAP_BASE + to * 8;
+    }
+    b.data_u64(VirtAddr::new(HEAP_BASE), &next);
+
+    b.li(PTR, HEAP_BASE + order[0] * 8);
+    b.li(IDX, 0);
+    b.li(LIMIT, p.hops);
+    b.li(ACC, 0);
+    let loop_top = b.here();
+    let no_payload = b.new_label();
+    b.load(PTR, PTR, 0); // follow the pointer: the next address is the value
+    b.add(ACC, ACC, PTR);
+    // A data-dependent "visit the node payload?" decision, as real graph and
+    // event-queue codes have: the branch condition comes from the (often
+    // missing) pointer load, and the payload load underneath it derives its
+    // address from the same value — the STT transmitter pattern.
+    b.andi(TMP, PTR, 0x38);
+    b.bne(TMP, Reg::X0, no_payload);
+    b.load(SCRATCH, PTR, 8);
+    b.add(ACC, ACC, SCRATCH);
+    b.bind_label(no_payload);
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, loop_top);
+    b.halt();
+    b.build().expect("pointer-chase kernel builds")
+}
+
+/// Parameters for a random-access (scatter/gather) kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomAccessParams {
+    /// Number of 8-byte elements in the table.
+    pub elements: u64,
+    /// Number of accesses performed.
+    pub accesses: u64,
+    /// Whether each access also writes the element back.
+    pub update: bool,
+    /// Random seed.
+    pub seed: u64,
+}
+
+/// Generates a random-access (gather) kernel: an index array is walked
+/// sequentially and each loaded index addresses a scattered load (and
+/// optionally a store) in a large table — `table[index_array[i]]`, the
+/// behaviour of `gcc`, `hmmer`'s miss phases, `soplex`, `sphinx3` and
+/// `canneal`'s private phase. The data load's address depends on a loaded
+/// value, which is precisely the load→load dependence that taint-tracking
+/// defenses (STT) must block while speculative.
+pub fn random_access(name: &str, p: RandomAccessParams) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let mut rng = SimRng::seed_from(p.seed);
+    // The scattered data table.
+    let init: Vec<u64> = (0..p.elements.min(512)).map(|i| i ^ 0x5a5a).collect();
+    b.data_u64(VirtAddr::new(HEAP_BASE), &init);
+    // The index array: a random permutation fragment driving the gathers.
+    let index_entries = p.elements.min(4096);
+    let index_base = HEAP_BASE + p.elements * 8;
+    let indices: Vec<u64> = (0..index_entries).map(|_| rng.below(p.elements)).collect();
+    b.data_u64(VirtAddr::new(index_base), &indices);
+
+    b.li(BASE, HEAP_BASE);
+    b.li(BASE2, index_base);
+    b.li(IDX, 0);
+    b.li(LIMIT, p.accesses);
+    b.li(ACC, 0);
+    b.li(Reg::X21, 0); // previous gathered value
+    let loop_top = b.here();
+    let skip_extra = b.new_label();
+    // index = index_array[i % index_entries]
+    b.alui(AluOp::Rem, TMP, IDX, index_entries as i64);
+    b.shli(TMP, TMP, 3);
+    b.add(PTR, BASE2, TMP);
+    b.load(VAL, PTR, 0);
+    // A data-dependent early-out on the previous iteration's gathered value
+    // (which often missed): while it is unresolved, the gather below is a
+    // speculative transmitter.
+    b.andi(Reg::X22, Reg::X21, 1);
+    b.bne(Reg::X22, Reg::X0, skip_extra);
+    b.nop();
+    b.bind_label(skip_extra);
+    // address = table + index*8  (load-dependent address: the gather)
+    b.shli(VAL, VAL, 3);
+    b.add(PTR, BASE, VAL);
+    b.load(SCRATCH, PTR, 0);
+    b.add(ACC, ACC, SCRATCH);
+    b.add(Reg::X21, SCRATCH, Reg::X0);
+    if p.update {
+        b.xor(SCRATCH, SCRATCH, ACC);
+        b.store(SCRATCH, PTR, 0);
+    }
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, loop_top);
+    b.halt();
+    b.build().expect("random-access kernel builds")
+}
+
+/// Parameters for a compute-bound kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeParams {
+    /// Outer iterations.
+    pub iterations: u64,
+    /// Arithmetic operations per loaded element.
+    pub ops_per_element: u64,
+    /// Elements in the (small, cache-resident) working set.
+    pub elements: u64,
+    /// Whether the arithmetic is floating point.
+    pub fp: bool,
+}
+
+/// Generates a compute-bound kernel: a small cache-resident working set with a
+/// long arithmetic chain per element, the behaviour of `calculix`, `gamess`,
+/// `namd`, `povray`, `tonto`, `gromacs`, `h264ref` and `blackscholes` /
+/// `swaptions` on the Parsec side.
+pub fn compute(name: &str, p: ComputeParams) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let init: Vec<u64> = (0..p.elements).map(|i| (i + 1) * 97).collect();
+    b.data_u64(VirtAddr::new(HEAP_BASE), &init);
+
+    b.li(Reg::X20, 0);
+    let outer = b.here();
+    b.li(BASE, HEAP_BASE);
+    b.li(IDX, 0);
+    b.li(LIMIT, p.elements);
+    b.li(ACC, 1);
+    let loop_top = b.here();
+    b.shli(TMP, IDX, 3);
+    b.add(PTR, BASE, TMP);
+    b.load(VAL, PTR, 0);
+    for k in 0..p.ops_per_element {
+        if p.fp {
+            match k % 3 {
+                0 => b.fpu(FpuOp::FMul, ACC, ACC, VAL),
+                1 => b.fpu(FpuOp::FAdd, ACC, ACC, VAL),
+                _ => b.fpu(FpuOp::FSub, VAL, VAL, ACC),
+            };
+        } else {
+            match k % 4 {
+                0 => b.mul(ACC, ACC, VAL),
+                1 => b.add(ACC, ACC, VAL),
+                2 => b.xor(VAL, VAL, ACC),
+                _ => b.alui(AluOp::Shr, VAL, VAL, 1),
+            };
+        }
+    }
+    b.store(ACC, PTR, 0);
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, loop_top);
+    b.addi(Reg::X20, Reg::X20, 1);
+    b.li(TMP, p.iterations);
+    b.blt(Reg::X20, TMP, outer);
+    b.halt();
+    b.build().expect("compute kernel builds")
+}
+
+/// Parameters for a branchy kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchyParams {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of 8-byte elements in the decision table.
+    pub elements: u64,
+    /// Random seed for the table contents (controls predictability).
+    pub seed: u64,
+}
+
+/// Generates a branch-heavy kernel with data-dependent, hard-to-predict
+/// branches over a table, the behaviour of `gobmk`, `sjeng`, `bzip2` and
+/// `astar`'s search phase. Mispredictions make wrong-path loads common (the
+/// behaviour MuonTrap's filter cache must absorb), and the dependent gather on
+/// the taken path sits underneath a branch whose condition is still waiting on
+/// a (possibly missing) load — exactly the load→branch→dependent-load shape
+/// that taint-tracking defenses must stall on.
+pub fn branchy(name: &str, p: BranchyParams) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let mut rng = SimRng::seed_from(p.seed);
+    let table: Vec<u64> = (0..p.elements).map(|_| rng.below(16)).collect();
+    b.data_u64(VirtAddr::new(HEAP_BASE), &table);
+    // A second table indexed by the *loaded* decision value (a gather), so the
+    // taken path's load address derives from speculative load data.
+    let other: Vec<u64> = (0..p.elements).map(|i| i.wrapping_mul(37) % p.elements).collect();
+    b.data_u64(VirtAddr::new(HEAP_BASE + p.elements * 8), &other);
+
+    b.li(BASE, HEAP_BASE);
+    b.li(BASE2, HEAP_BASE + p.elements * 8);
+    b.li(IDX, 0);
+    b.li(LIMIT, p.decisions);
+    b.li(ACC, 0);
+    let loop_top = b.here();
+    let skip = b.new_label();
+    let join = b.new_label();
+    // Walk the decision table with a large stride so the decision load misses
+    // regularly and the branch below stays unresolved for a while.
+    b.li(TMP, 61);
+    b.mul(TMP, IDX, TMP);
+    b.alui(AluOp::Rem, TMP, TMP, p.elements as i64);
+    b.shli(TMP, TMP, 3);
+    b.add(PTR, BASE, TMP);
+    b.load(VAL, PTR, 0);
+    b.li(SCRATCH, 8);
+    b.branch(BranchCond::Lt, VAL, SCRATCH, skip);
+    // Taken path: a gather whose address depends on the decision value, plus a
+    // second-level dependent load — both are "transmitters" in STT terms.
+    b.shli(SCRATCH, VAL, 3);
+    b.add(PTR, BASE2, SCRATCH);
+    b.load(SCRATCH, PTR, 0);
+    b.shli(SCRATCH, SCRATCH, 3);
+    b.add(PTR, BASE, SCRATCH);
+    b.load(SCRATCH, PTR, 0);
+    b.add(ACC, ACC, SCRATCH);
+    b.mul(ACC, ACC, VAL);
+    b.jump(join);
+    b.bind_label(skip);
+    // Not-taken path: cheap arithmetic only.
+    b.xor(ACC, ACC, VAL);
+    b.bind_label(join);
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, loop_top);
+    b.halt();
+    b.build().expect("branchy kernel builds")
+}
+
+/// Parameters for a blocked stencil kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilParams {
+    /// Grid dimension (the grid is `dim` x `dim` 8-byte cells).
+    pub dim: u64,
+    /// Sweeps over the grid.
+    pub sweeps: u64,
+}
+
+/// Generates a 2D 5-point stencil kernel: each cell is updated from its four
+/// neighbours, giving the strided reuse pattern of `cactusADM`, `zeusmp`,
+/// `leslie3d` and `fluidanimate`.
+pub fn stencil(name: &str, p: StencilParams) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let init: Vec<u64> = (0..(p.dim * p.dim).min(1024)).map(|i| i * 5 + 3).collect();
+    b.data_u64(VirtAddr::new(HEAP_BASE), &init);
+    let row_bytes = p.dim * 8;
+
+    b.li(Reg::X20, 0);
+    let sweep_top = b.here();
+    b.li(Reg::X22, 1); // row
+    let row_loop = b.here();
+    b.li(Reg::X23, 1); // column
+    let col_loop = b.here();
+    // addr = base + row*row_bytes + col*8
+    b.li(BASE, HEAP_BASE);
+    b.li(TMP, row_bytes);
+    b.mul(TMP, Reg::X22, TMP);
+    b.add(TMP, TMP, BASE);
+    b.shli(SCRATCH, Reg::X23, 3);
+    b.add(PTR, TMP, SCRATCH);
+    // Load the four neighbours and the centre.
+    b.load(VAL, PTR, 0);
+    b.load(SCRATCH, PTR, 8);
+    b.add(VAL, VAL, SCRATCH);
+    b.load(SCRATCH, PTR, -8);
+    b.add(VAL, VAL, SCRATCH);
+    b.load(SCRATCH, PTR, row_bytes as i64);
+    b.add(VAL, VAL, SCRATCH);
+    b.load(SCRATCH, PTR, -(row_bytes as i64));
+    b.add(VAL, VAL, SCRATCH);
+    b.shri(VAL, VAL, 2);
+    b.store(VAL, PTR, 0);
+    b.addi(Reg::X23, Reg::X23, 1);
+    b.li(TMP, p.dim - 1);
+    b.blt(Reg::X23, TMP, col_loop);
+    b.addi(Reg::X22, Reg::X22, 1);
+    b.li(TMP, p.dim - 1);
+    b.blt(Reg::X22, TMP, row_loop);
+    b.addi(Reg::X20, Reg::X20, 1);
+    b.li(TMP, p.sweeps);
+    b.blt(Reg::X20, TMP, sweep_top);
+    b.halt();
+    b.build().expect("stencil kernel builds")
+}
+
+/// Parameters for the shared-memory parallel kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelParams {
+    /// This thread's id (0-based).
+    pub thread_id: u64,
+    /// Total number of threads.
+    pub num_threads: u64,
+    /// Elements in the shared array.
+    pub elements: u64,
+    /// Iterations of the thread's main loop.
+    pub iterations: u64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+/// Virtual address of the lock word used by lock-based parallel kernels.
+pub const LOCK_ADDR: u64 = 0x8_0000;
+
+/// Virtual address of the shared work-counter used by work-stealing kernels.
+pub const COUNTER_ADDR: u64 = 0x8_0040;
+
+/// Generates a data-parallel kernel: each thread works on a disjoint chunk of
+/// a shared array with no synchronisation (the behaviour of `blackscholes`
+/// and `swaptions`).
+pub fn data_parallel(name: &str, p: ParallelParams, fp_ops: u64) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    if p.thread_id == 0 {
+        let init: Vec<u64> = (0..p.elements.min(1024)).map(|i| i * 11 + 7).collect();
+        b.data_u64(VirtAddr::new(HEAP_BASE), &init);
+    }
+    let chunk = p.elements / p.num_threads;
+    let start = p.thread_id * chunk;
+
+    b.li(TID, p.thread_id);
+    b.li(Reg::X20, 0);
+    let outer = b.here();
+    b.li(BASE, HEAP_BASE + start * 8);
+    b.li(IDX, 0);
+    b.li(LIMIT, chunk);
+    let loop_top = b.here();
+    b.shli(TMP, IDX, 3);
+    b.add(PTR, BASE, TMP);
+    b.load(VAL, PTR, 0);
+    for k in 0..fp_ops {
+        if k % 2 == 0 {
+            b.fpu(FpuOp::FMul, VAL, VAL, VAL);
+        } else {
+            b.fpu(FpuOp::FAdd, VAL, VAL, ACC);
+        }
+    }
+    b.store(VAL, PTR, 0);
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, loop_top);
+    b.addi(Reg::X20, Reg::X20, 1);
+    b.li(TMP, p.iterations);
+    b.blt(Reg::X20, TMP, outer);
+    b.halt();
+    b.build().expect("data-parallel kernel builds")
+}
+
+/// Generates a shared read-mostly kernel: every thread repeatedly reads a
+/// shared table (cluster centres) and accumulates into a private region, with
+/// an occasional atomic update of the shared table (the behaviour of
+/// `streamcluster` and `freqmine`).
+pub fn shared_read_mostly(name: &str, p: ParallelParams, update_period: u64) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    if p.thread_id == 0 {
+        let init: Vec<u64> = (0..p.elements.min(1024)).map(|i| i + 1).collect();
+        b.data_u64(VirtAddr::new(HEAP_BASE), &init);
+    }
+    // Private accumulation region per thread, far from the shared table.
+    let private_base = HEAP_BASE + 0x40_0000 + p.thread_id * 0x1_0000;
+
+    // Private index array: each thread walks its own randomised gather list,
+    // so the shared-table address depends on a loaded value (as it does in the
+    // real benchmarks, where points/transactions are read from memory).
+    let index_base = HEAP_BASE + 0x20_0000 + p.thread_id * 0x2_0000;
+    let mut rng = SimRng::seed_from(p.seed.wrapping_mul(31).wrapping_add(p.thread_id));
+    let index_entries = 1024u64;
+    let indices: Vec<u64> = (0..index_entries).map(|_| rng.below(p.elements)).collect();
+    b.data_u64(VirtAddr::new(index_base), &indices);
+
+    b.li(TID, p.thread_id);
+    b.li(IDX, 0);
+    b.li(LIMIT, p.iterations);
+    b.li(ACC, 0);
+    let loop_top = b.here();
+    // Read the next gather index from the private index array, then read the
+    // shared element it names.
+    b.alui(AluOp::Rem, VAL, IDX, index_entries as i64);
+    b.shli(VAL, VAL, 3);
+    b.li(BASE, index_base);
+    b.add(PTR, BASE, VAL);
+    b.load(VAL, PTR, 0);
+    b.shli(VAL, VAL, 3);
+    b.li(BASE, HEAP_BASE);
+    b.add(PTR, BASE, VAL);
+    b.load(SCRATCH, PTR, 0);
+    b.add(ACC, ACC, SCRATCH);
+    // A data-dependent refinement step, as the real clustering/mining codes
+    // have: whether the second (dependent) shared read happens is decided by
+    // the value just loaded, so it executes under an unresolved branch.
+    let skip_refine = b.new_label();
+    b.andi(TMP, SCRATCH, 3);
+    b.bne(TMP, Reg::X0, skip_refine);
+    b.shli(TMP, SCRATCH, 3);
+    b.alui(AluOp::Rem, TMP, TMP, (p.elements * 8) as i64);
+    b.add(PTR, BASE, TMP);
+    b.load(TMP, PTR, 0);
+    b.add(ACC, ACC, TMP);
+    b.bind_label(skip_refine);
+    // Accumulate into the private region.
+    b.li(BASE2, private_base);
+    b.alui(AluOp::Rem, TMP, IDX, 512);
+    b.shli(TMP, TMP, 3);
+    b.add(BASE2, BASE2, TMP);
+    b.store(ACC, BASE2, 0);
+    // Occasionally update the shared element atomically.
+    let skip_update = b.new_label();
+    b.alui(AluOp::Rem, TMP, IDX, update_period as i64);
+    b.bne(TMP, Reg::X0, skip_update);
+    b.amoadd(SCRATCH, ACC, PTR);
+    b.bind_label(skip_update);
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, loop_top);
+    b.halt();
+    b.build().expect("shared-read-mostly kernel builds")
+}
+
+/// Generates a lock-based kernel: threads acquire a spinlock (bounded spin so
+/// the program always terminates), mutate a shared region, and release it
+/// (the behaviour of `fluidanimate` and `canneal`'s shared phase).
+pub fn lock_based(name: &str, p: ParallelParams, critical_len: u64) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    if p.thread_id == 0 {
+        b.data_u64(VirtAddr::new(LOCK_ADDR), &[0]);
+        let init: Vec<u64> = (0..p.elements.min(512)).map(|i| i).collect();
+        b.data_u64(VirtAddr::new(HEAP_BASE), &init);
+    }
+
+    b.li(TID, p.thread_id);
+    b.li(IDX, 0);
+    b.li(LIMIT, p.iterations);
+    let loop_top = b.here();
+
+    // Bounded spinlock acquire: try up to 64 times, then proceed anyway (the
+    // data race is benign for a synthetic kernel and bounds functional runs).
+    b.li(LOCK, LOCK_ADDR);
+    b.li(Reg::X24, 0);
+    let try_acquire = b.here();
+    let acquired = b.new_label();
+    b.li(SCRATCH, 1);
+    b.amoswap(VAL, SCRATCH, LOCK);
+    b.beq(VAL, Reg::X0, acquired);
+    b.addi(Reg::X24, Reg::X24, 1);
+    b.li(TMP, 64);
+    b.blt(Reg::X24, TMP, try_acquire);
+    b.bind_label(acquired);
+
+    // Critical section: read-modify-write a few shared elements.
+    b.li(BASE, HEAP_BASE);
+    b.alui(AluOp::Rem, TMP, IDX, (p.elements.max(critical_len)) as i64);
+    b.shli(TMP, TMP, 3);
+    b.add(PTR, BASE, TMP);
+    for i in 0..critical_len {
+        b.load(VAL, PTR, (i * 8) as i64);
+        b.addi(VAL, VAL, 1);
+        b.store(VAL, PTR, (i * 8) as i64);
+    }
+
+    // Release.
+    b.li(LOCK, LOCK_ADDR);
+    b.store(Reg::X0, LOCK, 0);
+
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, loop_top);
+    b.halt();
+    b.build().expect("lock-based kernel builds")
+}
+
+/// Generates a work-queue kernel: threads claim work items from a shared
+/// atomic counter and process a private block per item (the behaviour of
+/// `ferret`'s pipeline stages and `canneal`'s move selection).
+pub fn work_queue(name: &str, p: ParallelParams, work_per_item: u64) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    if p.thread_id == 0 {
+        b.data_u64(VirtAddr::new(COUNTER_ADDR), &[0]);
+        let init: Vec<u64> = (0..p.elements.min(1024)).map(|i| i * 13 + 5).collect();
+        b.data_u64(VirtAddr::new(HEAP_BASE), &init);
+    }
+
+    b.li(TID, p.thread_id);
+    b.li(IDX, 0);
+    b.li(LIMIT, p.iterations);
+    let loop_top = b.here();
+    // Claim the next item.
+    b.li(LOCK, COUNTER_ADDR);
+    b.li(SCRATCH, 1);
+    b.amoadd(VAL, SCRATCH, LOCK); // VAL = claimed item index
+    // Process: hash the item id into the shared table and do some work on it.
+    b.li(TMP, 2654435761);
+    b.mul(VAL, VAL, TMP);
+    b.alui(AluOp::Rem, VAL, VAL, p.elements as i64);
+    b.shli(VAL, VAL, 3);
+    b.li(BASE, HEAP_BASE);
+    b.add(PTR, BASE, VAL);
+    b.li(ACC, 0);
+    for i in 0..work_per_item {
+        b.load(SCRATCH, PTR, (i % 8 * 8) as i64);
+        b.add(ACC, ACC, SCRATCH);
+        b.mul(ACC, ACC, SCRATCH);
+    }
+    b.store(ACC, PTR, 0);
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, loop_top);
+    b.halt();
+    b.build().expect("work-queue kernel builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_isa::interp::Interpreter;
+    use uarch_isa::reg::Reg;
+
+    fn runs(program: &Program) -> u64 {
+        let mut interp = Interpreter::new(program);
+        interp.run(5_000_000).expect("kernel halts").retired
+    }
+
+    #[test]
+    fn stream_kernel_runs_and_scales_with_elements() {
+        let small = stream("s1", StreamParams { elements: 64, passes: 2, arrays: 2, writes: true, fp: false });
+        let large = stream("s2", StreamParams { elements: 256, passes: 2, arrays: 2, writes: true, fp: false });
+        assert!(runs(&large) > runs(&small));
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_node() {
+        let p = pointer_chase("chase", ChaseParams { nodes: 64, hops: 64, seed: 1 });
+        let mut interp = Interpreter::new(&p);
+        let result = interp.run(1_000_000).unwrap();
+        // After exactly `nodes` hops around a full cycle we are back at the start.
+        assert!(result.retired > 64 * 3);
+    }
+
+    #[test]
+    fn random_access_kernel_halts() {
+        let p = random_access("ra", RandomAccessParams { elements: 128, accesses: 200, update: true, seed: 3 });
+        assert!(runs(&p) > 200);
+    }
+
+    #[test]
+    fn compute_kernel_is_dominated_by_arithmetic() {
+        let p = compute("c", ComputeParams { iterations: 2, ops_per_element: 12, elements: 16, fp: true });
+        let retired = runs(&p);
+        // At least ops_per_element arithmetic instructions per element.
+        assert!(retired > 2 * 16 * 12);
+    }
+
+    #[test]
+    fn branchy_kernel_has_both_paths() {
+        let p = branchy("b", BranchyParams { decisions: 500, elements: 64, seed: 9 });
+        let mut interp = Interpreter::new(&p);
+        let result = interp.run(1_000_000).unwrap();
+        assert!(result.regs.read(Reg::X3) != 0, "accumulator should mix both paths");
+    }
+
+    #[test]
+    fn stencil_kernel_updates_interior_cells() {
+        let p = stencil("st", StencilParams { dim: 8, sweeps: 2 });
+        let mut interp = Interpreter::new(&p);
+        let result = interp.run(1_000_000).unwrap();
+        // The interior cell (1,1) must have been rewritten.
+        let addr = VirtAddr::new(HEAP_BASE + (8 + 1) * 8);
+        assert_ne!(
+            result.memory.read(addr, uarch_isa::inst::MemWidth::Double),
+            (8 + 1) * 5 + 3
+        );
+    }
+
+    #[test]
+    fn parallel_kernels_halt_per_thread() {
+        let p = ParallelParams { thread_id: 1, num_threads: 4, elements: 128, iterations: 8, seed: 2 };
+        assert!(runs(&data_parallel("dp", p, 4)) > 0);
+        assert!(runs(&shared_read_mostly("srm", p, 16)) > 0);
+        assert!(runs(&lock_based("lb", p, 4)) > 0);
+        assert!(runs(&work_queue("wq", p, 6)) > 0);
+    }
+
+    #[test]
+    fn thread_zero_seeds_shared_data() {
+        let p0 = ParallelParams { thread_id: 0, num_threads: 2, elements: 64, iterations: 4, seed: 2 };
+        let prog = lock_based("lb0", p0, 2);
+        assert!(!prog.data_segments().is_empty(), "thread 0 must initialise the shared data");
+        let p1 = ParallelParams { thread_id: 1, ..p0 };
+        let prog1 = lock_based("lb1", p1, 2);
+        assert!(prog1.data_segments().is_empty(), "other threads must not clobber shared data");
+    }
+}

@@ -1,0 +1,132 @@
+//! The Parsec-like multi-threaded suite.
+//!
+//! The paper runs seven Parsec benchmarks with four threads in full-system
+//! mode (figure 4). Each entry here pairs a Parsec benchmark name with a
+//! shared-memory µISA kernel exercising the same sharing/synchronisation
+//! pattern: embarrassingly parallel FP work (`blackscholes`, `swaptions`),
+//! atomic work claiming (`canneal`, `ferret`), lock-protected neighbour
+//! updates (`fluidanimate`), and shared read-mostly tables (`freqmine`,
+//! `streamcluster`).
+
+use crate::kernels::{
+    data_parallel, lock_based, shared_read_mostly, work_queue, ParallelParams,
+};
+use crate::{Scale, Workload};
+
+/// The benchmark names in the order figure 4 of the paper lists them.
+pub const PARSEC_NAMES: [&str; 7] = [
+    "blackscholes",
+    "canneal",
+    "ferret",
+    "fluidanimate",
+    "freqmine",
+    "streamcluster",
+    "swaptions",
+];
+
+/// Builds the synthetic kernel standing in for one Parsec benchmark with
+/// `num_threads` threads.
+pub fn parsec_workload(name: &str, scale: Scale, num_threads: usize) -> Option<Workload> {
+    let num_threads = num_threads.max(1);
+    let it = |base| scale.iterations(base);
+    let el = |base| scale.elements(base);
+    let params = |tid: usize, elements: u64, iterations: u64| ParallelParams {
+        thread_id: tid as u64,
+        num_threads: num_threads as u64,
+        elements,
+        iterations,
+        seed: 71 + tid as u64,
+    };
+
+    let (programs, description): (Vec<_>, &str) = match name {
+        "blackscholes" => (
+            (0..num_threads)
+                .map(|t| data_parallel(name, params(t, el(4096), it(6)), 6))
+                .collect(),
+            "option pricing: embarrassingly parallel FP over disjoint chunks",
+        ),
+        "canneal" => (
+            (0..num_threads)
+                .map(|t| work_queue(name, params(t, el(8192), it(900)), 6))
+                .collect(),
+            "simulated annealing: atomic move claiming over a large shared netlist",
+        ),
+        "ferret" => (
+            (0..num_threads)
+                .map(|t| work_queue(name, params(t, el(2048), it(1100)), 10))
+                .collect(),
+            "similarity search pipeline: work items claimed from a shared queue",
+        ),
+        "fluidanimate" => (
+            (0..num_threads)
+                .map(|t| lock_based(name, params(t, el(2048), it(700)), 4))
+                .collect(),
+            "fluid simulation: lock-protected neighbour-cell updates",
+        ),
+        "freqmine" => (
+            (0..num_threads)
+                .map(|t| shared_read_mostly(name, params(t, el(4096), it(1800)), 32))
+                .collect(),
+            "frequent itemset mining: shared tree, mostly reads, occasional updates",
+        ),
+        "streamcluster" => (
+            (0..num_threads)
+                .map(|t| shared_read_mostly(name, params(t, el(1024), it(2200)), 64))
+                .collect(),
+            "online clustering: all threads stream against shared cluster centres",
+        ),
+        "swaptions" => (
+            (0..num_threads)
+                .map(|t| data_parallel(name, params(t, el(2048), it(8)), 10))
+                .collect(),
+            "swaption pricing: independent FP Monte-Carlo per thread",
+        ),
+        _ => return None,
+    };
+    Some(Workload::parallel(name, programs, description))
+}
+
+/// The full Parsec-like suite at the given scale and thread count, in
+/// figure-4 order.
+pub fn parsec_suite(scale: Scale, num_threads: usize) -> Vec<Workload> {
+    PARSEC_NAMES
+        .iter()
+        .map(|name| parsec_workload(name, scale, num_threads).expect("every listed benchmark has a kernel"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_names_with_requested_threads() {
+        let suite = parsec_suite(Scale::Tiny, 4);
+        assert_eq!(suite.len(), PARSEC_NAMES.len());
+        for (w, name) in suite.iter().zip(PARSEC_NAMES.iter()) {
+            assert_eq!(w.name, *name);
+            assert_eq!(w.num_threads(), 4);
+            assert!(w.shared_memory);
+        }
+    }
+
+    #[test]
+    fn unknown_names_yield_none() {
+        assert!(parsec_workload("raytrace", Scale::Tiny, 4).is_none());
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let w = parsec_workload("blackscholes", Scale::Tiny, 0).unwrap();
+        assert_eq!(w.num_threads(), 1);
+    }
+
+    #[test]
+    fn only_thread_zero_carries_shared_data_segments() {
+        let w = parsec_workload("fluidanimate", Scale::Tiny, 4).unwrap();
+        assert!(!w.thread_programs[0].data_segments().is_empty());
+        for p in &w.thread_programs[1..] {
+            assert!(p.data_segments().is_empty());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Multicore example: run the Parsec-like shared-memory workloads on four
+//! cores under every defense and print normalised execution times — a reduced
+//! version of figure 4 of the paper.
+//!
+//! ```text
+//! cargo run --release --example parsec_smp
+//! ```
+
+use muontrap_repro::prelude::*;
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let suite = parsec_suite(Scale::Small, config.cores);
+    let kinds = [
+        DefenseKind::MuonTrap,
+        DefenseKind::InvisiSpecSpectre,
+        DefenseKind::InvisiSpecFuture,
+        DefenseKind::SttSpectre,
+        DefenseKind::SttFuture,
+    ];
+
+    print!("{:<16}", "workload");
+    for k in &kinds {
+        print!("{:>22}", k.label());
+    }
+    println!();
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for workload in &suite {
+        let results = normalized_times(workload, &kinds, &config);
+        print!("{:<16}", workload.name);
+        for (i, (_, value)) in results.iter().enumerate() {
+            print!("{value:>22.3}");
+            columns[i].push(*value);
+        }
+        println!();
+    }
+    print!("{:<16}", "geomean");
+    for column in &columns {
+        print!("{:>22.3}", geometric_mean(column));
+    }
+    println!();
+    println!("\n(Lower is better; 1.0 matches the unprotected baseline. The paper reports a");
+    println!("geomean speedup for MuonTrap on Parsec and substantial slowdowns for the");
+    println!("InvisiSpec and STT 'Future' variants.)");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run one SPEC-like workload under the unprotected baseline and
+//! under MuonTrap, and print the slowdown plus the key protection statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use muontrap_repro::prelude::*;
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    println!("Simulated system (Table 1 of the paper):\n{config}\n");
+
+    // Pick a latency-bound, pointer-chasing kernel (the stand-in for mcf).
+    let suite = spec_suite(Scale::Small);
+    let workload = suite.iter().find(|w| w.name == "mcf").expect("mcf kernel exists");
+    println!("Workload: {} — {}", workload.name, workload.description);
+
+    let baseline = run_workload(workload, DefenseKind::Unprotected, &config);
+    let protected = run_workload(workload, DefenseKind::MuonTrap, &config);
+
+    println!("\nunprotected : {:>10} cycles  (IPC {:.2})", baseline.cycles, baseline.ipc());
+    println!("muontrap    : {:>10} cycles  (IPC {:.2})", protected.cycles, protected.ipc());
+    println!(
+        "normalised execution time: {:.3} (1.0 = no overhead)",
+        protected.cycles as f64 / baseline.cycles as f64
+    );
+
+    println!("\nMuonTrap activity during the run:");
+    for counter in [
+        "muontrap.l0d_hits",
+        "muontrap.l0d_misses",
+        "muontrap.commit_writethroughs",
+        "muontrap.store_upgrade_broadcasts",
+        "muontrap.se_upgrades",
+        "muontrap.coherence_nacks",
+        "muontrap.syscall_flushes",
+        "muontrap.context_switch_flushes",
+    ] {
+        println!("  {:40} {}", counter, protected.stats.counter(counter));
+    }
+}

@@ -1,0 +1,66 @@
+//! MuonTrap reproduction — facade crate.
+//!
+//! This crate re-exports the whole workspace so a downstream user can depend
+//! on one package and reach every layer of the reproduction of *MuonTrap:
+//! Preventing Cross-Domain Spectre-Like Attacks by Capturing Speculative
+//! State* (Ainsworth & Jones, ISCA 2020):
+//!
+//! * [`simkit`] — configuration (Table 1), statistics, addresses, cycles;
+//! * [`uarch_isa`] — the µISA workload substrate and functional interpreter;
+//! * [`memsys`] — caches, MESI coherence, DRAM, prefetcher, TLBs;
+//! * [`ooo_core`] — the out-of-order speculative core model;
+//! * [`muontrap`] — the paper's contribution: speculative filter caches;
+//! * [`defenses`] — the unprotected baseline, InvisiSpec and STT comparisons;
+//! * [`workloads`] — SPEC-like and Parsec-like synthetic kernels;
+//! * [`simsys`] — processes, scheduling and the experiment runner;
+//! * [`attacks`] — the six attack litmus tests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use muontrap_repro::prelude::*;
+//!
+//! // Run one SPEC-like kernel under MuonTrap, normalised to the unprotected
+//! // baseline (1.0 = no slowdown). Tiny scale keeps the doctest fast.
+//! let cfg = SystemConfig::small_test();
+//! let workload = &spec_suite(Scale::Tiny)[0];
+//! let slowdown = normalized_time(workload, DefenseKind::MuonTrap, &cfg);
+//! assert!(slowdown > 0.5 && slowdown < 2.0);
+//! ```
+
+pub use attacks;
+pub use defenses;
+pub use memsys;
+pub use muontrap;
+pub use ooo_core;
+pub use simkit;
+pub use simsys;
+pub use uarch_isa;
+pub use workloads;
+
+/// The most commonly used items, re-exported flat for convenience.
+pub mod prelude {
+    pub use attacks::{spectre_prime_probe, AttackOutcome};
+    pub use defenses::{build_defense, DefenseKind};
+    pub use muontrap::MuonTrap;
+    pub use ooo_core::{MemoryModel, OooCore, ThreadContext};
+    pub use simkit::config::{ProtectionConfig, SystemConfig};
+    pub use simkit::stats::geometric_mean;
+    pub use simsys::experiment::{normalized_time, normalized_times, run_workload};
+    pub use simsys::System;
+    pub use uarch_isa::prog::ProgramBuilder;
+    pub use uarch_isa::reg::Reg;
+    pub use workloads::{parsec_suite, spec_suite, Scale, Workload};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_key_types() {
+        use crate::prelude::*;
+        let cfg = SystemConfig::paper_default();
+        assert_eq!(cfg.cores, 4);
+        assert_eq!(DefenseKind::MuonTrap.label(), "muontrap");
+        assert_eq!(spec_suite(Scale::Tiny).len(), 26);
+    }
+}

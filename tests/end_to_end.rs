@@ -1,0 +1,161 @@
+//! Cross-crate performance integration tests: sanity-check the *shape* of the
+//! headline results on a reduced scale. These are not the paper's numbers
+//! (the figure binaries in the `bench` crate regenerate those); they guard
+//! against regressions that would flip the qualitative conclusions.
+
+use muontrap_repro::prelude::*;
+
+fn config() -> SystemConfig {
+    SystemConfig::paper_default()
+}
+
+#[test]
+fn every_workload_completes_under_every_defense_at_tiny_scale() {
+    let cfg = SystemConfig::small_test();
+    let kinds = [
+        DefenseKind::Unprotected,
+        DefenseKind::InsecureL0,
+        DefenseKind::MuonTrap,
+        DefenseKind::MuonTrapClearOnMisspeculate,
+        DefenseKind::InvisiSpecSpectre,
+        DefenseKind::InvisiSpecFuture,
+        DefenseKind::SttSpectre,
+        DefenseKind::SttFuture,
+    ];
+    for workload in spec_suite(Scale::Tiny) {
+        for kind in kinds {
+            let result = run_workload(&workload, kind, &cfg);
+            assert!(
+                result.completed,
+                "{} did not complete under {}",
+                workload.name,
+                kind.label()
+            );
+            assert!(result.committed > 0);
+        }
+    }
+    for workload in parsec_suite(Scale::Tiny, cfg.cores) {
+        for kind in kinds {
+            let result = run_workload(&workload, kind, &cfg);
+            assert!(
+                result.completed,
+                "{} did not complete under {}",
+                workload.name,
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn muontrap_overhead_stays_in_a_plausible_band_on_spec_like_kernels() {
+    // The paper's headline: 4% average slowdown on SPEC CPU2006, with a worst
+    // case of 47% and some speedups. At Tiny scale we only require each kernel
+    // to stay within a generous band and the geomean to stay close to 1.
+    let cfg = config();
+    let mut ratios = Vec::new();
+    for workload in spec_suite(Scale::Tiny) {
+        let t = normalized_time(&workload, DefenseKind::MuonTrap, &cfg);
+        assert!(
+            t > 0.4 && t < 1.9,
+            "{}: normalised time {t} far outside the plausible band",
+            workload.name
+        );
+        ratios.push(t);
+    }
+    let geomean = geometric_mean(&ratios);
+    assert!(
+        geomean > 0.8 && geomean < 1.35,
+        "SPEC-like geomean {geomean} should be close to 1 (paper: 1.04)"
+    );
+}
+
+#[test]
+fn protection_mechanisms_accumulate_without_catastrophic_slowdown() {
+    // Figure 8/9 shape: each successively enabled mechanism changes
+    // performance only modestly on a representative kernel.
+    let cfg = config();
+    let suite = spec_suite(Scale::Tiny);
+    let workload = suite.iter().find(|w| w.name == "hmmer").expect("kernel exists");
+    for (label, kind) in bench_configs() {
+        let t = normalized_time(workload, kind, &cfg);
+        assert!(t > 0.4 && t < 2.0, "{label}: normalised time {t} out of band");
+    }
+}
+
+/// The cumulative configurations of figures 8/9, reconstructed here so this
+/// test does not depend on the bench crate.
+fn bench_configs() -> Vec<(&'static str, DefenseKind)> {
+    let fcache_only = ProtectionConfig {
+        data_filter_cache: true,
+        secure_filter: true,
+        coherence_protection: false,
+        instruction_filter_cache: false,
+        prefetch_at_commit: false,
+        clear_on_misspeculate: false,
+        parallel_l1_access: false,
+        filter_tlb: true,
+    };
+    let full = ProtectionConfig::muontrap_default();
+    vec![
+        ("insecure-l0", DefenseKind::InsecureL0),
+        ("fcache-only", DefenseKind::MuonTrapCustom(fcache_only)),
+        ("full", DefenseKind::MuonTrapCustom(full)),
+        ("clear-misspec", DefenseKind::MuonTrapClearOnMisspeculate),
+        ("parallel-l1", DefenseKind::MuonTrapParallelL1),
+    ]
+}
+
+#[test]
+fn parallel_l1_lookup_is_not_slower_than_serial_lookup() {
+    let cfg = config();
+    let suite = spec_suite(Scale::Tiny);
+    let workload = suite.iter().find(|w| w.name == "omnetpp").expect("kernel exists");
+    let serial = normalized_time(workload, DefenseKind::MuonTrap, &cfg);
+    let parallel = normalized_time(workload, DefenseKind::MuonTrapParallelL1, &cfg);
+    assert!(
+        parallel <= serial + 0.02,
+        "parallel L0/L1 lookup ({parallel}) must not be slower than serial ({serial})"
+    );
+}
+
+#[test]
+fn undersized_filter_caches_hurt_cache_sensitive_parallel_workloads() {
+    // Figure 5 shape: a one-line filter cache is substantially worse than the
+    // 2 KiB default for at least one Parsec-like kernel.
+    let cfg = config();
+    let suite = parsec_suite(Scale::Tiny, cfg.cores);
+    let workload = suite.iter().find(|w| w.name == "streamcluster").expect("kernel exists");
+    let tiny_cfg = simsys::experiment::with_filter_cache(&cfg, 64, 1);
+    let default_cfg = simsys::experiment::with_filter_cache(&cfg, 2048, 32);
+    let tiny = normalized_time(workload, DefenseKind::MuonTrap, &tiny_cfg);
+    let default = normalized_time(workload, DefenseKind::MuonTrap, &default_cfg);
+    assert!(
+        tiny >= default,
+        "a 64 B filter cache ({tiny}) should not beat the 2 KiB one ({default})"
+    );
+}
+
+#[test]
+fn context_switch_flush_cost_appears_in_time_sliced_runs() {
+    // Two processes sharing one core force regular filter flushes; the run
+    // still completes and the flush counters line up with the switches.
+    let mut cfg = SystemConfig::small_test();
+    cfg.cores = 1;
+    cfg.scheduler_quantum = 5_000;
+    let suite = spec_suite(Scale::Tiny);
+    let a = suite.iter().find(|w| w.name == "hmmer").unwrap();
+    let model = build_defense(DefenseKind::MuonTrap, &cfg);
+    let mut system = System::new(&cfg, model);
+    let pid_a = system.add_process();
+    let pid_b = system.add_process();
+    system.add_thread(pid_a, a.thread_programs[0].clone());
+    system.add_thread(pid_b, a.thread_programs[0].clone());
+    let report = system.run(60_000_000);
+    assert!(report.completed);
+    assert!(report.context_switches > 2);
+    assert!(
+        report.stats.counter("muontrap.context_switch_flushes") >= report.context_switches,
+        "every context switch must flush the filter caches"
+    );
+}

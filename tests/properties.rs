@@ -1,0 +1,279 @@
+//! Property-based tests over the core data structures and invariants, using
+//! proptest. These complement the example-based unit tests inside each crate
+//! by exploring randomised operation sequences.
+
+use proptest::prelude::*;
+
+use muontrap_repro::prelude::*;
+use memsys::cache::CacheArray;
+use memsys::MesiState;
+use muontrap::FilterCache;
+use ooo_core::memmodel::FixedLatencyMemory;
+use simkit::addr::{LineAddr, VirtAddr};
+use simkit::config::CacheConfig;
+use simkit::cycles::Cycle;
+use simkit::rng::SimRng;
+use simkit::stats::{geometric_mean, Histogram, StatSet};
+use uarch_isa::inst::{eval_alu, AluOp, MemWidth};
+use uarch_isa::mem::SparseMemory;
+use uarch_isa::Interpreter;
+
+// ---------------------------------------------------------------------------
+// simkit invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn rng_below_always_respects_its_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_shuffle_is_a_permutation(seed in any::<u64>(), len in 0usize..64) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut values: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn geometric_mean_lies_between_min_and_max(values in prop::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = geometric_mean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001, "geomean {g} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn histogram_counts_every_sample(samples in prop::collection::vec(0u64..10_000, 0..200)) {
+        let mut h = Histogram::new(64, 32);
+        for s in &samples {
+            h.record(*s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let bucketed: u64 = (0..32).map(|i| h.bucket(i)).sum::<u64>() + h.overflow();
+        prop_assert_eq!(bucketed, samples.len() as u64);
+    }
+
+    #[test]
+    fn stat_merge_is_additive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let mut s1 = StatSet::new();
+        s1.add("x", a);
+        let mut s2 = StatSet::new();
+        s2.add("x", b);
+        s1.merge(&s2);
+        prop_assert_eq!(s1.counter("x"), a + b);
+    }
+
+    #[test]
+    fn alu_add_sub_round_trip(a in any::<u64>(), b in any::<u64>()) {
+        let sum = eval_alu(AluOp::Add, a, b);
+        prop_assert_eq!(eval_alu(AluOp::Sub, sum, b), a);
+        prop_assert_eq!(eval_alu(AluOp::Xor, eval_alu(AluOp::Xor, a, b), b), a);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse memory vs a reference model
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sparse_memory_matches_a_hashmap_model(
+        ops in prop::collection::vec((0u64..0x4000, any::<u64>()), 1..200)
+    ) {
+        let mut memory = SparseMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, value) in &ops {
+            let aligned = addr & !7;
+            memory.write(VirtAddr::new(aligned), *value, MemWidth::Double);
+            model.insert(aligned, *value);
+        }
+        for (addr, expected) in &model {
+            prop_assert_eq!(memory.read(VirtAddr::new(*addr), MemWidth::Double), *expected);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache array invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity_and_mru_is_resident(
+        lines in prop::collection::vec(0u64..256, 1..300)
+    ) {
+        let mut cache: CacheArray<()> = CacheArray::new(&CacheConfig::new(2048, 4, 1, 4), 64);
+        for line in &lines {
+            cache.insert(LineAddr::new(*line), MesiState::Shared, ());
+            prop_assert!(cache.occupancy() <= cache.capacity_lines());
+            // The line just inserted must be resident (most recently used).
+            prop_assert!(cache.contains(LineAddr::new(*line)));
+        }
+        // Invalidate-all always empties the cache.
+        cache.invalidate_all();
+        prop_assert_eq!(cache.occupancy(), 0);
+    }
+
+    #[test]
+    fn cache_lookup_agrees_with_peek(lines in prop::collection::vec(0u64..64, 1..100)) {
+        let mut cache: CacheArray<()> = CacheArray::new(&CacheConfig::new(1024, 2, 1, 4), 64);
+        for line in &lines {
+            cache.insert(LineAddr::new(*line), MesiState::Exclusive, ());
+        }
+        for line in 0u64..64 {
+            let peeked = cache.peek(LineAddr::new(line)).is_some();
+            let looked = cache.lookup(LineAddr::new(line)).is_some();
+            prop_assert_eq!(peeked, looked);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filter cache invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn filter_cache_flush_is_total_and_committed_bit_is_monotonic(
+        lines in prop::collection::vec(0u64..128, 1..200)
+    ) {
+        let mut filter = FilterCache::new(&CacheConfig::new(2048, 4, 1, 4), 64);
+        for (i, line) in lines.iter().enumerate() {
+            let addr = LineAddr::new(*line);
+            filter.insert_speculative(
+                addr,
+                VirtAddr::new(line * 64),
+                memsys::ServiceLevel::Dram,
+                false,
+                Cycle::new(i as u64),
+            );
+            // Newly inserted speculative lines are uncommitted.
+            prop_assert!(!filter.is_committed(addr));
+            if i % 3 == 0 {
+                filter.mark_committed(addr);
+                prop_assert!(filter.is_committed(addr));
+            }
+        }
+        let occupancy = filter.occupancy();
+        prop_assert!(occupancy <= filter.capacity_lines());
+        let dropped = filter.flush();
+        prop_assert_eq!(dropped, occupancy);
+        prop_assert_eq!(filter.occupancy(), 0);
+        for line in &lines {
+            prop_assert!(!filter.contains(LineAddr::new(*line)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random programs: out-of-order core vs functional interpreter
+// ---------------------------------------------------------------------------
+
+/// Generates a random but always-terminating straight-line program: a mix of
+/// ALU operations, stores and loads over a small scratch region, ending in a
+/// halt. Control flow is exercised by the workload-level golden tests; here we
+/// stress dataflow, forwarding and memory ordering.
+fn random_program(ops: &[(u8, u8, u8, u8, i64)]) -> uarch_isa::Program {
+    let mut b = ProgramBuilder::new("random");
+    b.li(Reg::X1, 0x9000); // scratch base
+    for (i, (kind, rd, rs1, rs2)) in
+        ops.iter().map(|(k, a, b_, c, _)| (*k, *a, *b_, *c)).enumerate()
+    {
+        let rd = Reg::from_index(1 + (rd as usize % 29));
+        let rs1 = Reg::from_index(1 + (rs1 as usize % 29));
+        let rs2 = Reg::from_index(1 + (rs2 as usize % 29));
+        let imm = ops[i].4 % 64;
+        match kind % 6 {
+            0 => {
+                b.add(rd, rs1, rs2);
+            }
+            1 => {
+                b.alui(AluOp::Xor, rd, rs1, imm);
+            }
+            2 => {
+                b.mul(rd, rs1, rs2);
+            }
+            3 => {
+                // Aligned store into the scratch region.
+                b.andi(Reg::X30, rs1, 0x1f8);
+                b.add(Reg::X30, Reg::X30, Reg::X1);
+                b.store(rs2, Reg::X30, 0);
+            }
+            4 => {
+                // Aligned load from the scratch region.
+                b.andi(Reg::X30, rs1, 0x1f8);
+                b.add(Reg::X30, Reg::X30, Reg::X1);
+                b.load(rd, Reg::X30, 0);
+            }
+            _ => {
+                b.alui(AluOp::Add, rd, rs1, imm);
+            }
+        }
+    }
+    b.halt();
+    b.build().expect("random straight-line program builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn out_of_order_core_matches_interpreter_on_random_programs(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<i64>()), 1..60)
+    ) {
+        let program = random_program(&ops);
+
+        let mut interp = Interpreter::new(&program);
+        let golden = interp.run(1_000_000).expect("interpreter halts");
+
+        let cfg = SystemConfig::paper_default();
+        let mut core = ooo_core::OooCore::new(0, &cfg);
+        let mut mem = FixedLatencyMemory::default();
+        core.run_to_halt(ThreadContext::new(program, 0), &mut mem, 10_000_000)
+            .expect("core halts");
+        let finished = core.swap_thread(None).expect("context");
+
+        prop_assert_eq!(finished.regs.snapshot(), golden.regs.snapshot());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MuonTrap end-to-end invariants under random access sequences
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn speculative_accesses_never_reach_the_non_speculative_hierarchy(
+        addrs in prop::collection::vec(0u64..0x80_000, 1..80)
+    ) {
+        use ooo_core::memmodel::{MemAccessCtx, MemoryModel};
+        let cfg = SystemConfig::paper_default();
+        let mut mt = muontrap::MuonTrap::new(&cfg);
+        for (i, raw) in addrs.iter().enumerate() {
+            let vaddr = VirtAddr::new(0x10_0000 + (raw & !7));
+            let ctx = MemAccessCtx::simple(
+                0,
+                vaddr,
+                VirtAddr::new(0x40_0000),
+                Cycle::new(i as u64 * 3),
+                false,
+            );
+            let _ = mt.load(&ctx);
+            let line = mt.phys_line(0, vaddr);
+            prop_assert!(
+                !mt.hierarchy().own_l1_contains(0, line) && !mt.hierarchy().l2_contains(line),
+                "speculative line {line:?} leaked into the non-speculative hierarchy"
+            );
+        }
+        // After a domain switch nothing speculative survives anywhere.
+        mt.on_domain_switch(0, ooo_core::DomainSwitch::ContextSwitch, Cycle::new(1_000_000));
+        prop_assert_eq!(mt.data_filter_occupancy(0), 0);
+    }
+}
