@@ -63,6 +63,18 @@ impl AttackOutcome {
     }
 }
 
+impl simkit::json::ToJson for AttackOutcome {
+    fn to_json(&self) -> simkit::json::Json {
+        use simkit::json::Json;
+        Json::obj([
+            ("attack", Json::Str(self.attack.clone())),
+            ("defense", Json::Str(self.defense.clone())),
+            ("leaked", Json::Bool(self.leaked)),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +85,13 @@ mod tests {
         assert_eq!(o.attack, "attack 1");
         assert_eq!(o.defense, "muontrap");
         assert!(!o.leaked);
+    }
+
+    #[test]
+    fn outcome_serialises_to_json() {
+        use simkit::json::{Json, ToJson};
+        let json = AttackOutcome::new("attack 1", "muontrap", false, "no leak").to_json();
+        assert_eq!(json.get("attack").and_then(Json::as_str), Some("attack 1"));
+        assert_eq!(json.get("leaked").and_then(Json::as_bool), Some(false));
     }
 }

@@ -280,6 +280,9 @@ mod tests {
     fn litmus_suite_reports_all_five_attacks() {
         let outcomes = run_litmus_suite(DefenseKind::MuonTrap, &cfg());
         assert_eq!(outcomes.len(), 5);
-        assert!(outcomes.iter().all(|o| !o.leaked), "MuonTrap must stop attacks 2-6: {outcomes:?}");
+        assert!(
+            outcomes.iter().all(|o| !o.leaked),
+            "MuonTrap must stop attacks 2-6: {outcomes:?}"
+        );
     }
 }

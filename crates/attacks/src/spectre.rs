@@ -91,7 +91,7 @@ fn victim_program(secret: u64, training_rounds: u64) -> Program {
     b.andi(Reg::X16, Reg::X15, 7); // idx in 0..8: always in bounds
     b.call(gadget, Reg::X30);
     b.addi(Reg::X15, Reg::X15, 1);
-    b.blt_imm(Reg::X15, training_rounds as u64, train_top);
+    b.blt_imm(Reg::X15, training_rounds, train_top);
     b.jump(done_training);
 
     // ---- the gadget --------------------------------------------------
@@ -170,7 +170,7 @@ fn attacker_program() -> Program {
     b.mul(Reg::X15, Reg::X1, Reg::X14);
     b.remi(Reg::X15, Reg::X15, 14);
     b.addi(Reg::X15, Reg::X15, 2); // x15 = probe line index
-    // addr = PROBE_VA + line * 64
+                                   // addr = PROBE_VA + line * 64
     b.shli(Reg::X4, Reg::X15, 6);
     b.li(Reg::X5, PROBE_VA);
     b.add(Reg::X4, Reg::X5, Reg::X4);
@@ -233,11 +233,18 @@ pub fn spectre_prime_probe_with_secret(
     let report = system.run(20_000_000);
     assert!(report.completed, "attack scenario did not finish");
 
-    let attacker_memory = system.process_memory(attacker_pid).expect("attacker has memory");
+    let attacker_memory = system
+        .process_memory(attacker_pid)
+        .expect("attacker has memory");
     let memory = attacker_memory.borrow();
     let recovered = memory.read(VirtAddr::new(ATTACKER_RESULT_VA), MemWidth::Double);
     let probe_latencies: Vec<u64> = (0..PROBE_LINES)
-        .map(|i| memory.read(VirtAddr::new(ATTACKER_LAT_BASE_VA + i * 8), MemWidth::Double))
+        .map(|i| {
+            memory.read(
+                VirtAddr::new(ATTACKER_LAT_BASE_VA + i * 8),
+                MemWidth::Double,
+            )
+        })
         .collect();
     drop(memory);
 
@@ -248,7 +255,10 @@ pub fn spectre_prime_probe_with_secret(
     let mut sorted: Vec<u64> = probe_latencies[2..].to_vec();
     sorted.sort_unstable();
     let median = sorted[sorted.len() / 2];
-    let best = probe_latencies.get(recovered as usize).copied().unwrap_or(u64::MAX);
+    let best = probe_latencies
+        .get(recovered as usize)
+        .copied()
+        .unwrap_or(u64::MAX);
     let decisive = best + 20 < median;
     SpectreOutcome {
         secret,
@@ -270,10 +280,20 @@ pub fn spectre_prime_probe(kind: DefenseKind, config: &SystemConfig) -> AttackOu
     let leaked = leaks >= 3; // reliable extraction, not a lucky guess
     let detail = outcomes
         .iter()
-        .map(|o| format!("secret {} -> recovered {} (leaked: {})", o.secret, o.recovered, o.leaked))
+        .map(|o| {
+            format!(
+                "secret {} -> recovered {} (leaked: {})",
+                o.secret, o.recovered, o.leaked
+            )
+        })
         .collect::<Vec<_>>()
         .join("; ");
-    AttackOutcome::new("attack 1: spectre prime+probe", kind.label(), leaked, detail)
+    AttackOutcome::new(
+        "attack 1: spectre prime+probe",
+        kind.label(),
+        leaked,
+        detail,
+    )
 }
 
 #[cfg(test)]

@@ -1,25 +1,25 @@
-//! Criterion bench for the figure8 harness: regenerates a reduced-scale
-//! version of the series (printed to stderr) and measures the wall-clock cost
-//! of one representative simulation so regressions in simulator throughput
-//! are visible. The full-scale series is produced by the `fig8` binary.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Throughput bench for the figure8 harness (no external harness: the
+//! build runs offline, so criterion is unavailable). Regenerates the series
+//! at tiny scale serially and in parallel and reports wall-clock times, so
+//! simulator-throughput and session-scaling regressions are visible. The
+//! full-scale series is produced by the `fig8` binary.
+use std::time::Instant;
 
-fn bench(c: &mut Criterion) {
+fn timed(label: &str, threads: usize) -> f64 {
     let config = simkit::config::SystemConfig::small_test();
-    let figure = bench::figure8(workloads::Scale::Tiny, &config);
-    eprintln!("{}", figure.render());
-
-    let workload = workloads::spec_suite(workloads::Scale::Tiny)
-        .into_iter()
-        .nth(20)
-        .expect("suite has at least 21 kernels");
-    let mut group = c.benchmark_group("fig8_cost_breakdown_parsec");
-    group.sample_size(10);
-    group.bench_function("muontrap_one_workload", |b| {
-        b.iter(|| bench::one_run_cycles(&workload, defenses::DefenseKind::MuonTrap, &config))
-    });
-    group.finish();
+    let started = Instant::now();
+    let report = bench::figure8(workloads::Scale::Tiny, &config, threads);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "fig8_cost_breakdown_parsec/{label}: {elapsed_ms:.1} ms wall, {} cells, {} baseline sims",
+        report.cells.len(),
+        report.baseline_sims
+    );
+    elapsed_ms
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    timed("serial", 1);
+    timed(&format!("parallel-{threads}"), threads);
+}

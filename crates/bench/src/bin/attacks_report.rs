@@ -1,6 +1,12 @@
 //! Runs attacks 1-6 against each memory-system configuration and prints which
 //! configurations leak (the paper's security argument, in executable form).
+//! `--json` emits one JSON object per (attack, defense) outcome.
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let config = simkit::config::SystemConfig::paper_default();
-    println!("{}", bench::security_matrix(&config));
+    if json {
+        println!("{}", bench::security_json(&config).to_string_pretty());
+    } else {
+        println!("{}", bench::security_matrix(&config));
+    }
 }

@@ -1,9 +1,7 @@
-//! Regenerates figure 5 of the paper. Run with `--release`; pass
-//! `--tiny` for a quick, reduced-scale version of the same series.
+//! Regenerates figure 5 of the paper. Run with `--release`; see `--help`
+//! for the shared flags (`--json`, `--scale`, `--threads`, `--tiny`).
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let scale = if tiny { workloads::Scale::Tiny } else { workloads::Scale::Small };
-    let config = simkit::config::SystemConfig::paper_default();
-    println!("{}", bench::table1());
-    println!("{}", bench::figure5(scale, &config).render());
+    bench::cli::figure_main(|options, config| {
+        bench::figure5(options.scale, config, options.threads)
+    });
 }

@@ -1,9 +1,16 @@
-//! Regenerates figure 7 of the paper. Run with `--release`; pass
-//! `--tiny` for a quick, reduced-scale version of the same series.
+//! Regenerates figure 7 of the paper (invalidation-broadcast rates). Run
+//! with `--release`; see `--help` for the shared flags. The `--json` report
+//! is the full session `RunReport`; the per-workload rates the text mode
+//! renders come from the `muontrap.*` counters in each cell's stats.
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let scale = if tiny { workloads::Scale::Tiny } else { workloads::Scale::Small };
+    let options = bench::cli::parse_or_exit();
     let config = simkit::config::SystemConfig::paper_default();
-    println!("{}", bench::table1());
-    println!("{}", bench::figure7(scale, &config).render());
+    let report = bench::figure7(options.scale, &config, options.threads);
+    if options.json {
+        use simkit::json::ToJson;
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        println!("{}", bench::table1());
+        println!("{}", bench::invalidate_rates(&report).render());
+    }
 }

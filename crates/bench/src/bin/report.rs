@@ -1,0 +1,32 @@
+//! Regenerates the entire evaluation — Table 1, figures 3–9 and the security
+//! matrix — as one JSON document (always JSON; there is no text mode). This
+//! is the one-shot artefact-regeneration entry point:
+//!
+//! ```text
+//! cargo run --release --bin report -- --scale small --threads 8 > evaluation.json
+//! ```
+use simkit::json::{Json, ToJson};
+
+fn main() {
+    let options = bench::cli::parse_or_exit();
+    let config = simkit::config::SystemConfig::paper_default();
+    let figures: Vec<Json> = [
+        bench::figure3,
+        bench::figure4,
+        bench::figure5,
+        bench::figure6,
+        bench::figure7,
+        bench::figure8,
+        bench::figure9,
+    ]
+    .iter()
+    .map(|figure| figure(options.scale, &config, options.threads).to_json())
+    .collect();
+    let document = Json::obj([
+        ("scale", Json::Str(options.scale.to_string())),
+        ("table1", bench::table1_json()),
+        ("figures", Json::Arr(figures)),
+        ("security", bench::security_json(&config)),
+    ]);
+    println!("{}", document.to_string_pretty());
+}

@@ -1,4 +1,10 @@
 //! Prints Table 1 of the paper (the simulated system configuration).
+//! `--json` emits the configuration as a JSON object.
 fn main() {
-    println!("{}", bench::table1());
+    let json = std::env::args().any(|a| a == "--json");
+    if json {
+        println!("{}", bench::table1_json().to_string_pretty());
+    } else {
+        println!("{}", bench::table1());
+    }
 }

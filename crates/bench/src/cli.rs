@@ -1,0 +1,147 @@
+//! The tiny shared argument parser behind every figure binary.
+//!
+//! All ten binaries accept the same flags:
+//!
+//! * `--json` — emit the machine-readable report instead of the text table,
+//! * `--scale <tiny|small|large>` — workload scale (default `small`),
+//! * `--threads <n>` — session worker threads (default: all cores),
+//! * `--tiny` — backwards-compatible alias for `--scale tiny`,
+//! * `--help` — print usage.
+
+use simkit::config::SystemConfig;
+use simkit::json::ToJson;
+use simsys::session::RunReport;
+use workloads::Scale;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Emit JSON instead of the text rendering.
+    pub json: bool,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Session worker threads.
+    pub threads: usize,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            json: false,
+            scale: Scale::Small,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses an argument list (excluding the program name).
+    ///
+    /// # Errors
+    /// Returns a usage message when a flag is unknown or a value is missing
+    /// or malformed.
+    pub fn parse<I, S>(args: I) -> Result<CliOptions, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut options = CliOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_ref() {
+                "--json" => options.json = true,
+                "--tiny" => options.scale = Scale::Tiny,
+                "--scale" => {
+                    let value = args.next().ok_or("--scale needs a value")?;
+                    options.scale = value.as_ref().parse::<Scale>().map_err(|e| e.to_string())?;
+                }
+                "--threads" => {
+                    let value = args.next().ok_or("--threads needs a value")?;
+                    let parsed: usize = value
+                        .as_ref()
+                        .parse()
+                        .map_err(|_| format!("invalid thread count `{}`", value.as_ref()))?;
+                    if parsed == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    options.threads = parsed;
+                }
+                "--help" | "-h" => return Err(usage()),
+                other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            }
+        }
+        Ok(options)
+    }
+}
+
+/// The usage text shared by every binary.
+pub fn usage() -> String {
+    "usage: <binary> [--json] [--scale tiny|small|large] [--threads N] [--tiny]".to_string()
+}
+
+/// Parses `std::env::args`, exiting with the usage message on `--help` or a
+/// parse error.
+pub fn parse_or_exit() -> CliOptions {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        std::process::exit(0);
+    }
+    match CliOptions::parse(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Standard main body for a figure binary: parse flags, build the report,
+/// print JSON (with `--json`) or Table 1 plus the rendered figure.
+pub fn figure_main(build: impl FnOnce(&CliOptions, &SystemConfig) -> RunReport) {
+    let options = parse_or_exit();
+    let config = SystemConfig::paper_default();
+    let report = build(&options, &config);
+    if options.json {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        println!("{}", crate::table1());
+        println!("{}", crate::Figure::from_report(&report).render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_old_binaries() {
+        let options = CliOptions::parse(Vec::<String>::new()).unwrap();
+        assert!(!options.json);
+        assert_eq!(options.scale, Scale::Small);
+        assert!(options.threads >= 1);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let options = CliOptions::parse(["--json", "--scale", "large", "--threads", "3"]).unwrap();
+        assert!(options.json);
+        assert_eq!(options.scale, Scale::Large);
+        assert_eq!(options.threads, 3);
+    }
+
+    #[test]
+    fn tiny_is_an_alias_for_scale_tiny() {
+        let options = CliOptions::parse(["--tiny"]).unwrap();
+        assert_eq!(options.scale, Scale::Tiny);
+    }
+
+    #[test]
+    fn bad_input_is_rejected_with_usage() {
+        assert!(CliOptions::parse(["--scale"]).is_err());
+        assert!(CliOptions::parse(["--scale", "huge"]).is_err());
+        assert!(CliOptions::parse(["--threads", "0"]).is_err());
+        assert!(CliOptions::parse(["--threads", "lots"]).is_err());
+        assert!(CliOptions::parse(["--wat"]).unwrap_err().contains("usage:"));
+    }
+}

@@ -1,10 +1,12 @@
-//! Shared harness code behind the figure binaries and Criterion benches.
+//! Shared harness code behind the figure binaries and benches.
 //!
 //! Every table and figure in the paper's evaluation section (§6) has a
-//! function here that produces its data series, and a thin binary in
-//! `src/bin/` that prints it. The Criterion benches in `benches/` call the
-//! same functions at reduced scale so `cargo bench` both regenerates the
-//! series and tracks the simulator's own throughput.
+//! function here that produces its data, and a thin binary in `src/bin/` that
+//! prints it. All figure functions run on
+//! [`simsys::session::ExperimentSession`], so baselines are memoized per
+//! workload and grid cells run in parallel; each returns a structured
+//! [`RunReport`] that serialises to JSON (`--json` on every binary) or
+//! renders as the classic aligned text table.
 //!
 //! | Paper artefact | Function | Binary |
 //! |----------------|----------|--------|
@@ -17,12 +19,18 @@
 //! | Figure 8       | [`figure8`] | `fig8` |
 //! | Figure 9       | [`figure9`] | `fig9` |
 //! | Attacks 1–6    | [`security_matrix`] | `attacks_report` |
+//!
+//! The `report` binary regenerates everything at once into one JSON document.
+
+pub mod cli;
 
 use simkit::config::{ProtectionConfig, SystemConfig};
+use simkit::json::{Json, ToJson};
 use simkit::stats::geometric_mean;
 
+use attacks::AttackOutcome;
 use defenses::DefenseKind;
-use simsys::experiment::{normalized_times, run_workload, with_filter_cache, write_invalidate_rate};
+use simsys::session::{ExperimentSession, RunReport};
 use workloads::{parsec_suite, spec_suite, Scale, Workload};
 
 /// One row of a normalised-execution-time figure: a workload plus one value
@@ -48,6 +56,22 @@ pub struct Figure {
 }
 
 impl Figure {
+    /// The normalised-execution-time view of a session report.
+    pub fn from_report(report: &RunReport) -> Figure {
+        Figure {
+            title: report.title.clone(),
+            configs: report.columns.clone(),
+            rows: (0..report.workloads.len())
+                .map(|w| FigureRow {
+                    workload: report.workloads[w].clone(),
+                    values: (0..report.columns.len())
+                        .map(|c| report.cell(w, c).normalized_time)
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
     /// The geometric mean of each column across all rows.
     pub fn geomeans(&self) -> Vec<f64> {
         (0..self.configs.len())
@@ -83,118 +107,151 @@ impl Figure {
     }
 }
 
-fn build_figure(
+fn session(
     title: &str,
-    workloads: &[Workload],
-    kinds: &[DefenseKind],
+    scale: Scale,
+    workloads: Vec<Workload>,
     config: &SystemConfig,
-) -> Figure {
-    let configs: Vec<String> = kinds.iter().map(|k| k.label().to_string()).collect();
-    let rows = workloads
-        .iter()
-        .map(|w| FigureRow {
-            workload: w.name.clone(),
-            values: normalized_times(w, kinds, config).into_iter().map(|(_, v)| v).collect(),
-        })
-        .collect();
-    Figure { title: title.to_string(), configs, rows }
+    threads: usize,
+) -> ExperimentSession {
+    ExperimentSession::new()
+        .title(title)
+        .scale(scale)
+        .workloads(workloads)
+        .config(config.clone())
+        .threads(threads)
 }
 
 /// Table 1: the simulated system configuration.
 pub fn table1() -> String {
-    format!("== Table 1: system configuration ==\n{}", SystemConfig::paper_default())
+    format!(
+        "== Table 1: system configuration ==\n{}",
+        SystemConfig::paper_default()
+    )
+}
+
+/// Table 1 as JSON (the `table1 --json` output).
+pub fn table1_json() -> Json {
+    let cfg = SystemConfig::paper_default();
+    Json::obj([
+        ("cores", Json::UInt(cfg.cores as u64)),
+        ("line_bytes", Json::UInt(cfg.line_bytes)),
+        ("pipeline_width", Json::UInt(cfg.pipeline.width as u64)),
+        ("rob_entries", Json::UInt(cfg.pipeline.rob_entries as u64)),
+        ("l1d_bytes", Json::UInt(cfg.l1d.size_bytes)),
+        ("l2_bytes", Json::UInt(cfg.l2.size_bytes)),
+        ("data_filter_bytes", Json::UInt(cfg.data_filter.size_bytes)),
+        ("data_filter_ways", Json::UInt(cfg.data_filter.ways as u64)),
+        ("description", Json::Str(format!("{cfg}"))),
+    ])
 }
 
 /// Figure 3: normalised execution time on the SPEC-CPU2006-like suite for
 /// MuonTrap, InvisiSpec (both variants) and STT (both variants).
-pub fn figure3(scale: Scale, config: &SystemConfig) -> Figure {
-    build_figure(
+pub fn figure3(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+    session(
         "Figure 3: SPEC CPU2006-like, normalised execution time (lower is better)",
-        &spec_suite(scale),
-        &DefenseKind::figure3_set(),
+        scale,
+        spec_suite(scale),
         config,
+        threads,
     )
+    .defenses(DefenseKind::figure3_set())
+    .run()
 }
 
 /// Figure 4: normalised execution time on the Parsec-like suite (4 threads).
-pub fn figure4(scale: Scale, config: &SystemConfig) -> Figure {
-    build_figure(
+pub fn figure4(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+    session(
         "Figure 4: Parsec-like (4 threads), normalised execution time (lower is better)",
-        &parsec_suite(scale, config.cores),
-        &DefenseKind::figure3_set(),
+        scale,
+        parsec_suite(scale, config.cores),
         config,
+        threads,
     )
+    .defenses(DefenseKind::figure3_set())
+    .run()
 }
 
 /// Figure 5: Parsec-like performance as the (fully-associative) data filter
-/// cache is swept from 64 B to 4 KiB.
-pub fn figure5(scale: Scale, config: &SystemConfig) -> Figure {
+/// cache is swept from 64 B to 4 KiB. One baseline per workload: the swept
+/// filter-cache geometry is invisible to the unprotected machine.
+pub fn figure5(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
     let sizes: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
-    let workloads = parsec_suite(scale, config.cores);
-    let configs: Vec<String> = sizes.iter().map(|s| format!("{s} B")).collect();
-    let rows = workloads
-        .iter()
-        .map(|w| {
-            let values = sizes
-                .iter()
-                .map(|size| {
-                    // Fully associative at every size, as in the paper's sweep.
-                    let cfg = with_filter_cache(config, *size, (*size / config.line_bytes) as usize);
-                    simsys::experiment::normalized_time(w, DefenseKind::MuonTrap, &cfg)
-                })
-                .collect();
-            FigureRow { workload: w.name.clone(), values }
-        })
-        .collect();
-    Figure {
-        title: "Figure 5: filter-cache size sweep (fully associative), Parsec-like".to_string(),
-        configs,
-        rows,
-    }
+    let sweep = sizes.map(|size| {
+        // Fully associative at every size, as in the paper's sweep.
+        (
+            format!("{size} B"),
+            config.with_data_filter(size, (size / config.line_bytes) as usize),
+        )
+    });
+    session(
+        "Figure 5: filter-cache size sweep (fully associative), Parsec-like",
+        scale,
+        parsec_suite(scale, config.cores),
+        config,
+        threads,
+    )
+    .defenses([DefenseKind::MuonTrap])
+    .config_sweep(sweep)
+    .run()
 }
 
 /// Figure 6: Parsec-like performance as the associativity of a 2 KiB filter
 /// cache is swept from direct-mapped to fully associative.
-pub fn figure6(scale: Scale, config: &SystemConfig) -> Figure {
+pub fn figure6(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
     let ways: [usize; 6] = [1, 2, 4, 8, 16, 32];
-    let workloads = parsec_suite(scale, config.cores);
-    let configs: Vec<String> = ways.iter().map(|w| format!("{w}-way")).collect();
-    let rows = workloads
-        .iter()
-        .map(|w| {
-            let values = ways
-                .iter()
-                .map(|assoc| {
-                    let cfg = with_filter_cache(config, 2048, *assoc);
-                    simsys::experiment::normalized_time(w, DefenseKind::MuonTrap, &cfg)
-                })
-                .collect();
-            FigureRow { workload: w.name.clone(), values }
-        })
-        .collect();
-    Figure {
-        title: "Figure 6: 2 KiB filter-cache associativity sweep, Parsec-like".to_string(),
-        configs,
-        rows,
-    }
+    let sweep = ways.map(|w| (format!("{w}-way"), config.with_data_filter(2048, w)));
+    session(
+        "Figure 6: 2 KiB filter-cache associativity sweep, Parsec-like",
+        scale,
+        parsec_suite(scale, config.cores),
+        config,
+        threads,
+    )
+    .defenses([DefenseKind::MuonTrap])
+    .config_sweep(sweep)
+    .run()
 }
 
-/// Figure 7: the proportion of committed stores that trigger a filter-cache
-/// invalidation broadcast, per SPEC-like workload, under full MuonTrap.
-pub fn figure7(scale: Scale, config: &SystemConfig) -> Figure {
-    let workloads = spec_suite(scale);
-    let rows = workloads
-        .iter()
-        .map(|w| FigureRow {
-            workload: w.name.clone(),
-            values: vec![write_invalidate_rate(w, config)],
-        })
-        .collect();
+/// Figure 7: runs the SPEC-like suite under full MuonTrap; the figure's
+/// invalidation-broadcast rates come from [`invalidate_rates`] over the
+/// returned report's cell statistics.
+pub fn figure7(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+    session(
+        "Figure 7: fraction of writes triggering filter-cache invalidation broadcasts",
+        scale,
+        spec_suite(scale),
+        config,
+        threads,
+    )
+    .defenses([DefenseKind::MuonTrap])
+    .run()
+}
+
+/// The per-workload invalidation-broadcast rates behind figure 7, derived
+/// from a [`figure7`] report's `muontrap.*` counters.
+pub fn invalidate_rates(report: &RunReport) -> Figure {
     Figure {
-        title: "Figure 7: fraction of writes triggering filter-cache invalidation broadcasts"
-            .to_string(),
+        title: report.title.clone(),
         configs: vec!["invalidate rate".to_string()],
-        rows,
+        rows: report
+            .cells
+            .iter()
+            .map(|cell| {
+                let stores = cell.stats.counter("muontrap.committed_stores");
+                let broadcasts = cell.stats.counter("muontrap.store_upgrade_broadcasts");
+                let rate = if stores == 0 {
+                    0.0
+                } else {
+                    broadcasts as f64 / stores as f64
+                };
+                FigureRow {
+                    workload: cell.workload.clone(),
+                    values: vec![rate],
+                }
+            })
+            .collect(),
     }
 }
 
@@ -214,64 +271,89 @@ pub fn cumulative_protection_kinds(include_parallel_l1: bool) -> Vec<(String, De
         parallel_l1_access: false,
         filter_tlb: true,
     };
-    let coherency = ProtectionConfig { coherence_protection: true, ..fcache_only };
-    let ifcache = ProtectionConfig { instruction_filter_cache: true, ..coherency };
-    let prefetching = ProtectionConfig { prefetch_at_commit: true, ..ifcache };
-    let clear_misspec = ProtectionConfig { clear_on_misspeculate: true, ..prefetching };
+    let coherency = ProtectionConfig {
+        coherence_protection: true,
+        ..fcache_only
+    };
+    let ifcache = ProtectionConfig {
+        instruction_filter_cache: true,
+        ..coherency
+    };
+    let prefetching = ProtectionConfig {
+        prefetch_at_commit: true,
+        ..ifcache
+    };
+    let clear_misspec = ProtectionConfig {
+        clear_on_misspeculate: true,
+        ..prefetching
+    };
 
     let mut kinds = vec![
-        ("insecure L0".to_string(), DefenseKind::MuonTrapCustom(insecure)),
-        ("fcache only".to_string(), DefenseKind::MuonTrapCustom(fcache_only)),
-        ("coherency".to_string(), DefenseKind::MuonTrapCustom(coherency)),
+        (
+            "insecure L0".to_string(),
+            DefenseKind::MuonTrapCustom(insecure),
+        ),
+        (
+            "fcache only".to_string(),
+            DefenseKind::MuonTrapCustom(fcache_only),
+        ),
+        (
+            "coherency".to_string(),
+            DefenseKind::MuonTrapCustom(coherency),
+        ),
         ("ifcache".to_string(), DefenseKind::MuonTrapCustom(ifcache)),
-        ("prefetching".to_string(), DefenseKind::MuonTrapCustom(prefetching)),
-        ("clear misspec".to_string(), DefenseKind::MuonTrapCustom(clear_misspec)),
+        (
+            "prefetching".to_string(),
+            DefenseKind::MuonTrapCustom(prefetching),
+        ),
+        (
+            "clear misspec".to_string(),
+            DefenseKind::MuonTrapCustom(clear_misspec),
+        ),
     ];
     if include_parallel_l1 {
-        let parallel = ProtectionConfig { parallel_l1_access: true, ..prefetching };
-        kinds.push(("parallel L1d".to_string(), DefenseKind::MuonTrapCustom(parallel)));
+        let parallel = ProtectionConfig {
+            parallel_l1_access: true,
+            ..prefetching
+        };
+        kinds.push((
+            "parallel L1d".to_string(),
+            DefenseKind::MuonTrapCustom(parallel),
+        ));
     }
     kinds
 }
 
-fn cumulative_figure(title: &str, workloads: &[Workload], config: &SystemConfig, parallel: bool) -> Figure {
-    let kinds = cumulative_protection_kinds(parallel);
-    let configs: Vec<String> = kinds.iter().map(|(label, _)| label.clone()).collect();
-    let kind_list: Vec<DefenseKind> = kinds.iter().map(|(_, k)| *k).collect();
-    let rows = workloads
-        .iter()
-        .map(|w| FigureRow {
-            workload: w.name.clone(),
-            values: normalized_times(w, &kind_list, config).into_iter().map(|(_, v)| v).collect(),
-        })
-        .collect();
-    Figure { title: title.to_string(), configs, rows }
-}
-
 /// Figure 8: cumulatively adding protection mechanisms, Parsec-like suite.
-pub fn figure8(scale: Scale, config: &SystemConfig) -> Figure {
-    cumulative_figure(
+pub fn figure8(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+    session(
         "Figure 8: cumulative protection mechanisms, Parsec-like",
-        &parsec_suite(scale, config.cores),
+        scale,
+        parsec_suite(scale, config.cores),
         config,
-        false,
+        threads,
     )
+    .defenses_labeled(cumulative_protection_kinds(false))
+    .run()
 }
 
 /// Figure 9: cumulatively adding protection mechanisms plus the parallel
 /// L0/L1 lookup option, SPEC-like suite.
-pub fn figure9(scale: Scale, config: &SystemConfig) -> Figure {
-    cumulative_figure(
+pub fn figure9(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+    session(
         "Figure 9: cumulative protection mechanisms (+ parallel L1d), SPEC-like",
-        &spec_suite(scale),
+        scale,
+        spec_suite(scale),
         config,
-        true,
+        threads,
     )
+    .defenses_labeled(cumulative_protection_kinds(true))
+    .run()
 }
 
-/// The security matrix: every attack against every configuration, reporting
-/// which configurations leak (the paper's qualitative security argument).
-pub fn security_matrix(config: &SystemConfig) -> String {
+/// The raw outcome of every attack against every configuration the security
+/// argument compares.
+pub fn security_outcomes(config: &SystemConfig) -> Vec<AttackOutcome> {
     let kinds = [
         DefenseKind::Unprotected,
         DefenseKind::InsecureL0,
@@ -279,27 +361,48 @@ pub fn security_matrix(config: &SystemConfig) -> String {
         DefenseKind::InvisiSpecSpectre,
         DefenseKind::SttSpectre,
     ];
+    let mut outcomes = Vec::new();
+    for kind in kinds {
+        outcomes.push(attacks::spectre_prime_probe(kind, config));
+        outcomes.extend(attacks::litmus::run_litmus_suite(kind, config));
+    }
+    outcomes
+}
+
+/// The security matrix: every attack against every configuration, reporting
+/// which configurations leak (the paper's qualitative security argument).
+pub fn security_matrix(config: &SystemConfig) -> String {
     let mut out = String::new();
     out.push_str("== Security litmus: does the attack extract information? ==\n");
-    for kind in kinds {
-        out.push_str(&format!("--- {} ---\n", kind.label()));
-        let spectre = attacks::spectre_prime_probe(kind, config);
+    let mut current_defense = String::new();
+    for outcome in security_outcomes(config) {
+        if outcome.defense != current_defense {
+            current_defense = outcome.defense.clone();
+            out.push_str(&format!("--- {current_defense} ---\n"));
+        }
         out.push_str(&format!(
             "  {:40} leaked: {}\n",
-            spectre.attack, spectre.leaked
+            outcome.attack, outcome.leaked
         ));
-        for outcome in attacks::litmus::run_litmus_suite(kind, config) {
-            out.push_str(&format!("  {:40} leaked: {}\n", outcome.attack, outcome.leaked));
-        }
     }
     out
 }
 
-/// A small summary line used by benches: runs one workload under one defense
-/// and returns its simulated cycle count (so Criterion has a deterministic
-/// piece of work to measure).
+/// The security matrix as JSON (the `attacks_report --json` output).
+pub fn security_json(config: &SystemConfig) -> Json {
+    Json::Arr(
+        security_outcomes(config)
+            .iter()
+            .map(ToJson::to_json)
+            .collect(),
+    )
+}
+
+/// Runs one workload under one defense and returns its simulated cycle count:
+/// exactly one simulation, no baseline. A convenience for ad-hoc throughput
+/// measurements (the benches time whole figure grids instead).
 pub fn one_run_cycles(workload: &Workload, kind: DefenseKind, config: &SystemConfig) -> u64 {
-    run_workload(workload, kind, config).cycles
+    simsys::session::simulate(workload, kind, config).cycles
 }
 
 #[cfg(test)]
@@ -312,8 +415,14 @@ mod tests {
             title: "test".to_string(),
             configs: vec!["a".to_string(), "b".to_string()],
             rows: vec![
-                FigureRow { workload: "w1".to_string(), values: vec![1.0, 2.0] },
-                FigureRow { workload: "w2".to_string(), values: vec![4.0, 8.0] },
+                FigureRow {
+                    workload: "w1".to_string(),
+                    values: vec![1.0, 2.0],
+                },
+                FigureRow {
+                    workload: "w2".to_string(),
+                    values: vec![4.0, 8.0],
+                },
             ],
         };
         let text = fig.render();
@@ -326,6 +435,7 @@ mod tests {
     #[test]
     fn table1_mentions_the_core_count() {
         assert!(table1().contains("cores: 4"));
+        assert_eq!(table1_json().get("cores").and_then(Json::as_u64), Some(4));
     }
 
     #[test]
@@ -341,9 +451,46 @@ mod tests {
         // A smoke test over two workloads so the full harness logic (shared
         // baseline, normalisation, geomean) is exercised quickly.
         let cfg = SystemConfig::small_test();
-        let workloads = &spec_suite(Scale::Tiny)[..2];
-        let fig = build_figure("smoke", workloads, &[DefenseKind::MuonTrap], &cfg);
+        let report = ExperimentSession::new()
+            .title("smoke")
+            .workloads(spec_suite(Scale::Tiny).into_iter().take(2))
+            .defenses([DefenseKind::MuonTrap])
+            .config(cfg)
+            .run();
+        let fig = Figure::from_report(&report);
         assert_eq!(fig.rows.len(), 2);
-        assert!(fig.rows.iter().all(|r| r.values[0] > 0.2 && r.values[0] < 5.0));
+        assert!(fig
+            .rows
+            .iter()
+            .all(|r| r.values[0] > 0.2 && r.values[0] < 5.0));
+        assert_eq!(fig.geomeans(), report.geomeans());
+    }
+
+    #[test]
+    fn one_run_cycles_performs_a_single_deterministic_simulation() {
+        let cfg = SystemConfig::small_test();
+        let w = &spec_suite(Scale::Tiny)[0];
+        let a = one_run_cycles(w, DefenseKind::MuonTrap, &cfg);
+        let b = one_run_cycles(w, DefenseKind::MuonTrap, &cfg);
+        assert!(a > 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure7_rates_are_fractions() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.cores = 1;
+        let report = ExperimentSession::new()
+            .title("fig7 smoke")
+            .workloads(spec_suite(Scale::Tiny).into_iter().take(2))
+            .defenses([DefenseKind::MuonTrap])
+            .config(cfg)
+            .run();
+        let rates = invalidate_rates(&report);
+        assert_eq!(rates.rows.len(), 2);
+        assert!(rates
+            .rows
+            .iter()
+            .all(|r| (0.0..=1.0).contains(&r.values[0])));
     }
 }

@@ -73,7 +73,12 @@ impl InvisiSpec {
     /// Builds an InvisiSpec configuration of the given variant.
     pub fn new(config: &SystemConfig, variant: InvisiSpecVariant) -> Self {
         let mmus = (0..config.cores)
-            .map(|i| Mmu::new(&config.tlb, PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32)))
+            .map(|i| {
+                Mmu::new(
+                    &config.tlb,
+                    PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32),
+                )
+            })
             .collect();
         InvisiSpec {
             config: config.clone(),
@@ -109,7 +114,10 @@ impl InvisiSpec {
 
     fn data_line(&mut self, core: usize, ctx: &MemAccessCtx) -> (LineAddr, u64) {
         let t = self.mmus[core].translate_data(ctx.vaddr);
-        (LineAddr::from_phys(t.paddr, self.config.line_bytes), t.latency)
+        (
+            LineAddr::from_phys(t.paddr, self.config.line_bytes),
+            t.latency,
+        )
     }
 }
 
@@ -128,7 +136,9 @@ impl MemoryModel for InvisiSpec {
         let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
         let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
         let resp = self.hierarchy.access(&req);
-        MemOutcome::Done { latency: resp.latency + t.latency }
+        MemOutcome::Done {
+            latency: resp.latency + t.latency,
+        }
     }
 
     fn load(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
@@ -138,11 +148,17 @@ impl MemoryModel for InvisiSpec {
         // Non-speculative accesses (atomics at the head of the ROB, retried
         // loads) behave exactly as on the unprotected hierarchy.
         if !ctx.speculative {
-            let kind = if ctx.is_store { AccessKind::Store } else { AccessKind::Load };
+            let kind = if ctx.is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             let req = AccessRequest::new(ctx.core, line, kind, ctx.when).with_pc(ctx.pc.raw());
             let resp = self.hierarchy.access(&req);
             self.buffers[ctx.core].lines.remove(&line);
-            return MemOutcome::Done { latency: resp.latency + xlat };
+            return MemOutcome::Done {
+                latency: resp.latency + xlat,
+            };
         }
 
         // Repeat speculative access to a buffered line: served from the
@@ -150,7 +166,9 @@ impl MemoryModel for InvisiSpec {
         if let Some(ready_at) = self.buffers[ctx.core].lines.get(&line).copied() {
             self.stats.bump("invisispec.spec_buffer_hits");
             let wait = ready_at.since(ctx.when);
-            return MemOutcome::Done { latency: self.config.l1d.hit_latency.max(wait) + xlat };
+            return MemOutcome::Done {
+                latency: self.config.l1d.hit_latency.max(wait) + xlat,
+            };
         }
 
         // An invisible access: no cache state may change, so the data is
@@ -171,7 +189,9 @@ impl MemoryModel for InvisiSpec {
             return MemOutcome::RetryWhenNonSpeculative;
         }
         let latency = resp.latency + xlat;
-        self.buffers[ctx.core].lines.insert(line, ctx.when.saturating_add(latency));
+        self.buffers[ctx.core]
+            .lines
+            .insert(line, ctx.when.saturating_add(latency));
         MemOutcome::Done { latency }
     }
 
@@ -185,8 +205,8 @@ impl MemoryModel for InvisiSpec {
 
         if ctx.is_store {
             self.stats.bump("invisispec.committed_stores");
-            let req =
-                AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when).with_pc(ctx.pc.raw());
+            let req = AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when)
+                .with_pc(ctx.pc.raw());
             let _ = self.hierarchy.access(&req);
             return 0;
         }
@@ -196,8 +216,8 @@ impl MemoryModel for InvisiSpec {
         // hierarchy and participates in coherence. The prefetcher was already
         // trained by the original speculative access, so it is not trained
         // again here.
-        let nearby_before = self.hierarchy.own_l1_contains(ctx.core, line)
-            || self.hierarchy.l2_contains(line);
+        let nearby_before =
+            self.hierarchy.own_l1_contains(ctx.core, line) || self.hierarchy.l2_contains(line);
         let req = AccessRequest::new(ctx.core, line, AccessKind::Load, ctx.when)
             .with_pc(ctx.pc.raw())
             .without_prefetch_training();
@@ -305,7 +325,10 @@ mod tests {
         let _ = future.load(&ctx(0, 0x8000, true, false));
         let s = spectre.commit_access(&ctx(0, 0x8000, false, false));
         let f = future.commit_access(&ctx(0, 0x8000, false, false));
-        assert!(s <= f, "Spectre variant must not stall commit longer than Future ({s} vs {f})");
+        assert!(
+            s <= f,
+            "Spectre variant must not stall commit longer than Future ({s} vs {f})"
+        );
     }
 
     #[test]

@@ -18,12 +18,17 @@
 //! * the insecure L0 and every MuonTrap configuration come from the
 //!   `muontrap` crate via [`simkit::config::ProtectionConfig`].
 //!
-//! [`DefenseKind`] and [`build_defense`] give the experiment harness a single
-//! way to instantiate any configuration that appears in the paper's figures.
+//! [`DefenseKind::build`] instantiates any configuration that appears in the
+//! paper's figures; the [`DefenseRegistry`] owns the label ⇄ kind mapping
+//! used by CLI flags and reports, and `FromStr`/`Display` on [`DefenseKind`]
+//! let the figure binaries accept defense names on the command line.
+//! [`build_defense`] is kept as a thin compatibility wrapper.
 
 pub mod invisispec;
 pub mod stt;
 pub mod unprotected;
+
+use std::fmt;
 
 use ooo_core::MemoryModel;
 use simkit::config::{ProtectionConfig, SystemConfig};
@@ -84,42 +89,196 @@ impl DefenseKind {
             DefenseKind::SttFuture,
         ]
     }
+
+    /// Every *named* kind — all variants except [`DefenseKind::MuonTrapCustom`],
+    /// which carries an arbitrary [`ProtectionConfig`] and therefore has no
+    /// closed set of values.
+    pub const NAMED: [DefenseKind; 9] = [
+        DefenseKind::Unprotected,
+        DefenseKind::InsecureL0,
+        DefenseKind::MuonTrap,
+        DefenseKind::MuonTrapClearOnMisspeculate,
+        DefenseKind::MuonTrapParallelL1,
+        DefenseKind::InvisiSpecSpectre,
+        DefenseKind::InvisiSpecFuture,
+        DefenseKind::SttSpectre,
+        DefenseKind::SttFuture,
+    ];
+
+    /// Builds the memory model for this kind over a fresh hierarchy described
+    /// by `config`. The `protection` field of `config` is overridden as
+    /// required by the chosen kind.
+    pub fn build(self, config: &SystemConfig) -> Box<dyn MemoryModel> {
+        let mut cfg = config.clone();
+        match self {
+            DefenseKind::Unprotected => Box::new(Unprotected::new(&cfg)),
+            DefenseKind::InsecureL0 => {
+                cfg.protection = ProtectionConfig::insecure_l0();
+                Box::new(muontrap::MuonTrap::new(&cfg))
+            }
+            DefenseKind::MuonTrap => {
+                cfg.protection = ProtectionConfig::muontrap_default();
+                Box::new(muontrap::MuonTrap::new(&cfg))
+            }
+            DefenseKind::MuonTrapClearOnMisspeculate => {
+                cfg.protection = ProtectionConfig::muontrap_clear_on_misspeculate();
+                Box::new(muontrap::MuonTrap::new(&cfg))
+            }
+            DefenseKind::MuonTrapParallelL1 => {
+                cfg.protection = ProtectionConfig::muontrap_parallel_l1();
+                Box::new(muontrap::MuonTrap::new(&cfg))
+            }
+            DefenseKind::MuonTrapCustom(protection) => {
+                cfg.protection = protection;
+                Box::new(muontrap::MuonTrap::new(&cfg))
+            }
+            DefenseKind::InvisiSpecSpectre => {
+                Box::new(InvisiSpec::new(&cfg, InvisiSpecVariant::Spectre))
+            }
+            DefenseKind::InvisiSpecFuture => {
+                Box::new(InvisiSpec::new(&cfg, InvisiSpecVariant::Future))
+            }
+            DefenseKind::SttSpectre => Box::new(Stt::new(&cfg, SttVariant::Spectre)),
+            DefenseKind::SttFuture => Box::new(Stt::new(&cfg, SttVariant::Future)),
+        }
+    }
+}
+
+impl fmt::Display for DefenseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`DefenseKind`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDefenseError {
+    name: String,
+}
+
+impl fmt::Display for ParseDefenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown defense `{}` (expected one of: ", self.name)?;
+        for (i, kind) in DefenseKind::NAMED.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{kind}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for ParseDefenseError {}
+
+impl std::str::FromStr for DefenseKind {
+    type Err = ParseDefenseError;
+
+    /// Parses the stable labels produced by [`DefenseKind::label`]. The
+    /// `muontrap-custom` label is *not* parseable: a custom kind needs a
+    /// [`ProtectionConfig`] that a bare name cannot carry.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DefenseKind::NAMED
+            .into_iter()
+            .find(|kind| kind.label() == s)
+            .ok_or_else(|| ParseDefenseError {
+                name: s.to_string(),
+            })
+    }
+}
+
+/// The catalogue of evaluable defense configurations.
+///
+/// The registry owns the name ⇄ kind mapping used by CLI flags and reports
+/// (model *construction* lives on [`DefenseKind::build`], which
+/// [`DefenseRegistry::build`] delegates to after the label lookup). The
+/// standard registry lists every named kind; harnesses that sweep custom
+/// protection configurations (figures 8 and 9) register their labelled
+/// [`DefenseKind::MuonTrapCustom`] entries on top.
+#[derive(Debug, Clone)]
+pub struct DefenseRegistry {
+    entries: Vec<(String, DefenseKind)>,
+}
+
+impl DefenseRegistry {
+    /// An empty registry (build one up with [`DefenseRegistry::register`]).
+    pub fn new() -> Self {
+        DefenseRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry of every named kind, labelled by [`DefenseKind::label`].
+    pub fn standard() -> Self {
+        let mut registry = DefenseRegistry::new();
+        for kind in DefenseKind::NAMED {
+            registry.register(kind.label(), kind);
+        }
+        registry
+    }
+
+    /// Adds `kind` under `label`, replacing any previous entry with the same
+    /// label, and returns the registry for chaining.
+    pub fn register(&mut self, label: impl Into<String>, kind: DefenseKind) -> &mut Self {
+        let label = label.into();
+        if let Some(entry) = self.entries.iter_mut().find(|(l, _)| *l == label) {
+            entry.1 = kind;
+        } else {
+            self.entries.push((label, kind));
+        }
+        self
+    }
+
+    /// Looks up a kind by its registered label.
+    pub fn lookup(&self, label: &str) -> Option<DefenseKind> {
+        self.entries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, k)| *k)
+    }
+
+    /// Iterates over `(label, kind)` entries in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, DefenseKind)> {
+        self.entries.iter().map(|(l, k)| (l.as_str(), *k))
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds the memory model for the kind registered under `label`, or
+    /// `None` when the label is unknown.
+    pub fn build_by_label(
+        &self,
+        label: &str,
+        config: &SystemConfig,
+    ) -> Option<Box<dyn MemoryModel>> {
+        self.lookup(label).map(|kind| kind.build(config))
+    }
+
+    /// Builds the memory model for `kind` over a fresh hierarchy described by
+    /// `config` (delegates to [`DefenseKind::build`]).
+    pub fn build(&self, kind: DefenseKind, config: &SystemConfig) -> Box<dyn MemoryModel> {
+        kind.build(config)
+    }
+}
+
+impl Default for DefenseRegistry {
+    fn default() -> Self {
+        DefenseRegistry::standard()
+    }
 }
 
 /// Builds the memory model for `kind` over a fresh hierarchy described by
-/// `config`. The `protection` field of `config` is overridden as required by
-/// the chosen kind.
+/// `config` (compatibility wrapper over [`DefenseKind::build`]).
 pub fn build_defense(kind: DefenseKind, config: &SystemConfig) -> Box<dyn MemoryModel> {
-    let mut cfg = config.clone();
-    match kind {
-        DefenseKind::Unprotected => Box::new(Unprotected::new(&cfg)),
-        DefenseKind::InsecureL0 => {
-            cfg.protection = ProtectionConfig::insecure_l0();
-            Box::new(muontrap::MuonTrap::new(&cfg))
-        }
-        DefenseKind::MuonTrap => {
-            cfg.protection = ProtectionConfig::muontrap_default();
-            Box::new(muontrap::MuonTrap::new(&cfg))
-        }
-        DefenseKind::MuonTrapClearOnMisspeculate => {
-            cfg.protection = ProtectionConfig::muontrap_clear_on_misspeculate();
-            Box::new(muontrap::MuonTrap::new(&cfg))
-        }
-        DefenseKind::MuonTrapParallelL1 => {
-            cfg.protection = ProtectionConfig::muontrap_parallel_l1();
-            Box::new(muontrap::MuonTrap::new(&cfg))
-        }
-        DefenseKind::MuonTrapCustom(protection) => {
-            cfg.protection = protection;
-            Box::new(muontrap::MuonTrap::new(&cfg))
-        }
-        DefenseKind::InvisiSpecSpectre => {
-            Box::new(InvisiSpec::new(&cfg, InvisiSpecVariant::Spectre))
-        }
-        DefenseKind::InvisiSpecFuture => Box::new(InvisiSpec::new(&cfg, InvisiSpecVariant::Future)),
-        DefenseKind::SttSpectre => Box::new(Stt::new(&cfg, SttVariant::Spectre)),
-        DefenseKind::SttFuture => Box::new(Stt::new(&cfg, SttVariant::Future)),
-    }
+    kind.build(config)
 }
 
 #[cfg(test)]
@@ -153,6 +312,48 @@ mod tests {
         assert_eq!(set.len(), 5);
         assert!(set.contains(&DefenseKind::MuonTrap));
         assert!(set.contains(&DefenseKind::SttFuture));
+    }
+
+    #[test]
+    fn defense_kind_display_from_str_round_trips_every_named_variant() {
+        for kind in DefenseKind::NAMED {
+            let text = kind.to_string();
+            assert_eq!(
+                text.parse::<DefenseKind>(),
+                Ok(kind),
+                "round-trip failed for {text}"
+            );
+        }
+        // The custom kind displays but deliberately does not parse: a bare
+        // name cannot carry its ProtectionConfig payload.
+        let custom = DefenseKind::MuonTrapCustom(ProtectionConfig::muontrap_default());
+        assert_eq!(custom.to_string(), "muontrap-custom");
+        assert!("muontrap-custom".parse::<DefenseKind>().is_err());
+        assert!("definitely-not-a-defense".parse::<DefenseKind>().is_err());
+    }
+
+    #[test]
+    fn standard_registry_covers_every_named_kind_and_builds() {
+        let registry = DefenseRegistry::standard();
+        let cfg = SystemConfig::paper_default();
+        assert_eq!(registry.len(), DefenseKind::NAMED.len());
+        for kind in DefenseKind::NAMED {
+            assert_eq!(registry.lookup(kind.label()), Some(kind));
+            assert!(!registry.build(kind, &cfg).name().is_empty());
+            assert!(registry.build_by_label(kind.label(), &cfg).is_some());
+        }
+        assert_eq!(registry.lookup("nope"), None);
+        assert!(registry.build_by_label("nope", &cfg).is_none());
+    }
+
+    #[test]
+    fn registry_register_replaces_existing_labels() {
+        let mut registry = DefenseRegistry::new();
+        assert!(registry.is_empty());
+        registry.register("x", DefenseKind::MuonTrap);
+        registry.register("x", DefenseKind::Unprotected);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.lookup("x"), Some(DefenseKind::Unprotected));
     }
 
     #[test]

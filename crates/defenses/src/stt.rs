@@ -54,7 +54,12 @@ impl Stt {
     /// Builds an STT configuration of the given variant.
     pub fn new(config: &SystemConfig, variant: SttVariant) -> Self {
         let mmus = (0..config.cores)
-            .map(|i| Mmu::new(&config.tlb, PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32)))
+            .map(|i| {
+                Mmu::new(
+                    &config.tlb,
+                    PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32),
+                )
+            })
             .collect();
         Stt {
             config: config.clone(),
@@ -84,7 +89,10 @@ impl Stt {
 
     fn data_line(&mut self, core: usize, ctx: &MemAccessCtx) -> (LineAddr, u64) {
         let t = self.mmus[core].translate_data(ctx.vaddr);
-        (LineAddr::from_phys(t.paddr, self.config.line_bytes), t.latency)
+        (
+            LineAddr::from_phys(t.paddr, self.config.line_bytes),
+            t.latency,
+        )
     }
 
     fn blocked(&self, ctx: &MemAccessCtx) -> bool {
@@ -115,7 +123,9 @@ impl MemoryModel for Stt {
         let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
         let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
         let resp = self.hierarchy.access(&req);
-        MemOutcome::Done { latency: resp.latency + t.latency }
+        MemOutcome::Done {
+            latency: resp.latency + t.latency,
+        }
     }
 
     fn load(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
@@ -131,10 +141,16 @@ impl MemoryModel for Stt {
         let (line, xlat) = self.data_line(ctx.core, ctx);
         self.stats.bump("stt.loads");
         // Atomics arrive here with `is_store` set and need exclusive ownership.
-        let kind = if ctx.is_store { AccessKind::Store } else { AccessKind::Load };
+        let kind = if ctx.is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
         let req = AccessRequest::new(ctx.core, line, kind, ctx.when).with_pc(ctx.pc.raw());
         let resp = self.hierarchy.access(&req);
-        MemOutcome::Done { latency: resp.latency + xlat }
+        MemOutcome::Done {
+            latency: resp.latency + xlat,
+        }
     }
 
     fn store_address_ready(&mut self, _ctx: &MemAccessCtx) {}
@@ -143,8 +159,8 @@ impl MemoryModel for Stt {
         let (line, _) = self.data_line(ctx.core, ctx);
         if ctx.is_store {
             self.stats.bump("stt.stores");
-            let req =
-                AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when).with_pc(ctx.pc.raw());
+            let req = AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when)
+                .with_pc(ctx.pc.raw());
             let _ = self.hierarchy.access(&req);
         }
         0
@@ -190,7 +206,10 @@ mod tests {
         let outcome = m.load(&ctx(0x8000, false, false));
         assert!(matches!(outcome, MemOutcome::Done { .. }));
         let line = m.phys_line(0, VirtAddr::new(0x8000));
-        assert!(m.hierarchy().own_l1_contains(0, line), "STT does not hide cache fills");
+        assert!(
+            m.hierarchy().own_l1_contains(0, line),
+            "STT does not hide cache fills"
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ impl Unprotected {
     /// Builds the baseline over a fresh hierarchy.
     pub fn new(config: &SystemConfig) -> Self {
         let mmus = (0..config.cores)
-            .map(|i| Mmu::new(&config.tlb, PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32)))
+            .map(|i| {
+                Mmu::new(
+                    &config.tlb,
+                    PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32),
+                )
+            })
             .collect();
         Unprotected {
             config: config.clone(),
@@ -55,7 +60,10 @@ impl Unprotected {
 
     fn data_line(&mut self, core: usize, ctx: &MemAccessCtx) -> (LineAddr, u64) {
         let t = self.mmus[core].translate_data(ctx.vaddr);
-        (LineAddr::from_phys(t.paddr, self.config.line_bytes), t.latency)
+        (
+            LineAddr::from_phys(t.paddr, self.config.line_bytes),
+            t.latency,
+        )
     }
 }
 
@@ -69,17 +77,25 @@ impl MemoryModel for Unprotected {
         let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
         let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
         let resp = self.hierarchy.access(&req);
-        MemOutcome::Done { latency: resp.latency + t.latency }
+        MemOutcome::Done {
+            latency: resp.latency + t.latency,
+        }
     }
 
     fn load(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
         let (line, xlat) = self.data_line(ctx.core, ctx);
         self.stats.bump("unprotected.loads");
         // Atomics arrive here with `is_store` set and need exclusive ownership.
-        let kind = if ctx.is_store { AccessKind::Store } else { AccessKind::Load };
+        let kind = if ctx.is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
         let req = AccessRequest::new(ctx.core, line, kind, ctx.when).with_pc(ctx.pc.raw());
         let resp = self.hierarchy.access(&req);
-        MemOutcome::Done { latency: resp.latency + xlat }
+        MemOutcome::Done {
+            latency: resp.latency + xlat,
+        }
     }
 
     fn store_address_ready(&mut self, _ctx: &MemAccessCtx) {}
@@ -88,8 +104,8 @@ impl MemoryModel for Unprotected {
         let (line, _) = self.data_line(ctx.core, ctx);
         if ctx.is_store {
             self.stats.bump("unprotected.stores");
-            let req =
-                AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when).with_pc(ctx.pc.raw());
+            let req = AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when)
+                .with_pc(ctx.pc.raw());
             let _ = self.hierarchy.access(&req);
         }
         0
@@ -142,7 +158,10 @@ mod tests {
         let mut u = Unprotected::new(&SystemConfig::paper_default());
         let _ = u.load(&ctx(0, 0x8000, true, false));
         let line = u.phys_line(0, VirtAddr::new(0x8000));
-        assert!(u.hierarchy().own_l1_contains(0, line), "this is exactly the Spectre vulnerability");
+        assert!(
+            u.hierarchy().own_l1_contains(0, line),
+            "this is exactly the Spectre vulnerability"
+        );
     }
 
     #[test]

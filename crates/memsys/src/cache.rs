@@ -96,7 +96,10 @@ impl<M: Default + Clone> CacheArray<M> {
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.iter().filter(|l| l.state.can_read()).count()).sum()
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.state.can_read()).count())
+            .sum()
     }
 
     /// Hits recorded by [`CacheArray::lookup`].
@@ -120,7 +123,10 @@ impl<M: Default + Clone> CacheArray<M> {
         let tick = self.tick;
         let idx = self.set_index(addr);
         let set = &mut self.sets[idx];
-        if let Some(line) = set.iter_mut().find(|l| l.addr == addr && l.state.can_read()) {
+        if let Some(line) = set
+            .iter_mut()
+            .find(|l| l.addr == addr && l.state.can_read())
+        {
             line.lru = tick;
             self.hits += 1;
             Some(line)
@@ -133,13 +139,17 @@ impl<M: Default + Clone> CacheArray<M> {
     /// Returns the line for `addr` without updating LRU or counters.
     pub fn peek(&self, addr: LineAddr) -> Option<&CacheLine<M>> {
         let idx = self.set_index(addr);
-        self.sets[idx].iter().find(|l| l.addr == addr && l.state.can_read())
+        self.sets[idx]
+            .iter()
+            .find(|l| l.addr == addr && l.state.can_read())
     }
 
     /// Returns a mutable reference without updating LRU or counters.
     pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut CacheLine<M>> {
         let idx = self.set_index(addr);
-        self.sets[idx].iter_mut().find(|l| l.addr == addr && l.state.can_read())
+        self.sets[idx]
+            .iter_mut()
+            .find(|l| l.addr == addr && l.state.can_read())
     }
 
     /// Whether `addr` is present and readable.
@@ -157,7 +167,10 @@ impl<M: Default + Clone> CacheArray<M> {
         let ways = self.ways;
         let set = &mut self.sets[idx];
 
-        if let Some(line) = set.iter_mut().find(|l| l.addr == addr && l.state.can_read()) {
+        if let Some(line) = set
+            .iter_mut()
+            .find(|l| l.addr == addr && l.state.can_read())
+        {
             line.state = state;
             line.meta = meta;
             line.lru = tick;
@@ -166,12 +179,24 @@ impl<M: Default + Clone> CacheArray<M> {
 
         // Reuse an invalid slot if one exists.
         if let Some(slot) = set.iter_mut().find(|l| !l.state.can_read()) {
-            *slot = CacheLine { addr, state, dirty: false, lru: tick, meta };
+            *slot = CacheLine {
+                addr,
+                state,
+                dirty: false,
+                lru: tick,
+                meta,
+            };
             return Eviction { victim: None };
         }
 
         if set.len() < ways {
-            set.push(CacheLine { addr, state, dirty: false, lru: tick, meta });
+            set.push(CacheLine {
+                addr,
+                state,
+                dirty: false,
+                lru: tick,
+                meta,
+            });
             return Eviction { victim: None };
         }
 
@@ -184,16 +209,26 @@ impl<M: Default + Clone> CacheArray<M> {
             .expect("non-empty set");
         let victim = std::mem::replace(
             &mut set[victim_idx],
-            CacheLine { addr, state, dirty: false, lru: tick, meta },
+            CacheLine {
+                addr,
+                state,
+                dirty: false,
+                lru: tick,
+                meta,
+            },
         );
-        Eviction { victim: Some(victim) }
+        Eviction {
+            victim: Some(victim),
+        }
     }
 
     /// Invalidates `addr` if present, returning the removed line.
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<CacheLine<M>> {
         let idx = self.set_index(addr);
         let set = &mut self.sets[idx];
-        let pos = set.iter().position(|l| l.addr == addr && l.state.can_read())?;
+        let pos = set
+            .iter()
+            .position(|l| l.addr == addr && l.state.can_read())?;
         let mut line = set.remove(pos);
         line.state = MesiState::Invalid;
         Some(line)
@@ -281,7 +316,10 @@ mod tests {
         // Touch line 0 so line 4 becomes LRU.
         assert!(c.lookup(LineAddr::new(0)).is_some());
         let ev = c.insert(LineAddr::new(8), MesiState::Shared, ());
-        assert_eq!(ev.victim.expect("one line must be evicted").addr, LineAddr::new(4));
+        assert_eq!(
+            ev.victim.expect("one line must be evicted").addr,
+            LineAddr::new(4)
+        );
         assert!(c.contains(LineAddr::new(0)));
         assert!(c.contains(LineAddr::new(8)));
         assert!(!c.contains(LineAddr::new(4)));

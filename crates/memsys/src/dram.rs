@@ -81,7 +81,10 @@ impl Dram {
         // folded into the service latency.
         bank.busy_until = start.saturating_add(service);
 
-        DramAccess { latency: queue_delay + service, row_hit }
+        DramAccess {
+            latency: queue_delay + service,
+            row_hit,
+        }
     }
 }
 
@@ -100,7 +103,10 @@ mod tests {
         let mut d = dram();
         let a = d.access(LineAddr::new(0), Cycle::ZERO);
         assert!(!a.row_hit);
-        assert_eq!(a.latency, SystemConfig::paper_default().dram.row_miss_latency);
+        assert_eq!(
+            a.latency,
+            SystemConfig::paper_default().dram.row_miss_latency
+        );
     }
 
     #[test]
@@ -131,7 +137,10 @@ mod tests {
         let first = d.access(LineAddr::new(0), Cycle::ZERO);
         // Immediately issue another access to the same bank: it must wait.
         let second = d.access(LineAddr::new(1), Cycle::ZERO);
-        assert!(second.latency > first.latency / 2, "second access should see queueing delay");
+        assert!(
+            second.latency > first.latency / 2,
+            "second access should see queueing delay"
+        );
         assert!(second.latency >= d.config.row_hit_latency);
     }
 

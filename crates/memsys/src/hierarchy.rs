@@ -109,7 +109,11 @@ impl MemoryHierarchy {
     /// data cache of any core other than `core`. Side-effect free.
     pub fn remote_private_holds_exclusive(&self, core: usize, line: LineAddr) -> bool {
         self.cores.iter().enumerate().any(|(i, c)| {
-            i != core && c.l1d.peek(line).map(|l| l.state.is_private()).unwrap_or(false)
+            i != core
+                && c.l1d
+                    .peek(line)
+                    .map(|l| l.state.is_private())
+                    .unwrap_or(false)
         })
     }
 
@@ -126,7 +130,11 @@ impl MemoryHierarchy {
 
     /// Whether `core`'s own L1 data cache holds `line` with write permission.
     pub fn own_l1_exclusive(&self, core: usize, line: LineAddr) -> bool {
-        self.cores[core].l1d.peek(line).map(|l| l.state.can_write()).unwrap_or(false)
+        self.cores[core]
+            .l1d
+            .peek(line)
+            .map(|l| l.state.can_write())
+            .unwrap_or(false)
     }
 
     /// Whether `core`'s own L1 data cache holds `line` at all.
@@ -240,7 +248,9 @@ impl MemoryHierarchy {
             // the returning data satisfies this request too.
             latency += mshr.fill_ready_at.since(req.when);
             if req.fill == FillLevel::Normal {
-                self.cores[req.core].l1i.insert(req.line, MesiState::Shared, ());
+                self.cores[req.core]
+                    .l1i
+                    .insert(req.line, MesiState::Shared, ());
             }
             return AccessResponse {
                 latency,
@@ -257,7 +267,9 @@ impl MemoryHierarchy {
             .l1i_mshrs
             .allocate(req.line, req.when.saturating_add(latency));
         if req.fill == FillLevel::Normal {
-            self.cores[req.core].l1i.insert(req.line, MesiState::Shared, ());
+            self.cores[req.core]
+                .l1i
+                .insert(req.line, MesiState::Shared, ());
         }
         AccessResponse {
             latency,
@@ -280,7 +292,8 @@ impl MemoryHierarchy {
             self.stats.bump("hierarchy.l1d_hits");
             if wants_exclusive && !state.can_write() {
                 // Upgrade: invalidate every other copy.
-                if !req.allow_remote_downgrade && self.remote_private_holds_exclusive(req.core, req.line)
+                if !req.allow_remote_downgrade
+                    && self.remote_private_holds_exclusive(req.core, req.line)
                 {
                     self.stats.bump("hierarchy.coherence_delays");
                     return AccessResponse::delayed(latency);
@@ -328,7 +341,11 @@ impl MemoryHierarchy {
                 invalidations = self.invalidate_remote_copies(req.core, req.line, true);
             }
             if req.fill == FillLevel::Normal {
-                let state = if wants_exclusive { MesiState::Modified } else { MesiState::Shared };
+                let state = if wants_exclusive {
+                    MesiState::Modified
+                } else {
+                    MesiState::Shared
+                };
                 let _ = self.cores[req.core].l1d.insert(req.line, state, ());
                 if wants_exclusive {
                     if let Some(l) = self.cores[req.core].l1d.peek_mut(req.line) {
@@ -515,11 +532,21 @@ mod tests {
     }
 
     fn load(core: usize, line: u64, when: u64) -> AccessRequest {
-        AccessRequest::new(core, LineAddr::new(line), AccessKind::Load, Cycle::new(when))
+        AccessRequest::new(
+            core,
+            LineAddr::new(line),
+            AccessKind::Load,
+            Cycle::new(when),
+        )
     }
 
     fn store(core: usize, line: u64, when: u64) -> AccessRequest {
-        AccessRequest::new(core, LineAddr::new(line), AccessKind::Store, Cycle::new(when))
+        AccessRequest::new(
+            core,
+            LineAddr::new(line),
+            AccessKind::Store,
+            Cycle::new(when),
+        )
     }
 
     #[test]
@@ -548,7 +575,10 @@ mod tests {
         let _ = h.access(&load(0, 9, 0));
         let _ = h.access(&load(1, 9, 500)); // both cores share the line
         let r = h.access(&store(0, 9, 1000));
-        assert!(r.invalidations >= 1, "the sharer in core 1 must be invalidated");
+        assert!(
+            r.invalidations >= 1,
+            "the sharer in core 1 must be invalidated"
+        );
         assert!(h.own_l1_exclusive(0, LineAddr::new(9)));
         assert!(!h.own_l1_contains(1, LineAddr::new(9)));
         // Core 1's filter-cache notification queue sees the invalidation.
@@ -597,7 +627,10 @@ mod tests {
         let invalidated = h.upgrade_exclusive(0, LineAddr::new(30), Cycle::new(100));
         assert_eq!(invalidated, 1);
         assert!(h.take_invalidations(1).contains(&LineAddr::new(30)));
-        assert!(h.take_invalidations(1).is_empty(), "queue drains once taken");
+        assert!(
+            h.take_invalidations(1).is_empty(),
+            "queue drains once taken"
+        );
     }
 
     #[test]
@@ -617,7 +650,9 @@ mod tests {
     fn prefetch_training_can_be_suppressed() {
         let mut h = hierarchy();
         for i in 0..6u64 {
-            let req = load(0, 200 + i, i * 10).with_pc(0x5000).without_prefetch_training();
+            let req = load(0, 200 + i, i * 10)
+                .with_pc(0x5000)
+                .without_prefetch_training();
             let _ = h.access(&req);
         }
         assert!(!h.l2_contains(LineAddr::new(206)));
@@ -692,6 +727,9 @@ mod tests {
         // the single MSHR.
         let a = h.access(&load(0, 1000, 0));
         let b = h.access(&load(0, 2000, 0));
-        assert!(b.latency > a.latency, "structural hazard should delay the second miss");
+        assert!(
+            b.latency > a.latency,
+            "structural hazard should delay the second miss"
+        );
     }
 }

@@ -106,7 +106,12 @@ mod tests {
         assert_eq!(MesiState::Exclusive.after_remote_read(), MesiState::Shared);
         assert_eq!(MesiState::Shared.after_remote_read(), MesiState::Shared);
         assert_eq!(MesiState::Invalid.after_remote_read(), MesiState::Invalid);
-        for s in [MesiState::Modified, MesiState::Exclusive, MesiState::Shared, MesiState::Invalid] {
+        for s in [
+            MesiState::Modified,
+            MesiState::Exclusive,
+            MesiState::Shared,
+            MesiState::Invalid,
+        ] {
             assert_eq!(s.after_remote_write(), MesiState::Invalid);
         }
     }

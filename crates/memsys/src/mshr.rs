@@ -74,18 +74,21 @@ impl MshrFile {
         self.retire_completed(now);
         if let Some(entry) = self.entries.iter().find(|e| e.line == line) {
             self.coalesced_count += 1;
-            return MshrOutcome { issue_delay: 0, coalesced: true, fill_ready_at: entry.ready_at };
+            return MshrOutcome {
+                issue_delay: 0,
+                coalesced: true,
+                fill_ready_at: entry.ready_at,
+            };
         }
         if self.entries.len() < self.capacity {
-            return MshrOutcome { issue_delay: 0, coalesced: false, fill_ready_at: now };
+            return MshrOutcome {
+                issue_delay: 0,
+                coalesced: false,
+                fill_ready_at: now,
+            };
         }
         // All MSHRs busy: wait for the earliest to retire.
-        let earliest = self
-            .entries
-            .iter()
-            .map(|e| e.ready_at)
-            .min()
-            .unwrap_or(now);
+        let earliest = self.entries.iter().map(|e| e.ready_at).min().unwrap_or(now);
         self.structural_stalls += 1;
         MshrOutcome {
             issue_delay: earliest.since(now),

@@ -76,7 +76,13 @@ impl StridePrefetcher {
         let mut prefetches = Vec::new();
 
         if !entry.valid || entry.tag != pc {
-            *entry = StrideEntry { tag: pc, last_line: line.raw(), stride: 0, confidence: 0, valid: true };
+            *entry = StrideEntry {
+                tag: pc,
+                last_line: line.raw(),
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
             return prefetches;
         }
 
@@ -121,7 +127,10 @@ mod tests {
         for i in 0..6u64 {
             total = p.train(pc, LineAddr::new(10 + i * 3));
         }
-        assert_eq!(total, vec![LineAddr::new(10 + 5 * 3 + 3), LineAddr::new(10 + 5 * 3 + 6)]);
+        assert_eq!(
+            total,
+            vec![LineAddr::new(10 + 5 * 3 + 3), LineAddr::new(10 + 5 * 3 + 6)]
+        );
         assert!(p.issued() > 0);
     }
 
@@ -145,7 +154,10 @@ mod tests {
         for l in lines {
             issued_any |= !p.train(pc, LineAddr::new(l)).is_empty();
         }
-        assert!(!issued_any, "irregular access pattern must not trigger prefetching");
+        assert!(
+            !issued_any,
+            "irregular access pattern must not trigger prefetching"
+        );
     }
 
     #[test]

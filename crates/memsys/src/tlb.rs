@@ -31,9 +31,20 @@ impl PageTable {
     /// Panics if `page_bytes` is not a power of two or `phys_offset` is not
     /// page aligned.
     pub fn new(page_bytes: u64, phys_offset: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
-        assert_eq!(phys_offset % page_bytes, 0, "physical offset must be page aligned");
-        PageTable { page_bytes, phys_offset, shared: HashMap::new() }
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert_eq!(
+            phys_offset % page_bytes,
+            0,
+            "physical offset must be page aligned"
+        );
+        PageTable {
+            page_bytes,
+            phys_offset,
+            shared: HashMap::new(),
+        }
     }
 
     /// Page size in bytes.
@@ -61,7 +72,10 @@ impl PageTable {
 
     /// Translates a virtual page number to a physical page number.
     pub fn translate_page(&self, vpn: u64) -> u64 {
-        self.shared.get(&vpn).copied().unwrap_or(vpn + self.phys_offset / self.page_bytes)
+        self.shared
+            .get(&vpn)
+            .copied()
+            .unwrap_or(vpn + self.phys_offset / self.page_bytes)
     }
 
     /// A synthetic physical address representing the page-table entry for
@@ -95,7 +109,13 @@ pub struct Tlb {
 impl Tlb {
     /// Creates a TLB with `capacity` entries (at least one).
     pub fn new(capacity: usize) -> Self {
-        Tlb { entries: Vec::new(), capacity: capacity.max(1), tick: 0, hits: 0, misses: 0 }
+        Tlb {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Number of hits observed.
@@ -115,7 +135,10 @@ impl Tlb {
 
     /// Looks up `vpn` without filling on a miss and without statistics.
     pub fn peek(&self, vpn: u64) -> Option<u64> {
-        self.entries.iter().find(|(v, _, _)| *v == vpn).map(|(_, p, _)| *p)
+        self.entries
+            .iter()
+            .find(|(v, _, _)| *v == vpn)
+            .map(|(_, p, _)| *p)
     }
 
     /// Looks up `vpn`, consulting `page_table` and filling the TLB on a miss.
@@ -125,7 +148,10 @@ impl Tlb {
         if let Some(entry) = self.entries.iter_mut().find(|(v, _, _)| *v == vpn) {
             entry.2 = tick;
             self.hits += 1;
-            return TlbAccess { ppn: entry.1, hit: true };
+            return TlbAccess {
+                ppn: entry.1,
+                hit: true,
+            };
         }
         self.misses += 1;
         let ppn = page_table.translate_page(vpn);
@@ -214,12 +240,24 @@ impl Mmu {
 
     /// Translates a data address.
     pub fn translate_data(&mut self, va: VirtAddr) -> Translation {
-        Self::translate_with(&mut self.dtlb, &self.page_table, va, self.hit_latency, self.walk_latency)
+        Self::translate_with(
+            &mut self.dtlb,
+            &self.page_table,
+            va,
+            self.hit_latency,
+            self.walk_latency,
+        )
     }
 
     /// Translates an instruction address.
     pub fn translate_inst(&mut self, va: VirtAddr) -> Translation {
-        Self::translate_with(&mut self.itlb, &self.page_table, va, self.hit_latency, self.walk_latency)
+        Self::translate_with(
+            &mut self.itlb,
+            &self.page_table,
+            va,
+            self.hit_latency,
+            self.walk_latency,
+        )
     }
 
     /// Translates a data address *without* filling the main data TLB on a
@@ -267,7 +305,11 @@ impl Mmu {
         let vpn = va.page_number(page_table.page_bytes());
         let offset = va.page_offset(page_table.page_bytes());
         let access = tlb.access(vpn, page_table);
-        let latency = if access.hit { hit_latency } else { walk_latency };
+        let latency = if access.hit {
+            hit_latency
+        } else {
+            walk_latency
+        };
         Translation {
             paddr: PhysAddr::new(access.ppn * page_table.page_bytes() + offset),
             latency,
@@ -306,7 +348,10 @@ mod tests {
         let mut b = PageTable::new(4096, 0x2000_0000);
         a.map_shared(10, 5000);
         b.map_shared(77, 5000);
-        assert_eq!(a.translate(VirtAddr::new(10 * 4096)), b.translate(VirtAddr::new(77 * 4096)));
+        assert_eq!(
+            a.translate(VirtAddr::new(10 * 4096)),
+            b.translate(VirtAddr::new(77 * 4096))
+        );
     }
 
     #[test]

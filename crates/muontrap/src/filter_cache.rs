@@ -102,7 +102,10 @@ impl FilterCache {
 
     /// Whether `line` is present and already committed.
     pub fn is_committed(&self, line: LineAddr) -> bool {
-        self.array.peek(line).map(|l| l.meta.committed).unwrap_or(false)
+        self.array
+            .peek(line)
+            .map(|l| l.meta.committed)
+            .unwrap_or(false)
     }
 
     /// Looks up `line`, updating replacement state. Returns the metadata if hit.
@@ -207,8 +210,14 @@ impl FilterCache {
         stats.add(&format!("{prefix}.misses"), self.misses);
         stats.add(&format!("{prefix}.flushes"), self.flushes);
         stats.add(&format!("{prefix}.lines_flushed"), self.lines_flushed);
-        stats.add(&format!("{prefix}.uncommitted_evictions"), self.uncommitted_evictions);
-        stats.add(&format!("{prefix}.external_invalidations"), self.external_invalidations);
+        stats.add(
+            &format!("{prefix}.uncommitted_evictions"),
+            self.uncommitted_evictions,
+        );
+        stats.add(
+            &format!("{prefix}.external_invalidations"),
+            self.external_invalidations,
+        );
     }
 }
 
@@ -230,7 +239,13 @@ mod tests {
     #[test]
     fn speculative_lines_start_uncommitted() {
         let mut c = cache();
-        c.insert_speculative(LineAddr::new(5), VirtAddr::new(5 * 64), ServiceLevel::Dram, false, Cycle::ZERO);
+        c.insert_speculative(
+            LineAddr::new(5),
+            VirtAddr::new(5 * 64),
+            ServiceLevel::Dram,
+            false,
+            Cycle::ZERO,
+        );
         assert!(c.contains(LineAddr::new(5)));
         assert!(!c.is_committed(LineAddr::new(5)));
         let meta = c.lookup(LineAddr::new(5)).unwrap();
@@ -240,13 +255,22 @@ mod tests {
     #[test]
     fn committing_a_line_sets_the_bit_and_clears_se() {
         let mut c = cache();
-        c.insert_speculative(LineAddr::new(9), VirtAddr::new(9 * 64), ServiceLevel::L2, true, Cycle::ZERO);
+        c.insert_speculative(
+            LineAddr::new(9),
+            VirtAddr::new(9 * 64),
+            ServiceLevel::L2,
+            true,
+            Cycle::ZERO,
+        );
         let before = c.mark_committed(LineAddr::new(9)).expect("line present");
         assert!(!before.committed);
         assert!(before.exclusive_eligible);
         assert!(c.is_committed(LineAddr::new(9)));
         let after = c.lookup(LineAddr::new(9)).unwrap();
-        assert!(!after.exclusive_eligible, "SE is consumed by the commit-time upgrade");
+        assert!(
+            !after.exclusive_eligible,
+            "SE is consumed by the commit-time upgrade"
+        );
     }
 
     #[test]
@@ -259,7 +283,13 @@ mod tests {
     fn flush_is_complete_and_counted() {
         let mut c = cache();
         for i in 0..10 {
-            c.insert_speculative(LineAddr::new(i), VirtAddr::new(i * 64), ServiceLevel::Dram, false, Cycle::ZERO);
+            c.insert_speculative(
+                LineAddr::new(i),
+                VirtAddr::new(i * 64),
+                ServiceLevel::Dram,
+                false,
+                Cycle::ZERO,
+            );
         }
         assert_eq!(c.occupancy(), 10);
         assert_eq!(c.flush(), 10);
@@ -275,9 +305,21 @@ mod tests {
         // A tiny, direct-mapped filter cache: conflicting lines evict each other.
         let mut c = FilterCache::new(&CacheConfig::new(128, 1, 1, 1), 64);
         assert_eq!(c.capacity_lines(), 2);
-        c.insert_speculative(LineAddr::new(0), VirtAddr::new(0), ServiceLevel::Dram, false, Cycle::ZERO);
+        c.insert_speculative(
+            LineAddr::new(0),
+            VirtAddr::new(0),
+            ServiceLevel::Dram,
+            false,
+            Cycle::ZERO,
+        );
         // Line 2 maps to the same set as line 0 in a 2-set direct-mapped cache.
-        let victim = c.insert_speculative(LineAddr::new(2), VirtAddr::new(2 * 64), ServiceLevel::Dram, false, Cycle::ZERO);
+        let victim = c.insert_speculative(
+            LineAddr::new(2),
+            VirtAddr::new(2 * 64),
+            ServiceLevel::Dram,
+            false,
+            Cycle::ZERO,
+        );
         assert_eq!(victim, Some(LineAddr::new(0)));
         assert_eq!(c.uncommitted_evictions(), 1);
     }
@@ -285,16 +327,37 @@ mod tests {
     #[test]
     fn committed_victims_are_not_reported() {
         let mut c = FilterCache::new(&CacheConfig::new(128, 1, 1, 1), 64);
-        c.insert_speculative(LineAddr::new(0), VirtAddr::new(0), ServiceLevel::Dram, false, Cycle::ZERO);
+        c.insert_speculative(
+            LineAddr::new(0),
+            VirtAddr::new(0),
+            ServiceLevel::Dram,
+            false,
+            Cycle::ZERO,
+        );
         c.mark_committed(LineAddr::new(0));
-        let victim = c.insert_speculative(LineAddr::new(2), VirtAddr::new(128), ServiceLevel::Dram, false, Cycle::ZERO);
-        assert_eq!(victim, None, "already-written-through victims need no action");
+        let victim = c.insert_speculative(
+            LineAddr::new(2),
+            VirtAddr::new(128),
+            ServiceLevel::Dram,
+            false,
+            Cycle::ZERO,
+        );
+        assert_eq!(
+            victim, None,
+            "already-written-through victims need no action"
+        );
     }
 
     #[test]
     fn external_invalidation_removes_the_line() {
         let mut c = cache();
-        c.insert_speculative(LineAddr::new(3), VirtAddr::new(192), ServiceLevel::L2, false, Cycle::ZERO);
+        c.insert_speculative(
+            LineAddr::new(3),
+            VirtAddr::new(192),
+            ServiceLevel::L2,
+            false,
+            Cycle::ZERO,
+        );
         assert!(c.external_invalidate(LineAddr::new(3)));
         assert!(!c.contains(LineAddr::new(3)));
         assert!(!c.external_invalidate(LineAddr::new(3)));
@@ -310,7 +373,13 @@ mod tests {
     #[test]
     fn stats_accumulate_under_prefix() {
         let mut c = cache();
-        c.insert_speculative(LineAddr::new(1), VirtAddr::new(64), ServiceLevel::Dram, false, Cycle::ZERO);
+        c.insert_speculative(
+            LineAddr::new(1),
+            VirtAddr::new(64),
+            ServiceLevel::Dram,
+            false,
+            Cycle::ZERO,
+        );
         let _ = c.lookup(LineAddr::new(1));
         let _ = c.lookup(LineAddr::new(2));
         c.flush();

@@ -145,11 +145,19 @@ impl MuonTrap {
             // Consult the main TLB without filling it; walk if needed and put
             // the speculative translation in the filter TLB.
             let t = state.mmu.translate_data_no_fill(ctx.vaddr);
-            state.filter_tlb.fill(t.vpn, t.paddr.raw() / self.config.tlb.page_bytes);
-            (LineAddr::from_phys(t.paddr, self.config.line_bytes), t.latency)
+            state
+                .filter_tlb
+                .fill(t.vpn, t.paddr.raw() / self.config.tlb.page_bytes);
+            (
+                LineAddr::from_phys(t.paddr, self.config.line_bytes),
+                t.latency,
+            )
         } else {
             let t = state.mmu.translate_data(ctx.vaddr);
-            (LineAddr::from_phys(t.paddr, self.config.line_bytes), t.latency)
+            (
+                LineAddr::from_phys(t.paddr, self.config.line_bytes),
+                t.latency,
+            )
         }
     }
 
@@ -165,7 +173,12 @@ impl MuonTrap {
     }
 
     /// Handles a data access when the data filter cache is enabled.
-    fn filtered_load(&mut self, ctx: &MemAccessCtx, line: LineAddr, xlat_latency: u64) -> MemOutcome {
+    fn filtered_load(
+        &mut self,
+        ctx: &MemAccessCtx,
+        line: LineAddr,
+        xlat_latency: u64,
+    ) -> MemOutcome {
         let core = ctx.core;
         let secure = self.protection.secure_filter;
 
@@ -173,10 +186,12 @@ impl MuonTrap {
         // the head of the ROB) behaves like a committed store: it may update
         // the non-speculative hierarchy and acquire exclusive ownership.
         if !ctx.speculative && ctx.is_store {
-            let req = AccessRequest::new(core, line, AccessKind::Store, ctx.when)
-                .with_pc(ctx.pc.raw());
+            let req =
+                AccessRequest::new(core, line, AccessKind::Store, ctx.when).with_pc(ctx.pc.raw());
             let resp = self.hierarchy.access(&req);
-            self.cores[core].data_filter.insert_committed(line, ctx.vaddr, resp.served_by);
+            self.cores[core]
+                .data_filter
+                .insert_committed(line, ctx.vaddr, resp.served_by);
             return MemOutcome::Done {
                 latency: resp.latency + self.l0_miss_penalty() + xlat_latency,
             };
@@ -208,7 +223,11 @@ impl MuonTrap {
 
         // Fetch the data. With the secure filter, nothing is installed in the
         // non-speculative caches; the insecure L0 fills them as usual.
-        let fill = if secure && ctx.speculative { FillLevel::None } else { FillLevel::Normal };
+        let fill = if secure && ctx.speculative {
+            FillLevel::None
+        } else {
+            FillLevel::Normal
+        };
         let train = !self.protection.prefetch_at_commit;
         let mut req = AccessRequest::new(core, line, AccessKind::Load, ctx.when)
             .with_pc(ctx.pc.raw())
@@ -249,10 +268,18 @@ impl MuonTrap {
 
     /// Handles a data access when no filter cache is configured at all
     /// (should not normally happen for MuonTrap, but keeps the model total).
-    fn unfiltered_load(&mut self, ctx: &MemAccessCtx, line: LineAddr, xlat_latency: u64) -> MemOutcome {
-        let req = AccessRequest::new(ctx.core, line, AccessKind::Load, ctx.when).with_pc(ctx.pc.raw());
+    fn unfiltered_load(
+        &mut self,
+        ctx: &MemAccessCtx,
+        line: LineAddr,
+        xlat_latency: u64,
+    ) -> MemOutcome {
+        let req =
+            AccessRequest::new(ctx.core, line, AccessKind::Load, ctx.when).with_pc(ctx.pc.raw());
         let resp = self.hierarchy.access(&req);
-        MemOutcome::Done { latency: resp.latency + xlat_latency }
+        MemOutcome::Done {
+            latency: resp.latency + xlat_latency,
+        }
     }
 }
 
@@ -279,7 +306,11 @@ impl MemoryModel for MuonTrap {
                 };
             }
             self.stats.bump("muontrap.l0i_misses");
-            let fill = if ctx.speculative { FillLevel::None } else { FillLevel::Normal };
+            let fill = if ctx.speculative {
+                FillLevel::None
+            } else {
+                FillLevel::Normal
+            };
             let req = AccessRequest::new(core, line, AccessKind::InstFetch, ctx.when)
                 .with_fill(fill)
                 .without_prefetch_training();
@@ -296,7 +327,9 @@ impl MemoryModel for MuonTrap {
         } else {
             let req = AccessRequest::new(core, line, AccessKind::InstFetch, ctx.when);
             let resp = self.hierarchy.access(&req);
-            MemOutcome::Done { latency: resp.latency + t.latency }
+            MemOutcome::Done {
+                latency: resp.latency + t.latency,
+            }
         }
     }
 
@@ -322,7 +355,9 @@ impl MemoryModel for MuonTrap {
             return;
         }
         if self.protection.coherence_protection
-            && self.hierarchy.remote_private_holds_exclusive(ctx.core, line)
+            && self
+                .hierarchy
+                .remote_private_holds_exclusive(ctx.core, line)
         {
             // Cannot even fetch a shared copy without downgrading the owner;
             // the store will get its data at commit instead.
@@ -352,11 +387,12 @@ impl MemoryModel for MuonTrap {
         // Commit-time translation uses (and fills) the non-speculative TLB;
         // the speculative entry, if any, is promoted out of the filter TLB.
         let vpn = ctx.vaddr.page_number(self.config.tlb.page_bytes);
-        if self.protection.filter_tlb && self.protection.secure_filter {
-            if self.cores[core].filter_tlb.take(vpn).is_some() {
-                self.cores[core].mmu.fill_data_tlb(vpn);
-                self.stats.bump("muontrap.filter_tlb_promotions");
-            }
+        if self.protection.filter_tlb
+            && self.protection.secure_filter
+            && self.cores[core].filter_tlb.take(vpn).is_some()
+        {
+            self.cores[core].mmu.fill_data_tlb(vpn);
+            self.stats.bump("muontrap.filter_tlb_promotions");
         }
         let t = self.cores[core].mmu.translate_data(ctx.vaddr);
         let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
@@ -375,7 +411,11 @@ impl MemoryModel for MuonTrap {
                     .with_pc(ctx.pc.raw());
                 let _ = self.hierarchy.access(&req);
                 if self.protection.data_filter_cache {
-                    self.cores[core].data_filter.insert_committed(line, ctx.vaddr, ServiceLevel::L1);
+                    self.cores[core].data_filter.insert_committed(
+                        line,
+                        ctx.vaddr,
+                        ServiceLevel::L1,
+                    );
                 }
             }
             if self.protection.prefetch_at_commit {
@@ -387,7 +427,9 @@ impl MemoryModel for MuonTrap {
         // Secure filter cache: write-through at commit (§4.2).
         let meta_before = self.cores[core].data_filter.mark_committed(line);
         let was_uncommitted = meta_before.map(|m| !m.committed).unwrap_or(true);
-        let filled_from = meta_before.map(|m| m.filled_from).unwrap_or(ServiceLevel::Dram);
+        let filled_from = meta_before
+            .map(|m| m.filled_from)
+            .unwrap_or(ServiceLevel::Dram);
         let exclusive_eligible = meta_before.map(|m| m.exclusive_eligible).unwrap_or(false);
         // Whether our own L1 already held the line exclusively *before* this
         // commit: only then can a store avoid the invalidation broadcast that
@@ -475,8 +517,10 @@ impl MemoryModel for MuonTrap {
         let mut out = self.stats.clone();
         out.merge(self.hierarchy.stats());
         for (i, c) in self.cores.iter().enumerate() {
-            c.data_filter.accumulate_stats(&mut out, &format!("muontrap.core{i}.l0d"));
-            c.inst_filter.accumulate_stats(&mut out, &format!("muontrap.core{i}.l0i"));
+            c.data_filter
+                .accumulate_stats(&mut out, &format!("muontrap.core{i}.l0d"));
+            c.inst_filter
+                .accumulate_stats(&mut out, &format!("muontrap.core{i}.l0i"));
         }
         out
     }
@@ -512,8 +556,14 @@ mod tests {
         assert!(matches!(outcome, MemOutcome::Done { .. }));
         let line = mt.phys_line(0, VirtAddr::new(0x8000));
         assert!(mt.data_filter_contains(0, VirtAddr::new(0x8000)));
-        assert!(!mt.hierarchy().own_l1_contains(0, line), "speculative data must not enter the L1");
-        assert!(!mt.hierarchy().l2_contains(line), "speculative data must not enter the L2");
+        assert!(
+            !mt.hierarchy().own_l1_contains(0, line),
+            "speculative data must not enter the L1"
+        );
+        assert!(
+            !mt.hierarchy().l2_contains(line),
+            "speculative data must not enter the L2"
+        );
     }
 
     #[test]
@@ -542,7 +592,10 @@ mod tests {
         assert!(!mt.hierarchy().own_l1_contains(0, line));
         let commit = ctx(0, 0x8000, false, false);
         let extra = mt.commit_access(&commit);
-        assert_eq!(extra, 0, "the write-through is asynchronous and must not stall commit");
+        assert_eq!(
+            extra, 0,
+            "the write-through is asynchronous and must not stall commit"
+        );
         assert!(mt.hierarchy().own_l1_contains(0, line));
         let s = mt.stats();
         assert_eq!(s.counter("muontrap.commit_writethroughs"), 1);
@@ -557,10 +610,16 @@ mod tests {
             let _ = mt.load(&ctx(0, 0x10_0000 + i * 64, true, false));
         }
         let target = VirtAddr::new(0x10_0000);
-        assert!(!mt.data_filter_contains(0, target), "the first line must have been evicted");
+        assert!(
+            !mt.data_filter_contains(0, target),
+            "the first line must have been evicted"
+        );
         let line = mt.phys_line(0, target);
         let _ = mt.commit_access(&ctx(0, 0x10_0000, false, false));
-        assert!(mt.hierarchy().own_l1_contains(0, line), "commit must bring the line into the L1 anyway");
+        assert!(
+            mt.hierarchy().own_l1_contains(0, line),
+            "commit must bring the line into the L1 anyway"
+        );
     }
 
     #[test]
@@ -583,13 +642,19 @@ mod tests {
         let mut mt = MuonTrap::new(&cfg);
         let _ = mt.load(&ctx(0, 0x8000, true, false));
         mt.on_squash(0, Cycle::ZERO);
-        assert!(mt.data_filter_contains(0, VirtAddr::new(0x8000)), "default keeps data on squash");
+        assert!(
+            mt.data_filter_contains(0, VirtAddr::new(0x8000)),
+            "default keeps data on squash"
+        );
 
         cfg.protection = ProtectionConfig::muontrap_clear_on_misspeculate();
         let mut mt = MuonTrap::new(&cfg);
         let _ = mt.load(&ctx(0, 0x8000, true, false));
         mt.on_squash(0, Cycle::ZERO);
-        assert!(!mt.data_filter_contains(0, VirtAddr::new(0x8000)), "clear-on-misspeculate flushes");
+        assert!(
+            !mt.data_filter_contains(0, VirtAddr::new(0x8000)),
+            "clear-on-misspeculate flushes"
+        );
     }
 
     #[test]
@@ -602,7 +667,9 @@ mod tests {
         mt.set_page_table(1, PageTable::new(cfg.tlb.page_bytes, 0));
         // Core 1 commits a store, so its L1 holds the line in Modified.
         let _ = mt.commit_access(&ctx(1, 0x9000, false, true));
-        assert!(mt.hierarchy().own_l1_exclusive(1, mt.phys_line(1, VirtAddr::new(0x9000))));
+        assert!(mt
+            .hierarchy()
+            .own_l1_exclusive(1, mt.phys_line(1, VirtAddr::new(0x9000))));
         // Core 0 now tries to load the same line speculatively: nacked.
         let outcome = mt.load(&ctx(0, 0x9000, true, false));
         assert_eq!(outcome, MemOutcome::RetryWhenNonSpeculative);
@@ -664,7 +731,10 @@ mod tests {
             c.pc = VirtAddr::new(0x40_1000);
             let _ = mt.load(&c);
         }
-        assert_eq!(mt.hierarchy().stats().counter("hierarchy.prefetch_fills"), 0);
+        assert_eq!(
+            mt.hierarchy().stats().counter("hierarchy.prefetch_fills"),
+            0
+        );
         // The same stream committing trains it.
         for i in 0..8u64 {
             let mut c = ctx(0, 0x20_0000 + i * 64, false, false);
@@ -682,7 +752,10 @@ mod tests {
         assert_eq!(mt.name(), "insecure-l0");
         let _ = mt.load(&ctx(0, 0x8000, true, false));
         let line = mt.phys_line(0, VirtAddr::new(0x8000));
-        assert!(mt.hierarchy().own_l1_contains(0, line), "the insecure L0 does not isolate the L1");
+        assert!(
+            mt.hierarchy().own_l1_contains(0, line),
+            "the insecure L0 does not isolate the L1"
+        );
     }
 
     #[test]
@@ -693,7 +766,10 @@ mod tests {
         assert!(matches!(first, MemOutcome::Done { .. }));
         assert!(mt.inst_filter_contains(0, VirtAddr::new(0x40_0000)));
         let line = mt.phys_line(0, VirtAddr::new(0x40_0000));
-        assert!(!mt.hierarchy().l2_contains(line), "speculative fetch must not fill the L2");
+        assert!(
+            !mt.hierarchy().l2_contains(line),
+            "speculative fetch must not fill the L2"
+        );
         // Committing the fetch installs the line in the non-speculative side.
         mt.commit_fetch(&c);
         assert!(mt.hierarchy().own_l1i_contains(0, line));
@@ -719,7 +795,10 @@ mod tests {
         let probe = ctx(0, 0xc000, true, false);
         let s = serial.load(&probe).latency().unwrap();
         let p = parallel.load(&probe).latency().unwrap();
-        assert!(p < s, "parallel L0/L1 lookup must be faster on an L0 miss ({p} vs {s})");
+        assert!(
+            p < s,
+            "parallel L0/L1 lookup must be faster on an L0 miss ({p} vs {s})"
+        );
     }
 
     #[test]

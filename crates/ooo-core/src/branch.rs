@@ -212,7 +212,12 @@ mod tests {
     }
 
     fn update(pc: u64, taken: bool, target: usize) -> BranchUpdate {
-        BranchUpdate { pc: VirtAddr::new(pc), taken, target, conditional: true }
+        BranchUpdate {
+            pc: VirtAddr::new(pc),
+            taken,
+            target,
+            conditional: true,
+        }
     }
 
     #[test]
@@ -223,9 +228,12 @@ mod tests {
         // same pattern-table entry is trained repeatedly.
         for _ in 0..48 {
             let predicted = p.predict_direction(pc);
-            p.update(&update(0x400, true, 10), predicted != true);
+            p.update(&update(0x400, true, 10), !predicted);
         }
-        assert!(p.predict_direction(pc), "predictor should learn an always-taken branch");
+        assert!(
+            p.predict_direction(pc),
+            "predictor should learn an always-taken branch"
+        );
     }
 
     #[test]
@@ -240,7 +248,10 @@ mod tests {
         assert!(!p.predict_direction(pc));
         // The Spectre-style "flip": the next taken execution is mispredicted.
         let predicted = p.predict_direction(pc);
-        assert!(!predicted, "the trained direction must be predicted, enabling the attack window");
+        assert!(
+            !predicted,
+            "the trained direction must be predicted, enabling the attack window"
+        );
         p.update(&update(0x800, true, 5), true);
     }
 
@@ -249,7 +260,15 @@ mod tests {
         let mut p = predictor();
         let pc = VirtAddr::new(0x1234);
         assert_eq!(p.predict_indirect_target(pc), None);
-        p.update(&BranchUpdate { pc, taken: true, target: 77, conditional: false }, true);
+        p.update(
+            &BranchUpdate {
+                pc,
+                taken: true,
+                target: 77,
+                conditional: false,
+            },
+            true,
+        );
         assert_eq!(p.predict_indirect_target(pc), Some(77));
         p.flush_btb();
         assert_eq!(p.predict_indirect_target(pc), None);
@@ -298,7 +317,7 @@ mod tests {
         let b = VirtAddr::new(0x2000);
         for _ in 0..12 {
             let pa = p.predict_direction(a);
-            p.update(&update(0x1000, true, 1), pa != true);
+            p.update(&update(0x1000, true, 1), !pa);
             let pb = p.predict_direction(b);
             p.update(&update(0x2000, false, 2), pb);
         }

@@ -53,7 +53,14 @@ impl ThreadContext {
     /// memory initialised from the program's data segments.
     pub fn new(program: Program, process_id: usize) -> Self {
         let memory = shared_memory_for(&program);
-        ThreadContext { program, regs: RegFile::new(), pc: 0, memory, process_id, halted: false }
+        ThreadContext {
+            program,
+            regs: RegFile::new(),
+            pc: 0,
+            memory,
+            process_id,
+            halted: false,
+        }
     }
 
     /// Creates a context sharing an existing memory (a sibling thread of the
@@ -64,7 +71,14 @@ impl ThreadContext {
         memory: SharedMemory,
         entry: usize,
     ) -> Self {
-        ThreadContext { program, regs: RegFile::new(), pc: entry, memory, process_id, halted: false }
+        ThreadContext {
+            program,
+            regs: RegFile::new(),
+            pc: entry,
+            memory,
+            process_id,
+            halted: false,
+        }
     }
 
     /// Sets a register (used to pass per-thread arguments such as thread ids).
@@ -79,7 +93,9 @@ impl ThreadContext {
 
     /// Writes a 64-bit value into this thread's functional memory.
     pub fn write_memory(&mut self, addr: VirtAddr, value: u64) {
-        self.memory.borrow_mut().write(addr, value, MemWidth::Double);
+        self.memory
+            .borrow_mut()
+            .write(addr, value, MemWidth::Double);
     }
 }
 

@@ -615,9 +615,10 @@ impl OooCore {
             Instruction::Load { offset, .. } => {
                 (VirtAddr::new(operands[0].wrapping_add(offset as u64)), None)
             }
-            Instruction::Store { offset, .. } => {
-                (VirtAddr::new(operands[1].wrapping_add(offset as u64)), Some(operands[0]))
-            }
+            Instruction::Store { offset, .. } => (
+                VirtAddr::new(operands[1].wrapping_add(offset as u64)),
+                Some(operands[0]),
+            ),
             Instruction::AtomicSwap { .. } | Instruction::AtomicAdd { .. } => {
                 (VirtAddr::new(operands[1]), Some(operands[0]))
             }
@@ -728,7 +729,10 @@ impl OooCore {
                                 }
                                 _ => unreachable!(),
                             };
-                            thread.memory.borrow_mut().write(addr, new_value, MemWidth::Double);
+                            thread
+                                .memory
+                                .borrow_mut()
+                                .write(addr, new_value, MemWidth::Double);
                             let entry = &mut self.rob[idx];
                             entry.store_data = Some(new_value);
                         }
@@ -851,7 +855,10 @@ impl OooCore {
     /// Whether any conditional branch older than ROB index `idx` has not yet
     /// resolved (finished executing).
     fn has_older_unresolved_branch(&self, idx: usize) -> bool {
-        self.rob.iter().take(idx).any(|e| e.is_branch() && !e.is_done())
+        self.rob
+            .iter()
+            .take(idx)
+            .any(|e| e.is_branch() && !e.is_done())
     }
 
     // ------------------------------------------------------------------
@@ -869,7 +876,9 @@ impl OooCore {
             }
             let loads_in_flight = self.rob.iter().filter(|e| e.is_load()).count();
             let stores_in_flight = self.rob.iter().filter(|e| e.is_store()).count();
-            let Some(thread) = self.thread.as_ref() else { break };
+            let Some(thread) = self.thread.as_ref() else {
+                break;
+            };
             let Some(inst) = thread.program.fetch(self.fetch_pc) else {
                 self.fetch_halted = true;
                 break;
@@ -1122,8 +1131,14 @@ mod tests {
         let p = b.build().unwrap();
         assert_matches_interpreter(&p, &[Reg::X3]);
         let (core, _, _) = run_program(&p);
-        assert!(core.stats().mispredictions > 0, "irregular branches should mispredict");
-        assert!(core.stats().squashed > 0, "mispredictions should squash wrong-path work");
+        assert!(
+            core.stats().mispredictions > 0,
+            "irregular branches should mispredict"
+        );
+        assert!(
+            core.stats().squashed > 0,
+            "mispredictions should squash wrong-path work"
+        );
     }
 
     #[test]
@@ -1170,7 +1185,10 @@ mod tests {
         let p = b.build().unwrap();
         let (_, finished, _) = run_program(&p);
         let delta = finished.regs.read(Reg::X3);
-        assert!(delta > 0, "the second rdcycle must observe later time than the first");
+        assert!(
+            delta > 0,
+            "the second rdcycle must observe later time than the first"
+        );
         assert!((delta as i64) > 0);
     }
 
@@ -1250,7 +1268,10 @@ mod tests {
         let p = b.build().unwrap();
         let (core, _, _) = run_program(&p);
         let ipc = core.stats().ipc();
-        assert!(ipc > 0.5, "simple ALU loop should achieve reasonable IPC, got {ipc}");
+        assert!(
+            ipc > 0.5,
+            "simple ALU loop should achieve reasonable IPC, got {ipc}"
+        );
         assert!(ipc <= 8.0, "IPC cannot exceed the commit width");
     }
 

@@ -221,12 +221,16 @@ impl MemoryModel for FixedLatencyMemory {
     }
 
     fn fetch_instruction(&mut self, _ctx: &MemAccessCtx) -> MemOutcome {
-        MemOutcome::Done { latency: self.fetch_latency }
+        MemOutcome::Done {
+            latency: self.fetch_latency,
+        }
     }
 
     fn load(&mut self, _ctx: &MemAccessCtx) -> MemOutcome {
         self.loads += 1;
-        MemOutcome::Done { latency: self.data_latency }
+        MemOutcome::Done {
+            latency: self.data_latency,
+        }
     }
 
     fn store_address_ready(&mut self, _ctx: &MemAccessCtx) {
@@ -262,7 +266,13 @@ mod tests {
     use super::*;
 
     fn ctx() -> MemAccessCtx {
-        MemAccessCtx::simple(0, VirtAddr::new(0x1000), VirtAddr::new(0x400), Cycle::ZERO, false)
+        MemAccessCtx::simple(
+            0,
+            VirtAddr::new(0x1000),
+            VirtAddr::new(0x400),
+            Cycle::ZERO,
+            false,
+        )
     }
 
     #[test]

@@ -45,14 +45,20 @@ impl VirtAddr {
     /// Panics if `page_bytes` is not a power of two.
     #[inline]
     pub fn page_number(self, page_bytes: u64) -> u64 {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         self.0 / page_bytes
     }
 
     /// Returns the offset of this address within its page.
     #[inline]
     pub fn page_offset(self, page_bytes: u64) -> u64 {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         self.0 & (page_bytes - 1)
     }
 }
@@ -90,7 +96,10 @@ impl LineAddr {
     /// Panics if `line_bytes` is not a power of two.
     #[inline]
     pub fn from_phys(pa: PhysAddr, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(pa.0 / line_bytes)
     }
 

@@ -29,7 +29,12 @@ impl CacheConfig {
     pub fn new(size_bytes: u64, ways: usize, hit_latency: u64, mshrs: usize) -> Self {
         assert!(size_bytes > 0, "cache size must be positive");
         assert!(ways > 0, "associativity must be positive");
-        CacheConfig { size_bytes, ways, hit_latency, mshrs }
+        CacheConfig {
+            size_bytes,
+            ways,
+            hit_latency,
+            mshrs,
+        }
     }
 
     /// Number of cache lines this cache holds for the given line size.
@@ -150,7 +155,10 @@ impl ProtectionConfig {
     /// An insecure L0 cache with none of MuonTrap's protections (figure 8/9
     /// "insecure L0" series).
     pub fn insecure_l0() -> Self {
-        ProtectionConfig { data_filter_cache: true, ..ProtectionConfig::unprotected() }
+        ProtectionConfig {
+            data_filter_cache: true,
+            ..ProtectionConfig::unprotected()
+        }
     }
 
     /// The full MuonTrap configuration used for figures 3 and 4.
@@ -169,12 +177,18 @@ impl ProtectionConfig {
 
     /// MuonTrap plus clearing on every misspeculation (figure 8/9 final bar).
     pub fn muontrap_clear_on_misspeculate() -> Self {
-        ProtectionConfig { clear_on_misspeculate: true, ..ProtectionConfig::muontrap_default() }
+        ProtectionConfig {
+            clear_on_misspeculate: true,
+            ..ProtectionConfig::muontrap_default()
+        }
     }
 
     /// MuonTrap with parallel L0/L1 lookup (figure 9 "parallel L1d").
     pub fn muontrap_parallel_l1() -> Self {
-        ProtectionConfig { parallel_l1_access: true, ..ProtectionConfig::muontrap_default() }
+        ProtectionConfig {
+            parallel_l1_access: true,
+            ..ProtectionConfig::muontrap_default()
+        }
     }
 }
 
@@ -185,7 +199,10 @@ impl Default for ProtectionConfig {
 }
 
 /// Complete system configuration, mirroring Table 1 of the paper.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// All fields are integers/booleans, so the whole configuration is `Eq` and
+/// `Hash`; the experiment session uses that to key its baseline-run cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// Number of cores.
     pub cores: usize,
@@ -248,7 +265,12 @@ impl SystemConfig {
             l2: CacheConfig::new(2 * 1024 * 1024, 8, 20, 16),
             data_filter: CacheConfig::new(2 * 1024, 4, 1, 4),
             inst_filter: CacheConfig::new(2 * 1024, 4, 1, 4),
-            tlb: TlbConfig { entries: 64, hit_latency: 0, walk_latency: 30, page_bytes: 4096 },
+            tlb: TlbConfig {
+                entries: 64,
+                hit_latency: 0,
+                walk_latency: 30,
+                page_bytes: 4096,
+            },
             filter_tlb_entries: 16,
             dram: DramConfig {
                 row_hit_latency: 80,
@@ -279,6 +301,20 @@ impl SystemConfig {
         cfg
     }
 
+    /// Returns a copy with the data filter cache resized to `size_bytes`
+    /// bytes and `ways` ways, keeping its latency and MSHR count (used by the
+    /// figure 5/6 filter-cache sweeps).
+    pub fn with_data_filter(&self, size_bytes: u64, ways: usize) -> SystemConfig {
+        let mut cfg = self.clone();
+        cfg.data_filter = CacheConfig::new(
+            size_bytes,
+            ways,
+            cfg.data_filter.hit_latency,
+            cfg.data_filter.mshrs,
+        );
+        cfg
+    }
+
     /// Validates internal consistency of the configuration.
     ///
     /// # Errors
@@ -291,7 +327,9 @@ impl SystemConfig {
             return Err(ConfigError::new("line size must be a power of two"));
         }
         if self.pipeline.width == 0 || self.pipeline.rob_entries == 0 {
-            return Err(ConfigError::new("pipeline width and ROB size must be positive"));
+            return Err(ConfigError::new(
+                "pipeline width and ROB size must be positive",
+            ));
         }
         if self.pipeline.lq_entries == 0 || self.pipeline.sq_entries == 0 {
             return Err(ConfigError::new("load/store queues must be non-empty"));
@@ -368,7 +406,9 @@ pub struct ConfigError {
 
 impl ConfigError {
     fn new(message: impl Into<String>) -> Self {
-        ConfigError { message: message.into() }
+        ConfigError {
+            message: message.into(),
+        }
     }
 }
 
@@ -441,7 +481,10 @@ mod tests {
 
     #[test]
     fn protection_presets_differ() {
-        assert_ne!(ProtectionConfig::unprotected(), ProtectionConfig::muontrap_default());
+        assert_ne!(
+            ProtectionConfig::unprotected(),
+            ProtectionConfig::muontrap_default()
+        );
         assert!(ProtectionConfig::insecure_l0().data_filter_cache);
         assert!(!ProtectionConfig::insecure_l0().secure_filter);
         assert!(ProtectionConfig::muontrap_clear_on_misspeculate().clear_on_misspeculate);

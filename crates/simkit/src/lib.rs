@@ -5,6 +5,9 @@
 //! * [`addr`] — physical/virtual address newtypes and cache-line arithmetic,
 //! * [`config`] — the system configuration mirroring Table 1 of the paper,
 //! * [`stats`] — counters, histograms and derived statistics,
+//! * [`json`] — a dependency-free JSON tree, parser and writer used by the
+//!   experiment session's machine-readable reports (serde is unavailable in
+//!   this offline build),
 //! * [`rng`] — a small deterministic xorshift RNG used where reproducibility
 //!   matters more than statistical quality,
 //! * [`cycles`] — the `Cycle` newtype and simple clock bookkeeping.
@@ -25,11 +28,13 @@
 pub mod addr;
 pub mod config;
 pub mod cycles;
+pub mod json;
 pub mod rng;
 pub mod stats;
 
 pub use addr::{LineAddr, PhysAddr, VirtAddr};
 pub use config::SystemConfig;
 pub use cycles::Cycle;
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::SimRng;
 pub use stats::{Histogram, StatSet};

@@ -23,7 +23,11 @@ impl SimRng {
     /// Creates a generator from a seed. A zero seed is mapped to a fixed
     /// non-zero constant because xorshift cannot leave the all-zero state.
     pub fn seed_from(seed: u64) -> Self {
-        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        let state = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
         SimRng { state }
     }
 

@@ -64,6 +64,11 @@ impl StatSet {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Iterates over all scalar statistics in name order.
+    pub fn iter_scalars(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.scalars.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Merges another statistics set into this one, summing counters and
     /// overwriting scalars.
     pub fn merge(&mut self, other: &StatSet) {
@@ -171,7 +176,11 @@ impl Histogram {
 /// Values that are not finite and positive are ignored; an empty input yields 1.0.
 /// This mirrors how the paper reports "geomean" bars in figures 3 and 4.
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    let usable: Vec<f64> = values.iter().copied().filter(|v| v.is_finite() && *v > 0.0).collect();
+    let usable: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
     if usable.is_empty() {
         return 1.0;
     }

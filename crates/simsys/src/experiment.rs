@@ -1,18 +1,35 @@
-//! The experiment runner used by every figure harness.
+//! Deprecated free-function experiment harness.
 //!
-//! The paper's figures all have the same shape: run a workload under several
-//! memory-system configurations and report execution time normalised to the
-//! unprotected baseline. This module provides exactly that, plus parameter
-//! sweeps (filter-cache size/associativity for figures 5 and 6) and access to
-//! raw statistics (invalidation-broadcast rates for figure 7).
+//! This module was the original measurement API: five free functions, each
+//! re-simulating the unprotected baseline on every call. It is superseded by
+//! [`crate::session::ExperimentSession`], which memoizes baselines per
+//! (workload, machine) pair and runs grid cells in parallel. The functions
+//! here remain as thin shims over the session so existing examples and tests
+//! keep working while they migrate; they will be removed once nothing in the
+//! workspace calls them.
+//!
+//! Migration map:
+//!
+//! | Old call | Replacement |
+//! |----------|-------------|
+//! | [`run_workload`] | [`simulate`](crate::session::simulate) (one raw run, no baseline) |
+//! | [`normalized_time`] | [`ExperimentSession::run`](crate::session::ExperimentSession::run) + [`CellResult::normalized_time`](crate::session::CellResult::normalized_time) |
+//! | [`normalized_times`] | a multi-defense session grid |
+//! | [`with_filter_cache`] | [`SystemConfig::with_data_filter`](simkit::config::SystemConfig::with_data_filter) |
+//! | [`write_invalidate_rate`] | a MuonTrap session cell's `muontrap.*` counters |
+//!
+//! The shims route through the session's **process-wide baseline cache**, so
+//! even a legacy loop calling [`normalized_time`] per sweep point (the shape
+//! that motivated the redesign — it used to re-run `Unprotected` every call)
+//! now pays for each distinct baseline once per process.
 
 use simkit::config::SystemConfig;
 use simkit::stats::StatSet;
 
-use defenses::{build_defense, DefenseKind};
+use defenses::DefenseKind;
 use workloads::Workload;
 
-use crate::system::System;
+use crate::session::ExperimentSession;
 
 /// Result of running one workload under one configuration.
 #[derive(Debug, Clone)]
@@ -42,76 +59,80 @@ impl ExperimentResult {
     }
 }
 
+/// Builds the one-cell session the normalising shims funnel through.
+fn one_cell_session(
+    workload: &Workload,
+    kind: DefenseKind,
+    config: &SystemConfig,
+) -> ExperimentSession {
+    ExperimentSession::new()
+        .workloads([workload.clone()])
+        .defenses([kind])
+        .config(config.clone())
+        .threads(1)
+        .process_cache(true)
+}
+
 /// Runs `workload` under `kind` on a machine described by `config`.
-pub fn run_workload(workload: &Workload, kind: DefenseKind, config: &SystemConfig) -> ExperimentResult {
-    let memory_model = build_defense(kind, config);
-    let mut system = System::new(config, memory_model);
-    system.load_workload(&workload.thread_programs, workload.shared_memory);
-    let report = system.run(workload.cycle_budget);
-    ExperimentResult {
-        workload: workload.name.clone(),
-        defense: kind.label().to_string(),
-        cycles: report.cycles,
-        committed: report.committed,
-        completed: report.completed,
-        stats: report.stats,
-    }
+///
+/// Exactly one simulation: no baseline is run, matching this function's
+/// original contract.
+#[deprecated(
+    note = "use simsys::session::simulate for one raw run, or ExperimentSession for grids"
+)]
+pub fn run_workload(
+    workload: &Workload,
+    kind: DefenseKind,
+    config: &SystemConfig,
+) -> ExperimentResult {
+    crate::session::simulate(workload, kind, config)
 }
 
 /// Runs `workload` under `kind` and under the unprotected baseline, returning
 /// execution time normalised to the baseline (1.0 = identical, >1.0 = slower,
-/// <1.0 = faster). This is the y-axis of figures 3, 4, 5, 6, 8 and 9.
+/// <1.0 = faster). This was the y-axis of figures 3, 4, 5, 6, 8 and 9.
+#[deprecated(note = "use simsys::session::ExperimentSession and read CellResult::normalized_time")]
 pub fn normalized_time(workload: &Workload, kind: DefenseKind, config: &SystemConfig) -> f64 {
-    let baseline = run_workload(workload, DefenseKind::Unprotected, config);
-    let protected = run_workload(workload, kind, config);
-    if baseline.cycles == 0 {
-        return 1.0;
-    }
-    protected.cycles as f64 / baseline.cycles as f64
+    one_cell_session(workload, kind, config).run().cells[0].normalized_time
 }
 
 /// Runs `workload` under every configuration in `kinds` and returns
 /// `(label, normalised execution time)` pairs, sharing one baseline run.
+#[deprecated(note = "use a multi-defense simsys::session::ExperimentSession grid")]
 pub fn normalized_times(
     workload: &Workload,
     kinds: &[DefenseKind],
     config: &SystemConfig,
 ) -> Vec<(String, f64)> {
-    let baseline = run_workload(workload, DefenseKind::Unprotected, config);
-    kinds
-        .iter()
-        .map(|kind| {
-            let result = run_workload(workload, *kind, config);
-            let normalised = if baseline.cycles == 0 {
-                1.0
-            } else {
-                result.cycles as f64 / baseline.cycles as f64
-            };
-            (kind.label().to_string(), normalised)
-        })
+    ExperimentSession::new()
+        .workloads([workload.clone()])
+        .defenses(kinds.iter().copied())
+        .config(config.clone())
+        .threads(1)
+        .process_cache(true)
+        .run()
+        .cells
+        .into_iter()
+        .map(|cell| (cell.column, cell.normalized_time))
         .collect()
 }
 
 /// Returns a copy of `config` with the data filter cache resized to
 /// `size_bytes` bytes and `ways` ways (used by the figure 5/6 sweeps).
+#[deprecated(note = "use SystemConfig::with_data_filter")]
 pub fn with_filter_cache(config: &SystemConfig, size_bytes: u64, ways: usize) -> SystemConfig {
-    let mut cfg = config.clone();
-    cfg.data_filter = simkit::config::CacheConfig::new(
-        size_bytes,
-        ways,
-        cfg.data_filter.hit_latency,
-        cfg.data_filter.mshrs,
-    );
-    cfg
+    config.with_data_filter(size_bytes, ways)
 }
 
 /// The write/invalidate-broadcast measurement behind figure 7: runs the
 /// workload under full MuonTrap and returns the fraction of committed stores
 /// that triggered a filter-cache invalidation broadcast.
+#[deprecated(note = "read the muontrap.* counters from a session cell's stats instead")]
 pub fn write_invalidate_rate(workload: &Workload, config: &SystemConfig) -> f64 {
-    let result = run_workload(workload, DefenseKind::MuonTrap, config);
-    let stores = result.stats.counter("muontrap.committed_stores");
-    let broadcasts = result.stats.counter("muontrap.store_upgrade_broadcasts");
+    let report = one_cell_session(workload, DefenseKind::MuonTrap, config).run();
+    let stats = &report.cells[0].stats;
+    let stores = stats.counter("muontrap.committed_stores");
+    let broadcasts = stats.counter("muontrap.store_upgrade_broadcasts");
     if stores == 0 {
         0.0
     } else {
@@ -119,6 +140,9 @@ pub fn write_invalidate_rate(workload: &Workload, config: &SystemConfig) -> f64 
     }
 }
 
+// The shims are exercised on purpose: they must keep producing the same
+// numbers as the session until they are removed.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,7 +169,10 @@ mod tests {
         // only sanity-check the ratio is in a plausible band.
         let w = &spec_suite(Scale::Tiny)[4]; // calculix (compute bound)
         let t = normalized_time(w, DefenseKind::MuonTrap, &quick_config());
-        assert!(t > 0.5 && t < 2.0, "normalised time {t} outside plausible band");
+        assert!(
+            t > 0.5 && t < 2.0,
+            "normalised time {t} outside plausible band"
+        );
     }
 
     #[test]
@@ -158,6 +185,21 @@ mod tests {
         );
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn shims_agree_with_a_direct_session_run() {
+        let w = &spec_suite(Scale::Tiny)[1];
+        let cfg = quick_config();
+        let via_shim = normalized_time(w, DefenseKind::MuonTrap, &cfg);
+        let via_session = ExperimentSession::new()
+            .workloads([w.clone()])
+            .defenses([DefenseKind::MuonTrap])
+            .config(cfg)
+            .run()
+            .cells[0]
+            .normalized_time;
+        assert_eq!(via_shim, via_session);
     }
 
     #[test]
@@ -177,6 +219,9 @@ mod tests {
         let mut cfg = quick_config();
         cfg.cores = 2;
         let rate = write_invalidate_rate(w, &cfg);
-        assert!((0.0..=1.0).contains(&rate), "rate {rate} must be a fraction");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "rate {rate} must be a fraction"
+        );
     }
 }

@@ -1,21 +1,28 @@
-//! Full-system assembly: processes, scheduling and the experiment runner.
+//! Full-system assembly: processes, scheduling and the experiment session.
 //!
 //! This crate plays the role gem5's full-system mode plus the run scripts play
 //! in the paper: it owns the cores, the (defended) memory model, the software
 //! threads and the OS-lite behaviour that MuonTrap's protection hinges on —
-//! protection-domain switches. It exposes two layers:
+//! protection-domain switches. It exposes three layers:
 //!
 //! * [`system::System`] — a multicore machine onto which processes and their
 //!   threads are loaded, scheduled round-robin with a time quantum, and run to
 //!   completion. Syscalls, sandbox markers and context switches are forwarded
 //!   to the memory model as [`ooo_core::DomainSwitch`] events so every defense
 //!   sees exactly the same OS behaviour.
-//! * [`experiment`] — the measurement harness used by the figure binaries and
-//!   benches: run a workload under a [`defenses::DefenseKind`], normalise it
-//!   to the unprotected baseline, and sweep configuration parameters.
+//! * [`session`] — the measurement harness used by the figure binaries and
+//!   benches: declare a (workloads × defenses) grid on an
+//!   [`session::ExperimentSession`], run it in parallel with shared
+//!   `Unprotected` baselines, and get a JSON-serialisable
+//!   [`session::RunReport`] back.
+//! * [`experiment`] — the original free-function harness, now deprecated
+//!   shims over the session kept so older examples and tests migrate
+//!   incrementally.
 
 pub mod experiment;
+pub mod session;
 pub mod system;
 
-pub use experiment::{normalized_time, run_workload, ExperimentResult};
+pub use experiment::ExperimentResult;
+pub use session::{CellResult, ExperimentSession, RunReport};
 pub use system::{System, SystemReport};

@@ -1,0 +1,827 @@
+//! The experiment session: a parallel, baseline-memoizing grid runner.
+//!
+//! Every figure in the paper's evaluation is a grid — workloads on one axis,
+//! defense configurations on the other, each cell an execution time
+//! normalised to the unprotected baseline. [`ExperimentSession`] is the one
+//! runner behind all of them:
+//!
+//! * **Baseline memoization.** The normalisation denominator is an
+//!   `Unprotected` run of the same workload. The session runs it once per
+//!   (workload, machine) pair and shares it across every column, so an
+//!   M-defense figure costs M+1 simulations per workload instead of 2M.
+//!   Because the unprotected machine ignores the filter-cache geometry and
+//!   protection toggles, sweeps over those knobs (figures 5, 6, 8, 9) share a
+//!   single baseline per workload as well; see [`baseline_machine`].
+//! * **Parallel execution.** Grid cells are independent simulations, so the
+//!   session fans them out over a thread pool (default
+//!   [`std::thread::available_parallelism`]). Results are placed by cell
+//!   index, so the report ordering is deterministic regardless of thread
+//!   count or scheduling.
+//! * **Structured reports.** [`run`](ExperimentSession::run) returns a
+//!   [`RunReport`] — per-cell [`CellResult`]s, normalised times, per-column
+//!   geometric means and wall-clock metadata — which serialises to JSON
+//!   through [`simkit::json`] (this build is offline, so that module stands
+//!   in for serde; the wire format is plain JSON).
+//!
+//! # Example
+//!
+//! ```
+//! use simsys::session::ExperimentSession;
+//! use defenses::DefenseKind;
+//! use simkit::config::SystemConfig;
+//! use workloads::{spec_suite, Scale};
+//!
+//! let report = ExperimentSession::new()
+//!     .title("two kernels under MuonTrap and STT")
+//!     .scale(Scale::Tiny)
+//!     .workloads(spec_suite(Scale::Tiny).into_iter().take(2))
+//!     .defenses([DefenseKind::MuonTrap, DefenseKind::SttSpectre])
+//!     .config(SystemConfig::small_test())
+//!     .run();
+//! assert_eq!(report.cells.len(), 4);
+//! assert_eq!(report.baseline_sims, 2); // one Unprotected run per workload
+//! assert!(report.geomeans().iter().all(|g| *g > 0.0));
+//! ```
+//!
+//! The free functions in [`crate::experiment`] are deprecated shims over this
+//! session and will be removed once the remaining examples migrate.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use simkit::config::{ProtectionConfig, SystemConfig};
+use simkit::json::{FromJson, Json, JsonError, ToJson};
+use simkit::stats::{geometric_mean, StatSet};
+
+use defenses::DefenseKind;
+use workloads::{Scale, Workload};
+
+use crate::experiment::ExperimentResult;
+use crate::system::System;
+
+/// One column of the experiment grid: a labelled defense on a machine.
+#[derive(Debug, Clone, PartialEq)]
+struct Column {
+    label: String,
+    kind: DefenseKind,
+    config: SystemConfig,
+}
+
+/// Builder and runner for one experiment grid.
+///
+/// Construct with [`ExperimentSession::new`], declare the grid through the
+/// chained setters, then call [`run`](ExperimentSession::run).
+#[derive(Debug, Clone)]
+pub struct ExperimentSession {
+    title: String,
+    scale: Option<Scale>,
+    workloads: Vec<Workload>,
+    defenses: Vec<(Option<String>, DefenseKind)>,
+    config: SystemConfig,
+    config_sweep: Option<Vec<(String, SystemConfig)>>,
+    threads: usize,
+    memoize: bool,
+    process_cache: bool,
+}
+
+impl ExperimentSession {
+    /// A session with an empty grid on the paper-default machine.
+    pub fn new() -> Self {
+        ExperimentSession {
+            title: String::new(),
+            scale: None,
+            workloads: Vec::new(),
+            defenses: Vec::new(),
+            config: SystemConfig::paper_default(),
+            config_sweep: None,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            memoize: true,
+            process_cache: false,
+        }
+    }
+
+    /// Sets the report title.
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// Records the workload scale in the report (metadata only; the workloads
+    /// themselves are whatever [`workloads`](Self::workloads) receives).
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Sets the workload axis of the grid.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Sets the defense axis of the grid, labelled by [`DefenseKind::label`].
+    pub fn defenses(mut self, kinds: impl IntoIterator<Item = DefenseKind>) -> Self {
+        self.defenses = kinds.into_iter().map(|k| (None, k)).collect();
+        self
+    }
+
+    /// Sets the defense axis with explicit column labels (used by the
+    /// cumulative cost-breakdown figures, where several
+    /// [`DefenseKind::MuonTrapCustom`] entries would otherwise share a label).
+    pub fn defenses_labeled(
+        mut self,
+        kinds: impl IntoIterator<Item = (String, DefenseKind)>,
+    ) -> Self {
+        self.defenses = kinds.into_iter().map(|(l, k)| (Some(l), k)).collect();
+        self
+    }
+
+    /// Sets the machine configuration every cell runs on.
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sweeps machine configurations instead of defenses: the grid's columns
+    /// become the labelled configurations, each run under every defense set
+    /// via [`defenses`](Self::defenses) (typically exactly one — the
+    /// filter-cache sweeps of figures 5 and 6 use MuonTrap only).
+    pub fn config_sweep(
+        mut self,
+        configs: impl IntoIterator<Item = (String, SystemConfig)>,
+    ) -> Self {
+        self.config_sweep = Some(configs.into_iter().collect());
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). Defaults to
+    /// [`std::thread::available_parallelism`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Disables baseline memoization: every cell re-runs its own `Unprotected`
+    /// baseline, as the pre-session harness did. Only useful for validating
+    /// that memoization does not change results; costs ~2× the simulations.
+    pub fn memoize(mut self, memoize: bool) -> Self {
+        self.memoize = memoize;
+        self
+    }
+
+    /// Shares baseline runs through a process-wide cache, so separate sessions
+    /// over the same (workload, machine) pairs — e.g. the deprecated
+    /// free-function shims called in a loop — skip repeated baselines.
+    /// Off by default so [`RunReport::baseline_sims`] counts are
+    /// self-contained and tests stay order-independent.
+    pub fn process_cache(mut self, enabled: bool) -> Self {
+        self.process_cache = enabled;
+        self
+    }
+
+    fn columns(&self) -> Vec<Column> {
+        match &self.config_sweep {
+            None => self
+                .defenses
+                .iter()
+                .map(|(label, kind)| Column {
+                    label: label.clone().unwrap_or_else(|| kind.label().to_string()),
+                    kind: *kind,
+                    config: self.config.clone(),
+                })
+                .collect(),
+            Some(sweep) => sweep
+                .iter()
+                .flat_map(|(cfg_label, cfg)| {
+                    self.defenses.iter().map(move |(label, kind)| {
+                        let kind_label = label.clone().unwrap_or_else(|| kind.label().to_string());
+                        Column {
+                            // With a single defense the configuration label is
+                            // the whole story (figure 5's "64 B", "128 B", ...).
+                            label: if self.defenses.len() == 1 {
+                                cfg_label.clone()
+                            } else {
+                                format!("{cfg_label}/{kind_label}")
+                            },
+                            kind: *kind,
+                            config: cfg.clone(),
+                        }
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs the grid and returns the structured report.
+    ///
+    /// Cells are executed in parallel across the configured thread pool;
+    /// report ordering (workload-major, column-minor) is deterministic and
+    /// independent of the thread count.
+    pub fn run(self) -> RunReport {
+        let started = Instant::now();
+        let columns = self.columns();
+        let baseline_counter = AtomicUsize::new(0);
+
+        // Phase A: one baseline per distinct (workload, baseline machine).
+        // Keys are the full (workload, config) pair — not a hash — so cache
+        // hits can never alias distinct experiments.
+        let mut baselines: BaselineCache = HashMap::new();
+        if self.memoize {
+            let mut jobs: Vec<BaselineKey> = Vec::new();
+            for workload in &self.workloads {
+                for column in &columns {
+                    let key = (workload.clone(), baseline_machine(&column.config));
+                    if baselines.contains_key(&key) || jobs.contains(&key) {
+                        continue;
+                    }
+                    if self.process_cache {
+                        if let Some(hit) = process_cache_get(&key) {
+                            baselines.insert(key, hit);
+                            continue;
+                        }
+                    }
+                    jobs.push(key);
+                }
+            }
+            let results = run_parallel(&jobs, self.threads, |(workload, config)| {
+                baseline_counter.fetch_add(1, Ordering::Relaxed);
+                Arc::new(simulate(workload, DefenseKind::Unprotected, config))
+            });
+            for (key, result) in jobs.into_iter().zip(results) {
+                if self.process_cache {
+                    process_cache_put(&key, Arc::clone(&result));
+                }
+                baselines.insert(key, result);
+            }
+        }
+
+        // Phase B: every grid cell, reading its baseline from the phase-A map
+        // (or re-running it inline when memoization is off).
+        let cell_jobs: Vec<(&Workload, &Column)> = self
+            .workloads
+            .iter()
+            .flat_map(|w| columns.iter().map(move |c| (w, c)))
+            .collect();
+        let cells = run_parallel(&cell_jobs, self.threads, |(workload, column)| {
+            let baseline: Arc<ExperimentResult> = if self.memoize {
+                let key = ((*workload).clone(), baseline_machine(&column.config));
+                Arc::clone(&baselines[&key])
+            } else {
+                baseline_counter.fetch_add(1, Ordering::Relaxed);
+                Arc::new(simulate(
+                    workload,
+                    DefenseKind::Unprotected,
+                    &baseline_machine(&column.config),
+                ))
+            };
+            // An explicit Unprotected column *is* the baseline: reuse it
+            // rather than simulating the identical machine again.
+            let result = if column.kind == DefenseKind::Unprotected {
+                (*baseline).clone()
+            } else {
+                simulate(workload, column.kind, &column.config)
+            };
+            let normalized = if baseline.cycles == 0 {
+                1.0
+            } else {
+                result.cycles as f64 / baseline.cycles as f64
+            };
+            CellResult {
+                workload: workload.name.clone(),
+                column: column.label.clone(),
+                defense: result.defense,
+                cycles: result.cycles,
+                committed: result.committed,
+                completed: result.completed,
+                baseline_cycles: baseline.cycles,
+                normalized_time: normalized,
+                stats: result.stats,
+            }
+        });
+
+        RunReport {
+            title: self.title,
+            scale: self.scale.map(|s| s.name().to_string()),
+            threads: self.threads,
+            wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
+            baseline_sims: baseline_counter.into_inner(),
+            workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
+            columns: columns.into_iter().map(|c| c.label).collect(),
+            cells,
+        }
+    }
+}
+
+impl Default for ExperimentSession {
+    fn default() -> Self {
+        ExperimentSession::new()
+    }
+}
+
+/// Runs `workload` under `kind` on a machine described by `config` — the one
+/// raw simulation primitive everything else builds on.
+///
+/// No baseline is run and nothing is normalised or cached; callers that want
+/// normalised times or memoization declare a grid on [`ExperimentSession`]
+/// instead.
+pub fn simulate(workload: &Workload, kind: DefenseKind, config: &SystemConfig) -> ExperimentResult {
+    let memory_model = kind.build(config);
+    let mut system = System::new(config, memory_model);
+    system.load_workload(&workload.thread_programs, workload.shared_memory);
+    let report = system.run(workload.cycle_budget);
+    ExperimentResult {
+        workload: workload.name.clone(),
+        defense: kind.label().to_string(),
+        cycles: report.cycles,
+        committed: report.committed,
+        completed: report.completed,
+        stats: report.stats,
+    }
+}
+
+/// The machine an `Unprotected` baseline actually sees.
+///
+/// The unprotected model instantiates no filter caches, no filter TLB and no
+/// protection mechanisms, so two configurations differing only in those knobs
+/// have identical baselines. Canonicalising them lets the filter-cache sweeps
+/// of figures 5/6 and the cost breakdowns of figures 8/9 share one baseline
+/// per workload. Every field the unprotected hierarchy *does* read (cores,
+/// line size, pipeline, L1/L2 geometry, TLB, DRAM, prefetcher, scheduler
+/// quantum) is preserved.
+pub fn baseline_machine(config: &SystemConfig) -> SystemConfig {
+    let mut cfg = config.clone();
+    let canonical = SystemConfig::paper_default();
+    cfg.protection = ProtectionConfig::unprotected();
+    cfg.data_filter = canonical.data_filter;
+    cfg.inst_filter = canonical.inst_filter;
+    cfg.filter_tlb_entries = canonical.filter_tlb_entries;
+    cfg
+}
+
+/// Runs `f` over `jobs` on `threads` workers, returning results in job order.
+fn run_parallel<T: Sync, R: Send>(
+    jobs: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = threads.max(1).min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index) else { break };
+                *slots[index].lock().unwrap() = Some(f(job));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Key of a memoized baseline: the workload plus its canonical baseline
+/// machine. Full values, not hashes, so cache hits can never alias distinct
+/// experiments.
+type BaselineKey = (Workload, SystemConfig);
+type BaselineCache = HashMap<BaselineKey, Arc<ExperimentResult>>;
+
+/// Process-wide baseline cache shared by sessions with
+/// [`ExperimentSession::process_cache`] enabled (notably the deprecated
+/// free-function shims, which construct a fresh session per call).
+fn process_cache() -> &'static Mutex<BaselineCache> {
+    static CACHE: OnceLock<Mutex<BaselineCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn process_cache_get(key: &BaselineKey) -> Option<Arc<ExperimentResult>> {
+    process_cache().lock().unwrap().get(key).cloned()
+}
+
+fn process_cache_put(key: &BaselineKey, value: Arc<ExperimentResult>) {
+    process_cache().lock().unwrap().insert(key.clone(), value);
+}
+
+/// One grid cell of a [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Workload (benchmark) name.
+    pub workload: String,
+    /// Column label (defense label, or sweep-point label for config sweeps).
+    pub column: String,
+    /// Defense label of the model that produced [`cycles`](Self::cycles).
+    pub defense: String,
+    /// Simulated cycles to completion.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Whether the run finished within its cycle budget.
+    pub completed: bool,
+    /// Simulated cycles of the shared `Unprotected` baseline.
+    pub baseline_cycles: u64,
+    /// `cycles / baseline_cycles` (1.0 = no overhead; the y-axis of the
+    /// normalised-execution-time figures).
+    pub normalized_time: f64,
+    /// All statistics collected from the cores and the memory model.
+    pub stats: StatSet,
+}
+
+impl CellResult {
+    /// Instructions per cycle for this cell.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The structured result of one [`ExperimentSession::run`].
+///
+/// Cells are ordered workload-major, column-minor: the cell for workload `w`
+/// and column `c` is `cells[w * columns.len() + c]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Session title.
+    pub title: String,
+    /// Workload scale recorded via [`ExperimentSession::scale`], if any.
+    pub scale: Option<String>,
+    /// Worker-thread count the grid ran on.
+    pub threads: usize,
+    /// Wall-clock duration of the whole grid, in milliseconds.
+    pub wall_clock_ms: f64,
+    /// Number of `Unprotected` baseline simulations actually executed.
+    pub baseline_sims: usize,
+    /// Workload names, grid order.
+    pub workloads: Vec<String>,
+    /// Column labels, grid order.
+    pub columns: Vec<String>,
+    /// All grid cells, workload-major.
+    pub cells: Vec<CellResult>,
+}
+
+impl RunReport {
+    /// The cell for workload index `w` and column index `c`.
+    pub fn cell(&self, w: usize, c: usize) -> &CellResult {
+        &self.cells[w * self.columns.len() + c]
+    }
+
+    /// Total simulations this report paid for (cells that were not satisfied
+    /// by the baseline cache, plus the baselines themselves).
+    pub fn total_sims(&self) -> usize {
+        let unprotected_cells = self
+            .cells
+            .iter()
+            .filter(|cell| cell.defense == DefenseKind::Unprotected.label())
+            .count();
+        self.baseline_sims + self.cells.len() - unprotected_cells
+    }
+
+    /// The geometric mean of each column's normalised times (the "geomean"
+    /// bar the paper reports in figures 3 and 4).
+    pub fn geomeans(&self) -> Vec<f64> {
+        (0..self.columns.len())
+            .map(|c| {
+                let column: Vec<f64> = (0..self.workloads.len())
+                    .map(|w| self.cell(w, c).normalized_time)
+                    .collect();
+                geometric_mean(&column)
+            })
+            .collect()
+    }
+
+    /// Renders the report as an aligned text table (what the figure binaries
+    /// print without `--json`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:<16}", "workload"));
+        for c in &self.columns {
+            out.push_str(&format!("{c:>24}"));
+        }
+        out.push('\n');
+        for w in 0..self.workloads.len() {
+            out.push_str(&format!("{:<16}", self.workloads[w]));
+            for c in 0..self.columns.len() {
+                out.push_str(&format!("{:>24.3}", self.cell(w, c).normalized_time));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<16}", "geomean"));
+        for g in self.geomeans() {
+            out.push_str(&format!("{g:>24.3}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl ToJson for CellResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::Str(self.workload.clone())),
+            ("column", Json::Str(self.column.clone())),
+            ("defense", Json::Str(self.defense.clone())),
+            ("cycles", Json::UInt(self.cycles)),
+            ("committed", Json::UInt(self.committed)),
+            ("completed", Json::Bool(self.completed)),
+            ("baseline_cycles", Json::UInt(self.baseline_cycles)),
+            ("normalized_time", Json::Num(self.normalized_time)),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CellResult {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let str_field = |name: &str| -> Result<String, JsonError> {
+            json.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| JsonError::missing(name))
+        };
+        Ok(CellResult {
+            workload: str_field("workload")?,
+            column: str_field("column")?,
+            defense: str_field("defense")?,
+            cycles: json
+                .get("cycles")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError::missing("cycles"))?,
+            committed: json
+                .get("committed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError::missing("committed"))?,
+            completed: json
+                .get("completed")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| JsonError::missing("completed"))?,
+            baseline_cycles: json
+                .get("baseline_cycles")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError::missing("baseline_cycles"))?,
+            normalized_time: json
+                .get("normalized_time")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| JsonError::missing("normalized_time"))?,
+            stats: StatSet::from_json(
+                json.get("stats")
+                    .ok_or_else(|| JsonError::missing("stats"))?,
+            )?,
+        })
+    }
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::Str(self.title.clone())),
+            (
+                "scale",
+                match &self.scale {
+                    Some(s) => Json::Str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("wall_clock_ms", Json::Num(self.wall_clock_ms)),
+            ("baseline_sims", Json::UInt(self.baseline_sims as u64)),
+            (
+                "workloads",
+                Json::Arr(self.workloads.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "geomeans",
+                Json::Arr(self.geomeans().into_iter().map(Json::Num).collect()),
+            ),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for RunReport {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let str_list = |name: &str| -> Result<Vec<String>, JsonError> {
+            json.get(name)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| JsonError::missing(name))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| JsonError::missing(name))
+                })
+                .collect()
+        };
+        let scale = match json.get("scale") {
+            Some(Json::Null) | None => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(JsonError::missing("scale")),
+        };
+        Ok(RunReport {
+            title: json
+                .get("title")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| JsonError::missing("title"))?,
+            scale,
+            threads: json
+                .get("threads")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| JsonError::missing("threads"))?,
+            wall_clock_ms: json
+                .get("wall_clock_ms")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| JsonError::missing("wall_clock_ms"))?,
+            baseline_sims: json
+                .get("baseline_sims")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| JsonError::missing("baseline_sims"))?,
+            workloads: str_list("workloads")?,
+            columns: str_list("columns")?,
+            cells: json
+                .get("cells")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| JsonError::missing("cells"))?
+                .iter()
+                .map(CellResult::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::json;
+    use workloads::spec_suite;
+
+    fn tiny_session(workloads_count: usize, kinds: &[DefenseKind]) -> ExperimentSession {
+        ExperimentSession::new()
+            .title("test grid")
+            .scale(Scale::Tiny)
+            .workloads(spec_suite(Scale::Tiny).into_iter().take(workloads_count))
+            .defenses(kinds.iter().copied())
+            .config(SystemConfig::small_test())
+    }
+
+    #[test]
+    fn grid_shape_and_ordering_are_deterministic() {
+        let report = tiny_session(3, &[DefenseKind::MuonTrap, DefenseKind::InsecureL0]).run();
+        assert_eq!(report.workloads.len(), 3);
+        assert_eq!(report.columns, vec!["muontrap", "insecure-l0"]);
+        assert_eq!(report.cells.len(), 6);
+        for (w, name) in report.workloads.iter().enumerate() {
+            for c in 0..report.columns.len() {
+                let cell = report.cell(w, c);
+                assert_eq!(&cell.workload, name);
+                assert_eq!(cell.column, report.columns[c]);
+                assert!(cell.normalized_time > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn one_baseline_per_workload_and_unprotected_columns_are_free() {
+        let report = tiny_session(2, &[DefenseKind::Unprotected, DefenseKind::MuonTrap]).run();
+        assert_eq!(report.baseline_sims, 2);
+        // 2 baselines + 2 muontrap cells; the 2 unprotected cells reuse them.
+        assert_eq!(report.total_sims(), 4);
+        for w in 0..2 {
+            assert_eq!(report.cell(w, 0).normalized_time, 1.0);
+            assert_eq!(report.cell(w, 0).cycles, report.cell(w, 0).baseline_cycles);
+        }
+    }
+
+    #[test]
+    fn config_sweep_shares_one_baseline_per_workload() {
+        let base = SystemConfig::small_test();
+        let sweep: Vec<(String, SystemConfig)> = [64u64, 128, 512]
+            .into_iter()
+            .map(|size| {
+                let mut cfg = base.clone();
+                cfg.data_filter = simkit::config::CacheConfig::new(
+                    size,
+                    (size / cfg.line_bytes).max(1) as usize,
+                    1,
+                    4,
+                );
+                (format!("{size} B"), cfg)
+            })
+            .collect();
+        let report = ExperimentSession::new()
+            .workloads(spec_suite(Scale::Tiny).into_iter().take(2))
+            .defenses([DefenseKind::MuonTrap])
+            .config_sweep(sweep)
+            .run();
+        assert_eq!(report.columns, vec!["64 B", "128 B", "512 B"]);
+        // The sweep only varies filter-cache geometry, which the unprotected
+        // baseline ignores — one baseline per workload, not per sweep point.
+        assert_eq!(report.baseline_sims, 2);
+    }
+
+    #[test]
+    fn unmemoized_runs_match_memoized_cell_for_cell() {
+        let kinds = [DefenseKind::MuonTrap, DefenseKind::SttSpectre];
+        let memoized = tiny_session(2, &kinds).run();
+        let unmemoized = tiny_session(2, &kinds).memoize(false).run();
+        assert!(unmemoized.baseline_sims > memoized.baseline_sims);
+        assert_eq!(memoized.cells, unmemoized.cells);
+        assert_eq!(memoized.columns, unmemoized.columns);
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_produce_identical_ordered_results() {
+        let kinds = [DefenseKind::MuonTrap, DefenseKind::InsecureL0];
+        let serial = tiny_session(4, &kinds).threads(1).run();
+        let parallel = tiny_session(4, &kinds).threads(4).run();
+        assert_eq!(serial.cells, parallel.cells);
+        assert_eq!(serial.workloads, parallel.workloads);
+        assert_eq!(serial.geomeans(), parallel.geomeans());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = tiny_session(2, &[DefenseKind::MuonTrap]).run();
+        let text = report.to_json().to_string_compact();
+        let back = RunReport::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        // Pretty form parses to the same document too.
+        let pretty =
+            RunReport::from_json(&json::parse(&report.to_json().to_string_pretty()).unwrap())
+                .unwrap();
+        assert_eq!(pretty, report);
+    }
+
+    #[test]
+    fn render_includes_title_columns_and_geomean() {
+        let report = tiny_session(2, &[DefenseKind::MuonTrap]).run();
+        let text = report.render();
+        assert!(text.contains("test grid"));
+        assert!(text.contains("muontrap"));
+        assert!(text.contains("geomean"));
+    }
+
+    #[test]
+    fn process_cache_reuses_baselines_across_sessions() {
+        // Use a distinctive machine so parallel-running tests cannot have
+        // primed the cache for these keys.
+        let mut cfg = SystemConfig::small_test();
+        cfg.scheduler_quantum = 19_997;
+        let workloads: Vec<Workload> = spec_suite(Scale::Tiny)
+            .into_iter()
+            .skip(5)
+            .take(2)
+            .collect();
+        let first = ExperimentSession::new()
+            .workloads(workloads.clone())
+            .defenses([DefenseKind::MuonTrap])
+            .config(cfg.clone())
+            .process_cache(true)
+            .run();
+        assert_eq!(first.baseline_sims, 2);
+        let second = ExperimentSession::new()
+            .workloads(workloads)
+            .defenses([DefenseKind::MuonTrap])
+            .config(cfg)
+            .process_cache(true)
+            .run();
+        assert_eq!(
+            second.baseline_sims, 0,
+            "second session must hit the process cache"
+        );
+        assert_eq!(first.cells, second.cells);
+    }
+
+    #[test]
+    fn baseline_machine_canonicalises_protection_knobs_only() {
+        let mut swept = SystemConfig::small_test();
+        swept.data_filter = simkit::config::CacheConfig::new(64, 1, 1, 1);
+        swept.protection = ProtectionConfig::muontrap_parallel_l1();
+        let base = baseline_machine(&SystemConfig::small_test());
+        assert_eq!(baseline_machine(&swept), base);
+        // Fields the unprotected machine does read must be preserved.
+        let mut bigger = SystemConfig::small_test();
+        bigger.l2 = simkit::config::CacheConfig::new(128 * 1024, 8, 20, 8);
+        assert_ne!(baseline_machine(&bigger), base);
+    }
+}

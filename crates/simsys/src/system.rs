@@ -120,11 +120,11 @@ impl System {
     /// Creates a new process (protection domain) and returns its id.
     pub fn add_process(&mut self) -> ProcessId {
         let pid = self.processes.len();
-        let page_table = PageTable::new(
-            self.config.tlb.page_bytes,
-            ((pid as u64) + 1) << 32,
-        );
-        self.processes.push(Process { page_table, memory: None });
+        let page_table = PageTable::new(self.config.tlb.page_bytes, ((pid as u64) + 1) << 32);
+        self.processes.push(Process {
+            page_table,
+            memory: None,
+        });
         pid
     }
 
@@ -161,7 +161,11 @@ impl System {
         };
         let context = ThreadContext::with_shared_memory(program, pid, memory, 0);
         let tid = self.threads.len();
-        self.threads.push(Thread { process: pid, context: Some(context), finished: false });
+        self.threads.push(Thread {
+            process: pid,
+            context: Some(context),
+            finished: false,
+        });
         self.ready.push_back(tid);
         tid
     }
@@ -172,7 +176,10 @@ impl System {
     pub fn load_workload(&mut self, programs: &[Program], shared_memory: bool) -> Vec<ThreadId> {
         if shared_memory {
             let pid = self.add_process();
-            programs.iter().map(|p| self.add_thread(pid, p.clone())).collect()
+            programs
+                .iter()
+                .map(|p| self.add_thread(pid, p.clone()))
+                .collect()
         } else {
             programs
                 .iter()
@@ -259,7 +266,10 @@ impl System {
     }
 
     fn dispatch(&mut self, core_idx: usize, tid: ThreadId) {
-        let context = self.threads[tid].context.take().expect("ready thread has a context");
+        let context = self.threads[tid]
+            .context
+            .take()
+            .expect("ready thread has a context");
         let pid = self.threads[tid].process;
         self.memory_model
             .set_page_table(core_idx, self.processes[pid].page_table.clone());
@@ -296,8 +306,11 @@ impl System {
                     .on_domain_switch(core_idx, DomainSwitch::Syscall, self.now);
             }
             CoreEvent::SandboxEnter | CoreEvent::SandboxExit => {
-                self.memory_model
-                    .on_domain_switch(core_idx, DomainSwitch::SandboxBoundary, self.now);
+                self.memory_model.on_domain_switch(
+                    core_idx,
+                    DomainSwitch::SandboxBoundary,
+                    self.now,
+                );
             }
             CoreEvent::Halted => {
                 if let Some(tid) = self.running[core_idx].take() {
@@ -371,7 +384,11 @@ mod tests {
         sys.add_thread(b, counting_program(4000));
         let report = sys.run(10_000_000);
         assert!(report.completed);
-        assert!(report.context_switches >= 3, "expected preemptions, saw {}", report.context_switches);
+        assert!(
+            report.context_switches >= 3,
+            "expected preemptions, saw {}",
+            report.context_switches
+        );
         // MuonTrap must have flushed its filter caches on those switches.
         assert!(report.stats.counter("muontrap.context_switch_flushes") >= report.context_switches);
     }
@@ -404,7 +421,10 @@ mod tests {
         assert!(report.completed, "blackscholes-like workload should finish");
         // Every core committed something.
         for i in 0..cfg.cores {
-            assert!(report.stats.counter(&format!("core{i}.committed")) > 0, "core {i} idle");
+            assert!(
+                report.stats.counter(&format!("core{i}.committed")) > 0,
+                "core {i} idle"
+            );
         }
     }
 
@@ -417,7 +437,11 @@ mod tests {
             let mut sys = System::new(&cfg, mem);
             sys.load_workload(&w.thread_programs, w.shared_memory);
             let report = sys.run(30_000_000);
-            assert!(report.completed, "{} did not finish under {:?}", w.name, kind);
+            assert!(
+                report.completed,
+                "{} did not finish under {:?}",
+                w.name, kind
+            );
         }
     }
 
@@ -429,8 +453,12 @@ mod tests {
         sys.map_shared_page(&[a, b], 0x300, 0x9_9999);
         // Both processes' page tables now map vpn 0x300 to the same ppn; this
         // is checked through the process page tables directly.
-        let pa_a = sys.processes[a].page_table.translate(simkit::addr::VirtAddr::new(0x300 * 4096 + 8));
-        let pa_b = sys.processes[b].page_table.translate(simkit::addr::VirtAddr::new(0x300 * 4096 + 8));
+        let pa_a = sys.processes[a]
+            .page_table
+            .translate(simkit::addr::VirtAddr::new(0x300 * 4096 + 8));
+        let pa_b = sys.processes[b]
+            .page_table
+            .translate(simkit::addr::VirtAddr::new(0x300 * 4096 + 8));
         assert_eq!(pa_a, pa_b);
     }
 

@@ -298,7 +298,9 @@ impl Instruction {
                 _ => 12,
             },
             InstClass::FpAlu => match self {
-                Instruction::Fpu { op: FpuOp::FDiv, .. } => 12,
+                Instruction::Fpu {
+                    op: FpuOp::FDiv, ..
+                } => 12,
                 _ => 4,
             },
             InstClass::Load | InstClass::Store | InstClass::Atomic => 1,
@@ -364,15 +366,30 @@ impl fmt::Display for Instruction {
             Instruction::AluImm { op, rd, rs1, imm } => write!(f, "{op:?}i {rd}, {rs1}, {imm}"),
             Instruction::LoadImm { rd, imm } => write!(f, "li {rd}, {imm:#x}"),
             Instruction::Fpu { op, rd, rs1, rs2 } => write!(f, "{op:?} {rd}, {rs1}, {rs2}"),
-            Instruction::Load { rd, base, offset, width } => {
+            Instruction::Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "load.{} {rd}, [{base}{offset:+}]", width.bytes())
             }
-            Instruction::Store { rs, base, offset, width } => {
+            Instruction::Store {
+                rs,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "store.{} {rs}, [{base}{offset:+}]", width.bytes())
             }
             Instruction::AtomicSwap { rd, rs, base } => write!(f, "amoswap {rd}, {rs}, [{base}]"),
             Instruction::AtomicAdd { rd, rs, base } => write!(f, "amoadd {rd}, {rs}, [{base}]"),
-            Instruction::Branch { cond, rs1, rs2, target } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "b{cond:?} {rs1}, {rs2} -> #{target}")
             }
             Instruction::Jump { target } => write!(f, "jmp #{target}"),
@@ -491,27 +508,59 @@ mod tests {
 
     #[test]
     fn classes_and_latencies() {
-        let ld = Instruction::Load { rd: Reg::X1, base: Reg::X2, offset: 0, width: MemWidth::Double };
+        let ld = Instruction::Load {
+            rd: Reg::X1,
+            base: Reg::X2,
+            offset: 0,
+            width: MemWidth::Double,
+        };
         assert_eq!(ld.class(), InstClass::Load);
         assert!(ld.class().is_memory());
-        let br = Instruction::Branch { cond: BranchCond::Eq, rs1: Reg::X1, rs2: Reg::X2, target: 0 };
+        let br = Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::X1,
+            rs2: Reg::X2,
+            target: 0,
+        };
         assert!(br.class().is_control());
-        let div = Instruction::AluReg { op: AluOp::Div, rd: Reg::X1, rs1: Reg::X2, rs2: Reg::X3 };
+        let div = Instruction::AluReg {
+            op: AluOp::Div,
+            rd: Reg::X1,
+            rs1: Reg::X2,
+            rs2: Reg::X3,
+        };
         assert_eq!(div.class(), InstClass::MulDiv);
         assert!(div.exec_latency() > 1);
-        let mul = Instruction::AluImm { op: AluOp::Mul, rd: Reg::X1, rs1: Reg::X2, imm: 3 };
+        let mul = Instruction::AluImm {
+            op: AluOp::Mul,
+            rd: Reg::X1,
+            rs1: Reg::X2,
+            imm: 3,
+        };
         assert_eq!(mul.exec_latency(), 3);
     }
 
     #[test]
     fn sources_and_dests() {
-        let st = Instruction::Store { rs: Reg::X3, base: Reg::X4, offset: 8, width: MemWidth::Word };
+        let st = Instruction::Store {
+            rs: Reg::X3,
+            base: Reg::X4,
+            offset: 8,
+            width: MemWidth::Word,
+        };
         assert_eq!(st.sources(), vec![Reg::X3, Reg::X4]);
         assert_eq!(st.dest(), None);
-        let amo = Instruction::AtomicAdd { rd: Reg::X1, rs: Reg::X2, base: Reg::X3 };
+        let amo = Instruction::AtomicAdd {
+            rd: Reg::X1,
+            rs: Reg::X2,
+            base: Reg::X3,
+        };
         assert_eq!(amo.dest(), Some(Reg::X1));
         assert_eq!(amo.sources(), vec![Reg::X2, Reg::X3]);
-        let call = Instruction::Call { target: 7, link: Reg::X30 };
+        let call = Instruction::Call {
+            target: 7,
+            link: Reg::X30,
+        };
         assert_eq!(call.dest(), Some(Reg::X30));
         let ret = Instruction::Return { link: Reg::X30 };
         assert_eq!(ret.sources(), vec![Reg::X30]);
@@ -529,9 +578,24 @@ mod tests {
     fn display_is_nonempty_for_all_shapes() {
         let insts = [
             Instruction::Nop,
-            Instruction::AluReg { op: AluOp::Add, rd: Reg::X1, rs1: Reg::X2, rs2: Reg::X3 },
-            Instruction::Load { rd: Reg::X1, base: Reg::X2, offset: -8, width: MemWidth::Byte },
-            Instruction::Branch { cond: BranchCond::Ne, rs1: Reg::X1, rs2: Reg::X0, target: 3 },
+            Instruction::AluReg {
+                op: AluOp::Add,
+                rd: Reg::X1,
+                rs1: Reg::X2,
+                rs2: Reg::X3,
+            },
+            Instruction::Load {
+                rd: Reg::X1,
+                base: Reg::X2,
+                offset: -8,
+                width: MemWidth::Byte,
+            },
+            Instruction::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::X1,
+                rs2: Reg::X0,
+                target: 3,
+            },
             Instruction::Syscall { code: 2 },
             Instruction::Halt,
         ];

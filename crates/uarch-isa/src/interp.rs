@@ -54,7 +54,11 @@ pub struct RunError {
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "program did not halt: {:?} after {} instructions", self.reason, self.retired)
+        write!(
+            f,
+            "program did not halt: {:?} after {} instructions",
+            self.reason, self.retired
+        )
     }
 }
 
@@ -164,28 +168,45 @@ impl Interpreter {
                 let v = eval_fpu(op, self.regs.read(rs1), self.regs.read(rs2));
                 self.regs.write(rd, v);
             }
-            Instruction::Load { rd, base, offset, width } => {
+            Instruction::Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
                 let addr = VirtAddr::new(self.regs.read(base).wrapping_add(offset as u64));
                 let v = self.memory.read(addr, width);
                 self.regs.write(rd, v);
             }
-            Instruction::Store { rs, base, offset, width } => {
+            Instruction::Store {
+                rs,
+                base,
+                offset,
+                width,
+            } => {
                 let addr = VirtAddr::new(self.regs.read(base).wrapping_add(offset as u64));
                 self.memory.write(addr, self.regs.read(rs), width);
             }
             Instruction::AtomicSwap { rd, rs, base } => {
                 let addr = VirtAddr::new(self.regs.read(base));
                 let old = self.memory.read(addr, MemWidth::Double);
-                self.memory.write(addr, self.regs.read(rs), MemWidth::Double);
+                self.memory
+                    .write(addr, self.regs.read(rs), MemWidth::Double);
                 self.regs.write(rd, old);
             }
             Instruction::AtomicAdd { rd, rs, base } => {
                 let addr = VirtAddr::new(self.regs.read(base));
                 let old = self.memory.read(addr, MemWidth::Double);
-                self.memory.write(addr, old.wrapping_add(self.regs.read(rs)), MemWidth::Double);
+                self.memory
+                    .write(addr, old.wrapping_add(self.regs.read(rs)), MemWidth::Double);
                 self.regs.write(rd, old);
             }
-            Instruction::Branch { cond, rs1, rs2, target } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 if eval_branch(cond, self.regs.read(rs1), self.regs.read(rs2)) {
                     next_pc = target;
                 }
@@ -235,13 +256,19 @@ impl Interpreter {
                 if self.halted {
                     return Ok(self.result());
                 }
-                return Err(RunError { reason: StopReason::PcOutOfRange, retired: self.retired });
+                return Err(RunError {
+                    reason: StopReason::PcOutOfRange,
+                    retired: self.retired,
+                });
             }
         }
         if self.halted {
             Ok(self.result())
         } else {
-            Err(RunError { reason: StopReason::OutOfBudget, retired: self.retired })
+            Err(RunError {
+                reason: StopReason::OutOfBudget,
+                retired: self.retired,
+            })
         }
     }
 
@@ -284,7 +311,10 @@ mod tests {
         let p = b.build().unwrap();
         let result = Interpreter::new(&p).run(100).unwrap();
         assert_eq!(result.regs.read(Reg::X3), 0xabcd);
-        assert_eq!(result.memory.read(VirtAddr::new(0x8010), MemWidth::Double), 0xabcd);
+        assert_eq!(
+            result.memory.read(VirtAddr::new(0x8010), MemWidth::Double),
+            0xabcd
+        );
     }
 
     #[test]
@@ -331,7 +361,10 @@ mod tests {
         let result = Interpreter::new(&p).run(100).unwrap();
         assert_eq!(result.regs.read(Reg::X4), 5); // old value before add
         assert_eq!(result.regs.read(Reg::X5), 8); // value after add, before swap
-        assert_eq!(result.memory.read(VirtAddr::new(0x3000), MemWidth::Double), 0);
+        assert_eq!(
+            result.memory.read(VirtAddr::new(0x3000), MemWidth::Double),
+            0
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl SparseMemory {
 
     /// Reads `len` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: VirtAddr, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_byte(addr.raw().wrapping_add(i as u64))).collect()
+        (0..len)
+            .map(|i| self.read_byte(addr.raw().wrapping_add(i as u64)))
+            .collect()
     }
 
     /// Number of chunks that have been touched (allocated).

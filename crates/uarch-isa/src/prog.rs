@@ -26,7 +26,7 @@ pub const TEXT_BASE: u64 = 0x0040_0000;
 pub struct Label(usize);
 
 /// An initial data segment copied into memory before the program runs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DataSegment {
     /// Destination virtual address.
     pub addr: VirtAddr,
@@ -35,7 +35,7 @@ pub struct DataSegment {
 }
 
 /// An immutable µISA program: code, initial data and a name.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Program {
     name: String,
     code: Arc<Vec<Instruction>>,
@@ -82,7 +82,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program `{}` ({} instructions)", self.name, self.code.len())?;
+        writeln!(
+            f,
+            "program `{}` ({} instructions)",
+            self.name,
+            self.code.len()
+        )?;
         for (i, inst) in self.code.iter().enumerate() {
             writeln!(f, "  {i:5}: {inst}")?;
         }
@@ -209,57 +214,112 @@ impl ProgramBuilder {
 
     /// `rd <- rs1 + rs2`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.emit(Instruction::AluReg { op: AluOp::Add, rd, rs1, rs2 })
+        self.emit(Instruction::AluReg {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd <- rs1 - rs2`.
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.emit(Instruction::AluReg { op: AluOp::Sub, rd, rs1, rs2 })
+        self.emit(Instruction::AluReg {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd <- rs1 * rs2`.
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.emit(Instruction::AluReg { op: AluOp::Mul, rd, rs1, rs2 })
+        self.emit(Instruction::AluReg {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd <- rs1 / rs2` (signed).
     pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.emit(Instruction::AluReg { op: AluOp::Div, rd, rs1, rs2 })
+        self.emit(Instruction::AluReg {
+            op: AluOp::Div,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd <- rs1 + imm`.
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
-        self.emit(Instruction::AluImm { op: AluOp::Add, rd, rs1, imm })
+        self.emit(Instruction::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `rd <- rs1 & imm`.
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
-        self.emit(Instruction::AluImm { op: AluOp::And, rd, rs1, imm })
+        self.emit(Instruction::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `rd <- rs1 ^ rs2`.
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.emit(Instruction::AluReg { op: AluOp::Xor, rd, rs1, rs2 })
+        self.emit(Instruction::AluReg {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd <- rs1 & rs2`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.emit(Instruction::AluReg { op: AluOp::And, rd, rs1, rs2 })
+        self.emit(Instruction::AluReg {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd <- rs1 << imm`.
     pub fn shli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
-        self.emit(Instruction::AluImm { op: AluOp::Shl, rd, rs1, imm })
+        self.emit(Instruction::AluImm {
+            op: AluOp::Shl,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `rd <- rs1 >> imm`.
     pub fn shri(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
-        self.emit(Instruction::AluImm { op: AluOp::Shr, rd, rs1, imm })
+        self.emit(Instruction::AluImm {
+            op: AluOp::Shr,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `rd <- rs1 % imm`.
     pub fn remi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
-        self.emit(Instruction::AluImm { op: AluOp::Rem, rd, rs1, imm })
+        self.emit(Instruction::AluImm {
+            op: AluOp::Rem,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// Generic register-register ALU operation.
@@ -281,22 +341,42 @@ impl ProgramBuilder {
 
     /// 8-byte load: `rd <- mem[base + offset]`.
     pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
-        self.emit(Instruction::Load { rd, base, offset, width: MemWidth::Double })
+        self.emit(Instruction::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::Double,
+        })
     }
 
     /// 1-byte load.
     pub fn load_byte(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
-        self.emit(Instruction::Load { rd, base, offset, width: MemWidth::Byte })
+        self.emit(Instruction::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::Byte,
+        })
     }
 
     /// 8-byte store: `mem[base + offset] <- rs`.
     pub fn store(&mut self, rs: Reg, base: Reg, offset: i64) -> &mut Self {
-        self.emit(Instruction::Store { rs, base, offset, width: MemWidth::Double })
+        self.emit(Instruction::Store {
+            rs,
+            base,
+            offset,
+            width: MemWidth::Double,
+        })
     }
 
     /// 1-byte store.
     pub fn store_byte(&mut self, rs: Reg, base: Reg, offset: i64) -> &mut Self {
-        self.emit(Instruction::Store { rs, base, offset, width: MemWidth::Byte })
+        self.emit(Instruction::Store {
+            rs,
+            base,
+            offset,
+            width: MemWidth::Byte,
+        })
     }
 
     /// Atomic swap (8-byte).
@@ -315,7 +395,12 @@ impl ProgramBuilder {
     pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
         let at = self.code.len();
         self.fixups.push((at, label.0));
-        self.emit(Instruction::Branch { cond, rs1, rs2, target: UNRESOLVED })
+        self.emit(Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: UNRESOLVED,
+        })
     }
 
     /// Branch if equal.
@@ -371,7 +456,10 @@ impl ProgramBuilder {
     pub fn call(&mut self, label: Label, link: Reg) -> &mut Self {
         let at = self.code.len();
         self.fixups.push((at, label.0));
-        self.emit(Instruction::Call { target: UNRESOLVED, link })
+        self.emit(Instruction::Call {
+            target: UNRESOLVED,
+            link,
+        })
     }
 
     /// Return through `link`.
@@ -428,7 +516,10 @@ impl ProgramBuilder {
         for (at, label_id) in &self.fixups {
             let position = self.labels[*label_id].ok_or(BuildError::UnboundLabel(*label_id))?;
             if position > self.code.len() {
-                return Err(BuildError::TargetOutOfRange { at: *at, target: position });
+                return Err(BuildError::TargetOutOfRange {
+                    at: *at,
+                    target: position,
+                });
             }
             match &mut self.code[*at] {
                 Instruction::Branch { target, .. }
@@ -451,7 +542,11 @@ impl ProgramBuilder {
                 }
             }
         }
-        Ok(Program { name: self.name, code: Arc::new(self.code), data: self.data })
+        Ok(Program {
+            name: self.name,
+            code: Arc::new(self.code),
+            data: self.data,
+        })
     }
 }
 
@@ -499,7 +594,10 @@ mod tests {
         let mut b = ProgramBuilder::new("bad-target");
         b.emit(Instruction::Jump { target: 999 });
         b.halt();
-        assert!(matches!(b.build(), Err(BuildError::TargetOutOfRange { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::TargetOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -14,19 +14,75 @@ pub const NUM_REGS: usize = 32;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum Reg {
-    X0, X1, X2, X3, X4, X5, X6, X7,
-    X8, X9, X10, X11, X12, X13, X14, X15,
-    X16, X17, X18, X19, X20, X21, X22, X23,
-    X24, X25, X26, X27, X28, X29, X30, X31,
+    X0,
+    X1,
+    X2,
+    X3,
+    X4,
+    X5,
+    X6,
+    X7,
+    X8,
+    X9,
+    X10,
+    X11,
+    X12,
+    X13,
+    X14,
+    X15,
+    X16,
+    X17,
+    X18,
+    X19,
+    X20,
+    X21,
+    X22,
+    X23,
+    X24,
+    X25,
+    X26,
+    X27,
+    X28,
+    X29,
+    X30,
+    X31,
 }
 
 impl Reg {
     /// All registers in index order.
     pub const ALL: [Reg; NUM_REGS] = [
-        Reg::X0, Reg::X1, Reg::X2, Reg::X3, Reg::X4, Reg::X5, Reg::X6, Reg::X7,
-        Reg::X8, Reg::X9, Reg::X10, Reg::X11, Reg::X12, Reg::X13, Reg::X14, Reg::X15,
-        Reg::X16, Reg::X17, Reg::X18, Reg::X19, Reg::X20, Reg::X21, Reg::X22, Reg::X23,
-        Reg::X24, Reg::X25, Reg::X26, Reg::X27, Reg::X28, Reg::X29, Reg::X30, Reg::X31,
+        Reg::X0,
+        Reg::X1,
+        Reg::X2,
+        Reg::X3,
+        Reg::X4,
+        Reg::X5,
+        Reg::X6,
+        Reg::X7,
+        Reg::X8,
+        Reg::X9,
+        Reg::X10,
+        Reg::X11,
+        Reg::X12,
+        Reg::X13,
+        Reg::X14,
+        Reg::X15,
+        Reg::X16,
+        Reg::X17,
+        Reg::X18,
+        Reg::X19,
+        Reg::X20,
+        Reg::X21,
+        Reg::X22,
+        Reg::X23,
+        Reg::X24,
+        Reg::X25,
+        Reg::X26,
+        Reg::X27,
+        Reg::X28,
+        Reg::X29,
+        Reg::X30,
+        Reg::X31,
     ];
 
     /// Returns the register's index (0..32).

@@ -293,7 +293,9 @@ pub fn branchy(name: &str, p: BranchyParams) -> Program {
     b.data_u64(VirtAddr::new(HEAP_BASE), &table);
     // A second table indexed by the *loaded* decision value (a gather), so the
     // taken path's load address derives from speculative load data.
-    let other: Vec<u64> = (0..p.elements).map(|i| i.wrapping_mul(37) % p.elements).collect();
+    let other: Vec<u64> = (0..p.elements)
+        .map(|i| i.wrapping_mul(37) % p.elements)
+        .collect();
     b.data_u64(VirtAddr::new(HEAP_BASE + p.elements * 8), &other);
 
     b.li(BASE, HEAP_BASE);
@@ -527,7 +529,7 @@ pub fn lock_based(name: &str, p: ParallelParams, critical_len: u64) -> Program {
     let mut b = ProgramBuilder::new(name);
     if p.thread_id == 0 {
         b.data_u64(VirtAddr::new(LOCK_ADDR), &[0]);
-        let init: Vec<u64> = (0..p.elements.min(512)).map(|i| i).collect();
+        let init: Vec<u64> = (0..p.elements.min(512)).collect();
         b.data_u64(VirtAddr::new(HEAP_BASE), &init);
     }
 
@@ -590,7 +592,7 @@ pub fn work_queue(name: &str, p: ParallelParams, work_per_item: u64) -> Program 
     b.li(LOCK, COUNTER_ADDR);
     b.li(SCRATCH, 1);
     b.amoadd(VAL, SCRATCH, LOCK); // VAL = claimed item index
-    // Process: hash the item id into the shared table and do some work on it.
+                                  // Process: hash the item id into the shared table and do some work on it.
     b.li(TMP, 2654435761);
     b.mul(VAL, VAL, TMP);
     b.alui(AluOp::Rem, VAL, VAL, p.elements as i64);
@@ -623,14 +625,39 @@ mod tests {
 
     #[test]
     fn stream_kernel_runs_and_scales_with_elements() {
-        let small = stream("s1", StreamParams { elements: 64, passes: 2, arrays: 2, writes: true, fp: false });
-        let large = stream("s2", StreamParams { elements: 256, passes: 2, arrays: 2, writes: true, fp: false });
+        let small = stream(
+            "s1",
+            StreamParams {
+                elements: 64,
+                passes: 2,
+                arrays: 2,
+                writes: true,
+                fp: false,
+            },
+        );
+        let large = stream(
+            "s2",
+            StreamParams {
+                elements: 256,
+                passes: 2,
+                arrays: 2,
+                writes: true,
+                fp: false,
+            },
+        );
         assert!(runs(&large) > runs(&small));
     }
 
     #[test]
     fn pointer_chase_visits_every_node() {
-        let p = pointer_chase("chase", ChaseParams { nodes: 64, hops: 64, seed: 1 });
+        let p = pointer_chase(
+            "chase",
+            ChaseParams {
+                nodes: 64,
+                hops: 64,
+                seed: 1,
+            },
+        );
         let mut interp = Interpreter::new(&p);
         let result = interp.run(1_000_000).unwrap();
         // After exactly `nodes` hops around a full cycle we are back at the start.
@@ -639,13 +666,29 @@ mod tests {
 
     #[test]
     fn random_access_kernel_halts() {
-        let p = random_access("ra", RandomAccessParams { elements: 128, accesses: 200, update: true, seed: 3 });
+        let p = random_access(
+            "ra",
+            RandomAccessParams {
+                elements: 128,
+                accesses: 200,
+                update: true,
+                seed: 3,
+            },
+        );
         assert!(runs(&p) > 200);
     }
 
     #[test]
     fn compute_kernel_is_dominated_by_arithmetic() {
-        let p = compute("c", ComputeParams { iterations: 2, ops_per_element: 12, elements: 16, fp: true });
+        let p = compute(
+            "c",
+            ComputeParams {
+                iterations: 2,
+                ops_per_element: 12,
+                elements: 16,
+                fp: true,
+            },
+        );
         let retired = runs(&p);
         // At least ops_per_element arithmetic instructions per element.
         assert!(retired > 2 * 16 * 12);
@@ -653,10 +696,20 @@ mod tests {
 
     #[test]
     fn branchy_kernel_has_both_paths() {
-        let p = branchy("b", BranchyParams { decisions: 500, elements: 64, seed: 9 });
+        let p = branchy(
+            "b",
+            BranchyParams {
+                decisions: 500,
+                elements: 64,
+                seed: 9,
+            },
+        );
         let mut interp = Interpreter::new(&p);
         let result = interp.run(1_000_000).unwrap();
-        assert!(result.regs.read(Reg::X3) != 0, "accumulator should mix both paths");
+        assert!(
+            result.regs.read(Reg::X3) != 0,
+            "accumulator should mix both paths"
+        );
     }
 
     #[test]
@@ -674,7 +727,13 @@ mod tests {
 
     #[test]
     fn parallel_kernels_halt_per_thread() {
-        let p = ParallelParams { thread_id: 1, num_threads: 4, elements: 128, iterations: 8, seed: 2 };
+        let p = ParallelParams {
+            thread_id: 1,
+            num_threads: 4,
+            elements: 128,
+            iterations: 8,
+            seed: 2,
+        };
         assert!(runs(&data_parallel("dp", p, 4)) > 0);
         assert!(runs(&shared_read_mostly("srm", p, 16)) > 0);
         assert!(runs(&lock_based("lb", p, 4)) > 0);
@@ -683,11 +742,23 @@ mod tests {
 
     #[test]
     fn thread_zero_seeds_shared_data() {
-        let p0 = ParallelParams { thread_id: 0, num_threads: 2, elements: 64, iterations: 4, seed: 2 };
+        let p0 = ParallelParams {
+            thread_id: 0,
+            num_threads: 2,
+            elements: 64,
+            iterations: 4,
+            seed: 2,
+        };
         let prog = lock_based("lb0", p0, 2);
-        assert!(!prog.data_segments().is_empty(), "thread 0 must initialise the shared data");
+        assert!(
+            !prog.data_segments().is_empty(),
+            "thread 0 must initialise the shared data"
+        );
         let p1 = ParallelParams { thread_id: 1, ..p0 };
         let prog1 = lock_based("lb1", p1, 2);
-        assert!(prog1.data_segments().is_empty(), "other threads must not clobber shared data");
+        assert!(
+            prog1.data_segments().is_empty(),
+            "other threads must not clobber shared data"
+        );
     }
 }

@@ -50,6 +50,19 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Every scale, in increasing-size order (for CLI help and tests).
+    pub const ALL: [Scale; 3] = [Scale::Tiny, Scale::Small, Scale::Large];
+
+    /// The stable lower-case name used by `Display`/`FromStr` and the
+    /// `--scale` CLI flag.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Large => "large",
+        }
+    }
+
     /// A multiplier applied to iteration counts.
     pub fn iterations(self, base: u64) -> u64 {
         match self {
@@ -69,8 +82,44 @@ impl Scale {
     }
 }
 
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`Scale`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScaleError(String);
+
+impl std::fmt::Display for ParseScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scale `{}` (expected tiny, small or large)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseScaleError {}
+
+impl std::str::FromStr for Scale {
+    type Err = ParseScaleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scale::ALL
+            .into_iter()
+            .find(|scale| scale.name() == s)
+            .ok_or_else(|| ParseScaleError(s.to_string()))
+    }
+}
+
 /// A workload: one or more thread programs plus metadata.
-#[derive(Debug, Clone)]
+///
+/// `Eq`/`Hash` compare the full program contents; the experiment session
+/// relies on this to fingerprint workloads for its baseline-run cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Workload {
     /// The benchmark name this kernel stands in for (e.g. "mcf", "canneal").
     pub name: String,
@@ -89,7 +138,11 @@ pub struct Workload {
 
 impl Workload {
     /// Creates a single-threaded workload.
-    pub fn single(name: impl Into<String>, program: Program, description: impl Into<String>) -> Self {
+    pub fn single(
+        name: impl Into<String>,
+        program: Program,
+        description: impl Into<String>,
+    ) -> Self {
         Workload {
             name: name.into(),
             thread_programs: vec![program],
@@ -138,7 +191,11 @@ mod tests {
             assert_eq!(w.num_threads(), 1, "{} must be single-threaded", w.name);
             let mut interp = Interpreter::new(&w.thread_programs[0]);
             let result = interp.run(5_000_000);
-            assert!(result.is_ok(), "workload {} did not halt functionally", w.name);
+            assert!(
+                result.is_ok(),
+                "workload {} did not halt functionally",
+                w.name
+            );
         }
     }
 
@@ -153,22 +210,66 @@ mod tests {
             for (i, p) in w.thread_programs.iter().enumerate() {
                 let mut interp = Interpreter::new(p);
                 let result = interp.run(5_000_000);
-                assert!(result.is_ok(), "workload {} thread {i} did not halt", w.name);
+                assert!(
+                    result.is_ok(),
+                    "workload {} thread {i} did not halt",
+                    w.name
+                );
             }
         }
     }
 
     #[test]
-    fn suite_names_match_the_paper() {
-        let spec: Vec<String> = spec_suite(Scale::Tiny).into_iter().map(|w| w.name).collect();
-        for expected in ["astar", "bwaves", "mcf", "lbm", "omnetpp", "xalancbmk", "zeusmp"] {
-            assert!(spec.contains(&expected.to_string()), "missing SPEC kernel {expected}");
+    fn scale_display_from_str_round_trips_every_variant() {
+        for scale in Scale::ALL {
+            let text = scale.to_string();
+            assert_eq!(
+                text.parse::<Scale>(),
+                Ok(scale),
+                "round-trip failed for {text}"
+            );
         }
-        let parsec: Vec<String> = parsec_suite(Scale::Tiny, 4).into_iter().map(|w| w.name).collect();
-        for expected in
-            ["blackscholes", "canneal", "ferret", "fluidanimate", "freqmine", "streamcluster", "swaptions"]
-        {
-            assert!(parsec.contains(&expected.to_string()), "missing Parsec kernel {expected}");
+        assert!("medium".parse::<Scale>().is_err());
+        assert!("".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn suite_names_match_the_paper() {
+        let spec: Vec<String> = spec_suite(Scale::Tiny)
+            .into_iter()
+            .map(|w| w.name)
+            .collect();
+        for expected in [
+            "astar",
+            "bwaves",
+            "mcf",
+            "lbm",
+            "omnetpp",
+            "xalancbmk",
+            "zeusmp",
+        ] {
+            assert!(
+                spec.contains(&expected.to_string()),
+                "missing SPEC kernel {expected}"
+            );
+        }
+        let parsec: Vec<String> = parsec_suite(Scale::Tiny, 4)
+            .into_iter()
+            .map(|w| w.name)
+            .collect();
+        for expected in [
+            "blackscholes",
+            "canneal",
+            "ferret",
+            "fluidanimate",
+            "freqmine",
+            "streamcluster",
+            "swaptions",
+        ] {
+            assert!(
+                parsec.contains(&expected.to_string()),
+                "missing Parsec kernel {expected}"
+            );
         }
     }
 }

@@ -8,9 +8,7 @@
 //! updates (`fluidanimate`), and shared read-mostly tables (`freqmine`,
 //! `streamcluster`).
 
-use crate::kernels::{
-    data_parallel, lock_based, shared_read_mostly, work_queue, ParallelParams,
-};
+use crate::kernels::{data_parallel, lock_based, shared_read_mostly, work_queue, ParallelParams};
 use crate::{Scale, Workload};
 
 /// The benchmark names in the order figure 4 of the paper lists them.
@@ -91,7 +89,9 @@ pub fn parsec_workload(name: &str, scale: Scale, num_threads: usize) -> Option<W
 pub fn parsec_suite(scale: Scale, num_threads: usize) -> Vec<Workload> {
     PARSEC_NAMES
         .iter()
-        .map(|name| parsec_workload(name, scale, num_threads).expect("every listed benchmark has a kernel"))
+        .map(|name| {
+            parsec_workload(name, scale, num_threads).expect("every listed benchmark has a kernel")
+        })
         .collect()
 }
 

@@ -50,132 +50,332 @@ pub fn spec_workload(name: &str, scale: Scale) -> Option<Workload> {
     let workload = match name {
         "astar" => Workload::single(
             name,
-            pointer_chase(name, ChaseParams { nodes: el(2048), hops: it(6000), seed: 11 }),
+            pointer_chase(
+                name,
+                ChaseParams {
+                    nodes: el(2048),
+                    hops: it(6000),
+                    seed: 11,
+                },
+            ),
             "graph path search: latency-bound pointer chasing",
         ),
         "bwaves" => Workload::single(
             name,
-            stream(name, StreamParams { elements: el(8192), passes: it(3), arrays: 3, writes: true, fp: true }),
+            stream(
+                name,
+                StreamParams {
+                    elements: el(8192),
+                    passes: it(3),
+                    arrays: 3,
+                    writes: true,
+                    fp: true,
+                },
+            ),
             "large multi-array FP streaming, memory-bandwidth bound",
         ),
         "bzip2" => Workload::single(
             name,
-            branchy(name, BranchyParams { decisions: it(6000), elements: el(1024), seed: 23 }),
+            branchy(
+                name,
+                BranchyParams {
+                    decisions: it(6000),
+                    elements: el(1024),
+                    seed: 23,
+                },
+            ),
             "byte-level compression: data-dependent branches",
         ),
         "cactusADM" => Workload::single(
             name,
-            stencil(name, StencilParams { dim: el(48), sweeps: it(3) }),
+            stencil(
+                name,
+                StencilParams {
+                    dim: el(48),
+                    sweeps: it(3),
+                },
+            ),
             "3D relativity stencil: strided grid sweeps with conflict misses",
         ),
         "calculix" => Workload::single(
             name,
-            compute(name, ComputeParams { iterations: it(12), ops_per_element: 16, elements: el(256), fp: true }),
+            compute(
+                name,
+                ComputeParams {
+                    iterations: it(12),
+                    ops_per_element: 16,
+                    elements: el(256),
+                    fp: true,
+                },
+            ),
             "finite-element solve: FP compute bound",
         ),
         "gamess" => Workload::single(
             name,
-            compute(name, ComputeParams { iterations: it(14), ops_per_element: 20, elements: el(128), fp: true }),
+            compute(
+                name,
+                ComputeParams {
+                    iterations: it(14),
+                    ops_per_element: 20,
+                    elements: el(128),
+                    fp: true,
+                },
+            ),
             "quantum chemistry: FP compute bound, tiny working set",
         ),
         "gcc" => Workload::single(
             name,
-            random_access(name, RandomAccessParams { elements: el(16384), accesses: it(6000), update: true, seed: 31 }),
+            random_access(
+                name,
+                RandomAccessParams {
+                    elements: el(16384),
+                    accesses: it(6000),
+                    update: true,
+                    seed: 31,
+                },
+            ),
             "compiler: irregular accesses over large in-memory IR",
         ),
         "GemsFDTD" => Workload::single(
             name,
-            stream(name, StreamParams { elements: el(8192), passes: it(3), arrays: 2, writes: true, fp: true }),
+            stream(
+                name,
+                StreamParams {
+                    elements: el(8192),
+                    passes: it(3),
+                    arrays: 2,
+                    writes: true,
+                    fp: true,
+                },
+            ),
             "electromagnetics: FP streaming over large grids",
         ),
         "gobmk" => Workload::single(
             name,
-            branchy(name, BranchyParams { decisions: it(7000), elements: el(512), seed: 37 }),
+            branchy(
+                name,
+                BranchyParams {
+                    decisions: it(7000),
+                    elements: el(512),
+                    seed: 37,
+                },
+            ),
             "go engine: hard-to-predict branches",
         ),
         "gromacs" => Workload::single(
             name,
-            compute(name, ComputeParams { iterations: it(10), ops_per_element: 12, elements: el(512), fp: true }),
+            compute(
+                name,
+                ComputeParams {
+                    iterations: it(10),
+                    ops_per_element: 12,
+                    elements: el(512),
+                    fp: true,
+                },
+            ),
             "molecular dynamics: FP compute with neighbour lists",
         ),
         "h264ref" => Workload::single(
             name,
-            compute(name, ComputeParams { iterations: it(10), ops_per_element: 10, elements: el(768), fp: false }),
+            compute(
+                name,
+                ComputeParams {
+                    iterations: it(10),
+                    ops_per_element: 10,
+                    elements: el(768),
+                    fp: false,
+                },
+            ),
             "video encoding: integer compute over small blocks",
         ),
         "hmmer" => Workload::single(
             name,
-            random_access(name, RandomAccessParams { elements: el(2048), accesses: it(7000), update: false, seed: 41 }),
+            random_access(
+                name,
+                RandomAccessParams {
+                    elements: el(2048),
+                    accesses: it(7000),
+                    update: false,
+                    seed: 41,
+                },
+            ),
             "sequence search: table lookups with regular compute",
         ),
         "lbm" => Workload::single(
             name,
-            stream(name, StreamParams { elements: el(12288), passes: it(3), arrays: 2, writes: true, fp: true }),
+            stream(
+                name,
+                StreamParams {
+                    elements: el(12288),
+                    passes: it(3),
+                    arrays: 2,
+                    writes: true,
+                    fp: true,
+                },
+            ),
             "lattice Boltzmann: streaming writes, prefetcher friendly",
         ),
         "leslie3d" => Workload::single(
             name,
-            stencil(name, StencilParams { dim: el(56), sweeps: it(3) }),
+            stencil(
+                name,
+                StencilParams {
+                    dim: el(56),
+                    sweeps: it(3),
+                },
+            ),
             "fluid dynamics: multi-array stencil streams",
         ),
         "libquantum" => Workload::single(
             name,
-            stream(name, StreamParams { elements: el(16384), passes: it(3), arrays: 1, writes: true, fp: false }),
+            stream(
+                name,
+                StreamParams {
+                    elements: el(16384),
+                    passes: it(3),
+                    arrays: 1,
+                    writes: true,
+                    fp: false,
+                },
+            ),
             "quantum simulation: single huge-array streaming",
         ),
         "mcf" => Workload::single(
             name,
-            pointer_chase(name, ChaseParams { nodes: el(8192), hops: it(6000), seed: 43 }),
+            pointer_chase(
+                name,
+                ChaseParams {
+                    nodes: el(8192),
+                    hops: it(6000),
+                    seed: 43,
+                },
+            ),
             "network simplex: dependent pointer chasing, latency bound",
         ),
         "milc" => Workload::single(
             name,
-            stream(name, StreamParams { elements: el(6144), passes: it(3), arrays: 2, writes: false, fp: true }),
+            stream(
+                name,
+                StreamParams {
+                    elements: el(6144),
+                    passes: it(3),
+                    arrays: 2,
+                    writes: false,
+                    fp: true,
+                },
+            ),
             "lattice QCD: FP streaming reads",
         ),
         "namd" => Workload::single(
             name,
-            compute(name, ComputeParams { iterations: it(12), ops_per_element: 18, elements: el(256), fp: true }),
+            compute(
+                name,
+                ComputeParams {
+                    iterations: it(12),
+                    ops_per_element: 18,
+                    elements: el(256),
+                    fp: true,
+                },
+            ),
             "molecular dynamics: FP compute bound",
         ),
         "omnetpp" => Workload::single(
             name,
-            pointer_chase(name, ChaseParams { nodes: el(4096), hops: it(5000), seed: 47 }),
+            pointer_chase(
+                name,
+                ChaseParams {
+                    nodes: el(4096),
+                    hops: it(5000),
+                    seed: 47,
+                },
+            ),
             "discrete event simulation: pointer-heavy, poor locality",
         ),
         "povray" => Workload::single(
             name,
-            compute(name, ComputeParams { iterations: it(14), ops_per_element: 14, elements: el(128), fp: true }),
+            compute(
+                name,
+                ComputeParams {
+                    iterations: it(14),
+                    ops_per_element: 14,
+                    elements: el(128),
+                    fp: true,
+                },
+            ),
             "ray tracing: FP compute, small working set",
         ),
         "sjeng" => Workload::single(
             name,
-            branchy(name, BranchyParams { decisions: it(6500), elements: el(768), seed: 53 }),
+            branchy(
+                name,
+                BranchyParams {
+                    decisions: it(6500),
+                    elements: el(768),
+                    seed: 53,
+                },
+            ),
             "chess engine: deep branchy search",
         ),
         "soplex" => Workload::single(
             name,
-            random_access(name, RandomAccessParams { elements: el(12288), accesses: it(5500), update: true, seed: 59 }),
+            random_access(
+                name,
+                RandomAccessParams {
+                    elements: el(12288),
+                    accesses: it(5500),
+                    update: true,
+                    seed: 59,
+                },
+            ),
             "linear programming: sparse matrix accesses",
         ),
         "tonto" => Workload::single(
             name,
-            compute(name, ComputeParams { iterations: it(12), ops_per_element: 16, elements: el(192), fp: true }),
+            compute(
+                name,
+                ComputeParams {
+                    iterations: it(12),
+                    ops_per_element: 16,
+                    elements: el(192),
+                    fp: true,
+                },
+            ),
             "quantum crystallography: FP compute bound",
         ),
         "xalancbmk" => Workload::single(
             name,
-            pointer_chase(name, ChaseParams { nodes: el(3072), hops: it(5500), seed: 61 }),
+            pointer_chase(
+                name,
+                ChaseParams {
+                    nodes: el(3072),
+                    hops: it(5500),
+                    seed: 61,
+                },
+            ),
             "XSLT processing: pointer-heavy tree walking",
         ),
         "zeusmp" => Workload::single(
             name,
-            stencil(name, StencilParams { dim: el(64), sweeps: it(3) }),
+            stencil(
+                name,
+                StencilParams {
+                    dim: el(64),
+                    sweeps: it(3),
+                },
+            ),
             "astrophysics CFD: large strided stencil",
         ),
         "sphinx3" => Workload::single(
             name,
-            random_access(name, RandomAccessParams { elements: el(4096), accesses: it(6000), update: false, seed: 67 }),
+            random_access(
+                name,
+                RandomAccessParams {
+                    elements: el(4096),
+                    accesses: it(6000),
+                    update: false,
+                    seed: 67,
+                },
+            ),
             "speech recognition: scattered reads over acoustic model",
         ),
         _ => return None,

@@ -2,55 +2,72 @@
 //! associativity on a subset of the Parsec-like suite, reproducing the shape
 //! of figures 5 and 6 of the paper at a reduced scale.
 //!
+//! Each sweep is one [`ExperimentSession`] with a `config_sweep` axis; the
+//! unprotected baseline ignores filter-cache geometry, so every sweep point
+//! shares the same per-workload baseline run.
+//!
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
 use muontrap_repro::prelude::*;
-use simsys::experiment::with_filter_cache;
+
+fn print_sweep(report: &RunReport) {
+    print!("{:<16}", "config");
+    for name in &report.workloads {
+        print!("{name:>16}");
+    }
+    println!();
+    for (c, label) in report.columns.iter().enumerate() {
+        print!("{label:<16}");
+        for w in 0..report.workloads.len() {
+            print!("{:>16.3}", report.cell(w, c).normalized_time);
+        }
+        println!();
+    }
+}
 
 fn main() {
     let config = SystemConfig::paper_default();
     // Two cache-sensitive kernels keep the example quick; the `fig5`/`fig6`
     // binaries in the `bench` crate run the full suite.
-    let suite = parsec_suite(Scale::Tiny, config.cores);
-    let chosen: Vec<&Workload> = suite
-        .iter()
+    let chosen: Vec<Workload> = parsec_suite(Scale::Tiny, config.cores)
+        .into_iter()
         .filter(|w| w.name == "streamcluster" || w.name == "freqmine")
         .collect();
 
     println!("== Filter-cache size sweep (fully associative), normalised execution time ==");
-    print!("{:<16}", "size");
-    for w in &chosen {
-        print!("{:>16}", w.name);
-    }
-    println!();
-    for size in [64u64, 256, 1024, 2048, 4096] {
-        let cfg = with_filter_cache(&config, size, (size / config.line_bytes) as usize);
-        print!("{:<16}", format!("{size} B"));
-        for w in &chosen {
-            let t = normalized_time(w, DefenseKind::MuonTrap, &cfg);
-            print!("{t:>16.3}");
-        }
-        println!();
-    }
+    let sizes = ExperimentSession::new()
+        .workloads(chosen.clone())
+        .defenses([DefenseKind::MuonTrap])
+        .config_sweep([64u64, 256, 1024, 2048, 4096].map(|size| {
+            (
+                format!("{size} B"),
+                config.with_data_filter(size, (size / config.line_bytes) as usize),
+            )
+        }))
+        .run();
+    print_sweep(&sizes);
 
     println!("\n== 2 KiB filter-cache associativity sweep, normalised execution time ==");
-    print!("{:<16}", "ways");
-    for w in &chosen {
-        print!("{:>16}", w.name);
-    }
-    println!();
-    for ways in [1usize, 2, 4, 8, 32] {
-        let cfg = with_filter_cache(&config, 2048, ways);
-        print!("{:<16}", format!("{ways}-way"));
-        for w in &chosen {
-            let t = normalized_time(w, DefenseKind::MuonTrap, &cfg);
-            print!("{t:>16.3}");
-        }
-        println!();
-    }
+    let ways = ExperimentSession::new()
+        .workloads(chosen)
+        .defenses([DefenseKind::MuonTrap])
+        .config_sweep(
+            [1usize, 2, 4, 8, 32]
+                .map(|ways| (format!("{ways}-way"), config.with_data_filter(2048, ways))),
+        )
+        .run();
+    print_sweep(&ways);
 
+    println!(
+        "\n(Each sweep ran {} simulations but only {} baselines: the unprotected",
+        sizes.cells.len() + sizes.baseline_sims,
+        sizes.baseline_sims
+    );
+    println!("machine ignores filter-cache geometry, so sweep points share baselines.)");
     println!("\nExpected shape (paper, figures 5 and 6): large slowdowns below ~256 B,");
-    println!("diminishing returns past 2 KiB, and full performance recovered by 4-way associativity.");
+    println!(
+        "diminishing returns past 2 KiB, and full performance recovered by 4-way associativity."
+    );
 }

@@ -10,36 +10,40 @@ use muontrap_repro::prelude::*;
 
 fn main() {
     let config = SystemConfig::paper_default();
-    let suite = parsec_suite(Scale::Small, config.cores);
-    let kinds = [
-        DefenseKind::MuonTrap,
-        DefenseKind::InvisiSpecSpectre,
-        DefenseKind::InvisiSpecFuture,
-        DefenseKind::SttSpectre,
-        DefenseKind::SttFuture,
-    ];
+    // One session grid: the whole suite × five defenses, one shared baseline
+    // per workload, cells fanned out across every core of the host.
+    let report = ExperimentSession::new()
+        .title("Parsec-like (4 threads), normalised execution time")
+        .scale(Scale::Small)
+        .workloads(parsec_suite(Scale::Small, config.cores))
+        .defenses(DefenseKind::figure3_set())
+        .config(config)
+        .run();
 
     print!("{:<16}", "workload");
-    for k in &kinds {
-        print!("{:>22}", k.label());
+    for column in &report.columns {
+        print!("{column:>22}");
     }
     println!();
-
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-    for workload in &suite {
-        let results = normalized_times(workload, &kinds, &config);
-        print!("{:<16}", workload.name);
-        for (i, (_, value)) in results.iter().enumerate() {
-            print!("{value:>22.3}");
-            columns[i].push(*value);
+    for (w, name) in report.workloads.iter().enumerate() {
+        print!("{name:<16}");
+        for c in 0..report.columns.len() {
+            print!("{:>22.3}", report.cell(w, c).normalized_time);
         }
         println!();
     }
     print!("{:<16}", "geomean");
-    for column in &columns {
-        print!("{:>22.3}", geometric_mean(column));
+    for geomean in report.geomeans() {
+        print!("{geomean:>22.3}");
     }
     println!();
+    println!(
+        "\n({} baseline + {} protected simulations on {} threads, {:.0} ms wall clock.)",
+        report.baseline_sims,
+        report.cells.len(),
+        report.threads,
+        report.wall_clock_ms
+    );
     println!("\n(Lower is better; 1.0 matches the unprotected baseline. The paper reports a");
     println!("geomean speedup for MuonTrap on Parsec and substantial slowdowns for the");
     println!("InvisiSpec and STT 'Future' variants.)");

@@ -1,5 +1,6 @@
 //! Quickstart: run one SPEC-like workload under the unprotected baseline and
-//! under MuonTrap, and print the slowdown plus the key protection statistics.
+//! under MuonTrap through an [`ExperimentSession`], and print the slowdown
+//! plus the key protection statistics.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -13,17 +14,32 @@ fn main() {
 
     // Pick a latency-bound, pointer-chasing kernel (the stand-in for mcf).
     let suite = spec_suite(Scale::Small);
-    let workload = suite.iter().find(|w| w.name == "mcf").expect("mcf kernel exists");
+    let workload = suite
+        .iter()
+        .find(|w| w.name == "mcf")
+        .expect("mcf kernel exists");
     println!("Workload: {} — {}", workload.name, workload.description);
 
-    let baseline = run_workload(workload, DefenseKind::Unprotected, &config);
-    let protected = run_workload(workload, DefenseKind::MuonTrap, &config);
+    // One grid cell: the session runs the shared Unprotected baseline and the
+    // MuonTrap machine, and normalises the latter to the former.
+    let report = ExperimentSession::new()
+        .title("quickstart")
+        .scale(Scale::Small)
+        .workloads([workload.clone()])
+        .defenses([DefenseKind::MuonTrap])
+        .config(config)
+        .run();
+    let cell = report.cell(0, 0);
 
-    println!("\nunprotected : {:>10} cycles  (IPC {:.2})", baseline.cycles, baseline.ipc());
-    println!("muontrap    : {:>10} cycles  (IPC {:.2})", protected.cycles, protected.ipc());
+    println!("\nunprotected : {:>10} cycles", cell.baseline_cycles);
+    println!(
+        "muontrap    : {:>10} cycles  (IPC {:.2})",
+        cell.cycles,
+        cell.ipc()
+    );
     println!(
         "normalised execution time: {:.3} (1.0 = no overhead)",
-        protected.cycles as f64 / baseline.cycles as f64
+        cell.normalized_time
     );
 
     println!("\nMuonTrap activity during the run:");
@@ -37,6 +53,6 @@ fn main() {
         "muontrap.syscall_flushes",
         "muontrap.context_switch_flushes",
     ] {
-        println!("  {:40} {}", counter, protected.stats.counter(counter));
+        println!("  {:40} {}", counter, cell.stats.counter(counter));
     }
 }

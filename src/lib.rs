@@ -5,28 +5,57 @@
 //! Preventing Cross-Domain Spectre-Like Attacks by Capturing Speculative
 //! State* (Ainsworth & Jones, ISCA 2020):
 //!
-//! * [`simkit`] — configuration (Table 1), statistics, addresses, cycles;
+//! * [`simkit`] — configuration (Table 1), statistics, addresses, JSON;
 //! * [`uarch_isa`] — the µISA workload substrate and functional interpreter;
 //! * [`memsys`] — caches, MESI coherence, DRAM, prefetcher, TLBs;
 //! * [`ooo_core`] — the out-of-order speculative core model;
 //! * [`muontrap`] — the paper's contribution: speculative filter caches;
 //! * [`defenses`] — the unprotected baseline, InvisiSpec and STT comparisons;
 //! * [`workloads`] — SPEC-like and Parsec-like synthetic kernels;
-//! * [`simsys`] — processes, scheduling and the experiment runner;
+//! * [`simsys`] — processes, scheduling and the experiment session;
 //! * [`attacks`] — the six attack litmus tests.
 //!
 //! # Quickstart
 //!
+//! Experiments are grids declared on an [`ExperimentSession`]: workloads on
+//! one axis, defenses on the other. The session runs every `Unprotected`
+//! baseline once per workload, shares it across all columns, fans the cells
+//! out over a thread pool, and returns a structured, JSON-serialisable
+//! [`RunReport`]:
+//!
 //! ```
 //! use muontrap_repro::prelude::*;
 //!
-//! // Run one SPEC-like kernel under MuonTrap, normalised to the unprotected
-//! // baseline (1.0 = no slowdown). Tiny scale keeps the doctest fast.
-//! let cfg = SystemConfig::small_test();
-//! let workload = &spec_suite(Scale::Tiny)[0];
-//! let slowdown = normalized_time(workload, DefenseKind::MuonTrap, &cfg);
+//! // Two SPEC-like kernels under MuonTrap and STT, normalised to the shared
+//! // unprotected baseline. Tiny scale keeps the doctest fast.
+//! let report = ExperimentSession::new()
+//!     .title("quickstart")
+//!     .scale(Scale::Tiny)
+//!     .workloads(spec_suite(Scale::Tiny).into_iter().take(2))
+//!     .defenses([DefenseKind::MuonTrap, DefenseKind::SttSpectre])
+//!     .config(SystemConfig::small_test())
+//!     .run();
+//!
+//! // 2 workloads × 2 defenses, but only 2 baseline simulations.
+//! assert_eq!(report.cells.len(), 4);
+//! assert_eq!(report.baseline_sims, 2);
+//! let slowdown = report.cell(0, 0).normalized_time; // MuonTrap, 1.0 = free
 //! assert!(slowdown > 0.5 && slowdown < 2.0);
+//!
+//! // Machine-readable output for harnesses (also: `fig3 --json` etc.).
+//! let json = report.to_json().to_string_compact();
+//! assert!(json.contains("\"baseline_sims\":2"));
 //! ```
+//!
+//! # Deprecation path
+//!
+//! The original free-function API ([`simsys::experiment`]: `run_workload`,
+//! `normalized_time`, `normalized_times`, `with_filter_cache`,
+//! `write_invalidate_rate`) is deprecated. The functions remain as thin
+//! shims over the session — routed through its process-wide baseline cache,
+//! so legacy call-in-a-loop patterns no longer re-simulate the baseline —
+//! and will be removed once downstream code has migrated. See the
+//! [`simsys::experiment`] module docs for the call-by-call migration map.
 
 pub use attacks;
 pub use defenses;
@@ -41,16 +70,22 @@ pub use workloads;
 /// The most commonly used items, re-exported flat for convenience.
 pub mod prelude {
     pub use attacks::{spectre_prime_probe, AttackOutcome};
-    pub use defenses::{build_defense, DefenseKind};
+    pub use defenses::{build_defense, DefenseKind, DefenseRegistry};
     pub use muontrap::MuonTrap;
     pub use ooo_core::{MemoryModel, OooCore, ThreadContext};
     pub use simkit::config::{ProtectionConfig, SystemConfig};
+    pub use simkit::json::{FromJson, Json, ToJson};
     pub use simkit::stats::geometric_mean;
-    pub use simsys::experiment::{normalized_time, normalized_times, run_workload};
+    pub use simsys::session::{CellResult, ExperimentSession, RunReport};
     pub use simsys::System;
     pub use uarch_isa::prog::ProgramBuilder;
     pub use uarch_isa::reg::Reg;
     pub use workloads::{parsec_suite, spec_suite, Scale, Workload};
+
+    // The deprecated free-function harness stays in the prelude until every
+    // downstream caller has migrated to `ExperimentSession`.
+    #[allow(deprecated)]
+    pub use simsys::experiment::{normalized_time, normalized_times, run_workload};
 }
 
 #[cfg(test)]
@@ -62,5 +97,9 @@ mod tests {
         assert_eq!(cfg.cores, 4);
         assert_eq!(DefenseKind::MuonTrap.label(), "muontrap");
         assert_eq!(spec_suite(Scale::Tiny).len(), 26);
+        assert_eq!(
+            DefenseRegistry::standard().lookup("muontrap"),
+            Some(DefenseKind::MuonTrap)
+        );
     }
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks-50f4273c5e35b08c.d: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+/root/repo/target/debug/deps/libattacks-50f4273c5e35b08c.rlib: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+/root/repo/target/debug/deps/libattacks-50f4273c5e35b08c.rmeta: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/litmus.rs:
+crates/attacks/src/spectre.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/attacks-832fab3809e81874.d: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks-832fab3809e81874.rmeta: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs Cargo.toml
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/litmus.rs:
+crates/attacks/src/spectre.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

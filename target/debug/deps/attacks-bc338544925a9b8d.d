@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/attacks-bc338544925a9b8d.d: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+/root/repo/target/debug/deps/attacks-bc338544925a9b8d: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/litmus.rs:
+crates/attacks/src/spectre.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks_report-23a42512845d8757.d: crates/bench/src/bin/attacks_report.rs
+
+/root/repo/target/debug/deps/attacks_report-23a42512845d8757: crates/bench/src/bin/attacks_report.rs
+
+crates/bench/src/bin/attacks_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks_report-bab6894aa0f587f2.d: crates/bench/src/bin/attacks_report.rs
+
+/root/repo/target/debug/deps/attacks_report-bab6894aa0f587f2: crates/bench/src/bin/attacks_report.rs
+
+crates/bench/src/bin/attacks_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks_report-c7c8f2cbbded47dd.d: crates/bench/src/bin/attacks_report.rs
+
+/root/repo/target/debug/deps/attacks_report-c7c8f2cbbded47dd: crates/bench/src/bin/attacks_report.rs
+
+crates/bench/src/bin/attacks_report.rs:

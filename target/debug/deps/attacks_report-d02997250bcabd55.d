@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks_report-d02997250bcabd55.d: crates/bench/src/bin/attacks_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks_report-d02997250bcabd55.rmeta: crates/bench/src/bin/attacks_report.rs Cargo.toml
+
+crates/bench/src/bin/attacks_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

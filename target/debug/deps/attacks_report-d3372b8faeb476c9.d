@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks_report-d3372b8faeb476c9.d: crates/bench/src/bin/attacks_report.rs
+
+/root/repo/target/debug/deps/attacks_report-d3372b8faeb476c9: crates/bench/src/bin/attacks_report.rs
+
+crates/bench/src/bin/attacks_report.rs:

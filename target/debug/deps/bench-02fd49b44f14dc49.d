@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-02fd49b44f14dc49.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/bench-02fd49b44f14dc49: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-138e58726ee1252e.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/bench-138e58726ee1252e: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

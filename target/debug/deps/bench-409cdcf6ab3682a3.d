@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-409cdcf6ab3682a3.d: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-409cdcf6ab3682a3.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-4941870e28378ad0.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libbench-4941870e28378ad0.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libbench-4941870e28378ad0.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

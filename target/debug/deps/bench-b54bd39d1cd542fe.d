@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-b54bd39d1cd542fe.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libbench-b54bd39d1cd542fe.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libbench-b54bd39d1cd542fe.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/defenses-4c2fbbf4b4a5972a.d: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+/root/repo/target/debug/deps/libdefenses-4c2fbbf4b4a5972a.rlib: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+/root/repo/target/debug/deps/libdefenses-4c2fbbf4b4a5972a.rmeta: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+crates/defenses/src/lib.rs:
+crates/defenses/src/invisispec.rs:
+crates/defenses/src/stt.rs:
+crates/defenses/src/unprotected.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/defenses-df3a3c4bf0331c62.d: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+/root/repo/target/debug/deps/defenses-df3a3c4bf0331c62: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+crates/defenses/src/lib.rs:
+crates/defenses/src/invisispec.rs:
+crates/defenses/src/stt.rs:
+crates/defenses/src/unprotected.rs:

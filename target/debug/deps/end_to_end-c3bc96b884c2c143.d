@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c3bc96b884c2c143.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c3bc96b884c2c143: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-3e602dbb3f125fdb.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-3e602dbb3f125fdb: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-5d7f55fbe1c8eb2e.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-5d7f55fbe1c8eb2e: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

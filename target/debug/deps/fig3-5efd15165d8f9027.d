@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-5efd15165d8f9027.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-5efd15165d8f9027: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

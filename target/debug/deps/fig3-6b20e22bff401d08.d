@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-6b20e22bff401d08.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-6b20e22bff401d08: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

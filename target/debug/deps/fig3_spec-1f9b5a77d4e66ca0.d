@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_spec-1f9b5a77d4e66ca0.d: crates/bench/benches/fig3_spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_spec-1f9b5a77d4e66ca0.rmeta: crates/bench/benches/fig3_spec.rs Cargo.toml
+
+crates/bench/benches/fig3_spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

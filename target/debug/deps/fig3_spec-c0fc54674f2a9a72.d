@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_spec-c0fc54674f2a9a72.d: crates/bench/benches/fig3_spec.rs
+
+/root/repo/target/debug/deps/fig3_spec-c0fc54674f2a9a72: crates/bench/benches/fig3_spec.rs
+
+crates/bench/benches/fig3_spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-2907730bc8a8389a.d: crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-2907730bc8a8389a.rmeta: crates/bench/src/bin/fig4.rs Cargo.toml
+
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-3ac46762456d259f.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-3ac46762456d259f: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-645b7aa9f7db3a96.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-645b7aa9f7db3a96: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

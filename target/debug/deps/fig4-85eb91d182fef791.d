@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-85eb91d182fef791.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-85eb91d182fef791: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

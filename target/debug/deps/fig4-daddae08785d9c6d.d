@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-daddae08785d9c6d.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-daddae08785d9c6d: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_parsec-e03aab86ee076af6.d: crates/bench/benches/fig4_parsec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_parsec-e03aab86ee076af6.rmeta: crates/bench/benches/fig4_parsec.rs Cargo.toml
+
+crates/bench/benches/fig4_parsec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

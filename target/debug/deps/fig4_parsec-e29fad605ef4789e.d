@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_parsec-e29fad605ef4789e.d: crates/bench/benches/fig4_parsec.rs
+
+/root/repo/target/debug/deps/fig4_parsec-e29fad605ef4789e: crates/bench/benches/fig4_parsec.rs
+
+crates/bench/benches/fig4_parsec.rs:

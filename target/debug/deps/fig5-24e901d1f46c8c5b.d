@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-24e901d1f46c8c5b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-24e901d1f46c8c5b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-8ccbf5a6bbfdf006.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-8ccbf5a6bbfdf006: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-c01b952f04c3ba63.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-c01b952f04c3ba63: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

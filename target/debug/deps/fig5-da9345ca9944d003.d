@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-da9345ca9944d003.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-da9345ca9944d003: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

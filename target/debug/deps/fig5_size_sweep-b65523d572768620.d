@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_size_sweep-b65523d572768620.d: crates/bench/benches/fig5_size_sweep.rs
+
+/root/repo/target/debug/deps/fig5_size_sweep-b65523d572768620: crates/bench/benches/fig5_size_sweep.rs
+
+crates/bench/benches/fig5_size_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_size_sweep-ef3234366200c060.d: crates/bench/benches/fig5_size_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_size_sweep-ef3234366200c060.rmeta: crates/bench/benches/fig5_size_sweep.rs Cargo.toml
+
+crates/bench/benches/fig5_size_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-165cd62307665855.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-165cd62307665855: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

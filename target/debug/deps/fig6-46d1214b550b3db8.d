@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-46d1214b550b3db8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-46d1214b550b3db8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

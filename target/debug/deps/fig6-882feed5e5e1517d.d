@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-882feed5e5e1517d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-882feed5e5e1517d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d5cf621c6cfa769b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d5cf621c6cfa769b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

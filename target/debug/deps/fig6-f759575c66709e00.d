@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-f759575c66709e00.d: crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-f759575c66709e00.rmeta: crates/bench/src/bin/fig6.rs Cargo.toml
+
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

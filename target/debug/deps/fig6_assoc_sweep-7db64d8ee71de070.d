@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_assoc_sweep-7db64d8ee71de070.d: crates/bench/benches/fig6_assoc_sweep.rs
+
+/root/repo/target/debug/deps/fig6_assoc_sweep-7db64d8ee71de070: crates/bench/benches/fig6_assoc_sweep.rs
+
+crates/bench/benches/fig6_assoc_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_assoc_sweep-ed688b7e41de3bf5.d: crates/bench/benches/fig6_assoc_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_assoc_sweep-ed688b7e41de3bf5.rmeta: crates/bench/benches/fig6_assoc_sweep.rs Cargo.toml
+
+crates/bench/benches/fig6_assoc_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

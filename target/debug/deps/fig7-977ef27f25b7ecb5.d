@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-977ef27f25b7ecb5.d: crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-977ef27f25b7ecb5.rmeta: crates/bench/src/bin/fig7.rs Cargo.toml
+
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

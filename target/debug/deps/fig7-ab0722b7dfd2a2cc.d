@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-ab0722b7dfd2a2cc.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-ab0722b7dfd2a2cc: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-af09627b8e446f1d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-af09627b8e446f1d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

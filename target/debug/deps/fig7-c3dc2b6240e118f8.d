@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c3dc2b6240e118f8.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c3dc2b6240e118f8: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

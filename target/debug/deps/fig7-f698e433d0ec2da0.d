@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f698e433d0ec2da0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f698e433d0ec2da0: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

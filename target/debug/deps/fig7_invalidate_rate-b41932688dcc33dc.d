@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_invalidate_rate-b41932688dcc33dc.d: crates/bench/benches/fig7_invalidate_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_invalidate_rate-b41932688dcc33dc.rmeta: crates/bench/benches/fig7_invalidate_rate.rs Cargo.toml
+
+crates/bench/benches/fig7_invalidate_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_invalidate_rate-fa457a47e97ae344.d: crates/bench/benches/fig7_invalidate_rate.rs
+
+/root/repo/target/debug/deps/fig7_invalidate_rate-fa457a47e97ae344: crates/bench/benches/fig7_invalidate_rate.rs
+
+crates/bench/benches/fig7_invalidate_rate.rs:

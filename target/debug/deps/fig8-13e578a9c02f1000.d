@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-13e578a9c02f1000.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-13e578a9c02f1000: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-571fd51d92859bf9.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-571fd51d92859bf9: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-aee45ef844bd65e5.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-aee45ef844bd65e5: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

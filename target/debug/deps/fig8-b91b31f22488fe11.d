@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-b91b31f22488fe11.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-b91b31f22488fe11: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_cost_breakdown_parsec-e134fe15680bb9a3.d: crates/bench/benches/fig8_cost_breakdown_parsec.rs
+
+/root/repo/target/debug/deps/fig8_cost_breakdown_parsec-e134fe15680bb9a3: crates/bench/benches/fig8_cost_breakdown_parsec.rs
+
+crates/bench/benches/fig8_cost_breakdown_parsec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_cost_breakdown_parsec-f6acfdcc6672e6f1.d: crates/bench/benches/fig8_cost_breakdown_parsec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_cost_breakdown_parsec-f6acfdcc6672e6f1.rmeta: crates/bench/benches/fig8_cost_breakdown_parsec.rs Cargo.toml
+
+crates/bench/benches/fig8_cost_breakdown_parsec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-921d2e7c917955a8.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-921d2e7c917955a8: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-f1f05d924ac18294.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-f1f05d924ac18294: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-feaf8ab5ff41249e.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-feaf8ab5ff41249e: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

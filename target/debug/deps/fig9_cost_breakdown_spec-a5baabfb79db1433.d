@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_cost_breakdown_spec-a5baabfb79db1433.d: crates/bench/benches/fig9_cost_breakdown_spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_cost_breakdown_spec-a5baabfb79db1433.rmeta: crates/bench/benches/fig9_cost_breakdown_spec.rs Cargo.toml
+
+crates/bench/benches/fig9_cost_breakdown_spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_cost_breakdown_spec-eaa3258ad09783c1.d: crates/bench/benches/fig9_cost_breakdown_spec.rs
+
+/root/repo/target/debug/deps/fig9_cost_breakdown_spec-eaa3258ad09783c1: crates/bench/benches/fig9_cost_breakdown_spec.rs
+
+crates/bench/benches/fig9_cost_breakdown_spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_model-f5f620295dd8b6d8.d: tests/golden_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_model-f5f620295dd8b6d8.rmeta: tests/golden_model.rs Cargo.toml
+
+tests/golden_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_model-fbe45b2b8caf386a.d: tests/golden_model.rs
+
+/root/repo/target/debug/deps/golden_model-fbe45b2b8caf386a: tests/golden_model.rs
+
+tests/golden_model.rs:

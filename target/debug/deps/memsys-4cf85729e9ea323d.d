@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/memsys-4cf85729e9ea323d.d: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/dram.rs crates/memsys/src/hierarchy.rs crates/memsys/src/mesi.rs crates/memsys/src/mshr.rs crates/memsys/src/prefetch.rs crates/memsys/src/tlb.rs crates/memsys/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsys-4cf85729e9ea323d.rmeta: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/dram.rs crates/memsys/src/hierarchy.rs crates/memsys/src/mesi.rs crates/memsys/src/mshr.rs crates/memsys/src/prefetch.rs crates/memsys/src/tlb.rs crates/memsys/src/types.rs Cargo.toml
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/dram.rs:
+crates/memsys/src/hierarchy.rs:
+crates/memsys/src/mesi.rs:
+crates/memsys/src/mshr.rs:
+crates/memsys/src/prefetch.rs:
+crates/memsys/src/tlb.rs:
+crates/memsys/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/muontrap-02178d48b412ad8a.d: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+/root/repo/target/debug/deps/muontrap-02178d48b412ad8a: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+crates/muontrap/src/lib.rs:
+crates/muontrap/src/filter_cache.rs:
+crates/muontrap/src/filter_tlb.rs:
+crates/muontrap/src/model.rs:

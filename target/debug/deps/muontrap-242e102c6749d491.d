@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/muontrap-242e102c6749d491.d: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmuontrap-242e102c6749d491.rmeta: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs Cargo.toml
+
+crates/muontrap/src/lib.rs:
+crates/muontrap/src/filter_cache.rs:
+crates/muontrap/src/filter_tlb.rs:
+crates/muontrap/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/muontrap-63275101a410f1a7.d: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+/root/repo/target/debug/deps/libmuontrap-63275101a410f1a7.rlib: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+/root/repo/target/debug/deps/libmuontrap-63275101a410f1a7.rmeta: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+crates/muontrap/src/lib.rs:
+crates/muontrap/src/filter_cache.rs:
+crates/muontrap/src/filter_tlb.rs:
+crates/muontrap/src/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/muontrap_repro-08507f740004472c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmuontrap_repro-08507f740004472c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmuontrap_repro-08507f740004472c.rmeta: src/lib.rs
+
+src/lib.rs:

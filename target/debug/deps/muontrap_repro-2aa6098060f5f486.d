@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/muontrap_repro-2aa6098060f5f486.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmuontrap_repro-2aa6098060f5f486.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

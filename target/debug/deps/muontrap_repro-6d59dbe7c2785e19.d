@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/muontrap_repro-6d59dbe7c2785e19.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmuontrap_repro-6d59dbe7c2785e19.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmuontrap_repro-6d59dbe7c2785e19.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/muontrap_repro-bd9701f9a0b82829.d: src/lib.rs
+
+/root/repo/target/debug/deps/muontrap_repro-bd9701f9a0b82829: src/lib.rs
+
+src/lib.rs:

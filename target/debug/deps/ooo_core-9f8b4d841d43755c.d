@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ooo_core-9f8b4d841d43755c.d: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+/root/repo/target/debug/deps/libooo_core-9f8b4d841d43755c.rlib: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+/root/repo/target/debug/deps/libooo_core-9f8b4d841d43755c.rmeta: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+crates/ooo-core/src/lib.rs:
+crates/ooo-core/src/branch.rs:
+crates/ooo-core/src/context.rs:
+crates/ooo-core/src/core.rs:
+crates/ooo-core/src/events.rs:
+crates/ooo-core/src/memmodel.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ooo_core-de26bc69cb30266e.d: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooo_core-de26bc69cb30266e.rmeta: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs Cargo.toml
+
+crates/ooo-core/src/lib.rs:
+crates/ooo-core/src/branch.rs:
+crates/ooo-core/src/context.rs:
+crates/ooo-core/src/core.rs:
+crates/ooo-core/src/events.rs:
+crates/ooo-core/src/memmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

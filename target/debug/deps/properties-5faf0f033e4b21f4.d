@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5faf0f033e4b21f4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5faf0f033e4b21f4: tests/properties.rs
+
+tests/properties.rs:

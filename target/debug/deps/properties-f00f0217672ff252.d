@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f00f0217672ff252.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f00f0217672ff252.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-2af59d3e382e6510.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-2af59d3e382e6510: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-93a918f1c0f4db1a.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-93a918f1c0f4db1a: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

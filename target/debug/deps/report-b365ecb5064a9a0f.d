@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-b365ecb5064a9a0f.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-b365ecb5064a9a0f: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-b7d34fda51fec197.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-b7d34fda51fec197: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

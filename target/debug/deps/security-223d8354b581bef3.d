@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-223d8354b581bef3.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-223d8354b581bef3: tests/security.rs
+
+tests/security.rs:

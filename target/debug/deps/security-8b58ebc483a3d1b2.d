@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security-8b58ebc483a3d1b2.d: tests/security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity-8b58ebc483a3d1b2.rmeta: tests/security.rs Cargo.toml
+
+tests/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

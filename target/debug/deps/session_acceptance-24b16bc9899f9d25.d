@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/session_acceptance-24b16bc9899f9d25.d: crates/bench/tests/session_acceptance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_acceptance-24b16bc9899f9d25.rmeta: crates/bench/tests/session_acceptance.rs Cargo.toml
+
+crates/bench/tests/session_acceptance.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_fig3=placeholder:fig3
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

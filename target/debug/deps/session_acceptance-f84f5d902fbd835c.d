@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/session_acceptance-f84f5d902fbd835c.d: crates/bench/tests/session_acceptance.rs
+
+/root/repo/target/debug/deps/session_acceptance-f84f5d902fbd835c: crates/bench/tests/session_acceptance.rs
+
+crates/bench/tests/session_acceptance.rs:
+
+# env-dep:CARGO_BIN_EXE_fig3=/root/repo/target/debug/fig3

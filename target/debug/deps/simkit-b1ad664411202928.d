@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simkit-b1ad664411202928.d: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/libsimkit-b1ad664411202928.rlib: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/libsimkit-b1ad664411202928.rmeta: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/addr.rs:
+crates/simkit/src/config.rs:
+crates/simkit/src/cycles.rs:
+crates/simkit/src/json.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:

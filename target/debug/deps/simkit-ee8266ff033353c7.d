@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simkit-ee8266ff033353c7.d: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/simkit-ee8266ff033353c7: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/addr.rs:
+crates/simkit/src/config.rs:
+crates/simkit/src/cycles.rs:
+crates/simkit/src/json.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:

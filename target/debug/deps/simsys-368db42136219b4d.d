@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simsys-368db42136219b4d.d: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimsys-368db42136219b4d.rmeta: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs Cargo.toml
+
+crates/simsys/src/lib.rs:
+crates/simsys/src/experiment.rs:
+crates/simsys/src/session.rs:
+crates/simsys/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

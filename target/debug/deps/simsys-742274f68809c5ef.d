@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simsys-742274f68809c5ef.d: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+/root/repo/target/debug/deps/libsimsys-742274f68809c5ef.rlib: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+/root/repo/target/debug/deps/libsimsys-742274f68809c5ef.rmeta: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+crates/simsys/src/lib.rs:
+crates/simsys/src/experiment.rs:
+crates/simsys/src/session.rs:
+crates/simsys/src/system.rs:

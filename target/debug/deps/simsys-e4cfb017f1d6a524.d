@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simsys-e4cfb017f1d6a524.d: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+/root/repo/target/debug/deps/libsimsys-e4cfb017f1d6a524.rlib: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+/root/repo/target/debug/deps/libsimsys-e4cfb017f1d6a524.rmeta: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+crates/simsys/src/lib.rs:
+crates/simsys/src/experiment.rs:
+crates/simsys/src/session.rs:
+crates/simsys/src/system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-316db85f99df4fe4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-316db85f99df4fe4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4480a7b51261d332.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4480a7b51261d332: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

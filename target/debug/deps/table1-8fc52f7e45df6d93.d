@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-8fc52f7e45df6d93.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-8fc52f7e45df6d93: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c0c83dd7a1f3dca7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c0c83dd7a1f3dca7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uarch_isa-5a581b43ea27e710.d: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+/root/repo/target/debug/deps/uarch_isa-5a581b43ea27e710: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+crates/uarch-isa/src/lib.rs:
+crates/uarch-isa/src/inst.rs:
+crates/uarch-isa/src/interp.rs:
+crates/uarch-isa/src/mem.rs:
+crates/uarch-isa/src/prog.rs:
+crates/uarch-isa/src/reg.rs:

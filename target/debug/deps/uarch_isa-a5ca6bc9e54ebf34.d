@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uarch_isa-a5ca6bc9e54ebf34.d: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+/root/repo/target/debug/deps/libuarch_isa-a5ca6bc9e54ebf34.rlib: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+/root/repo/target/debug/deps/libuarch_isa-a5ca6bc9e54ebf34.rmeta: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+crates/uarch-isa/src/lib.rs:
+crates/uarch-isa/src/inst.rs:
+crates/uarch-isa/src/interp.rs:
+crates/uarch-isa/src/mem.rs:
+crates/uarch-isa/src/prog.rs:
+crates/uarch-isa/src/reg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-09e9c15368b89491.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libworkloads-09e9c15368b89491.rlib: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libworkloads-09e9c15368b89491.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/workloads-0e69ea4ad218aeef.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/workloads-0e69ea4ad218aeef: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-6a58f56ec4369e3c.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libworkloads-6a58f56ec4369e3c.rlib: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libworkloads-6a58f56ec4369e3c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_space-04fc0ac4d42ede23.d: examples/design_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_space-04fc0ac4d42ede23.rmeta: examples/design_space.rs Cargo.toml
+
+examples/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

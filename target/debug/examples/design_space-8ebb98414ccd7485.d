@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-8ebb98414ccd7485.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-8ebb98414ccd7485: examples/design_space.rs
+
+examples/design_space.rs:

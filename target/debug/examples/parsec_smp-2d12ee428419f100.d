@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parsec_smp-2d12ee428419f100.d: examples/parsec_smp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparsec_smp-2d12ee428419f100.rmeta: examples/parsec_smp.rs Cargo.toml
+
+examples/parsec_smp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parsec_smp-b6dac0734258ef70.d: examples/parsec_smp.rs
+
+/root/repo/target/debug/examples/parsec_smp-b6dac0734258ef70: examples/parsec_smp.rs
+
+examples/parsec_smp.rs:

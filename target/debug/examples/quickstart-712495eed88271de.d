@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-712495eed88271de.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-712495eed88271de: examples/quickstart.rs
+
+examples/quickstart.rs:

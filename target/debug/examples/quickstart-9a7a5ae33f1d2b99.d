@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-9a7a5ae33f1d2b99.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-9a7a5ae33f1d2b99.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectre_demo-08edaa16f77036de.d: examples/spectre_demo.rs
+
+/root/repo/target/debug/examples/spectre_demo-08edaa16f77036de: examples/spectre_demo.rs
+
+examples/spectre_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spectre_demo-0982bc6675a542d2.d: examples/spectre_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspectre_demo-0982bc6675a542d2.rmeta: examples/spectre_demo.rs Cargo.toml
+
+examples/spectre_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

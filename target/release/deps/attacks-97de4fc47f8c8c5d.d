@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/attacks-97de4fc47f8c8c5d.d: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+/root/repo/target/release/deps/libattacks-97de4fc47f8c8c5d.rlib: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+/root/repo/target/release/deps/libattacks-97de4fc47f8c8c5d.rmeta: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/litmus.rs:
+crates/attacks/src/spectre.rs:

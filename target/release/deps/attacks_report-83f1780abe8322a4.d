@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attacks_report-83f1780abe8322a4.d: crates/bench/src/bin/attacks_report.rs
+
+/root/repo/target/release/deps/attacks_report-83f1780abe8322a4: crates/bench/src/bin/attacks_report.rs
+
+crates/bench/src/bin/attacks_report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-d3b669f40a496a47.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libbench-d3b669f40a496a47.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libbench-d3b669f40a496a47.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/defenses-1e9266f1d5885bea.d: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+/root/repo/target/release/deps/libdefenses-1e9266f1d5885bea.rlib: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+/root/repo/target/release/deps/libdefenses-1e9266f1d5885bea.rmeta: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+crates/defenses/src/lib.rs:
+crates/defenses/src/invisispec.rs:
+crates/defenses/src/stt.rs:
+crates/defenses/src/unprotected.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-23d7b3de9362360c.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-23d7b3de9362360c: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

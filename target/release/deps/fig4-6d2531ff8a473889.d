@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-6d2531ff8a473889.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-6d2531ff8a473889: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-35e8080bb0682a69.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-35e8080bb0682a69: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

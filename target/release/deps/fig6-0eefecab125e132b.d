@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-0eefecab125e132b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-0eefecab125e132b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

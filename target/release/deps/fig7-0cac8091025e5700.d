@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-0cac8091025e5700.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-0cac8091025e5700: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-48d24243e30ffeac.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-48d24243e30ffeac: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-5db58003d5937230.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-5db58003d5937230: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/memsys-a7d71cc9e1342f75.d: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/dram.rs crates/memsys/src/hierarchy.rs crates/memsys/src/mesi.rs crates/memsys/src/mshr.rs crates/memsys/src/prefetch.rs crates/memsys/src/tlb.rs crates/memsys/src/types.rs
+
+/root/repo/target/release/deps/libmemsys-a7d71cc9e1342f75.rlib: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/dram.rs crates/memsys/src/hierarchy.rs crates/memsys/src/mesi.rs crates/memsys/src/mshr.rs crates/memsys/src/prefetch.rs crates/memsys/src/tlb.rs crates/memsys/src/types.rs
+
+/root/repo/target/release/deps/libmemsys-a7d71cc9e1342f75.rmeta: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/dram.rs crates/memsys/src/hierarchy.rs crates/memsys/src/mesi.rs crates/memsys/src/mshr.rs crates/memsys/src/prefetch.rs crates/memsys/src/tlb.rs crates/memsys/src/types.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/dram.rs:
+crates/memsys/src/hierarchy.rs:
+crates/memsys/src/mesi.rs:
+crates/memsys/src/mshr.rs:
+crates/memsys/src/prefetch.rs:
+crates/memsys/src/tlb.rs:
+crates/memsys/src/types.rs:

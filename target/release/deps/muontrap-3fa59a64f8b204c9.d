@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/muontrap-3fa59a64f8b204c9.d: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+/root/repo/target/release/deps/libmuontrap-3fa59a64f8b204c9.rlib: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+/root/repo/target/release/deps/libmuontrap-3fa59a64f8b204c9.rmeta: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+crates/muontrap/src/lib.rs:
+crates/muontrap/src/filter_cache.rs:
+crates/muontrap/src/filter_tlb.rs:
+crates/muontrap/src/model.rs:

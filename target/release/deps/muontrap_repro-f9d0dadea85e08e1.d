@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/muontrap_repro-f9d0dadea85e08e1.d: src/lib.rs
+
+/root/repo/target/release/deps/libmuontrap_repro-f9d0dadea85e08e1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmuontrap_repro-f9d0dadea85e08e1.rmeta: src/lib.rs
+
+src/lib.rs:

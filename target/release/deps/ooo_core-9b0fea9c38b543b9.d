@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ooo_core-9b0fea9c38b543b9.d: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+/root/repo/target/release/deps/libooo_core-9b0fea9c38b543b9.rlib: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+/root/repo/target/release/deps/libooo_core-9b0fea9c38b543b9.rmeta: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+crates/ooo-core/src/lib.rs:
+crates/ooo-core/src/branch.rs:
+crates/ooo-core/src/context.rs:
+crates/ooo-core/src/core.rs:
+crates/ooo-core/src/events.rs:
+crates/ooo-core/src/memmodel.rs:

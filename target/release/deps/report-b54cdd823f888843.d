@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-b54cdd823f888843.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-b54cdd823f888843: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

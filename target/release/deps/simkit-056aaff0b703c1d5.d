@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/simkit-056aaff0b703c1d5.d: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/release/deps/libsimkit-056aaff0b703c1d5.rlib: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/release/deps/libsimkit-056aaff0b703c1d5.rmeta: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/addr.rs:
+crates/simkit/src/config.rs:
+crates/simkit/src/cycles.rs:
+crates/simkit/src/json.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/simsys-d7df77a15c29a07c.d: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+/root/repo/target/release/deps/libsimsys-d7df77a15c29a07c.rlib: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+/root/repo/target/release/deps/libsimsys-d7df77a15c29a07c.rmeta: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+crates/simsys/src/lib.rs:
+crates/simsys/src/experiment.rs:
+crates/simsys/src/session.rs:
+crates/simsys/src/system.rs:

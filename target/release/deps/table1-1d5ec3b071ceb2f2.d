@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1d5ec3b071ceb2f2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1d5ec3b071ceb2f2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

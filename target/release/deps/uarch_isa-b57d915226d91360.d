@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uarch_isa-b57d915226d91360.d: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+/root/repo/target/release/deps/libuarch_isa-b57d915226d91360.rlib: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+/root/repo/target/release/deps/libuarch_isa-b57d915226d91360.rmeta: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+crates/uarch-isa/src/lib.rs:
+crates/uarch-isa/src/inst.rs:
+crates/uarch-isa/src/interp.rs:
+crates/uarch-isa/src/mem.rs:
+crates/uarch-isa/src/prog.rs:
+crates/uarch-isa/src/reg.rs:

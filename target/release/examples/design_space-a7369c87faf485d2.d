@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-a7369c87faf485d2.d: examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-a7369c87faf485d2: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parsec_smp-fc387e0d6b258ad7.d: examples/parsec_smp.rs
+
+/root/repo/target/release/examples/parsec_smp-fc387e0d6b258ad7: examples/parsec_smp.rs
+
+examples/parsec_smp.rs:

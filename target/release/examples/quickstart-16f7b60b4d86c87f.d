@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-16f7b60b4d86c87f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-16f7b60b4d86c87f: examples/quickstart.rs
+
+examples/quickstart.rs:

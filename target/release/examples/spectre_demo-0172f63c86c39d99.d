@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spectre_demo-0172f63c86c39d99.d: examples/spectre_demo.rs
+
+/root/repo/target/release/examples/spectre_demo-0172f63c86c39d99: examples/spectre_demo.rs
+
+examples/spectre_demo.rs:

@@ -2,6 +2,9 @@
 //! headline results on a reduced scale. These are not the paper's numbers
 //! (the figure binaries in the `bench` crate regenerate those); they guard
 //! against regressions that would flip the qualitative conclusions.
+//!
+//! All grids run through [`ExperimentSession`], so baselines are shared and
+//! cells run in parallel.
 
 use muontrap_repro::prelude::*;
 
@@ -22,27 +25,22 @@ fn every_workload_completes_under_every_defense_at_tiny_scale() {
         DefenseKind::SttSpectre,
         DefenseKind::SttFuture,
     ];
-    for workload in spec_suite(Scale::Tiny) {
-        for kind in kinds {
-            let result = run_workload(&workload, kind, &cfg);
+    for suite in [
+        spec_suite(Scale::Tiny),
+        parsec_suite(Scale::Tiny, cfg.cores),
+    ] {
+        let report = ExperimentSession::new()
+            .workloads(suite)
+            .defenses(kinds)
+            .config(cfg.clone())
+            .run();
+        for cell in &report.cells {
             assert!(
-                result.completed,
+                cell.completed,
                 "{} did not complete under {}",
-                workload.name,
-                kind.label()
+                cell.workload, cell.column
             );
-            assert!(result.committed > 0);
-        }
-    }
-    for workload in parsec_suite(Scale::Tiny, cfg.cores) {
-        for kind in kinds {
-            let result = run_workload(&workload, kind, &cfg);
-            assert!(
-                result.completed,
-                "{} did not complete under {}",
-                workload.name,
-                kind.label()
-            );
+            assert!(cell.committed > 0);
         }
     }
 }
@@ -52,18 +50,20 @@ fn muontrap_overhead_stays_in_a_plausible_band_on_spec_like_kernels() {
     // The paper's headline: 4% average slowdown on SPEC CPU2006, with a worst
     // case of 47% and some speedups. At Tiny scale we only require each kernel
     // to stay within a generous band and the geomean to stay close to 1.
-    let cfg = config();
-    let mut ratios = Vec::new();
-    for workload in spec_suite(Scale::Tiny) {
-        let t = normalized_time(&workload, DefenseKind::MuonTrap, &cfg);
+    let report = ExperimentSession::new()
+        .workloads(spec_suite(Scale::Tiny))
+        .defenses([DefenseKind::MuonTrap])
+        .config(config())
+        .run();
+    for cell in &report.cells {
         assert!(
-            t > 0.4 && t < 1.9,
-            "{}: normalised time {t} far outside the plausible band",
-            workload.name
+            cell.normalized_time > 0.4 && cell.normalized_time < 1.9,
+            "{}: normalised time {} far outside the plausible band",
+            cell.workload,
+            cell.normalized_time
         );
-        ratios.push(t);
     }
-    let geomean = geometric_mean(&ratios);
+    let geomean = report.geomeans()[0];
     assert!(
         geomean > 0.8 && geomean < 1.35,
         "SPEC-like geomean {geomean} should be close to 1 (paper: 1.04)"
@@ -74,12 +74,23 @@ fn muontrap_overhead_stays_in_a_plausible_band_on_spec_like_kernels() {
 fn protection_mechanisms_accumulate_without_catastrophic_slowdown() {
     // Figure 8/9 shape: each successively enabled mechanism changes
     // performance only modestly on a representative kernel.
-    let cfg = config();
     let suite = spec_suite(Scale::Tiny);
-    let workload = suite.iter().find(|w| w.name == "hmmer").expect("kernel exists");
-    for (label, kind) in bench_configs() {
-        let t = normalized_time(workload, kind, &cfg);
-        assert!(t > 0.4 && t < 2.0, "{label}: normalised time {t} out of band");
+    let workload = suite
+        .iter()
+        .find(|w| w.name == "hmmer")
+        .expect("kernel exists");
+    let report = ExperimentSession::new()
+        .workloads([workload.clone()])
+        .defenses_labeled(bench_configs().into_iter().map(|(l, k)| (l.to_string(), k)))
+        .config(config())
+        .run();
+    for cell in &report.cells {
+        assert!(
+            cell.normalized_time > 0.4 && cell.normalized_time < 2.0,
+            "{}: normalised time {} out of band",
+            cell.column,
+            cell.normalized_time
+        );
     }
 }
 
@@ -108,11 +119,18 @@ fn bench_configs() -> Vec<(&'static str, DefenseKind)> {
 
 #[test]
 fn parallel_l1_lookup_is_not_slower_than_serial_lookup() {
-    let cfg = config();
     let suite = spec_suite(Scale::Tiny);
-    let workload = suite.iter().find(|w| w.name == "omnetpp").expect("kernel exists");
-    let serial = normalized_time(workload, DefenseKind::MuonTrap, &cfg);
-    let parallel = normalized_time(workload, DefenseKind::MuonTrapParallelL1, &cfg);
+    let workload = suite
+        .iter()
+        .find(|w| w.name == "omnetpp")
+        .expect("kernel exists");
+    let report = ExperimentSession::new()
+        .workloads([workload.clone()])
+        .defenses([DefenseKind::MuonTrap, DefenseKind::MuonTrapParallelL1])
+        .config(config())
+        .run();
+    let serial = report.cell(0, 0).normalized_time;
+    let parallel = report.cell(0, 1).normalized_time;
     assert!(
         parallel <= serial + 0.02,
         "parallel L0/L1 lookup ({parallel}) must not be slower than serial ({serial})"
@@ -122,14 +140,25 @@ fn parallel_l1_lookup_is_not_slower_than_serial_lookup() {
 #[test]
 fn undersized_filter_caches_hurt_cache_sensitive_parallel_workloads() {
     // Figure 5 shape: a one-line filter cache is substantially worse than the
-    // 2 KiB default for at least one Parsec-like kernel.
+    // 2 KiB default for at least one Parsec-like kernel. The sweep shares one
+    // baseline per workload, so this costs 3 simulations, not 4.
     let cfg = config();
     let suite = parsec_suite(Scale::Tiny, cfg.cores);
-    let workload = suite.iter().find(|w| w.name == "streamcluster").expect("kernel exists");
-    let tiny_cfg = simsys::experiment::with_filter_cache(&cfg, 64, 1);
-    let default_cfg = simsys::experiment::with_filter_cache(&cfg, 2048, 32);
-    let tiny = normalized_time(workload, DefenseKind::MuonTrap, &tiny_cfg);
-    let default = normalized_time(workload, DefenseKind::MuonTrap, &default_cfg);
+    let workload = suite
+        .iter()
+        .find(|w| w.name == "streamcluster")
+        .expect("kernel exists");
+    let report = ExperimentSession::new()
+        .workloads([workload.clone()])
+        .defenses([DefenseKind::MuonTrap])
+        .config_sweep([
+            ("64 B".to_string(), cfg.with_data_filter(64, 1)),
+            ("2 KiB".to_string(), cfg.with_data_filter(2048, 32)),
+        ])
+        .run();
+    assert_eq!(report.baseline_sims, 1);
+    let tiny = report.cell(0, 0).normalized_time;
+    let default = report.cell(0, 1).normalized_time;
     assert!(
         tiny >= default,
         "a 64 B filter cache ({tiny}) should not beat the 2 KiB one ({default})"

@@ -9,10 +9,7 @@ use uarch_isa::Interpreter;
 
 /// Runs a single-threaded program on the out-of-order core with the given
 /// memory model and returns the halted thread context.
-fn run_on_core(
-    program: &uarch_isa::Program,
-    mem: &mut dyn MemoryModel,
-) -> ooo_core::ThreadContext {
+fn run_on_core(program: &uarch_isa::Program, mem: &mut dyn MemoryModel) -> ooo_core::ThreadContext {
     let cfg = SystemConfig::paper_default();
     let mut core = ooo_core::OooCore::new(0, &cfg);
     core.run_to_halt(ThreadContext::new(program.clone(), 0), mem, 50_000_000)
@@ -46,12 +43,19 @@ fn representative_kernels_match_the_interpreter_under_muontrap_and_baseline() {
     let names = ["mcf", "sjeng", "gcc", "calculix", "lbm"];
     let suite = spec_suite(Scale::Tiny);
     for name in names {
-        let workload = suite.iter().find(|w| w.name == name).expect("kernel exists");
+        let workload = suite
+            .iter()
+            .find(|w| w.name == name)
+            .expect("kernel exists");
         let program = &workload.thread_programs[0];
         let mut interp = Interpreter::new(program);
         let golden = interp.run(20_000_000).expect("interpreter halts");
 
-        for kind in [DefenseKind::Unprotected, DefenseKind::MuonTrap, DefenseKind::SttFuture] {
+        for kind in [
+            DefenseKind::Unprotected,
+            DefenseKind::MuonTrap,
+            DefenseKind::SttFuture,
+        ] {
             let mut mem = build_defense(kind, &cfg);
             let finished = run_on_core(program, mem.as_mut());
             assert_eq!(
@@ -68,15 +72,22 @@ fn representative_kernels_match_the_interpreter_under_muontrap_and_baseline() {
 fn committed_instruction_counts_match_the_interpreter() {
     let cfg = SystemConfig::paper_default();
     let suite = spec_suite(Scale::Tiny);
-    let workload = suite.iter().find(|w| w.name == "gobmk").expect("kernel exists");
+    let workload = suite
+        .iter()
+        .find(|w| w.name == "gobmk")
+        .expect("kernel exists");
     let program = &workload.thread_programs[0];
     let mut interp = Interpreter::new(program);
     let golden = interp.run(20_000_000).expect("interpreter halts");
 
     let mut core = ooo_core::OooCore::new(0, &cfg);
     let mut mem = build_defense(DefenseKind::MuonTrap, &cfg);
-    core.run_to_halt(ThreadContext::new(program.clone(), 0), mem.as_mut(), 50_000_000)
-        .expect("halts");
+    core.run_to_halt(
+        ThreadContext::new(program.clone(), 0),
+        mem.as_mut(),
+        50_000_000,
+    )
+    .expect("halts");
     assert_eq!(
         core.stats().committed,
         golden.retired,

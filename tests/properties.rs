@@ -1,13 +1,14 @@
-//! Property-based tests over the core data structures and invariants, using
-//! proptest. These complement the example-based unit tests inside each crate
-//! by exploring randomised operation sequences.
+//! Property-style tests over the core data structures and invariants.
+//!
+//! The seed version of this file used `proptest`; the build runs offline with
+//! no registry access, so these tests drive the same randomised properties
+//! with the deterministic [`SimRng`] instead. Each property runs a fixed
+//! number of seeded cases, so failures reproduce exactly.
 
-use proptest::prelude::*;
-
-use muontrap_repro::prelude::*;
 use memsys::cache::CacheArray;
 use memsys::MesiState;
 use muontrap::FilterCache;
+use muontrap_repro::prelude::*;
 use ooo_core::memmodel::FixedLatencyMemory;
 use simkit::addr::{LineAddr, VirtAddr};
 use simkit::config::CacheConfig;
@@ -18,75 +19,108 @@ use uarch_isa::inst::{eval_alu, AluOp, MemWidth};
 use uarch_isa::mem::SparseMemory;
 use uarch_isa::Interpreter;
 
+/// Runs `body` once per seeded case, passing a per-case RNG. A failing case is
+/// reported by its seed so it can be replayed in isolation.
+fn for_each_case(cases: u64, mut body: impl FnMut(&mut SimRng)) {
+    for seed in 0..cases {
+        let mut rng = SimRng::seed_from(0x5eed_0000 + seed);
+        body(&mut rng);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // simkit invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn rng_below_always_respects_its_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut rng = SimRng::seed_from(seed);
+#[test]
+fn rng_below_always_respects_its_bound() {
+    for_each_case(64, |rng| {
+        let bound = rng.in_range(1, 1_000_000);
+        let mut sampler = SimRng::seed_from(rng.next_u64());
         for _ in 0..64 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(sampler.below(bound) < bound);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_shuffle_is_a_permutation(seed in any::<u64>(), len in 0usize..64) {
-        let mut rng = SimRng::seed_from(seed);
+#[test]
+fn rng_shuffle_is_a_permutation() {
+    for_each_case(64, |rng| {
+        let len = rng.below(64) as usize;
         let mut values: Vec<usize> = (0..len).collect();
         rng.shuffle(&mut values);
         let mut sorted = values.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
-    }
+        assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn geometric_mean_lies_between_min_and_max(values in prop::collection::vec(0.01f64..100.0, 1..20)) {
+#[test]
+fn geometric_mean_lies_between_min_and_max() {
+    for_each_case(64, |rng| {
+        let len = rng.in_range(1, 20) as usize;
+        let values: Vec<f64> = (0..len).map(|_| 0.01 + rng.next_f64() * 99.99).collect();
         let g = geometric_mean(&values);
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!(g >= min * 0.999 && g <= max * 1.001, "geomean {g} outside [{min}, {max}]");
-    }
+        assert!(
+            g >= min * 0.999 && g <= max * 1.001,
+            "geomean {g} outside [{min}, {max}]"
+        );
+    });
+}
 
-    #[test]
-    fn histogram_counts_every_sample(samples in prop::collection::vec(0u64..10_000, 0..200)) {
+#[test]
+fn histogram_counts_every_sample() {
+    for_each_case(32, |rng| {
+        let len = rng.below(200) as usize;
+        let samples: Vec<u64> = (0..len).map(|_| rng.below(10_000)).collect();
         let mut h = Histogram::new(64, 32);
         for s in &samples {
             h.record(*s);
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.count(), samples.len() as u64);
         let bucketed: u64 = (0..32).map(|i| h.bucket(i)).sum::<u64>() + h.overflow();
-        prop_assert_eq!(bucketed, samples.len() as u64);
-    }
+        assert_eq!(bucketed, samples.len() as u64);
+    });
+}
 
-    #[test]
-    fn stat_merge_is_additive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+#[test]
+fn stat_merge_is_additive() {
+    for_each_case(64, |rng| {
+        let a = rng.below(1_000_000);
+        let b = rng.below(1_000_000);
         let mut s1 = StatSet::new();
         s1.add("x", a);
         let mut s2 = StatSet::new();
         s2.add("x", b);
         s1.merge(&s2);
-        prop_assert_eq!(s1.counter("x"), a + b);
-    }
+        assert_eq!(s1.counter("x"), a + b);
+    });
+}
 
-    #[test]
-    fn alu_add_sub_round_trip(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn alu_add_sub_round_trip() {
+    for_each_case(128, |rng| {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let sum = eval_alu(AluOp::Add, a, b);
-        prop_assert_eq!(eval_alu(AluOp::Sub, sum, b), a);
-        prop_assert_eq!(eval_alu(AluOp::Xor, eval_alu(AluOp::Xor, a, b), b), a);
-    }
+        assert_eq!(eval_alu(AluOp::Sub, sum, b), a);
+        assert_eq!(eval_alu(AluOp::Xor, eval_alu(AluOp::Xor, a, b), b), a);
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Sparse memory vs a reference model
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn sparse_memory_matches_a_hashmap_model(
-        ops in prop::collection::vec((0u64..0x4000, any::<u64>()), 1..200)
-    ) {
+#[test]
+fn sparse_memory_matches_a_hashmap_model() {
+    for_each_case(32, |rng| {
+        let len = rng.in_range(1, 200) as usize;
+        let ops: Vec<(u64, u64)> = (0..len)
+            .map(|_| (rng.below(0x4000), rng.next_u64()))
+            .collect();
         let mut memory = SparseMemory::new();
         let mut model = std::collections::HashMap::new();
         for (addr, value) in &ops {
@@ -95,34 +129,41 @@ proptest! {
             model.insert(aligned, *value);
         }
         for (addr, expected) in &model {
-            prop_assert_eq!(memory.read(VirtAddr::new(*addr), MemWidth::Double), *expected);
+            assert_eq!(
+                memory.read(VirtAddr::new(*addr), MemWidth::Double),
+                *expected
+            );
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Cache array invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn cache_occupancy_never_exceeds_capacity_and_mru_is_resident(
-        lines in prop::collection::vec(0u64..256, 1..300)
-    ) {
+#[test]
+fn cache_occupancy_never_exceeds_capacity_and_mru_is_resident() {
+    for_each_case(32, |rng| {
+        let len = rng.in_range(1, 300) as usize;
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(256)).collect();
         let mut cache: CacheArray<()> = CacheArray::new(&CacheConfig::new(2048, 4, 1, 4), 64);
         for line in &lines {
             cache.insert(LineAddr::new(*line), MesiState::Shared, ());
-            prop_assert!(cache.occupancy() <= cache.capacity_lines());
+            assert!(cache.occupancy() <= cache.capacity_lines());
             // The line just inserted must be resident (most recently used).
-            prop_assert!(cache.contains(LineAddr::new(*line)));
+            assert!(cache.contains(LineAddr::new(*line)));
         }
         // Invalidate-all always empties the cache.
         cache.invalidate_all();
-        prop_assert_eq!(cache.occupancy(), 0);
-    }
+        assert_eq!(cache.occupancy(), 0);
+    });
+}
 
-    #[test]
-    fn cache_lookup_agrees_with_peek(lines in prop::collection::vec(0u64..64, 1..100)) {
+#[test]
+fn cache_lookup_agrees_with_peek() {
+    for_each_case(32, |rng| {
+        let len = rng.in_range(1, 100) as usize;
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(64)).collect();
         let mut cache: CacheArray<()> = CacheArray::new(&CacheConfig::new(1024, 2, 1, 4), 64);
         for line in &lines {
             cache.insert(LineAddr::new(*line), MesiState::Exclusive, ());
@@ -130,20 +171,20 @@ proptest! {
         for line in 0u64..64 {
             let peeked = cache.peek(LineAddr::new(line)).is_some();
             let looked = cache.lookup(LineAddr::new(line)).is_some();
-            prop_assert_eq!(peeked, looked);
+            assert_eq!(peeked, looked);
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Filter cache invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn filter_cache_flush_is_total_and_committed_bit_is_monotonic(
-        lines in prop::collection::vec(0u64..128, 1..200)
-    ) {
+#[test]
+fn filter_cache_flush_is_total_and_committed_bit_is_monotonic() {
+    for_each_case(24, |rng| {
+        let len = rng.in_range(1, 200) as usize;
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(128)).collect();
         let mut filter = FilterCache::new(&CacheConfig::new(2048, 4, 1, 4), 64);
         for (i, line) in lines.iter().enumerate() {
             let addr = LineAddr::new(*line);
@@ -155,21 +196,21 @@ proptest! {
                 Cycle::new(i as u64),
             );
             // Newly inserted speculative lines are uncommitted.
-            prop_assert!(!filter.is_committed(addr));
+            assert!(!filter.is_committed(addr));
             if i % 3 == 0 {
                 filter.mark_committed(addr);
-                prop_assert!(filter.is_committed(addr));
+                assert!(filter.is_committed(addr));
             }
         }
         let occupancy = filter.occupancy();
-        prop_assert!(occupancy <= filter.capacity_lines());
+        assert!(occupancy <= filter.capacity_lines());
         let dropped = filter.flush();
-        prop_assert_eq!(dropped, occupancy);
-        prop_assert_eq!(filter.occupancy(), 0);
+        assert_eq!(dropped, occupancy);
+        assert_eq!(filter.occupancy(), 0);
         for line in &lines {
-            prop_assert!(!filter.contains(LineAddr::new(*line)));
+            assert!(!filter.contains(LineAddr::new(*line)));
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -183,8 +224,10 @@ proptest! {
 fn random_program(ops: &[(u8, u8, u8, u8, i64)]) -> uarch_isa::Program {
     let mut b = ProgramBuilder::new("random");
     b.li(Reg::X1, 0x9000); // scratch base
-    for (i, (kind, rd, rs1, rs2)) in
-        ops.iter().map(|(k, a, b_, c, _)| (*k, *a, *b_, *c)).enumerate()
+    for (i, (kind, rd, rs1, rs2)) in ops
+        .iter()
+        .map(|(k, a, b_, c, _)| (*k, *a, *b_, *c))
+        .enumerate()
     {
         let rd = Reg::from_index(1 + (rd as usize % 29));
         let rs1 = Reg::from_index(1 + (rs1 as usize % 29));
@@ -221,12 +264,21 @@ fn random_program(ops: &[(u8, u8, u8, u8, i64)]) -> uarch_isa::Program {
     b.build().expect("random straight-line program builds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn out_of_order_core_matches_interpreter_on_random_programs(
-        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<i64>()), 1..60)
-    ) {
+#[test]
+fn out_of_order_core_matches_interpreter_on_random_programs() {
+    for_each_case(32, |rng| {
+        let len = rng.in_range(1, 60) as usize;
+        let ops: Vec<(u8, u8, u8, u8, i64)> = (0..len)
+            .map(|_| {
+                (
+                    rng.below(256) as u8,
+                    rng.below(256) as u8,
+                    rng.below(256) as u8,
+                    rng.below(256) as u8,
+                    rng.next_u64() as i64,
+                )
+            })
+            .collect();
         let program = random_program(&ops);
 
         let mut interp = Interpreter::new(&program);
@@ -239,21 +291,20 @@ proptest! {
             .expect("core halts");
         let finished = core.swap_thread(None).expect("context");
 
-        prop_assert_eq!(finished.regs.snapshot(), golden.regs.snapshot());
-    }
+        assert_eq!(finished.regs.snapshot(), golden.regs.snapshot());
+    });
 }
 
 // ---------------------------------------------------------------------------
 // MuonTrap end-to-end invariants under random access sequences
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn speculative_accesses_never_reach_the_non_speculative_hierarchy(
-        addrs in prop::collection::vec(0u64..0x80_000, 1..80)
-    ) {
-        use ooo_core::memmodel::{MemAccessCtx, MemoryModel};
+#[test]
+fn speculative_accesses_never_reach_the_non_speculative_hierarchy() {
+    use ooo_core::memmodel::{MemAccessCtx, MemoryModel};
+    for_each_case(24, |rng| {
+        let len = rng.in_range(1, 80) as usize;
+        let addrs: Vec<u64> = (0..len).map(|_| rng.below(0x80_000)).collect();
         let cfg = SystemConfig::paper_default();
         let mut mt = muontrap::MuonTrap::new(&cfg);
         for (i, raw) in addrs.iter().enumerate() {
@@ -267,13 +318,17 @@ proptest! {
             );
             let _ = mt.load(&ctx);
             let line = mt.phys_line(0, vaddr);
-            prop_assert!(
+            assert!(
                 !mt.hierarchy().own_l1_contains(0, line) && !mt.hierarchy().l2_contains(line),
                 "speculative line {line:?} leaked into the non-speculative hierarchy"
             );
         }
         // After a domain switch nothing speculative survives anywhere.
-        mt.on_domain_switch(0, ooo_core::DomainSwitch::ContextSwitch, Cycle::new(1_000_000));
-        prop_assert_eq!(mt.data_filter_occupancy(0), 0);
-    }
+        mt.on_domain_switch(
+            0,
+            ooo_core::DomainSwitch::ContextSwitch,
+            Cycle::new(1_000_000),
+        );
+        assert_eq!(mt.data_filter_occupancy(0), 0);
+    });
 }

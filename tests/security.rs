@@ -31,8 +31,7 @@ fn spectre_prime_probe_fails_against_muontrap() {
         assert!(
             !outcome.leaked,
             "MuonTrap must block the attack (secret {secret}, recovered {}, latencies {:?})",
-            outcome.recovered,
-            outcome.probe_latencies
+            outcome.recovered, outcome.probe_latencies
         );
     }
 }
@@ -48,17 +47,27 @@ fn spectre_prime_probe_fails_against_muontrap_with_clear_on_misspeculate() {
 fn spectre_prime_probe_fails_against_invisispec_and_stt() {
     // The comparison defenses also stop the basic cache-channel Spectre attack
     // (that is their purpose); they just cost more performance.
-    for kind in [DefenseKind::InvisiSpecSpectre, DefenseKind::InvisiSpecFuture, DefenseKind::SttSpectre]
-    {
+    for kind in [
+        DefenseKind::InvisiSpecSpectre,
+        DefenseKind::InvisiSpecFuture,
+        DefenseKind::SttSpectre,
+    ] {
         let outcome = spectre_prime_probe_with_secret(kind, &config(), 9);
-        assert!(!outcome.leaked, "{} should block the basic Spectre attack", kind.label());
+        assert!(
+            !outcome.leaked,
+            "{} should block the basic Spectre attack",
+            kind.label()
+        );
     }
 }
 
 #[test]
 fn an_insecure_l0_is_not_a_defense() {
     let outcome = spectre_prime_probe_with_secret(DefenseKind::InsecureL0, &config(), 6);
-    assert!(outcome.leaked, "a filter cache without MuonTrap's protections must still leak");
+    assert!(
+        outcome.leaked,
+        "a filter cache without MuonTrap's protections must still leak"
+    );
 }
 
 #[test]
@@ -76,7 +85,11 @@ fn litmus_attacks_2_to_6_leak_on_the_baseline_and_not_under_muontrap() {
         if outcome.attack.starts_with("attack 4") {
             continue;
         }
-        assert!(outcome.leaked, "baseline should be vulnerable to {}", outcome.attack);
+        assert!(
+            outcome.leaked,
+            "baseline should be vulnerable to {}",
+            outcome.attack
+        );
     }
     for outcome in &protected {
         assert!(!outcome.leaked, "MuonTrap must stop {}", outcome.attack);
@@ -96,7 +109,10 @@ fn disabling_individual_protections_reopens_the_matching_channel() {
     // Without the instruction filter cache, the I-cache channel re-opens.
     let mut no_ifcache = ProtectionConfig::muontrap_default();
     no_ifcache.instruction_filter_cache = false;
-    assert!(litmus::icache_attack_leaks(DefenseKind::MuonTrapCustom(no_ifcache), &cfg));
+    assert!(litmus::icache_attack_leaks(
+        DefenseKind::MuonTrapCustom(no_ifcache),
+        &cfg
+    ));
     // The full configuration closes both.
     assert!(!litmus::prefetch_attack_leaks(DefenseKind::MuonTrap, &cfg));
     assert!(!litmus::icache_attack_leaks(DefenseKind::MuonTrap, &cfg));
