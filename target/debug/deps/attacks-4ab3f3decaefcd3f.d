@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/attacks-4ab3f3decaefcd3f.d: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+/root/repo/target/debug/deps/libattacks-4ab3f3decaefcd3f.rmeta: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/litmus.rs:
+crates/attacks/src/spectre.rs:

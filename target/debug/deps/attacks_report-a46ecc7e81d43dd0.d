@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks_report-a46ecc7e81d43dd0.d: crates/bench/src/bin/attacks_report.rs
+
+/root/repo/target/debug/deps/libattacks_report-a46ecc7e81d43dd0.rmeta: crates/bench/src/bin/attacks_report.rs
+
+crates/bench/src/bin/attacks_report.rs:

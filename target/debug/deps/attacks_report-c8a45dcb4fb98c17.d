@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks_report-c8a45dcb4fb98c17.d: crates/bench/src/bin/attacks_report.rs
+
+/root/repo/target/debug/deps/libattacks_report-c8a45dcb4fb98c17.rmeta: crates/bench/src/bin/attacks_report.rs
+
+crates/bench/src/bin/attacks_report.rs:

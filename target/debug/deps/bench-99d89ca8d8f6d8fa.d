@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-99d89ca8d8f6d8fa.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libbench-99d89ca8d8f6d8fa.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

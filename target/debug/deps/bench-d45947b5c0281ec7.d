@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-d45947b5c0281ec7.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libbench-d45947b5c0281ec7.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

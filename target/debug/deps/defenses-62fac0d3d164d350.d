@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/defenses-62fac0d3d164d350.d: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+/root/repo/target/debug/deps/libdefenses-62fac0d3d164d350.rmeta: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+crates/defenses/src/lib.rs:
+crates/defenses/src/invisispec.rs:
+crates/defenses/src/stt.rs:
+crates/defenses/src/unprotected.rs:

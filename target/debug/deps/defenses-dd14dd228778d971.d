@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/defenses-dd14dd228778d971.d: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+/root/repo/target/debug/deps/libdefenses-dd14dd228778d971.rmeta: crates/defenses/src/lib.rs crates/defenses/src/invisispec.rs crates/defenses/src/stt.rs crates/defenses/src/unprotected.rs
+
+crates/defenses/src/lib.rs:
+crates/defenses/src/invisispec.rs:
+crates/defenses/src/stt.rs:
+crates/defenses/src/unprotected.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4c000da8eeb6a03b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-4c000da8eeb6a03b.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

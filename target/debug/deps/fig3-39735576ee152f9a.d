@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-39735576ee152f9a.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-39735576ee152f9a.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-d0e05fbb08bfb0ce.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-d0e05fbb08bfb0ce.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

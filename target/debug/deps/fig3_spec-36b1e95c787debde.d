@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_spec-36b1e95c787debde.d: crates/bench/benches/fig3_spec.rs
+
+/root/repo/target/debug/deps/libfig3_spec-36b1e95c787debde.rmeta: crates/bench/benches/fig3_spec.rs
+
+crates/bench/benches/fig3_spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-97cb29a5ba5b8010.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-97cb29a5ba5b8010.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

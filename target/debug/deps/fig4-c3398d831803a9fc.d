@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c3398d831803a9fc.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-c3398d831803a9fc.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_parsec-7fe95d9ba875f35d.d: crates/bench/benches/fig4_parsec.rs
+
+/root/repo/target/debug/deps/libfig4_parsec-7fe95d9ba875f35d.rmeta: crates/bench/benches/fig4_parsec.rs
+
+crates/bench/benches/fig4_parsec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-10ff635c46866cda.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-10ff635c46866cda.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-4b649c1da4efc926.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-4b649c1da4efc926.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

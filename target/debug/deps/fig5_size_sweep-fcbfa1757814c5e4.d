@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_size_sweep-fcbfa1757814c5e4.d: crates/bench/benches/fig5_size_sweep.rs
+
+/root/repo/target/debug/deps/libfig5_size_sweep-fcbfa1757814c5e4.rmeta: crates/bench/benches/fig5_size_sweep.rs
+
+crates/bench/benches/fig5_size_sweep.rs:

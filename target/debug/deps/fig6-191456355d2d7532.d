@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-191456355d2d7532.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-191456355d2d7532.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

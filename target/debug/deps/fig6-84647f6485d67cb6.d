@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-84647f6485d67cb6.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-84647f6485d67cb6.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

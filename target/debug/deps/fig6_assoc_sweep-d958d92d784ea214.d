@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_assoc_sweep-d958d92d784ea214.d: crates/bench/benches/fig6_assoc_sweep.rs
+
+/root/repo/target/debug/deps/libfig6_assoc_sweep-d958d92d784ea214.rmeta: crates/bench/benches/fig6_assoc_sweep.rs
+
+crates/bench/benches/fig6_assoc_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3fa5477142c3d1c4.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-3fa5477142c3d1c4.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

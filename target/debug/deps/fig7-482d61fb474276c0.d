@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-482d61fb474276c0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-482d61fb474276c0.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

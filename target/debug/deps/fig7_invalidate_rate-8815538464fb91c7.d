@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_invalidate_rate-8815538464fb91c7.d: crates/bench/benches/fig7_invalidate_rate.rs
+
+/root/repo/target/debug/deps/libfig7_invalidate_rate-8815538464fb91c7.rmeta: crates/bench/benches/fig7_invalidate_rate.rs
+
+crates/bench/benches/fig7_invalidate_rate.rs:

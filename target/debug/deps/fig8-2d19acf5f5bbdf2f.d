@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-2d19acf5f5bbdf2f.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-2d19acf5f5bbdf2f.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

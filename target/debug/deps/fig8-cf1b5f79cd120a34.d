@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-cf1b5f79cd120a34.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-cf1b5f79cd120a34.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_cost_breakdown_parsec-6290d071974458be.d: crates/bench/benches/fig8_cost_breakdown_parsec.rs
+
+/root/repo/target/debug/deps/libfig8_cost_breakdown_parsec-6290d071974458be.rmeta: crates/bench/benches/fig8_cost_breakdown_parsec.rs
+
+crates/bench/benches/fig8_cost_breakdown_parsec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-d33953b50a25d66d.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-d33953b50a25d66d.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-e56517d57b58760b.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-e56517d57b58760b.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_cost_breakdown_spec-872838caa00ac0b0.d: crates/bench/benches/fig9_cost_breakdown_spec.rs
+
+/root/repo/target/debug/deps/libfig9_cost_breakdown_spec-872838caa00ac0b0.rmeta: crates/bench/benches/fig9_cost_breakdown_spec.rs
+
+crates/bench/benches/fig9_cost_breakdown_spec.rs:

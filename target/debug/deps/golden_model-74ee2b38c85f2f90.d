@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_model-74ee2b38c85f2f90.d: tests/golden_model.rs
+
+/root/repo/target/debug/deps/libgolden_model-74ee2b38c85f2f90.rmeta: tests/golden_model.rs
+
+tests/golden_model.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memsys-48fbcf708c69c515.d: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/dram.rs crates/memsys/src/hierarchy.rs crates/memsys/src/mesi.rs crates/memsys/src/mshr.rs crates/memsys/src/prefetch.rs crates/memsys/src/tlb.rs crates/memsys/src/types.rs
+
+/root/repo/target/debug/deps/libmemsys-48fbcf708c69c515.rmeta: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/dram.rs crates/memsys/src/hierarchy.rs crates/memsys/src/mesi.rs crates/memsys/src/mshr.rs crates/memsys/src/prefetch.rs crates/memsys/src/tlb.rs crates/memsys/src/types.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/dram.rs:
+crates/memsys/src/hierarchy.rs:
+crates/memsys/src/mesi.rs:
+crates/memsys/src/mshr.rs:
+crates/memsys/src/prefetch.rs:
+crates/memsys/src/tlb.rs:
+crates/memsys/src/types.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/muontrap-f76bc9a0a15c04cf.d: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+/root/repo/target/debug/deps/libmuontrap-f76bc9a0a15c04cf.rmeta: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+crates/muontrap/src/lib.rs:
+crates/muontrap/src/filter_cache.rs:
+crates/muontrap/src/filter_tlb.rs:
+crates/muontrap/src/model.rs:

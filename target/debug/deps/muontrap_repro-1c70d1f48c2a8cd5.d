@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/muontrap_repro-1c70d1f48c2a8cd5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmuontrap_repro-1c70d1f48c2a8cd5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/muontrap_repro-b0e0ff1a7ac02d21.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmuontrap_repro-b0e0ff1a7ac02d21.rmeta: src/lib.rs
+
+src/lib.rs:

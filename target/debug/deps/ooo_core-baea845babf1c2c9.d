@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ooo_core-baea845babf1c2c9.d: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+/root/repo/target/debug/deps/libooo_core-baea845babf1c2c9.rmeta: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+crates/ooo-core/src/lib.rs:
+crates/ooo-core/src/branch.rs:
+crates/ooo-core/src/context.rs:
+crates/ooo-core/src/core.rs:
+crates/ooo-core/src/events.rs:
+crates/ooo-core/src/memmodel.rs:

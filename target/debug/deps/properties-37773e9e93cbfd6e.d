@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-37773e9e93cbfd6e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-37773e9e93cbfd6e.rmeta: tests/properties.rs
+
+tests/properties.rs:

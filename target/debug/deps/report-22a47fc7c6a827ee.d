@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-22a47fc7c6a827ee.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/libreport-22a47fc7c6a827ee.rmeta: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-61e5cc58ebef1ebd.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/libreport-61e5cc58ebef1ebd.rmeta: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-a79ff919f9603fd2.d: tests/security.rs
+
+/root/repo/target/debug/deps/libsecurity-a79ff919f9603fd2.rmeta: tests/security.rs
+
+tests/security.rs:

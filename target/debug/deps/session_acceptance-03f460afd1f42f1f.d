@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/session_acceptance-03f460afd1f42f1f.d: crates/bench/tests/session_acceptance.rs
+
+/root/repo/target/debug/deps/libsession_acceptance-03f460afd1f42f1f.rmeta: crates/bench/tests/session_acceptance.rs
+
+crates/bench/tests/session_acceptance.rs:
+
+# env-dep:CARGO_BIN_EXE_fig3=placeholder:fig3

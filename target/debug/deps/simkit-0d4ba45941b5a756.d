@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simkit-0d4ba45941b5a756.d: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/libsimkit-0d4ba45941b5a756.rmeta: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/addr.rs:
+crates/simkit/src/config.rs:
+crates/simkit/src/cycles.rs:
+crates/simkit/src/json.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/simsys-df82c023ad7b2d13.d: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+/root/repo/target/debug/deps/libsimsys-df82c023ad7b2d13.rmeta: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+crates/simsys/src/lib.rs:
+crates/simsys/src/experiment.rs:
+crates/simsys/src/session.rs:
+crates/simsys/src/system.rs:

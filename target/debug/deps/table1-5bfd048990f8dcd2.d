@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5bfd048990f8dcd2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-5bfd048990f8dcd2.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-798db7adf8fe5769.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-798db7adf8fe5769.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

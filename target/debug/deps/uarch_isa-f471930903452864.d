@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uarch_isa-f471930903452864.d: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+/root/repo/target/debug/deps/libuarch_isa-f471930903452864.rmeta: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+crates/uarch-isa/src/lib.rs:
+crates/uarch-isa/src/inst.rs:
+crates/uarch-isa/src/interp.rs:
+crates/uarch-isa/src/mem.rs:
+crates/uarch-isa/src/prog.rs:
+crates/uarch-isa/src/reg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/workloads-b181c80db304a809.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libworkloads-b181c80db304a809.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-bc535c203156d336.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/libdesign_space-bc535c203156d336.rmeta: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parsec_smp-70945616d729ef84.d: examples/parsec_smp.rs
+
+/root/repo/target/debug/examples/libparsec_smp-70945616d729ef84.rmeta: examples/parsec_smp.rs
+
+examples/parsec_smp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bff25b0b6fa3ce12.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-bff25b0b6fa3ce12.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectre_demo-e2a69424686a1ad3.d: examples/spectre_demo.rs
+
+/root/repo/target/debug/examples/libspectre_demo-e2a69424686a1ad3.rmeta: examples/spectre_demo.rs
+
+examples/spectre_demo.rs:

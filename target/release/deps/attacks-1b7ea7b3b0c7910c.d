@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/attacks-1b7ea7b3b0c7910c.d: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+/root/repo/target/release/deps/attacks-1b7ea7b3b0c7910c: crates/attacks/src/lib.rs crates/attacks/src/litmus.rs crates/attacks/src/spectre.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/litmus.rs:
+crates/attacks/src/spectre.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attacks_report-d2e3c841414d29e6.d: crates/bench/src/bin/attacks_report.rs
+
+/root/repo/target/release/deps/attacks_report-d2e3c841414d29e6: crates/bench/src/bin/attacks_report.rs
+
+crates/bench/src/bin/attacks_report.rs:

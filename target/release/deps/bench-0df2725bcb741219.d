@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/bench-0df2725bcb741219.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/bench-0df2725bcb741219: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-defffc5c6f2b57eb.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-defffc5c6f2b57eb: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

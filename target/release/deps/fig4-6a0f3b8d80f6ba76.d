@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-6a0f3b8d80f6ba76.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-6a0f3b8d80f6ba76: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

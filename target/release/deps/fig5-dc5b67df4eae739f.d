@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-dc5b67df4eae739f.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-dc5b67df4eae739f: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

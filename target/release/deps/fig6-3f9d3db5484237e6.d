@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-3f9d3db5484237e6.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-3f9d3db5484237e6: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

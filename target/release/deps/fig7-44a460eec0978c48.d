@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-44a460eec0978c48.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-44a460eec0978c48: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

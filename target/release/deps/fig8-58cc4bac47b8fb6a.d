@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-58cc4bac47b8fb6a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-58cc4bac47b8fb6a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-201eb086822904b1.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-201eb086822904b1: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_model-208d5218a0c0f7c8.d: tests/golden_model.rs
+
+/root/repo/target/release/deps/golden_model-208d5218a0c0f7c8: tests/golden_model.rs
+
+tests/golden_model.rs:

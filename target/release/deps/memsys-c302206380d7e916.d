@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/memsys-c302206380d7e916.d: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/dram.rs crates/memsys/src/hierarchy.rs crates/memsys/src/mesi.rs crates/memsys/src/mshr.rs crates/memsys/src/prefetch.rs crates/memsys/src/tlb.rs crates/memsys/src/types.rs
+
+/root/repo/target/release/deps/memsys-c302206380d7e916: crates/memsys/src/lib.rs crates/memsys/src/cache.rs crates/memsys/src/dram.rs crates/memsys/src/hierarchy.rs crates/memsys/src/mesi.rs crates/memsys/src/mshr.rs crates/memsys/src/prefetch.rs crates/memsys/src/tlb.rs crates/memsys/src/types.rs
+
+crates/memsys/src/lib.rs:
+crates/memsys/src/cache.rs:
+crates/memsys/src/dram.rs:
+crates/memsys/src/hierarchy.rs:
+crates/memsys/src/mesi.rs:
+crates/memsys/src/mshr.rs:
+crates/memsys/src/prefetch.rs:
+crates/memsys/src/tlb.rs:
+crates/memsys/src/types.rs:

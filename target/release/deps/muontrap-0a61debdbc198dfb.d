@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/muontrap-0a61debdbc198dfb.d: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+/root/repo/target/release/deps/muontrap-0a61debdbc198dfb: crates/muontrap/src/lib.rs crates/muontrap/src/filter_cache.rs crates/muontrap/src/filter_tlb.rs crates/muontrap/src/model.rs
+
+crates/muontrap/src/lib.rs:
+crates/muontrap/src/filter_cache.rs:
+crates/muontrap/src/filter_tlb.rs:
+crates/muontrap/src/model.rs:

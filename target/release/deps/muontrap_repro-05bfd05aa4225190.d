@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/muontrap_repro-05bfd05aa4225190.d: src/lib.rs
+
+/root/repo/target/release/deps/muontrap_repro-05bfd05aa4225190: src/lib.rs
+
+src/lib.rs:

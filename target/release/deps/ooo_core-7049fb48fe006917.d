@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ooo_core-7049fb48fe006917.d: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+/root/repo/target/release/deps/ooo_core-7049fb48fe006917: crates/ooo-core/src/lib.rs crates/ooo-core/src/branch.rs crates/ooo-core/src/context.rs crates/ooo-core/src/core.rs crates/ooo-core/src/events.rs crates/ooo-core/src/memmodel.rs
+
+crates/ooo-core/src/lib.rs:
+crates/ooo-core/src/branch.rs:
+crates/ooo-core/src/context.rs:
+crates/ooo-core/src/core.rs:
+crates/ooo-core/src/events.rs:
+crates/ooo-core/src/memmodel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e92f4db7c758997f.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-e92f4db7c758997f: tests/properties.rs
+
+tests/properties.rs:

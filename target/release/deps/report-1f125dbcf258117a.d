@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-1f125dbcf258117a.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-1f125dbcf258117a: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

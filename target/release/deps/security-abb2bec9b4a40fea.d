@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security-abb2bec9b4a40fea.d: tests/security.rs
+
+/root/repo/target/release/deps/security-abb2bec9b4a40fea: tests/security.rs
+
+tests/security.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/session_acceptance-002ba5700fa67b1e.d: crates/bench/tests/session_acceptance.rs
+
+/root/repo/target/release/deps/session_acceptance-002ba5700fa67b1e: crates/bench/tests/session_acceptance.rs
+
+crates/bench/tests/session_acceptance.rs:
+
+# env-dep:CARGO_BIN_EXE_fig3=/root/repo/target/release/fig3

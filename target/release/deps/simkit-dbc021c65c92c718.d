@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/simkit-dbc021c65c92c718.d: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/release/deps/simkit-dbc021c65c92c718: crates/simkit/src/lib.rs crates/simkit/src/addr.rs crates/simkit/src/config.rs crates/simkit/src/cycles.rs crates/simkit/src/json.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/addr.rs:
+crates/simkit/src/config.rs:
+crates/simkit/src/cycles.rs:
+crates/simkit/src/json.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/simsys-e75f8e6e6009b199.d: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+/root/repo/target/release/deps/simsys-e75f8e6e6009b199: crates/simsys/src/lib.rs crates/simsys/src/experiment.rs crates/simsys/src/session.rs crates/simsys/src/system.rs
+
+crates/simsys/src/lib.rs:
+crates/simsys/src/experiment.rs:
+crates/simsys/src/session.rs:
+crates/simsys/src/system.rs:

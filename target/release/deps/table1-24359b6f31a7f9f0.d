@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-24359b6f31a7f9f0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-24359b6f31a7f9f0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

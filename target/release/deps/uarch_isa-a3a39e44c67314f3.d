@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/uarch_isa-a3a39e44c67314f3.d: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+/root/repo/target/release/deps/uarch_isa-a3a39e44c67314f3: crates/uarch-isa/src/lib.rs crates/uarch-isa/src/inst.rs crates/uarch-isa/src/interp.rs crates/uarch-isa/src/mem.rs crates/uarch-isa/src/prog.rs crates/uarch-isa/src/reg.rs
+
+crates/uarch-isa/src/lib.rs:
+crates/uarch-isa/src/inst.rs:
+crates/uarch-isa/src/interp.rs:
+crates/uarch-isa/src/mem.rs:
+crates/uarch-isa/src/prog.rs:
+crates/uarch-isa/src/reg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/workloads-41951881f998750a.d: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/workloads-41951881f998750a: crates/workloads/src/lib.rs crates/workloads/src/kernels.rs crates/workloads/src/parsec.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/spec.rs:
