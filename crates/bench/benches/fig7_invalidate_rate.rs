@@ -8,7 +8,7 @@ use std::time::Instant;
 fn timed(label: &str, threads: usize) -> f64 {
     let config = simkit::config::SystemConfig::small_test();
     let started = Instant::now();
-    let report = bench::figure7(workloads::Scale::Tiny, &config, threads);
+    let report = bench::figure7(workloads::Scale::Tiny, &config, threads, None);
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     println!(
         "fig7_invalidate_rate/{label}: {elapsed_ms:.1} ms wall, {} cells, {} baseline sims",

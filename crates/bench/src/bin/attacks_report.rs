@@ -1,10 +1,13 @@
 //! Runs attacks 1-6 against each memory-system configuration and prints which
 //! configurations leak (the paper's security argument, in executable form).
-//! `--json` emits one JSON object per (attack, defense) outcome.
+//! `--json` emits one JSON object per (attack, defense) outcome. Accepts the
+//! shared flags (`--scale`, `--threads`, `--store`) for interface uniformity;
+//! attack litmus tests are security probes, not performance grid cells, so
+//! they always execute rather than being served from the store.
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let options = bench::cli::parse_or_exit();
     let config = simkit::config::SystemConfig::paper_default();
-    if json {
+    if options.json {
         println!("{}", bench::security_json(&config).to_string_pretty());
     } else {
         println!("{}", bench::security_matrix(&config));

@@ -1,7 +1,7 @@
 //! Regenerates figure 4 of the paper. Run with `--release`; see `--help`
-//! for the shared flags (`--json`, `--scale`, `--threads`, `--tiny`).
+//! for the shared flags (`--json`, `--scale`, `--threads`, `--store`, `--tiny`).
 fn main() {
-    bench::cli::figure_main(|options, config| {
-        bench::figure4(options.scale, config, options.threads)
+    bench::cli::figure_main(|options, config, store| {
+        bench::figure4(options.scale, config, options.threads, store)
     });
 }

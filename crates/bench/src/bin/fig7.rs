@@ -1,11 +1,13 @@
 //! Regenerates figure 7 of the paper (invalidation-broadcast rates). Run
-//! with `--release`; see `--help` for the shared flags. The `--json` report
-//! is the full session `RunReport`; the per-workload rates the text mode
-//! renders come from the `muontrap.*` counters in each cell's stats.
+//! with `--release`; see `--help` for the shared flags (`--json`, `--scale`,
+//! `--threads`, `--store`, `--tiny`). The `--json` report is the full session
+//! `RunReport`; the per-workload rates the text mode renders come from the
+//! `muontrap.*` counters in each cell's stats.
 fn main() {
     let options = bench::cli::parse_or_exit();
     let config = simkit::config::SystemConfig::paper_default();
-    let report = bench::figure7(options.scale, &config, options.threads);
+    let store = options.open_store();
+    let report = bench::figure7(options.scale, &config, options.threads, store.as_ref());
     if options.json {
         use simkit::json::ToJson;
         println!("{}", report.to_json().to_string_pretty());

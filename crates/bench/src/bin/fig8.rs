@@ -1,7 +1,7 @@
 //! Regenerates figure 8 of the paper. Run with `--release`; see `--help`
-//! for the shared flags (`--json`, `--scale`, `--threads`, `--tiny`).
+//! for the shared flags (`--json`, `--scale`, `--threads`, `--store`, `--tiny`).
 fn main() {
-    bench::cli::figure_main(|options, config| {
-        bench::figure8(options.scale, config, options.threads)
+    bench::cli::figure_main(|options, config, store| {
+        bench::figure8(options.scale, config, options.threads, store)
     });
 }

@@ -5,11 +5,17 @@
 //! ```text
 //! cargo run --release --bin report -- --scale small --threads 8 > evaluation.json
 //! ```
+//!
+//! With `--store DIR` (or `MUONTRAP_STORE`), every simulation result is
+//! persisted content-addressed on its inputs: the first run fills the store,
+//! and a second run regenerates the full document with zero simulations. The
+//! emitted `sims_executed` / per-cell `cached` fields record the provenance.
 use simkit::json::{Json, ToJson};
 
 fn main() {
     let options = bench::cli::parse_or_exit();
     let config = simkit::config::SystemConfig::paper_default();
+    let store = options.open_store();
     let figures: Vec<Json> = [
         bench::figure3,
         bench::figure4,
@@ -20,7 +26,7 @@ fn main() {
         bench::figure9,
     ]
     .iter()
-    .map(|figure| figure(options.scale, &config, options.threads).to_json())
+    .map(|figure| figure(options.scale, &config, options.threads, store.as_ref()).to_json())
     .collect();
     let document = Json::obj([
         ("scale", Json::Str(options.scale.to_string())),

@@ -1,8 +1,10 @@
 //! Prints Table 1 of the paper (the simulated system configuration).
-//! `--json` emits the configuration as a JSON object.
+//! `--json` emits the configuration as a JSON object. Accepts the shared
+//! flags (`--scale`, `--threads`, `--store`) for interface uniformity; the
+//! table is static configuration, so they have nothing to affect.
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    if json {
+    let options = bench::cli::parse_or_exit();
+    if options.json {
         println!("{}", bench::table1_json().to_string_pretty());
     } else {
         println!("{}", bench::table1());

@@ -5,12 +5,20 @@
 //! * `--json` — emit the machine-readable report instead of the text table,
 //! * `--scale <tiny|small|large>` — workload scale (default `small`),
 //! * `--threads <n>` — session worker threads (default: all cores),
+//! * `--store <dir>` — back the run with a content-addressed result store
+//!   (see [`simsys::store`]): simulations already in the store are not
+//!   re-run, and new results are persisted for the next invocation. Defaults
+//!   to the `MUONTRAP_STORE` environment variable when set,
+//! * `--no-store` — ignore `MUONTRAP_STORE` and any earlier `--store`,
 //! * `--tiny` — backwards-compatible alias for `--scale tiny`,
 //! * `--help` — print usage.
+
+use std::path::PathBuf;
 
 use simkit::config::SystemConfig;
 use simkit::json::ToJson;
 use simsys::session::RunReport;
+use simsys::store::ResultStore;
 use workloads::Scale;
 
 /// Parsed command-line options.
@@ -22,6 +30,9 @@ pub struct CliOptions {
     pub scale: Scale,
     /// Session worker threads.
     pub threads: usize,
+    /// Result-store directory, if any (`--store`, else `MUONTRAP_STORE`,
+    /// either silenced by `--no-store`).
+    pub store: Option<PathBuf>,
 }
 
 impl Default for CliOptions {
@@ -30,12 +41,14 @@ impl Default for CliOptions {
             json: false,
             scale: Scale::Small,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            store: std::env::var_os("MUONTRAP_STORE").map(PathBuf::from),
         }
     }
 }
 
 impl CliOptions {
-    /// Parses an argument list (excluding the program name).
+    /// Parses an argument list (excluding the program name). When both
+    /// `--store` and `--no-store` appear, the last one wins.
     ///
     /// # Errors
     /// Returns a usage message when a flag is unknown or a value is missing
@@ -66,17 +79,35 @@ impl CliOptions {
                     }
                     options.threads = parsed;
                 }
+                "--store" => {
+                    let value = args.next().ok_or("--store needs a directory")?;
+                    options.store = Some(PathBuf::from(value.as_ref()));
+                }
+                "--no-store" => options.store = None,
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
         }
         Ok(options)
     }
+
+    /// Opens the configured result store, exiting with a diagnostic if the
+    /// directory cannot be created. `None` when no store is configured.
+    pub fn open_store(&self) -> Option<ResultStore> {
+        self.store.as_ref().map(|path| {
+            ResultStore::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open result store at {}: {e}", path.display());
+                std::process::exit(2);
+            })
+        })
+    }
 }
 
 /// The usage text shared by every binary.
 pub fn usage() -> String {
-    "usage: <binary> [--json] [--scale tiny|small|large] [--threads N] [--tiny]".to_string()
+    "usage: <binary> [--json] [--scale tiny|small|large] [--threads N] \
+     [--store DIR] [--no-store] [--tiny]"
+        .to_string()
 }
 
 /// Parses `std::env::args`, exiting with the usage message on `--help` or a
@@ -96,12 +127,16 @@ pub fn parse_or_exit() -> CliOptions {
     }
 }
 
-/// Standard main body for a figure binary: parse flags, build the report,
-/// print JSON (with `--json`) or Table 1 plus the rendered figure.
-pub fn figure_main(build: impl FnOnce(&CliOptions, &SystemConfig) -> RunReport) {
+/// Standard main body for a figure binary: parse flags, open the store,
+/// build the report, print JSON (with `--json`) or Table 1 plus the rendered
+/// figure.
+pub fn figure_main(
+    build: impl FnOnce(&CliOptions, &SystemConfig, Option<&ResultStore>) -> RunReport,
+) {
     let options = parse_or_exit();
     let config = SystemConfig::paper_default();
-    let report = build(&options, &config);
+    let store = options.open_store();
+    let report = build(&options, &config, store.as_ref());
     if options.json {
         println!("{}", report.to_json().to_string_pretty());
     } else {
@@ -124,10 +159,20 @@ mod tests {
 
     #[test]
     fn all_flags_parse() {
-        let options = CliOptions::parse(["--json", "--scale", "large", "--threads", "3"]).unwrap();
+        let options = CliOptions::parse([
+            "--json",
+            "--scale",
+            "large",
+            "--threads",
+            "3",
+            "--store",
+            "/tmp/s",
+        ])
+        .unwrap();
         assert!(options.json);
         assert_eq!(options.scale, Scale::Large);
         assert_eq!(options.threads, 3);
+        assert_eq!(options.store, Some(PathBuf::from("/tmp/s")));
     }
 
     #[test]
@@ -137,11 +182,22 @@ mod tests {
     }
 
     #[test]
+    fn no_store_silences_an_earlier_store_and_vice_versa() {
+        let off = CliOptions::parse(["--store", "/tmp/s", "--no-store"]).unwrap();
+        assert_eq!(off.store, None);
+        assert_eq!(off.open_store().map(|_| ()), None);
+        let on = CliOptions::parse(["--no-store", "--store", "/tmp/s"]).unwrap();
+        assert_eq!(on.store, Some(PathBuf::from("/tmp/s")));
+    }
+
+    #[test]
     fn bad_input_is_rejected_with_usage() {
         assert!(CliOptions::parse(["--scale"]).is_err());
         assert!(CliOptions::parse(["--scale", "huge"]).is_err());
         assert!(CliOptions::parse(["--threads", "0"]).is_err());
         assert!(CliOptions::parse(["--threads", "lots"]).is_err());
+        assert!(CliOptions::parse(["--store"]).is_err());
         assert!(CliOptions::parse(["--wat"]).unwrap_err().contains("usage:"));
+        assert!(usage().contains("--store"));
     }
 }

@@ -31,6 +31,7 @@ use simkit::stats::geometric_mean;
 use attacks::AttackOutcome;
 use defenses::DefenseKind;
 use simsys::session::{ExperimentSession, RunReport};
+use simsys::store::ResultStore;
 use workloads::{parsec_suite, spec_suite, Scale, Workload};
 
 /// One row of a normalised-execution-time figure: a workload plus one value
@@ -113,6 +114,7 @@ fn session(
     workloads: Vec<Workload>,
     config: &SystemConfig,
     threads: usize,
+    store: Option<&ResultStore>,
 ) -> ExperimentSession {
     ExperimentSession::new()
         .title(title)
@@ -120,6 +122,7 @@ fn session(
         .workloads(workloads)
         .config(config.clone())
         .threads(threads)
+        .store(store.cloned())
 }
 
 /// Table 1: the simulated system configuration.
@@ -148,26 +151,38 @@ pub fn table1_json() -> Json {
 
 /// Figure 3: normalised execution time on the SPEC-CPU2006-like suite for
 /// MuonTrap, InvisiSpec (both variants) and STT (both variants).
-pub fn figure3(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+pub fn figure3(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
     session(
         "Figure 3: SPEC CPU2006-like, normalised execution time (lower is better)",
         scale,
         spec_suite(scale),
         config,
         threads,
+        store,
     )
     .defenses(DefenseKind::figure3_set())
     .run()
 }
 
 /// Figure 4: normalised execution time on the Parsec-like suite (4 threads).
-pub fn figure4(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+pub fn figure4(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
     session(
         "Figure 4: Parsec-like (4 threads), normalised execution time (lower is better)",
         scale,
         parsec_suite(scale, config.cores),
         config,
         threads,
+        store,
     )
     .defenses(DefenseKind::figure3_set())
     .run()
@@ -176,7 +191,12 @@ pub fn figure4(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport
 /// Figure 5: Parsec-like performance as the (fully-associative) data filter
 /// cache is swept from 64 B to 4 KiB. One baseline per workload: the swept
 /// filter-cache geometry is invisible to the unprotected machine.
-pub fn figure5(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+pub fn figure5(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
     let sizes: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
     let sweep = sizes.map(|size| {
         // Fully associative at every size, as in the paper's sweep.
@@ -191,6 +211,7 @@ pub fn figure5(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport
         parsec_suite(scale, config.cores),
         config,
         threads,
+        store,
     )
     .defenses([DefenseKind::MuonTrap])
     .config_sweep(sweep)
@@ -199,7 +220,12 @@ pub fn figure5(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport
 
 /// Figure 6: Parsec-like performance as the associativity of a 2 KiB filter
 /// cache is swept from direct-mapped to fully associative.
-pub fn figure6(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+pub fn figure6(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
     let ways: [usize; 6] = [1, 2, 4, 8, 16, 32];
     let sweep = ways.map(|w| (format!("{w}-way"), config.with_data_filter(2048, w)));
     session(
@@ -208,6 +234,7 @@ pub fn figure6(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport
         parsec_suite(scale, config.cores),
         config,
         threads,
+        store,
     )
     .defenses([DefenseKind::MuonTrap])
     .config_sweep(sweep)
@@ -217,13 +244,19 @@ pub fn figure6(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport
 /// Figure 7: runs the SPEC-like suite under full MuonTrap; the figure's
 /// invalidation-broadcast rates come from [`invalidate_rates`] over the
 /// returned report's cell statistics.
-pub fn figure7(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+pub fn figure7(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
     session(
         "Figure 7: fraction of writes triggering filter-cache invalidation broadcasts",
         scale,
         spec_suite(scale),
         config,
         threads,
+        store,
     )
     .defenses([DefenseKind::MuonTrap])
     .run()
@@ -325,13 +358,19 @@ pub fn cumulative_protection_kinds(include_parallel_l1: bool) -> Vec<(String, De
 }
 
 /// Figure 8: cumulatively adding protection mechanisms, Parsec-like suite.
-pub fn figure8(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+pub fn figure8(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
     session(
         "Figure 8: cumulative protection mechanisms, Parsec-like",
         scale,
         parsec_suite(scale, config.cores),
         config,
         threads,
+        store,
     )
     .defenses_labeled(cumulative_protection_kinds(false))
     .run()
@@ -339,13 +378,19 @@ pub fn figure8(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport
 
 /// Figure 9: cumulatively adding protection mechanisms plus the parallel
 /// L0/L1 lookup option, SPEC-like suite.
-pub fn figure9(scale: Scale, config: &SystemConfig, threads: usize) -> RunReport {
+pub fn figure9(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
     session(
         "Figure 9: cumulative protection mechanisms (+ parallel L1d), SPEC-like",
         scale,
         spec_suite(scale),
         config,
         threads,
+        store,
     )
     .defenses_labeled(cumulative_protection_kinds(true))
     .run()

@@ -15,7 +15,7 @@ use workloads::Scale;
 #[test]
 fn figure3_runs_exactly_one_baseline_simulation_per_workload() {
     let config = SystemConfig::small_test();
-    let report = bench::figure3(Scale::Tiny, &config, 2);
+    let report = bench::figure3(Scale::Tiny, &config, 2, None);
     assert_eq!(
         report.baseline_sims,
         report.workloads.len(),
@@ -36,8 +36,8 @@ fn figure3_runs_exactly_one_baseline_simulation_per_workload() {
 #[test]
 fn four_thread_figure3_matches_serial_and_wins_on_multicore_hosts() {
     let config = SystemConfig::small_test();
-    let serial = bench::figure3(Scale::Tiny, &config, 1);
-    let parallel = bench::figure3(Scale::Tiny, &config, 4);
+    let serial = bench::figure3(Scale::Tiny, &config, 1, None);
+    let parallel = bench::figure3(Scale::Tiny, &config, 4, None);
     assert_eq!(
         serial.cells, parallel.cells,
         "thread count must not change results"
@@ -54,8 +54,8 @@ fn four_thread_figure3_matches_serial_and_wins_on_multicore_hosts() {
                 break;
             }
             timings.push((
-                bench::figure3(Scale::Tiny, &config, 1).wall_clock_ms,
-                bench::figure3(Scale::Tiny, &config, 4).wall_clock_ms,
+                bench::figure3(Scale::Tiny, &config, 1, None).wall_clock_ms,
+                bench::figure3(Scale::Tiny, &config, 4, None).wall_clock_ms,
             ));
         }
         let (best_serial, best_parallel) = best_of(&timings);

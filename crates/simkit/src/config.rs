@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::json::{Json, ToJson};
+
 /// Parameters of a single set-associative cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
@@ -398,6 +400,121 @@ impl fmt::Display for SystemConfig {
     }
 }
 
+// The configuration's JSON form exists for one consumer: the result store's
+// fingerprints. Field order is fixed and every knob that can change a
+// simulation's outcome appears, so two configs fingerprint equal exactly when
+// the simulations they describe are interchangeable.
+
+impl ToJson for CacheConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("size_bytes", Json::UInt(self.size_bytes)),
+            ("ways", Json::UInt(self.ways as u64)),
+            ("hit_latency", Json::UInt(self.hit_latency)),
+            ("mshrs", Json::UInt(self.mshrs as u64)),
+        ])
+    }
+}
+
+impl ToJson for PipelineConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("width", Json::UInt(self.width as u64)),
+            ("rob_entries", Json::UInt(self.rob_entries as u64)),
+            ("iq_entries", Json::UInt(self.iq_entries as u64)),
+            ("lq_entries", Json::UInt(self.lq_entries as u64)),
+            ("sq_entries", Json::UInt(self.sq_entries as u64)),
+            ("int_alus", Json::UInt(self.int_alus as u64)),
+            ("fp_alus", Json::UInt(self.fp_alus as u64)),
+            ("mul_div_units", Json::UInt(self.mul_div_units as u64)),
+            ("mispredict_penalty", Json::UInt(self.mispredict_penalty)),
+        ])
+    }
+}
+
+impl ToJson for BranchPredictorConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("local_entries", Json::UInt(self.local_entries as u64)),
+            ("global_entries", Json::UInt(self.global_entries as u64)),
+            ("chooser_entries", Json::UInt(self.chooser_entries as u64)),
+            ("btb_entries", Json::UInt(self.btb_entries as u64)),
+            ("ras_entries", Json::UInt(self.ras_entries as u64)),
+        ])
+    }
+}
+
+impl ToJson for TlbConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("entries", Json::UInt(self.entries as u64)),
+            ("hit_latency", Json::UInt(self.hit_latency)),
+            ("walk_latency", Json::UInt(self.walk_latency)),
+            ("page_bytes", Json::UInt(self.page_bytes)),
+        ])
+    }
+}
+
+impl ToJson for DramConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("row_hit_latency", Json::UInt(self.row_hit_latency)),
+            ("row_miss_latency", Json::UInt(self.row_miss_latency)),
+            ("banks", Json::UInt(self.banks as u64)),
+            ("row_bytes", Json::UInt(self.row_bytes)),
+        ])
+    }
+}
+
+impl ToJson for ProtectionConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("data_filter_cache", Json::Bool(self.data_filter_cache)),
+            ("secure_filter", Json::Bool(self.secure_filter)),
+            (
+                "coherence_protection",
+                Json::Bool(self.coherence_protection),
+            ),
+            (
+                "instruction_filter_cache",
+                Json::Bool(self.instruction_filter_cache),
+            ),
+            ("prefetch_at_commit", Json::Bool(self.prefetch_at_commit)),
+            (
+                "clear_on_misspeculate",
+                Json::Bool(self.clear_on_misspeculate),
+            ),
+            ("parallel_l1_access", Json::Bool(self.parallel_l1_access)),
+            ("filter_tlb", Json::Bool(self.filter_tlb)),
+        ])
+    }
+}
+
+impl ToJson for SystemConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cores", Json::UInt(self.cores as u64)),
+            ("line_bytes", Json::UInt(self.line_bytes)),
+            ("pipeline", self.pipeline.to_json()),
+            ("branch_predictor", self.branch_predictor.to_json()),
+            ("l1i", self.l1i.to_json()),
+            ("l1d", self.l1d.to_json()),
+            ("l2", self.l2.to_json()),
+            ("data_filter", self.data_filter.to_json()),
+            ("inst_filter", self.inst_filter.to_json()),
+            ("tlb", self.tlb.to_json()),
+            (
+                "filter_tlb_entries",
+                Json::UInt(self.filter_tlb_entries as u64),
+            ),
+            ("dram", self.dram.to_json()),
+            ("prefetch_degree", Json::UInt(self.prefetch_degree as u64)),
+            ("scheduler_quantum", Json::UInt(self.scheduler_quantum)),
+            ("protection", self.protection.to_json()),
+        ])
+    }
+}
+
 /// Error returned by [`SystemConfig::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError {
@@ -489,6 +606,40 @@ mod tests {
         assert!(!ProtectionConfig::insecure_l0().secure_filter);
         assert!(ProtectionConfig::muontrap_clear_on_misspeculate().clear_on_misspeculate);
         assert!(ProtectionConfig::muontrap_parallel_l1().parallel_l1_access);
+    }
+
+    #[test]
+    fn config_json_covers_every_simulation_relevant_knob() {
+        let json = SystemConfig::paper_default().to_json();
+        for field in [
+            "cores",
+            "line_bytes",
+            "pipeline",
+            "branch_predictor",
+            "l1i",
+            "l1d",
+            "l2",
+            "data_filter",
+            "inst_filter",
+            "tlb",
+            "filter_tlb_entries",
+            "dram",
+            "prefetch_degree",
+            "scheduler_quantum",
+            "protection",
+        ] {
+            assert!(json.get(field).is_some(), "missing field {field}");
+        }
+        // Changing any knob must change the JSON (spot-check a nested one).
+        let mut swept = SystemConfig::paper_default();
+        swept.protection.clear_on_misspeculate = true;
+        assert_ne!(swept.to_json(), SystemConfig::paper_default().to_json());
+        assert_ne!(
+            SystemConfig::paper_default()
+                .with_data_filter(64, 1)
+                .to_json(),
+            SystemConfig::paper_default().to_json()
+        );
     }
 
     #[test]

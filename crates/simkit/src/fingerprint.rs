@@ -1,0 +1,331 @@
+//! Deterministic content fingerprints for experiment memoization.
+//!
+//! The on-disk result store (`simsys::store`) keys every simulation result by
+//! a stable fingerprint of its inputs: the workload's programs, the machine
+//! and defense configuration, and a simulator version salt. This module
+//! provides the two hashing entry points it builds on, with no external
+//! dependencies (the build is offline):
+//!
+//! * [`of_json`] — a fingerprint over a [`Json`] value tree. Every node is
+//!   hashed with a type tag and an explicit length, so structurally distinct
+//!   trees cannot collide by concatenation ambiguity, and object key *order*
+//!   is significant (our [`Json`] objects preserve insertion order and every
+//!   `ToJson` implementation emits fields in a fixed order).
+//! * [`of_hash`] — a fingerprint over any `#[derive(Hash)]` value, fed
+//!   through [`Hasher128`]. Used where a value (e.g. a workload's µISA
+//!   programs) has a derived `Hash` but no JSON form.
+//!
+//! Both are backed by [`Hasher128`], a 128-bit FNV-1a variant. The output is
+//! deterministic across processes and runs of the same build — that is the
+//! property the store needs; it is **not** a cryptographic hash and offers no
+//! collision resistance against adversarial inputs. Integer widths are
+//! canonicalised to little-endian 64-bit before hashing so the fingerprint
+//! does not depend on the host's `usize` width.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::fingerprint::{self, Fingerprint};
+//! use simkit::json::Json;
+//!
+//! let a = fingerprint::of_json(&Json::obj([("cycles", Json::UInt(42))]));
+//! let b = fingerprint::of_json(&Json::obj([("cycles", Json::UInt(42))]));
+//! let c = fingerprint::of_json(&Json::obj([("cycles", Json::UInt(43))]));
+//! assert_eq!(a, b);
+//! assert_ne!(a, c);
+//! let hex = a.to_hex();
+//! assert_eq!(Fingerprint::parse_hex(&hex), Some(a));
+//! ```
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::json::Json;
+
+/// A 128-bit content fingerprint, printable as 32 lower-case hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The fingerprint as 32 lower-case hex digits (the store's file names).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the [`to_hex`](Self::to_hex) form back. Returns `None` unless
+    /// the input is exactly 32 hex digits.
+    pub fn parse_hex(text: &str) -> Option<Fingerprint> {
+        if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A streaming 128-bit FNV-1a hasher.
+///
+/// Implements [`std::hash::Hasher`] so `#[derive(Hash)]` values can feed it;
+/// integer writes are canonicalised to little-endian 64-bit so the result is
+/// platform-independent. [`finish`](Hasher::finish) folds the state to 64
+/// bits; [`finish128`](Self::finish128) returns the full [`Fingerprint`].
+#[derive(Debug, Clone)]
+pub struct Hasher128 {
+    state: u128,
+}
+
+impl Hasher128 {
+    /// A hasher in the FNV-1a initial state.
+    pub fn new() -> Self {
+        Hasher128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// The full 128-bit digest of everything written so far.
+    pub fn finish128(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+impl Default for Hasher128 {
+    fn default() -> Self {
+        Hasher128::new()
+    }
+}
+
+impl Hasher for Hasher128 {
+    fn finish(&self) -> u64 {
+        (self.state ^ (self.state >> 64)) as u64
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    // Every integer write is pinned to its little-endian form (and usize to
+    // 64 bits) so fingerprints match across platforms; the std defaults use
+    // native-endian bytes, which would silently fork a store shared between
+    // little- and big-endian hosts.
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        // usize width varies by platform; hash the canonical 64-bit form.
+        self.write_u64(i as u64);
+    }
+
+    fn write_i8(&mut self, i: i8) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_i64(i as i64);
+    }
+}
+
+/// Fingerprints any hashable value through [`Hasher128`].
+///
+/// Deterministic for derived `Hash` implementations, which feed fields in
+/// declaration order. Two values of *different types* may collide if they
+/// hash identical byte streams; include a disambiguating tag in the value
+/// when that matters.
+pub fn of_hash<T: Hash + ?Sized>(value: &T) -> Fingerprint {
+    let mut hasher = Hasher128::new();
+    value.hash(&mut hasher);
+    hasher.finish128()
+}
+
+/// Fingerprints a [`Json`] value tree.
+///
+/// Type tags and explicit lengths make the encoding prefix-free, so nested
+/// structures cannot collide by reassociation (`["ab"]` vs `["a","b"]`).
+/// Object key order is significant; [`Json`] objects preserve insertion
+/// order, and `ToJson` implementations emit fields in a fixed order, so equal
+/// values always produce equal fingerprints.
+pub fn of_json(json: &Json) -> Fingerprint {
+    let mut hasher = Hasher128::new();
+    hash_json(&mut hasher, json);
+    hasher.finish128()
+}
+
+fn hash_json(h: &mut Hasher128, json: &Json) {
+    match json {
+        Json::Null => h.write(&[0]),
+        Json::Bool(b) => h.write(&[1, u8::from(*b)]),
+        Json::UInt(v) => {
+            h.write(&[2]);
+            h.write(&v.to_le_bytes());
+        }
+        Json::Int(v) => {
+            h.write(&[3]);
+            h.write(&v.to_le_bytes());
+        }
+        Json::Num(v) => {
+            h.write(&[4]);
+            h.write(&v.to_bits().to_le_bytes());
+        }
+        Json::Str(s) => {
+            h.write(&[5]);
+            h.write(&(s.len() as u64).to_le_bytes());
+            h.write(s.as_bytes());
+        }
+        Json::Arr(items) => {
+            h.write(&[6]);
+            h.write(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                hash_json(h, item);
+            }
+        }
+        Json::Obj(pairs) => {
+            h.write(&[7]);
+            h.write(&(pairs.len() as u64).to_le_bytes());
+            for (key, value) in pairs {
+                h.write(&(key.len() as u64).to_le_bytes());
+                h.write(key.as_bytes());
+                hash_json(h, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn equal_trees_fingerprint_equal_and_unequal_differ() {
+        let doc = r#"{"workload": "mcf", "cycles": 12345, "stats": {"ipc": 0.75}}"#;
+        let a = of_json(&json::parse(doc).unwrap());
+        let b = of_json(&json::parse(doc).unwrap());
+        assert_eq!(a, b);
+        let c = of_json(&json::parse(doc.replace("12345", "12346").as_str()).unwrap());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn known_answer_guards_the_algorithm() {
+        // Golden values: if the encoding or the FNV constants ever change,
+        // every store entry on disk silently becomes unreachable. This test
+        // makes such a change loud instead.
+        assert_eq!(
+            of_json(&Json::Null).to_hex(),
+            "d228cb69101a8caf78912b704e4a147f"
+        );
+        assert_eq!(
+            of_json(&Json::obj([("cycles", Json::UInt(42))])).to_hex(),
+            "c64a022f75cddc858d789dedc28b3472"
+        );
+    }
+
+    #[test]
+    fn structure_is_unambiguous() {
+        // Concatenation ambiguity: ["ab"] must differ from ["a", "b"].
+        let joined = Json::Arr(vec![Json::Str("ab".into())]);
+        let split = Json::Arr(vec![Json::Str("a".into()), Json::Str("b".into())]);
+        assert_ne!(of_json(&joined), of_json(&split));
+        // Nesting: [[1], 2] must differ from [1, [2]] and from [1, 2].
+        let a = Json::Arr(vec![Json::Arr(vec![Json::UInt(1)]), Json::UInt(2)]);
+        let b = Json::Arr(vec![Json::UInt(1), Json::Arr(vec![Json::UInt(2)])]);
+        let c = Json::Arr(vec![Json::UInt(1), Json::UInt(2)]);
+        assert_ne!(of_json(&a), of_json(&b));
+        assert_ne!(of_json(&a), of_json(&c));
+        // Type tags: 1 as UInt, Int-like float and string all differ.
+        assert_ne!(of_json(&Json::UInt(1)), of_json(&Json::Num(1.0)));
+        assert_ne!(of_json(&Json::UInt(1)), of_json(&Json::Str("1".into())));
+    }
+
+    #[test]
+    fn object_key_order_is_significant() {
+        let ab = json::parse(r#"{"a": 1, "b": 2}"#).unwrap();
+        let ba = json::parse(r#"{"b": 2, "a": 1}"#).unwrap();
+        assert_ne!(of_json(&ab), of_json(&ba));
+    }
+
+    #[test]
+    fn hash_fingerprints_are_deterministic() {
+        #[derive(Hash)]
+        struct Probe {
+            name: String,
+            sizes: Vec<usize>,
+            on: bool,
+        }
+        let probe = || Probe {
+            name: "mcf".into(),
+            sizes: vec![64, 2048],
+            on: true,
+        };
+        assert_eq!(of_hash(&probe()), of_hash(&probe()));
+        let mut other = probe();
+        other.sizes[1] = 4096;
+        assert_ne!(of_hash(&probe()), of_hash(&other));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_malformed_input() {
+        let fp = of_json(&Json::Str("round trip".into()));
+        assert_eq!(Fingerprint::parse_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(fp.to_hex().len(), 32);
+        assert_eq!(fp.to_hex(), fp.to_string());
+        for bad in ["", "abc", &"0".repeat(31), &"g".repeat(32), &"0".repeat(33)] {
+            assert_eq!(Fingerprint::parse_hex(bad), None, "accepted {bad:?}");
+        }
+        // Leading zeros survive the round trip.
+        let small = Fingerprint(7);
+        assert_eq!(Fingerprint::parse_hex(&small.to_hex()), Some(small));
+    }
+
+    #[test]
+    fn folded_64_bit_finish_matches_the_128_bit_state() {
+        let mut h = Hasher128::new();
+        h.write(b"fold");
+        let full = h.finish128().0;
+        assert_eq!(h.finish(), (full ^ (full >> 64)) as u64);
+    }
+}

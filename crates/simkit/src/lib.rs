@@ -8,6 +8,8 @@
 //! * [`json`] — a dependency-free JSON tree, parser and writer used by the
 //!   experiment session's machine-readable reports (serde is unavailable in
 //!   this offline build),
+//! * [`fingerprint`] — deterministic 128-bit content fingerprints over JSON
+//!   trees and hashable values, the keys of the on-disk result store,
 //! * [`rng`] — a small deterministic xorshift RNG used where reproducibility
 //!   matters more than statistical quality,
 //! * [`cycles`] — the `Cycle` newtype and simple clock bookkeeping.
@@ -28,6 +30,7 @@
 pub mod addr;
 pub mod config;
 pub mod cycles;
+pub mod fingerprint;
 pub mod json;
 pub mod rng;
 pub mod stats;
@@ -35,6 +38,7 @@ pub mod stats;
 pub use addr::{LineAddr, PhysAddr, VirtAddr};
 pub use config::SystemConfig;
 pub use cycles::Cycle;
+pub use fingerprint::Fingerprint;
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::SimRng;
 pub use stats::{Histogram, StatSet};

@@ -1,4 +1,5 @@
-//! Full-system assembly: processes, scheduling and the experiment session.
+//! Full-system assembly: processes, scheduling, the experiment session and
+//! the persistent result store.
 //!
 //! This crate plays the role gem5's full-system mode plus the run scripts play
 //! in the paper: it owns the cores, the (defended) memory model, the software
@@ -15,14 +16,21 @@
 //!   [`session::ExperimentSession`], run it in parallel with shared
 //!   `Unprotected` baselines, and get a JSON-serialisable
 //!   [`session::RunReport`] back.
-//! * [`experiment`] — the original free-function harness, now deprecated
-//!   shims over the session kept so older examples and tests migrate
-//!   incrementally.
+//! * [`store`] — a content-addressed, on-disk store of raw simulation
+//!   results, keyed by a fingerprint of (workload, defense, machine,
+//!   simulator version). Attached to a session via
+//!   [`session::ExperimentSession::with_store`], it makes re-running an
+//!   unchanged grid free: every cell is a cache hit and zero simulations
+//!   execute.
+//!
+//! The original free-function experiment harness (`simsys::experiment`) has
+//! been removed; [`session::ExperimentSession`] and the raw
+//! [`session::simulate`] primitive replace it.
 
-pub mod experiment;
 pub mod session;
+pub mod store;
 pub mod system;
 
-pub use experiment::ExperimentResult;
-pub use session::{CellResult, ExperimentSession, RunReport};
+pub use session::{CellResult, ExperimentResult, ExperimentSession, RunReport};
+pub use store::ResultStore;
 pub use system::{System, SystemReport};

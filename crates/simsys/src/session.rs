@@ -22,6 +22,14 @@
 //!   geometric means and wall-clock metadata — which serialises to JSON
 //!   through [`simkit::json`] (this build is offline, so that module stands
 //!   in for serde; the wire format is plain JSON).
+//! * **Persistent result store.** With
+//!   [`with_store`](ExperimentSession::with_store), every raw simulation is
+//!   keyed by a content fingerprint of its inputs and persisted in a
+//!   [`ResultStore`]. A re-run of an unchanged
+//!   grid — regenerating a figure after editing unrelated code — performs
+//!   zero simulations; [`CellResult::cached`] and
+//!   [`RunReport::sims_executed`] record the provenance so harnesses can
+//!   assert hit rates. See [`crate::store`] for the keying rules.
 //!
 //! # Example
 //!
@@ -42,11 +50,9 @@
 //! assert_eq!(report.baseline_sims, 2); // one Unprotected run per workload
 //! assert!(report.geomeans().iter().all(|g| *g > 0.0));
 //! ```
-//!
-//! The free functions in [`crate::experiment`] are deprecated shims over this
-//! session and will be removed once the remaining examples migrate.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -58,8 +64,84 @@ use simkit::stats::{geometric_mean, StatSet};
 use defenses::DefenseKind;
 use workloads::{Scale, Workload};
 
-use crate::experiment::ExperimentResult;
+use crate::store::{self, ResultStore};
 use crate::system::System;
+
+/// Result of running one workload under one configuration: the raw output of
+/// [`simulate`], before any baseline normalisation.
+///
+/// This is also the unit the on-disk [`ResultStore`] persists, so it
+/// round-trips through JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Workload name.
+    pub workload: String,
+    /// Defense label.
+    pub defense: String,
+    /// Simulated cycles to completion.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Whether the run finished within its cycle budget.
+    pub completed: bool,
+    /// All statistics collected from the cores and the memory model.
+    pub stats: StatSet,
+}
+
+impl ExperimentResult {
+    /// Instructions per cycle for this run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::Str(self.workload.clone())),
+            ("defense", Json::Str(self.defense.clone())),
+            ("cycles", Json::UInt(self.cycles)),
+            ("committed", Json::UInt(self.committed)),
+            ("completed", Json::Bool(self.completed)),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentResult {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let str_field = |name: &str| -> Result<String, JsonError> {
+            json.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| JsonError::missing(name))
+        };
+        Ok(ExperimentResult {
+            workload: str_field("workload")?,
+            defense: str_field("defense")?,
+            cycles: json
+                .get("cycles")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError::missing("cycles"))?,
+            committed: json
+                .get("committed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError::missing("committed"))?,
+            completed: json
+                .get("completed")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| JsonError::missing("completed"))?,
+            stats: StatSet::from_json(
+                json.get("stats")
+                    .ok_or_else(|| JsonError::missing("stats"))?,
+            )?,
+        })
+    }
+}
 
 /// One column of the experiment grid: a labelled defense on a machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +166,7 @@ pub struct ExperimentSession {
     threads: usize,
     memoize: bool,
     process_cache: bool,
+    store: Option<ResultStore>,
 }
 
 impl ExperimentSession {
@@ -99,6 +182,7 @@ impl ExperimentSession {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             memoize: true,
             process_cache: false,
+            store: None,
         }
     }
 
@@ -171,13 +255,37 @@ impl ExperimentSession {
         self
     }
 
-    /// Shares baseline runs through a process-wide cache, so separate sessions
-    /// over the same (workload, machine) pairs — e.g. the deprecated
-    /// free-function shims called in a loop — skip repeated baselines.
-    /// Off by default so [`RunReport::baseline_sims`] counts are
-    /// self-contained and tests stay order-independent.
+    /// Shares baseline runs through a process-wide in-memory cache, so
+    /// separate sessions over the same (workload, machine) pairs — e.g. a
+    /// harness constructing one session per sweep point — skip repeated
+    /// baselines. Off by default so [`RunReport::baseline_sims`] counts are
+    /// self-contained and tests stay order-independent. For persistence
+    /// *across* processes, use [`with_store`](Self::with_store) instead.
     pub fn process_cache(mut self, enabled: bool) -> Self {
         self.process_cache = enabled;
+        self
+    }
+
+    /// Backs the session with a content-addressed on-disk result store rooted
+    /// at `path` (created if absent). Every raw simulation — baselines and
+    /// grid cells — is looked up by an input fingerprint before being
+    /// dispatched and persisted after it completes, so re-running an
+    /// unchanged grid performs zero simulations. See [`crate::store`].
+    ///
+    /// # Panics
+    /// Panics if the store directory cannot be created; use
+    /// [`store`](Self::store) with [`ResultStore::open`] to handle the error.
+    pub fn with_store(self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let store = ResultStore::open(&path)
+            .unwrap_or_else(|e| panic!("cannot open result store at {}: {e}", path.display()));
+        self.store(Some(store))
+    }
+
+    /// Sets (or clears) the result store backing this session. See
+    /// [`with_store`](Self::with_store).
+    pub fn store(mut self, store: Option<ResultStore>) -> Self {
+        self.store = store;
         self
     }
 
@@ -218,15 +326,44 @@ impl ExperimentSession {
     ///
     /// Cells are executed in parallel across the configured thread pool;
     /// report ordering (workload-major, column-minor) is deterministic and
-    /// independent of the thread count.
+    /// independent of the thread count. With a [`store`](Self::with_store)
+    /// attached, each simulation is first looked up by input fingerprint and
+    /// results are persisted as they complete.
     pub fn run(self) -> RunReport {
         let started = Instant::now();
         let columns = self.columns();
         let baseline_counter = AtomicUsize::new(0);
+        let sim_counter = AtomicUsize::new(0);
+
+        // The one gateway to raw simulation: consult the store, simulate on a
+        // miss, persist the result. The returned flag is the store-hit
+        // provenance recorded in [`CellResult::cached`]. Store writes are
+        // best-effort — an unwritable store degrades to re-simulation, and
+        // concurrent writers are safe because entries land by atomic rename.
+        let run_or_load = |workload: &Workload,
+                           kind: DefenseKind,
+                           config: &SystemConfig|
+         -> (ExperimentResult, bool) {
+            let keyed = self
+                .store
+                .as_ref()
+                .map(|s| (s, store::cell_fingerprint(workload, kind, config)));
+            if let Some((s, key)) = &keyed {
+                if let Some(hit) = s.get(*key) {
+                    return (hit, true);
+                }
+            }
+            sim_counter.fetch_add(1, Ordering::Relaxed);
+            let result = simulate(workload, kind, config);
+            if let Some((s, key)) = &keyed {
+                let _ = s.put(*key, &result);
+            }
+            (result, false)
+        };
 
         // Phase A: one baseline per distinct (workload, baseline machine).
-        // Keys are the full (workload, config) pair — not a hash — so cache
-        // hits can never alias distinct experiments.
+        // Keys are the full (workload, config) pair — not a hash — so
+        // in-memory memoization can never alias distinct experiments.
         let mut baselines: BaselineCache = HashMap::new();
         if self.memoize {
             let mut jobs: Vec<BaselineKey> = Vec::new();
@@ -238,7 +375,22 @@ impl ExperimentSession {
                     }
                     if self.process_cache {
                         if let Some(hit) = process_cache_get(&key) {
-                            baselines.insert(key, hit);
+                            // In-memory reuse within this process, not a
+                            // store hit: provenance stays `cached: false`.
+                            // Write through to the store so a warm process
+                            // cache still leaves the store warm for the
+                            // next process.
+                            if let Some(s) = &self.store {
+                                let fp = store::cell_fingerprint(
+                                    &key.0,
+                                    DefenseKind::Unprotected,
+                                    &key.1,
+                                );
+                                if !s.contains(fp) {
+                                    let _ = s.put(fp, &hit);
+                                }
+                            }
+                            baselines.insert(key, (hit, false));
                             continue;
                         }
                     }
@@ -246,14 +398,17 @@ impl ExperimentSession {
                 }
             }
             let results = run_parallel(&jobs, self.threads, |(workload, config)| {
-                baseline_counter.fetch_add(1, Ordering::Relaxed);
-                Arc::new(simulate(workload, DefenseKind::Unprotected, config))
-            });
-            for (key, result) in jobs.into_iter().zip(results) {
-                if self.process_cache {
-                    process_cache_put(&key, Arc::clone(&result));
+                let (result, cached) = run_or_load(workload, DefenseKind::Unprotected, config);
+                if !cached {
+                    baseline_counter.fetch_add(1, Ordering::Relaxed);
                 }
-                baselines.insert(key, result);
+                (Arc::new(result), cached)
+            });
+            for (key, entry) in jobs.into_iter().zip(results) {
+                if self.process_cache {
+                    process_cache_put(&key, Arc::clone(&entry.0));
+                }
+                baselines.insert(key, entry);
             }
         }
 
@@ -265,23 +420,28 @@ impl ExperimentSession {
             .flat_map(|w| columns.iter().map(move |c| (w, c)))
             .collect();
         let cells = run_parallel(&cell_jobs, self.threads, |(workload, column)| {
-            let baseline: Arc<ExperimentResult> = if self.memoize {
+            let (baseline, baseline_cached): (Arc<ExperimentResult>, bool) = if self.memoize {
                 let key = ((*workload).clone(), baseline_machine(&column.config));
-                Arc::clone(&baselines[&key])
+                let (result, cached) = &baselines[&key];
+                (Arc::clone(result), *cached)
             } else {
-                baseline_counter.fetch_add(1, Ordering::Relaxed);
-                Arc::new(simulate(
+                let (result, cached) = run_or_load(
                     workload,
                     DefenseKind::Unprotected,
                     &baseline_machine(&column.config),
-                ))
+                );
+                if !cached {
+                    baseline_counter.fetch_add(1, Ordering::Relaxed);
+                }
+                (Arc::new(result), cached)
             };
             // An explicit Unprotected column *is* the baseline: reuse it
-            // rather than simulating the identical machine again.
-            let result = if column.kind == DefenseKind::Unprotected {
-                (*baseline).clone()
+            // rather than simulating the identical machine again, and
+            // inherit the baseline's provenance.
+            let (result, cached) = if column.kind == DefenseKind::Unprotected {
+                ((*baseline).clone(), baseline_cached)
             } else {
-                simulate(workload, column.kind, &column.config)
+                run_or_load(workload, column.kind, &column.config)
             };
             let normalized = if baseline.cycles == 0 {
                 1.0
@@ -295,6 +455,7 @@ impl ExperimentSession {
                 cycles: result.cycles,
                 committed: result.committed,
                 completed: result.completed,
+                cached,
                 baseline_cycles: baseline.cycles,
                 normalized_time: normalized,
                 stats: result.stats,
@@ -307,6 +468,7 @@ impl ExperimentSession {
             threads: self.threads,
             wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
             baseline_sims: baseline_counter.into_inner(),
+            sims_executed: sim_counter.into_inner(),
             workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
             columns: columns.into_iter().map(|c| c.label).collect(),
             cells,
@@ -395,13 +557,17 @@ fn run_parallel<T: Sync, R: Send>(
 /// machine. Full values, not hashes, so cache hits can never alias distinct
 /// experiments.
 type BaselineKey = (Workload, SystemConfig);
-type BaselineCache = HashMap<BaselineKey, Arc<ExperimentResult>>;
+/// Session-local baseline map: the shared result plus whether it came from
+/// the on-disk store (the provenance inherited by `Unprotected` columns).
+type BaselineCache = HashMap<BaselineKey, (Arc<ExperimentResult>, bool)>;
+/// The process-wide cache stores results only; store provenance is per-run.
+type ProcessCache = HashMap<BaselineKey, Arc<ExperimentResult>>;
 
 /// Process-wide baseline cache shared by sessions with
-/// [`ExperimentSession::process_cache`] enabled (notably the deprecated
-/// free-function shims, which construct a fresh session per call).
-fn process_cache() -> &'static Mutex<BaselineCache> {
-    static CACHE: OnceLock<Mutex<BaselineCache>> = OnceLock::new();
+/// [`ExperimentSession::process_cache`] enabled (harnesses that construct a
+/// fresh session per sweep point).
+fn process_cache() -> &'static Mutex<ProcessCache> {
+    static CACHE: OnceLock<Mutex<ProcessCache>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -428,6 +594,10 @@ pub struct CellResult {
     pub committed: u64,
     /// Whether the run finished within its cycle budget.
     pub completed: bool,
+    /// Whether this cell's simulation was satisfied by the on-disk result
+    /// store instead of being executed (always `false` without a store; for
+    /// `Unprotected` columns, the provenance of the shared baseline run).
+    pub cached: bool,
     /// Simulated cycles of the shared `Unprotected` baseline.
     pub baseline_cycles: u64,
     /// `cycles / baseline_cycles` (1.0 = no overhead; the y-axis of the
@@ -462,8 +632,13 @@ pub struct RunReport {
     pub threads: usize,
     /// Wall-clock duration of the whole grid, in milliseconds.
     pub wall_clock_ms: f64,
-    /// Number of `Unprotected` baseline simulations actually executed.
+    /// Number of `Unprotected` baseline simulations actually executed
+    /// (store and process-cache hits are not executions).
     pub baseline_sims: usize,
+    /// Total simulations actually executed for this report — baselines plus
+    /// grid cells, excluding every store, process-cache and memoization hit.
+    /// A re-run of an unchanged grid against a warm store reports zero.
+    pub sims_executed: usize,
     /// Workload names, grid order.
     pub workloads: Vec<String>,
     /// Column labels, grid order.
@@ -479,7 +654,9 @@ impl RunReport {
     }
 
     /// Total simulations this report paid for (cells that were not satisfied
-    /// by the baseline cache, plus the baselines themselves).
+    /// by the baseline cache, plus the baselines themselves). This is the
+    /// *logical* grid cost; [`sims_executed`](Self::sims_executed) is the
+    /// number actually run once store hits are subtracted.
     pub fn total_sims(&self) -> usize {
         let unprotected_cells = self
             .cells
@@ -487,6 +664,22 @@ impl RunReport {
             .filter(|cell| cell.defense == DefenseKind::Unprotected.label())
             .count();
         self.baseline_sims + self.cells.len() - unprotected_cells
+    }
+
+    /// Number of grid cells whose simulation came from the result store.
+    pub fn cached_cells(&self) -> usize {
+        self.cells.iter().filter(|cell| cell.cached).count()
+    }
+
+    /// Fraction of grid cells satisfied by the result store (0.0 with no
+    /// store or a cold one, 1.0 for a fully warm re-run; 0.0 for an empty
+    /// grid).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cells.is_empty() {
+            0.0
+        } else {
+            self.cached_cells() as f64 / self.cells.len() as f64
+        }
     }
 
     /// The geometric mean of each column's normalised times (the "geomean"
@@ -537,6 +730,7 @@ impl ToJson for CellResult {
             ("cycles", Json::UInt(self.cycles)),
             ("committed", Json::UInt(self.committed)),
             ("completed", Json::Bool(self.completed)),
+            ("cached", Json::Bool(self.cached)),
             ("baseline_cycles", Json::UInt(self.baseline_cycles)),
             ("normalized_time", Json::Num(self.normalized_time)),
             ("stats", self.stats.to_json()),
@@ -568,6 +762,10 @@ impl FromJson for CellResult {
                 .get("completed")
                 .and_then(Json::as_bool)
                 .ok_or_else(|| JsonError::missing("completed"))?,
+            cached: json
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| JsonError::missing("cached"))?,
             baseline_cycles: json
                 .get("baseline_cycles")
                 .and_then(Json::as_u64)
@@ -598,6 +796,7 @@ impl ToJson for RunReport {
             ("threads", Json::UInt(self.threads as u64)),
             ("wall_clock_ms", Json::Num(self.wall_clock_ms)),
             ("baseline_sims", Json::UInt(self.baseline_sims as u64)),
+            ("sims_executed", Json::UInt(self.sims_executed as u64)),
             (
                 "workloads",
                 Json::Arr(self.workloads.iter().cloned().map(Json::Str).collect()),
@@ -656,6 +855,10 @@ impl FromJson for RunReport {
                 .get("baseline_sims")
                 .and_then(Json::as_usize)
                 .ok_or_else(|| JsonError::missing("baseline_sims"))?,
+            sims_executed: json
+                .get("sims_executed")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| JsonError::missing("sims_executed"))?,
             workloads: str_list("workloads")?,
             columns: str_list("columns")?,
             cells: json
@@ -810,6 +1013,171 @@ mod tests {
             "second session must hit the process cache"
         );
         assert_eq!(first.cells, second.cells);
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        std::env::temp_dir().join(format!(
+            "muontrap-session-test-{tag}-{}-{nanos}",
+            std::process::id()
+        ))
+    }
+
+    /// Strips the store-provenance flag so cold and warm runs compare equal
+    /// on the simulation payload.
+    fn without_provenance(cells: &[CellResult]) -> Vec<CellResult> {
+        cells
+            .iter()
+            .cloned()
+            .map(|mut cell| {
+                cell.cached = false;
+                cell
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_store_rerun_simulates_nothing_and_matches_cell_for_cell() {
+        let dir = temp_store_dir("warm");
+        let session =
+            || tiny_session(2, &[DefenseKind::Unprotected, DefenseKind::MuonTrap]).with_store(&dir);
+        let cold = session().run();
+        assert_eq!(cold.baseline_sims, 2);
+        assert_eq!(cold.sims_executed, 4); // 2 baselines + 2 muontrap cells
+        assert_eq!(cold.cached_cells(), 0);
+        assert_eq!(cold.cache_hit_rate(), 0.0);
+
+        let warm = session().run();
+        assert_eq!(warm.sims_executed, 0, "warm store must satisfy every cell");
+        assert_eq!(warm.baseline_sims, 0);
+        assert_eq!(warm.cached_cells(), warm.cells.len());
+        assert_eq!(warm.cache_hit_rate(), 1.0);
+        assert!(warm.cells.iter().all(|cell| cell.cached));
+        assert_eq!(
+            without_provenance(&cold.cells),
+            without_provenance(&warm.cells),
+            "store hits must reproduce simulated results exactly"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_misses_only_the_changed_cells() {
+        let dir = temp_store_dir("partial");
+        let first = tiny_session(2, &[DefenseKind::MuonTrap])
+            .with_store(&dir)
+            .run();
+        assert_eq!(first.sims_executed, 4);
+
+        // Adding a column re-uses the stored baselines and MuonTrap cells;
+        // only the two new STT cells simulate.
+        let second = tiny_session(2, &[DefenseKind::MuonTrap, DefenseKind::SttSpectre])
+            .with_store(&dir)
+            .run();
+        assert_eq!(second.sims_executed, 2);
+        assert_eq!(second.baseline_sims, 0);
+        for (w, name) in second.workloads.iter().enumerate() {
+            assert!(second.cell(w, 0).cached, "{name} muontrap cell must hit");
+            assert!(!second.cell(w, 1).cached, "{name} stt cell must miss");
+        }
+        assert_eq!(second.cached_cells(), 2);
+        assert_eq!(second.cache_hit_rate(), 0.5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_store_entries_fall_back_to_resimulation() {
+        let dir = temp_store_dir("corrupt");
+        let session = || tiny_session(1, &[DefenseKind::MuonTrap]).with_store(&dir);
+        let cold = session().run();
+        assert_eq!(cold.sims_executed, 2);
+
+        // Vandalise every entry on disk; the rerun must quietly re-simulate
+        // everything and produce identical numbers.
+        let store = crate::store::ResultStore::open(&dir).unwrap();
+        let mut vandalised = 0;
+        for shard in std::fs::read_dir(&dir).unwrap() {
+            for entry in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+                std::fs::write(entry.unwrap().path(), "not json at all").unwrap();
+                vandalised += 1;
+            }
+        }
+        assert_eq!(vandalised, 2);
+        let recovered = session().run();
+        assert_eq!(
+            recovered.sims_executed, 2,
+            "corrupt entries must re-simulate"
+        );
+        assert_eq!(recovered.cached_cells(), 0);
+        assert_eq!(
+            without_provenance(&cold.cells),
+            without_provenance(&recovered.cells)
+        );
+        // And the rewrite healed the store.
+        assert_eq!(store.len(), 2);
+        assert_eq!(session().run().sims_executed, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn process_cache_hits_write_through_to_the_store() {
+        // A distinctive machine so concurrently-running tests cannot have
+        // primed the process cache for these keys.
+        let mut cfg = SystemConfig::small_test();
+        cfg.scheduler_quantum = 19_993;
+        let workloads: Vec<Workload> = spec_suite(Scale::Tiny)
+            .into_iter()
+            .skip(3)
+            .take(1)
+            .collect();
+        let session = || {
+            ExperimentSession::new()
+                .workloads(workloads.clone())
+                .defenses([DefenseKind::MuonTrap])
+                .config(cfg.clone())
+        };
+        // Prime the process cache with no store attached.
+        let first = session().process_cache(true).run();
+        assert_eq!(first.baseline_sims, 1);
+        // The baseline now comes from the process cache, but must still be
+        // written through to the newly attached store...
+        let dir = temp_store_dir("writethrough");
+        let second = session().process_cache(true).with_store(&dir).run();
+        assert_eq!(second.baseline_sims, 0);
+        // ...so a store-only rerun (e.g. a fresh process) is fully warm.
+        let third = session().with_store(&dir).run();
+        assert_eq!(
+            third.sims_executed, 0,
+            "process-cache hits must leave the store warm"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_respects_config_and_scale_changes() {
+        let dir = temp_store_dir("keys");
+        let report = tiny_session(1, &[DefenseKind::MuonTrap])
+            .with_store(&dir)
+            .run();
+        assert_eq!(report.sims_executed, 2);
+        // A different machine shares nothing with the stored entries.
+        let other_machine = tiny_session(1, &[DefenseKind::MuonTrap])
+            .config(SystemConfig::paper_default())
+            .with_store(&dir)
+            .run();
+        assert_eq!(other_machine.sims_executed, 2);
+        // A different workload set shares nothing either.
+        let other_workload = ExperimentSession::new()
+            .workloads(spec_suite(Scale::Tiny).into_iter().skip(1).take(1))
+            .defenses([DefenseKind::MuonTrap])
+            .config(SystemConfig::small_test())
+            .with_store(&dir)
+            .run();
+        assert_eq!(other_workload.sims_executed, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

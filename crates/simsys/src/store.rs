@@ -1,0 +1,370 @@
+//! Content-addressed, on-disk store of simulation results.
+//!
+//! The paper's evaluation is a large grid of (workload × defense ×
+//! filter-cache geometry) simulations, and regenerating a figure re-runs the
+//! whole grid even when nothing changed. [`ResultStore`] fixes that: every
+//! raw simulation result ([`ExperimentResult`]) is persisted under a stable
+//! [`Fingerprint`] of its *inputs* — the workload's µISA programs, the
+//! machine and defense configuration, and a simulator version salt — so a
+//! re-run of any grid whose inputs are unchanged is pure cache hits. The
+//! [`ExperimentSession`](crate::session::ExperimentSession) consults the
+//! store before dispatching each grid cell (see
+//! [`with_store`](crate::session::ExperimentSession::with_store)) and writes
+//! results back as they complete.
+//!
+//! # Keying
+//!
+//! [`cell_fingerprint`] builds a JSON descriptor of the simulation's inputs
+//! and hashes it with [`simkit::fingerprint::of_json`]:
+//!
+//! * the workload's name, thread count, memory sharing, cycle budget, and a
+//!   content hash of its µISA programs (so a regenerated kernel with the same
+//!   name but different code misses rather than aliasing),
+//! * the defense kind — including the full
+//!   [`ProtectionConfig`](simkit::config::ProtectionConfig) payload for
+//!   `MuonTrapCustom` entries, which share one label,
+//! * the complete [`SystemConfig`] (every knob that can change a result),
+//! * [`STORE_FORMAT_VERSION`] plus the simulator crate version, so upgrading
+//!   the simulator invalidates old entries instead of replaying them.
+//!
+//! Keys are conservative: two configurations that happen to simulate
+//! identically (e.g. differing only in a knob the chosen defense overrides)
+//! get distinct fingerprints and miss across each other. That costs a
+//! re-simulation, never a wrong result.
+//!
+//! # On-disk layout and concurrency
+//!
+//! Entries live at `<root>/<first two hex digits>/<remaining 30>.json`, each
+//! a small JSON document carrying its own fingerprint (verified on read).
+//! Writes go to a unique temp file in the destination directory followed by
+//! an atomic rename, so concurrent writers — the session's thread pool, or
+//! several figure binaries sharing one store — can never expose a partial
+//! entry. Unreadable, unparseable or mislabelled entries are treated as
+//! misses and re-simulated; a corrupt store degrades to a slow one, never a
+//! wrong one.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use simkit::config::SystemConfig;
+use simkit::fingerprint::{self, Fingerprint};
+use simkit::json::{self, FromJson, Json, ToJson};
+
+use defenses::DefenseKind;
+use workloads::Workload;
+
+use crate::session::ExperimentResult;
+
+/// Version of the store's key derivation and entry layout. Bump on any
+/// change to [`cell_fingerprint`], the entry schema, or simulation semantics
+/// not captured by the crate version; old entries then miss instead of
+/// serving stale results.
+pub const STORE_FORMAT_VERSION: u64 = 1;
+
+/// The version salt mixed into every fingerprint.
+fn version_salt() -> Json {
+    Json::obj([
+        ("store_format", Json::UInt(STORE_FORMAT_VERSION)),
+        (
+            "simulator",
+            Json::Str(env!("CARGO_PKG_VERSION").to_string()),
+        ),
+    ])
+}
+
+/// The stable fingerprint of one raw simulation: `workload` run under `kind`
+/// on the machine described by `config`.
+///
+/// Equal inputs always produce equal fingerprints within one simulator
+/// version; see the module docs for exactly what is keyed.
+pub fn cell_fingerprint(
+    workload: &Workload,
+    kind: DefenseKind,
+    config: &SystemConfig,
+) -> Fingerprint {
+    let defense = match kind {
+        // Custom kinds share the "muontrap-custom" label; the protection
+        // payload is what distinguishes them.
+        DefenseKind::MuonTrapCustom(protection) => Json::obj([
+            ("label", Json::Str(kind.label().to_string())),
+            ("protection", protection.to_json()),
+        ]),
+        _ => Json::obj([("label", Json::Str(kind.label().to_string()))]),
+    };
+    let descriptor = Json::obj([
+        ("version", version_salt()),
+        (
+            "workload",
+            Json::obj([
+                ("name", Json::Str(workload.name.clone())),
+                ("threads", Json::UInt(workload.num_threads() as u64)),
+                ("shared_memory", Json::Bool(workload.shared_memory)),
+                ("cycle_budget", Json::UInt(workload.cycle_budget)),
+                (
+                    "programs",
+                    Json::Str(fingerprint::of_hash(&workload.thread_programs).to_hex()),
+                ),
+            ]),
+        ),
+        ("defense", defense),
+        ("config", config.to_json()),
+    ]);
+    fingerprint::of_json(&descriptor)
+}
+
+/// A content-addressed result store rooted at one directory.
+///
+/// Cloning is cheap (the root path); clones share the same on-disk state, as
+/// do stores opened on the same path by different processes.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    root: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    /// Returns the I/O error if the root directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ResultStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path an entry with this fingerprint lives at (whether or not it
+    /// exists yet). Exposed so tests can corrupt entries deliberately.
+    pub fn entry_path(&self, key: Fingerprint) -> PathBuf {
+        let hex = key.to_hex();
+        self.root
+            .join(&hex[..2])
+            .join(format!("{}.json", &hex[2..]))
+    }
+
+    /// Looks up a stored result.
+    ///
+    /// Any defect — missing file, unreadable bytes, malformed JSON, a schema
+    /// mismatch, or an entry whose recorded fingerprint disagrees with its
+    /// address — reads as a miss (`None`), so callers fall back to
+    /// re-simulation rather than propagating corruption.
+    pub fn get(&self, key: Fingerprint) -> Option<ExperimentResult> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let entry = json::parse(&text).ok()?;
+        let recorded = entry.get("fingerprint")?.as_str()?;
+        if Fingerprint::parse_hex(recorded) != Some(key) {
+            return None;
+        }
+        ExperimentResult::from_json(entry.get("result")?).ok()
+    }
+
+    /// Whether an entry for `key` exists and decodes cleanly.
+    pub fn contains(&self, key: Fingerprint) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Persists `result` under `key`, atomically.
+    ///
+    /// The entry is written to a unique temp file in the destination
+    /// directory and renamed into place, so a concurrent [`get`](Self::get)
+    /// sees either nothing or the complete entry — never a partial write.
+    /// Last writer wins; all writers for one key hold identical content
+    /// (simulations are deterministic), so the race is benign.
+    ///
+    /// # Errors
+    /// Returns the I/O error if the entry cannot be written or renamed.
+    pub fn put(&self, key: Fingerprint, result: &ExperimentResult) -> io::Result<()> {
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = self.entry_path(key);
+        let dir = path.parent().expect("entry paths always have a parent");
+        fs::create_dir_all(dir)?;
+        let entry = Json::obj([
+            ("fingerprint", Json::Str(key.to_hex())),
+            ("result", result.to_json()),
+        ]);
+        let temp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::write(&temp, entry.to_string_pretty())?;
+        match fs::rename(&temp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Don't leave temp droppings behind on a failed rename.
+                let _ = fs::remove_file(&temp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of entries on disk (files in the two-level layout). Walks the
+    /// directory; intended for tests and reporting, not hot paths.
+    pub fn len(&self) -> usize {
+        let Ok(shards) = fs::read_dir(&self.root) else {
+            return 0;
+        };
+        shards
+            .filter_map(|shard| fs::read_dir(shard.ok()?.path()).ok())
+            .flatten()
+            .filter(|entry| {
+                entry
+                    .as_ref()
+                    .map(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::simulate;
+    use simkit::config::ProtectionConfig;
+    use workloads::{spec_suite, Scale};
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "muontrap-store-test-{tag}-{}-{nanos}",
+            std::process::id()
+        ));
+        ResultStore::open(dir).expect("temp store opens")
+    }
+
+    fn sample() -> (Workload, SystemConfig) {
+        (
+            spec_suite(Scale::Tiny).into_iter().next().unwrap(),
+            SystemConfig::small_test(),
+        )
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive_to_every_input() {
+        let (w, cfg) = sample();
+        let base = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        // Stability: same inputs, same fingerprint, across repeated derivations.
+        assert_eq!(base, cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg));
+
+        // Sensitivity: defense kind, machine config, workload parameters and
+        // workload *code* must all change the key.
+        assert_ne!(base, cell_fingerprint(&w, DefenseKind::SttSpectre, &cfg));
+        assert_ne!(
+            base,
+            cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg.with_data_filter(64, 1))
+        );
+        let mut longer = w.clone();
+        longer.cycle_budget += 1;
+        assert_ne!(base, cell_fingerprint(&longer, DefenseKind::MuonTrap, &cfg));
+        let mut renamed = w.clone();
+        renamed.name.push('2');
+        assert_ne!(
+            base,
+            cell_fingerprint(&renamed, DefenseKind::MuonTrap, &cfg)
+        );
+        let other_code = spec_suite(Scale::Tiny).into_iter().nth(1).unwrap();
+        let mut impostor = other_code.clone();
+        impostor.name = w.name.clone();
+        impostor.cycle_budget = w.cycle_budget;
+        assert_ne!(
+            base,
+            cell_fingerprint(&impostor, DefenseKind::MuonTrap, &cfg),
+            "same name, different programs must not alias"
+        );
+    }
+
+    #[test]
+    fn custom_kinds_are_distinguished_by_their_protection_payload() {
+        let (w, cfg) = sample();
+        let a = DefenseKind::MuonTrapCustom(ProtectionConfig::insecure_l0());
+        let b = DefenseKind::MuonTrapCustom(ProtectionConfig::muontrap_default());
+        assert_eq!(a.label(), b.label());
+        assert_ne!(cell_fingerprint(&w, a, &cfg), cell_fingerprint(&w, b, &cfg));
+    }
+
+    #[test]
+    fn put_get_round_trips_a_result() {
+        let store = temp_store("roundtrip");
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        assert_eq!(store.get(key), None);
+        assert!(!store.contains(key));
+
+        let result = simulate(&w, DefenseKind::MuonTrap, &cfg);
+        store.put(key, &result).expect("put succeeds");
+        assert_eq!(store.get(key), Some(result));
+        assert!(store.contains(key));
+        assert_eq!(store.len(), 1);
+        // Overwrite is idempotent.
+        store
+            .put(key, &simulate(&w, DefenseKind::MuonTrap, &cfg))
+            .unwrap();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn corrupted_entries_read_as_misses() {
+        let store = temp_store("corrupt");
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        let result = simulate(&w, DefenseKind::MuonTrap, &cfg);
+        store.put(key, &result).unwrap();
+
+        // Truncated JSON.
+        fs::write(store.entry_path(key), "{\"fingerprint\": \"dead").unwrap();
+        assert_eq!(store.get(key), None);
+        // Valid JSON, wrong schema.
+        fs::write(store.entry_path(key), "[1, 2, 3]").unwrap();
+        assert_eq!(store.get(key), None);
+        // A complete entry filed under the wrong address.
+        let other = Fingerprint(key.0 ^ 1);
+        fs::create_dir_all(store.entry_path(other).parent().unwrap()).unwrap();
+        fs::copy(store.entry_path(key), store.entry_path(other)).ok();
+        store.put(key, &result).unwrap(); // restore the real entry
+        fs::copy(store.entry_path(key), store.entry_path(other)).unwrap();
+        assert_eq!(
+            store.get(other),
+            None,
+            "entry with mismatched fingerprint must not be served"
+        );
+        // The intact entry still hits.
+        assert_eq!(store.get(key), Some(result));
+    }
+
+    #[test]
+    fn concurrent_writers_never_expose_partial_entries() {
+        let store = temp_store("parallel");
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        let result = simulate(&w, DefenseKind::MuonTrap, &cfg);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        store.put(key, &result).unwrap();
+                        if let Some(read) = store.get(key) {
+                            assert_eq!(read, result);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.get(key), Some(result));
+        assert_eq!(store.len(), 1, "temp files must not linger as entries");
+    }
+}

@@ -12,16 +12,18 @@
 //! * [`muontrap`] — the paper's contribution: speculative filter caches;
 //! * [`defenses`] — the unprotected baseline, InvisiSpec and STT comparisons;
 //! * [`workloads`] — SPEC-like and Parsec-like synthetic kernels;
-//! * [`simsys`] — processes, scheduling and the experiment session;
+//! * [`simsys`] — processes, scheduling, the experiment session and the
+//!   content-addressed result store;
 //! * [`attacks`] — the six attack litmus tests.
 //!
 //! # Quickstart
 //!
-//! Experiments are grids declared on an [`ExperimentSession`]: workloads on
+//! Experiments are grids declared on an
+//! [`ExperimentSession`](simsys::session::ExperimentSession): workloads on
 //! one axis, defenses on the other. The session runs every `Unprotected`
 //! baseline once per workload, shares it across all columns, fans the cells
 //! out over a thread pool, and returns a structured, JSON-serialisable
-//! [`RunReport`]:
+//! [`RunReport`](simsys::session::RunReport):
 //!
 //! ```
 //! use muontrap_repro::prelude::*;
@@ -47,15 +49,34 @@
 //! assert!(json.contains("\"baseline_sims\":2"));
 //! ```
 //!
-//! # Deprecation path
+//! # Persistent result store
 //!
-//! The original free-function API ([`simsys::experiment`]: `run_workload`,
-//! `normalized_time`, `normalized_times`, `with_filter_cache`,
-//! `write_invalidate_rate`) is deprecated. The functions remain as thin
-//! shims over the session — routed through its process-wide baseline cache,
-//! so legacy call-in-a-loop patterns no longer re-simulate the baseline —
-//! and will be removed once downstream code has migrated. See the
-//! [`simsys::experiment`] module docs for the call-by-call migration map.
+//! Backing a session with [`simsys::store::ResultStore`] (via
+//! `with_store(path)`, or `--store DIR` on every figure binary) persists each
+//! raw simulation content-addressed on a fingerprint of its inputs. A re-run
+//! of an unchanged grid performs **zero** simulations — check
+//! `RunReport::sims_executed` and the per-cell `cached` flags:
+//!
+//! ```
+//! use muontrap_repro::prelude::*;
+//! # let nanos = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().subsec_nanos();
+//! # let dir = std::env::temp_dir().join(format!("muontrap-doc-{}-{nanos}", std::process::id()));
+//! let grid = || ExperimentSession::new()
+//!     .workloads(spec_suite(Scale::Tiny).into_iter().take(1))
+//!     .defenses([DefenseKind::MuonTrap])
+//!     .config(SystemConfig::small_test())
+//!     .with_store(&dir);
+//! let cold = grid().run();
+//! let warm = grid().run();
+//! assert!(cold.sims_executed > 0);
+//! assert_eq!(warm.sims_executed, 0); // every cell was a store hit
+//! assert_eq!(warm.cache_hit_rate(), 1.0);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
+//! The original free-function API (`simsys::experiment`) has been removed;
+//! grids go through [`ExperimentSession`](simsys::session::ExperimentSession)
+//! and single raw runs through [`simsys::session::simulate`].
 
 pub use attacks;
 pub use defenses;
@@ -76,16 +97,14 @@ pub mod prelude {
     pub use simkit::config::{ProtectionConfig, SystemConfig};
     pub use simkit::json::{FromJson, Json, ToJson};
     pub use simkit::stats::geometric_mean;
-    pub use simsys::session::{CellResult, ExperimentSession, RunReport};
+    pub use simsys::session::{
+        simulate, CellResult, ExperimentResult, ExperimentSession, RunReport,
+    };
+    pub use simsys::store::ResultStore;
     pub use simsys::System;
     pub use uarch_isa::prog::ProgramBuilder;
     pub use uarch_isa::reg::Reg;
     pub use workloads::{parsec_suite, spec_suite, Scale, Workload};
-
-    // The deprecated free-function harness stays in the prelude until every
-    // downstream caller has migrated to `ExperimentSession`.
-    #[allow(deprecated)]
-    pub use simsys::experiment::{normalized_time, normalized_times, run_workload};
 }
 
 #[cfg(test)]

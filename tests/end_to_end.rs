@@ -188,3 +188,38 @@ fn context_switch_flush_cost_appears_in_time_sliced_runs() {
         "every context switch must flush the filter caches"
     );
 }
+
+#[test]
+fn warm_result_store_regenerates_a_mixed_grid_without_simulating() {
+    // End-to-end store check at the facade level: a grid mixing named and
+    // custom defenses (the hardest keying case — custom kinds share a label
+    // and differ only in their ProtectionConfig payload) regenerates from a
+    // warm store with zero simulations and identical numbers.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    let dir =
+        std::env::temp_dir().join(format!("muontrap-e2e-store-{}-{nanos}", std::process::id()));
+    let suite = spec_suite(Scale::Tiny);
+    let grid = || {
+        ExperimentSession::new()
+            .workloads(suite.iter().take(2).cloned())
+            .defenses_labeled(bench_configs().into_iter().map(|(l, k)| (l.to_string(), k)))
+            .config(SystemConfig::small_test())
+            .with_store(&dir)
+    };
+    let cold = grid().run();
+    assert_eq!(cold.sims_executed, cold.total_sims());
+    assert_eq!(cold.cached_cells(), 0);
+
+    let warm = grid().run();
+    assert_eq!(warm.sims_executed, 0, "warm store must satisfy the grid");
+    assert_eq!(warm.cached_cells(), warm.cells.len());
+    for (a, b) in cold.cells.iter().zip(&warm.cells) {
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.normalized_time, b.normalized_time);
+        assert_eq!(a.stats, b.stats);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
