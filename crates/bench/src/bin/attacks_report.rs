@@ -1,15 +1,42 @@
 //! Runs attacks 1-6 against each memory-system configuration and prints which
-//! configurations leak (the paper's security argument, in executable form).
-//! `--json` emits one JSON object per (attack, defense) outcome. Accepts the
-//! shared flags (`--scale`, `--threads`, `--store`) for interface uniformity;
-//! attack litmus tests are security probes, not performance grid cells, so
-//! they always execute rather than being served from the store.
+//! configurations leak (the paper's security argument, in executable form),
+//! followed by the §4.8 domain-switch stress grid: the syscall/sandbox-heavy
+//! kernels — which force a filter-cache flush every few hundred instructions
+//! — under the figure-3 defense set. `--json` emits one object with a
+//! `security` array of (attack, defense) outcomes and a `domain_switch` run
+//! report. The attack litmus tests are security probes, not performance grid
+//! cells, so they always execute; the domain-switch grid is a normal session
+//! grid and honours `--scale`, `--threads`, `--store` and `--events`. For a
+//! sharded run of the grid alone, use `shard --figure domain`.
+
+use simkit::json::{Json, ToJson};
+
 fn main() {
     let options = bench::cli::parse_or_exit();
+    if options.shard_id.is_some() {
+        eprintln!(
+            "attacks_report mixes security probes with the domain-switch grid and \
+             cannot run as one shard; use `shard --figure domain` for the grid"
+        );
+        std::process::exit(2);
+    }
     let config = simkit::config::SystemConfig::paper_default();
+    let store = options.open_store();
+    let mut events = bench::cli::open_events(&options);
+    let domain =
+        bench::domain_switch_session(options.scale, &config, options.threads, store.as_ref())
+            .run_with_events(match &mut events {
+                Some(file) => Some(file),
+                None => None,
+            });
     if options.json {
-        println!("{}", bench::security_json(&config).to_string_pretty());
+        let document = Json::obj([
+            ("security", bench::security_json(&config)),
+            ("domain_switch", domain.to_json()),
+        ]);
+        println!("{}", document.to_string_pretty());
     } else {
         println!("{}", bench::security_matrix(&config));
+        println!("{}", bench::Figure::from_report(&domain).render());
     }
 }

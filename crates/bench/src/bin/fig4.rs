@@ -1,7 +1,8 @@
 //! Regenerates figure 4 of the paper. Run with `--release`; see `--help`
-//! for the shared flags (`--json`, `--scale`, `--threads`, `--store`, `--tiny`).
+//! for the shared flags (`--json`, `--scale`, `--threads`, `--store`,
+//! `--events`, `--shard-id`/`--shard-count`, `--tiny`).
 fn main() {
     bench::cli::figure_main(|options, config, store| {
-        bench::figure4(options.scale, config, options.threads, store)
+        bench::figure4_session(options.scale, config, options.threads, store)
     });
 }

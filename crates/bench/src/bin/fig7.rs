@@ -1,18 +1,14 @@
 //! Regenerates figure 7 of the paper (invalidation-broadcast rates). Run
 //! with `--release`; see `--help` for the shared flags (`--json`, `--scale`,
-//! `--threads`, `--store`, `--tiny`). The `--json` report is the full session
-//! `RunReport`; the per-workload rates the text mode renders come from the
-//! `muontrap.*` counters in each cell's stats.
+//! `--threads`, `--store`, `--events`, `--shard-id`/`--shard-count`,
+//! `--tiny`). The `--json` report is the full session `RunReport`; the
+//! per-workload rates the text mode renders come from the `muontrap.*`
+//! counters in each cell's stats.
 fn main() {
-    let options = bench::cli::parse_or_exit();
-    let config = simkit::config::SystemConfig::paper_default();
-    let store = options.open_store();
-    let report = bench::figure7(options.scale, &config, options.threads, store.as_ref());
-    if options.json {
-        use simkit::json::ToJson;
-        println!("{}", report.to_json().to_string_pretty());
-    } else {
-        println!("{}", bench::table1());
-        println!("{}", bench::invalidate_rates(&report).render());
-    }
+    bench::cli::figure_main_rendered(
+        |options, config, store| {
+            bench::figure7_session(options.scale, config, options.threads, store)
+        },
+        |report| bench::invalidate_rates(report).render(),
+    );
 }

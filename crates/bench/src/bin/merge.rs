@@ -1,0 +1,107 @@
+//! Folds shard event logs back into the deterministic figure report.
+//!
+//! `merge` rebuilds the named figure's [`Plan`](simsys::runner::Plan) (the
+//! same pure derivation every shard used), reads any number of JSONL event
+//! logs, and emits the merged [`RunReport`](simsys::session::RunReport) as
+//! JSON on stdout — identical in content to what a single-process
+//! `figN --json` run of the same grid produces. Events are deduplicated per
+//! work unit with execution provenance preferred, so feeding it a killed
+//! shard's partial log alongside the resumed run's log keeps the
+//! simulated-once accounting intact.
+//!
+//! ```text
+//! merge --figure fig5 --scale small s0.jsonl s1.jsonl > figure5.json
+//! ```
+//!
+//! Pass `--scale`/`--threads` matching the shard invocations so the rebuilt
+//! plan (title, grid shape, recorded thread count) lines up. Incomplete logs
+//! — a grid cell no stream resolved — are an error, not a silent hole.
+
+use simkit::json::ToJson;
+use simsys::runner;
+
+fn main() {
+    let mut figure: Option<String> = None;
+    let mut logs: Vec<std::path::PathBuf> = Vec::new();
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--figure" {
+            match args.next() {
+                Some(value) => figure = Some(value),
+                None => exit_usage("--figure needs a name"),
+            }
+        } else if arg == "--help" || arg == "-h" {
+            println!("{}", usage());
+            return;
+        } else if arg.starts_with("--") {
+            rest.push(arg.clone());
+            // Forward the flag's value too, when it takes one.
+            if matches!(
+                arg.as_str(),
+                "--scale" | "--threads" | "--store" | "--run-id"
+            ) {
+                if let Some(value) = args.next() {
+                    rest.push(value);
+                }
+            }
+        } else {
+            logs.push(std::path::PathBuf::from(arg));
+        }
+    }
+    let options = match bench::cli::CliOptions::parse(&rest) {
+        Ok(options) => options,
+        Err(message) => exit_usage(&message),
+    };
+    let Some(figure) = figure else {
+        exit_usage("--figure NAME is required");
+    };
+    if logs.is_empty() {
+        exit_usage("at least one event log is required");
+    }
+
+    let config = simkit::config::SystemConfig::paper_default();
+    let Some(session) =
+        bench::figure_session(&figure, options.scale, &config, options.threads, None)
+    else {
+        exit_usage(&format!(
+            "unknown figure `{figure}` (expected one of {})",
+            bench::FIGURE_NAMES.join(", ")
+        ));
+    };
+    let plan = session.plan();
+
+    let mut events = Vec::new();
+    for path in &logs {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open event log {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let parsed = runner::read_events(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(2);
+        });
+        events.extend(parsed);
+    }
+    let wall_clock_ms = runner::merged_wall_clock_ms(events.iter());
+    match runner::merge_events(&plan, events, wall_clock_ms) {
+        Ok(report) => println!("{}", report.to_json().to_string_pretty()),
+        Err(e) => {
+            eprintln!("merge failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() -> String {
+    format!(
+        "usage: merge --figure NAME [--scale tiny|small|large] [--threads N] \
+         EVENTS.jsonl [EVENTS.jsonl ...]\nfigures: {}",
+        bench::FIGURE_NAMES.join(", ")
+    )
+}
+
+fn exit_usage(message: &str) -> ! {
+    eprintln!("{message}\n{}", usage());
+    std::process::exit(2);
+}

@@ -1,33 +1,54 @@
-//! Regenerates the entire evaluation — Table 1, figures 3–9 and the security
-//! matrix — as one JSON document (always JSON; there is no text mode). This
-//! is the one-shot artefact-regeneration entry point:
+//! Regenerates the entire evaluation — Table 1, figures 3–9, the §4.8
+//! domain-switch stress grid and the security matrix — as one JSON document
+//! (always JSON; there is no text mode). This is the one-shot
+//! artefact-regeneration entry point:
 //!
 //! ```text
 //! cargo run --release --bin report -- --scale small --threads 8 > evaluation.json
 //! ```
 //!
-//! With `--store DIR` (or `MUONTRAP_STORE`), every simulation result is
-//! persisted content-addressed on its inputs: the first run fills the store,
-//! and a second run regenerates the full document with zero simulations. The
-//! emitted `sims_executed` / per-cell `cached` fields record the provenance.
+//! Every grid goes through the [`simsys::runner`] plan/execute/stream/merge
+//! pipeline. With `--store DIR` (or `MUONTRAP_STORE`), every simulation
+//! result is persisted content-addressed on its inputs: the first run fills
+//! the store, and a second run regenerates the full document with zero
+//! simulations. A store already populated by sharded `shard`/`merge` runs of
+//! the individual figures serves this document for free, because planning is
+//! host-independent and the fingerprints agree by construction. The emitted
+//! `sims_executed` / per-cell `cached` fields record the provenance, and
+//! `--events FILE` streams per-unit progress while the document builds.
 use simkit::json::{Json, ToJson};
 
 fn main() {
     let options = bench::cli::parse_or_exit();
+    if options.shard_id.is_some() {
+        eprintln!(
+            "report regenerates every figure and cannot run as one shard; \
+             use `shard --figure <name>` per figure and fold with `merge`"
+        );
+        std::process::exit(2);
+    }
     let config = simkit::config::SystemConfig::paper_default();
     let store = options.open_store();
-    let figures: Vec<Json> = [
-        bench::figure3,
-        bench::figure4,
-        bench::figure5,
-        bench::figure6,
-        bench::figure7,
-        bench::figure8,
-        bench::figure9,
-    ]
-    .iter()
-    .map(|figure| figure(options.scale, &config, options.threads, store.as_ref()).to_json())
-    .collect();
+    let mut events = bench::cli::open_events(&options);
+    let figures: Vec<Json> = bench::FIGURE_NAMES
+        .iter()
+        .map(|name| {
+            let session = bench::figure_session(
+                name,
+                options.scale,
+                &config,
+                options.threads,
+                store.as_ref(),
+            )
+            .expect("every listed figure resolves");
+            session
+                .run_with_events(match &mut events {
+                    Some(file) => Some(file),
+                    None => None,
+                })
+                .to_json()
+        })
+        .collect();
     let document = Json::obj([
         ("scale", Json::Str(options.scale.to_string())),
         ("table1", bench::table1_json()),

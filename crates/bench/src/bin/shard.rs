@@ -1,0 +1,100 @@
+//! Executes one shard of a named figure's plan against a shared store.
+//!
+//! Every shard of a run is handed the same figure name, scale and store
+//! directory plus a shared `--run-id`; each rebuilds the identical
+//! [`Plan`](simsys::runner::Plan) (planning is pure and host-independent) and
+//! then claims units through expiring lease files under the store — so the
+//! shards need no network, no coordinator and no shared memory, only the
+//! directory. Progress streams to `--events FILE` as JSONL
+//! [`RunEvent`](simsys::runner::RunEvent)s; the shard prints its
+//! [`ShardSummary`](simsys::runner::ShardSummary) as JSON on completion.
+//!
+//! ```text
+//! # Two processes (or hosts with a shared filesystem), one grid:
+//! shard --figure fig5 --scale small --store /data/store \
+//!       --shard-id 0 --shard-count 2 --run-id nightly --events s0.jsonl &
+//! shard --figure fig5 --scale small --store /data/store \
+//!       --shard-id 1 --shard-count 2 --run-id nightly --events s1.jsonl &
+//! wait
+//! merge --figure fig5 --scale small s0.jsonl s1.jsonl > figure5.json
+//! ```
+//!
+//! A shard killed mid-run leaves expiring leases and a partial event log;
+//! re-running it (same `--run-id`) steals the expired leases, serves the
+//! already-stored results as cache hits, and completes the grid with no
+//! simulation repeated.
+
+use simkit::json::ToJson;
+
+fn main() {
+    let mut figure: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--figure" {
+            match args.next() {
+                Some(value) => figure = Some(value),
+                None => exit_usage("--figure needs a name"),
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return;
+    }
+    let options = match bench::cli::CliOptions::parse(&rest) {
+        Ok(options) => options,
+        Err(message) => exit_usage(&message),
+    };
+    let Some(figure) = figure else {
+        exit_usage("--figure NAME is required");
+    };
+    let Some(shard) = options.shard_options() else {
+        exit_usage("--shard-id I (and --shard-count N) are required");
+    };
+    let Some(events_path) = options.events.as_ref() else {
+        exit_usage("--events FILE is required (merge folds the logs)");
+    };
+
+    let config = simkit::config::SystemConfig::paper_default();
+    let store = options.open_store();
+    let Some(session) = bench::figure_session(
+        &figure,
+        options.scale,
+        &config,
+        options.threads,
+        store.as_ref(),
+    ) else {
+        exit_usage(&format!(
+            "unknown figure `{figure}` (expected one of {})",
+            bench::FIGURE_NAMES.join(", ")
+        ));
+    };
+    let mut events = std::fs::File::create(events_path).unwrap_or_else(|e| {
+        eprintln!("cannot create event log {}: {e}", events_path.display());
+        std::process::exit(2);
+    });
+    match session.run_sharded(&shard, &mut events) {
+        Ok(summary) => println!("{}", summary.to_json().to_string_pretty()),
+        Err(e) => {
+            eprintln!("shard {} failed: {e}", shard.shard_id);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() -> String {
+    format!(
+        "usage: shard --figure NAME --store DIR --shard-id I --shard-count N \
+         --events FILE [--run-id ID] [--scale tiny|small|large] [--threads N]\n\
+         figures: {}",
+        bench::FIGURE_NAMES.join(", ")
+    )
+}
+
+fn exit_usage(message: &str) -> ! {
+    eprintln!("{message}\n{}", usage());
+    std::process::exit(2);
+}

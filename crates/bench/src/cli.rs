@@ -1,6 +1,6 @@
 //! The tiny shared argument parser behind every figure binary.
 //!
-//! All ten binaries accept the same flags:
+//! All the binaries accept the same flags:
 //!
 //! * `--json` — emit the machine-readable report instead of the text table,
 //! * `--scale <tiny|small|large>` — workload scale (default `small`),
@@ -10,6 +10,18 @@
 //!   re-run, and new results are persisted for the next invocation. Defaults
 //!   to the `MUONTRAP_STORE` environment variable when set,
 //! * `--no-store` — ignore `MUONTRAP_STORE` and any earlier `--store`,
+//! * `--store-readonly` — open the store read-only: hits are served, misses
+//!   simulate but are never written back (CI reusing a store artifact),
+//! * `--events <file>` — stream one [`simsys::runner::RunEvent`] JSONL line
+//!   per resolved work unit to `file` while the run progresses,
+//! * `--shard-id <i> --shard-count <n>` — run as shard *i* of an *n*-process
+//!   cooperating run (requires `--store` and `--events`; shards coordinate
+//!   through lease files under the store). The binary then prints a
+//!   [`simsys::runner::ShardSummary`] instead of a report; fold the event logs with the
+//!   `merge` binary,
+//! * `--run-id <id>` — the identifier shared by every shard of one logical
+//!   run (and reused when resuming it). Required with `--shard-id`, and must
+//!   be unique per logical run,
 //! * `--tiny` — backwards-compatible alias for `--scale tiny`,
 //! * `--help` — print usage.
 
@@ -17,9 +29,16 @@ use std::path::PathBuf;
 
 use simkit::config::SystemConfig;
 use simkit::json::ToJson;
-use simsys::session::RunReport;
+use simsys::runner::ShardOptions;
+use simsys::session::{ExperimentSession, RunReport};
 use simsys::store::ResultStore;
 use workloads::Scale;
+
+/// The placeholder run id of non-sharded invocations. Sharded runs must
+/// name their own (see [`CliOptions::parse`]): freshness provenance is
+/// keyed on it, so silently sharing a default across distinct runs would
+/// corrupt the cached/fresh accounting of every later run on the store.
+const DEFAULT_RUN_ID: &str = "adhoc";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +52,16 @@ pub struct CliOptions {
     /// Result-store directory, if any (`--store`, else `MUONTRAP_STORE`,
     /// either silenced by `--no-store`).
     pub store: Option<PathBuf>,
+    /// Open the store read-only (`--store-readonly`).
+    pub store_readonly: bool,
+    /// Stream JSONL run events to this file (`--events`).
+    pub events: Option<PathBuf>,
+    /// Run as this shard of a multi-process run (`--shard-id`).
+    pub shard_id: Option<usize>,
+    /// Total shards of the run (`--shard-count`, default 1).
+    pub shard_count: usize,
+    /// Identifier shared by all shards of one logical run (`--run-id`).
+    pub run_id: String,
 }
 
 impl Default for CliOptions {
@@ -42,6 +71,11 @@ impl Default for CliOptions {
             scale: Scale::Small,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             store: std::env::var_os("MUONTRAP_STORE").map(PathBuf::from),
+            store_readonly: false,
+            events: None,
+            shard_id: None,
+            shard_count: 1,
+            run_id: DEFAULT_RUN_ID.to_string(),
         }
     }
 }
@@ -51,8 +85,8 @@ impl CliOptions {
     /// `--store` and `--no-store` appear, the last one wins.
     ///
     /// # Errors
-    /// Returns a usage message when a flag is unknown or a value is missing
-    /// or malformed.
+    /// Returns a usage message when a flag is unknown, a value is missing or
+    /// malformed, or the sharding flags are inconsistent.
     pub fn parse<I, S>(args: I) -> Result<CliOptions, String>
     where
         I: IntoIterator<Item = S>,
@@ -84,29 +118,100 @@ impl CliOptions {
                     options.store = Some(PathBuf::from(value.as_ref()));
                 }
                 "--no-store" => options.store = None,
+                "--store-readonly" => options.store_readonly = true,
+                "--events" => {
+                    let value = args.next().ok_or("--events needs a file")?;
+                    options.events = Some(PathBuf::from(value.as_ref()));
+                }
+                "--shard-id" => {
+                    let value = args.next().ok_or("--shard-id needs a value")?;
+                    options.shard_id = Some(
+                        value
+                            .as_ref()
+                            .parse()
+                            .map_err(|_| format!("invalid shard id `{}`", value.as_ref()))?,
+                    );
+                }
+                "--shard-count" => {
+                    let value = args.next().ok_or("--shard-count needs a value")?;
+                    let parsed: usize = value
+                        .as_ref()
+                        .parse()
+                        .map_err(|_| format!("invalid shard count `{}`", value.as_ref()))?;
+                    if parsed == 0 {
+                        return Err("--shard-count must be at least 1".to_string());
+                    }
+                    options.shard_count = parsed;
+                }
+                "--run-id" => {
+                    let value = args.next().ok_or("--run-id needs a value")?;
+                    options.run_id = value.as_ref().to_string();
+                }
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            }
+        }
+        if let Some(shard_id) = options.shard_id {
+            if shard_id >= options.shard_count {
+                return Err(format!(
+                    "--shard-id {shard_id} out of range for --shard-count {}",
+                    options.shard_count
+                ));
+            }
+            if options.store.is_none() {
+                return Err("sharded runs need --store (shards coordinate through it)".to_string());
+            }
+            if options.store_readonly {
+                return Err("sharded runs need a writable store; drop --store-readonly".to_string());
+            }
+            if options.events.is_none() {
+                return Err(
+                    "sharded runs need --events FILE (the merge step folds the logs)".to_string(),
+                );
+            }
+            if options.run_id == DEFAULT_RUN_ID {
+                // Freshness provenance is keyed on the run id, and done
+                // markers outlive the run — a silently shared default would
+                // make every later run on the same store misreport its
+                // store hits as fresh simulations.
+                return Err(
+                    "sharded runs need an explicit --run-id, unique per logical run \
+                     (reuse one only to resume that run)"
+                        .to_string(),
+                );
             }
         }
         Ok(options)
     }
 
-    /// Opens the configured result store, exiting with a diagnostic if the
-    /// directory cannot be created. `None` when no store is configured.
+    /// Opens the configured result store (honouring `--store-readonly`),
+    /// exiting with a diagnostic if the directory cannot be created. `None`
+    /// when no store is configured.
     pub fn open_store(&self) -> Option<ResultStore> {
         self.store.as_ref().map(|path| {
-            ResultStore::open(path).unwrap_or_else(|e| {
-                eprintln!("cannot open result store at {}: {e}", path.display());
-                std::process::exit(2);
-            })
+            if self.store_readonly {
+                ResultStore::read_only(path)
+            } else {
+                ResultStore::open(path).unwrap_or_else(|e| {
+                    eprintln!("cannot open result store at {}: {e}", path.display());
+                    std::process::exit(2);
+                })
+            }
         })
+    }
+
+    /// The [`ShardOptions`] for this invocation, when `--shard-id` was given.
+    pub fn shard_options(&self) -> Option<ShardOptions> {
+        self.shard_id
+            .map(|id| ShardOptions::new(id, self.shard_count, self.run_id.clone()))
     }
 }
 
 /// The usage text shared by every binary.
 pub fn usage() -> String {
     "usage: <binary> [--json] [--scale tiny|small|large] [--threads N] \
-     [--store DIR] [--no-store] [--tiny]"
+     [--store DIR] [--no-store] [--store-readonly] [--events FILE] \
+     [--shard-id I --shard-count N] [--run-id ID] [--tiny]"
         .to_string()
 }
 
@@ -127,21 +232,61 @@ pub fn parse_or_exit() -> CliOptions {
     }
 }
 
+/// Opens the `--events` sink, exiting with a diagnostic on failure.
+pub fn open_events(options: &CliOptions) -> Option<std::fs::File> {
+    options.events.as_ref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create event log {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    })
+}
+
 /// Standard main body for a figure binary: parse flags, open the store,
-/// build the report, print JSON (with `--json`) or Table 1 plus the rendered
-/// figure.
+/// build the *session*, then either run it locally (printing JSON with
+/// `--json`, or Table 1 plus the rendered figure) or — with `--shard-id` —
+/// execute one shard of it against the shared store, streaming events to
+/// `--events` and printing the [`simsys::runner::ShardSummary`] as JSON.
+/// Every execution path goes through the [`simsys::runner`] pipeline.
 pub fn figure_main(
-    build: impl FnOnce(&CliOptions, &SystemConfig, Option<&ResultStore>) -> RunReport,
+    build: impl FnOnce(&CliOptions, &SystemConfig, Option<&ResultStore>) -> ExperimentSession,
+) {
+    figure_main_rendered(build, |report| crate::Figure::from_report(report).render());
+}
+
+/// [`figure_main`] with a custom text-mode rendering (used by `fig7`, whose
+/// figure is the invalidation-broadcast *rates* derived from the report's
+/// counters, not the normalised times). `--json` still emits the full
+/// [`RunReport`], and the sharded path is identical.
+pub fn figure_main_rendered(
+    build: impl FnOnce(&CliOptions, &SystemConfig, Option<&ResultStore>) -> ExperimentSession,
+    render: impl FnOnce(&RunReport) -> String,
 ) {
     let options = parse_or_exit();
     let config = SystemConfig::paper_default();
     let store = options.open_store();
-    let report = build(&options, &config, store.as_ref());
+    let session = build(&options, &config, store.as_ref());
+    if let Some(shard) = options.shard_options() {
+        let mut events = open_events(&options).expect("--shard-id implies --events");
+        match session.run_sharded(&shard, &mut events) {
+            Ok(summary) => println!("{}", summary.to_json().to_string_pretty()),
+            Err(e) => {
+                eprintln!("shard {} failed: {e}", shard.shard_id);
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let mut events = open_events(&options);
+    let report = session.run_with_events(match &mut events {
+        Some(file) => Some(file),
+        None => None,
+    });
     if options.json {
         println!("{}", report.to_json().to_string_pretty());
     } else {
         println!("{}", crate::table1());
-        println!("{}", crate::Figure::from_report(&report).render());
+        println!("{}", render(&report));
     }
 }
 
@@ -155,6 +300,9 @@ mod tests {
         assert!(!options.json);
         assert_eq!(options.scale, Scale::Small);
         assert!(options.threads >= 1);
+        assert!(!options.store_readonly);
+        assert_eq!(options.shard_id, None);
+        assert_eq!(options.shard_count, 1);
     }
 
     #[test]
@@ -167,12 +315,28 @@ mod tests {
             "3",
             "--store",
             "/tmp/s",
+            "--events",
+            "/tmp/e.jsonl",
+            "--shard-id",
+            "1",
+            "--shard-count",
+            "4",
+            "--run-id",
+            "nightly-7",
         ])
         .unwrap();
         assert!(options.json);
         assert_eq!(options.scale, Scale::Large);
         assert_eq!(options.threads, 3);
         assert_eq!(options.store, Some(PathBuf::from("/tmp/s")));
+        assert_eq!(options.events, Some(PathBuf::from("/tmp/e.jsonl")));
+        assert_eq!(options.shard_id, Some(1));
+        assert_eq!(options.shard_count, 4);
+        assert_eq!(options.run_id, "nightly-7");
+        let shard = options.shard_options().unwrap();
+        assert_eq!(shard.shard_id, 1);
+        assert_eq!(shard.shard_count, 4);
+        assert_eq!(shard.run_id, "nightly-7");
     }
 
     #[test]
@@ -191,13 +355,60 @@ mod tests {
     }
 
     #[test]
+    fn readonly_stores_open_without_creating_the_directory() {
+        let options =
+            CliOptions::parse(["--store", "/tmp/muontrap-no-such-store", "--store-readonly"])
+                .unwrap();
+        let store = options.open_store().unwrap();
+        assert!(store.is_read_only());
+        assert!(
+            !PathBuf::from("/tmp/muontrap-no-such-store").exists(),
+            "read-only stores must not create directories"
+        );
+    }
+
+    #[test]
+    fn sharded_runs_require_a_writable_store_and_an_event_log() {
+        let shard = |extra: &[&str]| {
+            let mut args = vec!["--shard-id", "0", "--shard-count", "2"];
+            args.extend_from_slice(extra);
+            CliOptions::parse(args)
+        };
+        assert!(shard(&[]).is_err(), "no store");
+        assert!(shard(&["--store", "/tmp/s"]).is_err(), "no events");
+        assert!(
+            shard(&[
+                "--store",
+                "/tmp/s",
+                "--events",
+                "/tmp/e",
+                "--store-readonly"
+            ])
+            .is_err(),
+            "read-only store"
+        );
+        assert!(
+            shard(&["--store", "/tmp/s", "--events", "/tmp/e"]).is_err(),
+            "the default run id must be rejected: done markers outlive runs"
+        );
+        assert!(shard(&["--store", "/tmp/s", "--events", "/tmp/e", "--run-id", "r1"]).is_ok());
+        assert!(
+            CliOptions::parse(["--shard-id", "2", "--shard-count", "2"]).is_err(),
+            "shard id out of range"
+        );
+    }
+
+    #[test]
     fn bad_input_is_rejected_with_usage() {
         assert!(CliOptions::parse(["--scale"]).is_err());
         assert!(CliOptions::parse(["--scale", "huge"]).is_err());
         assert!(CliOptions::parse(["--threads", "0"]).is_err());
         assert!(CliOptions::parse(["--threads", "lots"]).is_err());
         assert!(CliOptions::parse(["--store"]).is_err());
+        assert!(CliOptions::parse(["--shard-count", "0"]).is_err());
         assert!(CliOptions::parse(["--wat"]).unwrap_err().contains("usage:"));
         assert!(usage().contains("--store"));
+        assert!(usage().contains("--shard-id"));
+        assert!(usage().contains("--events"));
     }
 }

@@ -18,7 +18,15 @@
 //! | Figure 7       | [`figure7`] | `fig7` |
 //! | Figure 8       | [`figure8`] | `fig8` |
 //! | Figure 9       | [`figure9`] | `fig9` |
+//! | §4.8 stress    | [`domain_switch_report`] | `attacks_report` |
 //! | Attacks 1–6    | [`security_matrix`] | `attacks_report` |
+//!
+//! Each `figureN` has a `figureN_session` sibling returning the *un-run*
+//! [`ExperimentSession`], and [`figure_session`] resolves the same sessions
+//! by name (`"fig3"`…`"fig9"`, `"domain"`). The named form is what the
+//! `shard` and `merge` binaries use: every process of a multi-host run
+//! rebuilds the identical plan from the figure name, then coordinates purely
+//! through the shared store directory (see [`simsys::runner`]).
 //!
 //! The `report` binary regenerates everything at once into one JSON document.
 
@@ -32,7 +40,7 @@ use attacks::AttackOutcome;
 use defenses::DefenseKind;
 use simsys::session::{ExperimentSession, RunReport};
 use simsys::store::ResultStore;
-use workloads::{parsec_suite, spec_suite, Scale, Workload};
+use workloads::{domain_switch_suite, parsec_suite, spec_suite, Scale, Workload};
 
 /// One row of a normalised-execution-time figure: a workload plus one value
 /// per configuration, in the same order as the `configs` header.
@@ -149,14 +157,14 @@ pub fn table1_json() -> Json {
     ])
 }
 
-/// Figure 3: normalised execution time on the SPEC-CPU2006-like suite for
-/// MuonTrap, InvisiSpec (both variants) and STT (both variants).
-pub fn figure3(
+/// The [`ExperimentSession`] behind [`figure3`], un-run (for planning,
+/// sharding, or event streaming).
+pub fn figure3_session(
     scale: Scale,
     config: &SystemConfig,
     threads: usize,
     store: Option<&ResultStore>,
-) -> RunReport {
+) -> ExperimentSession {
     session(
         "Figure 3: SPEC CPU2006-like, normalised execution time (lower is better)",
         scale,
@@ -166,16 +174,26 @@ pub fn figure3(
         store,
     )
     .defenses(DefenseKind::figure3_set())
-    .run()
 }
 
-/// Figure 4: normalised execution time on the Parsec-like suite (4 threads).
-pub fn figure4(
+/// Figure 3: normalised execution time on the SPEC-CPU2006-like suite for
+/// MuonTrap, InvisiSpec (both variants) and STT (both variants).
+pub fn figure3(
     scale: Scale,
     config: &SystemConfig,
     threads: usize,
     store: Option<&ResultStore>,
 ) -> RunReport {
+    figure3_session(scale, config, threads, store).run()
+}
+
+/// The [`ExperimentSession`] behind [`figure4`], un-run.
+pub fn figure4_session(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> ExperimentSession {
     session(
         "Figure 4: Parsec-like (4 threads), normalised execution time (lower is better)",
         scale,
@@ -185,18 +203,25 @@ pub fn figure4(
         store,
     )
     .defenses(DefenseKind::figure3_set())
-    .run()
 }
 
-/// Figure 5: Parsec-like performance as the (fully-associative) data filter
-/// cache is swept from 64 B to 4 KiB. One baseline per workload: the swept
-/// filter-cache geometry is invisible to the unprotected machine.
-pub fn figure5(
+/// Figure 4: normalised execution time on the Parsec-like suite (4 threads).
+pub fn figure4(
     scale: Scale,
     config: &SystemConfig,
     threads: usize,
     store: Option<&ResultStore>,
 ) -> RunReport {
+    figure4_session(scale, config, threads, store).run()
+}
+
+/// The [`ExperimentSession`] behind [`figure5`], un-run.
+pub fn figure5_session(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> ExperimentSession {
     let sizes: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
     let sweep = sizes.map(|size| {
         // Fully associative at every size, as in the paper's sweep.
@@ -215,17 +240,27 @@ pub fn figure5(
     )
     .defenses([DefenseKind::MuonTrap])
     .config_sweep(sweep)
-    .run()
 }
 
-/// Figure 6: Parsec-like performance as the associativity of a 2 KiB filter
-/// cache is swept from direct-mapped to fully associative.
-pub fn figure6(
+/// Figure 5: Parsec-like performance as the (fully-associative) data filter
+/// cache is swept from 64 B to 4 KiB. One baseline per workload: the swept
+/// filter-cache geometry is invisible to the unprotected machine.
+pub fn figure5(
     scale: Scale,
     config: &SystemConfig,
     threads: usize,
     store: Option<&ResultStore>,
 ) -> RunReport {
+    figure5_session(scale, config, threads, store).run()
+}
+
+/// The [`ExperimentSession`] behind [`figure6`], un-run.
+pub fn figure6_session(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> ExperimentSession {
     let ways: [usize; 6] = [1, 2, 4, 8, 16, 32];
     let sweep = ways.map(|w| (format!("{w}-way"), config.with_data_filter(2048, w)));
     session(
@@ -238,7 +273,35 @@ pub fn figure6(
     )
     .defenses([DefenseKind::MuonTrap])
     .config_sweep(sweep)
-    .run()
+}
+
+/// Figure 6: Parsec-like performance as the associativity of a 2 KiB filter
+/// cache is swept from direct-mapped to fully associative.
+pub fn figure6(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
+    figure6_session(scale, config, threads, store).run()
+}
+
+/// The [`ExperimentSession`] behind [`figure7`], un-run.
+pub fn figure7_session(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> ExperimentSession {
+    session(
+        "Figure 7: fraction of writes triggering filter-cache invalidation broadcasts",
+        scale,
+        spec_suite(scale),
+        config,
+        threads,
+        store,
+    )
+    .defenses([DefenseKind::MuonTrap])
 }
 
 /// Figure 7: runs the SPEC-like suite under full MuonTrap; the figure's
@@ -250,16 +313,7 @@ pub fn figure7(
     threads: usize,
     store: Option<&ResultStore>,
 ) -> RunReport {
-    session(
-        "Figure 7: fraction of writes triggering filter-cache invalidation broadcasts",
-        scale,
-        spec_suite(scale),
-        config,
-        threads,
-        store,
-    )
-    .defenses([DefenseKind::MuonTrap])
-    .run()
+    figure7_session(scale, config, threads, store).run()
 }
 
 /// The per-workload invalidation-broadcast rates behind figure 7, derived
@@ -357,13 +411,13 @@ pub fn cumulative_protection_kinds(include_parallel_l1: bool) -> Vec<(String, De
     kinds
 }
 
-/// Figure 8: cumulatively adding protection mechanisms, Parsec-like suite.
-pub fn figure8(
+/// The [`ExperimentSession`] behind [`figure8`], un-run.
+pub fn figure8_session(
     scale: Scale,
     config: &SystemConfig,
     threads: usize,
     store: Option<&ResultStore>,
-) -> RunReport {
+) -> ExperimentSession {
     session(
         "Figure 8: cumulative protection mechanisms, Parsec-like",
         scale,
@@ -373,7 +427,34 @@ pub fn figure8(
         store,
     )
     .defenses_labeled(cumulative_protection_kinds(false))
-    .run()
+}
+
+/// Figure 8: cumulatively adding protection mechanisms, Parsec-like suite.
+pub fn figure8(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
+    figure8_session(scale, config, threads, store).run()
+}
+
+/// The [`ExperimentSession`] behind [`figure9`], un-run.
+pub fn figure9_session(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> ExperimentSession {
+    session(
+        "Figure 9: cumulative protection mechanisms (+ parallel L1d), SPEC-like",
+        scale,
+        spec_suite(scale),
+        config,
+        threads,
+        store,
+    )
+    .defenses_labeled(cumulative_protection_kinds(true))
 }
 
 /// Figure 9: cumulatively adding protection mechanisms plus the parallel
@@ -384,16 +465,72 @@ pub fn figure9(
     threads: usize,
     store: Option<&ResultStore>,
 ) -> RunReport {
+    figure9_session(scale, config, threads, store).run()
+}
+
+/// The [`ExperimentSession`] behind [`domain_switch_report`], un-run.
+pub fn domain_switch_session(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> ExperimentSession {
     session(
-        "Figure 9: cumulative protection mechanisms (+ parallel L1d), SPEC-like",
+        "Domain-switch stress (§4.8): syscall/sandbox-heavy kernels, normalised execution time",
         scale,
-        spec_suite(scale),
+        domain_switch_suite(scale),
         config,
         threads,
         store,
     )
-    .defenses_labeled(cumulative_protection_kinds(true))
-    .run()
+    .defenses(DefenseKind::figure3_set())
+}
+
+/// The §4.8 domain-switch stress grid: the syscall/sandbox-transition
+/// kernels (which force a filter-cache flush every few hundred instructions)
+/// under the figure-3 defense set. Printed by `attacks_report` alongside the
+/// security matrix and included in the `report` document.
+pub fn domain_switch_report(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
+    domain_switch_session(scale, config, threads, store).run()
+}
+
+/// The names [`figure_session`] resolves, in `report`-document order.
+pub const FIGURE_NAMES: [&str; 8] = [
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "domain",
+];
+
+/// Resolves a figure name (see [`FIGURE_NAMES`]) to its un-run
+/// [`ExperimentSession`].
+///
+/// This is the planning entry point of the multi-process workflow: the
+/// `shard` and `merge` binaries both rebuild the session from the name, so
+/// every process of a run derives the identical
+/// [`Plan`](simsys::runner::Plan) and they coordinate purely through the
+/// shared store directory.
+pub fn figure_session(
+    name: &str,
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> Option<ExperimentSession> {
+    let build = match name {
+        "fig3" => figure3_session,
+        "fig4" => figure4_session,
+        "fig5" => figure5_session,
+        "fig6" => figure6_session,
+        "fig7" => figure7_session,
+        "fig8" => figure8_session,
+        "fig9" => figure9_session,
+        "domain" => domain_switch_session,
+        _ => return None,
+    };
+    Some(build(scale, config, threads, store))
 }
 
 /// The raw outcome of every attack against every configuration the security
@@ -519,6 +656,56 @@ mod tests {
         let b = one_run_cycles(w, DefenseKind::MuonTrap, &cfg);
         assert!(a > 0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure_session_resolves_every_name_and_rejects_unknowns() {
+        let cfg = SystemConfig::small_test();
+        for name in FIGURE_NAMES {
+            let session = figure_session(name, Scale::Tiny, &cfg, 1, None)
+                .unwrap_or_else(|| panic!("figure {name} must resolve"));
+            let plan = session.plan();
+            assert!(!plan.cells.is_empty(), "figure {name} plans an empty grid");
+            assert!(!plan.title.is_empty());
+            // Planning is deterministic across resolutions — the property
+            // the shard/merge binaries rely on.
+            let again = figure_session(name, Scale::Tiny, &cfg, 1, None)
+                .unwrap()
+                .plan();
+            assert_eq!(
+                plan.cells.iter().map(|c| c.fingerprint).collect::<Vec<_>>(),
+                again
+                    .cells
+                    .iter()
+                    .map(|c| c.fingerprint)
+                    .collect::<Vec<_>>()
+            );
+        }
+        assert!(figure_session("fig12", Scale::Tiny, &cfg, 1, None).is_none());
+    }
+
+    #[test]
+    fn domain_switch_grid_runs_the_new_kernels_under_every_defense() {
+        let report = domain_switch_session(Scale::Tiny, &SystemConfig::small_test(), 2, None).run();
+        assert_eq!(report.workloads, vec!["syscall-storm", "sandbox-hop"]);
+        assert_eq!(report.columns.len(), DefenseKind::figure3_set().len());
+        for cell in &report.cells {
+            assert!(cell.completed, "{} under {}", cell.workload, cell.column);
+            assert!(cell.normalized_time > 0.2 && cell.normalized_time < 6.0);
+        }
+        // The kernels actually exercise the flush path: MuonTrap reports
+        // syscall and sandbox flushes on these workloads.
+        let muontrap = report
+            .cells
+            .iter()
+            .find(|c| c.defense == DefenseKind::MuonTrap.label())
+            .expect("muontrap column exists");
+        assert!(
+            muontrap.stats.counter("muontrap.syscall_flushes")
+                + muontrap.stats.counter("muontrap.sandbox_flushes")
+                > 0,
+            "domain-switch kernels must trigger filter-cache flushes"
+        );
     }
 
     #[test]

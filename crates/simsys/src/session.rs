@@ -52,18 +52,20 @@
 //! ```
 
 use std::collections::HashMap;
+use std::io::{self, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use simkit::config::{ProtectionConfig, SystemConfig};
+use simkit::fingerprint::Fingerprint;
 use simkit::json::{FromJson, Json, JsonError, ToJson};
 use simkit::stats::{geometric_mean, StatSet};
 
 use defenses::DefenseKind;
 use workloads::{Scale, Workload};
 
+use crate::runner::{self, Plan, UnitKind, WorkUnit};
 use crate::store::{self, ResultStore};
 use crate::system::System;
 
@@ -322,157 +324,134 @@ impl ExperimentSession {
         }
     }
 
-    /// Runs the grid and returns the structured report.
+    /// Derives the pure, host-independent execution [`Plan`] of this grid:
+    /// every baseline and cell as a self-describing, fingerprint-keyed
+    /// [`runner::WorkUnit`], in deterministic order.
     ///
-    /// Cells are executed in parallel across the configured thread pool;
-    /// report ordering (workload-major, column-minor) is deterministic and
-    /// independent of the thread count. With a [`store`](Self::with_store)
-    /// attached, each simulation is first looked up by input fingerprint and
-    /// results are persisted as they complete.
-    pub fn run(self) -> RunReport {
-        let started = Instant::now();
+    /// Planning performs no I/O and no simulation, and uses only
+    /// [`store::cell_fingerprint`] for identity — so any two processes given
+    /// the same session description derive interchangeable plans, which is
+    /// what lets [`run_sharded`](Self::run_sharded) shards coordinate through
+    /// nothing but a shared store directory.
+    pub fn plan(&self) -> Plan {
         let columns = self.columns();
-        let baseline_counter = AtomicUsize::new(0);
-        let sim_counter = AtomicUsize::new(0);
-
-        // The one gateway to raw simulation: consult the store, simulate on a
-        // miss, persist the result. The returned flag is the store-hit
-        // provenance recorded in [`CellResult::cached`]. Store writes are
-        // best-effort — an unwritable store degrades to re-simulation, and
-        // concurrent writers are safe because entries land by atomic rename.
-        let run_or_load = |workload: &Workload,
-                           kind: DefenseKind,
-                           config: &SystemConfig|
-         -> (ExperimentResult, bool) {
-            let keyed = self
-                .store
-                .as_ref()
-                .map(|s| (s, store::cell_fingerprint(workload, kind, config)));
-            if let Some((s, key)) = &keyed {
-                if let Some(hit) = s.get(*key) {
-                    return (hit, true);
+        let mut baselines: Vec<WorkUnit> = Vec::new();
+        let mut seen: HashMap<Fingerprint, usize> = HashMap::new();
+        let mut cells: Vec<WorkUnit> = Vec::new();
+        for workload in &self.workloads {
+            for column in &columns {
+                let baseline_config = baseline_machine(&column.config);
+                let baseline_fp =
+                    store::cell_fingerprint(workload, DefenseKind::Unprotected, &baseline_config);
+                // With memoization, one baseline unit per distinct machine;
+                // without, one per cell (the validation mode's semantics).
+                if !self.memoize || !seen.contains_key(&baseline_fp) {
+                    seen.insert(baseline_fp, baselines.len());
+                    baselines.push(WorkUnit {
+                        kind: UnitKind::Baseline,
+                        index: baselines.len(),
+                        workload: workload.clone(),
+                        defense: DefenseKind::Unprotected,
+                        config: baseline_config.clone(),
+                        fingerprint: baseline_fp,
+                        column: None,
+                        baseline: None,
+                        copies_baseline: false,
+                    });
                 }
-            }
-            sim_counter.fetch_add(1, Ordering::Relaxed);
-            let result = simulate(workload, kind, config);
-            if let Some((s, key)) = &keyed {
-                let _ = s.put(*key, &result);
-            }
-            (result, false)
-        };
-
-        // Phase A: one baseline per distinct (workload, baseline machine).
-        // Keys are the full (workload, config) pair — not a hash — so
-        // in-memory memoization can never alias distinct experiments.
-        let mut baselines: BaselineCache = HashMap::new();
-        if self.memoize {
-            let mut jobs: Vec<BaselineKey> = Vec::new();
-            for workload in &self.workloads {
-                for column in &columns {
-                    let key = (workload.clone(), baseline_machine(&column.config));
-                    if baselines.contains_key(&key) || jobs.contains(&key) {
-                        continue;
-                    }
-                    if self.process_cache {
-                        if let Some(hit) = process_cache_get(&key) {
-                            // In-memory reuse within this process, not a
-                            // store hit: provenance stays `cached: false`.
-                            // Write through to the store so a warm process
-                            // cache still leaves the store warm for the
-                            // next process.
-                            if let Some(s) = &self.store {
-                                let fp = store::cell_fingerprint(
-                                    &key.0,
-                                    DefenseKind::Unprotected,
-                                    &key.1,
-                                );
-                                if !s.contains(fp) {
-                                    let _ = s.put(fp, &hit);
-                                }
-                            }
-                            baselines.insert(key, (hit, false));
-                            continue;
-                        }
-                    }
-                    jobs.push(key);
-                }
-            }
-            let results = run_parallel(&jobs, self.threads, |(workload, config)| {
-                let (result, cached) = run_or_load(workload, DefenseKind::Unprotected, config);
-                if !cached {
-                    baseline_counter.fetch_add(1, Ordering::Relaxed);
-                }
-                (Arc::new(result), cached)
-            });
-            for (key, entry) in jobs.into_iter().zip(results) {
-                if self.process_cache {
-                    process_cache_put(&key, Arc::clone(&entry.0));
-                }
-                baselines.insert(key, entry);
+                let copies_baseline = column.kind == DefenseKind::Unprotected;
+                let fingerprint = if copies_baseline {
+                    // An explicit Unprotected column *is* the baseline.
+                    baseline_fp
+                } else {
+                    store::cell_fingerprint(workload, column.kind, &column.config)
+                };
+                cells.push(WorkUnit {
+                    kind: UnitKind::Cell,
+                    index: cells.len(),
+                    workload: workload.clone(),
+                    defense: column.kind,
+                    config: column.config.clone(),
+                    fingerprint,
+                    column: Some(column.label.clone()),
+                    baseline: Some(baseline_fp),
+                    copies_baseline,
+                });
             }
         }
-
-        // Phase B: every grid cell, reading its baseline from the phase-A map
-        // (or re-running it inline when memoization is off).
-        let cell_jobs: Vec<(&Workload, &Column)> = self
-            .workloads
-            .iter()
-            .flat_map(|w| columns.iter().map(move |c| (w, c)))
-            .collect();
-        let cells = run_parallel(&cell_jobs, self.threads, |(workload, column)| {
-            let (baseline, baseline_cached): (Arc<ExperimentResult>, bool) = if self.memoize {
-                let key = ((*workload).clone(), baseline_machine(&column.config));
-                let (result, cached) = &baselines[&key];
-                (Arc::clone(result), *cached)
-            } else {
-                let (result, cached) = run_or_load(
-                    workload,
-                    DefenseKind::Unprotected,
-                    &baseline_machine(&column.config),
-                );
-                if !cached {
-                    baseline_counter.fetch_add(1, Ordering::Relaxed);
-                }
-                (Arc::new(result), cached)
-            };
-            // An explicit Unprotected column *is* the baseline: reuse it
-            // rather than simulating the identical machine again, and
-            // inherit the baseline's provenance.
-            let (result, cached) = if column.kind == DefenseKind::Unprotected {
-                ((*baseline).clone(), baseline_cached)
-            } else {
-                run_or_load(workload, column.kind, &column.config)
-            };
-            let normalized = if baseline.cycles == 0 {
-                1.0
-            } else {
-                result.cycles as f64 / baseline.cycles as f64
-            };
-            CellResult {
-                workload: workload.name.clone(),
-                column: column.label.clone(),
-                defense: result.defense,
-                cycles: result.cycles,
-                committed: result.committed,
-                completed: result.completed,
-                cached,
-                baseline_cycles: baseline.cycles,
-                normalized_time: normalized,
-                stats: result.stats,
-            }
-        });
-
-        RunReport {
-            title: self.title,
+        Plan {
+            title: self.title.clone(),
             scale: self.scale.map(|s| s.name().to_string()),
             threads: self.threads,
-            wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
-            baseline_sims: baseline_counter.into_inner(),
-            sims_executed: sim_counter.into_inner(),
             workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
             columns: columns.into_iter().map(|c| c.label).collect(),
+            baselines,
             cells,
+            memoized: self.memoize,
         }
+    }
+
+    /// Runs the grid and returns the structured report.
+    ///
+    /// Since the runner refactor this is exactly
+    /// [`plan`](Self::plan) → [`runner::execute_local`]
+    /// → [`runner::merge_events`]: the same
+    /// plan/execute/stream/merge pipeline a multi-process
+    /// [`run_sharded`](Self::run_sharded) run uses, collapsed onto one
+    /// process. Cells are executed in parallel across the configured thread
+    /// pool; report ordering (workload-major, column-minor) is deterministic
+    /// and independent of the thread count. With a
+    /// [`store`](Self::with_store) attached, each simulation is first looked
+    /// up by input fingerprint and results are persisted as they complete.
+    pub fn run(self) -> RunReport {
+        self.run_with_events(None)
+    }
+
+    /// [`run`](Self::run), additionally streaming one
+    /// [`runner::RunEvent`] JSONL line to `sink` as
+    /// each unit resolves (what `--events FILE` wires up on the binaries).
+    pub fn run_with_events(self, sink: Option<&mut (dyn Write + Send)>) -> RunReport {
+        let started = Instant::now();
+        let plan = self.plan();
+        let events = runner::execute_local(
+            &plan,
+            self.store.as_ref(),
+            self.process_cache,
+            self.threads,
+            sink,
+        );
+        let wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        runner::merge_events(&plan, events, wall_clock_ms)
+            .expect("a local execution resolves every cell")
+    }
+
+    /// Executes this session as one shard of a cooperating multi-process run.
+    ///
+    /// Every shard of the run must be constructed with the same grid and a
+    /// store on the same directory, and share `options.run_id`. Units are
+    /// handed out through expiring lease files under the store, so shards
+    /// steal work from each other (and from crashed predecessors); results
+    /// stream to `sink` as JSONL [`runner::RunEvent`]s.
+    /// Fold the event logs into the final [`RunReport`] with
+    /// [`runner::merge_events`] (or the `merge`
+    /// binary).
+    ///
+    /// # Errors
+    /// Returns an error when no store is attached, the store is read-only, or
+    /// lease/store writes fail.
+    pub fn run_sharded(
+        &self,
+        options: &runner::ShardOptions,
+        sink: &mut (dyn Write + Send),
+    ) -> io::Result<runner::ShardSummary> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a sharded run needs a result store (shards coordinate through its directory)",
+            )
+        })?;
+        let plan = self.plan();
+        runner::execute_shard(&plan, store, options, self.threads, sink)
     }
 }
 
@@ -522,44 +501,10 @@ pub fn baseline_machine(config: &SystemConfig) -> SystemConfig {
     cfg
 }
 
-/// Runs `f` over `jobs` on `threads` workers, returning results in job order.
-fn run_parallel<T: Sync, R: Send>(
-    jobs: &[T],
-    threads: usize,
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
-    let workers = threads.max(1).min(jobs.len().max(1));
-    if workers <= 1 {
-        return jobs.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(index) else { break };
-                *slots[index].lock().unwrap() = Some(f(job));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("worker filled every slot")
-        })
-        .collect()
-}
-
 /// Key of a memoized baseline: the workload plus its canonical baseline
 /// machine. Full values, not hashes, so cache hits can never alias distinct
 /// experiments.
 type BaselineKey = (Workload, SystemConfig);
-/// Session-local baseline map: the shared result plus whether it came from
-/// the on-disk store (the provenance inherited by `Unprotected` columns).
-type BaselineCache = HashMap<BaselineKey, (Arc<ExperimentResult>, bool)>;
 /// The process-wide cache stores results only; store provenance is per-run.
 type ProcessCache = HashMap<BaselineKey, Arc<ExperimentResult>>;
 
@@ -571,12 +516,26 @@ fn process_cache() -> &'static Mutex<ProcessCache> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-fn process_cache_get(key: &BaselineKey) -> Option<Arc<ExperimentResult>> {
-    process_cache().lock().unwrap().get(key).cloned()
+pub(crate) fn process_cache_get(
+    workload: &Workload,
+    config: &SystemConfig,
+) -> Option<ExperimentResult> {
+    process_cache()
+        .lock()
+        .unwrap()
+        .get(&(workload.clone(), config.clone()))
+        .map(|arc| (**arc).clone())
 }
 
-fn process_cache_put(key: &BaselineKey, value: Arc<ExperimentResult>) {
-    process_cache().lock().unwrap().insert(key.clone(), value);
+pub(crate) fn process_cache_put(
+    workload: &Workload,
+    config: &SystemConfig,
+    value: Arc<ExperimentResult>,
+) {
+    process_cache()
+        .lock()
+        .unwrap()
+        .insert((workload.clone(), config.clone()), value);
 }
 
 /// One grid cell of a [`RunReport`].

@@ -42,6 +42,30 @@
 //! entry. Unreadable, unparseable or mislabelled entries are treated as
 //! misses and re-simulated; a corrupt store degrades to a slow one, never a
 //! wrong one.
+//!
+//! # Leases
+//!
+//! The sharded runner ([`crate::runner`]) coordinates several worker
+//! processes over one store directory through *lease files* under
+//! `<root>/.leases/<fingerprint>.lease`. A lease is acquired with an atomic
+//! create-new ([`try_lease`](ResultStore::try_lease)); an expired lease (its
+//! holder crashed) or a completed-but-storeless one is *stolen* by writing a
+//! replacement to a temp file and renaming it into place. A completed unit is
+//! marked by rewriting the lease with `done: true`
+//! ([`mark_done`](ResultStore::mark_done)), which doubles as the
+//! "computed during run `run_id`" provenance marker the runner uses to tell
+//! freshly simulated entries from pre-existing ones. Lease files use the
+//! `.lease` extension so [`len`](ResultStore::len) and
+//! [`gc`](ResultStore::gc) never mistake them for result entries.
+//!
+//! # Read-only mode and eviction
+//!
+//! [`ResultStore::read_only`] opens a store that serves hits but silently
+//! drops writes — CI jobs can reuse a downloaded store artifact without ever
+//! mutating it (misses simply re-simulate). [`ResultStore::gc`] walks the
+//! entries and evicts the least-recently-modified ones until the store fits a
+//! byte cap, returning a [`GcSummary`] (the `store_gc` binary prints it as
+//! JSON).
 
 use std::fs;
 use std::io;
@@ -50,7 +74,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use simkit::config::SystemConfig;
 use simkit::fingerprint::{self, Fingerprint};
-use simkit::json::{self, FromJson, Json, ToJson};
+use simkit::json::{self, FromJson, Json, JsonError, ToJson};
 
 use defenses::DefenseKind;
 use workloads::Workload;
@@ -121,6 +145,7 @@ pub fn cell_fingerprint(
 #[derive(Debug, Clone)]
 pub struct ResultStore {
     root: PathBuf,
+    read_only: bool,
 }
 
 impl ResultStore {
@@ -131,7 +156,29 @@ impl ResultStore {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<ResultStore> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(ResultStore { root })
+        Ok(ResultStore {
+            root,
+            read_only: false,
+        })
+    }
+
+    /// Opens a store in read-only mode: hits are served normally, but
+    /// [`put`](Self::put) becomes a silent no-op, so misses re-simulate
+    /// without ever mutating the directory. Intended for CI reusing a store
+    /// artifact it must not dirty. The directory does not have to exist — a
+    /// missing store is simply always cold. Leases
+    /// ([`try_lease`](Self::try_lease)) and [`gc`](Self::gc) are refused,
+    /// so a read-only store cannot back a sharded run.
+    pub fn read_only(root: impl Into<PathBuf>) -> ResultStore {
+        ResultStore {
+            root: root.into(),
+            read_only: true,
+        }
+    }
+
+    /// Whether this handle was opened with [`read_only`](Self::read_only).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     /// The store's root directory.
@@ -177,10 +224,16 @@ impl ResultStore {
     /// Last writer wins; all writers for one key hold identical content
     /// (simulations are deterministic), so the race is benign.
     ///
+    /// On a [`read_only`](Self::read_only) store this is a silent no-op
+    /// returning `Ok(())`: the caller's result simply isn't persisted.
+    ///
     /// # Errors
     /// Returns the I/O error if the entry cannot be written or renamed.
     pub fn put(&self, key: Fingerprint, result: &ExperimentResult) -> io::Result<()> {
         static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        if self.read_only {
+            return Ok(());
+        }
         let path = self.entry_path(key);
         let dir = path.parent().expect("entry paths always have a parent");
         fs::create_dir_all(dir)?;
@@ -225,6 +278,351 @@ impl ResultStore {
     /// Whether the store holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    // --- Leases -----------------------------------------------------------
+
+    /// The directory lease files live in (`<root>/.leases`).
+    pub fn lease_dir(&self) -> PathBuf {
+        self.root.join(".leases")
+    }
+
+    /// The lease file path for `key` (whether or not it exists).
+    pub fn lease_path(&self, key: Fingerprint) -> PathBuf {
+        self.lease_dir().join(format!("{}.lease", key.to_hex()))
+    }
+
+    /// Attempts to acquire the lease on `key` for `owner` in run `run_id`.
+    ///
+    /// The fast path is an atomic create-new, so exactly one contender — a
+    /// thread or a separate process — wins a fresh lease. When the lease file
+    /// already exists, it is *stolen* (replaced via temp file + rename) if
+    /// its holder looks dead: the lease has outlived its `ttl_ms` without
+    /// being [`mark_done`](Self::mark_done)d, it is unreadable/corrupt, or it
+    /// claims to be done while the store holds no entry (a crash between
+    /// marking and persisting). Otherwise [`LeaseState::Busy`] is returned
+    /// with the holder's metadata so the caller can poll.
+    ///
+    /// Stealing is best-effort: two stealers racing on the same expired lease
+    /// can in principle both think they won for a moment, which at worst
+    /// duplicates one deterministic simulation — never corrupts a result.
+    ///
+    /// # Errors
+    /// Returns an error on a [`read_only`](Self::read_only) store, or if the
+    /// lease directory/file cannot be written.
+    pub fn try_lease(
+        &self,
+        key: Fingerprint,
+        owner: &str,
+        run_id: &str,
+        ttl_ms: u64,
+    ) -> io::Result<LeaseState> {
+        if self.read_only {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "cannot lease work on a read-only store",
+            ));
+        }
+        fs::create_dir_all(self.lease_dir())?;
+        let path = self.lease_path(key);
+        let lease = LeaseInfo {
+            owner: owner.to_string(),
+            run_id: run_id.to_string(),
+            acquired_unix_ms: unix_ms(),
+            ttl_ms,
+            done: false,
+        };
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                use io::Write as _;
+                file.write_all(lease.to_json().to_string_compact().as_bytes())?;
+                return Ok(LeaseState::Acquired);
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+            Err(e) => return Err(e),
+        }
+        // Somebody holds (or held) it. Steal only from the dead.
+        let holder = self.read_lease(key);
+        let stealable = match &holder {
+            None => true, // unreadable or vanished: treat as abandoned
+            Some(info) if info.done => !self.contains(key),
+            Some(info) => unix_ms().saturating_sub(info.acquired_unix_ms) > info.ttl_ms,
+        };
+        if !stealable {
+            return Ok(LeaseState::Busy(holder.expect("busy lease is readable")));
+        }
+        let temp = self.lease_dir().join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            LEASE_TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&temp, lease.to_json().to_string_compact())?;
+        if let Err(e) = fs::rename(&temp, &path) {
+            let _ = fs::remove_file(&temp);
+            return Err(e);
+        }
+        // Confirm the rename race went our way.
+        match self.read_lease(key) {
+            Some(info) if info.owner == lease.owner && !info.done => Ok(LeaseState::Acquired),
+            Some(info) => Ok(LeaseState::Busy(info)),
+            None => Ok(LeaseState::Busy(LeaseInfo {
+                owner: String::new(),
+                run_id: String::new(),
+                acquired_unix_ms: unix_ms(),
+                ttl_ms,
+                done: false,
+            })),
+        }
+    }
+
+    /// Reads the lease on `key`, if present and parseable.
+    pub fn read_lease(&self, key: Fingerprint) -> Option<LeaseInfo> {
+        let text = fs::read_to_string(self.lease_path(key)).ok()?;
+        LeaseInfo::from_json(&json::parse(&text).ok()?).ok()
+    }
+
+    /// Rewrites the lease on `key` as completed by `owner` during `run_id`.
+    ///
+    /// Done leases never expire; they are the runner's "this entry was
+    /// simulated during run `run_id`" provenance marker (a later run with a
+    /// different id treats the same entry as pre-existing, i.e. cached).
+    pub fn mark_done(&self, key: Fingerprint, owner: &str, run_id: &str) -> io::Result<()> {
+        if self.read_only {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "cannot mark leases on a read-only store",
+            ));
+        }
+        fs::create_dir_all(self.lease_dir())?;
+        let lease = LeaseInfo {
+            owner: owner.to_string(),
+            run_id: run_id.to_string(),
+            acquired_unix_ms: unix_ms(),
+            ttl_ms: 0,
+            done: true,
+        };
+        let temp = self.lease_dir().join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            LEASE_TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&temp, lease.to_json().to_string_compact())?;
+        fs::rename(&temp, self.lease_path(key)).inspect_err(|_| {
+            let _ = fs::remove_file(&temp);
+        })
+    }
+
+    /// Removes the lease on `key`, if any. Missing leases are not an error.
+    pub fn release_lease(&self, key: Fingerprint) {
+        let _ = fs::remove_file(self.lease_path(key));
+    }
+
+    /// Whether the entry for `key` was simulated (and marked done) during
+    /// run `run_id`, as opposed to pre-existing in the store. This is the
+    /// provenance the sharded runner records in
+    /// [`CellResult::cached`](crate::session::CellResult::cached).
+    pub fn completed_during(&self, key: Fingerprint, run_id: &str) -> bool {
+        self.read_lease(key)
+            .is_some_and(|info| info.done && info.run_id == run_id)
+    }
+
+    // --- Eviction ---------------------------------------------------------
+
+    /// Evicts least-recently-modified entries until the store's result
+    /// entries fit in `max_bytes`, and sweeps stray temp files left by
+    /// crashed writers. Lease files are untouched, and only temp files
+    /// older than [`GC_TEMP_GRACE`] are swept — a younger one may belong to
+    /// a live writer mid-`put`, and deleting it between its write and its
+    /// rename would fail that writer rather than just waste a result.
+    ///
+    /// # Errors
+    /// Returns an error on a [`read_only`](Self::read_only) store; I/O
+    /// failures on individual entries are skipped, not fatal (a vanished
+    /// entry was evicted by someone else — fine).
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcSummary> {
+        if self.read_only {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "cannot gc a read-only store",
+            ));
+        }
+        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        if let Ok(shards) = fs::read_dir(&self.root) {
+            for shard in shards.flatten() {
+                let shard_path = shard.path();
+                if !shard_path.is_dir() || shard_path.ends_with(".leases") {
+                    continue;
+                }
+                let Ok(files) = fs::read_dir(&shard_path) else {
+                    continue;
+                };
+                for file in files.flatten() {
+                    let path = file.path();
+                    let name = file.file_name();
+                    let name = name.to_string_lossy();
+                    if name.starts_with(".tmp-") {
+                        // Crashed-writer litter; live writers rename theirs
+                        // away within moments, so age gates the sweep.
+                        let abandoned =
+                            file.metadata()
+                                .ok()
+                                .and_then(|m| m.modified().ok())
+                                .map(|modified| {
+                                    std::time::SystemTime::now()
+                                        .duration_since(modified)
+                                        .is_ok_and(|age| age >= GC_TEMP_GRACE)
+                                });
+                        if abandoned.unwrap_or(false) {
+                            let _ = fs::remove_file(&path);
+                        }
+                        continue;
+                    }
+                    if path.extension().is_none_or(|x| x != "json") {
+                        continue;
+                    }
+                    let Ok(meta) = file.metadata() else { continue };
+                    let modified = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                    entries.push((path, meta.len(), modified));
+                }
+            }
+        }
+        let bytes_before: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        let entries_before = entries.len();
+        // Oldest-modified first: those evict first.
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut bytes_after = bytes_before;
+        let mut evicted = 0usize;
+        let mut bytes_evicted = 0u64;
+        for (path, len, _) in &entries {
+            if bytes_after <= max_bytes {
+                break;
+            }
+            if fs::remove_file(path).is_ok() {
+                evicted += 1;
+                bytes_evicted += len;
+            }
+            bytes_after -= len;
+        }
+        Ok(GcSummary {
+            entries_before,
+            entries_evicted: evicted,
+            bytes_before,
+            bytes_evicted,
+            bytes_after: bytes_before - bytes_evicted,
+        })
+    }
+}
+
+/// How old a writer temp file must be before [`ResultStore::gc`] sweeps it.
+/// A live `put` holds its temp file only between one write and one rename,
+/// so anything this old was abandoned by a crash.
+pub const GC_TEMP_GRACE: std::time::Duration = std::time::Duration::from_secs(600);
+
+static LEASE_TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Milliseconds since the Unix epoch (lease timestamps).
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The contents of one lease file: who holds (or completed) a work unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseInfo {
+    /// Opaque holder identity (run id + shard id + pid in practice).
+    pub owner: String,
+    /// The run this lease belongs to; done leases with a matching run id are
+    /// "freshly simulated this run" provenance markers.
+    pub run_id: String,
+    /// Acquisition time, milliseconds since the Unix epoch.
+    pub acquired_unix_ms: u64,
+    /// Time after which a not-done lease may be stolen.
+    pub ttl_ms: u64,
+    /// Whether the unit completed (the store entry was persisted).
+    pub done: bool,
+}
+
+impl ToJson for LeaseInfo {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("owner", Json::Str(self.owner.clone())),
+            ("run_id", Json::Str(self.run_id.clone())),
+            ("acquired_unix_ms", Json::UInt(self.acquired_unix_ms)),
+            ("ttl_ms", Json::UInt(self.ttl_ms)),
+            ("done", Json::Bool(self.done)),
+        ])
+    }
+}
+
+impl FromJson for LeaseInfo {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(LeaseInfo {
+            owner: json
+                .get("owner")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| JsonError::missing("owner"))?,
+            run_id: json
+                .get("run_id")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| JsonError::missing("run_id"))?,
+            acquired_unix_ms: json
+                .get("acquired_unix_ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError::missing("acquired_unix_ms"))?,
+            ttl_ms: json
+                .get("ttl_ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError::missing("ttl_ms"))?,
+            done: json
+                .get("done")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| JsonError::missing("done"))?,
+        })
+    }
+}
+
+/// The outcome of a [`ResultStore::try_lease`] attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseState {
+    /// The caller now holds the lease and should execute the unit.
+    Acquired,
+    /// A live holder owns the lease; poll the store (or retry after its TTL).
+    Busy(LeaseInfo),
+}
+
+/// What [`ResultStore::gc`] did, as printed (in JSON) by the `store_gc`
+/// binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcSummary {
+    /// Result entries present before eviction.
+    pub entries_before: usize,
+    /// Entries removed.
+    pub entries_evicted: usize,
+    /// Total entry bytes before eviction.
+    pub bytes_before: u64,
+    /// Bytes reclaimed.
+    pub bytes_evicted: u64,
+    /// Total entry bytes remaining.
+    pub bytes_after: u64,
+}
+
+impl ToJson for GcSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("entries_before", Json::UInt(self.entries_before as u64)),
+            ("entries_evicted", Json::UInt(self.entries_evicted as u64)),
+            ("bytes_before", Json::UInt(self.bytes_before)),
+            ("bytes_evicted", Json::UInt(self.bytes_evicted)),
+            ("bytes_after", Json::UInt(self.bytes_after)),
+        ])
     }
 }
 
@@ -344,6 +742,159 @@ mod tests {
         );
         // The intact entry still hits.
         assert_eq!(store.get(key), Some(result));
+    }
+
+    #[test]
+    fn read_only_store_serves_hits_but_never_writes() {
+        let store = temp_store("readonly");
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        let result = simulate(&w, DefenseKind::MuonTrap, &cfg);
+        store.put(key, &result).unwrap();
+
+        let ro = ResultStore::read_only(store.root());
+        assert!(ro.is_read_only());
+        assert_eq!(ro.get(key), Some(result.clone()), "hits are served");
+        // Writes silently vanish.
+        let other = cell_fingerprint(&w, DefenseKind::SttSpectre, &cfg);
+        ro.put(other, &result).unwrap();
+        assert_eq!(ro.get(other), None);
+        assert_eq!(store.len(), 1);
+        // Coordination surfaces are refused outright.
+        assert!(ro.try_lease(other, "me", "run", 1000).is_err());
+        assert!(ro.mark_done(other, "me", "run").is_err());
+        assert!(ro.gc(0).is_err());
+        // A read-only handle on a missing directory is an always-cold store.
+        let ghost = ResultStore::read_only(store.root().join("nope"));
+        assert_eq!(ghost.get(key), None);
+        assert!(ghost.is_empty());
+    }
+
+    #[test]
+    fn leases_acquire_once_then_report_busy_until_stolen_or_done() {
+        let store = temp_store("lease");
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+
+        assert_eq!(
+            store.try_lease(key, "a", "run1", 60_000).unwrap(),
+            LeaseState::Acquired
+        );
+        // A second contender sees the live holder.
+        match store.try_lease(key, "b", "run1", 60_000).unwrap() {
+            LeaseState::Busy(info) => {
+                assert_eq!(info.owner, "a");
+                assert!(!info.done);
+            }
+            LeaseState::Acquired => panic!("lease must not be double-acquired"),
+        }
+        // Completion turns it into a provenance marker...
+        store
+            .put(key, &simulate(&w, DefenseKind::MuonTrap, &cfg))
+            .unwrap();
+        store.mark_done(key, "a", "run1").unwrap();
+        assert!(store.completed_during(key, "run1"));
+        assert!(!store.completed_during(key, "run2"));
+        // ...which is not stealable while the entry exists.
+        match store.try_lease(key, "b", "run1", 60_000).unwrap() {
+            LeaseState::Busy(info) => assert!(info.done),
+            LeaseState::Acquired => panic!("done lease with entry must stay busy"),
+        }
+        store.release_lease(key);
+        assert_eq!(store.read_lease(key), None);
+    }
+
+    #[test]
+    fn expired_and_orphaned_leases_are_stolen() {
+        let store = temp_store("steal");
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+
+        // Expired: holder "dead" acquired with a 1 ms TTL and vanished.
+        assert_eq!(
+            store.try_lease(key, "dead", "run1", 1).unwrap(),
+            LeaseState::Acquired
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(
+            store.try_lease(key, "thief", "run1", 60_000).unwrap(),
+            LeaseState::Acquired,
+            "an expired lease must be reclaimable"
+        );
+        assert_eq!(store.read_lease(key).unwrap().owner, "thief");
+
+        // Orphaned: marked done but the crash lost the store entry.
+        let other = Fingerprint(key.0 ^ 1);
+        store.mark_done(other, "dead", "run1").unwrap();
+        assert!(!store.contains(other));
+        assert_eq!(
+            store.try_lease(other, "thief", "run1", 60_000).unwrap(),
+            LeaseState::Acquired,
+            "a done lease without a store entry must be reclaimable"
+        );
+
+        // Corrupt lease files read as absent and are stolen.
+        fs::write(store.lease_path(other), "not a lease").unwrap();
+        assert_eq!(store.read_lease(other), None);
+        assert_eq!(
+            store.try_lease(other, "thief2", "run1", 60_000).unwrap(),
+            LeaseState::Acquired
+        );
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_modified_entries_to_fit_the_cap() {
+        let store = temp_store("gc");
+        let (w, cfg) = sample();
+        let suite = spec_suite(Scale::Tiny);
+        let mut keys = Vec::new();
+        for workload in suite.iter().take(3) {
+            let key = cell_fingerprint(workload, DefenseKind::MuonTrap, &cfg);
+            store
+                .put(key, &simulate(&w, DefenseKind::MuonTrap, &cfg))
+                .unwrap();
+            keys.push(key);
+            // Distinct mtimes so LRU order is well defined.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        // A lease file must never be collected as an entry, and a fresh
+        // temp file (a live writer mid-put) must survive the sweep.
+        store.try_lease(keys[2], "x", "run", 60_000).unwrap();
+        assert_eq!(store.len(), 3);
+        let live_temp = store
+            .entry_path(keys[1])
+            .parent()
+            .unwrap()
+            .join(".tmp-live-writer");
+        fs::write(&live_temp, "half an entry").unwrap();
+        let entry_bytes = fs::metadata(store.entry_path(keys[0])).unwrap().len();
+
+        // Cap at roughly two entries: the oldest one goes.
+        let summary = store.gc(entry_bytes * 2 + entry_bytes / 2).unwrap();
+        assert_eq!(summary.entries_before, 3);
+        assert_eq!(summary.entries_evicted, 1);
+        assert_eq!(
+            summary.bytes_after,
+            summary.bytes_before - summary.bytes_evicted
+        );
+        assert!(!store.contains(keys[0]), "oldest entry must evict first");
+        assert!(store.contains(keys[1]) && store.contains(keys[2]));
+        assert!(
+            store.read_lease(keys[2]).is_some(),
+            "gc must not touch leases"
+        );
+        assert!(
+            live_temp.exists(),
+            "a fresh temp file may be a live writer's"
+        );
+
+        // A zero cap empties the store; the summary round-trips as JSON.
+        let wiped = store.gc(0).unwrap();
+        assert_eq!(wiped.entries_before, 2);
+        assert_eq!(wiped.bytes_after, 0);
+        assert!(store.is_empty());
+        let json = wiped.to_json();
+        assert_eq!(json.get("entries_evicted").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

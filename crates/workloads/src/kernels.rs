@@ -393,6 +393,94 @@ pub fn stencil(name: &str, p: StencilParams) -> Program {
     b.build().expect("stencil kernel builds")
 }
 
+/// Parameters for a domain-switch-heavy kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainSwitchParams {
+    /// Number of protection-domain bursts (each ends in a syscall or a
+    /// sandbox round trip).
+    pub bursts: u64,
+    /// Loop iterations of memory work per burst — each iteration is ~8
+    /// dynamic instructions, so a few dozen here puts a domain switch every
+    /// few hundred instructions, the cadence §4.8 of the paper discusses.
+    pub work_per_burst: u64,
+    /// 8-byte elements in the working set the bursts walk. Sized near the
+    /// filter-cache capacity, this makes each post-switch refill expensive.
+    pub elements: u64,
+    /// Random seed for the gather indices.
+    pub seed: u64,
+}
+
+/// Generates a domain-switch-heavy kernel: short bursts of cache-warming
+/// gather work punctuated by protection-domain transitions — even bursts end
+/// in a syscall, odd bursts run inside a `sandbox_enter`/`sandbox_exit`
+/// region — so the speculative filter caches are flushed every few hundred
+/// instructions (MuonTrap flushes on every syscall and sandbox boundary,
+/// §4.8). This is the behaviour of syscall-dense servers and in-process
+/// sandbox hosts (JITs, WebAssembly runtimes), and it stresses exactly the
+/// path the paper's context/domain-switch overhead argument leans on: a
+/// defense that keeps speculative state in a tiny flushable structure pays
+/// for re-warming it after every transition.
+pub fn syscall_sandbox(name: &str, p: DomainSwitchParams) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let mut rng = SimRng::seed_from(p.seed);
+    let table: Vec<u64> = (0..p.elements.min(1024)).map(|i| i * 7 + 3).collect();
+    b.data_u64(VirtAddr::new(HEAP_BASE), &table);
+    // Private gather-index list, so the burst's loads wander the working set
+    // rather than streaming (a streaming burst would hide the refill cost).
+    let index_base = HEAP_BASE + p.elements * 8;
+    let index_entries = 512u64;
+    let indices: Vec<u64> = (0..index_entries).map(|_| rng.below(p.elements)).collect();
+    b.data_u64(VirtAddr::new(index_base), &indices);
+
+    b.li(BASE, HEAP_BASE);
+    b.li(BASE2, index_base);
+    b.li(ACC, 0);
+    b.li(Reg::X20, 0); // burst counter
+    let burst_top = b.here();
+
+    // Odd bursts run sandboxed: enter before the work, exit after.
+    let not_sandboxed_enter = b.new_label();
+    b.andi(TMP, Reg::X20, 1);
+    b.beq(TMP, Reg::X0, not_sandboxed_enter);
+    b.sandbox_enter();
+    b.bind_label(not_sandboxed_enter);
+
+    // The burst: gather-accumulate over the working set.
+    b.li(IDX, 0);
+    b.li(LIMIT, p.work_per_burst);
+    let work_top = b.here();
+    b.mul(TMP, Reg::X20, LIMIT);
+    b.add(TMP, TMP, IDX);
+    b.alui(AluOp::Rem, TMP, TMP, index_entries as i64);
+    b.shli(TMP, TMP, 3);
+    b.add(PTR, BASE2, TMP);
+    b.load(VAL, PTR, 0); // index load
+    b.shli(VAL, VAL, 3);
+    b.add(PTR, BASE, VAL);
+    b.load(SCRATCH, PTR, 0); // dependent gather into the working set
+    b.add(ACC, ACC, SCRATCH);
+    b.addi(IDX, IDX, 1);
+    b.blt(IDX, LIMIT, work_top);
+
+    // End of burst: leave the domain. Odd bursts exit the sandbox, even
+    // bursts make a syscall — either way the filter caches flush.
+    let even_burst = b.new_label();
+    let burst_done = b.new_label();
+    b.andi(TMP, Reg::X20, 1);
+    b.beq(TMP, Reg::X0, even_burst);
+    b.sandbox_exit();
+    b.jump(burst_done);
+    b.bind_label(even_burst);
+    b.syscall(1);
+    b.bind_label(burst_done);
+
+    b.addi(Reg::X20, Reg::X20, 1);
+    b.li(TMP, p.bursts);
+    b.blt(Reg::X20, TMP, burst_top);
+    b.halt();
+    b.build().expect("syscall-sandbox kernel builds")
+}
+
 /// Parameters for the shared-memory parallel kernels.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelParams {
@@ -723,6 +811,28 @@ mod tests {
             result.memory.read(addr, uarch_isa::inst::MemWidth::Double),
             (8 + 1) * 5 + 3
         );
+    }
+
+    #[test]
+    fn syscall_sandbox_kernel_switches_domains_every_burst() {
+        let p = syscall_sandbox(
+            "ds",
+            DomainSwitchParams {
+                bursts: 16,
+                work_per_burst: 24,
+                elements: 128,
+                seed: 5,
+            },
+        );
+        let mut interp = Interpreter::new(&p);
+        let result = interp.run(1_000_000).expect("kernel halts");
+        // 16 bursts of 24 iterations × ~8 instructions plus the switches.
+        assert!(result.retired > 16 * 24 * 6);
+        // Both domain-transition flavours are present in the static code.
+        use uarch_isa::inst::Instruction;
+        assert!(p.iter().any(|i| matches!(i, Instruction::Syscall { .. })));
+        assert!(p.iter().any(|i| matches!(i, Instruction::SandboxEnter)));
+        assert!(p.iter().any(|i| matches!(i, Instruction::SandboxExit)));
     }
 
     #[test]

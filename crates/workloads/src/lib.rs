@@ -136,6 +136,48 @@ pub struct Workload {
     pub description: String,
 }
 
+/// The domain-switch-heavy suite: kernels that cross protection domains
+/// (syscalls and sandbox boundaries) every few hundred instructions, the
+/// cadence the paper's §4.8 flush-cost discussion assumes. MuonTrap flushes
+/// its filter caches on every one of these transitions, so these workloads
+/// put an upper bound on the flush path's overhead that the SPEC-like and
+/// Parsec-like suites (which switch domains rarely) cannot expose.
+pub fn domain_switch_suite(scale: Scale) -> Vec<Workload> {
+    use kernels::{syscall_sandbox, DomainSwitchParams};
+    vec![
+        Workload::single(
+            "syscall-storm",
+            syscall_sandbox(
+                "syscall-storm",
+                DomainSwitchParams {
+                    bursts: scale.iterations(192),
+                    // ~8 dynamic instructions per iteration: a domain switch
+                    // roughly every 250 instructions.
+                    work_per_burst: 32,
+                    elements: scale.elements(512),
+                    seed: 71,
+                },
+            ),
+            "syscall-dense server behaviour: filter-cache flush every ~250 instructions",
+        ),
+        Workload::single(
+            "sandbox-hop",
+            syscall_sandbox(
+                "sandbox-hop",
+                DomainSwitchParams {
+                    bursts: scale.iterations(96),
+                    // Longer bursts: a switch every ~750 instructions, with a
+                    // working set large enough that refills dominate.
+                    work_per_burst: 96,
+                    elements: scale.elements(1024),
+                    seed: 73,
+                },
+            ),
+            "in-process sandbox host behaviour: enter/exit round trips with cold refills",
+        ),
+    ]
+}
+
 impl Workload {
     /// Creates a single-threaded workload.
     pub fn single(
@@ -217,6 +259,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn domain_switch_suite_halts_and_scales() {
+        for scale in [Scale::Tiny, Scale::Small] {
+            for w in domain_switch_suite(scale) {
+                assert_eq!(w.num_threads(), 1);
+                let mut interp = Interpreter::new(&w.thread_programs[0]);
+                assert!(
+                    interp.run(20_000_000).is_ok(),
+                    "workload {} at {scale} did not halt",
+                    w.name
+                );
+            }
+        }
+        let names: Vec<String> = domain_switch_suite(Scale::Tiny)
+            .into_iter()
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(names, vec!["syscall-storm", "sandbox-hop"]);
     }
 
     #[test]

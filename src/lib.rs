@@ -97,6 +97,7 @@ pub mod prelude {
     pub use simkit::config::{ProtectionConfig, SystemConfig};
     pub use simkit::json::{FromJson, Json, ToJson};
     pub use simkit::stats::geometric_mean;
+    pub use simsys::runner::{merge_events, RunEvent, ShardOptions, ShardSummary};
     pub use simsys::session::{
         simulate, CellResult, ExperimentResult, ExperimentSession, RunReport,
     };
@@ -104,7 +105,7 @@ pub mod prelude {
     pub use simsys::System;
     pub use uarch_isa::prog::ProgramBuilder;
     pub use uarch_isa::reg::Reg;
-    pub use workloads::{parsec_suite, spec_suite, Scale, Workload};
+    pub use workloads::{domain_switch_suite, parsec_suite, spec_suite, Scale, Workload};
 }
 
 #[cfg(test)]
