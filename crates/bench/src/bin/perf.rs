@@ -1,0 +1,114 @@
+//! Measures hot-loop throughput over a fixed figure matrix and emits the
+//! `BENCH_hotpath.json`-style [`PerfReport`](bench::perf::PerfReport).
+//!
+//! The store is always disabled: every cell is a real simulation, so the
+//! numbers measure the simulator's hot loop and nothing else. Workloads are
+//! deterministic (pinned seeds), so variance is wall-clock noise only.
+//!
+//! ```text
+//! perf [--scale tiny|small|large] [--threads N]
+//!      [--figures fig5,fig3,...]   # default: fig5 (the tracked grid)
+//!      [--all]                     # every figure in FIGURE_NAMES
+//!      [--naive]                   # disable the event-skipping loop
+//!      [--out FILE]                # write the JSON report to FILE too
+//! ```
+//!
+//! The CI perf-smoke job runs `perf --scale small` and fails if
+//! `cells_per_sec` on the fig5 grid regresses more than 25% against the
+//! committed `BENCH_hotpath.json` "after" numbers.
+
+use std::io::Write as _;
+
+use simkit::json::ToJson;
+use workloads::Scale;
+
+fn usage() -> String {
+    "usage: perf [--scale tiny|small|large] [--threads N] [--figures a,b,c] \
+     [--all] [--naive] [--out FILE]"
+        .to_string()
+}
+
+fn exit_usage(message: &str) -> ! {
+    eprintln!("{message}\n{}", usage());
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut figures: Vec<String> = vec!["fig5".to_string()];
+    let mut naive = false;
+    let mut out: Option<std::path::PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next() {
+                Some(value) => match value.parse::<Scale>() {
+                    Ok(parsed) => scale = parsed,
+                    Err(e) => exit_usage(&e.to_string()),
+                },
+                None => exit_usage("--scale needs a value"),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(parsed) if parsed >= 1 => threads = parsed,
+                _ => exit_usage("--threads needs a positive integer"),
+            },
+            "--figures" => match args.next() {
+                Some(value) => {
+                    figures = value.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                None => exit_usage("--figures needs a comma-separated list"),
+            },
+            "--all" => {
+                figures = bench::FIGURE_NAMES.iter().map(|s| s.to_string()).collect();
+            }
+            "--naive" => naive = true,
+            "--out" => match args.next() {
+                Some(value) => out = Some(std::path::PathBuf::from(value)),
+                None => exit_usage("--out needs a file"),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            other => exit_usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    for name in &figures {
+        if !bench::FIGURE_NAMES.contains(&name.as_str()) {
+            exit_usage(&format!(
+                "unknown figure `{name}`; expected one of {:?}",
+                bench::FIGURE_NAMES
+            ));
+        }
+    }
+    if naive {
+        // Must be set before anything queries the (cached) loop mode; the
+        // report's `naive_loop` field reflects the effective mode.
+        std::env::set_var("MUONTRAP_NAIVE_LOOP", "1");
+    }
+
+    let names: Vec<&str> = figures.iter().map(String::as_str).collect();
+    let report = bench::perf::measure(&names, scale, threads);
+    let text = report.to_json().to_string_pretty();
+    println!("{text}");
+    if let Some(path) = out {
+        let mut file = std::fs::File::create(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        writeln!(file, "{text}").expect("write perf report");
+    }
+    let total = report.total();
+    eprintln!(
+        "perf: {} figure(s) at {} scale, {} threads{}: {:.2} cells/s, {:.0} sim-cycles/s, {:.0} insts/s",
+        report.figures.len(),
+        report.scale.name(),
+        report.threads,
+        if report.naive_loop { " (naive loop)" } else { "" },
+        total.cells_per_sec(),
+        total.sim_cycles_per_sec(),
+        total.committed_insts_per_sec(),
+    );
+}

@@ -31,6 +31,7 @@
 //! The `report` binary regenerates everything at once into one JSON document.
 
 pub mod cli;
+pub mod perf;
 
 use simkit::config::{ProtectionConfig, SystemConfig};
 use simkit::json::{Json, ToJson};

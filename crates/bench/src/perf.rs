@@ -1,0 +1,237 @@
+//! The tracked performance harness behind the `perf` binary.
+//!
+//! Every figure in the evaluation is bounded by how fast the simulator's hot
+//! loop executes grid cells, so this module measures exactly that: it runs
+//! figure grids **with the result store disabled** (every cell is a real
+//! simulation — no cache hits, no leases) on a fixed, pinned-seed workload
+//! matrix and reports throughput per figure:
+//!
+//! * `cells_per_sec` — resolved grid cells per wall-clock second (the
+//!   headline number the CI perf-smoke job guards),
+//! * `sim_cycles_per_sec` — simulated cycles retired per wall-clock second,
+//! * `committed_insts_per_sec` — committed µISA instructions per wall-clock
+//!   second.
+//!
+//! The workloads are deterministic (seeded generators, no host entropy), so
+//! run-to-run variance is wall-clock noise only. `BENCH_hotpath.json` at the
+//! repository root records a before/after pair of [`PerfReport`]s for the
+//! hot-path overhaul; the CI perf-smoke job re-measures and fails if
+//! `cells_per_sec` regresses more than 25% against the committed "after"
+//! numbers. See README.md § "Measuring performance".
+
+use std::time::Instant;
+
+use simkit::config::SystemConfig;
+use simkit::json::{Json, ToJson};
+use workloads::Scale;
+
+use crate::{figure_session, FIGURE_NAMES};
+
+/// Throughput measurement of one figure grid (store disabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigurePerf {
+    /// Figure name (see [`FIGURE_NAMES`]).
+    pub figure: String,
+    /// Wall-clock duration of the grid, milliseconds.
+    pub wall_ms: f64,
+    /// Grid cells resolved.
+    pub cells: usize,
+    /// Simulations actually executed (baselines + non-derived cells).
+    pub sims_executed: usize,
+    /// Total simulated cycles across all grid cells.
+    pub sim_cycles: u64,
+    /// Total committed instructions across all grid cells.
+    pub committed_insts: u64,
+}
+
+impl FigurePerf {
+    /// Grid cells resolved per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        per_sec(self.cells as f64, self.wall_ms)
+    }
+
+    /// Simulated cycles per wall-clock second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        per_sec(self.sim_cycles as f64, self.wall_ms)
+    }
+
+    /// Committed instructions per wall-clock second.
+    pub fn committed_insts_per_sec(&self) -> f64 {
+        per_sec(self.committed_insts as f64, self.wall_ms)
+    }
+}
+
+fn per_sec(count: f64, wall_ms: f64) -> f64 {
+    if wall_ms <= 0.0 {
+        0.0
+    } else {
+        count / (wall_ms / 1e3)
+    }
+}
+
+impl ToJson for FigurePerf {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", Json::Str(self.figure.clone())),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("cells", Json::UInt(self.cells as u64)),
+            ("sims_executed", Json::UInt(self.sims_executed as u64)),
+            ("sim_cycles", Json::UInt(self.sim_cycles)),
+            ("committed_insts", Json::UInt(self.committed_insts)),
+            ("cells_per_sec", Json::Num(self.cells_per_sec())),
+            ("sim_cycles_per_sec", Json::Num(self.sim_cycles_per_sec())),
+            (
+                "committed_insts_per_sec",
+                Json::Num(self.committed_insts_per_sec()),
+            ),
+        ])
+    }
+}
+
+/// One complete `perf` run: per-figure throughput plus totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Workload scale the matrix ran at.
+    pub scale: Scale,
+    /// Session worker threads.
+    pub threads: usize,
+    /// Whether the cycle-skipping fast-forward loop was disabled
+    /// (`perf --naive` / `MUONTRAP_NAIVE_LOOP=1`).
+    pub naive_loop: bool,
+    /// Per-figure measurements, in the order requested.
+    pub figures: Vec<FigurePerf>,
+}
+
+impl PerfReport {
+    /// The aggregate over every measured figure, reported as a pseudo-figure
+    /// named `"total"`.
+    pub fn total(&self) -> FigurePerf {
+        FigurePerf {
+            figure: "total".to_string(),
+            wall_ms: self.figures.iter().map(|f| f.wall_ms).sum(),
+            cells: self.figures.iter().map(|f| f.cells).sum(),
+            sims_executed: self.figures.iter().map(|f| f.sims_executed).sum(),
+            sim_cycles: self.figures.iter().map(|f| f.sim_cycles).sum(),
+            committed_insts: self.figures.iter().map(|f| f.committed_insts).sum(),
+        }
+    }
+
+    /// The measurement for `figure`, if it was part of the matrix.
+    pub fn figure(&self, figure: &str) -> Option<&FigurePerf> {
+        self.figures.iter().find(|f| f.figure == figure)
+    }
+}
+
+impl ToJson for PerfReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str("muontrap-bench-hotpath-v1".to_string())),
+            ("scale", Json::Str(self.scale.name().to_string())),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("naive_loop", Json::Bool(self.naive_loop)),
+            (
+                "figures",
+                Json::Arr(self.figures.iter().map(ToJson::to_json).collect()),
+            ),
+            ("total", self.total().to_json()),
+        ])
+    }
+}
+
+/// Measures one figure grid by name, with the store disabled.
+///
+/// # Panics
+/// Panics if `name` is not one of [`FIGURE_NAMES`].
+pub fn measure_figure(name: &str, scale: Scale, threads: usize) -> FigurePerf {
+    let session = figure_session(name, scale, &SystemConfig::paper_default(), threads, None)
+        .unwrap_or_else(|| panic!("unknown figure `{name}`; expected one of {FIGURE_NAMES:?}"));
+    let started = Instant::now();
+    let report = session.run();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    FigurePerf {
+        figure: name.to_string(),
+        wall_ms,
+        cells: report.cells.len(),
+        sims_executed: report.sims_executed,
+        sim_cycles: report.cells.iter().map(|c| c.cycles).sum(),
+        committed_insts: report.cells.iter().map(|c| c.committed).sum(),
+    }
+}
+
+/// Measures a matrix of figures (store disabled) and assembles the report.
+///
+/// The report's `naive_loop` field records the *effective* loop mode
+/// (whether `MUONTRAP_NAIVE_LOOP` disabled the event-skipping fast-forward
+/// for this process), not a caller claim — so a report can never mislabel
+/// its own measurement.
+///
+/// # Panics
+/// Panics if any name is not one of [`FIGURE_NAMES`].
+pub fn measure(names: &[&str], scale: Scale, threads: usize) -> PerfReport {
+    PerfReport {
+        scale,
+        threads,
+        naive_loop: simsys::system::naive_loop_requested(),
+        figures: names
+            .iter()
+            .map(|name| measure_figure(name, scale, threads))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_divide_by_wall_clock() {
+        let perf = FigurePerf {
+            figure: "fig5".to_string(),
+            wall_ms: 2000.0,
+            cells: 10,
+            sims_executed: 12,
+            sim_cycles: 1_000_000,
+            committed_insts: 400_000,
+        };
+        assert!((perf.cells_per_sec() - 5.0).abs() < 1e-9);
+        assert!((perf.sim_cycles_per_sec() - 500_000.0).abs() < 1e-3);
+        assert!((perf.committed_insts_per_sec() - 200_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_wall_clock_reports_zero_rates() {
+        let perf = FigurePerf {
+            figure: "x".to_string(),
+            wall_ms: 0.0,
+            cells: 5,
+            sims_executed: 5,
+            sim_cycles: 1,
+            committed_insts: 1,
+        };
+        assert_eq!(perf.cells_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn measured_tiny_figure_reports_consistent_counts() {
+        let perf = measure_figure("domain", Scale::Tiny, 1);
+        assert!(perf.cells > 0);
+        assert!(perf.sim_cycles > 0);
+        assert!(perf.committed_insts > 0);
+        assert!(perf.wall_ms > 0.0);
+        assert!(perf.cells_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn report_totals_and_json_shape() {
+        let report = measure(&["domain"], Scale::Tiny, 1);
+        let total = report.total();
+        assert_eq!(total.cells, report.figures[0].cells);
+        let json = report.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("muontrap-bench-hotpath-v1")
+        );
+        assert_eq!(json.get("naive_loop").and_then(Json::as_bool), Some(false));
+        assert!(json.get("total").is_some());
+    }
+}

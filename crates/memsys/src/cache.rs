@@ -5,6 +5,13 @@
 //! over a per-line metadata type so the MuonTrap filter cache can attach its
 //! committed bit, virtual tag and fill-level tag without this crate knowing
 //! about them.
+//!
+//! The array is stored as **one contiguous `Vec`** indexed by
+//! `set * ways + way` — not a `Vec` of per-set `Vec`s. Every simulated memory
+//! access walks at least one set, so the flat layout keeps lookups on a
+//! single allocation with predictable strides and removes a pointer chase per
+//! set. Empty ways hold an [`MesiState::Invalid`] line; a `valid` counter
+//! keeps [`occupancy`](CacheArray::occupancy) O(1) and allocation-free.
 
 use simkit::addr::LineAddr;
 use simkit::config::CacheConfig;
@@ -41,8 +48,13 @@ pub struct Eviction<M> {
 /// side-effect free.
 #[derive(Debug, Clone)]
 pub struct CacheArray<M> {
-    sets: Vec<Vec<CacheLine<M>>>,
+    /// All ways of all sets, flattened: way `w` of set `s` lives at
+    /// `s * ways + w`. Invalid lines are empty slots.
+    lines: Vec<CacheLine<M>>,
+    num_sets: usize,
     ways: usize,
+    /// Number of currently valid (readable) lines.
+    valid: usize,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -58,30 +70,38 @@ impl<M: Default + Clone> CacheArray<M> {
         assert!(lines >= 1, "cache must hold at least one line");
         let ways = config.ways.min(lines);
         let num_sets = (lines / ways).max(1);
-        CacheArray {
-            sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(),
-            ways,
-            tick: 0,
-            hits: 0,
-            misses: 0,
-        }
+        Self::with_geometry(num_sets, ways)
     }
 
     /// Creates a cache array with explicit geometry (used in tests and sweeps).
     pub fn with_geometry(num_sets: usize, ways: usize) -> Self {
         assert!(num_sets >= 1 && ways >= 1, "geometry must be at least 1x1");
+        let mut lines = Vec::new();
+        lines.resize_with(num_sets * ways, Self::empty_slot);
         CacheArray {
-            sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(),
+            lines,
+            num_sets,
             ways,
+            valid: 0,
             tick: 0,
             hits: 0,
             misses: 0,
         }
     }
 
+    fn empty_slot() -> CacheLine<M> {
+        CacheLine {
+            addr: LineAddr::new(0),
+            state: MesiState::Invalid,
+            dirty: false,
+            lru: 0,
+            meta: M::default(),
+        }
+    }
+
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     /// Associativity.
@@ -91,15 +111,13 @@ impl<M: Default + Clone> CacheArray<M> {
 
     /// Total capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.ways
+        self.num_sets * self.ways
     }
 
-    /// Number of valid lines currently resident.
+    /// Number of valid lines currently resident. O(1): maintained by
+    /// insert/invalidate, never recounted.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.state.can_read()).count())
-            .sum()
+        self.valid
     }
 
     /// Hits recorded by [`CacheArray::lookup`].
@@ -113,7 +131,12 @@ impl<M: Default + Clone> CacheArray<M> {
     }
 
     fn set_index(&self, addr: LineAddr) -> usize {
-        addr.set_index(self.sets.len())
+        addr.set_index(self.num_sets)
+    }
+
+    fn set_range(&self, addr: LineAddr) -> std::ops::Range<usize> {
+        let start = self.set_index(addr) * self.ways;
+        start..start + self.ways
     }
 
     /// Looks up `addr`, updating LRU and hit/miss counters. Returns a mutable
@@ -121,9 +144,8 @@ impl<M: Default + Clone> CacheArray<M> {
     pub fn lookup(&mut self, addr: LineAddr) -> Option<&mut CacheLine<M>> {
         self.tick += 1;
         let tick = self.tick;
-        let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        if let Some(line) = set
+        let range = self.set_range(addr);
+        if let Some(line) = self.lines[range]
             .iter_mut()
             .find(|l| l.addr == addr && l.state.can_read())
         {
@@ -138,16 +160,16 @@ impl<M: Default + Clone> CacheArray<M> {
 
     /// Returns the line for `addr` without updating LRU or counters.
     pub fn peek(&self, addr: LineAddr) -> Option<&CacheLine<M>> {
-        let idx = self.set_index(addr);
-        self.sets[idx]
+        let range = self.set_range(addr);
+        self.lines[range]
             .iter()
             .find(|l| l.addr == addr && l.state.can_read())
     }
 
     /// Returns a mutable reference without updating LRU or counters.
     pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut CacheLine<M>> {
-        let idx = self.set_index(addr);
-        self.sets[idx]
+        let range = self.set_range(addr);
+        self.lines[range]
             .iter_mut()
             .find(|l| l.addr == addr && l.state.can_read())
     }
@@ -163,9 +185,8 @@ impl<M: Default + Clone> CacheArray<M> {
     pub fn insert(&mut self, addr: LineAddr, state: MesiState, meta: M) -> Eviction<M> {
         self.tick += 1;
         let tick = self.tick;
-        let idx = self.set_index(addr);
-        let ways = self.ways;
-        let set = &mut self.sets[idx];
+        let range = self.set_range(addr);
+        let set = &mut self.lines[range];
 
         if let Some(line) = set
             .iter_mut()
@@ -177,46 +198,31 @@ impl<M: Default + Clone> CacheArray<M> {
             return Eviction { victim: None };
         }
 
+        let fresh = CacheLine {
+            addr,
+            state,
+            dirty: false,
+            lru: tick,
+            meta,
+        };
+
         // Reuse an invalid slot if one exists.
         if let Some(slot) = set.iter_mut().find(|l| !l.state.can_read()) {
-            *slot = CacheLine {
-                addr,
-                state,
-                dirty: false,
-                lru: tick,
-                meta,
-            };
+            *slot = fresh;
+            self.valid += 1;
             return Eviction { victim: None };
         }
 
-        if set.len() < ways {
-            set.push(CacheLine {
-                addr,
-                state,
-                dirty: false,
-                lru: tick,
-                meta,
-            });
-            return Eviction { victim: None };
-        }
-
-        // Evict the least recently used line.
+        // Evict the least recently used line (LRU stamps are unique — the
+        // global tick increments on every insert and lookup — so the victim
+        // does not depend on slot order).
         let victim_idx = set
             .iter()
             .enumerate()
             .min_by_key(|(_, l)| l.lru)
             .map(|(i, _)| i)
             .expect("non-empty set");
-        let victim = std::mem::replace(
-            &mut set[victim_idx],
-            CacheLine {
-                addr,
-                state,
-                dirty: false,
-                lru: tick,
-                meta,
-            },
-        );
+        let victim = std::mem::replace(&mut set[victim_idx], fresh);
         Eviction {
             victim: Some(victim),
         }
@@ -224,51 +230,56 @@ impl<M: Default + Clone> CacheArray<M> {
 
     /// Invalidates `addr` if present, returning the removed line.
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<CacheLine<M>> {
-        let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        let pos = set
-            .iter()
-            .position(|l| l.addr == addr && l.state.can_read())?;
-        let mut line = set.remove(pos);
+        let range = self.set_range(addr);
+        let slot = self.lines[range]
+            .iter_mut()
+            .find(|l| l.addr == addr && l.state.can_read())?;
+        let mut line = std::mem::replace(slot, Self::empty_slot());
         line.state = MesiState::Invalid;
+        self.valid -= 1;
         Some(line)
     }
 
     /// Invalidates every line, returning how many were valid. This is the
-    /// single-cycle "clear every valid bit" operation of §4.3.
+    /// single-cycle "clear every valid bit" operation of §4.3 — and like the
+    /// hardware it models, it only clears state bits: no allocation, no
+    /// per-line drop beyond resetting the slot.
     pub fn invalidate_all(&mut self) -> usize {
-        let mut count = 0;
-        for set in &mut self.sets {
-            count += set.iter().filter(|l| l.state.can_read()).count();
-            set.clear();
+        let count = self.valid;
+        for slot in &mut self.lines {
+            if slot.state.can_read() {
+                *slot = Self::empty_slot();
+            }
         }
+        self.valid = 0;
         count
+    }
+
+    /// Iterates over every valid line, set-major. Allocation-free; the basis
+    /// of every stat helper on this type.
+    pub fn iter_valid(&self) -> impl Iterator<Item = &CacheLine<M>> {
+        self.lines.iter().filter(|l| l.state.can_read())
     }
 
     /// Applies `f` to every valid line.
     pub fn for_each_valid(&self, mut f: impl FnMut(&CacheLine<M>)) {
-        for set in &self.sets {
-            for line in set.iter().filter(|l| l.state.can_read()) {
-                f(line);
-            }
+        for line in self.iter_valid() {
+            f(line);
         }
     }
 
     /// Applies `f` to every valid line mutably.
     pub fn for_each_valid_mut(&mut self, mut f: impl FnMut(&mut CacheLine<M>)) {
-        for set in &mut self.sets {
-            for line in set.iter_mut().filter(|l| l.state.can_read()) {
-                f(line);
-            }
+        for line in self.lines.iter_mut().filter(|l| l.state.can_read()) {
+            f(line);
         }
     }
 
-    /// Collects the addresses of all valid lines (useful in tests).
-    pub fn resident_lines(&self) -> Vec<LineAddr> {
-        let mut lines = Vec::new();
-        self.for_each_valid(|l| lines.push(l.addr));
-        lines.sort_unstable();
-        lines
+    /// The addresses of all valid lines, in set-major storage order.
+    /// Allocation-free; collect and sort when a canonical order is needed
+    /// (tests do).
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.iter_valid().map(|l| l.addr)
     }
 }
 
@@ -391,10 +402,30 @@ mod tests {
     }
 
     #[test]
-    fn resident_lines_are_sorted() {
+    fn occupancy_counter_survives_eviction_and_overwrite() {
+        let mut c = small_cache();
+        // Fill set 0 (lines 0 and 4), then evict by inserting line 8.
+        c.insert(LineAddr::new(0), MesiState::Shared, ());
+        c.insert(LineAddr::new(4), MesiState::Shared, ());
+        assert_eq!(c.occupancy(), 2);
+        let ev = c.insert(LineAddr::new(8), MesiState::Shared, ());
+        assert!(ev.victim.is_some());
+        assert_eq!(c.occupancy(), 2, "eviction replaces, not grows");
+        // Overwriting a present line must not change the count either.
+        c.insert(LineAddr::new(8), MesiState::Modified, ());
+        assert_eq!(c.occupancy(), 2);
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn resident_lines_iterates_without_allocating_per_line() {
         let mut c = small_cache();
         c.insert(LineAddr::new(9), MesiState::Shared, ());
         c.insert(LineAddr::new(2), MesiState::Shared, ());
-        assert_eq!(c.resident_lines(), vec![LineAddr::new(2), LineAddr::new(9)]);
+        let mut lines: Vec<LineAddr> = c.resident_lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![LineAddr::new(2), LineAddr::new(9)]);
+        assert_eq!(c.iter_valid().count(), 2);
     }
 }

@@ -105,6 +105,25 @@ impl MemoryHierarchy {
         std::mem::take(&mut self.invalidation_queues[core])
     }
 
+    /// Drains `core`'s pending invalidations into `buf` (cleared first) by
+    /// swapping buffers, so the per-cycle drain in the defense layers'
+    /// `tick` never allocates: the queue keeps `buf`'s capacity and `buf`
+    /// receives the queued lines. Equivalent to
+    /// [`take_invalidations`](Self::take_invalidations) minus the `Vec`
+    /// churn.
+    pub fn drain_invalidations_into(&mut self, core: usize, buf: &mut Vec<LineAddr>) {
+        buf.clear();
+        std::mem::swap(&mut self.invalidation_queues[core], buf);
+    }
+
+    /// Whether `core` has invalidation notifications queued and not yet
+    /// drained. The system loop consults this (through
+    /// `MemoryModel::is_idle`) before fast-forwarding over idle cycles: a
+    /// non-empty queue means the next `tick` does real work.
+    pub fn has_pending_invalidations(&self, core: usize) -> bool {
+        !self.invalidation_queues[core].is_empty()
+    }
+
     /// Whether `line` is held in Modified or Exclusive state by the private L1
     /// data cache of any core other than `core`. Side-effect free.
     pub fn remote_private_holds_exclusive(&self, core: usize, line: LineAddr) -> bool {

@@ -66,14 +66,17 @@ impl StridePrefetcher {
     /// Trains the prefetcher with an access by instruction `pc` to `line` and
     /// returns the prefetch candidates it wants fetched (empty when cold, when
     /// the stride is unstable, or when disabled).
-    pub fn train(&mut self, pc: u64, line: LineAddr) -> Vec<LineAddr> {
+    ///
+    /// The candidates come back as an allocation-free [`PrefetchCandidates`]
+    /// iterator — training runs on every (committed) memory access, so a
+    /// `Vec` per call would be an allocation on the simulator's hottest path.
+    pub fn train(&mut self, pc: u64, line: LineAddr) -> PrefetchCandidates {
         if self.degree == 0 {
-            return Vec::new();
+            return PrefetchCandidates::empty();
         }
         self.trained += 1;
         let idx = (pc as usize) % TABLE_ENTRIES;
         let entry = &mut self.table[idx];
-        let mut prefetches = Vec::new();
 
         if !entry.valid || entry.tag != pc {
             *entry = StrideEntry {
@@ -83,7 +86,7 @@ impl StridePrefetcher {
                 confidence: 0,
                 valid: true,
             };
-            return prefetches;
+            return PrefetchCandidates::empty();
         }
 
         let observed = line.raw() as i64 - entry.last_line as i64;
@@ -96,15 +99,19 @@ impl StridePrefetcher {
         entry.last_line = line.raw();
 
         if entry.confidence >= CONFIDENCE_THRESHOLD && entry.stride != 0 {
-            for i in 1..=self.degree as i64 {
-                let target = line.raw() as i64 + entry.stride * i;
-                if target >= 0 {
-                    prefetches.push(LineAddr::new(target as u64));
-                }
-            }
-            self.issued += prefetches.len() as u64;
+            let candidates = PrefetchCandidates {
+                next: line.raw() as i64 + entry.stride,
+                stride: entry.stride,
+                remaining: self.degree,
+            };
+            // Count exactly the candidates the iterator will yield (negative
+            // targets are skipped, matching the old collect-and-filter).
+            // `PrefetchCandidates` is `Copy`, so counting consumes a copy.
+            self.issued += candidates.count() as u64;
+            candidates
+        } else {
+            PrefetchCandidates::empty()
         }
-        prefetches
     }
 
     /// Forgets all training state (e.g. across a full system reset).
@@ -112,6 +119,49 @@ impl StridePrefetcher {
         for e in &mut self.table {
             *e = StrideEntry::default();
         }
+    }
+}
+
+/// The prefetch candidates one [`StridePrefetcher::train`] call produced:
+/// up to `remaining` lines spaced `stride` apart, skipping any that would
+/// fall below address zero. A `Copy`-sized iterator, so the hot path never
+/// allocates for prefetching.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchCandidates {
+    next: i64,
+    stride: i64,
+    remaining: usize,
+}
+
+impl PrefetchCandidates {
+    /// An iterator yielding nothing (cold entry, unstable stride, disabled).
+    pub fn empty() -> Self {
+        PrefetchCandidates {
+            next: 0,
+            stride: 0,
+            remaining: 0,
+        }
+    }
+
+    /// Whether no candidates will be yielded.
+    pub fn is_empty(&self) -> bool {
+        (*self).count() == 0
+    }
+}
+
+impl Iterator for PrefetchCandidates {
+    type Item = LineAddr;
+
+    fn next(&mut self) -> Option<LineAddr> {
+        while self.remaining > 0 {
+            let target = self.next;
+            self.next += self.stride;
+            self.remaining -= 1;
+            if target >= 0 {
+                return Some(LineAddr::new(target as u64));
+            }
+        }
+        None
     }
 }
 
@@ -125,7 +175,7 @@ mod tests {
         let pc = 0x400;
         let mut total = Vec::new();
         for i in 0..6u64 {
-            total = p.train(pc, LineAddr::new(10 + i * 3));
+            total = p.train(pc, LineAddr::new(10 + i * 3)).collect();
         }
         assert_eq!(
             total,
@@ -140,7 +190,7 @@ mod tests {
         let pc = 0x88;
         let mut out = Vec::new();
         for i in 0..5u64 {
-            out = p.train(pc, LineAddr::new(i));
+            out = p.train(pc, LineAddr::new(i)).collect();
         }
         assert_eq!(out, vec![LineAddr::new(5)]);
     }
@@ -177,8 +227,8 @@ mod tests {
         let mut out_a = Vec::new();
         let mut out_b = Vec::new();
         for i in 0..6u64 {
-            out_a = p.train(0x10, LineAddr::new(i * 2));
-            out_b = p.train(0x20, LineAddr::new(1000 + i * 5));
+            out_a = p.train(0x10, LineAddr::new(i * 2)).collect();
+            out_b = p.train(0x20, LineAddr::new(1000 + i * 5)).collect();
         }
         assert_eq!(out_a, vec![LineAddr::new(12)]);
         assert_eq!(out_b, vec![LineAddr::new(1030)]);
@@ -199,7 +249,7 @@ mod tests {
         let mut p = StridePrefetcher::new(1);
         let mut out = Vec::new();
         for i in 0..6u64 {
-            out = p.train(0x5, LineAddr::new(1000 - i * 4));
+            out = p.train(0x5, LineAddr::new(1000 - i * 4)).collect();
         }
         assert_eq!(out, vec![LineAddr::new(1000 - 5 * 4 - 4)]);
     }

@@ -38,6 +38,9 @@ pub struct MuonTrap {
     hierarchy: MemoryHierarchy,
     cores: Vec<CoreState>,
     stats: StatSet,
+    /// Reusable buffer for draining the hierarchy's invalidation queues, so
+    /// the per-access/per-tick drain never allocates.
+    inval_scratch: Vec<LineAddr>,
 }
 
 impl MuonTrap {
@@ -62,6 +65,7 @@ impl MuonTrap {
             hierarchy,
             cores,
             stats: StatSet::new(),
+            inval_scratch: Vec::new(),
         }
     }
 
@@ -114,16 +118,24 @@ impl MuonTrap {
 
     /// Applies pending invalidations broadcast by other cores' exclusive
     /// upgrades to this core's filter caches (§4.5: exclusive upgrades must
-    /// invalidate filter caches so their timing stays independent).
+    /// invalidate filter caches so their timing stays independent). Runs on
+    /// every tick and before every access, so the common empty-queue case
+    /// returns immediately and the drain reuses one scratch buffer.
     fn drain_invalidations(&mut self, core: usize) {
-        let lines = self.hierarchy.take_invalidations(core);
-        for line in lines {
+        if !self.hierarchy.has_pending_invalidations(core) {
+            return;
+        }
+        let mut lines = std::mem::take(&mut self.inval_scratch);
+        self.hierarchy.drain_invalidations_into(core, &mut lines);
+        for &line in &lines {
             let state = &mut self.cores[core];
             if state.data_filter.external_invalidate(line) {
                 self.stats.bump("muontrap.filter_invalidations_received");
             }
             state.inst_filter.external_invalidate(line);
         }
+        lines.clear();
+        self.inval_scratch = lines;
     }
 
     /// Translates a data access, routing speculative translations through the
@@ -511,6 +523,13 @@ impl MemoryModel for MuonTrap {
 
     fn tick(&mut self, core: usize, _now: Cycle) {
         self.drain_invalidations(core);
+    }
+
+    fn is_idle(&self, core: usize) -> bool {
+        // The only per-cycle background work is draining invalidation
+        // broadcasts; with an empty queue, `tick` is a no-op and idle cycles
+        // may be fast-forwarded.
+        !self.hierarchy.has_pending_invalidations(core)
     }
 
     fn stats(&self) -> StatSet {

@@ -9,8 +9,33 @@
 //! Stores update functional memory only at commit, so architectural state is
 //! always correct; the speculative damage the paper studies is confined to the
 //! cache side, exactly as on real hardware.
+//!
+//! # The hot loop
+//!
+//! [`tick`](OooCore::tick) is the innermost loop of every experiment, so it is
+//! written to be allocation-free and to avoid re-deriving anything a cheap
+//! incremental structure can carry (see ARCHITECTURE.md § "The hot path"):
+//!
+//! * committed events go into a **caller-provided buffer** instead of a fresh
+//!   `Vec` per cycle;
+//! * each ROB entry records **dispatch-time producer links** (the sequence
+//!   number of the in-flight producer of each source register, captured from a
+//!   register scoreboard), so operand lookup is O(1) instead of a backward
+//!   ROB scan;
+//! * a **done-prefix counter** tracks how many entries at the head are
+//!   finished, so commit-readiness and the `rdcycle` "all older done" gate are
+//!   O(1);
+//! * **in-flight load/store counters** and ordered sequence queues of stores
+//!   and unresolved branches replace the per-cycle `rob.iter().filter()`
+//!   scans of the fetch, disambiguation and speculation-visibility paths;
+//! * a tick that did no work reports itself [`quiescent`](OooCore::quiescent)
+//!   and can name the [`next_wake`](OooCore::next_wake) cycle, which lets the
+//!   driving loop **fast-forward over idle cycles** (crediting them via
+//!   [`skip_idle_cycles`](OooCore::skip_idle_cycles)) with bit-identical
+//!   statistics — see `tests/hotpath_golden.rs` for the equivalence proof.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 use simkit::addr::VirtAddr;
 use simkit::config::{PipelineConfig, SystemConfig};
@@ -19,12 +44,24 @@ use simkit::stats::StatSet;
 
 use uarch_isa::inst::{eval_alu, eval_branch, eval_fpu, InstClass, Instruction, MemWidth};
 use uarch_isa::prog::INST_BYTES;
-use uarch_isa::reg::Reg;
+use uarch_isa::reg::{Reg, NUM_REGS};
 
 use crate::branch::{BranchPredictor, BranchUpdate};
 use crate::context::ThreadContext;
 use crate::events::CoreEvent;
 use crate::memmodel::{MemAccessCtx, MemOutcome, MemoryModel};
+
+/// Whether `MUONTRAP_NAIVE_LOOP` asks for the naive one-tick-per-cycle loop
+/// (no idle-cycle fast-forward). Read once per process; the result is cached.
+/// The simulated behaviour is bit-identical either way — the switch exists so
+/// the `perf` binary can measure the speedup and tests can cross-check.
+pub fn naive_loop_requested() -> bool {
+    static NAIVE: OnceLock<bool> = OnceLock::new();
+    *NAIVE.get_or_init(|| std::env::var_os("MUONTRAP_NAIVE_LOOP").is_some_and(|v| v != "0"))
+}
+
+/// Sentinel for "no in-flight producer: read the architectural register".
+const NO_PRODUCER: u64 = u64::MAX;
 
 /// Execution status of a reorder-buffer entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,13 +76,21 @@ enum Status {
 
 /// One reorder-buffer entry.
 #[derive(Debug, Clone)]
-#[allow(dead_code)] // `seq` and `predicted_taken` are kept for debugging and future recovery logic
+#[allow(dead_code)] // `predicted_taken` is kept for debugging and future recovery logic
 struct RobEntry {
     seq: u64,
     pc: usize,
     inst: Instruction,
     status: Status,
     result: Option<u64>,
+    /// Sequence numbers of the youngest older producer of each source
+    /// register, captured from the scoreboard at dispatch ([`NO_PRODUCER`]
+    /// means the architectural register file). In-order commit guarantees the
+    /// link stays correct for the entry's whole life: the linked producer
+    /// either still sits in the ROB or has committed its result to the
+    /// register file, and a squash that removes a producer removes every
+    /// (younger) consumer with it.
+    src_producers: [u64; 2],
     /// Computed virtual address for memory operations.
     mem_addr: Option<VirtAddr>,
     /// Value to be stored (for stores/atomics), captured at execute.
@@ -87,7 +132,9 @@ impl RobEntry {
 /// Statistics accumulated by one core.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CoreStats {
-    /// Cycles this core has been ticked.
+    /// Cycles this core has been ticked (idle cycles skipped by the
+    /// fast-forward loop are credited here, so the count is identical to the
+    /// naive loop's).
     pub cycles: u64,
     /// Instructions committed.
     pub committed: u64,
@@ -154,6 +201,33 @@ pub struct OooCore {
     commit_stalled_until: Cycle,
     halted: bool,
     stats: CoreStats,
+
+    // --- incremental hot-loop structures --------------------------------
+    /// Length of the contiguous `Done` prefix at the ROB head: the head
+    /// `done_prefix` entries are finished. O(1) commit-readiness and the
+    /// `rdcycle` "every older instruction done" gate.
+    done_prefix: usize,
+    /// Register scoreboard: for each architectural register, the sequence
+    /// number of its youngest in-flight producer ([`NO_PRODUCER`] if the
+    /// committed register file holds the current value).
+    reg_producer: [u64; NUM_REGS],
+    /// In-flight loads (atomics count), maintained at dispatch/commit/squash.
+    loads_in_flight: usize,
+    /// In-flight stores (atomics count), maintained at dispatch/commit/squash.
+    stores_in_flight: usize,
+    /// Sequence numbers of in-flight stores, oldest first, for memory
+    /// disambiguation: a load walks only the (few) older stores instead of
+    /// every older ROB entry.
+    store_seqs: VecDeque<u64>,
+    /// Sequence numbers of in-flight control-flow instructions that have not
+    /// resolved, oldest first; resolved/committed entries are lazily popped,
+    /// so the front is always the oldest unresolved branch.
+    branch_seqs: VecDeque<u64>,
+    /// Whether the last [`tick`](Self::tick) performed any pipeline work.
+    tick_active: bool,
+    // Reusable scratch for the taint walk (STT support) — allocated once.
+    taint_stack: Vec<usize>,
+    taint_visited: Vec<bool>,
 }
 
 impl OooCore {
@@ -164,7 +238,7 @@ impl OooCore {
             core_id,
             pipeline: config.pipeline,
             predictor: BranchPredictor::new(&config.branch_predictor),
-            rob: VecDeque::new(),
+            rob: VecDeque::with_capacity(config.pipeline.rob_entries),
             next_seq: 0,
             thread: None,
             fetch_pc: 0,
@@ -174,6 +248,15 @@ impl OooCore {
             commit_stalled_until: Cycle::ZERO,
             halted: true,
             stats: CoreStats::default(),
+            done_prefix: 0,
+            reg_producer: [NO_PRODUCER; NUM_REGS],
+            loads_in_flight: 0,
+            stores_in_flight: 0,
+            store_seqs: VecDeque::new(),
+            branch_seqs: VecDeque::new(),
+            tick_active: false,
+            taint_stack: Vec::new(),
+            taint_visited: Vec::new(),
         }
     }
 
@@ -203,10 +286,24 @@ impl OooCore {
         &mut self.predictor
     }
 
+    /// The sequence number of the ROB head (or of the next dispatch when the
+    /// ROB is empty). `rob[i].seq == head_seq() + i` always holds: dispatch
+    /// appends consecutive numbers, commit pops the front, squash truncates a
+    /// suffix — the ROB is contiguous in sequence numbers.
+    fn head_seq(&self) -> u64 {
+        self.rob.front().map_or(self.next_seq, |e| e.seq)
+    }
+
     /// Installs a thread on this core, discarding any in-flight speculative
     /// work, and returns the previously running thread's context.
     pub fn swap_thread(&mut self, new_thread: Option<ThreadContext>) -> Option<ThreadContext> {
         self.rob.clear();
+        self.done_prefix = 0;
+        self.reg_producer = [NO_PRODUCER; NUM_REGS];
+        self.loads_in_flight = 0;
+        self.stores_in_flight = 0;
+        self.store_seqs.clear();
+        self.branch_seqs.clear();
         self.last_fetch_line = None;
         let old = self.thread.take();
         self.thread = new_thread;
@@ -224,6 +321,10 @@ impl OooCore {
     /// Runs a single-threaded program to completion on this core with the
     /// given memory model, returning the cycle at which it halted.
     ///
+    /// Idle stretches (every in-flight instruction waiting on a known wake
+    /// cycle, fetch stalled) are fast-forwarded; the reported cycle count and
+    /// all statistics are identical to ticking every cycle.
+    ///
     /// # Errors
     /// Returns `Err(cycles_simulated)` if the program does not halt within
     /// `max_cycles`.
@@ -234,10 +335,22 @@ impl OooCore {
         max_cycles: u64,
     ) -> Result<u64, u64> {
         self.swap_thread(Some(thread));
+        let fast_forward = !naive_loop_requested();
+        let mut events = Vec::new();
         let mut now = Cycle::ZERO;
         while !self.halted && now.raw() < max_cycles {
-            self.tick(now, mem);
+            events.clear();
+            self.tick(now, mem, &mut events);
             now += 1;
+            // Skip only when this tick did nothing AND the memory model has
+            // no queued background work its per-cycle tick would advance.
+            if fast_forward && !self.tick_active && mem.is_idle(self.core_id) {
+                let wake = self.next_wake(now).raw().min(max_cycles);
+                if wake > now.raw() {
+                    self.skip_idle_cycles(wake - now.raw());
+                    now = Cycle::new(wake);
+                }
+            }
         }
         if self.halted {
             Ok(now.raw())
@@ -246,44 +359,115 @@ impl OooCore {
         }
     }
 
-    /// Advances the core by one cycle. Returns the architectural events that
-    /// committed during this cycle.
-    pub fn tick(&mut self, now: Cycle, mem: &mut dyn MemoryModel) -> Vec<CoreEvent> {
+    /// Advances the core by one cycle, appending the architectural events that
+    /// committed during this cycle to `events` (the buffer is *not* cleared —
+    /// the caller owns and reuses it, so the hot loop never allocates).
+    pub fn tick(&mut self, now: Cycle, mem: &mut dyn MemoryModel, events: &mut Vec<CoreEvent>) {
         if self.thread.is_none() || self.halted {
-            return Vec::new();
+            self.tick_active = false;
+            return;
         }
         self.stats.cycles += 1;
         mem.tick(self.core_id, now);
 
-        let events = self.commit_stage(now, mem);
-        self.complete_stage(now, mem);
-        self.issue_stage(now, mem);
-        self.fetch_stage(now, mem);
-        events
+        let committed_before = self.stats.committed;
+        let commit_active = {
+            self.commit_stage(now, mem, events);
+            self.stats.committed != committed_before
+        };
+        let complete_active = self.complete_stage(now, mem);
+        let issue_active = self.issue_stage(now, mem);
+        let fetch_active = self.fetch_stage(now, mem);
+        self.tick_active = commit_active || complete_active || issue_active || fetch_active;
+    }
+
+    /// Whether the last [`tick`](Self::tick) performed no pipeline work at
+    /// all (no commit, completion, issue, retry poll, or fetch progress). A
+    /// quiescent core's state is a pure function of the cycle timers, so the
+    /// driving loop may jump to [`next_wake`](Self::next_wake) and credit the
+    /// skipped cycles with [`skip_idle_cycles`](Self::skip_idle_cycles)
+    /// without changing any observable behaviour.
+    pub fn quiescent(&self) -> bool {
+        !self.tick_active
+    }
+
+    /// The earliest tick cycle at or after `now` (the *next* tick's cycle) at
+    /// which a quiescent core can make progress again: the earliest in-flight
+    /// completion, the end of a fetch stall, or the end of a commit stall
+    /// with a finished head. [`Cycle::NEVER`] when nothing is pending (the
+    /// core is deadlocked or drained; the naive loop would spin to the cycle
+    /// budget, and the fast-forward loop jumps there directly). Stale timers
+    /// already behind `now` are ignored — on a quiescent core they cannot be
+    /// what the pipeline is waiting for.
+    pub fn next_wake(&self, now: Cycle) -> Cycle {
+        let mut wake = Cycle::NEVER;
+        for entry in &self.rob {
+            if let Status::Executing(t) = entry.status {
+                if t != Cycle::NEVER && t >= now && t < wake {
+                    wake = t;
+                }
+            }
+        }
+        if self.done_prefix > 0 && self.commit_stalled_until >= now {
+            wake = wake.min(self.commit_stalled_until);
+        }
+        if !self.fetch_halted && self.fetch_stalled_until >= now {
+            wake = wake.min(self.fetch_stalled_until);
+        }
+        wake
+    }
+
+    /// Credits `skipped` fast-forwarded idle cycles to this core's cycle
+    /// counter, exactly as if [`tick`](Self::tick) had been called (and done
+    /// nothing) on each of them.
+    pub fn skip_idle_cycles(&mut self, skipped: u64) {
+        if self.thread.is_some() && !self.halted {
+            self.stats.cycles += skipped;
+        }
     }
 
     // ------------------------------------------------------------------
     // commit
     // ------------------------------------------------------------------
 
-    fn commit_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) -> Vec<CoreEvent> {
-        let mut events = Vec::new();
+    fn commit_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel, events: &mut Vec<CoreEvent>) {
         if now < self.commit_stalled_until {
-            return events;
+            return;
         }
         let width = self.pipeline.width;
         for _ in 0..width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.is_done() {
+            if self.done_prefix == 0 {
                 break;
             }
-            let entry = self.rob.pop_front().expect("head exists");
-            self.retire_entry(&entry, now, mem, &mut events);
+            let entry = self.rob.pop_front().expect("done prefix implies a head");
+            self.done_prefix -= 1;
+            self.retire_bookkeeping(&entry);
+            self.retire_entry(&entry, now, mem, events);
             if self.halted || now < self.commit_stalled_until {
                 break;
             }
         }
-        events
+    }
+
+    /// Updates the incremental structures for a popped (committed) entry.
+    fn retire_bookkeeping(&mut self, entry: &RobEntry) {
+        if entry.is_load() {
+            self.loads_in_flight -= 1;
+        }
+        if entry.is_store() {
+            self.stores_in_flight -= 1;
+            // Memory operations commit in order, so this store is the front.
+            debug_assert_eq!(self.store_seqs.front(), Some(&entry.seq));
+            self.store_seqs.pop_front();
+        }
+        if entry.is_branch() && self.branch_seqs.front() == Some(&entry.seq) {
+            self.branch_seqs.pop_front();
+        }
+        if let Some(dest) = entry.inst.dest() {
+            if self.reg_producer[dest.index()] == entry.seq {
+                self.reg_producer[dest.index()] = NO_PRODUCER;
+            }
+        }
     }
 
     fn retire_entry(
@@ -374,9 +558,11 @@ impl OooCore {
     // complete (writeback + branch resolution)
     // ------------------------------------------------------------------
 
-    fn complete_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) {
-        // Move finished executions to Done, oldest first, resolving branches.
+    /// Moves finished executions to `Done`, oldest first, resolving branches.
+    /// Returns whether any entry changed state (squashes included).
+    fn complete_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) -> bool {
         let mut squash_after: Option<(usize, usize)> = None; // (rob index, redirect pc)
+        let mut transitions = false;
         for idx in 0..self.rob.len() {
             let entry = &self.rob[idx];
             let finished = match entry.status {
@@ -386,7 +572,16 @@ impl OooCore {
             if !finished {
                 continue;
             }
+            transitions = true;
             self.rob[idx].status = Status::Done;
+            if idx == self.done_prefix {
+                // Extend the done prefix over this entry and any previously
+                // finished entries it unblocks.
+                self.done_prefix += 1;
+                while self.done_prefix < self.rob.len() && self.rob[self.done_prefix].is_done() {
+                    self.done_prefix += 1;
+                }
+            }
             if self.rob[idx].is_branch() {
                 let (mispredicted, redirect) = self.resolve_branch(idx);
                 if mispredicted {
@@ -398,6 +593,7 @@ impl OooCore {
         if let Some((idx, redirect)) = squash_after {
             self.squash_younger_than(idx, redirect, now, mem);
         }
+        transitions
     }
 
     /// Resolves the control-flow instruction at ROB index `idx`. Returns
@@ -439,8 +635,33 @@ impl OooCore {
                 if e.is_load() && !matches!(e.status, Status::Waiting) {
                     self.stats.squashed_loads += 1;
                 }
+                if e.is_load() {
+                    self.loads_in_flight -= 1;
+                }
+                if e.is_store() {
+                    self.stores_in_flight -= 1;
+                }
             }
             self.rob.truncate(idx + 1);
+            self.done_prefix = self.done_prefix.min(idx + 1);
+            let max_kept_seq = self.head_seq() + idx as u64;
+            // Reclaim the squashed sequence numbers so `rob[i].seq ==
+            // head_seq + i` stays true for entries dispatched down the
+            // corrected path (the O(1) producer links depend on it).
+            self.next_seq = max_kept_seq + 1;
+            while self.store_seqs.back().is_some_and(|&s| s > max_kept_seq) {
+                self.store_seqs.pop_back();
+            }
+            while self.branch_seqs.back().is_some_and(|&s| s > max_kept_seq) {
+                self.branch_seqs.pop_back();
+            }
+            // Roll the scoreboard back to the youngest surviving producers.
+            self.reg_producer = [NO_PRODUCER; NUM_REGS];
+            for e in &self.rob {
+                if let Some(dest) = e.inst.dest() {
+                    self.reg_producer[dest.index()] = e.seq;
+                }
+            }
         }
         mem.on_squash(self.core_id, now);
         self.predictor.clear_ras();
@@ -454,8 +675,12 @@ impl OooCore {
     // issue / execute
     // ------------------------------------------------------------------
 
-    fn issue_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) {
+    /// Attempts to start execution of ready instructions. Returns whether any
+    /// instruction issued or any parked memory access re-polled the memory
+    /// model (both make the cycle non-quiescent).
+    fn issue_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) -> bool {
         let mut issued = 0usize;
+        let mut attempts = 0usize;
         let mut int_used = 0usize;
         let mut fp_used = 0usize;
         let mut muldiv_used = 0usize;
@@ -521,13 +746,41 @@ impl OooCore {
             } else if matches!(status, Status::Executing(_)) && self.rob[idx].mem_retry {
                 // A previously delayed memory access: retry it (the memory
                 // model re-evaluates its condition; at the head it is
-                // non-speculative and must succeed).
+                // non-speculative and must succeed). The poll reaches the
+                // memory model, so a cycle with a parked retry is never
+                // quiescent.
+                attempts += 1;
                 if self.try_issue_at(idx, now, mem) {
                     issued += 1;
                     mem_ports_used += 1;
                 }
             }
         }
+        issued > 0 || attempts > 0
+    }
+
+    /// The value of source register `reg` as seen through its dispatch-time
+    /// producer link: the linked in-flight producer's result once it is done,
+    /// the architectural register if the producer already committed (or none
+    /// existed), `None` while the producer is still executing.
+    fn operand_value(&self, reg: Reg, producer_seq: u64) -> Option<u64> {
+        if reg.is_zero() {
+            return Some(0);
+        }
+        if producer_seq != NO_PRODUCER && producer_seq >= self.head_seq() {
+            let producer = &self.rob[(producer_seq - self.head_seq()) as usize];
+            debug_assert_eq!(producer.inst.dest(), Some(reg));
+            // Execute-at-issue: results exist as soon as the producer starts
+            // executing, but consumers model the dependency latency by
+            // forwarding only once the producer is Done.
+            return if producer.is_done() {
+                producer.result
+            } else {
+                None
+            };
+        }
+        let thread = self.thread.as_ref()?;
+        Some(thread.regs.read(reg))
     }
 
     /// Attempts to execute the entry at ROB index `idx`. Returns whether it
@@ -541,29 +794,30 @@ impl OooCore {
             return false;
         }
         // A cycle-counter read waits until every older instruction has
-        // finished so it observes an accurate time (like lfence; rdtsc).
-        if matches!(inst, Instruction::ReadCycle { .. })
-            && self.rob.iter().take(idx).any(|e| !e.is_done())
-        {
+        // finished so it observes an accurate time (like lfence; rdtsc). The
+        // done-prefix counter answers "are all older entries done?" in O(1).
+        if matches!(inst, Instruction::ReadCycle { .. }) && self.done_prefix < idx {
             return false;
         }
 
-        // Gather operand values from the ROB (youngest older producer) or the
-        // architectural register file.
-        let mut operands = Vec::new();
-        for src in inst.sources() {
-            match self.operand_value(idx, src) {
-                Some(v) => operands.push(v),
+        // Gather operand values through the dispatch-time producer links.
+        let (src_regs, num_sources) = inst.source_regs();
+        let links = self.rob[idx].src_producers;
+        let mut operands = [0u64; 2];
+        for slot in 0..num_sources {
+            match self.operand_value(src_regs[slot], links[slot]) {
+                Some(v) => operands[slot] = v,
                 None => return false,
             }
         }
+        let operands = &operands[..num_sources];
 
         match class {
             InstClass::Load | InstClass::Store | InstClass::Atomic => {
-                self.issue_memory(idx, now, mem, &operands)
+                self.issue_memory(idx, now, mem, operands)
             }
             _ => {
-                self.issue_non_memory(idx, now, &operands);
+                self.issue_non_memory(idx, now, operands);
                 true
             }
         }
@@ -627,18 +881,21 @@ impl OooCore {
 
         // Memory disambiguation: a load may not issue past an older store
         // whose address is unknown; if an older store to the same address has
-        // its data, forward it.
+        // its data, forward it. Only the in-flight stores are walked (youngest
+        // first), not every older ROB entry.
         let is_load = matches!(inst.class(), InstClass::Load | InstClass::Atomic);
         let mut forwarded_value = None;
         if is_load {
-            for older in (0..idx).rev() {
-                if !self.rob[older].is_store() {
-                    continue;
-                }
-                match self.rob[older].mem_addr {
+            let head = self.head_seq();
+            let seq = self.rob[idx].seq;
+            let older = self.store_seqs.partition_point(|&s| s < seq);
+            for &store_seq in self.store_seqs.range(..older).rev() {
+                let store = &self.rob[(store_seq - head) as usize];
+                debug_assert!(store.is_store());
+                match store.mem_addr {
                     None => return false, // unknown older store address: wait
                     Some(a) if a == addr => {
-                        forwarded_value = self.rob[older].store_data;
+                        forwarded_value = store.store_data;
                         break;
                     }
                     Some(_) => continue,
@@ -754,37 +1011,6 @@ impl OooCore {
         }
     }
 
-    /// Looks up the value of `reg` as seen by the entry at ROB index `idx`:
-    /// the youngest older producer's result, or the architectural register.
-    /// Returns `None` if the producing instruction has not finished.
-    fn operand_value(&self, idx: usize, reg: Reg) -> Option<u64> {
-        if reg.is_zero() {
-            return Some(0);
-        }
-        for older in (0..idx).rev() {
-            if self.rob[older].inst.dest() == Some(reg) {
-                return if self.rob[older].is_done()
-                    || matches!(self.rob[older].status, Status::Executing(c) if c != Cycle::NEVER)
-                {
-                    // Execute-at-issue: results exist as soon as the producer
-                    // starts executing, but consumers still wait for the
-                    // producer's latency through the `Executing` status check
-                    // below. To model the dependency correctly we only forward
-                    // once the producer is Done.
-                    if self.rob[older].is_done() {
-                        self.rob[older].result
-                    } else {
-                        None
-                    }
-                } else {
-                    None
-                };
-            }
-        }
-        let thread = self.thread.as_ref()?;
-        Some(thread.regs.read(reg))
-    }
-
     /// Computes the taint of entry `idx`'s address operands for speculative
     /// taint tracking (STT): whether any value feeding the address was
     /// produced by an in-flight load that is still "unsafe".
@@ -797,26 +1023,30 @@ impl OooCore {
     /// Taint is recomputed every time the access is (re)tried, so it naturally
     /// clears when the source load becomes safe — which is exactly when STT
     /// un-blocks the dependent transmitter.
-    fn address_taint(&self, idx: usize) -> (bool, bool) {
+    ///
+    /// The walk follows the dispatch-time producer links, so no register scan
+    /// is needed; the work list and visited set are reusable scratch buffers.
+    fn address_taint(&mut self, idx: usize) -> (bool, bool) {
         let mut spectre = false;
         let mut future = false;
-        let mut visited = vec![false; idx];
-        let mut worklist: Vec<usize> = Vec::new();
+        let head = self.head_seq();
+        let mut worklist = std::mem::take(&mut self.taint_stack);
+        let mut visited = std::mem::take(&mut self.taint_visited);
+        worklist.clear();
+        visited.clear();
+        visited.resize(idx, false);
 
-        let seed = |reg: Reg, worklist: &mut Vec<usize>| {
-            if reg.is_zero() {
-                return;
-            }
-            for older in (0..idx).rev() {
-                if self.rob[older].inst.dest() == Some(reg) {
-                    worklist.push(older);
-                    break;
+        let push_links = |rob: &VecDeque<RobEntry>, at: usize, worklist: &mut Vec<usize>| {
+            let (src_regs, num_sources) = rob[at].inst.source_regs();
+            let links = rob[at].src_producers;
+            for slot in 0..num_sources {
+                if src_regs[slot].is_zero() || links[slot] == NO_PRODUCER || links[slot] < head {
+                    continue;
                 }
+                worklist.push((links[slot] - head) as usize);
             }
         };
-        for src in self.rob[idx].inst.sources() {
-            seed(src, &mut worklist);
-        }
+        push_links(&self.rob, idx, &mut worklist);
 
         while let Some(producer) = worklist.pop() {
             if visited[producer] {
@@ -832,65 +1062,72 @@ impl OooCore {
                 }
             }
             // Follow the producer's own operands further up the chain.
-            for src in self.rob[producer].inst.sources() {
-                if src.is_zero() {
-                    continue;
-                }
-                for older in (0..producer).rev() {
-                    if self.rob[older].inst.dest() == Some(src) {
-                        if !visited[older] {
-                            worklist.push(older);
-                        }
-                        break;
-                    }
-                }
-            }
+            push_links(&self.rob, producer, &mut worklist);
             if spectre && future {
                 break;
             }
         }
+        self.taint_stack = worklist;
+        self.taint_visited = visited;
         (spectre, future)
     }
 
     /// Whether any conditional branch older than ROB index `idx` has not yet
-    /// resolved (finished executing).
-    fn has_older_unresolved_branch(&self, idx: usize) -> bool {
-        self.rob
-            .iter()
-            .take(idx)
-            .any(|e| e.is_branch() && !e.is_done())
+    /// resolved (finished executing). Answered from the ordered queue of
+    /// unresolved control-flow sequence numbers: resolved or departed fronts
+    /// are lazily popped, after which the front *is* the oldest unresolved
+    /// branch.
+    fn has_older_unresolved_branch(&mut self, idx: usize) -> bool {
+        let head = self.head_seq();
+        while let Some(&seq) = self.branch_seqs.front() {
+            if seq < head {
+                // Committed (branches commit only once resolved).
+                self.branch_seqs.pop_front();
+                continue;
+            }
+            let entry = &self.rob[(seq - head) as usize];
+            if entry.is_done() {
+                self.branch_seqs.pop_front();
+                continue;
+            }
+            return seq < head + idx as u64;
+        }
+        false
     }
 
     // ------------------------------------------------------------------
     // fetch / dispatch
     // ------------------------------------------------------------------
 
-    fn fetch_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) {
+    /// Fetches and dispatches along the predicted path. Returns whether any
+    /// progress or state change happened (instructions dispatched, an I-cache
+    /// access performed, fetch halted or stalled).
+    fn fetch_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) -> bool {
         if self.fetch_halted || now < self.fetch_stalled_until {
-            return;
+            return false;
         }
+        let mut active = false;
         let line_bytes = 64;
         for _ in 0..self.pipeline.width {
             if self.rob.len() >= self.pipeline.rob_entries {
                 break;
             }
-            let loads_in_flight = self.rob.iter().filter(|e| e.is_load()).count();
-            let stores_in_flight = self.rob.iter().filter(|e| e.is_store()).count();
             let Some(thread) = self.thread.as_ref() else {
                 break;
             };
             let Some(inst) = thread.program.fetch(self.fetch_pc) else {
                 self.fetch_halted = true;
+                active = true;
                 break;
             };
             if inst.class().is_memory() {
                 if matches!(inst.class(), InstClass::Load | InstClass::Atomic)
-                    && loads_in_flight >= self.pipeline.lq_entries
+                    && self.loads_in_flight >= self.pipeline.lq_entries
                 {
                     break;
                 }
                 if matches!(inst.class(), InstClass::Store | InstClass::Atomic)
-                    && stores_in_flight >= self.pipeline.sq_entries
+                    && self.stores_in_flight >= self.pipeline.sq_entries
                 {
                     break;
                 }
@@ -915,6 +1152,7 @@ impl OooCore {
                     MemOutcome::Done { latency } => latency,
                     MemOutcome::RetryWhenNonSpeculative => 1,
                 };
+                active = true;
                 self.last_fetch_line = Some(fetch_line);
                 if latency > 1 {
                     self.fetch_stalled_until = now.saturating_add(latency);
@@ -954,12 +1192,23 @@ impl OooCore {
                 _ => (pc + 1, false),
             };
 
+            // Capture the dispatch-time producer links from the scoreboard,
+            // then claim the destination register for this entry.
+            let (src_regs, num_sources) = inst.source_regs();
+            let mut src_producers = [NO_PRODUCER; 2];
+            for slot in 0..num_sources {
+                if !src_regs[slot].is_zero() {
+                    src_producers[slot] = self.reg_producer[src_regs[slot].index()];
+                }
+            }
+
             let entry = RobEntry {
                 seq: self.next_seq,
                 pc,
                 inst,
                 status: Status::Waiting,
                 result: None,
+                src_producers,
                 mem_addr: None,
                 store_data: None,
                 mem_retry: false,
@@ -968,9 +1217,23 @@ impl OooCore {
                 predicted_taken,
                 actual_next: pc + 1,
             };
+            if let Some(dest) = inst.dest() {
+                self.reg_producer[dest.index()] = entry.seq;
+            }
+            if entry.is_load() {
+                self.loads_in_flight += 1;
+            }
+            if entry.is_store() {
+                self.stores_in_flight += 1;
+                self.store_seqs.push_back(entry.seq);
+            }
+            if entry.is_branch() {
+                self.branch_seqs.push_back(entry.seq);
+            }
             self.next_seq += 1;
             self.rob.push_back(entry);
             self.fetch_pc = predicted_next;
+            active = true;
 
             if matches!(inst, Instruction::Halt) {
                 // Stop fetching past a halt on the speculative path.
@@ -978,6 +1241,7 @@ impl OooCore {
                 break;
             }
         }
+        active
     }
 
     fn pc_addr(&self, pc: usize) -> VirtAddr {
@@ -1018,6 +1282,24 @@ mod tests {
             .expect("program should halt");
         let finished = core.swap_thread(None).expect("thread present");
         (core, finished, cycles)
+    }
+
+    /// Runs a program while ticking every single cycle (no fast-forward),
+    /// mirroring the naive pre-optimization loop.
+    fn run_program_naive(program: &Program) -> (OooCore, ThreadContext, u64) {
+        let cfg = SystemConfig::paper_default();
+        let mut core = OooCore::new(0, &cfg);
+        let mut mem = FixedLatencyMemory::default();
+        core.swap_thread(Some(ThreadContext::new(program.clone(), 0)));
+        let mut events = Vec::new();
+        let mut now = Cycle::ZERO;
+        while !core.is_halted() && now.raw() < 2_000_000 {
+            core.tick(now, &mut mem, &mut events);
+            now += 1;
+        }
+        assert!(core.is_halted(), "program should halt");
+        let finished = core.swap_thread(None).expect("thread present");
+        (core, finished, now.raw())
     }
 
     /// Runs a program on both the functional interpreter and the OoO core and
@@ -1239,7 +1521,7 @@ mod tests {
         let mut seen = Vec::new();
         let mut now = Cycle::ZERO;
         while !core.is_halted() && now.raw() < 10_000 {
-            seen.extend(core.tick(now, &mut mem));
+            core.tick(now, &mut mem, &mut seen);
             now += 1;
         }
         assert_eq!(
@@ -1276,6 +1558,82 @@ mod tests {
     }
 
     #[test]
+    fn fast_forward_matches_the_naive_loop_exactly() {
+        // The event-skipping loop must be invisible: same halt cycle, same
+        // statistics, same architectural state, on a workload that mixes
+        // memory stalls (idle stretches to skip), mispredicted branches,
+        // serialising instructions and store-to-load forwarding.
+        let mut b = ProgramBuilder::new("ff-equivalence");
+        let values: Vec<u64> = (0..64).map(|i| (i * 2654435761u64) % 13).collect();
+        b.data_u64(VirtAddr::new(0x6_0000), &values);
+        let top = b.new_label();
+        let skip = b.new_label();
+        b.li(Reg::X1, 0x6_0000);
+        b.li(Reg::X2, 0);
+        b.li(Reg::X3, 0);
+        b.bind_label(top);
+        b.shli(Reg::X4, Reg::X2, 3);
+        b.add(Reg::X4, Reg::X1, Reg::X4);
+        b.load(Reg::X5, Reg::X4, 0);
+        b.store(Reg::X5, Reg::X4, 512);
+        b.load(Reg::X6, Reg::X4, 512);
+        b.li(Reg::X7, 6);
+        b.blt(Reg::X6, Reg::X7, skip);
+        b.addi(Reg::X3, Reg::X3, 1);
+        b.spec_barrier();
+        b.bind_label(skip);
+        b.addi(Reg::X2, Reg::X2, 1);
+        b.blt_imm(Reg::X2, 64, top);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let (fast_core, fast_ctx, fast_cycles) = run_program(&p);
+        let (naive_core, naive_ctx, naive_cycles) = run_program_naive(&p);
+        assert_eq!(fast_cycles, naive_cycles, "halt cycle must be identical");
+        assert_eq!(
+            fast_core.stats(),
+            naive_core.stats(),
+            "every statistic must be identical"
+        );
+        assert_eq!(fast_ctx.regs.snapshot(), naive_ctx.regs.snapshot());
+    }
+
+    #[test]
+    fn quiescent_ticks_report_a_wake_cycle() {
+        // A load with a long fixed latency parks the core: the tick after
+        // issue must be quiescent with the load's completion as the wake.
+        let mut b = ProgramBuilder::new("wake");
+        b.li(Reg::X1, 0x7_0000);
+        b.load(Reg::X2, Reg::X1, 0);
+        b.add(Reg::X3, Reg::X2, Reg::X2);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = SystemConfig::paper_default();
+        let mut core = OooCore::new(0, &cfg);
+        let mut mem = FixedLatencyMemory::new(200, 1);
+        core.swap_thread(Some(ThreadContext::new(p, 0)));
+        let mut events = Vec::new();
+        let mut quiet_with_wake = false;
+        let mut now = Cycle::ZERO;
+        while !core.is_halted() && now.raw() < 10_000 {
+            core.tick(now, &mut mem, &mut events);
+            if core.quiescent() {
+                let wake = core.next_wake(now + 1);
+                assert!(wake > now, "wake must be in the future");
+                if wake != Cycle::NEVER {
+                    quiet_with_wake = true;
+                }
+            }
+            now += 1;
+        }
+        assert!(core.is_halted());
+        assert!(
+            quiet_with_wake,
+            "a 200-cycle load must produce quiescent ticks with a known wake"
+        );
+    }
+
+    #[test]
     fn swap_thread_preserves_architectural_state() {
         let mut b = ProgramBuilder::new("first");
         b.li(Reg::X1, 77);
@@ -1285,9 +1643,10 @@ mod tests {
         let mut core = OooCore::new(0, &cfg);
         let mut mem = FixedLatencyMemory::default();
         core.swap_thread(Some(ThreadContext::new(p1, 0)));
+        let mut events = Vec::new();
         let mut now = Cycle::ZERO;
         while !core.is_halted() && now.raw() < 10_000 {
-            core.tick(now, &mut mem);
+            core.tick(now, &mut mem, &mut events);
             now += 1;
         }
         let saved = core.swap_thread(None).expect("context returned");

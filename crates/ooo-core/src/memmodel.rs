@@ -163,6 +163,18 @@ pub trait MemoryModel {
     /// asynchronous upgrades). Called once per core per cycle.
     fn tick(&mut self, _core: usize, _now: Cycle) {}
 
+    /// Whether [`tick`](Self::tick) would be a no-op for `core` right now —
+    /// no queued background work (pending filter-cache invalidations,
+    /// draining buffers) that per-cycle ticking would advance. The system
+    /// loop only fast-forwards over idle cycles when every running core's
+    /// model is idle, so a model doing genuine per-cycle work must return
+    /// `false` here to stay bit-identical under the event-skipping loop.
+    /// The default (`true`) is correct for models whose state changes only
+    /// in response to accesses and commit/squash/domain notifications.
+    fn is_idle(&self, _core: usize) -> bool {
+        true
+    }
+
     /// Statistics accumulated by the model.
     fn stats(&self) -> StatSet;
 }

@@ -711,22 +711,89 @@ pub struct ShardOptions {
     /// simulated (`cached: false`) instead of cached.
     pub run_id: String,
     /// How long a claimed-but-unfinished lease lives before another shard may
-    /// steal it. Must comfortably exceed one simulation's duration.
+    /// steal it, *measured from the last heartbeat*. The executing shard
+    /// re-stamps its lease every [`heartbeat_ms`](Self::heartbeat_ms), so
+    /// this no longer needs to exceed the longest simulation — only the
+    /// heartbeat interval, comfortably.
     pub lease_ttl_ms: u64,
+    /// How often the executing shard re-stamps a held lease
+    /// ([`ResultStore::heartbeat_lease`]) while it simulates. `0` disables
+    /// heartbeats (then `lease_ttl_ms` must exceed the longest simulation,
+    /// as before the heartbeat existed).
+    pub heartbeat_ms: u64,
     /// How long to sleep between polls while waiting on another shard.
     pub poll_ms: u64,
 }
 
 impl ShardOptions {
     /// Options for shard `shard_id` of `shard_count` in run `run_id`, with a
-    /// 120 s lease TTL and 5 ms poll interval.
+    /// 30 s lease TTL, a 5 s heartbeat and a 5 ms poll interval. (The TTL
+    /// used to be 120 s so it could outlast any one simulation; with the
+    /// heartbeat it only needs to outlast a few missed beats, so crashed
+    /// shards' work is reclaimed 4× sooner and an arbitrarily long
+    /// `Scale::Large` cell is still never falsely stolen.)
     pub fn new(shard_id: usize, shard_count: usize, run_id: impl Into<String>) -> Self {
         ShardOptions {
             shard_id,
             shard_count,
             run_id: run_id.into(),
-            lease_ttl_ms: 120_000,
+            lease_ttl_ms: 30_000,
+            heartbeat_ms: 5_000,
             poll_ms: 5,
+        }
+    }
+}
+
+/// Keeps a held lease alive while its work unit simulates: a background
+/// thread re-stamps the lease every `heartbeat_ms` until the guard is
+/// dropped. Dropping stops the thread promptly (it wakes every few
+/// milliseconds to check), so short units pay microseconds for the guard.
+struct LeaseHeartbeat {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LeaseHeartbeat {
+    /// Spawns a heartbeat for `key`, or a no-op guard when
+    /// `opts.heartbeat_ms` is zero.
+    fn start(store: &ResultStore, key: Fingerprint, owner: &str, opts: &ShardOptions) -> Self {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        if opts.heartbeat_ms == 0 {
+            return LeaseHeartbeat { stop, handle: None };
+        }
+        let thread_stop = Arc::clone(&stop);
+        let store = store.clone();
+        let owner = owner.to_string();
+        let run_id = opts.run_id.clone();
+        let interval = std::time::Duration::from_millis(opts.heartbeat_ms);
+        let ttl_ms = opts.lease_ttl_ms;
+        let handle = std::thread::spawn(move || {
+            let slice = std::time::Duration::from_millis(10).min(interval);
+            let mut since_beat = std::time::Instant::now();
+            while !thread_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(slice);
+                if since_beat.elapsed() >= interval {
+                    since_beat = std::time::Instant::now();
+                    // A failed or refused beat is not fatal: the lease may
+                    // have been stolen (we lost the race — the duplicate
+                    // simulation is benign) or the disk hiccuped (the next
+                    // beat retries).
+                    let _ = store.heartbeat_lease(key, &owner, &run_id, ttl_ms);
+                }
+            }
+        });
+        LeaseHeartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for LeaseHeartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -803,6 +870,22 @@ impl ShardState<'_> {
         self.sink.emit(&event);
     }
 
+    /// Whether the store entry for `key` was produced during *this* run —
+    /// i.e. should be reported with `cached: false`. True either once the
+    /// done marker carries our run id, or while the lease is still live and
+    /// not done under our run id: in the instant between a sibling shard's
+    /// `put` and its `mark_done`, the entry is visible but the marker is not
+    /// yet, and without the lease check two shards could disagree on the
+    /// same unit's provenance (making a merged report diverge from the
+    /// single-process one, nondeterministically).
+    fn fresh_during_run(&self, key: Fingerprint) -> bool {
+        self.store.completed_during(key, &self.opts.run_id)
+            || self
+                .store
+                .read_lease(key)
+                .is_some_and(|lease| lease.run_id == self.opts.run_id && !lease.done)
+    }
+
     /// Obtains the baseline result behind `fingerprint`, simulating it under
     /// its own lease if nobody else has: blocks (poll + lease-steal) until
     /// the result exists. Returns the result and whether it is fresh (was
@@ -820,7 +903,7 @@ impl ShardState<'_> {
             .expect("cells only reference planned baselines");
         loop {
             if let Some(result) = self.store.get(fingerprint) {
-                let fresh = self.store.completed_during(fingerprint, &self.opts.run_id);
+                let fresh = self.fresh_during_run(fingerprint);
                 let result = Arc::new(result);
                 self.baselines
                     .lock()
@@ -841,8 +924,16 @@ impl ShardState<'_> {
                         index: unit.index,
                         fingerprint,
                     });
+                    let heartbeat =
+                        LeaseHeartbeat::start(self.store, fingerprint, &self.owner, self.opts);
                     let result = session::simulate(&unit.workload, unit.defense, &unit.config);
                     self.store.put(fingerprint, &result)?;
+                    // Stop the heartbeat *before* writing the done marker: a
+                    // beat racing with mark_done could rename a live
+                    // (done=false) lease over the provenance marker. The
+                    // entry is already in the store, so even a steal in this
+                    // gap only duplicates work, never loses the result.
+                    drop(heartbeat);
                     self.store
                         .mark_done(fingerprint, &self.owner, &self.opts.run_id)?;
                     self.executed.fetch_add(1, Ordering::Relaxed);
@@ -889,9 +980,7 @@ impl ShardState<'_> {
         }
         loop {
             if let Some(result) = self.store.get(unit.fingerprint) {
-                let fresh = self
-                    .store
-                    .completed_during(unit.fingerprint, &self.opts.run_id);
+                let fresh = self.fresh_during_run(unit.fingerprint);
                 let cell = match unit.kind {
                     UnitKind::Baseline => {
                         self.baselines
@@ -939,8 +1028,15 @@ impl ShardState<'_> {
                         index: unit.index,
                         fingerprint: unit.fingerprint,
                     });
+                    let heartbeat =
+                        LeaseHeartbeat::start(self.store, unit.fingerprint, &self.owner, self.opts);
                     let result = session::simulate(&unit.workload, unit.defense, &unit.config);
                     self.store.put(unit.fingerprint, &result)?;
+                    // Stop the heartbeat *before* writing the done marker (a
+                    // racing beat could overwrite it with a live lease); the
+                    // result is already persisted, so the tiny unguarded gap
+                    // can at worst duplicate work, never lose it.
+                    drop(heartbeat);
                     self.store
                         .mark_done(unit.fingerprint, &self.owner, &self.opts.run_id)?;
                     self.executed.fetch_add(1, Ordering::Relaxed);
@@ -1211,6 +1307,63 @@ mod tests {
         assert_eq!(doubled.sims_executed, 2);
         assert_eq!(once.cells, doubled.cells);
         assert!(!doubled.cells[0].cached, "execution provenance must win");
+    }
+
+    #[test]
+    fn default_options_shrink_the_ttl_and_enable_heartbeats() {
+        let opts = ShardOptions::new(0, 2, "run");
+        assert_eq!(opts.lease_ttl_ms, 30_000);
+        assert_eq!(opts.heartbeat_ms, 5_000);
+        assert!(
+            opts.heartbeat_ms * 3 <= opts.lease_ttl_ms,
+            "a lease must survive a few missed beats"
+        );
+    }
+
+    #[test]
+    fn heartbeat_guard_keeps_long_units_from_being_stolen() {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "muontrap-runner-heartbeat-{}-{nanos}",
+            std::process::id()
+        ));
+        let store = ResultStore::open(&dir).unwrap();
+        let key = Fingerprint(0xbeef);
+        let mut opts = ShardOptions::new(0, 1, "hb-run");
+        opts.lease_ttl_ms = 100;
+        opts.heartbeat_ms = 25;
+        let owner = "hb-owner";
+        assert_eq!(
+            store
+                .try_lease(key, owner, &opts.run_id, opts.lease_ttl_ms)
+                .unwrap(),
+            crate::store::LeaseState::Acquired
+        );
+        {
+            // Simulated long-running unit: three TTLs long.
+            let _guard = LeaseHeartbeat::start(&store, key, owner, &opts);
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            match store
+                .try_lease(key, "thief", &opts.run_id, opts.lease_ttl_ms)
+                .unwrap()
+            {
+                crate::store::LeaseState::Busy(info) => assert_eq!(info.owner, owner),
+                crate::store::LeaseState::Acquired => {
+                    panic!("the heartbeat must keep the lease alive past its TTL")
+                }
+            }
+        }
+        // Guard dropped (holder "crashed"): the lease expires one TTL after
+        // its last beat and is reclaimed.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert_eq!(
+            store.try_lease(key, "thief", &opts.run_id, 60_000).unwrap(),
+            crate::store::LeaseState::Acquired
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -416,6 +416,57 @@ impl ResultStore {
         })
     }
 
+    /// Re-stamps the lease on `key` with a fresh acquisition time, proving
+    /// `owner` is still alive so the TTL clock restarts. Returns whether the
+    /// heartbeat landed: `false` means the caller no longer holds the lease
+    /// (it was stolen, completed, or removed) and nothing was written — a
+    /// heartbeat never revives a lost lease or touches another owner's.
+    ///
+    /// This is what lets the default TTL be much shorter than the longest
+    /// simulation: the executing shard re-stamps every few seconds, so a
+    /// long-running `Scale::Large` cell is never falsely stolen, while a
+    /// crashed shard's lease still expires one TTL after its last beat.
+    ///
+    /// # Errors
+    /// Returns an error on a [`read_only`](Self::read_only) store or if the
+    /// replacement lease cannot be written.
+    pub fn heartbeat_lease(
+        &self,
+        key: Fingerprint,
+        owner: &str,
+        run_id: &str,
+        ttl_ms: u64,
+    ) -> io::Result<bool> {
+        if self.read_only {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "cannot heartbeat leases on a read-only store",
+            ));
+        }
+        match self.read_lease(key) {
+            Some(info) if info.owner == owner && info.run_id == run_id && !info.done => {}
+            _ => return Ok(false),
+        }
+        let lease = LeaseInfo {
+            owner: owner.to_string(),
+            run_id: run_id.to_string(),
+            acquired_unix_ms: unix_ms(),
+            ttl_ms,
+            done: false,
+        };
+        let temp = self.lease_dir().join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            LEASE_TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&temp, lease.to_json().to_string_compact())?;
+        if let Err(e) = fs::rename(&temp, self.lease_path(key)) {
+            let _ = fs::remove_file(&temp);
+            return Err(e);
+        }
+        Ok(true)
+    }
+
     /// Removes the lease on `key`, if any. Missing leases are not an error.
     pub fn release_lease(&self, key: Fingerprint) {
         let _ = fs::remove_file(self.lease_path(key));
@@ -840,6 +891,56 @@ mod tests {
             store.try_lease(other, "thief2", "run1", 60_000).unwrap(),
             LeaseState::Acquired
         );
+    }
+
+    #[test]
+    fn heartbeat_restarts_the_ttl_clock() {
+        let store = temp_store("heartbeat");
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        assert_eq!(
+            store.try_lease(key, "worker", "run1", 60).unwrap(),
+            LeaseState::Acquired
+        );
+        // Keep beating past several TTLs: the lease must stay ours.
+        for _ in 0..5 {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(store.heartbeat_lease(key, "worker", "run1", 60).unwrap());
+            match store.try_lease(key, "thief", "run1", 60).unwrap() {
+                LeaseState::Busy(info) => assert_eq!(info.owner, "worker"),
+                LeaseState::Acquired => panic!("heartbeat must prevent the steal"),
+            }
+        }
+        // Stop beating: one TTL later the thief wins.
+        std::thread::sleep(std::time::Duration::from_millis(90));
+        assert_eq!(
+            store.try_lease(key, "thief", "run1", 60_000).unwrap(),
+            LeaseState::Acquired,
+            "a silent holder must still expire"
+        );
+    }
+
+    #[test]
+    fn heartbeat_never_touches_foreign_done_or_missing_leases() {
+        let store = temp_store("heartbeat-foreign");
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        // Missing lease: refused.
+        assert!(!store.heartbeat_lease(key, "worker", "run1", 60).unwrap());
+        // Foreign lease: refused, owner untouched.
+        assert_eq!(
+            store.try_lease(key, "other", "run1", 60_000).unwrap(),
+            LeaseState::Acquired
+        );
+        assert!(!store.heartbeat_lease(key, "worker", "run1", 60).unwrap());
+        assert_eq!(store.read_lease(key).unwrap().owner, "other");
+        // Done marker: refused, provenance untouched.
+        store.mark_done(key, "other", "run1").unwrap();
+        assert!(!store.heartbeat_lease(key, "other", "run1", 60).unwrap());
+        assert!(store.read_lease(key).unwrap().done);
+        // Read-only stores refuse outright.
+        let ro = ResultStore::read_only(store.root());
+        assert!(ro.heartbeat_lease(key, "other", "run1", 60).is_err());
     }
 
     #[test]

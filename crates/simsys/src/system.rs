@@ -9,6 +9,7 @@ use simkit::stats::StatSet;
 
 use memsys::tlb::PageTable;
 use ooo_core::context::{shared_memory_for, SharedMemory, ThreadContext};
+pub use ooo_core::core::naive_loop_requested;
 use ooo_core::core::OooCore;
 use ooo_core::events::CoreEvent;
 use ooo_core::memmodel::{DomainSwitch, MemoryModel};
@@ -81,6 +82,13 @@ pub struct System {
     /// Flush the branch-target buffer on context switches (the variant-2
     /// mitigation the paper assumes is present on recent hardware).
     pub flush_btb_on_switch: bool,
+    /// Reusable per-tick buffer for core events — the hot loop never
+    /// allocates for event delivery.
+    event_scratch: Vec<CoreEvent>,
+    /// Whether [`run`](Self::run) may fast-forward over idle stretches.
+    /// Defaults to on unless `MUONTRAP_NAIVE_LOOP` is set; either way the
+    /// simulated behaviour is bit-identical (see `tests/hotpath_golden.rs`).
+    fast_forward: bool,
 }
 
 impl System {
@@ -99,7 +107,16 @@ impl System {
             now: Cycle::ZERO,
             context_switches: 0,
             flush_btb_on_switch: true,
+            event_scratch: Vec::new(),
+            fast_forward: !ooo_core::core::naive_loop_requested(),
         }
+    }
+
+    /// Enables or disables the idle-cycle fast-forward in [`run`](Self::run).
+    /// Reported cycle counts and statistics are identical either way; the
+    /// switch exists for performance measurement and equivalence tests.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
     }
 
     /// Current simulation time.
@@ -204,9 +221,18 @@ impl System {
     }
 
     /// Runs the machine until every thread halts or `max_cycles` elapse.
+    ///
+    /// When every ticked core reports itself quiescent (no pipeline work at
+    /// all this cycle) and every memory model is idle, the loop jumps
+    /// straight to the earliest cycle anything can happen again — an
+    /// in-flight completion, a stall expiry, or the scheduler quantum — and
+    /// credits the skipped cycles to each running core. The resulting report
+    /// is bit-identical to ticking every cycle (`tests/hotpath_golden.rs`
+    /// proves it against pre-optimization recordings); only the wall clock
+    /// shrinks.
     pub fn run(&mut self, max_cycles: u64) -> SystemReport {
         while !self.all_finished() && self.now.raw() < max_cycles {
-            self.tick();
+            self.step(max_cycles);
         }
         let committed = self.cores.iter().map(|c| c.stats().committed).sum();
         let mut stats = StatSet::new();
@@ -224,19 +250,72 @@ impl System {
         }
     }
 
-    /// Advances the machine by one cycle.
+    /// Advances the machine by exactly one cycle (no fast-forward). External
+    /// single-steppers get naive-loop semantics; [`run`](Self::run) uses the
+    /// event-skipping `step` internally.
     pub fn tick(&mut self) {
+        self.tick_cores();
+        self.now += 1;
+    }
+
+    /// One scheduling decision plus one tick of every running core. Returns
+    /// whether *any* core did pipeline work (commit/complete/issue/fetch/
+    /// retry-poll) and the earliest wake cycle the quiescent cores report.
+    fn tick_cores(&mut self) -> (bool, Cycle) {
         self.schedule();
+        let mut any_active = false;
+        let mut wake = Cycle::NEVER;
+        let mut events = std::mem::take(&mut self.event_scratch);
         for core_idx in 0..self.cores.len() {
             if self.running[core_idx].is_none() {
                 continue;
             }
-            let events = self.cores[core_idx].tick(self.now, self.memory_model.as_mut());
-            for event in events {
+            events.clear();
+            self.cores[core_idx].tick(self.now, self.memory_model.as_mut(), &mut events);
+            for event in events.drain(..) {
                 self.handle_event(core_idx, event);
             }
+            if self.cores[core_idx].quiescent() && self.memory_model.is_idle(core_idx) {
+                // `next_wake` takes the cycle of the *next* tick.
+                wake = wake.min(self.cores[core_idx].next_wake(self.now + 1));
+            } else {
+                any_active = true;
+            }
         }
+        self.event_scratch = events;
+        (any_active, wake)
+    }
+
+    /// Advances the machine by one cycle, then fast-forwards over the idle
+    /// stretch if this cycle was globally quiescent. `limit` caps the jump
+    /// (the cycle budget of [`run`](Self::run)); the scheduler quantum caps
+    /// it too whenever a ready thread is waiting for a core, so preemptions
+    /// happen on exactly the cycle the naive loop performs them.
+    fn step(&mut self, limit: u64) {
+        let (any_active, mut wake) = self.tick_cores();
         self.now += 1;
+        if !self.fast_forward || any_active {
+            return;
+        }
+        if !self.ready.is_empty() {
+            for core_idx in 0..self.cores.len() {
+                if self.running[core_idx].is_some() {
+                    let expiry =
+                        self.scheduled_at[core_idx].saturating_add(self.config.scheduler_quantum);
+                    wake = wake.min(expiry);
+                }
+            }
+        }
+        let target = wake.raw().min(limit);
+        if target > self.now.raw() {
+            let skipped = target - self.now.raw();
+            for core_idx in 0..self.cores.len() {
+                if self.running[core_idx].is_some() {
+                    self.cores[core_idx].skip_idle_cycles(skipped);
+                }
+            }
+            self.now = Cycle::new(target);
+        }
     }
 
     // ------------------------------------------------------------------

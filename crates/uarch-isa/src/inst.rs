@@ -309,23 +309,33 @@ impl Instruction {
         }
     }
 
-    /// Source registers read by this instruction (up to three).
-    pub fn sources(&self) -> Vec<Reg> {
+    /// Source registers read by this instruction (up to two), without
+    /// allocating: a fixed pair padded with `X0` plus the live count. This is
+    /// what the out-of-order core's issue loop uses — it runs for every ROB
+    /// entry on every cycle, so a `Vec` per call would dominate the profile.
+    pub const fn source_regs(&self) -> ([Reg; 2], usize) {
         match *self {
             Instruction::AluReg { rs1, rs2, .. } | Instruction::Fpu { rs1, rs2, .. } => {
-                vec![rs1, rs2]
+                ([rs1, rs2], 2)
             }
-            Instruction::AluImm { rs1, .. } => vec![rs1],
-            Instruction::Load { base, .. } => vec![base],
-            Instruction::Store { rs, base, .. } => vec![rs, base],
+            Instruction::AluImm { rs1, .. } => ([rs1, Reg::X0], 1),
+            Instruction::Load { base, .. } => ([base, Reg::X0], 1),
+            Instruction::Store { rs, base, .. } => ([rs, base], 2),
             Instruction::AtomicSwap { rs, base, .. } | Instruction::AtomicAdd { rs, base, .. } => {
-                vec![rs, base]
+                ([rs, base], 2)
             }
-            Instruction::Branch { rs1, rs2, .. } => vec![rs1, rs2],
-            Instruction::JumpIndirect { base, .. } => vec![base],
-            Instruction::Return { link } => vec![link],
-            _ => Vec::new(),
+            Instruction::Branch { rs1, rs2, .. } => ([rs1, rs2], 2),
+            Instruction::JumpIndirect { base, .. } => ([base, Reg::X0], 1),
+            Instruction::Return { link } => ([link, Reg::X0], 1),
+            _ => ([Reg::X0, Reg::X0], 0),
         }
+    }
+
+    /// Source registers read by this instruction, as a `Vec`. Convenience for
+    /// tests and tools; hot paths use [`source_regs`](Self::source_regs).
+    pub fn sources(&self) -> Vec<Reg> {
+        let (regs, count) = self.source_regs();
+        regs[..count].to_vec()
     }
 
     /// Destination register written by this instruction, if any.

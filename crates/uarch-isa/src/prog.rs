@@ -35,11 +35,15 @@ pub struct DataSegment {
 }
 
 /// An immutable µISA program: code, initial data and a name.
+///
+/// Every field is behind an [`Arc`], so cloning a program — which the system
+/// layer does once per thread and per simulation — is three reference-count
+/// bumps, never a copy of the instruction stream or the data segments.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Program {
-    name: String,
+    name: Arc<str>,
     code: Arc<Vec<Instruction>>,
-    data: Vec<DataSegment>,
+    data: Arc<Vec<DataSegment>>,
 }
 
 impl Program {
@@ -543,9 +547,9 @@ impl ProgramBuilder {
             }
         }
         Ok(Program {
-            name: self.name,
+            name: self.name.into(),
             code: Arc::new(self.code),
-            data: self.data,
+            data: Arc::new(self.data),
         })
     }
 }
