@@ -6,8 +6,10 @@
 //! `security` array of (attack, defense) outcomes and a `domain_switch` run
 //! report. The attack litmus tests are security probes, not performance grid
 //! cells, so they always execute; the domain-switch grid is a normal session
-//! grid and honours `--scale`, `--threads`, `--store` and `--events`. For a
-//! sharded run of the grid alone, use `shard --figure domain`.
+//! grid and honours `--scale`, `--threads`, `--store` and `--events` —
+//! `--html FILE` renders it as the domain figure's self-contained page
+//! (chart + flush-counter table; the security matrix stays text/JSON). For
+//! a sharded run of the grid alone, use `shard --figure domain`.
 
 use simkit::json::{Json, ToJson};
 
@@ -29,6 +31,13 @@ fn main() {
                 Some(file) => Some(file),
                 None => None,
             });
+    bench::cli::write_html(&options, || {
+        bench::render::figure_document("domain", &domain, &options.run_id)
+            .expect("domain is a registered figure")
+    });
+    if options.html_only {
+        return;
+    }
     if options.json {
         let document = Json::obj([
             ("security", bench::security_json(&config)),

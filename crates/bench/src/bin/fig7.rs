@@ -1,11 +1,13 @@
 //! Regenerates figure 7 of the paper (invalidation-broadcast rates). Run
 //! with `--release`; see `--help` for the shared flags (`--json`, `--scale`,
 //! `--threads`, `--store`, `--events`, `--shard-id`/`--shard-count`,
-//! `--tiny`). The `--json` report is the full session `RunReport`; the
+//! `--html`/`--html-only`, `--tiny`). The `--json` report is the full
+//! session `RunReport`; the
 //! per-workload rates the text mode renders come from the `muontrap.*`
 //! counters in each cell's stats.
 fn main() {
     bench::cli::figure_main_rendered(
+        "fig7",
         |options, config, store| {
             bench::figure7_session(options.scale, config, options.threads, store)
         },

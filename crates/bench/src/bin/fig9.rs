@@ -1,8 +1,9 @@
 //! Regenerates figure 9 of the paper. Run with `--release`; see `--help`
 //! for the shared flags (`--json`, `--scale`, `--threads`, `--store`,
-//! `--events`, `--shard-id`/`--shard-count`, `--tiny`).
+//! `--events`, `--shard-id`/`--shard-count`, `--html`/`--html-only`,
+//! `--tiny`).
 fn main() {
-    bench::cli::figure_main(|options, config, store| {
+    bench::cli::figure_main("fig9", |options, config, store| {
         bench::figure9_session(options.scale, config, options.threads, store)
     });
 }

@@ -16,6 +16,11 @@
 //! Pass `--scale`/`--threads` matching the shard invocations so the rebuilt
 //! plan (title, grid shape, recorded thread count) lines up. Incomplete logs
 //! — a grid cell no stream resolved — are an error, not a silent hole.
+//!
+//! `--html FILE` renders the merged report as the figure's self-contained
+//! HTML page (`--html-only` suppresses the JSON): a multi-host run produces
+//! exactly the artefact a local `figN --html` run would, because the merged
+//! report is bit-identical to the local one.
 
 use simkit::json::ToJson;
 use simsys::runner;
@@ -39,7 +44,7 @@ fn main() {
             // Forward the flag's value too, when it takes one.
             if matches!(
                 arg.as_str(),
-                "--scale" | "--threads" | "--store" | "--run-id"
+                "--scale" | "--threads" | "--store" | "--run-id" | "--html"
             ) {
                 if let Some(value) = args.next() {
                     rest.push(value);
@@ -85,7 +90,15 @@ fn main() {
     }
     let wall_clock_ms = runner::merged_wall_clock_ms(events.iter());
     match runner::merge_events(&plan, events, wall_clock_ms) {
-        Ok(report) => println!("{}", report.to_json().to_string_pretty()),
+        Ok(report) => {
+            bench::cli::write_html(&options, || {
+                bench::render::figure_document(&figure, &report, &options.run_id)
+                    .expect("figure resolved above, so it is registered")
+            });
+            if !options.html_only {
+                println!("{}", report.to_json().to_string_pretty());
+            }
+        }
         Err(e) => {
             eprintln!("merge failed: {e}");
             std::process::exit(1);
@@ -96,7 +109,7 @@ fn main() {
 fn usage() -> String {
     format!(
         "usage: merge --figure NAME [--scale tiny|small|large] [--threads N] \
-         EVENTS.jsonl [EVENTS.jsonl ...]\nfigures: {}",
+         [--html FILE [--html-only]] EVENTS.jsonl [EVENTS.jsonl ...]\nfigures: {}",
         bench::FIGURE_NAMES.join(", ")
     )
 }

@@ -16,7 +16,19 @@
 //! host-independent and the fingerprints agree by construction. The emitted
 //! `sims_executed` / per-cell `cached` fields record the provenance, and
 //! `--events FILE` streams per-unit progress while the document builds.
+//!
+//! With `--html FILE` the same reports additionally render as one
+//! self-contained HTML page — one SVG chart per figure plus the
+//! domain-switch summary table, captions, paper cross-references and
+//! per-figure provenance; see [`bench::render`]. `--html-only` skips the
+//! JSON on stdout. Against a warm store the whole artefact regenerates in
+//! seconds:
+//!
+//! ```text
+//! report --scale small --store /data/store --html report.html --html-only
+//! ```
 use simkit::json::{Json, ToJson};
+use simsys::session::RunReport;
 
 fn main() {
     let options = bench::cli::parse_or_exit();
@@ -30,7 +42,7 @@ fn main() {
     let config = simkit::config::SystemConfig::paper_default();
     let store = options.open_store();
     let mut events = bench::cli::open_events(&options);
-    let figures: Vec<Json> = bench::FIGURE_NAMES
+    let reports: Vec<(String, RunReport)> = bench::FIGURE_NAMES
         .iter()
         .map(|name| {
             let session = bench::figure_session(
@@ -41,14 +53,20 @@ fn main() {
                 store.as_ref(),
             )
             .expect("every listed figure resolves");
-            session
-                .run_with_events(match &mut events {
-                    Some(file) => Some(file),
-                    None => None,
-                })
-                .to_json()
+            let report = session.run_with_events(match &mut events {
+                Some(file) => Some(file),
+                None => None,
+            });
+            (name.to_string(), report)
         })
         .collect();
+    bench::cli::write_html(&options, || {
+        bench::render::evaluation_document(&reports, &options.run_id, options.scale.name())
+    });
+    if options.html_only {
+        return;
+    }
+    let figures: Vec<Json> = reports.iter().map(|(_, report)| report.to_json()).collect();
     let document = Json::obj([
         ("scale", Json::Str(options.scale.to_string())),
         ("table1", bench::table1_json()),

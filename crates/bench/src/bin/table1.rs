@@ -1,9 +1,15 @@
 //! Prints Table 1 of the paper (the simulated system configuration).
 //! `--json` emits the configuration as a JSON object. Accepts the shared
 //! flags (`--scale`, `--threads`, `--store`) for interface uniformity; the
-//! table is static configuration, so they have nothing to affect.
+//! table is static configuration, so they have nothing to affect. `--html`
+//! is rejected rather than silently ignored: there is no figure here, and
+//! the configuration already appears in `report --html`'s provenance.
 fn main() {
     let options = bench::cli::parse_or_exit();
+    if options.html.is_some() {
+        eprintln!("table1 has no chart to render; use `report --html` for the full page");
+        std::process::exit(2);
+    }
     if options.json {
         println!("{}", bench::table1_json().to_string_pretty());
     } else {

@@ -22,6 +22,12 @@
 //! * `--run-id <id>` — the identifier shared by every shard of one logical
 //!   run (and reused when resuming it). Required with `--shard-id`, and must
 //!   be unique per logical run,
+//! * `--html <file>` — additionally render the report as a self-contained
+//!   HTML page (inline SVG chart, inline CSS, no external assets) via
+//!   [`crate::render`]. On `report`, the page covers every figure plus the
+//!   domain-switch table; on a figure binary or `merge`, that one figure,
+//! * `--html-only` — with `--html`: write the HTML artefact and suppress the
+//!   stdout report,
 //! * `--tiny` — backwards-compatible alias for `--scale tiny`,
 //! * `--help` — print usage.
 
@@ -62,6 +68,11 @@ pub struct CliOptions {
     pub shard_count: usize,
     /// Identifier shared by all shards of one logical run (`--run-id`).
     pub run_id: String,
+    /// Write a self-contained HTML rendering to this file (`--html`).
+    pub html: Option<PathBuf>,
+    /// Suppress the stdout report, keeping only the HTML artefact
+    /// (`--html-only`).
+    pub html_only: bool,
 }
 
 impl Default for CliOptions {
@@ -76,6 +87,8 @@ impl Default for CliOptions {
             shard_id: None,
             shard_count: 1,
             run_id: DEFAULT_RUN_ID.to_string(),
+            html: None,
+            html_only: false,
         }
     }
 }
@@ -147,11 +160,30 @@ impl CliOptions {
                     let value = args.next().ok_or("--run-id needs a value")?;
                     options.run_id = value.as_ref().to_string();
                 }
+                "--html" => {
+                    let value = args.next().ok_or("--html needs a file")?;
+                    options.html = Some(PathBuf::from(value.as_ref()));
+                }
+                "--html-only" => options.html_only = true,
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
         }
+        if options.html_only && options.html.is_none() {
+            return Err(
+                "--html-only needs --html FILE (there is nothing else to emit)".to_string(),
+            );
+        }
         if let Some(shard_id) = options.shard_id {
+            if options.html.is_some() {
+                // A shard resolves only its share of the grid; the complete
+                // artefact comes from folding every shard's event log.
+                return Err(
+                    "shards emit event logs, not reports; render the HTML from the \
+                     folded logs with `merge --html`"
+                        .to_string(),
+                );
+            }
             if shard_id >= options.shard_count {
                 return Err(format!(
                     "--shard-id {shard_id} out of range for --shard-count {}",
@@ -211,7 +243,8 @@ impl CliOptions {
 pub fn usage() -> String {
     "usage: <binary> [--json] [--scale tiny|small|large] [--threads N] \
      [--store DIR] [--no-store] [--store-readonly] [--events FILE] \
-     [--shard-id I --shard-count N] [--run-id ID] [--tiny]"
+     [--shard-id I --shard-count N] [--run-id ID] \
+     [--html FILE [--html-only]] [--tiny]"
         .to_string()
 }
 
@@ -242,23 +275,43 @@ pub fn open_events(options: &CliOptions) -> Option<std::fs::File> {
     })
 }
 
+/// Writes the HTML artefact for `--html`, exiting with a diagnostic on
+/// failure. A no-op when `--html` was not given.
+pub fn write_html(options: &CliOptions, html: impl FnOnce() -> String) {
+    if let Some(path) = &options.html {
+        std::fs::write(path, html()).unwrap_or_else(|e| {
+            eprintln!("cannot write HTML report {}: {e}", path.display());
+            std::process::exit(2);
+        });
+    }
+}
+
 /// Standard main body for a figure binary: parse flags, open the store,
-/// build the *session*, then either run it locally (printing JSON with
-/// `--json`, or Table 1 plus the rendered figure) or — with `--shard-id` —
+/// build the *session* for the figure registered as `name` (see
+/// [`crate::FIGURE_NAMES`]), then either run it locally (printing JSON with
+/// `--json`, or Table 1 plus the rendered figure; `--html` additionally
+/// writes the figure's self-contained HTML page) or — with `--shard-id` —
 /// execute one shard of it against the shared store, streaming events to
 /// `--events` and printing the [`simsys::runner::ShardSummary`] as JSON.
 /// Every execution path goes through the [`simsys::runner`] pipeline.
 pub fn figure_main(
+    name: &str,
     build: impl FnOnce(&CliOptions, &SystemConfig, Option<&ResultStore>) -> ExperimentSession,
 ) {
-    figure_main_rendered(build, |report| crate::Figure::from_report(report).render());
+    figure_main_rendered(name, build, |report| {
+        crate::Figure::from_report(report).render()
+    });
 }
 
 /// [`figure_main`] with a custom text-mode rendering (used by `fig7`, whose
 /// figure is the invalidation-broadcast *rates* derived from the report's
 /// counters, not the normalised times). `--json` still emits the full
-/// [`RunReport`], and the sharded path is identical.
+/// [`RunReport`], and the sharded path is identical. (`--html` needs no
+/// such override: the chart shape is the registry's
+/// [`FigureMeta`](reportgen::FigureMeta), which already encodes the
+/// counter-ratio derivation.)
 pub fn figure_main_rendered(
+    name: &str,
     build: impl FnOnce(&CliOptions, &SystemConfig, Option<&ResultStore>) -> ExperimentSession,
     render: impl FnOnce(&RunReport) -> String,
 ) {
@@ -282,6 +335,13 @@ pub fn figure_main_rendered(
         Some(file) => Some(file),
         None => None,
     });
+    write_html(&options, || {
+        crate::render::figure_document(name, &report, &options.run_id)
+            .unwrap_or_else(|| panic!("figure binaries pass registered names; got `{name}`"))
+    });
+    if options.html_only {
+        return;
+    }
     if options.json {
         println!("{}", report.to_json().to_string_pretty());
     } else {
@@ -399,6 +459,39 @@ mod tests {
     }
 
     #[test]
+    fn html_flags_parse_and_validate() {
+        let options = CliOptions::parse(["--html", "/tmp/report.html", "--html-only"]).unwrap();
+        assert_eq!(options.html, Some(PathBuf::from("/tmp/report.html")));
+        assert!(options.html_only);
+        let plain = CliOptions::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(plain.html, None);
+        assert!(!plain.html_only);
+        assert!(
+            CliOptions::parse(["--html-only"]).is_err(),
+            "--html-only without --html has nothing to emit"
+        );
+        assert!(
+            CliOptions::parse([
+                "--shard-id",
+                "0",
+                "--shard-count",
+                "2",
+                "--store",
+                "/tmp/s",
+                "--events",
+                "/tmp/e",
+                "--run-id",
+                "r1",
+                "--html",
+                "/tmp/x.html",
+            ])
+            .unwrap_err()
+            .contains("merge --html"),
+            "shards produce event logs, not rendered reports"
+        );
+    }
+
+    #[test]
     fn bad_input_is_rejected_with_usage() {
         assert!(CliOptions::parse(["--scale"]).is_err());
         assert!(CliOptions::parse(["--scale", "huge"]).is_err());
@@ -407,8 +500,10 @@ mod tests {
         assert!(CliOptions::parse(["--store"]).is_err());
         assert!(CliOptions::parse(["--shard-count", "0"]).is_err());
         assert!(CliOptions::parse(["--wat"]).unwrap_err().contains("usage:"));
+        assert!(CliOptions::parse(["--html"]).is_err());
         assert!(usage().contains("--store"));
         assert!(usage().contains("--shard-id"));
         assert!(usage().contains("--events"));
+        assert!(usage().contains("--html"));
     }
 }

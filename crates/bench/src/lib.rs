@@ -28,10 +28,16 @@
 //! rebuilds the identical plan from the figure name, then coordinates purely
 //! through the shared store directory (see [`simsys::runner`]).
 //!
-//! The `report` binary regenerates everything at once into one JSON document.
+//! The `report` binary regenerates everything at once into one JSON
+//! document, and — with `--html` — into one self-contained HTML page: one
+//! SVG chart per figure plus the domain-switch summary table, rendered by
+//! the [`reportgen`] crate through this crate's chart-metadata registry
+//! ([`render::figure_meta`]). Each figure binary and `merge` accept the same
+//! flag for their single figure.
 
 pub mod cli;
 pub mod perf;
+pub mod render;
 
 use simkit::config::{ProtectionConfig, SystemConfig};
 use simkit::json::{Json, ToJson};

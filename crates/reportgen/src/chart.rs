@@ -1,0 +1,675 @@
+//! The chart types of the evaluation: grouped bar charts (the slowdown
+//! figures) and sweep line charts (the filter-cache geometry sweeps).
+//!
+//! Both render to a self-contained inline-SVG fragment: explicit fills and
+//! font attributes (no stylesheet required), native `<title>` tooltips on
+//! every mark (no scripts), a zero-anchored value axis with nice ticks and
+//! hairline gridlines, and a legend whenever more than one series is shown.
+//! Layout grows with the data — wide grids widen the SVG and the embedding
+//! page scales it down — and non-finite values are dropped from geometry
+//! rather than corrupting the markup.
+
+use crate::svg::{fmt_coord, fmt_value, LinearScale, SvgWriter};
+
+/// The categorical series palette, assigned to series in fixed order (a
+/// colorblind-validated ordering; never cycled — the figures never exceed
+/// eight series).
+pub const SERIES_COLORS: [&str; 8] = [
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+];
+
+/// Chart chrome ink (axis labels, gridlines, baselines).
+const INK_PRIMARY: &str = "#0b0b0b";
+const INK_SECONDARY: &str = "#52514e";
+const INK_MUTED: &str = "#898781";
+const GRIDLINE: &str = "#e1e0d9";
+const AXIS: &str = "#c3c2b7";
+/// The de-emphasised per-workload lines behind a sweep's highlighted mean.
+const SPAGHETTI: &str = "#c3c2b7";
+
+const FONT: &str = "font-family:system-ui,-apple-system,Segoe UI,sans-serif";
+const PLOT_HEIGHT: f64 = 250.0;
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 20.0;
+const LEGEND_ROW_H: f64 = 20.0;
+
+/// The color assigned to series index `i` (fixed order, clamped to the last
+/// slot rather than cycling hues).
+pub fn series_color(i: usize) -> &'static str {
+    SERIES_COLORS[i.min(SERIES_COLORS.len() - 1)]
+}
+
+/// One named series of values, index-aligned with a chart's categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend / tooltip name.
+    pub name: String,
+    /// One value per category; non-finite entries render as missing marks.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// A series from a name and values.
+    pub fn new(name: impl Into<String>, values: impl Into<Vec<f64>>) -> Series {
+        Series {
+            name: name.into(),
+            values: values.into(),
+        }
+    }
+}
+
+/// Estimated pixel advance of `text` at the 11–12 px label sizes the charts
+/// use. Layout only needs a stable upper-bound-ish estimate (SVG text is not
+/// measured at render time); deterministic is what matters.
+fn text_advance(text: &str) -> f64 {
+    text.chars().count() as f64 * 6.4
+}
+
+/// The largest finite value in the series set, folded with any reference
+/// line, for the value-axis domain.
+fn finite_max<'a>(series: impl Iterator<Item = &'a Series>, reference: Option<f64>) -> f64 {
+    let mut max = reference.unwrap_or(0.0);
+    for s in series {
+        for &v in &s.values {
+            if v.is_finite() && v > max {
+                max = v;
+            }
+        }
+    }
+    max
+}
+
+/// The wrap layout of the legend row(s) at the top of a chart: one `(x, y)`
+/// anchor per item (baseline of the first row at y = 14), plus the total
+/// height the plot must leave for it. One function computes both so the
+/// reserved height can never desync from where the swatches actually land.
+/// Empty when `items.len() < 2`: a single series is named by the figure
+/// title, so a legend box would be noise.
+fn legend_layout(items: &[(&str, String)], width: f64) -> (Vec<(f64, f64)>, f64) {
+    if items.len() < 2 {
+        return (Vec::new(), 0.0);
+    }
+    let mut positions = Vec::with_capacity(items.len());
+    let mut x = MARGIN_LEFT;
+    let mut y = 14.0;
+    for (_, label) in items {
+        let advance = 18.0 + text_advance(label) + 14.0;
+        if x + advance > width - MARGIN_RIGHT && x > MARGIN_LEFT {
+            y += LEGEND_ROW_H;
+            x = MARGIN_LEFT;
+        }
+        positions.push((x, y));
+        x += advance;
+    }
+    (positions, y - 14.0 + LEGEND_ROW_H + 6.0)
+}
+
+fn draw_legend(svg: &mut SvgWriter, items: &[(&str, String)], positions: &[(f64, f64)]) {
+    for ((color, label), &(x, y)) in items.iter().zip(positions) {
+        svg.element(
+            "rect",
+            &[
+                ("x", &fmt_coord(x)),
+                ("y", &fmt_coord(y - 9.0)),
+                ("width", "12"),
+                ("height", "12"),
+                ("rx", "3"),
+                ("fill", color),
+            ],
+        );
+        svg.text(
+            x + 18.0,
+            y + 1.0,
+            label,
+            &[("fill", INK_SECONDARY), ("font-size", "12")],
+        );
+    }
+}
+
+/// Draws the zero-anchored value axis: hairline gridlines, muted tick
+/// labels, the axis baseline, and a rotated axis title.
+fn draw_value_axis(
+    svg: &mut SvgWriter,
+    scale: &LinearScale,
+    y_label: &str,
+    plot_top: f64,
+    plot_bottom: f64,
+    plot_right: f64,
+) {
+    for tick in scale.ticks(6) {
+        let y = scale.pos(tick);
+        svg.element(
+            "line",
+            &[
+                ("x1", &fmt_coord(MARGIN_LEFT)),
+                ("y1", &fmt_coord(y)),
+                ("x2", &fmt_coord(plot_right)),
+                ("y2", &fmt_coord(y)),
+                ("stroke", if tick == 0.0 { AXIS } else { GRIDLINE }),
+                ("stroke-width", "1"),
+            ],
+        );
+        svg.text(
+            MARGIN_LEFT - 8.0,
+            y + 4.0,
+            &fmt_value(tick),
+            &[
+                ("fill", INK_MUTED),
+                ("font-size", "11"),
+                ("text-anchor", "end"),
+            ],
+        );
+    }
+    let mid = (plot_top + plot_bottom) / 2.0;
+    let transform = format!("rotate(-90 14 {})", fmt_coord(mid));
+    svg.text(
+        14.0,
+        mid,
+        y_label,
+        &[
+            ("fill", INK_SECONDARY),
+            ("font-size", "12"),
+            ("text-anchor", "middle"),
+            ("transform", &transform),
+        ],
+    );
+}
+
+/// Draws the dashed reference line (the figures' "unprotected = 1.0" mark).
+fn draw_reference_line(svg: &mut SvgWriter, scale: &LinearScale, at: f64, plot_right: f64) {
+    if !at.is_finite() {
+        return;
+    }
+    let y = scale.pos(at);
+    svg.element(
+        "line",
+        &[
+            ("x1", &fmt_coord(MARGIN_LEFT)),
+            ("y1", &fmt_coord(y)),
+            ("x2", &fmt_coord(plot_right)),
+            ("y2", &fmt_coord(y)),
+            ("stroke", INK_MUTED),
+            ("stroke-width", "1"),
+            ("stroke-dasharray", "5 4"),
+        ],
+    );
+}
+
+/// How a sweep-chart series is drawn: recessive gray, or the emphasised
+/// palette line with markers and tooltips.
+#[derive(Debug, Clone, Copy)]
+enum LineStyle {
+    Background,
+    Highlight,
+}
+
+/// Rotated category label under the plot.
+fn draw_category_label(svg: &mut SvgWriter, x: f64, y: f64, label: &str) {
+    let transform = format!("rotate(-38 {} {})", fmt_coord(x), fmt_coord(y));
+    svg.text(
+        x,
+        y,
+        label,
+        &[
+            ("fill", INK_MUTED),
+            ("font-size", "11"),
+            ("text-anchor", "end"),
+            ("transform", &transform),
+        ],
+    );
+}
+
+/// Bottom margin that leaves room for rotated category labels plus the
+/// x-axis title.
+fn bottom_margin(categories: &[String]) -> f64 {
+    let longest = categories
+        .iter()
+        .map(|c| text_advance(c))
+        .fold(0.0, f64::max);
+    // sin(38°) ≈ 0.62 of the label length extends below the axis.
+    (longest * 0.62 + 18.0).clamp(36.0, 120.0) + 22.0
+}
+
+/// A grouped (clustered) bar chart: one group of bars per category, one bar
+/// per series — the shape of the paper's slowdown figures (3, 4, 8, 9) and
+/// the rate figure (7, with a single series).
+///
+/// # Examples
+///
+/// ```
+/// use reportgen::chart::{GroupedBarChart, Series};
+///
+/// let svg = GroupedBarChart {
+///     categories: vec!["mcf".into(), "lbm".into(), "geomean".into()],
+///     series: vec![
+///         Series::new("muontrap", [1.02, 1.05, 1.03]),
+///         Series::new("invisispec", [1.18, 1.22, 1.20]),
+///     ],
+///     x_label: "workload".into(),
+///     y_label: "normalised execution time".into(),
+///     reference_line: Some(1.0),
+/// }
+/// .render();
+/// assert!(svg.starts_with("<svg ") && svg.ends_with("</svg>"));
+/// assert!(svg.contains("muontrap") && svg.contains("geomean"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupedBarChart {
+    /// Category (x-group) labels.
+    pub categories: Vec<String>,
+    /// One bar per series within each group, colored in palette order.
+    pub series: Vec<Series>,
+    /// X-axis title.
+    pub x_label: String,
+    /// Value-axis title.
+    pub y_label: String,
+    /// Dashed horizontal marker, e.g. the normalised-time baseline at 1.0.
+    pub reference_line: Option<f64>,
+}
+
+impl GroupedBarChart {
+    /// Renders the chart as a self-contained `<svg>` fragment.
+    pub fn render(&self) -> String {
+        let ncat = self.categories.len().max(1);
+        let nser = self.series.len().max(1);
+        // 2 px surface gap between adjacent bars, wider gutter between
+        // groups; the SVG widens with the grid and scales down in the page.
+        let bar_w: f64 = if nser >= 5 { 7.0 } else { 10.0 };
+        let bar_gap = 2.0;
+        let group_pad = 12.0;
+        let bars_w = nser as f64 * (bar_w + bar_gap) - bar_gap;
+        let width = (MARGIN_LEFT + MARGIN_RIGHT + ncat as f64 * (bars_w + group_pad)).max(420.0);
+        // Spread the groups across whatever plot width the max() granted, so
+        // small grids don't huddle at the left of a 420 px minimum.
+        let group_w = (width - MARGIN_LEFT - MARGIN_RIGHT) / ncat as f64;
+
+        let legend: Vec<(&str, String)> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (series_color(i), s.name.clone()))
+            .collect();
+        let (legend_pos, legend_h) = legend_layout(&legend, width);
+        let plot_top = legend_h + 12.0;
+        let plot_bottom = plot_top + PLOT_HEIGHT;
+        let height = plot_bottom + bottom_margin(&self.categories);
+        let plot_right = width - MARGIN_RIGHT;
+
+        let max = finite_max(self.series.iter(), self.reference_line);
+        let scale = LinearScale::new(max * 1.05, plot_bottom, plot_top);
+
+        let mut svg = SvgWriter::new(width, height);
+        svg.open("g", &[("style", FONT)]);
+        draw_legend(&mut svg, &legend, &legend_pos);
+        draw_value_axis(
+            &mut svg,
+            &scale,
+            &self.y_label,
+            plot_top,
+            plot_bottom,
+            plot_right,
+        );
+        if let Some(at) = self.reference_line {
+            draw_reference_line(&mut svg, &scale, at, plot_right);
+        }
+
+        for (c, category) in self.categories.iter().enumerate() {
+            let group_x = MARGIN_LEFT + c as f64 * group_w;
+            let bars_x = group_x + (group_w - bars_w) / 2.0;
+            draw_category_label(
+                &mut svg,
+                group_x + group_w / 2.0,
+                plot_bottom + 14.0,
+                category,
+            );
+            for (s, series) in self.series.iter().enumerate() {
+                let value = series.values.get(c).copied().unwrap_or(f64::NAN);
+                if !value.is_finite() || value < 0.0 {
+                    continue;
+                }
+                let x = bars_x + s as f64 * (bar_w + bar_gap);
+                let top = scale.pos(value);
+                let h = plot_bottom - top;
+                svg.open("g", &[]);
+                svg.title(&format!(
+                    "{category} · {}: {}",
+                    series.name,
+                    fmt_value(value)
+                ));
+                svg.element(
+                    "path",
+                    &[
+                        ("d", &bar_path(x, top, bar_w, h)),
+                        ("fill", series_color(s)),
+                    ],
+                );
+                svg.close("g");
+            }
+        }
+
+        svg.text(
+            (MARGIN_LEFT + plot_right) / 2.0,
+            height - 8.0,
+            &self.x_label,
+            &[
+                ("fill", INK_SECONDARY),
+                ("font-size", "12"),
+                ("text-anchor", "middle"),
+            ],
+        );
+        svg.close("g");
+        svg.finish()
+    }
+}
+
+/// A bar anchored on the baseline with a rounded data end (top corners
+/// only — rounding the baseline corners would detach the bar from zero).
+fn bar_path(x: f64, y: f64, w: f64, h: f64) -> String {
+    let r = 2.5f64.min(h / 2.0).min(w / 2.0).max(0.0);
+    let x1 = x + w;
+    format!(
+        "M{x0},{yb}V{yr}Q{x0},{yt} {xr0},{yt}H{xr1}Q{x1},{yt} {x1},{yr}V{yb}Z",
+        x0 = fmt_coord(x),
+        x1 = fmt_coord(x1),
+        xr0 = fmt_coord(x + r),
+        xr1 = fmt_coord(x1 - r),
+        yb = fmt_coord(y + h),
+        yr = fmt_coord(y + r),
+        yt = fmt_coord(y),
+    )
+}
+
+/// A sweep line chart: the x axis is an ordered set of sweep points
+/// (filter-cache sizes, associativities), every per-workload series renders
+/// as a recessive gray line, and one highlighted series — the geometric
+/// mean — carries the palette color, markers and a direct label. Keeping a
+/// single emphasised series means a sweep over 13 workloads never needs 13
+/// hues (categorical palettes don't stretch that far honestly).
+///
+/// # Examples
+///
+/// ```
+/// use reportgen::chart::{Series, SweepLineChart};
+///
+/// let svg = SweepLineChart {
+///     points: vec!["64 B".into(), "128 B".into(), "256 B".into()],
+///     background: vec![
+///         Series::new("streamcluster", [1.4, 1.2, 1.1]),
+///         Series::new("canneal", [1.3, 1.15, 1.05]),
+///     ],
+///     highlight: Series::new("geomean", [1.35, 1.17, 1.08]),
+///     x_label: "data filter-cache size".into(),
+///     y_label: "normalised execution time".into(),
+///     reference_line: Some(1.0),
+/// }
+/// .render();
+/// assert!(svg.starts_with("<svg ") && svg.ends_with("</svg>"));
+/// assert!(svg.contains("geomean") && svg.contains("128 B"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepLineChart {
+    /// Ordered sweep-point labels along the x axis.
+    pub points: Vec<String>,
+    /// De-emphasised per-workload series (gray, behind the highlight).
+    pub background: Vec<Series>,
+    /// The emphasised series (markers, color, direct label).
+    pub highlight: Series,
+    /// X-axis title.
+    pub x_label: String,
+    /// Value-axis title.
+    pub y_label: String,
+    /// Dashed horizontal marker, e.g. the normalised-time baseline at 1.0.
+    pub reference_line: Option<f64>,
+}
+
+impl SweepLineChart {
+    /// Renders the chart as a self-contained `<svg>` fragment.
+    pub fn render(&self) -> String {
+        let npoints = self.points.len().max(1);
+        let width = (MARGIN_LEFT + MARGIN_RIGHT + 60.0 + npoints as f64 * 78.0).max(420.0);
+        let legend: Vec<(&str, String)> = vec![
+            (series_color(0), self.highlight.name.clone()),
+            (SPAGHETTI, "per-workload".to_string()),
+        ];
+        let (legend_pos, legend_h) = legend_layout(&legend, width);
+        let plot_top = legend_h + 12.0;
+        let plot_bottom = plot_top + PLOT_HEIGHT;
+        let height = plot_bottom + bottom_margin(&self.points);
+        let plot_right = width - MARGIN_RIGHT;
+
+        let max = finite_max(
+            self.background
+                .iter()
+                .chain(std::iter::once(&self.highlight)),
+            self.reference_line,
+        );
+        let scale = LinearScale::new(max * 1.05, plot_bottom, plot_top);
+        let x_of = |i: usize| {
+            MARGIN_LEFT
+                + 30.0
+                + if npoints == 1 {
+                    0.0
+                } else {
+                    i as f64 * (plot_right - MARGIN_LEFT - 60.0) / (npoints - 1) as f64
+                }
+        };
+
+        let mut svg = SvgWriter::new(width, height);
+        svg.open("g", &[("style", FONT)]);
+        draw_legend(&mut svg, &legend, &legend_pos);
+        draw_value_axis(
+            &mut svg,
+            &scale,
+            &self.y_label,
+            plot_top,
+            plot_bottom,
+            plot_right,
+        );
+        if let Some(at) = self.reference_line {
+            draw_reference_line(&mut svg, &scale, at, plot_right);
+        }
+        for (i, point) in self.points.iter().enumerate() {
+            draw_category_label(&mut svg, x_of(i), plot_bottom + 14.0, point);
+        }
+
+        for series in &self.background {
+            self.draw_line(&mut svg, series, &scale, &x_of, LineStyle::Background);
+        }
+        self.draw_line(
+            &mut svg,
+            &self.highlight,
+            &scale,
+            &x_of,
+            LineStyle::Highlight,
+        );
+
+        // Direct label on the highlight's last finite point.
+        if let Some((i, &v)) = self
+            .highlight
+            .values
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, v)| v.is_finite())
+        {
+            svg.text(
+                x_of(i) + 8.0,
+                scale.pos(v) - 8.0,
+                &self.highlight.name,
+                &[("fill", INK_PRIMARY), ("font-size", "12")],
+            );
+        }
+
+        svg.text(
+            (MARGIN_LEFT + plot_right) / 2.0,
+            height - 8.0,
+            &self.x_label,
+            &[
+                ("fill", INK_SECONDARY),
+                ("font-size", "12"),
+                ("text-anchor", "middle"),
+            ],
+        );
+        svg.close("g");
+        svg.finish()
+    }
+
+    /// Draws one series as polyline segments (broken at non-finite points),
+    /// with ringed markers and per-point tooltips on the highlight.
+    fn draw_line(
+        &self,
+        svg: &mut SvgWriter,
+        series: &Series,
+        scale: &LinearScale,
+        x_of: &impl Fn(usize) -> f64,
+        style: LineStyle,
+    ) {
+        let (color, stroke_width, emphasised) = match style {
+            LineStyle::Background => (SPAGHETTI, 1.2, false),
+            LineStyle::Highlight => (series_color(0), 2.0, true),
+        };
+        let mut segment: Vec<String> = Vec::new();
+        let mut segments: Vec<String> = Vec::new();
+        for (i, &v) in series.values.iter().enumerate() {
+            if v.is_finite() {
+                segment.push(format!(
+                    "{},{}",
+                    fmt_coord(x_of(i)),
+                    fmt_coord(scale.pos(v))
+                ));
+            } else if !segment.is_empty() {
+                segments.push(segment.join(" "));
+                segment.clear();
+            }
+        }
+        if !segment.is_empty() {
+            segments.push(segment.join(" "));
+        }
+        svg.open("g", &[]);
+        svg.title(&series.name);
+        for points in &segments {
+            svg.element(
+                "polyline",
+                &[
+                    ("points", points),
+                    ("fill", "none"),
+                    ("stroke", color),
+                    ("stroke-width", &fmt_coord(stroke_width)),
+                    ("stroke-linejoin", "round"),
+                ],
+            );
+        }
+        if emphasised {
+            for (i, &v) in series.values.iter().enumerate() {
+                if !v.is_finite() {
+                    continue;
+                }
+                svg.open("g", &[]);
+                svg.title(&format!(
+                    "{} · {}: {}",
+                    self.points.get(i).map_or("", |p| p.as_str()),
+                    series.name,
+                    fmt_value(v)
+                ));
+                svg.element(
+                    "circle",
+                    &[
+                        ("cx", &fmt_coord(x_of(i))),
+                        ("cy", &fmt_coord(scale.pos(v))),
+                        ("r", "4"),
+                        ("fill", color),
+                        ("stroke", "#fcfcfb"),
+                        ("stroke-width", "2"),
+                    ],
+                );
+                svg.close("g");
+            }
+        }
+        svg.close("g");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bars() -> GroupedBarChart {
+        GroupedBarChart {
+            categories: vec!["a".into(), "b".into()],
+            series: vec![Series::new("s1", [1.0, 2.0]), Series::new("s2", [0.5, 1.5])],
+            x_label: "x".into(),
+            y_label: "y".into(),
+            reference_line: Some(1.0),
+        }
+    }
+
+    #[test]
+    fn bar_chart_draws_one_mark_per_finite_value() {
+        let svg = bars().render();
+        assert_eq!(svg.matches("<path ").count(), 4);
+        assert!(svg.contains("stroke-dasharray"), "reference line present");
+        assert!(svg.contains("a · s1: 1"), "tooltip present");
+    }
+
+    #[test]
+    fn nonfinite_and_negative_bars_are_skipped_not_corrupted() {
+        let mut chart = bars();
+        chart.series[0].values[1] = f64::NAN;
+        chart.series[1].values[0] = -3.0;
+        let svg = chart.render();
+        assert_eq!(svg.matches("<path ").count(), 2);
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn single_series_bar_chart_has_no_legend_box() {
+        let mut chart = bars();
+        chart.series.truncate(1);
+        let svg = chart.render();
+        assert_eq!(svg.matches("<rect ").count(), 0, "no legend swatches");
+    }
+
+    #[test]
+    fn labels_are_escaped_into_entities() {
+        let mut chart = bars();
+        chart.categories[0] = "<mcf> & 'friends'".into();
+        let svg = chart.render();
+        assert!(!svg.contains("<mcf>"));
+        assert!(svg.contains("&lt;mcf&gt; &amp; &#39;friends&#39;"));
+    }
+
+    #[test]
+    fn sweep_chart_breaks_lines_at_nan_points() {
+        let chart = SweepLineChart {
+            points: vec!["1".into(), "2".into(), "3".into(), "4".into()],
+            background: vec![Series::new("w", [1.0, f64::NAN, 1.2, 1.1])],
+            highlight: Series::new("geomean", [1.1, 1.05, f64::NAN, 1.0]),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            reference_line: None,
+        };
+        let svg = chart.render();
+        // Background splits into two polylines, highlight into two more.
+        assert_eq!(svg.matches("<polyline ").count(), 4);
+        // Markers only on the highlight's three finite points.
+        assert_eq!(svg.matches("<circle ").count(), 3);
+    }
+
+    #[test]
+    fn charts_widen_with_the_grid() {
+        let narrow = bars().render();
+        let mut wide = bars();
+        wide.categories = (0..30).map(|i| format!("w{i}")).collect();
+        for s in &mut wide.series {
+            s.values = vec![1.0; 30];
+        }
+        let wide = wide.render();
+        let width = |svg: &str| {
+            let start = svg.find("width=\"").unwrap() + 7;
+            svg[start..svg[start..].find('"').unwrap() + start]
+                .parse::<f64>()
+                .unwrap()
+        };
+        assert!(width(&wide) > width(&narrow));
+    }
+}

@@ -1,0 +1,68 @@
+//! Dependency-free chart rendering and the self-contained HTML evaluation
+//! report.
+//!
+//! The build is offline (no plotters, no resvg, no registry access at all),
+//! so this crate generates the evaluation's artefacts from first principles:
+//!
+//! * [`svg`] — the primitive layer: escaping, deterministic number
+//!   formatting, linear scales with nice ticks, and a balanced-by-construction
+//!   element writer ([`svg::SvgWriter`]);
+//! * [`chart`] — the evaluation's chart shapes: grouped bar charts
+//!   ([`chart::GroupedBarChart`], the slowdown figures) and sweep line charts
+//!   ([`chart::SweepLineChart`], the filter-cache geometry sweeps);
+//! * [`table`] — the HTML summary table ([`table::SummaryTable`], the
+//!   domain-switch suite);
+//! * [`report`] — per-figure metadata ([`report::FigureMeta`]), the
+//!   [`RunReport`](simsys::session::RunReport)-to-chart conversions
+//!   ([`report::figure_chart`]) and run provenance ([`report::Provenance`]);
+//! * [`html`] — the assembler folding every figure into one self-contained
+//!   `report.html` ([`html::HtmlDocument`]): inline SVG, inline CSS, system
+//!   fonts, no scripts, nothing URL-shaped.
+//!
+//! The figure ↔ metadata registry itself lives in the `bench` crate next to
+//! the figure definitions; this crate stays a leaf that knows how to draw,
+//! not what the paper's figures are.
+//!
+//! Rendering is deterministic — same report in, same bytes out — which is
+//! what the golden-snapshot tests pin, and every string that originates in
+//! data (workload names, column labels, captions) is escaped on the way into
+//! markup.
+//!
+//! # Example
+//!
+//! ```
+//! use reportgen::chart::{GroupedBarChart, Series};
+//! use reportgen::html::{HtmlDocument, ReportFigure};
+//!
+//! let svg = GroupedBarChart {
+//!     categories: vec!["mcf".into(), "geomean".into()],
+//!     series: vec![Series::new("muontrap", [1.05, 1.03])],
+//!     x_label: "workload".into(),
+//!     y_label: "normalised execution time".into(),
+//!     reference_line: Some(1.0),
+//! }
+//! .render();
+//!
+//! let mut doc = HtmlDocument::new("demo");
+//! doc.figure(ReportFigure {
+//!     id: "demo".into(),
+//!     title: "Demo".into(),
+//!     paper_section: "§6".into(),
+//!     caption: "One bar per workload.".into(),
+//!     svg,
+//!     provenance: None,
+//! });
+//! let html = doc.render();
+//! assert!(html.contains("<svg ") && !html.contains("http"));
+//! ```
+
+pub mod chart;
+pub mod html;
+pub mod report;
+pub mod svg;
+pub mod table;
+
+pub use chart::{GroupedBarChart, Series, SweepLineChart};
+pub use html::{HtmlDocument, ReportFigure};
+pub use report::{figure_chart, ChartKind, FigureMeta, Provenance};
+pub use table::SummaryTable;

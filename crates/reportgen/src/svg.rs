@@ -1,0 +1,340 @@
+//! The SVG primitive layer: escaping, number formatting, linear scales with
+//! nice tick layout, and a small element writer the chart types are built on.
+//!
+//! Everything here is deterministic text generation — same inputs, same bytes
+//! — which is what lets the golden-snapshot tests pin whole charts. Nothing
+//! in this module knows about reports or figures; it only knows coordinates.
+
+use std::fmt::Write as _;
+
+/// Escapes text for use in SVG/HTML content or attribute values.
+///
+/// The five XML special characters are replaced by entities; everything else
+/// passes through untouched. Chart callers run *every* user-influenced string
+/// (workload names, column labels, captions) through this, so a workload
+/// named `<script>` renders as text rather than markup.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(reportgen::svg::escape("a<b & 'c'"), "a&lt;b &amp; &#39;c&#39;");
+/// assert_eq!(reportgen::svg::escape("plain"), "plain");
+/// ```
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a coordinate or length: two decimal places with trailing zeros
+/// (and a trailing `.`) trimmed, so `12.00` renders as `12` and `3.50` as
+/// `3.5`. Not-finite values (which the chart layers filter out of geometry
+/// before reaching here) render as `0` rather than producing invalid SVG.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(reportgen::svg::fmt_coord(12.0), "12");
+/// assert_eq!(reportgen::svg::fmt_coord(3.5), "3.5");
+/// assert_eq!(reportgen::svg::fmt_coord(0.126), "0.13");
+/// assert_eq!(reportgen::svg::fmt_coord(f64::NAN), "0");
+/// ```
+pub fn fmt_coord(value: f64) -> String {
+    if !value.is_finite() {
+        return "0".to_string();
+    }
+    let mut s = format!("{value:.2}");
+    while s.contains('.') && (s.ends_with('0') || s.ends_with('.')) {
+        s.pop();
+    }
+    if s == "-0" {
+        s = "0".to_string();
+    }
+    s
+}
+
+/// Formats a data value for tick and tooltip labels: up to three significant
+/// decimal places, trimmed like [`fmt_coord`].
+pub fn fmt_value(value: f64) -> String {
+    if !value.is_finite() {
+        return "n/a".to_string();
+    }
+    let mut s = format!("{value:.3}");
+    while s.contains('.') && (s.ends_with('0') || s.ends_with('.')) {
+        s.pop();
+    }
+    if s == "-0" {
+        s = "0".to_string();
+    }
+    s
+}
+
+/// A linear mapping from a data domain onto a pixel range.
+///
+/// The chart types always anchor the domain at zero (the figures are
+/// magnitude comparisons; truncated baselines are the classic way to lie
+/// with a bar chart), so the constructor takes only the data maximum and
+/// clamps degenerate inputs to a usable domain.
+///
+/// # Examples
+///
+/// ```
+/// use reportgen::svg::LinearScale;
+///
+/// // Map 0..=2.0 onto the 100 px of y = 300 down to y = 100 (SVG y grows
+/// // downward, so the range is given high-to-low).
+/// let y = LinearScale::new(2.0, 300.0, 100.0);
+/// assert_eq!(y.pos(0.0), 300.0);
+/// assert_eq!(y.pos(1.0), 200.0);
+/// assert_eq!(y.pos(2.0), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LinearScale {
+    max: f64,
+    range_start: f64,
+    range_end: f64,
+}
+
+impl LinearScale {
+    /// A scale over the domain `0..=max` mapped onto
+    /// `range_start..=range_end`. A non-finite or non-positive `max` becomes
+    /// `1.0`, so callers never divide by zero on empty or degenerate data.
+    pub fn new(max: f64, range_start: f64, range_end: f64) -> LinearScale {
+        let max = if max.is_finite() && max > 0.0 {
+            max
+        } else {
+            1.0
+        };
+        LinearScale {
+            max,
+            range_start,
+            range_end,
+        }
+    }
+
+    /// The domain maximum actually in force (after degenerate-input clamping).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The pixel position of `value`. Values outside the domain extrapolate
+    /// linearly; non-finite values land on the domain origin.
+    pub fn pos(&self, value: f64) -> f64 {
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.range_start + (value / self.max) * (self.range_end - self.range_start)
+    }
+
+    /// "Nice" tick values covering the domain: multiples of 1, 2, 2.5 or 5
+    /// times a power of ten, chosen so at most `max_ticks` ticks (including
+    /// zero) span `0..=max`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reportgen::svg::LinearScale;
+    ///
+    /// let scale = LinearScale::new(2.0, 0.0, 100.0);
+    /// assert_eq!(scale.ticks(6), vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+    /// ```
+    pub fn ticks(&self, max_ticks: usize) -> Vec<f64> {
+        let max_ticks = max_ticks.max(2);
+        let raw_step = self.max / (max_ticks - 1) as f64;
+        let magnitude = 10f64.powf(raw_step.log10().floor());
+        let residual = raw_step / magnitude;
+        let nice = if residual <= 1.0 {
+            1.0
+        } else if residual <= 2.0 {
+            2.0
+        } else if residual <= 2.5 {
+            2.5
+        } else if residual <= 5.0 {
+            5.0
+        } else {
+            10.0
+        };
+        let step = nice * magnitude;
+        let mut ticks = Vec::new();
+        let mut value = 0.0;
+        let mut i = 0u32;
+        while value <= self.max * (1.0 + 1e-9) {
+            ticks.push(value);
+            i += 1;
+            value = step * f64::from(i);
+        }
+        ticks
+    }
+}
+
+/// An incremental SVG element writer: `open`/`close` keep the tag stack
+/// balanced by construction, and every attribute value is escaped on the way
+/// in. The chart types never concatenate raw markup.
+///
+/// # Examples
+///
+/// ```
+/// use reportgen::svg::SvgWriter;
+///
+/// let mut svg = SvgWriter::new(100.0, 40.0);
+/// svg.open("g", &[("class", "axis")]);
+/// svg.element("line", &[("x1", "0"), ("y1", "0"), ("x2", "100"), ("y2", "0")]);
+/// svg.text(8.0, 12.0, "label & more", &[("class", "muted")]);
+/// svg.close("g");
+/// let out = svg.finish();
+/// assert!(out.starts_with("<svg "));
+/// assert!(out.contains("label &amp; more"));
+/// assert!(out.ends_with("</svg>"));
+/// ```
+#[derive(Debug)]
+pub struct SvgWriter {
+    out: String,
+    stack: Vec<&'static str>,
+}
+
+impl SvgWriter {
+    /// Starts an `<svg>` document of the given pixel size. The `viewBox`
+    /// matches the size, so embedding pages can scale the chart down
+    /// responsively (`max-width: 100%`) without clipping. Inline SVG in an
+    /// HTML5 document needs no `xmlns`, and omitting it keeps the rendered
+    /// report free of anything URL-shaped — a property CI asserts.
+    pub fn new(width: f64, height: f64) -> SvgWriter {
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" role=\"img\">",
+            w = fmt_coord(width),
+            h = fmt_coord(height),
+        );
+        SvgWriter {
+            out,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Opens a container element; it must later be closed with
+    /// [`close`](Self::close) (and [`finish`](Self::finish) asserts the
+    /// stack is empty, so an unbalanced chart fails loudly in tests rather
+    /// than emitting broken markup).
+    pub fn open(&mut self, tag: &'static str, attrs: &[(&str, &str)]) {
+        self.write_tag(tag, attrs, false);
+        self.stack.push(tag);
+    }
+
+    /// Closes the innermost open element, which must be `tag`.
+    pub fn close(&mut self, tag: &'static str) {
+        let top = self.stack.pop();
+        assert_eq!(
+            top,
+            Some(tag),
+            "unbalanced SVG: closing {tag:?} over {top:?}"
+        );
+        let _ = write!(self.out, "</{tag}>");
+    }
+
+    /// Writes a self-closing element.
+    pub fn element(&mut self, tag: &str, attrs: &[(&str, &str)]) {
+        self.write_tag(tag, attrs, true);
+    }
+
+    /// Writes a `<text>` element at `(x, y)` with escaped content.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, attrs: &[(&str, &str)]) {
+        let x = fmt_coord(x);
+        let y = fmt_coord(y);
+        let mut all = vec![("x", x.as_str()), ("y", y.as_str())];
+        all.extend_from_slice(attrs);
+        self.write_tag("text", &all, false);
+        self.out.push_str(&escape(content));
+        let _ = write!(self.out, "</text>");
+    }
+
+    /// Writes a `<title>` child (the native, script-free SVG tooltip) with
+    /// escaped content. Call between [`open`](Self::open) and
+    /// [`close`](Self::close) of the mark it describes.
+    pub fn title(&mut self, content: &str) {
+        let _ = write!(self.out, "<title>{}</title>", escape(content));
+    }
+
+    /// Closes the document and returns the markup.
+    ///
+    /// # Panics
+    /// Panics if any element opened with [`open`](Self::open) is still open.
+    pub fn finish(mut self) -> String {
+        assert!(
+            self.stack.is_empty(),
+            "unbalanced SVG: still-open elements {:?}",
+            self.stack
+        );
+        self.out.push_str("</svg>");
+        self.out
+    }
+
+    fn write_tag(&mut self, tag: &str, attrs: &[(&str, &str)], self_close: bool) {
+        let _ = write!(self.out, "<{tag}");
+        for (name, value) in attrs {
+            let _ = write!(self.out, " {name}=\"{}\"", escape(value));
+        }
+        self.out.push_str(if self_close { "/>" } else { ">" });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_all_specials_and_passes_plain_text() {
+        assert_eq!(escape("<>&\"'"), "&lt;&gt;&amp;&quot;&#39;");
+        assert_eq!(escape("geomean ×1.04"), "geomean ×1.04");
+    }
+
+    #[test]
+    fn coords_are_trimmed_and_tolerate_nan() {
+        assert_eq!(fmt_coord(640.0), "640");
+        assert_eq!(fmt_coord(0.1 + 0.2), "0.3");
+        assert_eq!(fmt_coord(-0.0001), "0");
+        assert_eq!(fmt_coord(f64::INFINITY), "0");
+        assert_eq!(fmt_value(1.2345), "1.234");
+        assert_eq!(fmt_value(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn scale_clamps_degenerate_domains() {
+        let s = LinearScale::new(f64::NAN, 0.0, 10.0);
+        assert_eq!(s.max(), 1.0);
+        assert_eq!(s.pos(1.0), 10.0);
+        let z = LinearScale::new(0.0, 0.0, 10.0);
+        assert_eq!(z.max(), 1.0);
+        assert_eq!(z.pos(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn ticks_cover_the_domain_with_nice_steps() {
+        let s = LinearScale::new(1.37, 0.0, 100.0);
+        let ticks = s.ticks(6);
+        assert_eq!(ticks.first(), Some(&0.0));
+        assert!(*ticks.last().unwrap() <= 1.37 + 1e-9);
+        assert!(ticks.len() >= 3 && ticks.len() <= 7, "{ticks:?}");
+        for pair in ticks.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+        // Large domains pick coarse steps, small domains fine ones.
+        assert_eq!(LinearScale::new(100.0, 0.0, 1.0).ticks(6)[1], 20.0);
+        assert_eq!(LinearScale::new(0.004, 0.0, 1.0).ticks(6)[1], 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced SVG")]
+    fn unbalanced_documents_panic() {
+        let mut svg = SvgWriter::new(10.0, 10.0);
+        svg.open("g", &[]);
+        let _ = svg.finish();
+    }
+}

@@ -1,0 +1,99 @@
+//! The HTML summary table (the domain-switch suite's artefact in the
+//! rendered report, where exact counter values matter more than bar heights).
+
+use crate::svg::escape;
+
+/// A header row plus data rows, rendered as a plain styled `<table>`. All
+/// cell text is escaped; numeric-looking alignment is the embedding page's
+/// stylesheet's job (cells carry a `num` class when flagged).
+///
+/// # Examples
+///
+/// ```
+/// use reportgen::table::SummaryTable;
+///
+/// let mut table = SummaryTable::new(["kernel", "slowdown"]);
+/// table.row([("syscall-storm", false), ("1.24", true)]);
+/// let html = table.render();
+/// assert!(html.starts_with("<table>") && html.ends_with("</table>"));
+/// assert!(html.contains("<td class=\"num\">1.24</td>"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SummaryTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<(String, bool)>>,
+}
+
+impl SummaryTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> SummaryTable {
+        SummaryTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row of `(text, is_numeric)` cells.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = (S, bool)>) {
+        self.rows
+            .push(cells.into_iter().map(|(s, num)| (s.into(), num)).collect());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an HTML fragment.
+    pub fn render(&self) -> String {
+        let mut out = String::from("<table>");
+        out.push_str("<thead><tr>");
+        for h in &self.headers {
+            out.push_str(&format!("<th>{}</th>", escape(h)));
+        }
+        out.push_str("</tr></thead><tbody>");
+        for row in &self.rows {
+            out.push_str("<tr>");
+            for (cell, numeric) in row {
+                if *numeric {
+                    out.push_str(&format!("<td class=\"num\">{}</td>", escape(cell)));
+                } else {
+                    out.push_str(&format!("<td>{}</td>", escape(cell)));
+                }
+            }
+            out.push_str("</tr>");
+        }
+        out.push_str("</tbody></table>");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_and_headers_are_escaped() {
+        let mut table = SummaryTable::new(["<kernel>"]);
+        table.row([("a & b", false)]);
+        let html = table.render();
+        assert!(html.contains("&lt;kernel&gt;"));
+        assert!(html.contains("a &amp; b"));
+        assert!(!html.contains("<kernel>"));
+    }
+
+    #[test]
+    fn empty_table_still_renders_balanced_markup() {
+        let table = SummaryTable::new(["only header"]);
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        let html = table.render();
+        assert!(html.starts_with("<table>") && html.ends_with("</table>"));
+        assert!(html.contains("<tbody></tbody>"));
+    }
+}

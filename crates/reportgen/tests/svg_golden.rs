@@ -1,0 +1,189 @@
+//! Golden-snapshot tests: each chart type rendered from a fixed tiny input
+//! must reproduce its committed output byte-for-byte.
+//!
+//! Rendering is deterministic text generation, so any byte difference is a
+//! real change to the artefact every reader sees. After an *intentional*
+//! layout or styling change, regenerate the snapshots (mirroring
+//! `tests/hotpath_golden.rs` at the workspace root) with:
+//!
+//! ```text
+//! MUONTRAP_REGEN_SVG_GOLDENS=1 cargo test -p reportgen --test svg_golden
+//! ```
+
+use std::path::PathBuf;
+
+use reportgen::chart::{GroupedBarChart, Series, SweepLineChart};
+use reportgen::html::{HtmlDocument, ReportFigure};
+use reportgen::report::{figure_chart, ChartKind, FigureMeta, Provenance};
+use reportgen::table::SummaryTable;
+use simkit::stats::StatSet;
+use simsys::session::{CellResult, RunReport};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+fn check_golden(name: &str, produced: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("MUONTRAP_REGEN_SVG_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, produced).expect("write golden");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with MUONTRAP_REGEN_SVG_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert!(
+        produced == golden,
+        "{name} diverges from its golden snapshot. If the rendering change is \
+         intentional, regenerate with MUONTRAP_REGEN_SVG_GOLDENS=1 and review the diff.\n\
+         produced ({} bytes) vs golden ({} bytes)",
+        produced.len(),
+        golden.len(),
+    );
+}
+
+/// The fixed grid every snapshot is rendered from: two workloads, two
+/// columns, hand-written numbers (no simulation, so the snapshot can never
+/// drift with the simulator).
+fn tiny_report() -> RunReport {
+    let cell = |workload: &str, column: &str, nt: f64, broadcasts: u64, stores: u64| {
+        let mut stats = StatSet::new();
+        stats.add("muontrap.store_upgrade_broadcasts", broadcasts);
+        stats.add("muontrap.committed_stores", stores);
+        CellResult {
+            workload: workload.to_string(),
+            column: column.to_string(),
+            defense: column.to_string(),
+            cycles: (nt * 1000.0) as u64,
+            committed: 500,
+            completed: true,
+            cached: false,
+            baseline_cycles: 1000,
+            normalized_time: nt,
+            stats,
+        }
+    };
+    RunReport {
+        title: "golden grid".to_string(),
+        scale: Some("tiny".to_string()),
+        threads: 1,
+        wall_clock_ms: 12.5,
+        baseline_sims: 2,
+        sims_executed: 6,
+        workloads: vec!["mcf-like".to_string(), "lbm-like".to_string()],
+        columns: vec!["muontrap".to_string(), "stt-spectre".to_string()],
+        cells: vec![
+            cell("mcf-like", "muontrap", 1.04, 3, 40),
+            cell("mcf-like", "stt-spectre", 1.31, 0, 40),
+            cell("lbm-like", "muontrap", 1.08, 9, 120),
+            cell("lbm-like", "stt-spectre", 1.52, 0, 120),
+        ],
+    }
+}
+
+const BAR_META: FigureMeta = FigureMeta {
+    name: "golden-bars",
+    kind: ChartKind::GroupedBars,
+    x_label: "workload",
+    y_label: "normalised execution time (×)",
+    paper_section: "§6, golden",
+    caption: "Golden grouped bars.",
+    reference_line: Some(1.0),
+};
+
+#[test]
+fn grouped_bar_chart_matches_golden() {
+    check_golden("grouped_bars.svg", &figure_chart(&BAR_META, &tiny_report()));
+}
+
+#[test]
+fn sweep_line_chart_matches_golden() {
+    let meta = FigureMeta {
+        name: "golden-sweep",
+        kind: ChartKind::SweepLines,
+        x_label: "filter-cache size",
+        ..BAR_META
+    };
+    check_golden("sweep_lines.svg", &figure_chart(&meta, &tiny_report()));
+}
+
+#[test]
+fn counter_ratio_chart_matches_golden() {
+    let meta = FigureMeta {
+        name: "golden-ratio",
+        kind: ChartKind::CounterRatioBars {
+            numerator: "muontrap.store_upgrade_broadcasts",
+            denominator: "muontrap.committed_stores",
+        },
+        y_label: "invalidation-broadcast rate",
+        reference_line: None,
+        ..BAR_META
+    };
+    check_golden(
+        "counter_ratio_bars.svg",
+        &figure_chart(&meta, &tiny_report()),
+    );
+}
+
+#[test]
+fn single_series_bar_chart_matches_golden() {
+    // The no-legend shape, plus a missing (NaN) mark.
+    let chart = GroupedBarChart {
+        categories: vec!["a".to_string(), "b".to_string(), "c".to_string()],
+        series: vec![Series::new("solo", [0.8, f64::NAN, 1.6])],
+        x_label: "category".to_string(),
+        y_label: "value".to_string(),
+        reference_line: None,
+    };
+    check_golden("single_series_bars.svg", &chart.render());
+}
+
+#[test]
+fn sweep_chart_with_broken_lines_matches_golden() {
+    let chart = SweepLineChart {
+        points: vec!["64 B".to_string(), "256 B".to_string(), "1 KiB".to_string()],
+        background: vec![
+            Series::new("w1", [1.5, f64::NAN, 1.1]),
+            Series::new("w2", [1.4, 1.2, 1.05]),
+        ],
+        highlight: Series::new("geomean", [1.45, 1.25, 1.07]),
+        x_label: "size".to_string(),
+        y_label: "slowdown".to_string(),
+        reference_line: Some(1.0),
+    };
+    check_golden("sweep_lines_broken.svg", &chart.render());
+}
+
+#[test]
+fn summary_table_matches_golden() {
+    let mut table = SummaryTable::new(["kernel", "slowdown (×)", "flushes"]);
+    table.row([("syscall-storm", false), ("1.24", true), ("812", true)]);
+    table.row([("sandbox-hop", false), ("1.31", true), ("655", true)]);
+    check_golden("summary_table.html", &table.render());
+}
+
+#[test]
+fn html_document_matches_golden() {
+    let report = tiny_report();
+    let mut doc = HtmlDocument::new("golden document");
+    doc.intro("A fixed document for the snapshot.");
+    doc.figure(ReportFigure {
+        id: "golden-bars".to_string(),
+        title: report.title.clone(),
+        paper_section: BAR_META.paper_section.to_string(),
+        caption: BAR_META.caption.to_string(),
+        svg: figure_chart(&BAR_META, &report),
+        provenance: Some(Provenance::from_report(&report, "golden-run")),
+    });
+    let mut table = SummaryTable::new(["k", "v"]);
+    table.row([("x", false), ("1", true)]);
+    doc.table("tbl", "Table", "A fixed table.", table);
+    check_golden("document.html", &doc.render());
+}

@@ -1,0 +1,202 @@
+//! Property tests: whatever the data, rendered markup is well-formed.
+//!
+//! The seed version of the workspace used `proptest`; the build runs
+//! offline, so (matching `tests/properties.rs` at the workspace root) these
+//! drive the same randomised properties with the deterministic [`SimRng`].
+//! Each case feeds the renderers arbitrary series shapes — empty grids,
+//! NaN/infinite values, zeros, huge magnitudes — and label strings full of
+//! markup metacharacters, then asserts structural well-formedness: balanced
+//! tags, no unescaped text, only known entities.
+
+use reportgen::chart::{GroupedBarChart, Series, SweepLineChart};
+use reportgen::html::{HtmlDocument, ReportFigure};
+use reportgen::table::SummaryTable;
+use simkit::rng::SimRng;
+
+fn for_each_case(cases: u64, mut body: impl FnMut(&mut SimRng)) {
+    for seed in 0..cases {
+        let mut rng = SimRng::seed_from(0x5e60_0000 + seed);
+        body(&mut rng);
+    }
+}
+
+/// Values that exercise every edge the renderers must survive.
+const VALUE_POOL: [f64; 9] = [
+    0.0,
+    1.0,
+    0.001,
+    1e9,
+    1e-9,
+    17.3,
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+];
+
+/// Labels full of markup metacharacters and multi-byte text.
+const LABEL_POOL: [&str; 8] = [
+    "plain",
+    "<script>alert(1)</script>",
+    "a & b",
+    "\"quoted\" label",
+    "it's 'quoted'",
+    "</svg></g>",
+    "geomean ×1.04 — µISA",
+    "",
+];
+
+fn arbitrary_value(rng: &mut SimRng) -> f64 {
+    VALUE_POOL[rng.below(VALUE_POOL.len() as u64) as usize]
+}
+
+fn arbitrary_label(rng: &mut SimRng) -> String {
+    LABEL_POOL[rng.below(LABEL_POOL.len() as u64) as usize].to_string()
+}
+
+fn arbitrary_series(rng: &mut SimRng, len: usize) -> Series {
+    Series::new(
+        arbitrary_label(rng),
+        (0..len).map(|_| arbitrary_value(rng)).collect::<Vec<f64>>(),
+    )
+}
+
+/// Asserts `markup` is structurally well-formed: every tag balances, no
+/// stray `<` survives in text or attributes, and every `&` starts one of the
+/// five entities the escaper emits.
+fn assert_well_formed(markup: &str, context: &str) {
+    let mut stack: Vec<String> = Vec::new();
+    let mut rest = markup;
+    while let Some(open) = rest.find('<') {
+        let text = &rest[..open];
+        assert_entities_ok(text, context);
+        rest = &rest[open + 1..];
+        let close = rest
+            .find('>')
+            .unwrap_or_else(|| panic!("{context}: unterminated tag near `{rest:.40}`"));
+        let tag = &rest[..close];
+        rest = &rest[close + 1..];
+        assert!(
+            !tag.contains('<'),
+            "{context}: `<` inside tag `{tag}` — unescaped text leaked into markup"
+        );
+        if tag.starts_with('!') {
+            continue; // <!doctype html>
+        }
+        if let Some(name) = tag.strip_prefix('/') {
+            let top = stack.pop();
+            assert_eq!(
+                top.as_deref(),
+                Some(name),
+                "{context}: closing </{name}> over {top:?}"
+            );
+        } else if !tag.ends_with('/') {
+            let name: String = tag
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            assert!(!name.is_empty(), "{context}: nameless tag `{tag}`");
+            if name != "meta" {
+                // The one HTML void element the documents emit.
+                stack.push(name);
+            }
+        }
+        // Attribute values never contain a raw `<` (checked above) and their
+        // `&` uses must be entities too.
+        assert_entities_ok(tag, context);
+    }
+    assert_entities_ok(rest, context);
+    assert!(stack.is_empty(), "{context}: unclosed tags {stack:?}");
+}
+
+fn assert_entities_ok(text: &str, context: &str) {
+    let mut rest = text;
+    while let Some(pos) = rest.find('&') {
+        let tail = &rest[pos..];
+        assert!(
+            ["&amp;", "&lt;", "&gt;", "&quot;", "&#39;"]
+                .iter()
+                .any(|entity| tail.starts_with(entity)),
+            "{context}: raw `&` in `{tail:.20}`"
+        );
+        rest = &rest[pos + 1..];
+    }
+}
+
+#[test]
+fn grouped_bar_charts_are_well_formed_for_arbitrary_data() {
+    for_each_case(96, |rng| {
+        let ncat = rng.below(6) as usize;
+        let nser = rng.below(5) as usize;
+        let chart = GroupedBarChart {
+            categories: (0..ncat).map(|_| arbitrary_label(rng)).collect(),
+            series: (0..nser).map(|_| arbitrary_series(rng, ncat)).collect(),
+            x_label: arbitrary_label(rng),
+            y_label: arbitrary_label(rng),
+            reference_line: [None, Some(1.0), Some(f64::NAN)][rng.below(3) as usize],
+        };
+        let svg = chart.render();
+        assert!(svg.starts_with("<svg ") && svg.ends_with("</svg>"));
+        assert_well_formed(&svg, "grouped bars");
+    });
+}
+
+#[test]
+fn sweep_line_charts_are_well_formed_for_arbitrary_data() {
+    for_each_case(96, |rng| {
+        let npoints = rng.below(7) as usize;
+        let nlines = rng.below(5) as usize;
+        let chart = SweepLineChart {
+            points: (0..npoints).map(|_| arbitrary_label(rng)).collect(),
+            background: (0..nlines)
+                .map(|_| arbitrary_series(rng, npoints))
+                .collect(),
+            highlight: arbitrary_series(rng, npoints),
+            x_label: arbitrary_label(rng),
+            y_label: arbitrary_label(rng),
+            reference_line: [None, Some(1.0)][rng.below(2) as usize],
+        };
+        let svg = chart.render();
+        assert!(svg.starts_with("<svg ") && svg.ends_with("</svg>"));
+        assert_well_formed(&svg, "sweep lines");
+    });
+}
+
+#[test]
+fn tables_and_documents_are_well_formed_for_arbitrary_text() {
+    for_each_case(64, |rng| {
+        let cols = 1 + rng.below(4) as usize;
+        let mut table = SummaryTable::new((0..cols).map(|_| arbitrary_label(rng)));
+        for _ in 0..rng.below(5) {
+            table.row((0..cols).map(|_| (arbitrary_label(rng), rng.below(2) == 0)));
+        }
+        let mut doc = HtmlDocument::new(arbitrary_label(rng));
+        doc.intro(arbitrary_label(rng));
+        doc.figure(ReportFigure {
+            id: arbitrary_label(rng),
+            title: arbitrary_label(rng),
+            paper_section: arbitrary_label(rng),
+            caption: arbitrary_label(rng),
+            svg: GroupedBarChart {
+                categories: vec![arbitrary_label(rng)],
+                series: vec![arbitrary_series(rng, 1)],
+                x_label: arbitrary_label(rng),
+                y_label: arbitrary_label(rng),
+                reference_line: None,
+            }
+            .render(),
+            provenance: None,
+        });
+        doc.table(
+            arbitrary_label(rng),
+            arbitrary_label(rng),
+            arbitrary_label(rng),
+            table,
+        );
+        let html = doc.render();
+        assert_well_formed(&html, "document");
+        assert!(
+            !html.contains("http") && !html.contains("<script") && !html.contains("@import"),
+            "document must stay self-contained"
+        );
+    });
+}

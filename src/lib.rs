@@ -14,7 +14,10 @@
 //! * [`workloads`] — SPEC-like and Parsec-like synthetic kernels;
 //! * [`simsys`] — processes, scheduling, the experiment session and the
 //!   content-addressed result store;
-//! * [`attacks`] — the six attack litmus tests.
+//! * [`attacks`] — the six attack litmus tests;
+//! * [`reportgen`] — dependency-free SVG charts and the self-contained HTML
+//!   evaluation report (`report --html report.html` regenerates every
+//!   figure as one browsable page).
 //!
 //! # Quickstart
 //!
@@ -83,6 +86,7 @@ pub use defenses;
 pub use memsys;
 pub use muontrap;
 pub use ooo_core;
+pub use reportgen;
 pub use simkit;
 pub use simsys;
 pub use uarch_isa;
@@ -94,6 +98,7 @@ pub mod prelude {
     pub use defenses::{build_defense, DefenseKind, DefenseRegistry};
     pub use muontrap::MuonTrap;
     pub use ooo_core::{MemoryModel, OooCore, ThreadContext};
+    pub use reportgen::{HtmlDocument, ReportFigure, SummaryTable};
     pub use simkit::config::{ProtectionConfig, SystemConfig};
     pub use simkit::json::{FromJson, Json, ToJson};
     pub use simkit::stats::geometric_mean;
