@@ -1,0 +1,340 @@
+//! µISA embodiments of the attack suite for static analysis.
+//!
+//! The dynamic litmus tests for attacks 2–6 ([`crate::litmus`]) drive the
+//! memory models directly — there is no µISA program for a static analyzer to
+//! inspect. This module closes that gap: for each litmus attack it provides
+//! the *program shape* an attacker would run to mount it — a guarded
+//! speculative window whose wrong path turns a speculatively loaded secret
+//! into the access pattern the litmus test checks — plus a `-fenced` twin
+//! with a speculation barrier closing the window, which must analyze clean.
+//!
+//! The corpus also registers the real Spectre victim and attacker programs
+//! from [`crate::spectre`], so the flagship end-to-end attack is
+//! cross-validated against the exact code it executes.
+//!
+//! Every entry records whether `speclint` is expected to find a gadget and,
+//! where applicable, the dynamic [`AttackOutcome`](crate::AttackOutcome)
+//! attack name it corresponds to; `tests/speclint_cross.rs` joins the two
+//! views on that name.
+
+use simkit::addr::VirtAddr;
+
+use uarch_isa::prog::{Program, ProgramBuilder};
+use uarch_isa::reg::Reg;
+
+use crate::spectre;
+
+/// Private addresses used by the litmus embodiments. Values only matter for
+/// `Program::validate` (segments must not overlap); the programs are analyzed,
+/// not timed.
+const SIZE_VA: u64 = 0x0005_0000;
+const ARRAY_VA: u64 = 0x0005_1000;
+const CONFLICT_VA: u64 = 0x0006_0000;
+const SHARED_VA: u64 = 0x0007_0000;
+const STREAM_VA: u64 = 0x0008_0000;
+
+/// One corpus entry: a program plus its expected static verdict.
+#[derive(Debug, Clone)]
+pub struct CorpusProgram {
+    /// The program to analyze.
+    pub program: Program,
+    /// Whether the static analyzer is expected to flag at least one gadget.
+    pub expect_gadget: bool,
+    /// The dynamic attack (an [`AttackOutcome::attack`](crate::AttackOutcome)
+    /// name) this program is the static embodiment of, if any.
+    pub litmus_attack: Option<&'static str>,
+    /// One-line description for reports.
+    pub note: &'static str,
+}
+
+/// Emits the shared prologue: a cold-ish size load and the bounds check that
+/// opens the speculative window, returning the `done` label bound later.
+/// `idx` ends up in `X10`; the fall-through path is the wrong path.
+fn guarded_window(b: &mut ProgramBuilder, fenced: bool) -> uarch_isa::prog::Label {
+    b.data_u64(VirtAddr::new(SIZE_VA), &[16]);
+    b.data(VirtAddr::new(ARRAY_VA), vec![1u8; 16]);
+    let done = b.new_label();
+    b.li(Reg::X10, 4096); // deliberately out-of-bounds index
+    b.li(Reg::X1, SIZE_VA);
+    b.load(Reg::X2, Reg::X1, 0); // bound: resolves slowly when cold
+    b.bgeu(Reg::X10, Reg::X2, done); // architecturally always taken
+    if fenced {
+        // The taken side lands directly on the final halt, so one barrier on
+        // the fall-through closes every window this branch can open.
+        b.spec_barrier();
+    }
+    done
+}
+
+/// Emits the speculative secret read `X4 <- array[X10]` inside the window.
+fn speculative_secret(b: &mut ProgramBuilder) {
+    b.li(Reg::X3, ARRAY_VA);
+    b.add(Reg::X3, Reg::X3, Reg::X10);
+    b.load_byte(Reg::X4, Reg::X3, 0); // out-of-bounds: the secret
+}
+
+/// Attack 2 shape: the secret picks which line of a conflict set is filled,
+/// evicting a victim line from the shared cache (inclusion-policy channel).
+fn litmus_inclusion(fenced: bool) -> Program {
+    let name = if fenced {
+        "litmus-inclusion-fenced"
+    } else {
+        "litmus-inclusion"
+    };
+    let mut b = ProgramBuilder::new(name);
+    let done = guarded_window(&mut b, fenced);
+    speculative_secret(&mut b);
+    b.shli(Reg::X4, Reg::X4, 6); // one conflict-set line per secret value
+    b.li(Reg::X5, CONFLICT_VA);
+    b.add(Reg::X5, Reg::X5, Reg::X4);
+    b.load(Reg::X6, Reg::X5, 0); // v1-load: secret-selected eviction
+    b.bind_label(done);
+    b.halt();
+    b.build().expect("litmus-inclusion builds")
+}
+
+/// Attack 3 shape: the secret picks the *address* of a speculative store to a
+/// shared line; the ownership upgrade is visible to a coherent observer even
+/// though the store data never commits.
+fn litmus_coherence(fenced: bool) -> Program {
+    let name = if fenced {
+        "litmus-coherence-fenced"
+    } else {
+        "litmus-coherence"
+    };
+    let mut b = ProgramBuilder::new(name);
+    let done = guarded_window(&mut b, fenced);
+    speculative_secret(&mut b);
+    b.shli(Reg::X4, Reg::X4, 6);
+    b.li(Reg::X5, SHARED_VA);
+    b.add(Reg::X5, Reg::X5, Reg::X4);
+    b.store(Reg::X0, Reg::X5, 0); // tainted-store-address: coherence upgrade
+    b.bind_label(done);
+    b.halt();
+    b.build().expect("litmus-coherence builds")
+}
+
+/// Attack 4 shape: same secret-selected fill, landing in the filter cache —
+/// the litmus test then asks whether the filter's timing reveals it.
+fn litmus_filter(fenced: bool) -> Program {
+    let name = if fenced {
+        "litmus-filter-fenced"
+    } else {
+        "litmus-filter"
+    };
+    let mut b = ProgramBuilder::new(name);
+    let done = guarded_window(&mut b, fenced);
+    speculative_secret(&mut b);
+    b.shli(Reg::X4, Reg::X4, 6);
+    b.li(Reg::X5, CONFLICT_VA);
+    b.add(Reg::X5, Reg::X5, Reg::X4);
+    b.load_byte(Reg::X6, Reg::X5, 0); // v1-load: secret-selected filter fill
+    b.bind_label(done);
+    b.halt();
+    b.build().expect("litmus-filter builds")
+}
+
+/// Attack 5 shape: the secret picks the base of a short sequential stream,
+/// training the stride prefetcher on a secret-dependent region.
+fn litmus_prefetch(fenced: bool) -> Program {
+    let name = if fenced {
+        "litmus-prefetch-fenced"
+    } else {
+        "litmus-prefetch"
+    };
+    let mut b = ProgramBuilder::new(name);
+    let done = guarded_window(&mut b, fenced);
+    speculative_secret(&mut b);
+    b.shli(Reg::X4, Reg::X4, 12); // one page per secret value
+    b.li(Reg::X5, STREAM_VA);
+    b.add(Reg::X5, Reg::X5, Reg::X4);
+    b.load(Reg::X6, Reg::X5, 0); // v1-loads: a unit-stride stream whose
+    b.load(Reg::X6, Reg::X5, 64); // base the prefetcher learns
+    b.load(Reg::X6, Reg::X5, 128);
+    b.bind_label(done);
+    b.halt();
+    b.build().expect("litmus-prefetch builds")
+}
+
+/// Attack 6 shape: a branch steered by the speculative secret — the two
+/// fetch paths touch different instruction lines, so the I-cache transmits.
+fn litmus_icache(fenced: bool) -> Program {
+    let name = if fenced {
+        "litmus-icache-fenced"
+    } else {
+        "litmus-icache"
+    };
+    let mut b = ProgramBuilder::new(name);
+    let done = guarded_window(&mut b, fenced);
+    speculative_secret(&mut b);
+    let bit_set = b.new_label();
+    b.andi(Reg::X4, Reg::X4, 1);
+    b.bne(Reg::X4, Reg::X0, bit_set); // tainted-branch: fetch reveals the bit
+    b.nop();
+    b.nop();
+    b.bind_label(bit_set);
+    b.nop();
+    b.bind_label(done);
+    b.halt();
+    b.build().expect("litmus-icache builds")
+}
+
+/// The full static attack corpus: the Spectre pair plus a gadget-bearing and
+/// a fenced embodiment of each litmus attack.
+pub fn attack_corpus() -> Vec<CorpusProgram> {
+    let mut corpus = vec![
+        CorpusProgram {
+            program: spectre::victim_program(9, 24),
+            expect_gadget: true,
+            litmus_attack: Some("attack 1: spectre prime+probe"),
+            note: "the end-to-end Spectre victim: its gadget body is the leak",
+        },
+        CorpusProgram {
+            program: spectre::attacker_program(),
+            expect_gadget: false,
+            litmus_attack: None,
+            note: "the Spectre attacker: times lines, carries no gadget itself",
+        },
+    ];
+    // (builder, attack name, gadget-variant note, fenced-variant note)
+    type LitmusEntry = (
+        fn(bool) -> Program,
+        &'static str,
+        &'static str,
+        &'static str,
+    );
+    let litmus: [LitmusEntry; 5] = [
+        (
+            litmus_inclusion,
+            "attack 2: inclusion policy",
+            "secret-selected conflict-set fill evicts a victim line",
+            "the same window closed by a speculation barrier",
+        ),
+        (
+            litmus_coherence,
+            "attack 3: shared-data coherence",
+            "speculative store address requests secret-selected ownership",
+            "the same window closed by a speculation barrier",
+        ),
+        (
+            litmus_filter,
+            "attack 4: filter-cache coherence",
+            "secret-selected fill lands in the filter cache",
+            "the same window closed by a speculation barrier",
+        ),
+        (
+            litmus_prefetch,
+            "attack 5: prefetcher",
+            "secret-selected stream base trains the prefetcher",
+            "the same window closed by a speculation barrier",
+        ),
+        (
+            litmus_icache,
+            "attack 6: instruction cache",
+            "secret-steered branch: the fetch path transmits",
+            "the same window closed by a speculation barrier",
+        ),
+    ];
+    for (build, attack, gadget_note, fenced_note) in litmus {
+        corpus.push(CorpusProgram {
+            program: build(false),
+            expect_gadget: true,
+            litmus_attack: Some(attack),
+            note: gadget_note,
+        });
+        corpus.push(CorpusProgram {
+            program: build(true),
+            expect_gadget: false,
+            litmus_attack: None,
+            note: fenced_note,
+        });
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn corpus_programs_build_and_validate() {
+        for entry in attack_corpus() {
+            assert_eq!(
+                entry.program.validate(),
+                Ok(()),
+                "{} must validate",
+                entry.program.name()
+            );
+            assert!(!entry.note.is_empty());
+        }
+    }
+
+    #[test]
+    fn corpus_names_are_unique_and_paired() {
+        let corpus = attack_corpus();
+        let names: HashSet<&str> = corpus.iter().map(|e| e.program.name()).collect();
+        assert_eq!(names.len(), corpus.len(), "duplicate program names");
+        for entry in &corpus {
+            let name = entry.program.name();
+            if let Some(base) = name.strip_suffix("-fenced") {
+                assert!(
+                    names.contains(base),
+                    "fenced variant {name} has no unfenced twin"
+                );
+                assert!(!entry.expect_gadget, "{name} must be clean");
+            }
+        }
+    }
+
+    #[test]
+    fn gadget_expectations_join_the_dynamic_attack_names() {
+        // Every gadget-bearing litmus embodiment names the dynamic attack it
+        // models, and each of the paper's six attacks appears exactly once.
+        let corpus = attack_corpus();
+        let attacks: Vec<&str> = corpus.iter().filter_map(|e| e.litmus_attack).collect();
+        assert_eq!(attacks.len(), 6);
+        for n in 1..=6 {
+            assert_eq!(
+                attacks
+                    .iter()
+                    .filter(|a| a.starts_with(&format!("attack {n}:")))
+                    .count(),
+                1,
+                "attack {n} must appear exactly once"
+            );
+        }
+        for entry in &corpus {
+            if entry.litmus_attack.is_some() {
+                assert!(entry.expect_gadget, "{}", entry.program.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fenced_variants_only_add_barriers() {
+        use uarch_isa::inst::Instruction;
+        let corpus = attack_corpus();
+        for entry in &corpus {
+            let name = entry.program.name();
+            let Some(base) = name.strip_suffix("-fenced") else {
+                continue;
+            };
+            let twin = corpus
+                .iter()
+                .find(|e| e.program.name() == base)
+                .expect("twin exists");
+            let barriers = entry
+                .program
+                .iter()
+                .filter(|i| matches!(i, Instruction::SpecBarrier))
+                .count();
+            assert!(barriers > 0, "{name} has no barrier");
+            assert_eq!(
+                entry.program.len(),
+                twin.program.len() + barriers,
+                "{name} must differ from {base} only by its barriers"
+            );
+        }
+    }
+}

@@ -23,10 +23,19 @@
 //! that each attack *succeeds* against the unprotected baseline and *fails*
 //! against MuonTrap, which is the security claim of the paper in executable
 //! form.
+//!
+//! For static tooling, [`corpus`] packages the attack suite as µISA programs:
+//! the real Spectre pair plus a gadget-bearing embodiment of each litmus
+//! attack (and a fenced clean twin), so `speclint` can be cross-validated
+//! against the dynamic outcomes program by program.
 
+#![forbid(unsafe_code)]
+
+pub mod corpus;
 pub mod litmus;
 pub mod spectre;
 
+pub use corpus::{attack_corpus, CorpusProgram};
 pub use litmus::{
     coherence_attack_leaks, filter_timing_attack_leaks, icache_attack_leaks,
     inclusion_attack_leaks, prefetch_attack_leaks,

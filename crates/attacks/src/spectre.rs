@@ -65,7 +65,11 @@ pub struct SpectreOutcome {
 
 /// Builds the victim program: train the bounds check, warm the secret, then
 /// perform one malicious (out-of-bounds) invocation of the gadget.
-fn victim_program(secret: u64, training_rounds: u64) -> Program {
+///
+/// Public so static tooling (`speclint`) can analyze the very program the
+/// dynamic attack executes: the gadget body here is the ground-truth
+/// `v1-load` the cross-validation tests pin.
+pub fn victim_program(secret: u64, training_rounds: u64) -> Program {
     assert!(secret < PROBE_LINES, "secret must index a probe line");
     let mut b = ProgramBuilder::new("spectre-victim");
     // In-bounds array: 16 elements, one byte each (values irrelevant).
@@ -150,7 +154,11 @@ fn victim_program(secret: u64, training_rounds: u64) -> Program {
 /// address is made data-dependent on the first `rdcycle` so the load cannot
 /// issue before the timestamp is taken. Lines 0 and 1 are excluded because the
 /// attacker itself chose the in-bounds training inputs that touch them.
-fn attacker_program() -> Program {
+///
+/// Public so static tooling can confirm the attacker side carries no gadget:
+/// every address it accesses derives from immediates and `rdcycle`, never
+/// from a speculatively loaded value.
+pub fn attacker_program() -> Program {
     let mut b = ProgramBuilder::new("spectre-attacker");
     b.data_u64(VirtAddr::new(ATTACKER_RESULT_VA), &[u64::MAX]);
 

@@ -1,5 +1,6 @@
 //! Regenerates the entire evaluation — Table 1, figures 3–9, the §4.8
-//! domain-switch stress grid and the security matrix — as one JSON document
+//! domain-switch stress grid, the security matrix and the static `speclint`
+//! gadget census — as one JSON document
 //! (always JSON; there is no text mode). This is the one-shot
 //! artefact-regeneration entry point:
 //!
@@ -60,8 +61,14 @@ fn main() {
             (name.to_string(), report)
         })
         .collect();
+    let census = bench::lint::corpus_census(options.scale, &speclint::AnalyzerConfig::default());
     bench::cli::write_html(&options, || {
-        bench::render::evaluation_document(&reports, &options.run_id, options.scale.name())
+        bench::render::evaluation_document(
+            &reports,
+            &options.run_id,
+            options.scale.name(),
+            Some(&census),
+        )
     });
     if options.html_only {
         return;
@@ -72,6 +79,7 @@ fn main() {
         ("table1", bench::table1_json()),
         ("figures", Json::Arr(figures)),
         ("security", bench::security_json(&config)),
+        ("speclint", census.to_json()),
     ]);
     println!("{}", document.to_string_pretty());
 }

@@ -20,6 +20,7 @@
 //! | Figure 9       | [`figure9`] | `fig9` |
 //! | §4.8 stress    | [`domain_switch_report`] | `attacks_report` |
 //! | Attacks 1–6    | [`security_matrix`] | `attacks_report` |
+//! | Static census  | [`lint::corpus_census`] | `speclint` |
 //!
 //! Each `figureN` has a `figureN_session` sibling returning the *un-run*
 //! [`ExperimentSession`], and [`figure_session`] resolves the same sessions
@@ -35,7 +36,10 @@
 //! ([`render::figure_meta`]). Each figure binary and `merge` accept the same
 //! flag for their single figure.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
+pub mod lint;
 pub mod perf;
 pub mod render;
 

@@ -1,0 +1,210 @@
+//! The gadget census: `speclint` swept over the registered corpus.
+//!
+//! [`corpus_census`] runs the static analyzer over every program the
+//! evaluation exercises — the SPEC-like and Parsec-like kernels, the
+//! domain-switch kernels, and the attack corpus
+//! ([`attacks::attack_corpus`]) — producing one [`Census`] the `speclint`
+//! binary prints (`--json`/`--html`) and `report` embeds. The census is the
+//! static ground truth the dynamic attack outcomes are cross-validated
+//! against in `tests/speclint_cross.rs`.
+//!
+//! Workload entries are keyed by *workload* name (one entry per workload,
+//! analyzing its thread-0 program: the sibling thread programs only differ in
+//! the thread id baked into their address constants, not in control flow);
+//! attack-corpus entries are keyed by program name.
+
+use speclint::{analyze_program, AnalyzerConfig, Census};
+use workloads::{domain_switch_suite, parsec_suite, spec_suite, Scale, Workload};
+
+/// The corpus the census sweeps, as (display name, program) pairs, in census
+/// order: SPEC-like, Parsec-like, domain-switch, then the attack corpus.
+fn corpus(scale: Scale) -> Vec<(String, uarch_isa::prog::Program)> {
+    let mut programs = Vec::new();
+    let mut workload_entry = |w: Workload| {
+        let program = w.thread_programs.into_iter().next().expect("≥ 1 thread");
+        programs.push((w.name, program));
+    };
+    spec_suite(scale).into_iter().for_each(&mut workload_entry);
+    // 4 threads as in figure 4; only thread 0 is analyzed (see module docs).
+    parsec_suite(scale, 4)
+        .into_iter()
+        .for_each(&mut workload_entry);
+    domain_switch_suite(scale)
+        .into_iter()
+        .for_each(&mut workload_entry);
+    for entry in attacks::attack_corpus() {
+        programs.push((entry.program.name().to_string(), entry.program));
+    }
+    programs
+}
+
+/// Runs the analyzer over the whole corpus at `scale`.
+pub fn corpus_census(scale: Scale, config: &AnalyzerConfig) -> Census {
+    let programs = corpus(scale)
+        .into_iter()
+        .map(|(name, program)| {
+            let mut report = analyze_program(&program, config);
+            report.program = name;
+            report
+        })
+        .collect();
+    Census {
+        window: config.window,
+        programs,
+    }
+}
+
+/// Renders the census as the aligned text table the `speclint` binary prints.
+pub fn census_text(census: &Census) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== speclint gadget census (speculative window: {} instructions) ==\n",
+        census.window
+    ));
+    out.push_str(&format!(
+        "{:<24}{:>8}{:>10}{:>10}{:>24}{:>16}{:>12}\n",
+        "program",
+        "insts",
+        "branches",
+        "v1-load",
+        "tainted-store-address",
+        "tainted-branch",
+        "truncated"
+    ));
+    let mut totals = [0usize; 3];
+    for report in &census.programs {
+        let counts = report.counts();
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
+        out.push_str(&format!(
+            "{:<24}{:>8}{:>10}{:>10}{:>24}{:>16}{:>12}\n",
+            report.program,
+            report.instructions,
+            report.branches,
+            counts[0],
+            counts[1],
+            counts[2],
+            if report.truncated { "YES" } else { "-" },
+        ));
+    }
+    out.push_str(&format!(
+        "{:<24}{:>8}{:>10}{:>10}{:>24}{:>16}{:>12}\n",
+        "total",
+        census
+            .programs
+            .iter()
+            .map(|p| p.instructions)
+            .sum::<usize>(),
+        census.programs.iter().map(|p| p.branches).sum::<usize>(),
+        totals[0],
+        totals[1],
+        totals[2],
+        "",
+    ));
+    out.push_str(&format!(
+        "{} gadgets across {} of {} programs\n",
+        census.total_gadgets(),
+        census.flagged_programs(),
+        census.programs.len(),
+    ));
+    out
+}
+
+/// One `program: class@transmitter` line per gadget — the grep-friendly
+/// detail listing under the text table.
+pub fn gadget_lines(census: &Census) -> String {
+    let mut out = String::new();
+    for report in &census.programs {
+        for gadget in &report.gadgets {
+            out.push_str(&format!(
+                "{}: {} branch@{} source@{} transmitter@{} chain={:?}\n",
+                report.program,
+                gadget.class,
+                gadget.branch,
+                gadget.source,
+                gadget.transmitter,
+                gadget.chain,
+            ));
+        }
+    }
+    out
+}
+
+/// The corpus-wide gadget counts per class, indexed like
+/// [`speclint::GadgetClass::ALL`].
+pub fn class_totals(census: &Census) -> [usize; 3] {
+    let mut totals = [0usize; 3];
+    for report in &census.programs {
+        for (t, c) in totals.iter_mut().zip(report.counts()) {
+            *t += c;
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_covers_every_suite_and_the_attack_corpus() {
+        let census = corpus_census(Scale::Tiny, &AnalyzerConfig::default());
+        let names: Vec<&str> = census.programs.iter().map(|p| p.program.as_str()).collect();
+        assert!(names.contains(&"mcf"), "SPEC-like suite present");
+        assert!(names.contains(&"syscall-storm"), "domain-switch present");
+        assert!(names.contains(&"spectre-victim"), "attack corpus present");
+        assert!(names.contains(&"litmus-inclusion-fenced"));
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "census names must be unique");
+    }
+
+    #[test]
+    fn census_matches_the_corpus_expectations() {
+        let census = corpus_census(Scale::Tiny, &AnalyzerConfig::default());
+        for entry in attacks::attack_corpus() {
+            let report = census
+                .report(entry.program.name())
+                .unwrap_or_else(|| panic!("{} missing from census", entry.program.name()));
+            assert_eq!(
+                !report.is_clean(),
+                entry.expect_gadget,
+                "{}: {}",
+                entry.program.name(),
+                entry.note
+            );
+        }
+    }
+
+    #[test]
+    fn census_is_scale_invariant_for_attack_entries_and_deterministic() {
+        let config = AnalyzerConfig::default();
+        let tiny = corpus_census(Scale::Tiny, &config);
+        assert_eq!(tiny, corpus_census(Scale::Tiny, &config));
+        // The attack corpus does not depend on the workload scale.
+        let small = corpus_census(Scale::Small, &config);
+        assert_eq!(
+            tiny.report("spectre-victim"),
+            small.report("spectre-victim")
+        );
+    }
+
+    #[test]
+    fn text_rendering_totals_agree_with_the_census() {
+        let census = corpus_census(Scale::Tiny, &AnalyzerConfig::default());
+        let text = census_text(&census);
+        assert!(text.contains("speclint gadget census"));
+        assert!(text.contains(&format!(
+            "{} gadgets across {} of {} programs",
+            census.total_gadgets(),
+            census.flagged_programs(),
+            census.programs.len()
+        )));
+        assert_eq!(
+            class_totals(&census).iter().sum::<usize>(),
+            census.total_gadgets()
+        );
+        let lines = gadget_lines(&census);
+        assert_eq!(lines.lines().count(), census.total_gadgets());
+    }
+}

@@ -19,6 +19,7 @@ use reportgen::report::{figure_chart, ChartKind, FigureMeta, Provenance};
 use reportgen::svg::fmt_value;
 use reportgen::{HtmlDocument, ReportFigure, SummaryTable};
 use simsys::session::RunReport;
+use speclint::Census;
 
 /// Chart metadata for every [`crate::FIGURE_NAMES`] entry, in the same
 /// order.
@@ -201,12 +202,95 @@ const DOMAIN_TABLE_CAPTION: &str =
      nonzero only under MuonTrap configurations: every syscall or sandbox transition clears \
      the filter caches, which is exactly the overhead these kernels maximise.";
 
+const SPECLINT_TABLE_CAPTION: &str =
+    "Static speculative-taint census over the evaluation corpus (the `speclint` analyzer): \
+     per program, the number of gadgets where a speculatively loaded value reaches a \
+     transmitter inside a mispredicted-branch window, by transmitter class. The attack-suite \
+     programs are expected to be flagged and their -fenced twins clean; the compute kernels' \
+     verdicts show which workloads even carry statically reachable gadgets. Cross-validated \
+     against the dynamic attack outcomes by tests/speclint_cross.rs.";
+
+/// The speclint census table: one row per analyzed program with its gadget
+/// counts per class, and the corpus totals in the footer.
+pub fn speclint_table(census: &Census) -> SummaryTable {
+    let mut table = SummaryTable::new([
+        "program",
+        "instructions",
+        "branches",
+        "v1-load",
+        "tainted-store-address",
+        "tainted-branch",
+        "truncated",
+    ]);
+    let mut totals = [0usize; 3];
+    let mut insts = 0usize;
+    let mut branches = 0usize;
+    for report in &census.programs {
+        let counts = report.counts();
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
+        insts += report.instructions;
+        branches += report.branches;
+        table.row([
+            (report.program.clone(), false),
+            (report.instructions.to_string(), true),
+            (report.branches.to_string(), true),
+            (counts[0].to_string(), true),
+            (counts[1].to_string(), true),
+            (counts[2].to_string(), true),
+            (
+                (if report.truncated { "YES" } else { "-" }).to_string(),
+                false,
+            ),
+        ]);
+    }
+    table.footer([
+        (format!("total ({} programs)", census.programs.len()), false),
+        (insts.to_string(), true),
+        (branches.to_string(), true),
+        (totals[0].to_string(), true),
+        (totals[1].to_string(), true),
+        (totals[2].to_string(), true),
+        (String::new(), false),
+    ]);
+    table
+}
+
+/// Appends the speclint census section to a document.
+fn push_speclint_section(doc: &mut HtmlDocument, census: &Census) {
+    doc.table(
+        "speclint-table",
+        format!(
+            "Static gadget census ({} gadgets, {} of {} programs, window {})",
+            census.total_gadgets(),
+            census.flagged_programs(),
+            census.programs.len(),
+            census.window
+        ),
+        SPECLINT_TABLE_CAPTION,
+        speclint_table(census),
+    );
+}
+
+/// Renders the census as its own self-contained page (`speclint --html`).
+pub fn speclint_document(census: &Census) -> String {
+    let mut doc = HtmlDocument::new("speclint — static gadget census");
+    push_speclint_section(&mut doc, census);
+    doc.render()
+}
+
 /// Renders the full evaluation as one self-contained HTML document: one
 /// chart per figure in `reports` (in the given order), the domain-switch
-/// summary table, and per-figure provenance. `reports` pairs each
-/// [`crate::FIGURE_NAMES`] entry with its report; unregistered names are
-/// skipped.
-pub fn evaluation_document(reports: &[(String, RunReport)], run_id: &str, scale: &str) -> String {
+/// summary table, the static gadget census (when given), and per-figure
+/// provenance. `reports` pairs each [`crate::FIGURE_NAMES`] entry with its
+/// report; unregistered names are skipped.
+pub fn evaluation_document(
+    reports: &[(String, RunReport)],
+    run_id: &str,
+    scale: &str,
+    census: Option<&Census>,
+) -> String {
     let mut doc = HtmlDocument::new("MuonTrap reproduction — evaluation report");
     doc.intro(format!(
         "Every figure of the paper's evaluation (§6) plus the §4.8 domain-switch stress \
@@ -229,6 +313,9 @@ pub fn evaluation_document(reports: &[(String, RunReport)], run_id: &str, scale:
                 domain_switch_table(report),
             );
         }
+    }
+    if let Some(census) = census {
+        push_speclint_section(&mut doc, census);
     }
     doc.render()
 }
@@ -279,6 +366,26 @@ mod tests {
         assert!(html.contains("run test-run"));
         assert!(!html.contains("http"), "self-contained");
         assert!(figure_document("nope", &report, "r").is_none());
+    }
+
+    #[test]
+    fn speclint_section_renders_the_census_with_totals() {
+        let census = crate::lint::corpus_census(Scale::Tiny, &speclint::AnalyzerConfig::default());
+        let table = speclint_table(&census);
+        assert_eq!(table.len(), census.programs.len());
+        let html = speclint_document(&census);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("spectre-victim"));
+        assert!(html.contains("litmus-inclusion-fenced"));
+        assert!(html.contains("<tfoot>"), "totals footer present");
+        assert!(html.contains(&format!("total ({} programs)", census.programs.len())));
+        // The census also lands at the end of the full evaluation document.
+        let full = evaluation_document(&[], "run", "tiny", Some(&census));
+        assert!(full.contains("Static gadget census"));
+        assert!(
+            !evaluation_document(&[], "run", "tiny", None).contains("Static gadget census"),
+            "census section is optional"
+        );
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! let the figure binaries accept defense names on the command line.
 //! [`build_defense`] is kept as a thin compatibility wrapper.
 
+#![forbid(unsafe_code)]
+
 pub mod invisispec;
 pub mod stt;
 pub mod unprotected;

@@ -41,6 +41,8 @@
 //! assert!(again.latency < first.latency);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod dram;
 pub mod hierarchy;

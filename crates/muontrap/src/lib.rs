@@ -44,6 +44,8 @@
 //! assert!(!mt.hierarchy().own_l1_contains(0, mt.phys_line(0, VirtAddr::new(0x8000))));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod filter_cache;
 pub mod filter_tlb;
 pub mod model;

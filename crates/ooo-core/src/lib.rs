@@ -29,6 +29,8 @@
 //! * [`events`] — events the core reports to the system layer (syscalls,
 //!   sandbox transitions, halts).
 
+#![forbid(unsafe_code)]
+
 pub mod branch;
 pub mod context;
 #[allow(clippy::module_inception)]

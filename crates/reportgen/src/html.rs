@@ -235,6 +235,7 @@ table { border-collapse: collapse; font-size: .9rem; }
 th, td { border-bottom: 1px solid #e1e0d9; padding: .3rem .75rem; text-align: left; }
 th { color: #52514e; font-weight: 600; }
 td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tfoot td { border-top: 2px solid #52514e; border-bottom: none; font-weight: 600; }
 ";
 
 #[cfg(test)]

@@ -56,6 +56,8 @@
 //! assert!(html.contains("<svg ") && !html.contains("http"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chart;
 pub mod html;
 pub mod report;

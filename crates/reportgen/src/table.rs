@@ -22,6 +22,7 @@ use crate::svg::escape;
 pub struct SummaryTable {
     headers: Vec<String>,
     rows: Vec<Vec<(String, bool)>>,
+    footer: Option<Vec<(String, bool)>>,
 }
 
 impl SummaryTable {
@@ -30,6 +31,7 @@ impl SummaryTable {
         SummaryTable {
             headers: headers.into_iter().map(Into::into).collect(),
             rows: Vec::new(),
+            footer: None,
         }
     }
 
@@ -37,6 +39,13 @@ impl SummaryTable {
     pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = (S, bool)>) {
         self.rows
             .push(cells.into_iter().map(|(s, num)| (s.into(), num)).collect());
+    }
+
+    /// Sets the totals row, rendered in a `<tfoot>` after every data row
+    /// (e.g. corpus-wide gadget counts under a per-program census). Calling
+    /// it again replaces the previous footer.
+    pub fn footer<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = (S, bool)>) {
+        self.footer = Some(cells.into_iter().map(|(s, num)| (s.into(), num)).collect());
     }
 
     /// Number of data rows so far.
@@ -68,7 +77,19 @@ impl SummaryTable {
             }
             out.push_str("</tr>");
         }
-        out.push_str("</tbody></table>");
+        out.push_str("</tbody>");
+        if let Some(footer) = &self.footer {
+            out.push_str("<tfoot><tr>");
+            for (cell, numeric) in footer {
+                if *numeric {
+                    out.push_str(&format!("<td class=\"num\">{}</td>", escape(cell)));
+                } else {
+                    out.push_str(&format!("<td>{}</td>", escape(cell)));
+                }
+            }
+            out.push_str("</tr></tfoot>");
+        }
+        out.push_str("</table>");
         out
     }
 }
@@ -85,6 +106,18 @@ mod tests {
         assert!(html.contains("&lt;kernel&gt;"));
         assert!(html.contains("a &amp; b"));
         assert!(!html.contains("<kernel>"));
+    }
+
+    #[test]
+    fn footer_renders_in_tfoot_after_every_row() {
+        let mut table = SummaryTable::new(["program", "gadgets"]);
+        table.row([("spectre-victim", false), ("1", true)]);
+        table.footer([("total", false), ("1", true)]);
+        let html = table.render();
+        let tfoot = html.find("<tfoot>").expect("footer rendered");
+        assert!(html.find("</tbody>").unwrap() < tfoot);
+        assert!(html.contains("<tfoot><tr><td>total</td><td class=\"num\">1</td></tr></tfoot>"));
+        assert!(html.ends_with("</tfoot></table>"));
     }
 
     #[test]

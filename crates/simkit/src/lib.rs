@@ -27,6 +27,8 @@
 //! assert_eq!(line.base(cfg.line_bytes).raw(), 0x1_2340);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod config;
 pub mod cycles;

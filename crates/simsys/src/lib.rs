@@ -35,6 +35,8 @@
 //! been removed; [`session::ExperimentSession`] and the raw
 //! [`session::simulate`] primitive replace it.
 
+#![forbid(unsafe_code)]
+
 pub mod runner;
 pub mod session;
 pub mod store;

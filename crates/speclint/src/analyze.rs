@@ -1,0 +1,591 @@
+//! The speculative-taint walker.
+//!
+//! # Model
+//!
+//! For every conditional branch in the program, the analyzer assumes the
+//! branch is mispredicted and symbolically executes *both* successors as
+//! entries of a bounded speculative window (the attacker trains the predictor,
+//! so either direction can be the wrong-path one). Inside a window:
+//!
+//! * every load's result is **tainted** — under the threat model the paper
+//!   shares with Spectector, a mispredicted-path load may read any secret the
+//!   victim can architecturally reach, so its value must be treated as
+//!   secret-influenced;
+//! * taint propagates through ALU/FPU dataflow (`LoadImm`, `ReadCycle` and a
+//!   call's link write produce non-secret values and kill taint; `X0` is
+//!   hardwired zero and never tainted);
+//! * atomics do not execute until they are non-speculative (the out-of-order
+//!   core retries them at the head of the ROB), so they neither transmit nor
+//!   produce speculative values: their destination is killed and the walk
+//!   continues;
+//! * a **gadget** is reported when taint reaches a transmitter: a load
+//!   address ([`GadgetClass::V1Load`]), a store address
+//!   ([`GadgetClass::TaintedStoreAddress`]), or a branch condition /
+//!   indirect-jump base / return link ([`GadgetClass::TaintedBranch`]);
+//! * the window closes at a serialising instruction
+//!   ([`Instruction::is_serialising`]: speculation barrier, syscall, sandbox
+//!   markers, halt) or when the instruction budget
+//!   ([`AnalyzerConfig::window`]) runs out.
+//!
+//! Calls and returns are paired through a bounded return stack so gadget
+//! bodies inside called functions are found; an unmatched return or an
+//! indirect jump ends the path (its target is statically unknown).
+//!
+//! # Termination and determinism
+//!
+//! The per-path fuel strictly decreases, so exploration terminates on any
+//! program, including ones with back-edges inside the window. States are
+//! explored breadth-first and pruned against a `(pc, taint mask, return
+//! stack)` memo; a [`AnalyzerConfig::max_states`] cap bounds the walk on
+//! adversarial inputs and sets [`ProgramReport::truncated`] when hit. Output
+//! gadgets are sorted and deduplicated, so reports are deterministic.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use uarch_isa::inst::Instruction;
+use uarch_isa::prog::Program;
+use uarch_isa::reg::{Reg, NUM_REGS};
+
+use crate::gadget::{Gadget, GadgetClass, ProgramReport};
+
+/// Tuning knobs for [`analyze_program`].
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Maximum speculative window, in dynamic instructions per mispredicted
+    /// path. The default matches a generously sized reorder buffer.
+    pub window: usize,
+    /// Safety cap on explored states per speculative entry; hitting it sets
+    /// [`ProgramReport::truncated`].
+    pub max_states: usize,
+    /// Maximum call depth tracked through the return stack; deeper calls end
+    /// the path.
+    pub max_call_depth: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            window: 64,
+            max_states: 4096,
+            max_call_depth: 8,
+        }
+    }
+}
+
+/// Per-register taint: `None` means untainted; `Some(chain)` records the
+/// def-use chain (instruction indices) from the originating speculative load.
+type TaintMap = Vec<Option<Vec<usize>>>;
+
+/// One frontier state of the speculative walk.
+#[derive(Debug, Clone)]
+struct State {
+    pc: usize,
+    fuel: usize,
+    ret_stack: Vec<usize>,
+    taint: TaintMap,
+}
+
+fn taint_mask(taint: &TaintMap) -> u32 {
+    let mut mask = 0u32;
+    for (i, t) in taint.iter().enumerate() {
+        if t.is_some() {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Analyzes one program and returns its gadget report.
+pub fn analyze_program(program: &Program, config: &AnalyzerConfig) -> ProgramReport {
+    let mut gadgets: Vec<Gadget> = Vec::new();
+    let mut seen: HashSet<(GadgetClass, usize, usize, usize)> = HashSet::new();
+    let mut truncated = false;
+    let mut branches = 0usize;
+
+    for (pc, inst) in program.iter().enumerate() {
+        let Instruction::Branch { target, .. } = *inst else {
+            continue;
+        };
+        branches += 1;
+        // Both directions can be the mispredicted one; explore each as its
+        // own window entry (deduplicated for degenerate self-targets).
+        let mut entries = [pc + 1, target];
+        entries.sort_unstable();
+        let mut previous = usize::MAX;
+        for entry in entries {
+            if entry == previous || entry >= program.len() {
+                continue;
+            }
+            previous = entry;
+            explore(
+                program,
+                pc,
+                entry,
+                config,
+                &mut gadgets,
+                &mut seen,
+                &mut truncated,
+            );
+        }
+    }
+
+    gadgets.sort_by_key(|g| (g.branch, g.entry, g.transmitter, g.class));
+    ProgramReport {
+        program: program.name().to_string(),
+        instructions: program.len(),
+        branches,
+        gadgets,
+        truncated,
+    }
+}
+
+/// Walks one speculative window opened by mispredicting `branch` into `entry`.
+fn explore(
+    program: &Program,
+    branch: usize,
+    entry: usize,
+    config: &AnalyzerConfig,
+    gadgets: &mut Vec<Gadget>,
+    seen: &mut HashSet<(GadgetClass, usize, usize, usize)>,
+    truncated: &mut bool,
+) {
+    let mut emit = |class: GadgetClass, transmitter: usize, chain: &[usize]| {
+        let source = *chain.first().expect("taint chains start at their load");
+        if seen.insert((class, branch, entry, transmitter)) {
+            let mut full = chain.to_vec();
+            full.push(transmitter);
+            gadgets.push(Gadget {
+                class,
+                branch,
+                entry,
+                source,
+                transmitter,
+                chain: full,
+            });
+        }
+    };
+
+    // memo: best (largest) remaining fuel seen per (pc, taint mask, ret stack);
+    // a revisit with no more fuel cannot find anything new.
+    let mut memo: HashMap<(usize, u32, Vec<usize>), usize> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    let initial = State {
+        pc: entry,
+        fuel: config.window,
+        ret_stack: Vec::new(),
+        taint: vec![None; NUM_REGS],
+    };
+    memo.insert((entry, 0, Vec::new()), config.window);
+    queue.push_back(initial);
+
+    let mut explored = 0usize;
+    while let Some(state) = queue.pop_front() {
+        explored += 1;
+        if explored > config.max_states {
+            *truncated = true;
+            break;
+        }
+        let Some(inst) = program.fetch(state.pc) else {
+            continue; // malformed program: pc past the end
+        };
+        if inst.is_serialising() {
+            continue; // the window closes here
+        }
+
+        let State {
+            pc,
+            fuel,
+            mut ret_stack,
+            mut taint,
+        } = state;
+        let tainted = |t: &TaintMap, r: Reg| t[r.index()].clone();
+        let mut next_pcs: [Option<usize>; 2] = [None, None];
+
+        match inst {
+            Instruction::Load { rd, base, .. } => {
+                let addr_taint = tainted(&taint, base);
+                if let Some(chain) = &addr_taint {
+                    emit(GadgetClass::V1Load, pc, chain);
+                }
+                // The load's result is secret-influenced either way: freshly
+                // (it may read a secret) or transitively (its address already
+                // was).
+                let result_chain = match addr_taint {
+                    Some(mut chain) => {
+                        chain.push(pc);
+                        chain
+                    }
+                    None => vec![pc],
+                };
+                set_taint(&mut taint, rd, Some(result_chain));
+                next_pcs[0] = Some(pc + 1);
+            }
+            Instruction::Store { base, .. } => {
+                if let Some(chain) = tainted(&taint, base) {
+                    emit(GadgetClass::TaintedStoreAddress, pc, &chain);
+                }
+                next_pcs[0] = Some(pc + 1);
+            }
+            Instruction::AtomicSwap { rd, .. } | Instruction::AtomicAdd { rd, .. } => {
+                // Retried when non-speculative: no speculative value, no
+                // speculative line fill.
+                set_taint(&mut taint, rd, None);
+                next_pcs[0] = Some(pc + 1);
+            }
+            Instruction::Branch {
+                rs1, rs2, target, ..
+            } => {
+                if let Some(chain) = tainted(&taint, rs1).or_else(|| tainted(&taint, rs2)) {
+                    emit(GadgetClass::TaintedBranch, pc, &chain);
+                }
+                next_pcs = [Some(pc + 1), Some(target)];
+            }
+            Instruction::Jump { target } => {
+                next_pcs[0] = Some(target);
+            }
+            Instruction::JumpIndirect { base, .. } => {
+                if let Some(chain) = tainted(&taint, base) {
+                    emit(GadgetClass::TaintedBranch, pc, &chain);
+                }
+                // Target statically unknown: the path ends.
+            }
+            Instruction::Call { target, link } => {
+                if ret_stack.len() < config.max_call_depth {
+                    set_taint(&mut taint, link, None);
+                    ret_stack.push(pc + 1);
+                    next_pcs[0] = Some(target);
+                }
+                // Deeper than the tracked stack: end the path rather than
+                // follow an unpaired return later.
+            }
+            Instruction::Return { link } => {
+                if let Some(chain) = tainted(&taint, link) {
+                    emit(GadgetClass::TaintedBranch, pc, &chain);
+                }
+                if let Some(ret) = ret_stack.pop() {
+                    next_pcs[0] = Some(ret);
+                }
+                // An unmatched return's target is statically unknown.
+            }
+            Instruction::AluReg { rd, rs1, rs2, .. } | Instruction::Fpu { rd, rs1, rs2, .. } => {
+                let src = tainted(&taint, rs1).or_else(|| tainted(&taint, rs2));
+                set_taint(&mut taint, rd, extend(src, pc));
+                next_pcs[0] = Some(pc + 1);
+            }
+            Instruction::AluImm { rd, rs1, .. } => {
+                let src = tainted(&taint, rs1);
+                set_taint(&mut taint, rd, extend(src, pc));
+                next_pcs[0] = Some(pc + 1);
+            }
+            Instruction::LoadImm { rd, .. } | Instruction::ReadCycle { rd } => {
+                set_taint(&mut taint, rd, None);
+                next_pcs[0] = Some(pc + 1);
+            }
+            Instruction::Nop => {
+                next_pcs[0] = Some(pc + 1);
+            }
+            Instruction::Syscall { .. }
+            | Instruction::SandboxEnter
+            | Instruction::SandboxExit
+            | Instruction::SpecBarrier
+            | Instruction::Halt => unreachable!("serialising instructions end the path above"),
+        }
+
+        if fuel <= 1 {
+            continue; // window budget exhausted
+        }
+        let mask = taint_mask(&taint);
+        for next in next_pcs.into_iter().flatten() {
+            if next >= program.len() {
+                continue;
+            }
+            let key = (next, mask, ret_stack.clone());
+            let improves = memo.get(&key).is_none_or(|&best| fuel - 1 > best);
+            if improves {
+                memo.insert(key, fuel - 1);
+                queue.push_back(State {
+                    pc: next,
+                    fuel: fuel - 1,
+                    ret_stack: ret_stack.clone(),
+                    taint: taint.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Extends a taint chain across a dataflow step at `pc`, or returns `None`
+/// for an untainted source.
+fn extend(src: Option<Vec<usize>>, pc: usize) -> Option<Vec<usize>> {
+    src.map(|mut chain| {
+        chain.push(pc);
+        chain
+    })
+}
+
+/// Writes `taint` for `rd`, honouring the hardwired-zero register: `X0`
+/// writes are discarded by the datapath, so it can never carry taint.
+fn set_taint(taint: &mut TaintMap, rd: Reg, value: Option<Vec<usize>>) {
+    if rd != Reg::X0 {
+        taint[rd.index()] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_isa::prog::ProgramBuilder;
+
+    fn analyze(program: &Program) -> ProgramReport {
+        analyze_program(program, &AnalyzerConfig::default())
+    }
+
+    /// The canonical Spectre-v1 shape: bounds check, then a dependent double
+    /// load on the in-bounds path.
+    fn v1_program() -> Program {
+        let mut b = ProgramBuilder::new("v1");
+        let oob = b.new_label();
+        b.li(Reg::X1, 0x1000); // 0: &array_size
+        b.load(Reg::X2, Reg::X1, 0); // 1: size (speculative source)
+        b.bgeu(Reg::X3, Reg::X2, oob); // 2: bounds check
+        b.li(Reg::X4, 0x2000); // 3: &array
+        b.add(Reg::X4, Reg::X4, Reg::X3); // 4
+        b.load(Reg::X5, Reg::X4, 0); // 5: secret = array[i] (source)
+        b.shli(Reg::X5, Reg::X5, 6); // 6
+        b.li(Reg::X6, 0x3000); // 7: &probe
+        b.add(Reg::X6, Reg::X6, Reg::X5); // 8
+        b.load(Reg::X7, Reg::X6, 0); // 9: probe[secret<<6] (transmitter)
+        b.bind_label(oob);
+        b.halt(); // 10
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn flags_the_classic_v1_pair() {
+        let report = analyze(&v1_program());
+        assert!(!report.truncated);
+        let v1: Vec<&Gadget> = report
+            .gadgets
+            .iter()
+            .filter(|g| g.class == GadgetClass::V1Load)
+            .collect();
+        assert!(
+            v1.iter().any(|g| g.transmitter == 9),
+            "the dependent probe load must be flagged: {report:?}"
+        );
+        let g = v1.iter().find(|g| g.transmitter == 9).unwrap();
+        assert_eq!(g.branch, 2, "window opens at the bounds check");
+        assert!(g.chain.contains(&5), "chain passes through the array load");
+        assert_eq!(g.chain.last(), Some(&9));
+    }
+
+    #[test]
+    fn a_barrier_after_the_bounds_check_silences_the_gadget() {
+        let mut b = ProgramBuilder::new("v1-fenced");
+        let oob = b.new_label();
+        b.li(Reg::X1, 0x1000);
+        b.load(Reg::X2, Reg::X1, 0);
+        b.bgeu(Reg::X3, Reg::X2, oob);
+        b.spec_barrier();
+        b.li(Reg::X4, 0x2000);
+        b.add(Reg::X4, Reg::X4, Reg::X3);
+        b.load(Reg::X5, Reg::X4, 0);
+        b.shli(Reg::X5, Reg::X5, 6);
+        b.li(Reg::X6, 0x3000);
+        b.add(Reg::X6, Reg::X6, Reg::X5);
+        b.load(Reg::X7, Reg::X6, 0);
+        b.bind_label(oob);
+        b.spec_barrier();
+        b.halt();
+        let report = analyze(&b.build().unwrap());
+        assert!(
+            report.is_clean(),
+            "both paths are fenced before any dependent access: {report:?}"
+        );
+    }
+
+    #[test]
+    fn straight_line_programs_have_no_windows() {
+        let mut b = ProgramBuilder::new("straight");
+        b.li(Reg::X1, 0x1000);
+        b.load(Reg::X2, Reg::X1, 0);
+        b.add(Reg::X3, Reg::X2, Reg::X2);
+        b.load(Reg::X4, Reg::X3, 0);
+        b.halt();
+        let report = analyze(&b.build().unwrap());
+        assert_eq!(report.branches, 0);
+        assert!(report.is_clean(), "no branch, no speculation: {report:?}");
+    }
+
+    #[test]
+    fn counter_derived_addresses_stay_clean_across_branches() {
+        // A canonical streaming loop: every address derives from li/addi, so
+        // nothing a speculative load produced ever reaches a transmitter.
+        let mut b = ProgramBuilder::new("stream");
+        let top = b.new_label();
+        b.li(Reg::X1, 0x1000);
+        b.li(Reg::X2, 0);
+        b.bind_label(top);
+        b.load(Reg::X3, Reg::X1, 0);
+        b.addi(Reg::X1, Reg::X1, 8);
+        b.addi(Reg::X2, Reg::X2, 1);
+        b.blt_imm(Reg::X2, 16, top);
+        b.halt();
+        let report = analyze(&b.build().unwrap());
+        assert_eq!(report.branches, 1);
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn tainted_store_address_is_classified() {
+        let mut b = ProgramBuilder::new("store-addr");
+        let out = b.new_label();
+        b.li(Reg::X1, 0x1000);
+        b.beq(Reg::X2, Reg::X0, out); // 1
+        b.load(Reg::X3, Reg::X1, 0); // 2: source
+        b.store(Reg::X0, Reg::X3, 0); // 3: store to loaded address
+        b.bind_label(out);
+        b.halt();
+        let report = analyze(&b.build().unwrap());
+        assert!(report
+            .gadgets
+            .iter()
+            .any(|g| g.class == GadgetClass::TaintedStoreAddress && g.transmitter == 3));
+        // The store *data* being tainted is not a transmitter.
+        assert!(!report
+            .gadgets
+            .iter()
+            .any(|g| g.class == GadgetClass::V1Load));
+    }
+
+    #[test]
+    fn tainted_branch_and_indirect_jump_are_classified() {
+        let mut b = ProgramBuilder::new("br-taint");
+        let out = b.new_label();
+        b.li(Reg::X1, 0x1000);
+        b.beq(Reg::X2, Reg::X0, out); // 1
+        b.load(Reg::X3, Reg::X1, 0); // 2: source
+        b.bne(Reg::X3, Reg::X0, out); // 3: branch on loaded value
+        b.jump_indirect(Reg::X3, 0); // 4: indirect jump on loaded value
+        b.bind_label(out);
+        b.halt();
+        let report = analyze(&b.build().unwrap());
+        let branches: Vec<usize> = report
+            .gadgets
+            .iter()
+            .filter(|g| g.class == GadgetClass::TaintedBranch)
+            .map(|g| g.transmitter)
+            .collect();
+        assert!(branches.contains(&3), "{report:?}");
+        assert!(branches.contains(&4), "{report:?}");
+    }
+
+    #[test]
+    fn gadgets_inside_called_functions_are_found() {
+        let mut b = ProgramBuilder::new("called");
+        let func = b.new_label();
+        let out = b.new_label();
+        b.li(Reg::X1, 0x1000); // 0
+        b.beq(Reg::X2, Reg::X0, out); // 1
+        b.call(func, Reg::X30); // 2
+        b.bind_label(out);
+        b.halt(); // 3
+        b.bind_label(func);
+        b.load(Reg::X3, Reg::X1, 0); // 4: source
+        b.load(Reg::X4, Reg::X3, 0); // 5: transmitter
+        b.ret(Reg::X30); // 6
+        let report = analyze(&b.build().unwrap());
+        assert!(
+            report
+                .gadgets
+                .iter()
+                .any(|g| g.class == GadgetClass::V1Load && g.transmitter == 5),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn the_window_budget_bounds_the_reach() {
+        // The dependent load sits beyond a tiny window: with window=4 the
+        // taint cannot reach it; the default window flags it.
+        let mut b = ProgramBuilder::new("far");
+        let out = b.new_label();
+        b.li(Reg::X1, 0x1000);
+        b.beq(Reg::X2, Reg::X0, out); // 1
+        b.load(Reg::X3, Reg::X1, 0); // 2
+        for _ in 0..8 {
+            b.nop();
+        }
+        b.load(Reg::X4, Reg::X3, 0); // 11: transmitter
+        b.bind_label(out);
+        b.halt();
+        let program = b.build().unwrap();
+        let tight = AnalyzerConfig {
+            window: 4,
+            ..AnalyzerConfig::default()
+        };
+        assert!(analyze_program(&program, &tight).is_clean());
+        assert!(!analyze(&program).is_clean());
+    }
+
+    #[test]
+    fn atomics_neither_transmit_nor_source_taint() {
+        let mut b = ProgramBuilder::new("atomics");
+        let out = b.new_label();
+        b.li(Reg::X1, 0x1000);
+        b.beq(Reg::X2, Reg::X0, out); // 1
+        b.load(Reg::X3, Reg::X1, 0); // 2: source
+        b.amoswap(Reg::X4, Reg::X0, Reg::X1); // 3: deferred, kills X4
+        b.load(Reg::X5, Reg::X4, 0); // 4: X4 is clean
+        b.bind_label(out);
+        b.halt();
+        let report = analyze(&b.build().unwrap());
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn x0_never_carries_taint() {
+        let mut b = ProgramBuilder::new("x0");
+        let out = b.new_label();
+        b.li(Reg::X1, 0x1000);
+        b.beq(Reg::X2, Reg::X0, out); // 1
+        b.emit(Instruction::Load {
+            rd: Reg::X0, // write discarded by the datapath
+            base: Reg::X1,
+            offset: 0,
+            width: uarch_isa::inst::MemWidth::Double,
+        }); // 2
+        b.load(Reg::X3, Reg::X0, 0); // 3: address is always zero
+        b.bind_label(out);
+        b.halt();
+        let report = analyze(&b.build().unwrap());
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let program = v1_program();
+        let a = analyze(&program);
+        let b = analyze(&program);
+        assert_eq!(a, b);
+        use simkit::json::ToJson;
+        assert_eq!(
+            a.to_json().to_string_pretty(),
+            b.to_json().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn the_state_cap_truncates_instead_of_hanging() {
+        // A dense loop nest with loads keeps generating distinct taint masks;
+        // a one-state cap must bail out immediately and say so.
+        let report = analyze_program(
+            &v1_program(),
+            &AnalyzerConfig {
+                max_states: 1,
+                ..AnalyzerConfig::default()
+            },
+        );
+        assert!(report.truncated);
+    }
+}

@@ -1,0 +1,267 @@
+//! Gadget taxonomy and analysis reports.
+
+use simkit::json::{Json, ToJson};
+
+/// The class of a speculative-leak gadget, by transmitter kind.
+///
+/// The classes follow the Spectector-style taxonomy specialised to the cache
+/// side channel MuonTrap defends: a gadget exists when a value produced by a
+/// *speculative load* (the only statically-assumed secret source) reaches an
+/// instruction whose resource usage depends on that value before speculation
+/// can be resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GadgetClass {
+    /// A load whose address depends on a speculatively loaded value — the
+    /// classic Spectre-v1 pair. The second access pulls a secret-selected
+    /// line into the cache.
+    V1Load,
+    /// A store whose *address* depends on a speculatively loaded value. The
+    /// store itself is squashed, but the line fill for the target address is
+    /// not.
+    TaintedStoreAddress,
+    /// A conditional branch, indirect jump or return steered by a
+    /// speculatively loaded value: the instruction-fetch stream (and thus the
+    /// instruction cache) becomes the transmitter.
+    TaintedBranch,
+}
+
+impl GadgetClass {
+    /// All classes, in report order.
+    pub const ALL: [GadgetClass; 3] = [
+        GadgetClass::V1Load,
+        GadgetClass::TaintedStoreAddress,
+        GadgetClass::TaintedBranch,
+    ];
+
+    /// Stable kebab-case name used in JSON output and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            GadgetClass::V1Load => "v1-load",
+            GadgetClass::TaintedStoreAddress => "tainted-store-address",
+            GadgetClass::TaintedBranch => "tainted-branch",
+        }
+    }
+}
+
+impl std::fmt::Display for GadgetClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One statically identified speculative-leak gadget.
+///
+/// All fields are instruction indices into the analyzed program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Gadget {
+    /// Transmitter classification.
+    pub class: GadgetClass,
+    /// The conditional branch assumed mispredicted to open the window.
+    pub branch: usize,
+    /// The first instruction of the mispredicted path (one of the branch's
+    /// two successors).
+    pub entry: usize,
+    /// The speculative load whose result the taint chain originates from.
+    pub source: usize,
+    /// The instruction at which taint reaches a transmitter.
+    pub transmitter: usize,
+    /// The def-use chain from `source` to `transmitter`, inclusive.
+    pub chain: Vec<usize>,
+}
+
+impl ToJson for Gadget {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("class", Json::Str(self.class.name().to_string())),
+            ("branch", Json::UInt(self.branch as u64)),
+            ("entry", Json::UInt(self.entry as u64)),
+            ("source", Json::UInt(self.source as u64)),
+            ("transmitter", Json::UInt(self.transmitter as u64)),
+            (
+                "chain",
+                Json::Arr(self.chain.iter().map(|&i| Json::UInt(i as u64)).collect()),
+            ),
+        ])
+    }
+}
+
+/// The analysis result for one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramReport {
+    /// Name of the analyzed program.
+    pub program: String,
+    /// Static instruction count.
+    pub instructions: usize,
+    /// Number of conditional branches whose mispredicted windows were
+    /// explored.
+    pub branches: usize,
+    /// Gadgets found, sorted by `(branch, entry, transmitter, class)` and
+    /// deduplicated.
+    pub gadgets: Vec<Gadget>,
+    /// Whether any speculative window hit the state-count safety cap before
+    /// the exploration was exhausted; a truncated report can under-count
+    /// gadgets.
+    pub truncated: bool,
+}
+
+impl ProgramReport {
+    /// Gadget counts per class, indexed like [`GadgetClass::ALL`].
+    pub fn counts(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for g in &self.gadgets {
+            let slot = GadgetClass::ALL
+                .iter()
+                .position(|c| *c == g.class)
+                .expect("class is listed");
+            counts[slot] += 1;
+        }
+        counts
+    }
+
+    /// Whether the program is statically gadget-free.
+    pub fn is_clean(&self) -> bool {
+        self.gadgets.is_empty()
+    }
+}
+
+impl ToJson for ProgramReport {
+    fn to_json(&self) -> Json {
+        let counts = self.counts();
+        Json::obj([
+            ("program", Json::Str(self.program.clone())),
+            ("instructions", Json::UInt(self.instructions as u64)),
+            ("branches", Json::UInt(self.branches as u64)),
+            (
+                "summary",
+                Json::Obj(
+                    GadgetClass::ALL
+                        .iter()
+                        .zip(counts.iter())
+                        .map(|(c, &n)| (c.name().to_string(), Json::UInt(n as u64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gadgets",
+                Json::Arr(self.gadgets.iter().map(ToJson::to_json).collect()),
+            ),
+            ("truncated", Json::Bool(self.truncated)),
+        ])
+    }
+}
+
+/// A gadget census over a whole program corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Census {
+    /// Speculative window (in instructions) the analysis ran with.
+    pub window: usize,
+    /// Per-program reports, in corpus registration order.
+    pub programs: Vec<ProgramReport>,
+}
+
+impl Census {
+    /// Total gadget count across the corpus.
+    pub fn total_gadgets(&self) -> usize {
+        self.programs.iter().map(|p| p.gadgets.len()).sum()
+    }
+
+    /// Number of programs with at least one gadget.
+    pub fn flagged_programs(&self) -> usize {
+        self.programs.iter().filter(|p| !p.is_clean()).count()
+    }
+
+    /// Looks up a program's report by name.
+    pub fn report(&self, program: &str) -> Option<&ProgramReport> {
+        self.programs.iter().find(|p| p.program == program)
+    }
+}
+
+impl ToJson for Census {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("window", Json::UInt(self.window as u64)),
+            ("total_gadgets", Json::UInt(self.total_gadgets() as u64)),
+            (
+                "flagged_programs",
+                Json::UInt(self.flagged_programs() as u64),
+            ),
+            (
+                "programs",
+                Json::Arr(self.programs.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gadget(class: GadgetClass) -> Gadget {
+        Gadget {
+            class,
+            branch: 1,
+            entry: 2,
+            source: 3,
+            transmitter: 5,
+            chain: vec![3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(GadgetClass::V1Load.name(), "v1-load");
+        assert_eq!(
+            GadgetClass::TaintedStoreAddress.to_string(),
+            "tainted-store-address"
+        );
+        assert_eq!(GadgetClass::TaintedBranch.name(), "tainted-branch");
+    }
+
+    #[test]
+    fn report_counts_partition_gadgets() {
+        let report = ProgramReport {
+            program: "p".to_string(),
+            instructions: 10,
+            branches: 1,
+            gadgets: vec![
+                gadget(GadgetClass::V1Load),
+                gadget(GadgetClass::V1Load),
+                gadget(GadgetClass::TaintedBranch),
+            ],
+            truncated: false,
+        };
+        assert_eq!(report.counts(), [2, 0, 1]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let census = Census {
+            window: 64,
+            programs: vec![ProgramReport {
+                program: "p".to_string(),
+                instructions: 10,
+                branches: 1,
+                gadgets: vec![gadget(GadgetClass::V1Load)],
+                truncated: false,
+            }],
+        };
+        let text = census.to_json().to_string_pretty();
+        let parsed = simkit::json::parse(&text).expect("valid json");
+        assert_eq!(parsed.get("total_gadgets").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            parsed.get("flagged_programs").and_then(Json::as_u64),
+            Some(1)
+        );
+        let programs = parsed.get("programs").and_then(Json::as_arr).unwrap();
+        assert_eq!(programs[0].get("program").and_then(Json::as_str), Some("p"));
+        assert_eq!(
+            programs[0]
+                .get("summary")
+                .and_then(|s| s.get("v1-load"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

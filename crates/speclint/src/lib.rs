@@ -1,0 +1,56 @@
+//! `speclint` — a static speculative-taint analyzer for µISA programs.
+//!
+//! The rest of the workspace produces *dynamic* evidence about speculative
+//! leakage: the attack suite runs programs on the simulated machine and
+//! checks whether a secret crosses the cache side channel. This crate gives
+//! the complementary *static* view, in the spirit of Spectector's speculative
+//! non-interference checking: it explores every mispredicted-branch window a
+//! program can open and reports the **gadgets** — instruction sequences where
+//! a speculatively loaded value reaches a transmitter before speculation can
+//! resolve. No simulation is involved, so the verdict is per program, not per
+//! run, and every defense can be scored against the same gadget ground truth.
+//!
+//! The taxonomy ([`GadgetClass`]) has three transmitter kinds:
+//!
+//! | class | transmitter | paper analogue |
+//! |---|---|---|
+//! | `v1-load` | load address | Spectre-v1 bounds-check bypass |
+//! | `tainted-store-address` | store address | speculative-store line fill |
+//! | `tainted-branch` | branch/indirect-jump/return steering | I-cache / BTB channel |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use speclint::{analyze_program, AnalyzerConfig};
+//! use uarch_isa::prog::ProgramBuilder;
+//! use uarch_isa::reg::Reg;
+//!
+//! // A classic Spectre-v1 pair behind a bounds check.
+//! let mut b = ProgramBuilder::new("victim");
+//! let out = b.new_label();
+//! b.li(Reg::X1, 0x1000);
+//! b.bgeu(Reg::X2, Reg::X3, out);
+//! b.load(Reg::X4, Reg::X1, 0); // speculative load
+//! b.load(Reg::X5, Reg::X4, 0); // dependent load: the transmitter
+//! b.bind_label(out);
+//! b.halt();
+//! let program = b.build().unwrap();
+//!
+//! let report = analyze_program(&program, &AnalyzerConfig::default());
+//! assert_eq!(report.gadgets.len(), 1);
+//! assert_eq!(report.gadgets[0].class.name(), "v1-load");
+//! ```
+//!
+//! The `speclint` binary in the `bench` crate sweeps the registered workload
+//! and attack corpus with this analyzer and emits a gadget census
+//! (`--json`/`--html`); `tests/speclint_cross.rs` at the workspace root
+//! cross-validates the static verdicts against the dynamic attack outcomes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod analyze;
+mod gadget;
+
+pub use analyze::{analyze_program, AnalyzerConfig};
+pub use gadget::{Census, Gadget, GadgetClass, ProgramReport};

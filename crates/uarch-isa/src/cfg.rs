@@ -1,0 +1,307 @@
+//! Static control-flow analysis helpers over [`Program`]s.
+//!
+//! The dynamic simulator never needs a control-flow graph — it just follows
+//! the program counter — but static tooling (the `speclint` speculative-taint
+//! analyzer, program validation) reasons about *all* paths at once. This
+//! module provides the shared pieces: per-instruction successor enumeration
+//! and a whole-program [`Cfg`] with predecessor lists, basic-block leaders and
+//! reachability.
+//!
+//! Conventions:
+//!
+//! * Successors are instruction indices (the µISA program counter is an
+//!   instruction index, see [`crate::inst::Instruction`]).
+//! * A [`Call`](crate::inst::Instruction::Call) has a single successor, its
+//!   target: the matching return edge is a property of the *caller's* link
+//!   value, which a graph over instruction indices cannot represent. Callers
+//!   that need call/return pairing (like `speclint`'s speculative walker)
+//!   track a return stack on top of [`successors`].
+//! * [`JumpIndirect`](crate::inst::Instruction::JumpIndirect) and
+//!   [`Return`](crate::inst::Instruction::Return) targets are register
+//!   values, unknown statically: they contribute no successor edges.
+//! * [`Halt`](crate::inst::Instruction::Halt) has no successors.
+
+use crate::inst::Instruction;
+use crate::prog::Program;
+
+/// Static successor instruction indices of `inst` at index `pc`, without
+/// allocating: a fixed pair padded with zero plus the live count (mirroring
+/// [`Instruction::source_regs`]). Successors may be out of range for the
+/// enclosing program when the instruction itself encodes an out-of-range
+/// target; [`Program::validate`](crate::prog::Program::validate) rejects such
+/// programs.
+pub const fn successors(inst: &Instruction, pc: usize) -> ([usize; 2], usize) {
+    match *inst {
+        Instruction::Branch { target, .. } => ([pc + 1, target], 2),
+        Instruction::Jump { target } => ([target, 0], 1),
+        Instruction::Call { target, .. } => ([target, 0], 1),
+        Instruction::JumpIndirect { .. } | Instruction::Return { .. } | Instruction::Halt => {
+            ([0, 0], 0)
+        }
+        _ => ([pc + 1, 0], 1),
+    }
+}
+
+/// Whether `inst` can fall through to the next instruction (i.e. `pc + 1` is
+/// among its successors).
+pub const fn falls_through(inst: &Instruction) -> bool {
+    !matches!(
+        inst,
+        Instruction::Jump { .. }
+            | Instruction::JumpIndirect { .. }
+            | Instruction::Call { .. }
+            | Instruction::Return { .. }
+            | Instruction::Halt
+    )
+}
+
+/// A whole-program control-flow graph over instruction indices.
+///
+/// # Examples
+///
+/// ```
+/// use uarch_isa::cfg::Cfg;
+/// use uarch_isa::prog::ProgramBuilder;
+/// use uarch_isa::reg::Reg;
+///
+/// let mut b = ProgramBuilder::new("loop");
+/// let top = b.new_label();
+/// b.li(Reg::X1, 0);
+/// b.bind_label(top);
+/// b.addi(Reg::X1, Reg::X1, 1);
+/// b.blt_imm(Reg::X1, 4, top);
+/// b.halt();
+/// let program = b.build().unwrap();
+///
+/// let cfg = Cfg::of(&program);
+/// // The back edge: the branch (index 3) targets the loop body (index 1).
+/// assert!(cfg.successors_of(3).contains(&1));
+/// assert!(cfg.predecessors_of(1).contains(&3));
+/// assert!(cfg.is_block_start(1), "a branch target starts a block");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+    block_start: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the graph for `program`. Out-of-range successor targets (only
+    /// possible in hand-emitted programs that bypass
+    /// [`Program::validate`](crate::prog::Program::validate)) are dropped.
+    pub fn of(program: &Program) -> Cfg {
+        let n = program.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut block_start = vec![false; n];
+        if n > 0 {
+            block_start[0] = true;
+        }
+        for (pc, inst) in program.iter().enumerate() {
+            let (targets, count) = successors(inst, pc);
+            for &s in &targets[..count] {
+                if s < n {
+                    succs[pc].push(s);
+                    preds[s].push(pc);
+                }
+            }
+            // Control transfers start blocks at their targets and after
+            // themselves (the fall-through of a branch is a merge point).
+            if inst.class().is_control() {
+                for &s in &targets[..count] {
+                    if s < n {
+                        block_start[s] = true;
+                    }
+                }
+                if pc + 1 < n {
+                    block_start[pc + 1] = true;
+                }
+            }
+        }
+        for p in preds.iter_mut() {
+            p.sort_unstable();
+            p.dedup();
+        }
+        Cfg {
+            succs,
+            preds,
+            block_start,
+        }
+    }
+
+    /// Number of instructions (graph nodes).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The successor indices of instruction `pc`.
+    pub fn successors_of(&self, pc: usize) -> &[usize] {
+        &self.succs[pc]
+    }
+
+    /// The predecessor indices of instruction `pc` (sorted, deduplicated).
+    pub fn predecessors_of(&self, pc: usize) -> &[usize] {
+        &self.preds[pc]
+    }
+
+    /// Whether instruction `pc` starts a basic block (entry point, control
+    /// transfer target, or fall-through join after a control instruction).
+    pub fn is_block_start(&self, pc: usize) -> bool {
+        self.block_start[pc]
+    }
+
+    /// The basic-block leader indices, in program order.
+    pub fn block_starts(&self) -> Vec<usize> {
+        self.block_start
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, &s)| s.then_some(pc))
+            .collect()
+    }
+
+    /// The set of instructions reachable from `entry` along successor edges,
+    /// as a membership mask. Indirect control flow (returns, indirect jumps)
+    /// contributes no edges, so this is the *direct-edge* reachability.
+    pub fn reachable_from(&self, entry: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        if entry >= self.len() {
+            return seen;
+        }
+        let mut stack = vec![entry];
+        seen[entry] = true;
+        while let Some(pc) = stack.pop() {
+            for &s in &self.succs[pc] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BranchCond;
+    use crate::prog::ProgramBuilder;
+    use crate::reg::Reg;
+
+    fn branchy_program() -> Program {
+        let mut b = ProgramBuilder::new("cfg-test");
+        let taken = b.new_label();
+        let join = b.new_label();
+        b.li(Reg::X1, 1); // 0
+        b.branch(BranchCond::Eq, Reg::X1, Reg::X0, taken); // 1
+        b.addi(Reg::X2, Reg::X2, 1); // 2 (fall-through)
+        b.jump(join); // 3
+        b.bind_label(taken);
+        b.addi(Reg::X2, Reg::X2, 2); // 4
+        b.bind_label(join);
+        b.halt(); // 5
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn successor_shapes_per_instruction_kind() {
+        let branch = Instruction::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::X1,
+            rs2: Reg::X0,
+            target: 7,
+        };
+        let ([a, b], n) = successors(&branch, 3);
+        assert_eq!((a, b, n), (4, 7, 2));
+        let (t, n) = successors(&Instruction::Jump { target: 9 }, 0);
+        assert_eq!((t[0], n), (9, 1));
+        let (t, n) = successors(
+            &Instruction::Call {
+                target: 2,
+                link: Reg::X30,
+            },
+            5,
+        );
+        assert_eq!((t[0], n), (2, 1));
+        assert_eq!(successors(&Instruction::Halt, 5).1, 0);
+        assert_eq!(successors(&Instruction::Return { link: Reg::X30 }, 5).1, 0);
+        assert_eq!(
+            successors(
+                &Instruction::JumpIndirect {
+                    base: Reg::X1,
+                    offset: 0
+                },
+                5
+            )
+            .1,
+            0
+        );
+        let (t, n) = successors(&Instruction::Nop, 5);
+        assert_eq!((t[0], n), (6, 1));
+    }
+
+    #[test]
+    fn fall_through_classification() {
+        assert!(falls_through(&Instruction::Nop));
+        assert!(falls_through(&Instruction::SpecBarrier));
+        assert!(falls_through(&Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::X0,
+            rs2: Reg::X0,
+            target: 0
+        }));
+        assert!(!falls_through(&Instruction::Jump { target: 0 }));
+        assert!(!falls_through(&Instruction::Halt));
+        assert!(!falls_through(&Instruction::Return { link: Reg::X30 }));
+    }
+
+    #[test]
+    fn graph_edges_and_blocks_of_a_diamond() {
+        let p = branchy_program();
+        let cfg = Cfg::of(&p);
+        assert_eq!(cfg.len(), p.len());
+        assert_eq!(cfg.successors_of(1), &[2, 4]);
+        assert_eq!(cfg.predecessors_of(5), &[3, 4]);
+        // Leaders: entry, both branch arms, and the join.
+        assert_eq!(cfg.block_starts(), vec![0, 2, 4, 5]);
+        assert!(!cfg.is_block_start(1));
+    }
+
+    #[test]
+    fn reachability_covers_the_diamond_and_stops_at_halt() {
+        let p = branchy_program();
+        let cfg = Cfg::of(&p);
+        let from_entry = cfg.reachable_from(0);
+        assert!(from_entry.iter().all(|&r| r), "every node is reachable");
+        let from_join = cfg.reachable_from(5);
+        assert_eq!(from_join.iter().filter(|&&r| r).count(), 1);
+        assert!(cfg.reachable_from(99).iter().all(|&r| !r));
+    }
+
+    #[test]
+    fn out_of_range_targets_are_dropped_not_panicked() {
+        // Such a program fails `Program::validate` (so the builder rejects it
+        // in debug builds); the graph still degrades gracefully.
+        let p = Program::from_raw_parts(
+            "oob",
+            vec![
+                Instruction::Branch {
+                    cond: BranchCond::Eq,
+                    rs1: Reg::X0,
+                    rs2: Reg::X0,
+                    target: 2, // == len: past the end
+                },
+                Instruction::Halt,
+            ],
+            Vec::new(),
+        );
+        let cfg = Cfg::of(&p);
+        assert_eq!(cfg.successors_of(0), &[1], "the oob edge is dropped");
+    }
+}

@@ -354,6 +354,23 @@ impl Instruction {
         }
     }
 
+    /// The register this instruction uses as a memory *address* base, if any.
+    /// Static analyses (like `speclint`'s taint tracker) need to distinguish
+    /// the address operand — whose value picks a cache line and is therefore a
+    /// transmitter — from data operands, which [`source_regs`](Self::source_regs)
+    /// does not separate. Also covers [`JumpIndirect`](Self::JumpIndirect),
+    /// whose base register selects an instruction-fetch address.
+    pub const fn mem_base(&self) -> Option<Reg> {
+        match *self {
+            Instruction::Load { base, .. }
+            | Instruction::Store { base, .. }
+            | Instruction::AtomicSwap { base, .. }
+            | Instruction::AtomicAdd { base, .. }
+            | Instruction::JumpIndirect { base, .. } => Some(base),
+            _ => None,
+        }
+    }
+
     /// Whether this instruction is a serialising point for speculation (the
     /// pipeline must not execute younger instructions speculatively past it).
     pub fn is_serialising(&self) -> bool {
@@ -574,6 +591,37 @@ mod tests {
         assert_eq!(call.dest(), Some(Reg::X30));
         let ret = Instruction::Return { link: Reg::X30 };
         assert_eq!(ret.sources(), vec![Reg::X30]);
+    }
+
+    #[test]
+    fn mem_base_separates_address_from_data_operands() {
+        let st = Instruction::Store {
+            rs: Reg::X3,
+            base: Reg::X4,
+            offset: 8,
+            width: MemWidth::Word,
+        };
+        assert_eq!(st.mem_base(), Some(Reg::X4));
+        let ld = Instruction::Load {
+            rd: Reg::X1,
+            base: Reg::X2,
+            offset: 0,
+            width: MemWidth::Double,
+        };
+        assert_eq!(ld.mem_base(), Some(Reg::X2));
+        let amo = Instruction::AtomicSwap {
+            rd: Reg::X1,
+            rs: Reg::X2,
+            base: Reg::X3,
+        };
+        assert_eq!(amo.mem_base(), Some(Reg::X3));
+        let jmpi = Instruction::JumpIndirect {
+            base: Reg::X5,
+            offset: 0,
+        };
+        assert_eq!(jmpi.mem_base(), Some(Reg::X5));
+        assert_eq!(Instruction::Nop.mem_base(), None);
+        assert_eq!(Instruction::Halt.mem_base(), None);
     }
 
     #[test]

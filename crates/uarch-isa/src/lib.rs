@@ -43,6 +43,9 @@
 //! assert_eq!(result.regs.read(Reg::X1), 45);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod cfg;
 pub mod inst;
 pub mod interp;
 pub mod mem;

@@ -47,6 +47,23 @@ pub struct Program {
 }
 
 impl Program {
+    /// Assembles a program directly from parts, bypassing the builder *and*
+    /// [`validate`](Self::validate). Static tools use this to construct
+    /// deliberately malformed programs (out-of-range targets, fall-through
+    /// ends) and check that analyses degrade gracefully instead of panicking;
+    /// everything that actually runs should come from [`ProgramBuilder`].
+    pub fn from_raw_parts(
+        name: impl Into<String>,
+        code: Vec<Instruction>,
+        data: Vec<DataSegment>,
+    ) -> Self {
+        Program {
+            name: name.into().into(),
+            code: Arc::new(code),
+            data: Arc::new(data),
+        }
+    }
+
     /// The program's name (used as the workload label in reports).
     pub fn name(&self) -> &str {
         &self.name
@@ -82,6 +99,64 @@ impl Program {
     pub fn iter(&self) -> impl Iterator<Item = &Instruction> {
         self.code.iter()
     }
+
+    /// Checks the whole-program well-formedness invariants the interpreter and
+    /// the static analyses rely on:
+    ///
+    /// * every branch/jump/call target is a valid instruction index
+    ///   (strictly less than [`len`](Self::len) — the builder's historical
+    ///   check tolerated `target == len`, which the interpreter reports as
+    ///   [`PcOutOfRange`](crate::interp::StopReason::PcOutOfRange) when taken);
+    /// * the final instruction cannot fall through past the end of the
+    ///   program (it must be a halt, jump, return or indirect jump);
+    /// * no two initial data segments overlap.
+    ///
+    /// [`ProgramBuilder::build`] runs this automatically in debug builds, so
+    /// every program constructed in tests is known-valid; release builds skip
+    /// it and [`from_raw_parts`](Self::from_raw_parts) bypasses it entirely.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        for (at, inst) in self.code.iter().enumerate() {
+            let target = match *inst {
+                Instruction::Branch { target, .. }
+                | Instruction::Jump { target }
+                | Instruction::Call { target, .. } => Some(target),
+                _ => None,
+            };
+            if let Some(target) = target {
+                if target >= self.code.len() {
+                    return Err(ValidateError::TargetOutOfRange { at, target });
+                }
+            }
+        }
+        if let Some(last) = self.code.last() {
+            if crate::cfg::falls_through(last) {
+                return Err(ValidateError::FallsOffEnd {
+                    at: self.code.len() - 1,
+                });
+            }
+        }
+        // Overlap check over segments sorted by start address; zero-length
+        // segments occupy no bytes and cannot overlap anything.
+        let mut spans: Vec<(u64, u64, usize)> = self
+            .data
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.bytes.is_empty())
+            .map(|(i, s)| (s.addr.raw(), s.addr.raw() + s.bytes.len() as u64, i))
+            .collect();
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            let (_, prev_end, prev_idx) = pair[0];
+            let (cur_start, _, cur_idx) = pair[1];
+            if prev_end > cur_start {
+                return Err(ValidateError::OverlappingData {
+                    first: prev_idx.min(cur_idx),
+                    second: prev_idx.max(cur_idx),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for Program {
@@ -99,6 +174,49 @@ impl fmt::Display for Program {
     }
 }
 
+/// Error produced by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A branch, jump or call targets an instruction index at or past the end
+    /// of the program.
+    TargetOutOfRange {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// The final instruction can fall through past the end of the program.
+    FallsOffEnd {
+        /// Index of the final instruction.
+        at: usize,
+    },
+    /// Two initial data segments overlap.
+    OverlappingData {
+        /// Index (into [`Program::data_segments`]) of the earlier segment.
+        first: usize,
+        /// Index of the overlapping later segment.
+        second: usize,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::TargetOutOfRange { at, target } => {
+                write!(f, "instruction {at} targets out-of-range index {target}")
+            }
+            ValidateError::FallsOffEnd { at } => {
+                write!(f, "final instruction {at} can fall off the end")
+            }
+            ValidateError::OverlappingData { first, second } => {
+                write!(f, "data segments {first} and {second} overlap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
 /// Error produced by [`ProgramBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
@@ -113,6 +231,8 @@ pub enum BuildError {
     },
     /// The program contains no instructions.
     Empty,
+    /// The assembled program failed [`Program::validate`] (debug builds only).
+    Invalid(ValidateError),
 }
 
 impl fmt::Display for BuildError {
@@ -123,6 +243,7 @@ impl fmt::Display for BuildError {
                 write!(f, "instruction {at} targets out-of-range index {target}")
             }
             BuildError::Empty => write!(f, "program has no instructions"),
+            BuildError::Invalid(e) => write!(f, "program failed validation: {e}"),
         }
     }
 }
@@ -512,7 +633,9 @@ impl ProgramBuilder {
     ///
     /// # Errors
     /// Returns [`BuildError`] if the program is empty, a referenced label was
-    /// never bound, or a resolved target is out of range.
+    /// never bound, or a resolved target is out of range. Debug builds also
+    /// run [`Program::validate`] and return [`BuildError::Invalid`] on
+    /// failure.
     pub fn build(mut self) -> Result<Program, BuildError> {
         if self.code.is_empty() {
             return Err(BuildError::Empty);
@@ -546,11 +669,17 @@ impl ProgramBuilder {
                 }
             }
         }
-        Ok(Program {
+        let program = Program {
             name: self.name.into(),
             code: Arc::new(self.code),
             data: Arc::new(self.data),
-        })
+        };
+        // Debug builds (which is how every test runs) additionally hold
+        // programs to the stricter whole-program invariants; release builds
+        // keep the historical fast path.
+        #[cfg(debug_assertions)]
+        program.validate().map_err(BuildError::Invalid)?;
+        Ok(program)
     }
 }
 
@@ -613,6 +742,120 @@ mod tests {
             b.bind_label(l);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn validate_accepts_a_well_formed_program() {
+        let mut b = ProgramBuilder::new("ok");
+        let done = b.new_label();
+        b.data_u64(VirtAddr::new(0x1000), &[1, 2]);
+        b.data_u64(VirtAddr::new(0x1010), &[3]);
+        b.li(Reg::X1, 1);
+        b.beq(Reg::X1, Reg::X0, done);
+        b.bind_label(done);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_target_equal_to_len() {
+        // The historical builder check tolerated `target == len`; validate is
+        // strict because taking such a branch walks off the program.
+        let p = Program::from_raw_parts(
+            "edge",
+            vec![Instruction::Jump { target: 2 }, Instruction::Halt],
+            Vec::new(),
+        );
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::TargetOutOfRange { at: 0, target: 2 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_a_fall_through_end() {
+        let p = Program::from_raw_parts("no-halt", vec![Instruction::Nop], Vec::new());
+        assert_eq!(p.validate(), Err(ValidateError::FallsOffEnd { at: 0 }));
+        // The build() hook only runs under debug assertions; release builds
+        // keep the fast path and accept the program.
+        let mut b = ProgramBuilder::new("no-halt-built");
+        b.nop();
+        let built = b.build();
+        if cfg!(debug_assertions) {
+            assert!(matches!(
+                built,
+                Err(BuildError::Invalid(ValidateError::FallsOffEnd { at: 0 }))
+            ));
+        } else {
+            assert!(built.is_ok());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_data_segments() {
+        let p = Program::from_raw_parts(
+            "overlap",
+            vec![Instruction::Halt],
+            vec![
+                DataSegment {
+                    addr: VirtAddr::new(0x1000),
+                    bytes: vec![0; 16],
+                },
+                DataSegment {
+                    addr: VirtAddr::new(0x1008),
+                    bytes: vec![0; 8],
+                },
+            ],
+        );
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::OverlappingData {
+                first: 0,
+                second: 1
+            })
+        );
+        // Adjacent (touching) segments and zero-length segments are fine.
+        let p = Program::from_raw_parts(
+            "adjacent",
+            vec![Instruction::Halt],
+            vec![
+                DataSegment {
+                    addr: VirtAddr::new(0x1000),
+                    bytes: vec![0; 8],
+                },
+                DataSegment {
+                    addr: VirtAddr::new(0x1008),
+                    bytes: vec![0; 8],
+                },
+                DataSegment {
+                    addr: VirtAddr::new(0x1004),
+                    bytes: Vec::new(),
+                },
+            ],
+        );
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_error_messages_are_informative() {
+        let cases: [(ValidateError, &str); 3] = [
+            (
+                ValidateError::TargetOutOfRange { at: 3, target: 9 },
+                "out-of-range",
+            ),
+            (ValidateError::FallsOffEnd { at: 7 }, "fall off"),
+            (
+                ValidateError::OverlappingData {
+                    first: 0,
+                    second: 2,
+                },
+                "overlap",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! assert!(parsec.iter().all(|w| w.thread_programs.len() == 4));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod kernels;
 pub mod parsec;
 pub mod spec;

@@ -81,6 +81,8 @@
 //! grids go through [`ExperimentSession`](simsys::session::ExperimentSession)
 //! and single raw runs through [`simsys::session::simulate`].
 
+#![forbid(unsafe_code)]
+
 pub use attacks;
 pub use defenses;
 pub use memsys;

@@ -1,0 +1,50 @@
+//! `Program::validate()` over every program the repository can construct:
+//! the workload suites at every scale, every thread's program, and the attack
+//! corpus. Structural invariants (branch targets in range, no falling off the
+//! end, non-overlapping data segments) hold corpus-wide — the debug-build
+//! hook in `ProgramBuilder::build` checks whatever a test happens to build,
+//! this test checks everything, in release builds too.
+
+use uarch_isa::prog::Program;
+use workloads::{domain_switch_suite, parsec_suite, spec_suite, Scale};
+
+fn check(program: &Program, context: &str) {
+    if let Err(e) = program.validate() {
+        panic!("{context}: program `{}` is invalid: {e}", program.name());
+    }
+}
+
+#[test]
+fn every_workload_program_at_every_scale_validates() {
+    for scale in [Scale::Tiny, Scale::Small, Scale::Large] {
+        for workload in spec_suite(scale) {
+            for program in &workload.thread_programs {
+                check(program, &format!("spec {:?} {}", scale, workload.name));
+            }
+        }
+        for cores in [1, 4] {
+            for workload in parsec_suite(scale, cores) {
+                for program in &workload.thread_programs {
+                    check(
+                        program,
+                        &format!("parsec {:?} x{cores} {}", scale, workload.name),
+                    );
+                }
+            }
+        }
+        for workload in domain_switch_suite(scale) {
+            for program in &workload.thread_programs {
+                check(program, &format!("domain {:?} {}", scale, workload.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_attack_corpus_program_validates() {
+    for entry in attacks::attack_corpus() {
+        check(&entry.program, "attack corpus");
+    }
+    let victim = attacks::spectre::victim_program(3, 8);
+    check(&victim, "spectre victim (alternate parameters)");
+}

@@ -1,0 +1,168 @@
+//! Cross-validation of the static analyzer against the dynamic attack suite:
+//! the two views of "does this program leak under speculation?" must agree.
+//!
+//! * The Spectre victim — the exact program the end-to-end dynamic attack
+//!   executes — must be statically flagged with a `v1-load` gadget whose taint
+//!   chain is the gadget body the attack exploits; the attacker program (all
+//!   addresses from immediates and `rdcycle`) must analyze clean.
+//! * The gadget-free kernel classes (streaming, compute-bound, stencil) must
+//!   analyze clean: their addresses are all counter-derived.
+//! * Every litmus embodiment in [`attacks::attack_corpus`] must agree with
+//!   its dynamic litmus outcome under the unprotected baseline: the attack
+//!   leaks dynamically ⇒ its µISA embodiment carries a gadget statically, and
+//!   its fenced twin is clean.
+
+use attacks::litmus::run_litmus_suite;
+use attacks::spectre::spectre_prime_probe_with_secret;
+use bench::lint::corpus_census;
+use defenses::DefenseKind;
+use simkit::config::SystemConfig;
+use speclint::{analyze_program, AnalyzerConfig, GadgetClass};
+use workloads::Scale;
+
+#[test]
+fn the_spectre_victim_is_flagged_with_the_gadget_the_attack_exploits() {
+    let victim = attacks::spectre::victim_program(9, 24);
+    let report = analyze_program(&victim, &AnalyzerConfig::default());
+    assert!(!report.is_clean(), "the victim carries the classic gadget");
+    let v1: Vec<_> = report
+        .gadgets
+        .iter()
+        .filter(|g| g.class == GadgetClass::V1Load)
+        .collect();
+    assert!(
+        !v1.is_empty(),
+        "the leak is a v1-load: {:?}",
+        report.gadgets
+    );
+    // The taint chain is the gadget body: speculative secret load → shift →
+    // probe-address add → dependent probe load (the transmitter).
+    assert!(
+        v1.iter().any(|g| g.chain.len() >= 3),
+        "the chain must walk the secret through the probe-address arithmetic: {v1:?}"
+    );
+}
+
+#[test]
+fn the_spectre_attacker_is_statically_clean() {
+    let attacker = attacks::spectre::attacker_program();
+    let report = analyze_program(&attacker, &AnalyzerConfig::default());
+    assert!(
+        report.is_clean(),
+        "the attacker only times lines it addresses from immediates: {:?}",
+        report.gadgets
+    );
+}
+
+#[test]
+fn counter_addressed_kernel_classes_are_statically_clean() {
+    // Streaming, compute-bound and stencil kernels derive every address from
+    // loop counters and immediates — no speculative load feeds another
+    // memory access, so the analyzer must not cry wolf on them.
+    let census = corpus_census(Scale::Tiny, &AnalyzerConfig::default());
+    for name in [
+        "bwaves",
+        "lbm",
+        "milc",
+        "libquantum",
+        "GemsFDTD", // streaming
+        "calculix",
+        "gamess",
+        "gromacs",
+        "namd",
+        "povray",
+        "tonto", // compute
+        "cactusADM",
+        "leslie3d",
+        "zeusmp", // stencil
+    ] {
+        let report = census
+            .report(name)
+            .unwrap_or_else(|| panic!("{name} in census"));
+        assert!(
+            report.is_clean(),
+            "{name} must be gadget-free: {:?}",
+            report.gadgets
+        );
+        assert!(
+            report.branches > 0,
+            "{name} vacuously clean without branches"
+        );
+    }
+}
+
+#[test]
+fn static_verdicts_agree_with_the_dynamic_attacks_on_the_unprotected_baseline() {
+    let config = SystemConfig::paper_default();
+    let census = corpus_census(Scale::Tiny, &AnalyzerConfig::default());
+
+    // Dynamic ground truth under the unprotected baseline: every attack leaks.
+    let mut dynamic = run_litmus_suite(DefenseKind::Unprotected, &config);
+    let spectre = spectre_prime_probe_with_secret(DefenseKind::Unprotected, &config, 9);
+    dynamic.push(attacks::AttackOutcome::new(
+        "attack 1: spectre prime+probe",
+        DefenseKind::Unprotected.label(),
+        spectre.leaked,
+        String::new(),
+    ));
+
+    for entry in attacks::attack_corpus() {
+        let report = census
+            .report(entry.program.name())
+            .unwrap_or_else(|| panic!("{} in census", entry.program.name()));
+        assert_eq!(
+            !report.is_clean(),
+            entry.expect_gadget,
+            "static verdict for {} ({})",
+            entry.program.name(),
+            entry.note
+        );
+        let Some(attack) = entry.litmus_attack else {
+            continue;
+        };
+        let outcome = dynamic
+            .iter()
+            .find(|o| o.attack == attack)
+            .unwrap_or_else(|| panic!("dynamic outcome for `{attack}`"));
+        // The join itself: a program statically flagged as this attack's
+        // embodiment must correspond to an attack that actually leaks on the
+        // unprotected machine — the static analysis over-approximates real,
+        // demonstrated leaks, not hypothetical ones.
+        assert!(
+            outcome.leaked,
+            "`{attack}` is flagged statically ({}) but does not leak dynamically",
+            entry.program.name()
+        );
+    }
+}
+
+#[test]
+fn fenced_twins_are_clean_while_their_gadget_twin_is_flagged() {
+    let census = corpus_census(Scale::Tiny, &AnalyzerConfig::default());
+    let mut pairs = 0;
+    for entry in attacks::attack_corpus() {
+        let name = entry.program.name().to_string();
+        let Some(base) = name.strip_suffix("-fenced") else {
+            continue;
+        };
+        pairs += 1;
+        let fenced = census.report(&name).expect("fenced twin in census");
+        let gadget = census.report(base).expect("gadget twin in census");
+        assert!(fenced.is_clean(), "{name}: {:?}", fenced.gadgets);
+        assert!(!gadget.is_clean(), "{base} must be flagged");
+    }
+    assert_eq!(pairs, 5, "one fenced twin per litmus attack");
+}
+
+#[test]
+fn the_census_is_deterministic() {
+    let config = AnalyzerConfig::default();
+    let a = corpus_census(Scale::Tiny, &config);
+    let b = corpus_census(Scale::Tiny, &config);
+    assert_eq!(a, b);
+    use simkit::json::ToJson;
+    assert_eq!(
+        a.to_json().to_string_pretty(),
+        b.to_json().to_string_pretty()
+    );
+}

@@ -1,0 +1,74 @@
+//! Pins the `speclint` gadget census to `SPECLINT_baseline.json` at the
+//! repository root, so any change to the analyzer, the workload kernels or
+//! the attack corpus that shifts a static verdict shows up as a reviewable
+//! diff (and CI fails until the baseline is regenerated on purpose).
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! MUONTRAP_REGEN_SPECLINT=1 cargo test --test speclint_golden
+//! ```
+
+use std::path::PathBuf;
+
+use bench::lint::corpus_census;
+use simkit::json::{self, ToJson};
+use speclint::AnalyzerConfig;
+use workloads::Scale;
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("SPECLINT_baseline.json")
+}
+
+/// The canonical baseline document: the tiny-scale census (the corpus's
+/// control flow is scale-invariant; tiny keeps the recording fast) with the
+/// default analyzer configuration, pretty-printed with a trailing newline.
+fn baseline_document() -> String {
+    let census = corpus_census(Scale::Tiny, &AnalyzerConfig::default());
+    let mut text = census.to_json().to_string_pretty();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn census_matches_the_committed_baseline() {
+    let path = baseline_path();
+    let produced = baseline_document();
+    if std::env::var_os("MUONTRAP_REGEN_SPECLINT").is_some() {
+        std::fs::write(&path, &produced).expect("write baseline");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing baseline {} ({e}); regenerate with MUONTRAP_REGEN_SPECLINT=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        produced, committed,
+        "the gadget census diverges from SPECLINT_baseline.json. If the \
+         analyzer/corpus change is intentional, regenerate with \
+         MUONTRAP_REGEN_SPECLINT=1 and review the diff."
+    );
+}
+
+#[test]
+fn the_committed_baseline_is_valid_json_with_the_expected_shape() {
+    if std::env::var_os("MUONTRAP_REGEN_SPECLINT").is_some() {
+        return; // the sibling test is rewriting it
+    }
+    let text = std::fs::read_to_string(baseline_path()).expect("baseline exists");
+    let parsed = json::parse(&text).expect("baseline parses");
+    use simkit::json::Json;
+    assert!(parsed.get("window").and_then(Json::as_u64).is_some());
+    assert!(parsed.get("total_gadgets").and_then(Json::as_u64).is_some());
+    let programs = parsed
+        .get("programs")
+        .and_then(Json::as_arr)
+        .expect("programs array");
+    assert!(
+        programs.len() >= 40,
+        "the corpus spans both suites plus the attack programs"
+    );
+}
