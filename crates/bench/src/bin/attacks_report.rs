@@ -1,6 +1,8 @@
-//! Runs attacks 1-6 against each memory-system configuration and prints which
-//! configurations leak (the paper's security argument, in executable form),
-//! followed by the §4.8 domain-switch stress grid: the syscall/sandbox-heavy
+//! Runs attacks 1-6 against every defense in the
+//! [`defenses::DefenseRegistry`] catalogue — not a hard-coded list, so a
+//! newly registered defense automatically joins the matrix — and prints
+//! which configurations leak (the paper's security argument, in executable
+//! form), followed by the §4.8 domain-switch stress grid: the syscall/sandbox-heavy
 //! kernels — which force a filter-cache flush every few hundred instructions
 //! — under the figure-3 defense set. `--json` emits one object with a
 //! `security` array of (attack, defense) outcomes and a `domain_switch` run

@@ -1,0 +1,10 @@
+//! Regenerates the cross-defense shoot-out figure: every modelled defense
+//! from the [`defenses::DefenseRegistry`] on the SPEC-like suite, normalised
+//! to the unprotected baseline. Run with `--release`; see `--help` for the
+//! shared flags (`--json`, `--scale`, `--threads`, `--store`, `--events`,
+//! `--shard-id`/`--shard-count`, `--html`/`--html-only`, `--tiny`).
+fn main() {
+    bench::cli::figure_main("shootout", |options, config, store| {
+        bench::shootout_session(options.scale, config, options.threads, store)
+    });
+}

@@ -48,7 +48,7 @@ use simkit::json::{Json, ToJson};
 use simkit::stats::geometric_mean;
 
 use attacks::AttackOutcome;
-use defenses::DefenseKind;
+use defenses::{DefenseKind, DefenseRegistry};
 use simsys::session::{ExperimentSession, RunReport};
 use simsys::store::ResultStore;
 use workloads::{domain_switch_suite, parsec_suite, spec_suite, Scale, Workload};
@@ -479,6 +479,39 @@ pub fn figure9(
     figure9_session(scale, config, threads, store).run()
 }
 
+/// The [`ExperimentSession`] behind [`shootout`], un-run.
+pub fn shootout_session(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> ExperimentSession {
+    session(
+        "Defense shoot-out: every modelled defense, SPEC-like, normalised execution time",
+        scale,
+        spec_suite(scale),
+        config,
+        threads,
+        store,
+    )
+    .defenses(DefenseKind::shootout_set())
+}
+
+/// The cross-defense shoot-out: the SPEC-like suite under every member of
+/// the defense zoo ([`DefenseKind::shootout_set`]) — the insecure L0, Fence,
+/// DelayLoads, SafeBet, MuonTrap, InvisiSpec-Spectre and STT-Spectre — all
+/// normalised to the unprotected baseline, so the cost of each protection
+/// family lands on one axis. Shares its MuonTrap/InvisiSpec/STT cells (and
+/// every baseline) with figure 3 through the result store.
+pub fn shootout(
+    scale: Scale,
+    config: &SystemConfig,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> RunReport {
+    shootout_session(scale, config, threads, store).run()
+}
+
 /// The [`ExperimentSession`] behind [`domain_switch_report`], un-run.
 pub fn domain_switch_session(
     scale: Scale,
@@ -511,8 +544,8 @@ pub fn domain_switch_report(
 }
 
 /// The names [`figure_session`] resolves, in `report`-document order.
-pub const FIGURE_NAMES: [&str; 8] = [
-    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "domain",
+pub const FIGURE_NAMES: [&str; 9] = [
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "shootout", "domain",
 ];
 
 /// Resolves a figure name (see [`FIGURE_NAMES`]) to its un-run
@@ -538,6 +571,7 @@ pub fn figure_session(
         "fig7" => figure7_session,
         "fig8" => figure8_session,
         "fig9" => figure9_session,
+        "shootout" => shootout_session,
         "domain" => domain_switch_session,
         _ => return None,
     };
@@ -545,17 +579,13 @@ pub fn figure_session(
 }
 
 /// The raw outcome of every attack against every configuration the security
-/// argument compares.
+/// argument compares: the full [`DefenseRegistry::standard`] catalogue, in
+/// registration order, so a newly registered defense can never silently fall
+/// out of the attack report.
 pub fn security_outcomes(config: &SystemConfig) -> Vec<AttackOutcome> {
-    let kinds = [
-        DefenseKind::Unprotected,
-        DefenseKind::InsecureL0,
-        DefenseKind::MuonTrap,
-        DefenseKind::InvisiSpecSpectre,
-        DefenseKind::SttSpectre,
-    ];
+    let registry = DefenseRegistry::standard();
     let mut outcomes = Vec::new();
-    for kind in kinds {
+    for (_, kind) in registry.iter() {
         outcomes.push(attacks::spectre_prime_probe(kind, config));
         outcomes.extend(attacks::litmus::run_litmus_suite(kind, config));
     }

@@ -23,7 +23,7 @@ use speclint::Census;
 
 /// Chart metadata for every [`crate::FIGURE_NAMES`] entry, in the same
 /// order.
-pub const FIGURE_METAS: [FigureMeta; 8] = [
+pub const FIGURE_METAS: [FigureMeta; 9] = [
     FigureMeta {
         name: "fig3",
         kind: ChartKind::GroupedBars,
@@ -109,6 +109,21 @@ pub const FIGURE_METAS: [FigureMeta; 8] = [
         caption: "The same cumulative breakdown on the SPEC-like suite, plus the optional \
                   parallel L0/L1 lookup, which trades energy for latency on filter-cache \
                   misses.",
+        reference_line: Some(1.0),
+    },
+    FigureMeta {
+        name: "shootout",
+        kind: ChartKind::GroupedBars,
+        x_label: "SPEC CPU2006-like workload",
+        y_label: "normalised execution time (×)",
+        paper_section: "Paper §7 (defense zoo; extends the paper's comparison)",
+        caption: "Cross-defense shoot-out on the SPEC-like suite: every modelled defense from \
+                  the registry — the insecure-L0 strawman, fence-at-every-branch, \
+                  delay-speculative-loads (naive InvisiSpec), the SafeBet-style speculative \
+                  access window, full MuonTrap, InvisiSpec and STT — normalised to the \
+                  unprotected baseline. The sound-and-cheap corner (MuonTrap, SafeBet) versus \
+                  the sound-but-slow delay family is the trade-off the defense zoo exists to \
+                  show; tests/defense_soundness.rs proves the soundness half dynamically.",
         reference_line: Some(1.0),
     },
     FigureMeta {

@@ -1,0 +1,317 @@
+//! DelayLoads: no speculative cache fills, period.
+//!
+//! A deliberately naive InvisiSpec-style defense, kept distinct from the
+//! modelled [`InvisiSpec`](crate::InvisiSpec) variants in two ways:
+//!
+//! * **no speculative buffer** — a repeat speculative access to the same line
+//!   pays the full miss latency again instead of hitting a per-core buffer;
+//! * **no speculative prefetcher training** — the prefetcher only learns from
+//!   the committed access stream (InvisiSpec leaves the prefetcher exposed,
+//!   which is exactly what attack 5 exploits against it).
+//!
+//! Speculative loads are serviced without filling any cache level and without
+//! downgrading remote owners; the line is installed (and the prefetcher
+//! trained) by an ordinary access when the load commits. Instruction fetches
+//! under an unresolved branch are handled the same way: invisible now,
+//! installed at commit.
+
+use std::collections::HashSet;
+
+use simkit::addr::LineAddr;
+use simkit::config::SystemConfig;
+use simkit::cycles::Cycle;
+use simkit::stats::StatSet;
+
+use memsys::hierarchy::MemoryHierarchy;
+use memsys::tlb::{Mmu, PageTable};
+use memsys::types::{AccessKind, AccessRequest, FillLevel};
+
+use ooo_core::memmodel::{DomainSwitch, MemAccessCtx, MemOutcome, MemoryModel};
+
+/// The no-speculative-fills memory model.
+///
+/// # Examples
+///
+/// ```
+/// use defenses::DelayLoads;
+/// use ooo_core::memmodel::{MemAccessCtx, MemoryModel};
+/// use simkit::addr::VirtAddr;
+/// use simkit::config::SystemConfig;
+/// use simkit::cycles::Cycle;
+///
+/// let mut model = DelayLoads::new(&SystemConfig::paper_default());
+/// let ctx = MemAccessCtx::simple(
+///     0,
+///     VirtAddr::new(0x8000),
+///     VirtAddr::new(0x40_0000),
+///     Cycle::ZERO,
+///     false,
+/// );
+/// // A speculative load completes, but leaves nothing in any cache.
+/// assert!(model.load(&ctx).latency().is_some());
+/// let line = model.phys_line(0, VirtAddr::new(0x8000));
+/// assert!(!model.hierarchy().own_l1_contains(0, line));
+/// ```
+#[derive(Debug)]
+pub struct DelayLoads {
+    config: SystemConfig,
+    hierarchy: MemoryHierarchy,
+    mmus: Vec<Mmu>,
+    /// Per-core instruction lines fetched under an unresolved branch and not
+    /// yet committed: invisible for now, installed if and when they commit.
+    pending_ifetch: Vec<HashSet<LineAddr>>,
+    stats: StatSet,
+}
+
+impl DelayLoads {
+    /// Builds the model over a fresh hierarchy.
+    pub fn new(config: &SystemConfig) -> Self {
+        let mmus = (0..config.cores)
+            .map(|i| {
+                Mmu::new(
+                    &config.tlb,
+                    PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32),
+                )
+            })
+            .collect();
+        DelayLoads {
+            config: config.clone(),
+            hierarchy: MemoryHierarchy::new(config),
+            mmus,
+            pending_ifetch: (0..config.cores).map(|_| HashSet::new()).collect(),
+            stats: StatSet::new(),
+        }
+    }
+
+    /// Read-only access to the hierarchy (for the attack harness).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Translates a virtual address on `core` to its physical line without
+    /// timing side effects.
+    pub fn phys_line(&self, core: usize, vaddr: simkit::addr::VirtAddr) -> LineAddr {
+        let pa = self.mmus[core].page_table().translate(vaddr);
+        LineAddr::from_phys(pa, self.config.line_bytes)
+    }
+
+    fn data_line(&mut self, core: usize, ctx: &MemAccessCtx) -> (LineAddr, u64) {
+        let t = self.mmus[core].translate_data(ctx.vaddr);
+        (
+            LineAddr::from_phys(t.paddr, self.config.line_bytes),
+            t.latency,
+        )
+    }
+}
+
+impl MemoryModel for DelayLoads {
+    fn name(&self) -> &str {
+        "delay-loads"
+    }
+
+    fn fetch_instruction(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        let t = self.mmus[ctx.core].translate_inst(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        if ctx.under_unresolved_branch {
+            self.stats.bump("delay_loads.invisible_ifetches");
+            let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when)
+                .with_fill(FillLevel::None)
+                .without_prefetch_training();
+            let resp = self.hierarchy.access(&req);
+            self.pending_ifetch[ctx.core].insert(line);
+            return MemOutcome::Done {
+                latency: resp.latency + t.latency,
+            };
+        }
+        let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
+        let resp = self.hierarchy.access(&req);
+        MemOutcome::Done {
+            latency: resp.latency + t.latency,
+        }
+    }
+
+    fn load(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        let (line, xlat) = self.data_line(ctx.core, ctx);
+
+        // Non-speculative accesses (atomics at the head of the ROB, retried
+        // loads) behave exactly as on the unprotected hierarchy.
+        if !ctx.speculative {
+            self.stats.bump("delay_loads.nonspec_loads");
+            let kind = if ctx.is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let req = AccessRequest::new(ctx.core, line, kind, ctx.when).with_pc(ctx.pc.raw());
+            let resp = self.hierarchy.access(&req);
+            return MemOutcome::Done {
+                latency: resp.latency + xlat,
+            };
+        }
+
+        // The defining restriction: a speculative load may read the data but
+        // fills nothing, trains nothing and downgrades no remote owner. There
+        // is no speculative buffer, so a repeat access starts from scratch.
+        self.stats.bump("delay_loads.spec_loads");
+        let req = AccessRequest::new(ctx.core, line, AccessKind::Load, ctx.when)
+            .with_pc(ctx.pc.raw())
+            .with_fill(FillLevel::None)
+            .without_prefetch_training()
+            .without_remote_downgrade();
+        let resp = self.hierarchy.access(&req);
+        if resp.coherence_delayed {
+            // Exclusively owned elsewhere: even an invisible read would be
+            // observable through the owner's timing, so wait until safe.
+            self.stats.bump("delay_loads.delayed_remote_owned");
+            return MemOutcome::RetryWhenNonSpeculative;
+        }
+        MemOutcome::Done {
+            latency: resp.latency + xlat,
+        }
+    }
+
+    fn store_address_ready(&mut self, _ctx: &MemAccessCtx) {
+        // No speculative store prefetch: stores touch memory only at commit.
+    }
+
+    fn commit_access(&mut self, ctx: &MemAccessCtx) -> u64 {
+        let (line, _) = self.data_line(ctx.core, ctx);
+        if ctx.is_store {
+            self.stats.bump("delay_loads.committed_stores");
+            let req = AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when)
+                .with_pc(ctx.pc.raw());
+            let _ = self.hierarchy.access(&req);
+            return 0;
+        }
+        // The deferred fill: an ordinary access at commit installs the line
+        // and gives the prefetcher its only (committed-stream) training. The
+        // fill is asynchronous — the data itself was already delivered at
+        // execute — so commit is not stalled.
+        self.stats.bump("delay_loads.committed_loads");
+        let req =
+            AccessRequest::new(ctx.core, line, AccessKind::Load, ctx.when).with_pc(ctx.pc.raw());
+        let _ = self.hierarchy.access(&req);
+        0
+    }
+
+    fn commit_fetch(&mut self, ctx: &MemAccessCtx) {
+        let t = self.mmus[ctx.core].translate_inst(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        if self.pending_ifetch[ctx.core].remove(&line) {
+            self.stats.bump("delay_loads.committed_ifetch_installs");
+            let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
+            let _ = self.hierarchy.access(&req);
+        }
+    }
+
+    fn set_page_table(&mut self, core: usize, table: PageTable) {
+        self.mmus[core].set_page_table(table);
+    }
+
+    fn on_squash(&mut self, core: usize, _when: Cycle) {
+        self.pending_ifetch[core].clear();
+    }
+
+    fn on_domain_switch(&mut self, core: usize, kind: DomainSwitch, _when: Cycle) {
+        self.pending_ifetch[core].clear();
+        if matches!(kind, DomainSwitch::ContextSwitch) {
+            let table = self.mmus[core].page_table().clone();
+            self.mmus[core].set_page_table(table);
+        }
+    }
+
+    fn stats(&self) -> StatSet {
+        let mut s = self.stats.clone();
+        s.merge(self.hierarchy.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::addr::VirtAddr;
+
+    fn ctx(core: usize, vaddr: u64, speculative: bool, is_store: bool) -> MemAccessCtx {
+        MemAccessCtx {
+            core,
+            vaddr: VirtAddr::new(vaddr),
+            pc: VirtAddr::new(0x40_0000),
+            when: Cycle::ZERO,
+            speculative,
+            is_store,
+            under_unresolved_branch: speculative,
+            addr_tainted_spectre: false,
+            addr_tainted_future: false,
+        }
+    }
+
+    #[test]
+    fn speculative_loads_fill_nothing() {
+        let mut m = DelayLoads::new(&SystemConfig::paper_default());
+        let _ = m.load(&ctx(0, 0x8000, true, false));
+        let line = m.phys_line(0, VirtAddr::new(0x8000));
+        assert!(!m.hierarchy().own_l1_contains(0, line));
+        assert!(!m.hierarchy().l2_contains(line));
+    }
+
+    #[test]
+    fn no_speculative_buffer_means_repeats_stay_slow() {
+        // The naive distinction from InvisiSpec: nothing caches the data
+        // between two speculative accesses to the same line. Warm the TLB
+        // with a different line of the same page first so the comparison
+        // sees only cache state.
+        let mut m = DelayLoads::new(&SystemConfig::paper_default());
+        let _ = m.load(&ctx(0, 0x8800, true, false));
+        let first = m.load(&ctx(0, 0x8000, true, false)).latency().unwrap();
+        let second = m.load(&ctx(0, 0x8000, true, false)).latency().unwrap();
+        assert!(second + 2 >= first, "{second} vs {first}");
+    }
+
+    #[test]
+    fn commit_installs_the_line() {
+        let mut m = DelayLoads::new(&SystemConfig::paper_default());
+        let _ = m.load(&ctx(0, 0x8000, true, false));
+        let extra = m.commit_access(&ctx(0, 0x8000, false, false));
+        assert_eq!(extra, 0, "the deferred fill is asynchronous");
+        let line = m.phys_line(0, VirtAddr::new(0x8000));
+        assert!(m.hierarchy().own_l1_contains(0, line));
+    }
+
+    #[test]
+    fn remote_exclusive_lines_delay_speculative_loads() {
+        let cfg = SystemConfig::paper_default();
+        let mut m = DelayLoads::new(&cfg);
+        m.set_page_table(0, PageTable::new(cfg.tlb.page_bytes, 0));
+        m.set_page_table(1, PageTable::new(cfg.tlb.page_bytes, 0));
+        let _ = m.commit_access(&ctx(1, 0x9000, false, true));
+        assert_eq!(
+            m.load(&ctx(0, 0x9000, true, false)),
+            MemOutcome::RetryWhenNonSpeculative
+        );
+    }
+
+    #[test]
+    fn wrong_path_fetches_leave_no_cache_state() {
+        let mut m = DelayLoads::new(&SystemConfig::paper_default());
+        let _ = m.fetch_instruction(&ctx(0, 0x41_0000, true, false));
+        let line = m.phys_line(0, VirtAddr::new(0x41_0000));
+        assert!(!m.hierarchy().l2_contains(line));
+        m.on_squash(0, Cycle::ZERO);
+        m.commit_fetch(&ctx(0, 0x41_0000, false, false));
+        assert!(!m.hierarchy().l2_contains(line));
+    }
+
+    #[test]
+    fn committed_fetches_install_their_line() {
+        let mut m = DelayLoads::new(&SystemConfig::paper_default());
+        let _ = m.fetch_instruction(&ctx(0, 0x41_0000, true, false));
+        // Commit happens after the speculative fetch's fill has long landed
+        // (otherwise the install coalesces with the in-flight invisible miss).
+        let mut commit = ctx(0, 0x41_0000, false, false);
+        commit.when = Cycle::new(10_000);
+        m.commit_fetch(&commit);
+        let line = m.phys_line(0, VirtAddr::new(0x41_0000));
+        assert!(m.hierarchy().l2_contains(line));
+    }
+}

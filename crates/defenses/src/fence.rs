@@ -1,0 +1,305 @@
+//! The fence-everywhere defense: serialise at every conditional branch.
+//!
+//! This is the sound-but-slow software baseline of the Spectre-sandboxing
+//! line of work ("A Turning Point for Verified Spectre Sandboxing"): a
+//! speculation barrier after every conditional branch, so no load (and no
+//! instruction fetch that could transmit) executes while an older branch is
+//! still unresolved. It is exactly the transformation the `-fenced` twins in
+//! [`attacks::attack_corpus`](../attacks) embody at the program level,
+//! modelled here as a memory policy so it can run unmodified binaries.
+//!
+//! Mechanically:
+//!
+//! * a data load issued under an unresolved conditional branch is refused
+//!   ([`MemOutcome::RetryWhenNonSpeculative`]); the core re-polls it every
+//!   cycle and the refusal lapses the moment the guarding branch resolves, so
+//!   the timing is that of a fence at the branch, not of waiting for commit;
+//! * an instruction fetch under an unresolved branch is serviced without
+//!   filling any cache (the data must still be produced — the front end
+//!   cannot stall indefinitely — but wrong-path fetches leave no trace); the
+//!   lines of fetches that *commit* are installed at commit, which is when a
+//!   fenced machine would have fetched them;
+//! * everything non-speculative behaves exactly as on the unprotected
+//!   hierarchy.
+
+use std::collections::HashSet;
+
+use simkit::addr::LineAddr;
+use simkit::config::SystemConfig;
+use simkit::cycles::Cycle;
+use simkit::stats::StatSet;
+
+use memsys::hierarchy::MemoryHierarchy;
+use memsys::tlb::{Mmu, PageTable};
+use memsys::types::{AccessKind, AccessRequest, FillLevel};
+
+use ooo_core::memmodel::{DomainSwitch, MemAccessCtx, MemOutcome, MemoryModel};
+
+/// The fence-at-every-branch memory model.
+///
+/// # Examples
+///
+/// ```
+/// use defenses::Fence;
+/// use ooo_core::memmodel::{MemAccessCtx, MemOutcome, MemoryModel};
+/// use simkit::addr::VirtAddr;
+/// use simkit::config::SystemConfig;
+/// use simkit::cycles::Cycle;
+///
+/// let mut fence = Fence::new(&SystemConfig::paper_default());
+/// let mut ctx = MemAccessCtx::simple(
+///     0,
+///     VirtAddr::new(0x8000),
+///     VirtAddr::new(0x40_0000),
+///     Cycle::ZERO,
+///     false,
+/// );
+/// ctx.under_unresolved_branch = true;
+/// // Under an unresolved branch the load is fenced off...
+/// assert_eq!(fence.load(&ctx), MemOutcome::RetryWhenNonSpeculative);
+/// // ...and proceeds normally once the branch resolves.
+/// ctx.under_unresolved_branch = false;
+/// assert!(fence.load(&ctx).latency().is_some());
+/// ```
+#[derive(Debug)]
+pub struct Fence {
+    config: SystemConfig,
+    hierarchy: MemoryHierarchy,
+    mmus: Vec<Mmu>,
+    /// Per-core instruction lines fetched under an unresolved branch and not
+    /// yet committed: invisible for now, installed if and when they commit.
+    pending_ifetch: Vec<HashSet<LineAddr>>,
+    stats: StatSet,
+}
+
+impl Fence {
+    /// Builds the fence model over a fresh hierarchy.
+    pub fn new(config: &SystemConfig) -> Self {
+        let mmus = (0..config.cores)
+            .map(|i| {
+                Mmu::new(
+                    &config.tlb,
+                    PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32),
+                )
+            })
+            .collect();
+        Fence {
+            config: config.clone(),
+            hierarchy: MemoryHierarchy::new(config),
+            mmus,
+            pending_ifetch: (0..config.cores).map(|_| HashSet::new()).collect(),
+            stats: StatSet::new(),
+        }
+    }
+
+    /// Read-only access to the hierarchy (for the attack harness).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Translates a virtual address on `core` to its physical line without
+    /// timing side effects.
+    pub fn phys_line(&self, core: usize, vaddr: simkit::addr::VirtAddr) -> LineAddr {
+        let pa = self.mmus[core].page_table().translate(vaddr);
+        LineAddr::from_phys(pa, self.config.line_bytes)
+    }
+
+    fn data_line(&mut self, core: usize, ctx: &MemAccessCtx) -> (LineAddr, u64) {
+        let t = self.mmus[core].translate_data(ctx.vaddr);
+        (
+            LineAddr::from_phys(t.paddr, self.config.line_bytes),
+            t.latency,
+        )
+    }
+}
+
+impl MemoryModel for Fence {
+    fn name(&self) -> &str {
+        "fence"
+    }
+
+    fn fetch_instruction(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        let t = self.mmus[ctx.core].translate_inst(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        if ctx.under_unresolved_branch {
+            // A fenced machine would not have fetched past the branch yet;
+            // service the fetch without perturbing any cache and install the
+            // line at commit instead (when the fetch is known correct-path).
+            self.stats.bump("fence.invisible_ifetches");
+            let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when)
+                .with_fill(FillLevel::None)
+                .without_prefetch_training();
+            let resp = self.hierarchy.access(&req);
+            self.pending_ifetch[ctx.core].insert(line);
+            return MemOutcome::Done {
+                latency: resp.latency + t.latency,
+            };
+        }
+        let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
+        let resp = self.hierarchy.access(&req);
+        MemOutcome::Done {
+            latency: resp.latency + t.latency,
+        }
+    }
+
+    fn load(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        // The fence: nothing may access data memory while an older conditional
+        // branch is unresolved. The core re-polls every cycle with a freshly
+        // computed `under_unresolved_branch`, so the load resumes the cycle
+        // the guarding branch resolves. Checked before translation so the
+        // repeated polls do not touch the TLB.
+        if ctx.speculative && ctx.under_unresolved_branch {
+            self.stats.bump("fence.delayed_loads");
+            return MemOutcome::RetryWhenNonSpeculative;
+        }
+        let (line, xlat) = self.data_line(ctx.core, ctx);
+        self.stats.bump("fence.loads");
+        // Atomics arrive here with `is_store` set and need exclusive ownership.
+        let kind = if ctx.is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        let req = AccessRequest::new(ctx.core, line, kind, ctx.when).with_pc(ctx.pc.raw());
+        let resp = self.hierarchy.access(&req);
+        MemOutcome::Done {
+            latency: resp.latency + xlat,
+        }
+    }
+
+    fn store_address_ready(&mut self, _ctx: &MemAccessCtx) {
+        // No speculative store prefetch: stores touch memory only at commit.
+    }
+
+    fn commit_access(&mut self, ctx: &MemAccessCtx) -> u64 {
+        let (line, _) = self.data_line(ctx.core, ctx);
+        if ctx.is_store {
+            self.stats.bump("fence.stores");
+            let req = AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when)
+                .with_pc(ctx.pc.raw());
+            let _ = self.hierarchy.access(&req);
+        }
+        0
+    }
+
+    fn commit_fetch(&mut self, ctx: &MemAccessCtx) {
+        let t = self.mmus[ctx.core].translate_inst(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        if self.pending_ifetch[ctx.core].remove(&line) {
+            // The fetch committed, so a fenced machine would have performed it
+            // post-resolution: install the line now (off the critical path).
+            self.stats.bump("fence.committed_ifetch_installs");
+            let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
+            let _ = self.hierarchy.access(&req);
+        }
+    }
+
+    fn set_page_table(&mut self, core: usize, table: PageTable) {
+        self.mmus[core].set_page_table(table);
+    }
+
+    fn on_squash(&mut self, core: usize, _when: Cycle) {
+        // Wrong-path invisible fetches must never install; dropping the whole
+        // pending set also drops correct-path entries, which simply re-install
+        // on their next miss.
+        self.pending_ifetch[core].clear();
+    }
+
+    fn on_domain_switch(&mut self, core: usize, kind: DomainSwitch, _when: Cycle) {
+        self.pending_ifetch[core].clear();
+        if matches!(kind, DomainSwitch::ContextSwitch) {
+            let table = self.mmus[core].page_table().clone();
+            self.mmus[core].set_page_table(table);
+        }
+    }
+
+    fn stats(&self) -> StatSet {
+        let mut s = self.stats.clone();
+        s.merge(self.hierarchy.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::addr::VirtAddr;
+
+    fn ctx(core: usize, vaddr: u64, speculative: bool, is_store: bool) -> MemAccessCtx {
+        MemAccessCtx {
+            core,
+            vaddr: VirtAddr::new(vaddr),
+            pc: VirtAddr::new(0x40_0000),
+            when: Cycle::ZERO,
+            speculative,
+            is_store,
+            under_unresolved_branch: speculative,
+            addr_tainted_spectre: false,
+            addr_tainted_future: false,
+        }
+    }
+
+    #[test]
+    fn loads_under_an_unresolved_branch_are_fenced_off() {
+        let mut f = Fence::new(&SystemConfig::paper_default());
+        assert_eq!(
+            f.load(&ctx(0, 0x8000, true, false)),
+            MemOutcome::RetryWhenNonSpeculative
+        );
+        let line = f.phys_line(0, VirtAddr::new(0x8000));
+        assert!(!f.hierarchy().own_l1_contains(0, line));
+        assert!(!f.hierarchy().l2_contains(line));
+    }
+
+    #[test]
+    fn loads_resume_once_the_branch_resolves() {
+        // Speculative (not yet committed) but no unresolved older branch:
+        // the fence has been passed and the load behaves as unprotected.
+        let mut f = Fence::new(&SystemConfig::paper_default());
+        let mut c = ctx(0, 0x8000, true, false);
+        c.under_unresolved_branch = false;
+        assert!(f.load(&c).latency().is_some());
+        let line = f.phys_line(0, VirtAddr::new(0x8000));
+        assert!(f.hierarchy().own_l1_contains(0, line));
+    }
+
+    #[test]
+    fn wrong_path_fetches_leave_no_cache_state() {
+        let mut f = Fence::new(&SystemConfig::paper_default());
+        let _ = f.fetch_instruction(&ctx(0, 0x41_0000, true, false));
+        let line = f.phys_line(0, VirtAddr::new(0x41_0000));
+        assert!(!f.hierarchy().l2_contains(line));
+        f.on_squash(0, Cycle::ZERO);
+        // Commit of an unrelated fetch installs nothing either.
+        f.commit_fetch(&ctx(0, 0x41_0000, false, false));
+        assert!(!f.hierarchy().l2_contains(line));
+    }
+
+    #[test]
+    fn committed_fetches_install_their_line() {
+        let mut f = Fence::new(&SystemConfig::paper_default());
+        let _ = f.fetch_instruction(&ctx(0, 0x41_0000, true, false));
+        // Commit happens after the speculative fetch's fill has long landed
+        // (otherwise the install coalesces with the in-flight invisible miss).
+        let mut commit = ctx(0, 0x41_0000, false, false);
+        commit.when = Cycle::new(10_000);
+        f.commit_fetch(&commit);
+        let line = f.phys_line(0, VirtAddr::new(0x41_0000));
+        assert!(f.hierarchy().l2_contains(line));
+    }
+
+    #[test]
+    fn commit_of_store_updates_coherence() {
+        let mut f = Fence::new(&SystemConfig::paper_default());
+        let _ = f.commit_access(&ctx(0, 0x9000, false, true));
+        let line = f.phys_line(0, VirtAddr::new(0x9000));
+        assert!(f.hierarchy().own_l1_exclusive(0, line));
+    }
+
+    #[test]
+    fn delayed_loads_are_counted() {
+        let mut f = Fence::new(&SystemConfig::paper_default());
+        let _ = f.load(&ctx(0, 0x8000, true, false));
+        assert_eq!(f.stats().counter("fence.delayed_loads"), 1);
+    }
+}

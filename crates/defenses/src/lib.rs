@@ -18,6 +18,18 @@
 //! * the insecure L0 and every MuonTrap configuration come from the
 //!   `muontrap` crate via [`simkit::config::ProtectionConfig`].
 //!
+//! On top of the paper's own comparison points, the crate models three
+//! further competitor families (the "defense zoo"):
+//!
+//! * [`Fence`] — serialise at every conditional branch, the sound-but-slow
+//!   software baseline of the Spectre-sandboxing line of work,
+//! * [`DelayLoads`] — no speculative cache fills at all: a naive
+//!   InvisiSpec-style variant with no speculative buffer and no speculative
+//!   prefetcher training,
+//! * [`SafeBet`] — SafeBet-style tracked-region speculation: loads to
+//!   recently-and-safely-accessed regions proceed speculatively, all others
+//!   are delayed (a Speculative Access Window, see [`SafeBetConfig`]).
+//!
 //! [`DefenseKind::build`] instantiates any configuration that appears in the
 //! paper's figures; the [`DefenseRegistry`] owns the label ⇄ kind mapping
 //! used by CLI flags and reports, and `FromStr`/`Display` on [`DefenseKind`]
@@ -26,7 +38,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod delay_loads;
+pub mod fence;
 pub mod invisispec;
+pub mod safebet;
 pub mod stt;
 pub mod unprotected;
 
@@ -35,7 +50,10 @@ use std::fmt;
 use ooo_core::MemoryModel;
 use simkit::config::{ProtectionConfig, SystemConfig};
 
+pub use delay_loads::DelayLoads;
+pub use fence::Fence;
 pub use invisispec::{InvisiSpec, InvisiSpecVariant};
+pub use safebet::{SafeBet, SafeBetConfig};
 pub use stt::{Stt, SttVariant};
 pub use unprotected::Unprotected;
 
@@ -62,6 +80,12 @@ pub enum DefenseKind {
     SttSpectre,
     /// Speculative taint tracking, futuristic attack model.
     SttFuture,
+    /// Serialise at every conditional branch (sound-but-slow baseline).
+    Fence,
+    /// No speculative cache fills (naive InvisiSpec-style variant).
+    DelayLoads,
+    /// SafeBet-style tracked-region speculation (Speculative Access Window).
+    SafeBet,
 }
 
 impl DefenseKind {
@@ -78,6 +102,9 @@ impl DefenseKind {
             DefenseKind::InvisiSpecFuture => "invisispec-future",
             DefenseKind::SttSpectre => "stt-spectre",
             DefenseKind::SttFuture => "stt-future",
+            DefenseKind::Fence => "fence",
+            DefenseKind::DelayLoads => "delay-loads",
+            DefenseKind::SafeBet => "safebet",
         }
     }
 
@@ -92,10 +119,35 @@ impl DefenseKind {
         ]
     }
 
+    /// The seven Spectre-threat-model configurations of the cross-defense
+    /// shoot-out figure: the insecure L0 and every defense-zoo member, in
+    /// roughly increasing-protection order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use defenses::DefenseKind;
+    ///
+    /// let set = DefenseKind::shootout_set();
+    /// assert!(set.contains(&DefenseKind::Fence));
+    /// assert!(set.contains(&DefenseKind::MuonTrap));
+    /// ```
+    pub fn shootout_set() -> Vec<DefenseKind> {
+        vec![
+            DefenseKind::InsecureL0,
+            DefenseKind::Fence,
+            DefenseKind::DelayLoads,
+            DefenseKind::SafeBet,
+            DefenseKind::MuonTrap,
+            DefenseKind::InvisiSpecSpectre,
+            DefenseKind::SttSpectre,
+        ]
+    }
+
     /// Every *named* kind — all variants except [`DefenseKind::MuonTrapCustom`],
     /// which carries an arbitrary [`ProtectionConfig`] and therefore has no
     /// closed set of values.
-    pub const NAMED: [DefenseKind; 9] = [
+    pub const NAMED: [DefenseKind; 12] = [
         DefenseKind::Unprotected,
         DefenseKind::InsecureL0,
         DefenseKind::MuonTrap,
@@ -105,6 +157,9 @@ impl DefenseKind {
         DefenseKind::InvisiSpecFuture,
         DefenseKind::SttSpectre,
         DefenseKind::SttFuture,
+        DefenseKind::Fence,
+        DefenseKind::DelayLoads,
+        DefenseKind::SafeBet,
     ];
 
     /// Builds the memory model for this kind over a fresh hierarchy described
@@ -142,6 +197,9 @@ impl DefenseKind {
             }
             DefenseKind::SttSpectre => Box::new(Stt::new(&cfg, SttVariant::Spectre)),
             DefenseKind::SttFuture => Box::new(Stt::new(&cfg, SttVariant::Future)),
+            DefenseKind::Fence => Box::new(Fence::new(&cfg)),
+            DefenseKind::DelayLoads => Box::new(DelayLoads::new(&cfg)),
+            DefenseKind::SafeBet => Box::new(SafeBet::new(&cfg)),
         }
     }
 }
@@ -301,6 +359,9 @@ mod tests {
             DefenseKind::InvisiSpecFuture,
             DefenseKind::SttSpectre,
             DefenseKind::SttFuture,
+            DefenseKind::Fence,
+            DefenseKind::DelayLoads,
+            DefenseKind::SafeBet,
         ] {
             let model = build_defense(kind, &cfg);
             assert!(!model.name().is_empty());
@@ -314,6 +375,26 @@ mod tests {
         assert_eq!(set.len(), 5);
         assert!(set.contains(&DefenseKind::MuonTrap));
         assert!(set.contains(&DefenseKind::SttFuture));
+    }
+
+    #[test]
+    fn shootout_set_is_all_named_spectre_model_zoo_members() {
+        let set = DefenseKind::shootout_set();
+        assert_eq!(set.len(), 7);
+        // Every member is a named kind (the figure is label-addressable) and
+        // the normalisation baseline is not its own column.
+        for kind in &set {
+            assert!(DefenseKind::NAMED.contains(kind));
+        }
+        assert!(!set.contains(&DefenseKind::Unprotected));
+        for kind in [
+            DefenseKind::Fence,
+            DefenseKind::DelayLoads,
+            DefenseKind::SafeBet,
+            DefenseKind::MuonTrap,
+        ] {
+            assert!(set.contains(&kind), "sound defense {kind} must compete");
+        }
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! SafeBet-style tracked-region speculation (arXiv:2306.07785).
+//!
+//! SafeBet's observation is that most speculative loads touch memory the
+//! program accessed safely only moments ago, and re-touching such memory
+//! reveals nothing an observer could not already have learned. The defense
+//! keeps a per-core *Speculative Access Window* (SAW) of recently and safely
+//! accessed regions:
+//!
+//! * a load under an unresolved conditional branch whose region is **in** the
+//!   window proceeds exactly as on the unprotected hierarchy (fills, trains
+//!   the prefetcher, participates in coherence);
+//! * a load to a region **outside** the window is delayed
+//!   ([`MemOutcome::RetryWhenNonSpeculative`]) until its guarding branch
+//!   resolves — at which point it performs an ordinary access and its region
+//!   enters the window;
+//! * only *safe* accesses (no older unresolved branch, or committed) extend
+//!   the window, so a wrong path can never admit the region it is about to
+//!   leak through.
+//!
+//! Instruction fetches get an analogous window; out-of-window fetches under an
+//! unresolved branch are serviced invisibly and installed at commit. The
+//! window is a recency window over the access stream — a region stays a member
+//! for [`SafeBetConfig::window_accesses`] subsequent safe accesses — at
+//! [`SafeBetConfig::region_bytes`] granularity (default: one cache line, the
+//! finest transmitter-distinguishing granularity the litmus attacks probe).
+
+use std::collections::{HashMap, HashSet};
+
+use simkit::addr::LineAddr;
+use simkit::config::SystemConfig;
+use simkit::cycles::Cycle;
+use simkit::json::{FromJson, Json, JsonError, ToJson};
+use simkit::stats::StatSet;
+
+use memsys::hierarchy::MemoryHierarchy;
+use memsys::tlb::{Mmu, PageTable};
+use memsys::types::{AccessKind, AccessRequest, FillLevel};
+
+use ooo_core::memmodel::{DomainSwitch, MemAccessCtx, MemOutcome, MemoryModel};
+
+/// Tunables of the Speculative Access Window.
+///
+/// # Examples
+///
+/// ```
+/// use defenses::SafeBetConfig;
+/// use simkit::json::{FromJson, ToJson};
+///
+/// let config = SafeBetConfig::default();
+/// let round_tripped = SafeBetConfig::from_json(&config.to_json()).unwrap();
+/// assert_eq!(config, round_tripped);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SafeBetConfig {
+    /// Granularity at which accesses are tracked, in bytes. The default is one
+    /// cache line: coarser regions would let an in-bounds access whitelist the
+    /// secret-dependent line next to it.
+    pub region_bytes: u64,
+    /// How many subsequent safe accesses a region stays in the window for.
+    pub window_accesses: u64,
+}
+
+impl Default for SafeBetConfig {
+    fn default() -> Self {
+        SafeBetConfig {
+            region_bytes: 64,
+            window_accesses: 4096,
+        }
+    }
+}
+
+impl ToJson for SafeBetConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("region_bytes", Json::UInt(self.region_bytes)),
+            ("window_accesses", Json::UInt(self.window_accesses)),
+        ])
+    }
+}
+
+impl FromJson for SafeBetConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| -> Result<u64, JsonError> {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError::missing(name))
+        };
+        let config = SafeBetConfig {
+            region_bytes: field("region_bytes")?,
+            window_accesses: field("window_accesses")?,
+        };
+        if config.region_bytes == 0 || config.window_accesses == 0 {
+            return Err(JsonError::decode(
+                "SafeBetConfig fields must be non-zero".to_string(),
+            ));
+        }
+        Ok(config)
+    }
+}
+
+/// One per-core Speculative Access Window: a recency window over the safe
+/// access stream, held as `region -> sequence number of its last safe access`
+/// with lazy pruning (amortised O(1) per access).
+#[derive(Debug, Default)]
+struct Saw {
+    last_seen: HashMap<u64, u64>,
+    seq: u64,
+}
+
+impl Saw {
+    fn contains(&self, region: u64, window: u64) -> bool {
+        self.last_seen
+            .get(&region)
+            .is_some_and(|&s| self.seq - s < window)
+    }
+
+    fn record(&mut self, region: u64, window: u64) {
+        self.seq += 1;
+        self.last_seen.insert(region, self.seq);
+        // At most `window` distinct regions can be live; prune expired
+        // entries once the map doubles past that bound.
+        if self.last_seen.len() as u64 > (2 * window).max(16) {
+            let (seq, w) = (self.seq, window);
+            self.last_seen.retain(|_, &mut s| seq - s < w);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.last_seen.clear();
+    }
+}
+
+/// The SafeBet-style memory model.
+///
+/// # Examples
+///
+/// ```
+/// use defenses::SafeBet;
+/// use ooo_core::memmodel::{MemAccessCtx, MemOutcome, MemoryModel};
+/// use simkit::addr::VirtAddr;
+/// use simkit::config::SystemConfig;
+/// use simkit::cycles::Cycle;
+///
+/// let mut model = SafeBet::new(&SystemConfig::paper_default());
+/// let mut ctx = MemAccessCtx::simple(
+///     0,
+///     VirtAddr::new(0x8000),
+///     VirtAddr::new(0x40_0000),
+///     Cycle::ZERO,
+///     false,
+/// );
+/// // A speculative load to a never-accessed region is delayed...
+/// ctx.under_unresolved_branch = true;
+/// assert_eq!(model.load(&ctx), MemOutcome::RetryWhenNonSpeculative);
+/// // ...but once the region has been accessed safely,
+/// ctx.under_unresolved_branch = false;
+/// assert!(model.load(&ctx).latency().is_some());
+/// // the same speculative load proceeds through the window.
+/// ctx.under_unresolved_branch = true;
+/// assert!(model.load(&ctx).latency().is_some());
+/// ```
+#[derive(Debug)]
+pub struct SafeBet {
+    config: SystemConfig,
+    saw_config: SafeBetConfig,
+    hierarchy: MemoryHierarchy,
+    mmus: Vec<Mmu>,
+    data_windows: Vec<Saw>,
+    inst_windows: Vec<Saw>,
+    /// Per-core instruction lines fetched out-of-window under an unresolved
+    /// branch: invisible for now, installed if and when they commit.
+    pending_ifetch: Vec<HashSet<LineAddr>>,
+    stats: StatSet,
+}
+
+impl SafeBet {
+    /// Builds the model with the default window configuration.
+    pub fn new(config: &SystemConfig) -> Self {
+        SafeBet::with_saw(config, SafeBetConfig::default())
+    }
+
+    /// Builds the model with an explicit window configuration.
+    pub fn with_saw(config: &SystemConfig, saw_config: SafeBetConfig) -> Self {
+        assert!(saw_config.region_bytes > 0, "region_bytes must be non-zero");
+        assert!(
+            saw_config.window_accesses > 0,
+            "window_accesses must be non-zero"
+        );
+        let mmus = (0..config.cores)
+            .map(|i| {
+                Mmu::new(
+                    &config.tlb,
+                    PageTable::new(config.tlb.page_bytes, (i as u64 + 1) << 32),
+                )
+            })
+            .collect();
+        SafeBet {
+            config: config.clone(),
+            saw_config,
+            hierarchy: MemoryHierarchy::new(config),
+            mmus,
+            data_windows: (0..config.cores).map(|_| Saw::default()).collect(),
+            inst_windows: (0..config.cores).map(|_| Saw::default()).collect(),
+            pending_ifetch: (0..config.cores).map(|_| HashSet::new()).collect(),
+            stats: StatSet::new(),
+        }
+    }
+
+    /// The window configuration in effect.
+    pub fn saw_config(&self) -> SafeBetConfig {
+        self.saw_config
+    }
+
+    /// Read-only access to the hierarchy (for the attack harness).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Translates a virtual address on `core` to its physical line without
+    /// timing side effects.
+    pub fn phys_line(&self, core: usize, vaddr: simkit::addr::VirtAddr) -> LineAddr {
+        let pa = self.mmus[core].page_table().translate(vaddr);
+        LineAddr::from_phys(pa, self.config.line_bytes)
+    }
+
+    /// Whether `core`'s *data* window currently covers `vaddr`'s region (test
+    /// and diagnostic hook; no timing side effects).
+    pub fn data_window_covers(&self, core: usize, vaddr: simkit::addr::VirtAddr) -> bool {
+        let pa = self.mmus[core].page_table().translate(vaddr);
+        let region = pa.raw() / self.saw_config.region_bytes;
+        self.data_windows[core].contains(region, self.saw_config.window_accesses)
+    }
+}
+
+impl MemoryModel for SafeBet {
+    fn name(&self) -> &str {
+        "safebet"
+    }
+
+    fn fetch_instruction(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        let t = self.mmus[ctx.core].translate_inst(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        let region = t.paddr.raw() / self.saw_config.region_bytes;
+        let window = self.saw_config.window_accesses;
+        if !ctx.under_unresolved_branch {
+            self.inst_windows[ctx.core].record(region, window);
+        } else if !self.inst_windows[ctx.core].contains(region, window) {
+            // Out-of-window fetch on a speculative path: serviced invisibly,
+            // installed at commit if it turns out to be correct-path.
+            self.stats.bump("safebet.invisible_ifetches");
+            let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when)
+                .with_fill(FillLevel::None)
+                .without_prefetch_training();
+            let resp = self.hierarchy.access(&req);
+            self.pending_ifetch[ctx.core].insert(line);
+            return MemOutcome::Done {
+                latency: resp.latency + t.latency,
+            };
+        }
+        let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
+        let resp = self.hierarchy.access(&req);
+        MemOutcome::Done {
+            latency: resp.latency + t.latency,
+        }
+    }
+
+    fn load(&mut self, ctx: &MemAccessCtx) -> MemOutcome {
+        let t = self.mmus[ctx.core].translate_data(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        let region = t.paddr.raw() / self.saw_config.region_bytes;
+        let window = self.saw_config.window_accesses;
+
+        if ctx.speculative && ctx.under_unresolved_branch {
+            if !self.data_windows[ctx.core].contains(region, window) {
+                // Outside the window: nothing about this region was recently
+                // revealed safely, so touching it now would transmit. The core
+                // re-polls every cycle; the delay lapses when the guarding
+                // branch resolves and the access lands in the safe arm below.
+                self.stats.bump("safebet.delayed_loads");
+                return MemOutcome::RetryWhenNonSpeculative;
+            }
+            // In-window speculation is deemed unobservable: full-speed access.
+            self.stats.bump("safebet.window_hits");
+        } else {
+            // Safe (no unresolved older branch): the access itself extends
+            // the window.
+            self.data_windows[ctx.core].record(region, window);
+        }
+        let kind = if ctx.is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        let req = AccessRequest::new(ctx.core, line, kind, ctx.when).with_pc(ctx.pc.raw());
+        let resp = self.hierarchy.access(&req);
+        MemOutcome::Done {
+            latency: resp.latency + t.latency,
+        }
+    }
+
+    fn store_address_ready(&mut self, _ctx: &MemAccessCtx) {
+        // No speculative store prefetch: store addresses may be tainted.
+    }
+
+    fn commit_access(&mut self, ctx: &MemAccessCtx) -> u64 {
+        let t = self.mmus[ctx.core].translate_data(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        let region = t.paddr.raw() / self.saw_config.region_bytes;
+        self.data_windows[ctx.core].record(region, self.saw_config.window_accesses);
+        if ctx.is_store {
+            self.stats.bump("safebet.committed_stores");
+            let req = AccessRequest::new(ctx.core, line, AccessKind::Store, ctx.when)
+                .with_pc(ctx.pc.raw());
+            let _ = self.hierarchy.access(&req);
+        }
+        0
+    }
+
+    fn commit_fetch(&mut self, ctx: &MemAccessCtx) {
+        let t = self.mmus[ctx.core].translate_inst(ctx.vaddr);
+        let line = LineAddr::from_phys(t.paddr, self.config.line_bytes);
+        let region = t.paddr.raw() / self.saw_config.region_bytes;
+        self.inst_windows[ctx.core].record(region, self.saw_config.window_accesses);
+        if self.pending_ifetch[ctx.core].remove(&line) {
+            self.stats.bump("safebet.committed_ifetch_installs");
+            let req = AccessRequest::new(ctx.core, line, AccessKind::InstFetch, ctx.when);
+            let _ = self.hierarchy.access(&req);
+        }
+    }
+
+    fn set_page_table(&mut self, core: usize, table: PageTable) {
+        self.mmus[core].set_page_table(table);
+    }
+
+    fn on_squash(&mut self, core: usize, _when: Cycle) {
+        // The windows hold only safely-revealed regions, so they survive a
+        // squash; the wrong path's invisible fetches must not install.
+        self.pending_ifetch[core].clear();
+    }
+
+    fn on_domain_switch(&mut self, core: usize, kind: DomainSwitch, _when: Cycle) {
+        // A new protection domain must not inherit (or extend) the previous
+        // domain's window.
+        self.data_windows[core].clear();
+        self.inst_windows[core].clear();
+        self.pending_ifetch[core].clear();
+        if matches!(kind, DomainSwitch::ContextSwitch) {
+            let table = self.mmus[core].page_table().clone();
+            self.mmus[core].set_page_table(table);
+        }
+    }
+
+    fn stats(&self) -> StatSet {
+        let mut s = self.stats.clone();
+        s.merge(self.hierarchy.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::addr::VirtAddr;
+
+    fn ctx(core: usize, vaddr: u64, speculative: bool, is_store: bool) -> MemAccessCtx {
+        MemAccessCtx {
+            core,
+            vaddr: VirtAddr::new(vaddr),
+            pc: VirtAddr::new(0x40_0000),
+            when: Cycle::ZERO,
+            speculative,
+            is_store,
+            under_unresolved_branch: speculative,
+            addr_tainted_spectre: false,
+            addr_tainted_future: false,
+        }
+    }
+
+    #[test]
+    fn cold_regions_are_delayed_and_fill_nothing() {
+        let mut m = SafeBet::new(&SystemConfig::paper_default());
+        assert_eq!(
+            m.load(&ctx(0, 0x8000, true, false)),
+            MemOutcome::RetryWhenNonSpeculative
+        );
+        let line = m.phys_line(0, VirtAddr::new(0x8000));
+        assert!(!m.hierarchy().own_l1_contains(0, line));
+        assert!(!m.hierarchy().l2_contains(line));
+    }
+
+    #[test]
+    fn safe_access_admits_the_region_for_later_speculation() {
+        let mut m = SafeBet::new(&SystemConfig::paper_default());
+        let _ = m.load(&ctx(0, 0x8000, false, false));
+        assert!(m.data_window_covers(0, VirtAddr::new(0x8000)));
+        let outcome = m.load(&ctx(0, 0x8000, true, false));
+        assert!(outcome.latency().is_some(), "in-window speculation runs");
+    }
+
+    #[test]
+    fn window_is_line_granular_by_default() {
+        // The next line over is a different region: an in-bounds access must
+        // not whitelist its neighbour (that is how Spectre transmits).
+        let mut m = SafeBet::new(&SystemConfig::paper_default());
+        let _ = m.load(&ctx(0, 0x8000, false, false));
+        assert_eq!(
+            m.load(&ctx(0, 0x8040, true, false)),
+            MemOutcome::RetryWhenNonSpeculative
+        );
+    }
+
+    #[test]
+    fn speculation_does_not_extend_the_window() {
+        let mut m = SafeBet::new(&SystemConfig::paper_default());
+        let _ = m.load(&ctx(0, 0x8000, false, false));
+        // In-window speculative access to 0x8000 is fine, but it must not
+        // admit anything new — the still-cold neighbour stays delayed.
+        let _ = m.load(&ctx(0, 0x8000, true, false));
+        assert!(!m.data_window_covers(0, VirtAddr::new(0x9000)));
+    }
+
+    #[test]
+    fn regions_expire_after_window_accesses() {
+        let cfg = SystemConfig::paper_default();
+        let saw = SafeBetConfig {
+            region_bytes: 64,
+            window_accesses: 8,
+        };
+        let mut m = SafeBet::with_saw(&cfg, saw);
+        let _ = m.load(&ctx(0, 0x8000, false, false));
+        for i in 0..8u64 {
+            let _ = m.load(&ctx(0, 0x10_0000 + i * 64, false, false));
+        }
+        assert!(!m.data_window_covers(0, VirtAddr::new(0x8000)));
+        assert_eq!(
+            m.load(&ctx(0, 0x8000, true, false)),
+            MemOutcome::RetryWhenNonSpeculative
+        );
+    }
+
+    #[test]
+    fn domain_switch_clears_the_window() {
+        let mut m = SafeBet::new(&SystemConfig::paper_default());
+        let _ = m.load(&ctx(0, 0x8000, false, false));
+        m.on_domain_switch(0, DomainSwitch::Syscall, Cycle::ZERO);
+        assert!(!m.data_window_covers(0, VirtAddr::new(0x8000)));
+    }
+
+    #[test]
+    fn windows_are_per_core() {
+        let mut m = SafeBet::new(&SystemConfig::paper_default());
+        let _ = m.load(&ctx(0, 0x8000, false, false));
+        assert_eq!(
+            m.load(&ctx(1, 0x8000, true, false)),
+            MemOutcome::RetryWhenNonSpeculative
+        );
+    }
+
+    #[test]
+    fn out_of_window_fetches_stay_invisible_until_commit() {
+        let mut m = SafeBet::new(&SystemConfig::paper_default());
+        let _ = m.fetch_instruction(&ctx(0, 0x41_0000, true, false));
+        let line = m.phys_line(0, VirtAddr::new(0x41_0000));
+        assert!(!m.hierarchy().l2_contains(line));
+        // Commit happens after the speculative fetch's fill has long landed
+        // (otherwise the install coalesces with the in-flight invisible miss).
+        let mut commit = ctx(0, 0x41_0000, false, false);
+        commit.when = Cycle::new(10_000);
+        m.commit_fetch(&commit);
+        assert!(m.hierarchy().l2_contains(line));
+    }
+
+    #[test]
+    fn saw_config_json_round_trips() {
+        let config = SafeBetConfig {
+            region_bytes: 128,
+            window_accesses: 17,
+        };
+        assert_eq!(SafeBetConfig::from_json(&config.to_json()), Ok(config));
+        assert!(SafeBetConfig::from_json(&Json::obj([])).is_err());
+        let zero = Json::obj([
+            ("region_bytes", Json::UInt(0)),
+            ("window_accesses", Json::UInt(4)),
+        ]);
+        assert!(SafeBetConfig::from_json(&zero).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Seeded property tests for the defense catalogue: the name ⇄ kind mapping
+//! and the JSON payloads must round-trip exactly, for every variant, under
+//! arbitrary (seeded) inputs.
+//!
+//! The build runs offline (no `proptest`), so these drive the randomised
+//! properties with the deterministic `SimRng`; a failing case reproduces
+//! exactly from its printed seed.
+
+use defenses::{DefenseKind, DefenseRegistry, SafeBetConfig};
+use simkit::config::SystemConfig;
+use simkit::json::{FromJson, Json, ToJson};
+use simkit::rng::SimRng;
+
+fn for_each_case(cases: u64, mut body: impl FnMut(u64, &mut SimRng)) {
+    for seed in 0..cases {
+        let mut rng = SimRng::seed_from(0x0d_3f3 + seed);
+        body(seed, &mut rng);
+    }
+}
+
+#[test]
+fn every_named_kind_round_trips_through_display_and_fromstr() {
+    for kind in DefenseKind::NAMED {
+        let label = kind.to_string();
+        assert_eq!(label, kind.label());
+        assert_eq!(label.parse::<DefenseKind>(), Ok(kind), "{label}");
+    }
+}
+
+#[test]
+fn the_standard_registry_lists_every_named_kind_under_its_label() {
+    let registry = DefenseRegistry::standard();
+    assert_eq!(registry.len(), DefenseKind::NAMED.len());
+    for kind in DefenseKind::NAMED {
+        assert_eq!(registry.lookup(kind.label()), Some(kind), "{kind}");
+    }
+    // Registration order is the NAMED order, so reports are stable.
+    let labels: Vec<&str> = registry.iter().map(|(l, _)| l).collect();
+    let named: Vec<&str> = DefenseKind::NAMED.iter().map(|k| k.label()).collect();
+    assert_eq!(labels, named);
+}
+
+#[test]
+fn every_registry_entry_builds_a_model_answering_to_its_label() {
+    let config = SystemConfig::small_test();
+    let registry = DefenseRegistry::standard();
+    for (label, kind) in registry.iter() {
+        let model = kind.build(&config);
+        // MuonTrap flavours share one model; everything else is eponymous.
+        assert!(
+            label.starts_with(model.name())
+                || label.starts_with("muontrap")
+                || label.starts_with("insecure-l0"),
+            "label `{label}` vs model `{}`",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn corrupted_labels_never_parse() {
+    // A mutation of any valid label — flipped case, appended suffix, dropped
+    // prefix — must be rejected with an error naming the bad input, never
+    // silently mapped to a different kind.
+    for_each_case(64, |seed, rng| {
+        let kind = DefenseKind::NAMED[rng.below(DefenseKind::NAMED.len() as u64) as usize];
+        let label = kind.label();
+        let corrupted = match rng.below(4) {
+            0 => format!("{label}-{}", rng.below(100)),
+            1 => format!("x{label}"),
+            2 => label.to_uppercase(),
+            _ => {
+                let mut bytes = label.as_bytes().to_vec();
+                let i = rng.below(bytes.len() as u64) as usize;
+                bytes[i] = if bytes[i] == b'z' { b'q' } else { bytes[i] + 1 };
+                String::from_utf8(bytes).unwrap()
+            }
+        };
+        if DefenseKind::NAMED.iter().any(|k| k.label() == corrupted) {
+            return; // the mutation landed on another valid label — fine
+        }
+        let err = corrupted
+            .parse::<DefenseKind>()
+            .expect_err(&format!("case seed {seed}: `{corrupted}` must not parse"));
+        assert!(
+            err.to_string().contains(&corrupted),
+            "case seed {seed}: error must name the input: {err}"
+        );
+    });
+}
+
+#[test]
+fn safebet_config_round_trips_through_json_for_arbitrary_values() {
+    for_each_case(64, |seed, rng| {
+        let config = SafeBetConfig {
+            region_bytes: rng.below(1 << 20) + 1,
+            window_accesses: rng.below(1 << 24) + 1,
+        };
+        let json = config.to_json();
+        let back =
+            SafeBetConfig::from_json(&json).unwrap_or_else(|e| panic!("case seed {seed}: {e:?}"));
+        assert_eq!(back, config, "case seed {seed}");
+        // The encoding is a stable two-field object (fingerprint material).
+        assert_eq!(
+            json.get("region_bytes").and_then(Json::as_u64),
+            Some(config.region_bytes)
+        );
+        assert_eq!(
+            json.get("window_accesses").and_then(Json::as_u64),
+            Some(config.window_accesses)
+        );
+    });
+}
+
+#[test]
+fn safebet_config_rejects_degenerate_payloads() {
+    let zero_region = Json::obj([
+        ("region_bytes", Json::UInt(0)),
+        ("window_accesses", Json::UInt(4)),
+    ]);
+    assert!(SafeBetConfig::from_json(&zero_region).is_err());
+    let zero_window = Json::obj([
+        ("region_bytes", Json::UInt(64)),
+        ("window_accesses", Json::UInt(0)),
+    ]);
+    assert!(SafeBetConfig::from_json(&zero_window).is_err());
+    let missing = Json::obj([("region_bytes", Json::UInt(64))]);
+    assert!(SafeBetConfig::from_json(&missing).is_err());
+}
