@@ -21,14 +21,41 @@
 //! HTML page (`--html-only` suppresses the JSON): a multi-host run produces
 //! exactly the artefact a local `figN --html` run would, because the merged
 //! report is bit-identical to the local one.
+//!
+//! # Watching a live fleet
+//!
+//! With `--watch`, `merge` does not require complete logs: it *tails* them
+//! while the shards are still writing, redrawing an in-terminal dashboard
+//! (per-shard progress, steal and cache-hit counters, a cells/sec rate and
+//! ETA, stalled-shard detection from heartbeat age) every `--interval-ms`
+//! until every unit of the plan has resolved. `--once` renders exactly one
+//! frame — with "now" pinned to the newest event timestamp, so the output
+//! is deterministic — and exits, which is what tests and CI consume.
+//!
+//! `--html-live FILE` (usable with or without `--watch`) atomically rewrites
+//! `FILE` on the same cadence: while units are missing it is a partial
+//! report page that reloads itself via a script-free meta refresh, and once
+//! the fleet completes it is replaced by the strict merge's figure document
+//! — byte-identical to what `--html FILE` would have produced.
+//!
+//! ```text
+//! merge --figure domain --scale tiny --watch --html-live live.html s0.jsonl s1.jsonl
+//! ```
 
 use simkit::json::ToJson;
 use simsys::runner;
+
+use bench::watch::{self, FleetView, LogTail, WatchOptions};
 
 fn main() {
     let mut figure: Option<String> = None;
     let mut logs: Vec<std::path::PathBuf> = Vec::new();
     let mut rest: Vec<String> = Vec::new();
+    let mut watch_mode = false;
+    let mut once = false;
+    let mut html_live: Option<std::path::PathBuf> = None;
+    let mut interval_ms: u64 = 1_000;
+    let mut stall_ms: u64 = 15_000;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--figure" {
@@ -36,6 +63,20 @@ fn main() {
                 Some(value) => figure = Some(value),
                 None => exit_usage("--figure needs a name"),
             }
+        } else if arg == "--watch" {
+            watch_mode = true;
+        } else if arg == "--once" {
+            watch_mode = true;
+            once = true;
+        } else if arg == "--html-live" {
+            match args.next() {
+                Some(value) => html_live = Some(std::path::PathBuf::from(value)),
+                None => exit_usage("--html-live needs a file path"),
+            }
+        } else if arg == "--interval-ms" {
+            interval_ms = parse_ms(args.next(), "--interval-ms");
+        } else if arg == "--stall-ms" {
+            stall_ms = parse_ms(args.next(), "--stall-ms");
         } else if arg == "--help" || arg == "-h" {
             println!("{}", usage());
             return;
@@ -76,6 +117,21 @@ fn main() {
     };
     let plan = session.plan();
 
+    if watch_mode || html_live.is_some() {
+        run_watch(
+            &figure,
+            &plan,
+            &logs,
+            &options,
+            watch_mode,
+            once,
+            html_live.as_deref(),
+            interval_ms,
+            stall_ms,
+        );
+        return;
+    }
+
     let mut events = Vec::new();
     for path in &logs {
         let file = std::fs::File::open(path).unwrap_or_else(|e| {
@@ -106,10 +162,97 @@ fn main() {
     }
 }
 
+/// The `--watch` / `--html-live` loop: tail, fold, render, repeat until the
+/// fleet completes (or after one frame, with `--once`).
+#[allow(clippy::too_many_arguments)]
+fn run_watch(
+    figure: &str,
+    plan: &runner::Plan,
+    logs: &[std::path::PathBuf],
+    options: &bench::cli::CliOptions,
+    watch_mode: bool,
+    once: bool,
+    html_live: Option<&std::path::Path>,
+    interval_ms: u64,
+    stall_ms: u64,
+) {
+    let mut tails: Vec<LogTail> = logs.iter().map(LogTail::new).collect();
+    let refresh_seconds = (interval_ms.div_ceil(1_000)).max(1) as u32;
+    loop {
+        for tail in &mut tails {
+            if let Err(e) = tail.poll() {
+                eprintln!("cannot read {}: {e}", tail.path().display());
+            }
+        }
+        let events: Vec<runner::RunEvent> = tails
+            .iter()
+            .flat_map(|tail| tail.events.iter().cloned())
+            .collect();
+        let opts = WatchOptions {
+            stall_after_ms: stall_ms,
+            // `--once` pins "now" to the newest event stamp so the frame is
+            // deterministic; live mode reads the clock for stall ages.
+            now_ms: once.then(|| events.iter().filter_map(|e| e.t_ms()).max().unwrap_or(0)),
+            ..WatchOptions::default()
+        };
+        let view = FleetView::fold(plan, &events, &opts);
+        if watch_mode {
+            use std::io::Write as _;
+            if !once {
+                // The one piece of terminal state the watch owns: clear and
+                // home before each live frame. `--once` stays plain text.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", watch::render_frame(&view, &opts));
+            let _ = std::io::stdout().flush();
+        }
+        if let Some(path) = html_live {
+            let html = if view.complete() {
+                let wall_clock_ms = runner::merged_wall_clock_ms(events.iter());
+                match runner::merge_events(plan, events, wall_clock_ms) {
+                    Ok(report) => bench::render::figure_document(figure, &report, &options.run_id)
+                        .expect("figure resolved above, so it is registered"),
+                    Err(e) => {
+                        eprintln!("merge failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                watch::live_document(
+                    figure,
+                    plan,
+                    events,
+                    &view,
+                    &options.run_id,
+                    refresh_seconds,
+                    stall_ms,
+                )
+                .expect("figure resolved above, so it is registered")
+            };
+            if let Err(e) = watch::write_atomic(path, &html) {
+                eprintln!("cannot write live page {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+        if once || view.complete() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+fn parse_ms(value: Option<String>, flag: &str) -> u64 {
+    match value.as_deref().map(str::parse::<u64>) {
+        Some(Ok(ms)) => ms,
+        _ => exit_usage(&format!("{flag} needs a millisecond count")),
+    }
+}
+
 fn usage() -> String {
     format!(
         "usage: merge --figure NAME [--scale tiny|small|large] [--threads N] \
-         [--html FILE [--html-only]] EVENTS.jsonl [EVENTS.jsonl ...]\nfigures: {}",
+         [--html FILE [--html-only]] [--watch [--once]] [--html-live FILE] \
+         [--interval-ms N] [--stall-ms N] EVENTS.jsonl [EVENTS.jsonl ...]\nfigures: {}",
         bench::FIGURE_NAMES.join(", ")
     )
 }

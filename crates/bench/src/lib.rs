@@ -42,6 +42,7 @@ pub mod cli;
 pub mod lint;
 pub mod perf;
 pub mod render;
+pub mod watch;
 
 use simkit::config::{ProtectionConfig, SystemConfig};
 use simkit::json::{Json, ToJson};

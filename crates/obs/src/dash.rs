@@ -1,0 +1,103 @@
+//! Plain-text dashboard primitives: progress bars and human-readable
+//! numbers.
+//!
+//! Everything here is pure string generation — no terminal control codes, no
+//! cursor movement — so a rendered frame is byte-deterministic given its
+//! inputs and golden-testable. The watch loop in the `merge` binary owns the
+//! one piece of terminal state (clearing the screen between frames); these
+//! helpers only ever produce the frame body.
+//!
+//! Every formatter accepts the degenerate inputs a live fleet actually
+//! produces (NaN fractions before the first event, zero rates, empty logs)
+//! and renders a placeholder instead of propagating them.
+
+/// A fixed-width progress bar, e.g. `[#####..........]`. Non-finite
+/// fractions render as empty; fractions clamp into `[0, 1]`.
+pub fn progress_bar(fraction: f64, width: usize) -> String {
+    let fraction = if fraction.is_finite() {
+        fraction.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let filled = (fraction * width as f64).round() as usize;
+    let filled = filled.min(width);
+    let mut bar = String::with_capacity(width + 2);
+    bar.push('[');
+    for _ in 0..filled {
+        bar.push('#');
+    }
+    for _ in filled..width {
+        bar.push('.');
+    }
+    bar.push(']');
+    bar
+}
+
+/// A duration in short human units: `"0s"`, `"42s"`, `"3m04s"`, `"2h07m"`.
+pub fn fmt_duration_ms(ms: u64) -> String {
+    let secs = ms / 1000;
+    if secs < 60 {
+        format!("{secs}s")
+    } else if secs < 3600 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    }
+}
+
+/// A per-second rate: `"1.25/s"`, or `"-"` when unknown/non-finite.
+pub fn fmt_rate_per_sec(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) if r.is_finite() && r >= 0.0 => format!("{r:.2}/s"),
+        _ => "-".to_string(),
+    }
+}
+
+/// A percentage with no decimals: `"67%"`, or `"-"` for non-finite input.
+pub fn fmt_percent(fraction: f64) -> String {
+    if fraction.is_finite() {
+        format!("{:.0}%", fraction.clamp(0.0, 1.0) * 100.0)
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_are_fixed_width_and_clamped() {
+        assert_eq!(progress_bar(0.0, 10), "[..........]");
+        assert_eq!(progress_bar(0.5, 10), "[#####.....]");
+        assert_eq!(progress_bar(1.0, 10), "[##########]");
+        assert_eq!(progress_bar(7.5, 10), "[##########]", "overshoot clamps");
+        assert_eq!(progress_bar(-3.0, 10), "[..........]");
+        assert_eq!(progress_bar(f64::NAN, 10), "[..........]");
+        assert_eq!(
+            progress_bar(f64::INFINITY, 4),
+            "[....]",
+            "non-finite is unknown, not full"
+        );
+    }
+
+    #[test]
+    fn durations_pick_sensible_units() {
+        assert_eq!(fmt_duration_ms(0), "0s");
+        assert_eq!(fmt_duration_ms(999), "0s");
+        assert_eq!(fmt_duration_ms(42_000), "42s");
+        assert_eq!(fmt_duration_ms(184_000), "3m04s");
+        assert_eq!(fmt_duration_ms(7_620_000), "2h07m");
+    }
+
+    #[test]
+    fn rates_and_percentages_placeholder_on_bad_input() {
+        assert_eq!(fmt_rate_per_sec(Some(1.25)), "1.25/s");
+        assert_eq!(fmt_rate_per_sec(Some(f64::NAN)), "-");
+        assert_eq!(fmt_rate_per_sec(Some(-1.0)), "-");
+        assert_eq!(fmt_rate_per_sec(None), "-");
+        assert_eq!(fmt_percent(0.666), "67%");
+        assert_eq!(fmt_percent(f64::NAN), "-");
+        assert_eq!(fmt_percent(2.0), "100%");
+    }
+}

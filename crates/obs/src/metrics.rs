@@ -1,0 +1,482 @@
+//! The metrics registry: labeled counter/gauge/histogram series with JSONL
+//! snapshot emission.
+//!
+//! Instrumentation points call [`MetricsRegistry::inc`],
+//! [`set_gauge`](MetricsRegistry::set_gauge) or
+//! [`observe`](MetricsRegistry::observe) with a metric name and a (possibly
+//! empty) label set; the registry keeps one series per distinct
+//! `(name, labels)` pair, in sorted order so snapshots are deterministic.
+//! [`snapshot`](MetricsRegistry::snapshot) captures the whole registry with
+//! a monotonic [`clock`](crate::clock) timestamp, and
+//! [`write_snapshot_jsonl`](MetricsRegistry::write_snapshot_jsonl) appends
+//! it as one compact-JSON line — the same streaming shape the runner's
+//! event logs use, so the same tail-and-fold tooling applies.
+//!
+//! A series' kind is fixed by its first update: a later update of a
+//! different kind on the same key is dropped rather than silently
+//! reinterpreting the series. Gauge updates with non-finite values are
+//! dropped too — telemetry must never be the thing that injects a NaN into
+//! a dashboard.
+//!
+//! The per-process [`global`] registry is what the simulator crates
+//! instrument; tests construct private registries.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::{Mutex, OnceLock};
+
+use simkit::json::{FromJson, Json, JsonError, ToJson};
+
+use crate::clock::MonoClock;
+
+/// Histogram bucket boundaries are powers of two: bucket `i` counts samples
+/// with `value < 2^i` (and at least `2^(i-1)` for `i > 0`). 32 buckets cover
+/// every plausible millisecond/byte magnitude.
+const HISTOGRAM_BUCKETS: usize = 32;
+
+/// One series' current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesValue {
+    /// A monotonically increasing sum.
+    Counter(u64),
+    /// A last-write-wins scalar (always finite).
+    Gauge(f64),
+    /// Power-of-two bucket counts plus count/sum/max.
+    Histogram {
+        /// `buckets[i]` counts samples in `[2^(i-1), 2^i)`; bucket 0 counts
+        /// only zero. Samples beyond the last bucket land in it.
+        buckets: Vec<u64>,
+        /// Total samples observed.
+        count: u64,
+        /// Sum of all samples.
+        sum: u64,
+        /// Largest sample observed.
+        max: u64,
+    },
+}
+
+impl SeriesValue {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            SeriesValue::Counter(_) => "counter",
+            SeriesValue::Gauge(_) => "gauge",
+            SeriesValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// A registry of labeled metric series. Cheap to share: all methods take
+/// `&self` (the map lives behind a mutex), so one registry instruments any
+/// number of worker threads.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    series: Mutex<BTreeMap<SeriesKey, SeriesValue>>,
+    clock: MonoClock,
+}
+
+/// A series identity: metric name plus its sorted label pairs.
+type SeriesKey = (String, Vec<(String, String)>);
+
+impl MetricsRegistry {
+    /// An empty registry with its own monotonic clock.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            series: Mutex::new(BTreeMap::new()),
+            clock: MonoClock::new(),
+        }
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        (name.to_string(), labels)
+    }
+
+    /// Adds `delta` to the counter `(name, labels)`, creating it at zero.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let mut series = self.series.lock().unwrap();
+        // On kind mismatch the sample is dropped, never reinterpreted.
+        if let SeriesValue::Counter(total) = series
+            .entry(Self::key(name, labels))
+            .or_insert(SeriesValue::Counter(0))
+        {
+            *total = total.saturating_add(delta);
+        }
+    }
+
+    /// Sets the gauge `(name, labels)` to `value`. Non-finite values are
+    /// dropped so downstream ETA/rate math stays NaN-free by construction.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut series = self.series.lock().unwrap();
+        if let SeriesValue::Gauge(current) = series
+            .entry(Self::key(name, labels))
+            .or_insert(SeriesValue::Gauge(value))
+        {
+            *current = value;
+        }
+    }
+
+    /// Records one sample into the histogram `(name, labels)`.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let mut series = self.series.lock().unwrap();
+        if let SeriesValue::Histogram {
+            buckets,
+            count,
+            sum,
+            max,
+        } = series
+            .entry(Self::key(name, labels))
+            .or_insert(SeriesValue::Histogram {
+                buckets: vec![0; HISTOGRAM_BUCKETS],
+                count: 0,
+                sum: 0,
+                max: 0,
+            })
+        {
+            let bucket = (64 - u64::leading_zeros(value) as usize).min(buckets.len() - 1);
+            buckets[bucket] += 1;
+            *count += 1;
+            *sum = sum.saturating_add(value);
+            *max = (*max).max(value);
+        }
+    }
+
+    /// The counter's current total (zero when absent), for tests and
+    /// dashboards reading back their own process.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.series.lock().unwrap().get(&Self::key(name, labels)) {
+            Some(SeriesValue::Counter(total)) => *total,
+            _ => 0,
+        }
+    }
+
+    /// The gauge's current value, when present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.series.lock().unwrap().get(&Self::key(name, labels)) {
+            Some(SeriesValue::Gauge(value)) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Captures every series, in sorted `(name, labels)` order, stamped with
+    /// this registry's monotonic clock.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let series = self.series.lock().unwrap();
+        MetricsSnapshot {
+            t_ms: self.clock.now_ms(),
+            series: series
+                .iter()
+                .map(|((name, labels), value)| SeriesSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: value.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends one snapshot as a compact-JSON line (the JSONL emission
+    /// shape; call periodically to stream a process' telemetry to a file).
+    ///
+    /// # Errors
+    /// Returns the I/O error if the line cannot be written.
+    pub fn write_snapshot_jsonl(&self, sink: &mut dyn Write) -> io::Result<()> {
+        writeln!(sink, "{}", self.snapshot().to_json().to_string_compact())
+    }
+
+    /// Clears every series (tests that share the [`global`] registry).
+    pub fn reset(&self) {
+        self.series.lock().unwrap().clear();
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+/// The process-wide registry the simulator crates instrument.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// One series inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Metric name, e.g. `"store.read_bytes"`.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub value: SeriesValue,
+}
+
+/// A point-in-time capture of a whole registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic, epoch-anchored capture time (milliseconds).
+    pub t_ms: u64,
+    /// Every series, sorted by `(name, labels)`.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl ToJson for SeriesSnapshot {
+    fn to_json(&self) -> Json {
+        let labels = Json::Obj(
+            self.labels
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        );
+        let mut fields = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("labels", labels),
+            ("kind", Json::Str(self.value.kind_name().to_string())),
+        ];
+        match &self.value {
+            SeriesValue::Counter(total) => fields.push(("value", Json::UInt(*total))),
+            SeriesValue::Gauge(value) => fields.push(("value", Json::Num(*value))),
+            SeriesValue::Histogram {
+                buckets,
+                count,
+                sum,
+                max,
+            } => {
+                fields.push((
+                    "buckets",
+                    Json::Arr(buckets.iter().map(|b| Json::UInt(*b)).collect()),
+                ));
+                fields.push(("count", Json::UInt(*count)));
+                fields.push(("sum", Json::UInt(*sum)));
+                fields.push(("max", Json::UInt(*max)));
+            }
+        }
+        Json::obj(fields)
+    }
+}
+
+impl FromJson for SeriesSnapshot {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::missing("name"))?
+            .to_string();
+        let labels = match json.get("labels") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|v| (k.clone(), v.to_string()))
+                        .ok_or_else(|| JsonError::missing("labels"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(JsonError::missing("labels")),
+        };
+        let kind = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::missing("kind"))?;
+        let value = match kind {
+            "counter" => SeriesValue::Counter(
+                json.get("value")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| JsonError::missing("value"))?,
+            ),
+            "gauge" => SeriesValue::Gauge(
+                json.get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| JsonError::missing("value"))?,
+            ),
+            "histogram" => SeriesValue::Histogram {
+                buckets: json
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| JsonError::missing("buckets"))?
+                    .iter()
+                    .map(|b| b.as_u64().ok_or_else(|| JsonError::missing("buckets")))
+                    .collect::<Result<Vec<_>, _>>()?,
+                count: json
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| JsonError::missing("count"))?,
+                sum: json
+                    .get("sum")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| JsonError::missing("sum"))?,
+                max: json
+                    .get("max")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| JsonError::missing("max"))?,
+            },
+            _ => return Err(JsonError::missing("kind")),
+        };
+        Ok(SeriesSnapshot {
+            name,
+            labels,
+            value,
+        })
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("t_ms", Json::UInt(self.t_ms)),
+            (
+                "series",
+                Json::Arr(self.series.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for MetricsSnapshot {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(MetricsSnapshot {
+            t_ms: json
+                .get("t_ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError::missing("t_ms"))?,
+            series: json
+                .get("series")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| JsonError::missing("series"))?
+                .iter()
+                .map(SeriesSnapshot::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::json;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let registry = MetricsRegistry::new();
+        registry.inc("cells", &[("figure", "fig5")], 2);
+        registry.inc("cells", &[("figure", "fig5")], 3);
+        registry.inc("cells", &[("figure", "fig6")], 1);
+        registry.inc("cells", &[], 10);
+        assert_eq!(registry.counter("cells", &[("figure", "fig5")]), 5);
+        assert_eq!(registry.counter("cells", &[("figure", "fig6")]), 1);
+        assert_eq!(registry.counter("cells", &[]), 10);
+        assert_eq!(registry.counter("absent", &[]), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let registry = MetricsRegistry::new();
+        registry.inc("m", &[("a", "1"), ("b", "2")], 1);
+        registry.inc("m", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(registry.counter("m", &[("b", "2"), ("a", "1")]), 2);
+        assert_eq!(registry.snapshot().series.len(), 1);
+    }
+
+    #[test]
+    fn gauges_drop_non_finite_updates() {
+        let registry = MetricsRegistry::new();
+        registry.set_gauge("rate", &[], 1.5);
+        registry.set_gauge("rate", &[], f64::NAN);
+        registry.set_gauge("rate", &[], f64::INFINITY);
+        assert_eq!(registry.gauge("rate", &[]), Some(1.5));
+        registry.set_gauge("rate", &[], 2.5);
+        assert_eq!(registry.gauge("rate", &[]), Some(2.5));
+    }
+
+    #[test]
+    fn kind_is_fixed_by_first_update() {
+        let registry = MetricsRegistry::new();
+        registry.inc("x", &[], 1);
+        registry.set_gauge("x", &[], 9.0);
+        registry.observe("x", &[], 9);
+        assert_eq!(registry.counter("x", &[]), 1, "counter stays a counter");
+        assert_eq!(registry.gauge("x", &[]), None);
+    }
+
+    #[test]
+    fn histograms_bucket_by_magnitude() {
+        let registry = MetricsRegistry::new();
+        for sample in [0u64, 1, 2, 3, 900, 1100] {
+            registry.observe("lat_ms", &[], sample);
+        }
+        let snapshot = registry.snapshot();
+        let series = &snapshot.series[0];
+        let SeriesValue::Histogram {
+            buckets,
+            count,
+            sum,
+            max,
+        } = &series.value
+        else {
+            panic!("histogram expected");
+        };
+        assert_eq!(*count, 6);
+        assert_eq!(*sum, 2006);
+        assert_eq!(*max, 1100);
+        assert_eq!(buckets.iter().sum::<u64>(), 6);
+        assert_eq!(buckets[0], 1, "only 0 lands in bucket 0");
+        assert_eq!(buckets[1], 1, "1 lands in [1,2)");
+        assert_eq!(buckets[2], 2, "2 and 3 land in [2,4)");
+        assert_eq!(buckets[10], 1, "900 lands in [512,1024)");
+        assert_eq!(buckets[11], 1, "1100 lands in [1024,2048)");
+    }
+
+    #[test]
+    fn snapshots_are_sorted_and_round_trip_through_json() {
+        let registry = MetricsRegistry::new();
+        registry.inc("z.counter", &[], 7);
+        registry.set_gauge("a.gauge", &[("figure", "fig3")], 0.25);
+        registry.observe("m.hist", &[], 42);
+        let snapshot = registry.snapshot();
+        assert!(snapshot.t_ms > 0);
+        let names: Vec<&str> = snapshot.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a.gauge", "m.hist", "z.counter"], "sorted order");
+        let line = snapshot.to_json().to_string_compact();
+        let back = MetricsSnapshot::from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, snapshot, "snapshot survives the JSONL round trip");
+    }
+
+    #[test]
+    fn jsonl_emission_appends_one_parseable_line_per_snapshot() {
+        let registry = MetricsRegistry::new();
+        registry.inc("events", &[], 1);
+        let mut sink = Vec::new();
+        registry.write_snapshot_jsonl(&mut sink).unwrap();
+        registry.inc("events", &[], 1);
+        registry.write_snapshot_jsonl(&mut sink).unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let snap = MetricsSnapshot::from_json(&json::parse(line).unwrap()).unwrap();
+            assert_eq!(snap.series[0].name, "events");
+        }
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let registry = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        registry.inc("parallel", &[], 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter("parallel", &[]), 400);
+    }
+}

@@ -1,0 +1,101 @@
+//! Rate smoothing and ETA derivation, with the degenerate cases handled
+//! once.
+//!
+//! A live dashboard's ETA is `remaining / rate`, and both operands misbehave
+//! at the edges: the first sample has no history, a stalled fleet has rate
+//! zero, and a clock hiccup can hand the sampler a non-finite instantaneous
+//! rate. [`Ewma`] and [`eta_ms`] absorb all of that — an ETA either exists
+//! and is finite, or is `None`; `NaN` never escapes into a rendered frame.
+
+/// An exponentially weighted moving average over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// An EWMA with smoothing factor `alpha` (clamped into `(0, 1]`; higher
+    /// tracks faster). `1.0` degrades to "latest sample".
+    pub fn new(alpha: f64) -> Ewma {
+        let alpha = if alpha.is_finite() {
+            alpha.clamp(0.05, 1.0)
+        } else {
+            1.0
+        };
+        Ewma { alpha, value: None }
+    }
+
+    /// Folds in one sample and returns the new average. Non-finite samples
+    /// are ignored (the previous average is returned unchanged).
+    pub fn update(&mut self, sample: f64) -> Option<f64> {
+        if sample.is_finite() {
+            self.value = Some(match self.value {
+                None => sample,
+                Some(current) => current + self.alpha * (sample - current),
+            });
+        }
+        self.value
+    }
+
+    /// The current average, once at least one finite sample has arrived.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// The ETA for `remaining` units at `units_per_ms`, in milliseconds.
+/// `None` whenever the division would be meaningless: a non-finite or
+/// non-positive rate, or non-finite/negative remaining work.
+pub fn eta_ms(remaining: f64, units_per_ms: f64) -> Option<u64> {
+    if !remaining.is_finite() || remaining < 0.0 {
+        return None;
+    }
+    if !units_per_ms.is_finite() || units_per_ms <= 0.0 {
+        return None;
+    }
+    let eta = remaining / units_per_ms;
+    if eta.is_finite() {
+        Some(eta.round() as u64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_the_average() {
+        let mut ewma = Ewma::new(0.5);
+        assert_eq!(ewma.value(), None);
+        assert_eq!(ewma.update(10.0), Some(10.0));
+        assert_eq!(ewma.update(20.0), Some(15.0));
+        assert_eq!(ewma.update(15.0), Some(15.0));
+    }
+
+    #[test]
+    fn non_finite_samples_and_alphas_never_poison_the_average() {
+        let mut ewma = Ewma::new(f64::NAN);
+        ewma.update(5.0);
+        ewma.update(f64::NAN);
+        ewma.update(f64::INFINITY);
+        ewma.update(f64::NEG_INFINITY);
+        let value = ewma.value().unwrap();
+        assert!(value.is_finite());
+        assert_eq!(value, 5.0);
+    }
+
+    #[test]
+    fn eta_exists_only_for_positive_finite_rates() {
+        assert_eq!(eta_ms(100.0, 0.5), Some(200));
+        assert_eq!(eta_ms(0.0, 0.5), Some(0));
+        assert_eq!(eta_ms(100.0, 0.0), None, "stalled fleet has no ETA");
+        assert_eq!(eta_ms(100.0, -1.0), None);
+        assert_eq!(eta_ms(100.0, f64::NAN), None);
+        assert_eq!(eta_ms(f64::NAN, 1.0), None);
+        assert_eq!(eta_ms(f64::INFINITY, 1.0), None);
+        assert_eq!(eta_ms(-5.0, 1.0), None);
+    }
+}

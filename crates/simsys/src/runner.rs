@@ -165,6 +165,11 @@ impl Plan {
 /// without simulating — a store hit, a process-cache hit, or a derived
 /// `Unprotected` cell. Cell-kind events carry the full [`CellResult`] so the
 /// merger can rebuild the report from logs alone.
+///
+/// Every variant carries an optional epoch-anchored monotonic timestamp
+/// (`t_ms`, [`obs::now_ms`]), omitted from the JSON when absent — logs
+/// written before timestamps existed still parse, and `merge --watch` uses
+/// the stamps for rates, ETAs and stalled-shard detection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunEvent {
     /// A shard acquired the unit's lease and is about to simulate it.
@@ -177,6 +182,12 @@ pub enum RunEvent {
         index: usize,
         /// The unit's store fingerprint.
         fingerprint: Fingerprint,
+        /// Whether this claim *stole* an expired lease from a crashed or
+        /// stalled holder (serialised only when `true`, so steal-free logs
+        /// keep their historical byte shape).
+        stolen: bool,
+        /// Emission time, epoch-anchored monotonic milliseconds.
+        t_ms: Option<u64>,
     },
     /// The unit was simulated by this shard during this run.
     Completed {
@@ -190,6 +201,8 @@ pub enum RunEvent {
         fingerprint: Fingerprint,
         /// The finished cell (cells only; `None` for baselines).
         cell: Option<CellResult>,
+        /// Emission time, epoch-anchored monotonic milliseconds.
+        t_ms: Option<u64>,
     },
     /// The unit resolved without a simulation.
     Cached {
@@ -203,6 +216,23 @@ pub enum RunEvent {
         fingerprint: Fingerprint,
         /// The finished cell (cells only; `None` for baselines).
         cell: Option<CellResult>,
+        /// Emission time, epoch-anchored monotonic milliseconds.
+        t_ms: Option<u64>,
+    },
+    /// A liveness beat from a still-working shard, emitted every
+    /// [`ShardOptions::heartbeat_ms`] while the shard walks the plan. A
+    /// watcher that stops seeing beats (and resolutions) from a shard for
+    /// longer than the heartbeat interval plus slack knows the shard is
+    /// stalled or dead — without waiting a full lease TTL.
+    Heartbeat {
+        /// Shard id within the run.
+        shard: usize,
+        /// Units this shard has resolved so far (executed + cached).
+        units_done: usize,
+        /// Units in the whole plan (baselines + cells).
+        units_total: usize,
+        /// Emission time, epoch-anchored monotonic milliseconds.
+        t_ms: Option<u64>,
     },
     /// A shard finished its pass over the plan.
     ShardDone {
@@ -212,19 +242,50 @@ pub enum RunEvent {
         sims_executed: usize,
         /// This shard's wall clock, milliseconds.
         wall_clock_ms: f64,
+        /// Emission time, epoch-anchored monotonic milliseconds.
+        t_ms: Option<u64>,
     },
 }
 
 impl RunEvent {
-    /// The `(kind, index)` unit identity, for every variant but `ShardDone`.
+    /// The `(kind, index)` unit identity, for every variant but `ShardDone`
+    /// and `Heartbeat`.
     pub fn unit(&self) -> Option<(UnitKind, usize)> {
         match self {
             RunEvent::Claimed { kind, index, .. }
             | RunEvent::Completed { kind, index, .. }
             | RunEvent::Cached { kind, index, .. } => Some((*kind, *index)),
-            RunEvent::ShardDone { .. } => None,
+            RunEvent::ShardDone { .. } | RunEvent::Heartbeat { .. } => None,
         }
     }
+
+    /// The emitting shard's id.
+    pub fn shard(&self) -> usize {
+        match self {
+            RunEvent::Claimed { shard, .. }
+            | RunEvent::Completed { shard, .. }
+            | RunEvent::Cached { shard, .. }
+            | RunEvent::Heartbeat { shard, .. }
+            | RunEvent::ShardDone { shard, .. } => *shard,
+        }
+    }
+
+    /// The emission timestamp, when the writer recorded one.
+    pub fn t_ms(&self) -> Option<u64> {
+        match self {
+            RunEvent::Claimed { t_ms, .. }
+            | RunEvent::Completed { t_ms, .. }
+            | RunEvent::Cached { t_ms, .. }
+            | RunEvent::Heartbeat { t_ms, .. }
+            | RunEvent::ShardDone { t_ms, .. } => *t_ms,
+        }
+    }
+}
+
+/// The timestamp every event-construction site stamps: the process-wide
+/// epoch-anchored monotonic clock.
+fn stamp_now() -> Option<u64> {
+    Some(obs::now_ms())
 }
 
 impl ToJson for RunEvent {
@@ -239,22 +300,41 @@ impl ToJson for RunEvent {
                     ("fingerprint", Json::Str(fp.to_hex())),
                 ]
             };
+        // `t_ms` is emitted only when present and `stolen` only when true:
+        // events carrying neither serialise exactly as they did before the
+        // fields existed, so old readers and golden logs stay valid.
+        let stamp = |fields: &mut Vec<(&'static str, Json)>, t_ms: &Option<u64>| {
+            if let Some(t) = t_ms {
+                fields.push(("t_ms", Json::UInt(*t)));
+            }
+        };
         match self {
             RunEvent::Claimed {
                 shard,
                 kind,
                 index,
                 fingerprint,
-            } => Json::obj(unit_fields("claimed", *shard, *kind, *index, *fingerprint)),
+                stolen,
+                t_ms,
+            } => {
+                let mut fields = unit_fields("claimed", *shard, *kind, *index, *fingerprint);
+                if *stolen {
+                    fields.push(("stolen", Json::Bool(true)));
+                }
+                stamp(&mut fields, t_ms);
+                Json::obj(fields)
+            }
             RunEvent::Completed {
                 shard,
                 kind,
                 index,
                 fingerprint,
                 cell,
+                t_ms,
             } => {
                 let mut fields = unit_fields("completed", *shard, *kind, *index, *fingerprint);
                 fields.push(("cell", cell.as_ref().map_or(Json::Null, ToJson::to_json)));
+                stamp(&mut fields, t_ms);
                 Json::obj(fields)
             }
             RunEvent::Cached {
@@ -263,21 +343,43 @@ impl ToJson for RunEvent {
                 index,
                 fingerprint,
                 cell,
+                t_ms,
             } => {
                 let mut fields = unit_fields("cached", *shard, *kind, *index, *fingerprint);
                 fields.push(("cell", cell.as_ref().map_or(Json::Null, ToJson::to_json)));
+                stamp(&mut fields, t_ms);
+                Json::obj(fields)
+            }
+            RunEvent::Heartbeat {
+                shard,
+                units_done,
+                units_total,
+                t_ms,
+            } => {
+                let mut fields = vec![
+                    ("event", Json::Str("heartbeat".to_string())),
+                    ("shard", Json::UInt(*shard as u64)),
+                    ("units_done", Json::UInt(*units_done as u64)),
+                    ("units_total", Json::UInt(*units_total as u64)),
+                ];
+                stamp(&mut fields, t_ms);
                 Json::obj(fields)
             }
             RunEvent::ShardDone {
                 shard,
                 sims_executed,
                 wall_clock_ms,
-            } => Json::obj([
-                ("event", Json::Str("shard_done".to_string())),
-                ("shard", Json::UInt(*shard as u64)),
-                ("sims_executed", Json::UInt(*sims_executed as u64)),
-                ("wall_clock_ms", Json::Num(*wall_clock_ms)),
-            ]),
+                t_ms,
+            } => {
+                let mut fields = vec![
+                    ("event", Json::Str("shard_done".to_string())),
+                    ("shard", Json::UInt(*shard as u64)),
+                    ("sims_executed", Json::UInt(*sims_executed as u64)),
+                    ("wall_clock_ms", Json::Num(*wall_clock_ms)),
+                ];
+                stamp(&mut fields, t_ms);
+                Json::obj(fields)
+            }
         }
     }
 }
@@ -292,6 +394,9 @@ impl FromJson for RunEvent {
             .get("shard")
             .and_then(Json::as_usize)
             .ok_or_else(|| JsonError::missing("shard"))?;
+        // Optional on every variant: logs written before timestamps existed
+        // (or by a writer with timestamps disabled) parse as `None`.
+        let t_ms = json.get("t_ms").and_then(Json::as_u64);
         if event == "shard_done" {
             return Ok(RunEvent::ShardDone {
                 shard,
@@ -303,6 +408,21 @@ impl FromJson for RunEvent {
                     .get("wall_clock_ms")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| JsonError::missing("wall_clock_ms"))?,
+                t_ms,
+            });
+        }
+        if event == "heartbeat" {
+            return Ok(RunEvent::Heartbeat {
+                shard,
+                units_done: json
+                    .get("units_done")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| JsonError::missing("units_done"))?,
+                units_total: json
+                    .get("units_total")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| JsonError::missing("units_total"))?,
+                t_ms,
             });
         }
         let kind = json
@@ -329,6 +449,8 @@ impl FromJson for RunEvent {
                 kind,
                 index,
                 fingerprint,
+                stolen: json.get("stolen").and_then(Json::as_bool).unwrap_or(false),
+                t_ms,
             }),
             "completed" => Ok(RunEvent::Completed {
                 shard,
@@ -336,6 +458,7 @@ impl FromJson for RunEvent {
                 index,
                 fingerprint,
                 cell,
+                t_ms,
             }),
             "cached" => Ok(RunEvent::Cached {
                 shard,
@@ -343,6 +466,7 @@ impl FromJson for RunEvent {
                 index,
                 fingerprint,
                 cell,
+                t_ms,
             }),
             _ => Err(JsonError::missing("event")),
         }
@@ -428,23 +552,7 @@ pub fn merge_events(
     events: impl IntoIterator<Item = RunEvent>,
     wall_clock_ms: f64,
 ) -> Result<RunReport, MergeError> {
-    // (kind, index) -> (was_executed, payload)
-    let mut resolved: HashMap<(UnitKind, usize), (bool, Option<CellResult>)> = HashMap::new();
-    for event in events {
-        let (executed, payload) = match &event {
-            RunEvent::Completed { cell, .. } => (true, cell.clone()),
-            RunEvent::Cached { cell, .. } => (false, cell.clone()),
-            RunEvent::Claimed { .. } | RunEvent::ShardDone { .. } => continue,
-        };
-        let unit = event.unit().expect("unit events carry an identity");
-        match resolved.get(&unit) {
-            Some((true, _)) => {}               // execution already recorded
-            Some((false, _)) if !executed => {} // first cached sighting wins
-            _ => {
-                resolved.insert(unit, (executed, payload));
-            }
-        }
-    }
+    let mut resolved = fold_resolved(events);
     let baseline_sims = (0..plan.baselines.len())
         .filter(|i| matches!(resolved.get(&(UnitKind::Baseline, *i)), Some((true, _))))
         .count();
@@ -468,6 +576,86 @@ pub fn merge_events(
         columns: plan.columns.clone(),
         cells,
     })
+}
+
+/// Deduplicates event streams into `(kind, index) -> (was_executed, payload)`,
+/// with execution provenance winning over cache provenance.
+fn fold_resolved(
+    events: impl IntoIterator<Item = RunEvent>,
+) -> HashMap<(UnitKind, usize), (bool, Option<CellResult>)> {
+    let mut resolved: HashMap<(UnitKind, usize), (bool, Option<CellResult>)> = HashMap::new();
+    for event in events {
+        let (executed, payload) = match &event {
+            RunEvent::Completed { cell, .. } => (true, cell.clone()),
+            RunEvent::Cached { cell, .. } => (false, cell.clone()),
+            RunEvent::Claimed { .. } | RunEvent::Heartbeat { .. } | RunEvent::ShardDone { .. } => {
+                continue
+            }
+        };
+        let unit = event.unit().expect("unit events carry an identity");
+        match resolved.get(&unit) {
+            Some((true, _)) => {}               // execution already recorded
+            Some((false, _)) if !executed => {} // first cached sighting wins
+            _ => {
+                resolved.insert(unit, (executed, payload));
+            }
+        }
+    }
+    resolved
+}
+
+/// Best-effort [`merge_events`] for observing a run that is still in flight:
+/// cells no stream has resolved yet become placeholder rows (`cycles` 0,
+/// `normalized_time` NaN, `completed: false`) instead of a [`MergeError`],
+/// and the number of such holes is returned alongside the report.
+///
+/// This is what `merge --html-live` renders between frames. Once the hole
+/// count reaches zero the caller must switch to the strict [`merge_events`]
+/// so the final page is byte-identical to a post-hoc `merge --html`.
+pub fn merge_events_lenient(
+    plan: &Plan,
+    events: impl IntoIterator<Item = RunEvent>,
+    wall_clock_ms: f64,
+) -> (RunReport, usize) {
+    let mut resolved = fold_resolved(events);
+    let baseline_sims = (0..plan.baselines.len())
+        .filter(|i| matches!(resolved.get(&(UnitKind::Baseline, *i)), Some((true, _))))
+        .count();
+    let sims_executed = resolved.values().filter(|(executed, _)| *executed).count();
+    let mut missing = 0usize;
+    let mut cells = Vec::with_capacity(plan.cells.len());
+    for (index, unit) in plan.cells.iter().enumerate() {
+        match resolved.remove(&(UnitKind::Cell, index)) {
+            Some((_, Some(cell))) => cells.push(cell),
+            _ => {
+                missing += 1;
+                cells.push(CellResult {
+                    workload: unit.workload.name.clone(),
+                    column: unit.column.clone().unwrap_or_default(),
+                    defense: unit.defense.label().to_string(),
+                    cycles: 0,
+                    committed: 0,
+                    completed: false,
+                    cached: false,
+                    baseline_cycles: 0,
+                    normalized_time: f64::NAN,
+                    stats: simkit::stats::StatSet::new(),
+                });
+            }
+        }
+    }
+    let report = RunReport {
+        title: plan.title.clone(),
+        scale: plan.scale.clone(),
+        threads: plan.threads,
+        wall_clock_ms,
+        baseline_sims,
+        sims_executed,
+        workloads: plan.workloads.clone(),
+        columns: plan.columns.clone(),
+        cells,
+    };
+    (report, missing)
 }
 
 /// The wall clock to record for a multi-stream merge: the maximum over
@@ -525,11 +713,36 @@ impl<'a> EventSink<'a> {
     /// Streams one event; write failures are deliberately swallowed (an
     /// unwritable log degrades observability, never correctness — the merge
     /// in `run()` uses the in-memory events).
+    ///
+    /// Every emission also bumps the process-wide [`obs::global`] registry,
+    /// sink or no sink, so `MetricsRegistry::write_snapshot_jsonl` sees local
+    /// and sharded runs alike.
     fn emit(&self, event: &RunEvent) {
+        count_event(event);
         if let Some(sink) = &self.sink {
             let mut sink = sink.lock().unwrap();
             let _ = writeln!(sink, "{}", event.to_json().to_string_compact());
             let _ = sink.flush();
+        }
+    }
+}
+
+/// Mirrors one event into the global telemetry registry.
+fn count_event(event: &RunEvent) {
+    let metrics = obs::global();
+    match event {
+        RunEvent::Claimed { stolen, .. } => {
+            metrics.inc("runner.units_claimed", &[], 1);
+            if *stolen {
+                metrics.inc("runner.leases_stolen", &[], 1);
+            }
+        }
+        RunEvent::Completed { .. } => metrics.inc("runner.units_completed", &[], 1),
+        RunEvent::Cached { .. } => metrics.inc("runner.units_cached", &[], 1),
+        RunEvent::Heartbeat { .. } => metrics.inc("runner.heartbeats", &[], 1),
+        RunEvent::ShardDone { sims_executed, .. } => {
+            metrics.inc("runner.shards_done", &[], 1);
+            metrics.inc("runner.sims_executed", &[], *sims_executed as u64);
         }
     }
 }
@@ -618,6 +831,7 @@ pub fn execute_local(
                     index: unit.index,
                     fingerprint: unit.fingerprint,
                     cell: None,
+                    t_ms: stamp_now(),
                 };
                 sink.emit(&event);
                 return (Arc::new(hit), false, event);
@@ -632,6 +846,7 @@ pub fn execute_local(
                 index: unit.index,
                 fingerprint: unit.fingerprint,
                 cell: None,
+                t_ms: stamp_now(),
             }
         } else {
             RunEvent::Completed {
@@ -640,6 +855,7 @@ pub fn execute_local(
                 index: unit.index,
                 fingerprint: unit.fingerprint,
                 cell: None,
+                t_ms: stamp_now(),
             }
         };
         sink.emit(&event);
@@ -678,6 +894,7 @@ pub fn execute_local(
                 index: unit.index,
                 fingerprint: unit.fingerprint,
                 cell: Some(cell),
+                t_ms: stamp_now(),
             }
         } else {
             RunEvent::Cached {
@@ -686,6 +903,7 @@ pub fn execute_local(
                 index: unit.index,
                 fingerprint: unit.fingerprint,
                 cell: Some(cell),
+                t_ms: stamp_now(),
             }
         };
         sink.emit(&event);
@@ -815,6 +1033,9 @@ pub struct ShardSummary {
     /// another shard finished first — the cache/steal rate of a cooperating
     /// shard).
     pub units_cached: usize,
+    /// Units this shard claimed by stealing another holder's expired lease
+    /// (a crashed or stalled shard's work it reclaimed).
+    pub units_stolen: usize,
     /// Simulations this shard executed (equals `units_executed`).
     pub sims_executed: usize,
     /// This shard's wall clock, milliseconds.
@@ -844,6 +1065,7 @@ impl ToJson for ShardSummary {
             ("units_total", Json::UInt(self.units_total as u64)),
             ("units_executed", Json::UInt(self.units_executed as u64)),
             ("units_cached", Json::UInt(self.units_cached as u64)),
+            ("units_stolen", Json::UInt(self.units_stolen as u64)),
             ("sims_executed", Json::UInt(self.sims_executed as u64)),
             ("cached_rate", Json::Num(self.cached_rate())),
             ("wall_clock_ms", Json::Num(self.wall_clock_ms)),
@@ -863,6 +1085,7 @@ struct ShardState<'a> {
     baselines: Mutex<HashMap<Fingerprint, (Arc<ExperimentResult>, bool)>>,
     executed: AtomicUsize,
     cached: AtomicUsize,
+    stolen: AtomicUsize,
 }
 
 impl ShardState<'_> {
@@ -917,12 +1140,21 @@ impl ShardState<'_> {
                 &self.opts.run_id,
                 self.opts.lease_ttl_ms,
             )? {
-                LeaseState::Acquired => {
+                LeaseState::Busy(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(self.opts.poll_ms));
+                }
+                acquisition => {
+                    let stolen = matches!(acquisition, LeaseState::Stolen { .. });
+                    if stolen {
+                        self.stolen.fetch_add(1, Ordering::Relaxed);
+                    }
                     self.emit(RunEvent::Claimed {
                         shard: self.opts.shard_id,
                         kind: UnitKind::Baseline,
                         index: unit.index,
                         fingerprint,
+                        stolen,
+                        t_ms: stamp_now(),
                     });
                     let heartbeat =
                         LeaseHeartbeat::start(self.store, fingerprint, &self.owner, self.opts);
@@ -943,6 +1175,7 @@ impl ShardState<'_> {
                         index: unit.index,
                         fingerprint,
                         cell: None,
+                        t_ms: stamp_now(),
                     });
                     let result = Arc::new(result);
                     self.baselines
@@ -950,9 +1183,6 @@ impl ShardState<'_> {
                         .unwrap()
                         .insert(fingerprint, (Arc::clone(&result), true));
                     return Ok((result, true));
-                }
-                LeaseState::Busy(_) => {
-                    std::thread::sleep(std::time::Duration::from_millis(self.opts.poll_ms));
                 }
             }
         }
@@ -975,6 +1205,7 @@ impl ShardState<'_> {
                 index: unit.index,
                 fingerprint: unit.fingerprint,
                 cell: Some(cell),
+                t_ms: stamp_now(),
             });
             return Ok(());
         }
@@ -1003,6 +1234,7 @@ impl ShardState<'_> {
                     index: unit.index,
                     fingerprint: unit.fingerprint,
                     cell,
+                    t_ms: stamp_now(),
                 });
                 return Ok(());
             }
@@ -1021,12 +1253,21 @@ impl ShardState<'_> {
                 &self.opts.run_id,
                 self.opts.lease_ttl_ms,
             )? {
-                LeaseState::Acquired => {
+                LeaseState::Busy(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(self.opts.poll_ms));
+                }
+                acquisition => {
+                    let stolen = matches!(acquisition, LeaseState::Stolen { .. });
+                    if stolen {
+                        self.stolen.fetch_add(1, Ordering::Relaxed);
+                    }
                     self.emit(RunEvent::Claimed {
                         shard,
                         kind: unit.kind,
                         index: unit.index,
                         fingerprint: unit.fingerprint,
+                        stolen,
+                        t_ms: stamp_now(),
                     });
                     let heartbeat =
                         LeaseHeartbeat::start(self.store, unit.fingerprint, &self.owner, self.opts);
@@ -1059,11 +1300,9 @@ impl ShardState<'_> {
                         index: unit.index,
                         fingerprint: unit.fingerprint,
                         cell,
+                        t_ms: stamp_now(),
                     });
                     return Ok(());
-                }
-                LeaseState::Busy(_) => {
-                    std::thread::sleep(std::time::Duration::from_millis(self.opts.poll_ms));
                 }
             }
         }
@@ -1123,6 +1362,7 @@ pub fn execute_shard(
         baselines: Mutex::new(HashMap::new()),
         executed: AtomicUsize::new(0),
         cached: AtomicUsize::new(0),
+        stolen: AtomicUsize::new(0),
     };
 
     // Rotate each phase's unit list so shard k starts k/n of the way in:
@@ -1135,30 +1375,64 @@ pub fn execute_shard(
         let offset = (opts.shard_id * len) / opts.shard_count;
         (0..len).map(|i| (i + offset) % len).collect()
     };
+    let units_total = plan.baselines.len() + plan.cells.len();
     let mut error: io::Result<()> = Ok(());
-    for units in [&plan.baselines, &plan.cells] {
-        let indices = order(units);
-        let results = run_parallel(&indices, threads, |i| state.process_unit(&units[*i]));
-        if let Some(e) = results.into_iter().find_map(Result::err) {
-            error = Err(e);
-            break;
+    // The heartbeat emitter shares the workers' scope: it streams one
+    // `RunEvent::Heartbeat` per `opts.heartbeat_ms` while the phases run, so
+    // a watcher can tell "working on a long unit" from "dead" without
+    // waiting out the lease TTL. Same stop discipline as `LeaseHeartbeat`:
+    // wake every few milliseconds so short shards exit promptly.
+    let stop_beats = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        if opts.heartbeat_ms > 0 {
+            let state = &state;
+            let stop_beats = &stop_beats;
+            scope.spawn(move || {
+                let interval = std::time::Duration::from_millis(opts.heartbeat_ms);
+                let slice = std::time::Duration::from_millis(10).min(interval);
+                let mut since_beat = Instant::now();
+                while !stop_beats.load(Ordering::Relaxed) {
+                    std::thread::sleep(slice);
+                    if since_beat.elapsed() >= interval {
+                        since_beat = Instant::now();
+                        state.emit(RunEvent::Heartbeat {
+                            shard: opts.shard_id,
+                            units_done: state.executed.load(Ordering::Relaxed)
+                                + state.cached.load(Ordering::Relaxed),
+                            units_total,
+                            t_ms: stamp_now(),
+                        });
+                    }
+                }
+            });
         }
-    }
+        for units in [&plan.baselines, &plan.cells] {
+            let indices = order(units);
+            let results = run_parallel(&indices, threads, |i| state.process_unit(&units[*i]));
+            if let Some(e) = results.into_iter().find_map(Result::err) {
+                error = Err(e);
+                break;
+            }
+        }
+        stop_beats.store(true, Ordering::Relaxed);
+    });
     let wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
     let sims_executed = state.executed.load(Ordering::Relaxed);
     state.emit(RunEvent::ShardDone {
         shard: opts.shard_id,
         sims_executed,
         wall_clock_ms,
+        t_ms: stamp_now(),
     });
     error?;
     Ok(ShardSummary {
         shard_id: opts.shard_id,
         shard_count: opts.shard_count,
         run_id: opts.run_id.clone(),
-        units_total: plan.baselines.len() + plan.cells.len(),
+        units_total,
         units_executed: sims_executed,
         units_cached: state.cached.load(Ordering::Relaxed),
+        units_stolen: state.stolen.load(Ordering::Relaxed),
         sims_executed,
         wall_clock_ms,
     })
@@ -1219,6 +1493,16 @@ mod tests {
                 kind: UnitKind::Baseline,
                 index: 7,
                 fingerprint: Fingerprint(0xdead_beef),
+                stolen: false,
+                t_ms: None,
+            },
+            RunEvent::Claimed {
+                shard: 2,
+                kind: UnitKind::Cell,
+                index: 4,
+                fingerprint: Fingerprint(0xfeed),
+                stolen: true,
+                t_ms: Some(1_700_000_123_456),
             },
             RunEvent::Completed {
                 shard: 0,
@@ -1226,6 +1510,7 @@ mod tests {
                 index: 2,
                 fingerprint: Fingerprint(1),
                 cell: Some(cell.clone()),
+                t_ms: Some(1_700_000_123_789),
             },
             RunEvent::Completed {
                 shard: 0,
@@ -1233,6 +1518,7 @@ mod tests {
                 index: 0,
                 fingerprint: Fingerprint(2),
                 cell: None,
+                t_ms: None,
             },
             RunEvent::Cached {
                 shard: 1,
@@ -1240,11 +1526,19 @@ mod tests {
                 index: 9,
                 fingerprint: Fingerprint(3),
                 cell: Some(cell),
+                t_ms: None,
+            },
+            RunEvent::Heartbeat {
+                shard: 1,
+                units_done: 3,
+                units_total: 8,
+                t_ms: Some(1_700_000_124_000),
             },
             RunEvent::ShardDone {
                 shard: 1,
                 sims_executed: 12,
                 wall_clock_ms: 34.5,
+                t_ms: None,
             },
         ];
         for event in &samples {
@@ -1260,6 +1554,71 @@ mod tests {
         let parsed = read_events(log.as_bytes()).unwrap();
         assert_eq!(parsed, samples);
         assert!(read_events("not json\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn legacy_timestamp_free_logs_still_parse() {
+        // An event with no timestamp and no steal serialises byte-identically
+        // to the pre-observability wire format…
+        let event = RunEvent::Claimed {
+            shard: 0,
+            kind: UnitKind::Cell,
+            index: 1,
+            fingerprint: Fingerprint(7),
+            stolen: false,
+            t_ms: None,
+        };
+        let line = event.to_json().to_string_compact();
+        assert!(!line.contains("t_ms"), "absent stamps must not serialise");
+        assert!(!line.contains("stolen"), "false steals must not serialise");
+        // …and a hand-written legacy line (the old format verbatim) parses,
+        // defaulting the new fields.
+        let legacy = format!(
+            r#"{{"event":"claimed","shard":0,"unit_kind":"cell","unit_index":1,"fingerprint":"{}"}}"#,
+            Fingerprint(7).to_hex()
+        );
+        let back = RunEvent::from_json(&json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(back, event);
+        let legacy_done =
+            r#"{"event":"shard_done","shard":2,"sims_executed":5,"wall_clock_ms":1.5}"#;
+        let back = RunEvent::from_json(&json::parse(legacy_done).unwrap()).unwrap();
+        assert_eq!(
+            back,
+            RunEvent::ShardDone {
+                shard: 2,
+                sims_executed: 5,
+                wall_clock_ms: 1.5,
+                t_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn lenient_merge_fills_holes_and_converges_to_the_strict_merge() {
+        let session = tiny_session(1, &[DefenseKind::Unprotected, DefenseKind::MuonTrap]);
+        let plan = session.plan();
+        let events = execute_local(&plan, None, false, 1, None);
+        // Drop the last cell resolution: the strict merge refuses, the
+        // lenient merge reports one hole with a NaN placeholder.
+        let last_cell = plan.cells.len() - 1;
+        let partial: Vec<RunEvent> = events
+            .iter()
+            .filter(|e| e.unit() != Some((UnitKind::Cell, last_cell)))
+            .cloned()
+            .collect();
+        assert!(merge_events(&plan, partial.clone(), 0.0).is_err());
+        let (report, missing) = merge_events_lenient(&plan, partial, 0.0);
+        assert_eq!(missing, 1);
+        assert_eq!(report.cells.len(), plan.cells.len());
+        let hole = &report.cells[last_cell];
+        assert!(hole.normalized_time.is_nan());
+        assert!(!hole.completed);
+        assert_eq!(hole.workload, plan.cells[last_cell].workload.name);
+        // With the full stream the lenient merge equals the strict merge.
+        let strict = merge_events(&plan, events.clone(), 5.0).unwrap();
+        let (lenient, missing) = merge_events_lenient(&plan, events, 5.0);
+        assert_eq!(missing, 0);
+        assert_eq!(lenient, strict);
     }
 
     #[test]
@@ -1287,6 +1646,7 @@ mod tests {
                 index,
                 fingerprint,
                 cell,
+                t_ms,
             } = event
             {
                 cached_shadow.push(RunEvent::Cached {
@@ -1298,6 +1658,7 @@ mod tests {
                         c.cached = true;
                         c
                     }),
+                    t_ms,
                 });
             }
         }
@@ -1351,18 +1712,21 @@ mod tests {
                 .unwrap()
             {
                 crate::store::LeaseState::Busy(info) => assert_eq!(info.owner, owner),
-                crate::store::LeaseState::Acquired => {
-                    panic!("the heartbeat must keep the lease alive past its TTL")
+                other => {
+                    panic!("the heartbeat must keep the lease alive past its TTL, got {other:?}")
                 }
             }
         }
         // Guard dropped (holder "crashed"): the lease expires one TTL after
-        // its last beat and is reclaimed.
+        // its last beat and is reclaimed — reported as a steal, with the
+        // crashed holder's lease attached.
         std::thread::sleep(std::time::Duration::from_millis(150));
-        assert_eq!(
-            store.try_lease(key, "thief", &opts.run_id, 60_000).unwrap(),
-            crate::store::LeaseState::Acquired
-        );
+        match store.try_lease(key, "thief", &opts.run_id, 60_000).unwrap() {
+            crate::store::LeaseState::Stolen { previous } => {
+                assert_eq!(previous.expect("the expired lease survives").owner, owner);
+            }
+            other => panic!("an expired lease is stolen, not freshly acquired: {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1373,11 +1737,13 @@ mod tests {
                 shard: 0,
                 sims_executed: 1,
                 wall_clock_ms: 10.0,
+                t_ms: None,
             },
             RunEvent::ShardDone {
                 shard: 1,
                 sims_executed: 2,
                 wall_clock_ms: 25.0,
+                t_ms: None,
             },
         ];
         assert_eq!(merged_wall_clock_ms(events.iter()), 25.0);

@@ -421,8 +421,30 @@ impl ExperimentSession {
             sink,
         );
         let wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
-        runner::merge_events(&plan, events, wall_clock_ms)
-            .expect("a local execution resolves every cell")
+        let report = runner::merge_events(&plan, events, wall_clock_ms)
+            .expect("a local execution resolves every cell");
+        // Session-level telemetry: how much work this run did and how fast
+        // it resolved cells, labelled by report title so concurrent sessions
+        // in one process keep separate series.
+        let metrics = obs::global();
+        metrics.inc(
+            "session.sims_executed",
+            &[("figure", &report.title)],
+            report.sims_executed as u64,
+        );
+        metrics.inc(
+            "session.cells_resolved",
+            &[("figure", &report.title)],
+            report.cells.len() as u64,
+        );
+        if wall_clock_ms > 0.0 {
+            metrics.set_gauge(
+                "session.cells_per_sec",
+                &[("figure", &report.title)],
+                report.cells.len() as f64 / (wall_clock_ms / 1e3),
+            );
+        }
+        report
     }
 
     /// Executes this session as one shard of a cooperating multi-process run.

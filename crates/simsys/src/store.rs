@@ -202,13 +202,30 @@ impl ResultStore {
     /// address — reads as a miss (`None`), so callers fall back to
     /// re-simulation rather than propagating corruption.
     pub fn get(&self, key: Fingerprint) -> Option<ExperimentResult> {
-        let text = fs::read_to_string(self.entry_path(key)).ok()?;
-        let entry = json::parse(&text).ok()?;
-        let recorded = entry.get("fingerprint")?.as_str()?;
-        if Fingerprint::parse_hex(recorded) != Some(key) {
+        let metrics = obs::global();
+        let Ok(text) = fs::read_to_string(self.entry_path(key)) else {
+            metrics.inc("store.misses", &[], 1);
             return None;
+        };
+        metrics.inc("store.read_bytes", &[], text.len() as u64);
+        let decode = || -> Option<ExperimentResult> {
+            let entry = json::parse(&text).ok()?;
+            let recorded = entry.get("fingerprint")?.as_str()?;
+            if Fingerprint::parse_hex(recorded) != Some(key) {
+                return None;
+            }
+            ExperimentResult::from_json(entry.get("result")?).ok()
+        };
+        match decode() {
+            Some(result) => {
+                metrics.inc("store.hits", &[], 1);
+                Some(result)
+            }
+            None => {
+                metrics.inc("store.misses", &[], 1);
+                None
+            }
         }
-        ExperimentResult::from_json(entry.get("result")?).ok()
     }
 
     /// Whether an entry for `key` exists and decodes cleanly.
@@ -246,9 +263,15 @@ impl ResultStore {
             std::process::id(),
             TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
         ));
-        fs::write(&temp, entry.to_string_pretty())?;
+        let text = entry.to_string_pretty();
+        fs::write(&temp, &text)?;
         match fs::rename(&temp, &path) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                let metrics = obs::global();
+                metrics.inc("store.writes", &[], 1);
+                metrics.inc("store.write_bytes", &[], text.len() as u64);
+                Ok(())
+            }
             Err(e) => {
                 // Don't leave temp droppings behind on a failed rename.
                 let _ = fs::remove_file(&temp);
@@ -367,7 +390,10 @@ impl ResultStore {
         }
         // Confirm the rename race went our way.
         match self.read_lease(key) {
-            Some(info) if info.owner == lease.owner && !info.done => Ok(LeaseState::Acquired),
+            Some(info) if info.owner == lease.owner && !info.done => {
+                obs::global().inc("store.lease_steals", &[], 1);
+                Ok(LeaseState::Stolen { previous: holder })
+            }
             Some(info) => Ok(LeaseState::Busy(info)),
             None => Ok(LeaseState::Busy(LeaseInfo {
                 owner: String::new(),
@@ -464,6 +490,7 @@ impl ResultStore {
             let _ = fs::remove_file(&temp);
             return Err(e);
         }
+        obs::global().inc("store.lease_heartbeats", &[], 1);
         Ok(true)
     }
 
@@ -558,6 +585,12 @@ impl ResultStore {
             }
             bytes_after -= len;
         }
+        // GC runs out-of-band of any event stream, so the telemetry registry
+        // is the only place evictions leave a trace for dashboards.
+        let metrics = obs::global();
+        metrics.inc("store.gc_runs", &[], 1);
+        metrics.inc("store.gc_entries_evicted", &[], evicted as u64);
+        metrics.inc("store.gc_bytes_evicted", &[], bytes_evicted);
         Ok(GcSummary {
             entries_before,
             entries_evicted: evicted,
@@ -643,8 +676,17 @@ impl FromJson for LeaseInfo {
 /// The outcome of a [`ResultStore::try_lease`] attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LeaseState {
-    /// The caller now holds the lease and should execute the unit.
+    /// The caller now holds a fresh lease and should execute the unit.
     Acquired,
+    /// The caller now holds the lease, taken from a holder that looked dead
+    /// (expired, unreadable, or done-without-entry). Semantically identical
+    /// to [`Acquired`](Self::Acquired) for the winner, but surfaced
+    /// distinctly so the runner can report the steal in its event stream —
+    /// steals used to vanish here, leaving dashboards unable to count them.
+    Stolen {
+        /// The dead holder's lease, when it was still readable.
+        previous: Option<LeaseInfo>,
+    },
     /// A live holder owns the lease; poll the store (or retry after its TTL).
     Busy(LeaseInfo),
 }
@@ -837,7 +879,7 @@ mod tests {
                 assert_eq!(info.owner, "a");
                 assert!(!info.done);
             }
-            LeaseState::Acquired => panic!("lease must not be double-acquired"),
+            other => panic!("lease must not be double-acquired: {other:?}"),
         }
         // Completion turns it into a provenance marker...
         store
@@ -849,7 +891,7 @@ mod tests {
         // ...which is not stealable while the entry exists.
         match store.try_lease(key, "b", "run1", 60_000).unwrap() {
             LeaseState::Busy(info) => assert!(info.done),
-            LeaseState::Acquired => panic!("done lease with entry must stay busy"),
+            other => panic!("done lease with entry must stay busy: {other:?}"),
         }
         store.release_lease(key);
         assert_eq!(store.read_lease(key), None);
@@ -867,29 +909,34 @@ mod tests {
             LeaseState::Acquired
         );
         std::thread::sleep(std::time::Duration::from_millis(10));
-        assert_eq!(
-            store.try_lease(key, "thief", "run1", 60_000).unwrap(),
-            LeaseState::Acquired,
-            "an expired lease must be reclaimable"
-        );
+        match store.try_lease(key, "thief", "run1", 60_000).unwrap() {
+            LeaseState::Stolen { previous } => {
+                // The steal names its victim, so the runner can report it.
+                assert_eq!(previous.expect("expired lease was readable").owner, "dead");
+            }
+            other => panic!("an expired lease must be reclaimable: {other:?}"),
+        }
         assert_eq!(store.read_lease(key).unwrap().owner, "thief");
 
         // Orphaned: marked done but the crash lost the store entry.
         let other = Fingerprint(key.0 ^ 1);
         store.mark_done(other, "dead", "run1").unwrap();
         assert!(!store.contains(other));
-        assert_eq!(
-            store.try_lease(other, "thief", "run1", 60_000).unwrap(),
-            LeaseState::Acquired,
+        assert!(
+            matches!(
+                store.try_lease(other, "thief", "run1", 60_000).unwrap(),
+                LeaseState::Stolen { previous: Some(_) }
+            ),
             "a done lease without a store entry must be reclaimable"
         );
 
-        // Corrupt lease files read as absent and are stolen.
+        // Corrupt lease files read as absent and are stolen (with no victim
+        // metadata to attach).
         fs::write(store.lease_path(other), "not a lease").unwrap();
         assert_eq!(store.read_lease(other), None);
         assert_eq!(
             store.try_lease(other, "thief2", "run1", 60_000).unwrap(),
-            LeaseState::Acquired
+            LeaseState::Stolen { previous: None }
         );
     }
 
@@ -908,14 +955,16 @@ mod tests {
             assert!(store.heartbeat_lease(key, "worker", "run1", 60).unwrap());
             match store.try_lease(key, "thief", "run1", 60).unwrap() {
                 LeaseState::Busy(info) => assert_eq!(info.owner, "worker"),
-                LeaseState::Acquired => panic!("heartbeat must prevent the steal"),
+                other => panic!("heartbeat must prevent the steal: {other:?}"),
             }
         }
         // Stop beating: one TTL later the thief wins.
         std::thread::sleep(std::time::Duration::from_millis(90));
-        assert_eq!(
-            store.try_lease(key, "thief", "run1", 60_000).unwrap(),
-            LeaseState::Acquired,
+        assert!(
+            matches!(
+                store.try_lease(key, "thief", "run1", 60_000).unwrap(),
+                LeaseState::Stolen { .. }
+            ),
             "a silent holder must still expire"
         );
     }

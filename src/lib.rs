@@ -17,7 +17,10 @@
 //! * [`attacks`] — the six attack litmus tests;
 //! * [`reportgen`] — dependency-free SVG charts and the self-contained HTML
 //!   evaluation report (`report --html report.html` regenerates every
-//!   figure as one browsable page).
+//!   figure as one browsable page);
+//! * [`obs`] — the telemetry core behind fleet observability: the metrics
+//!   registry the simulator instruments, monotonic timestamps, and the
+//!   text primitives of the `merge --watch` live dashboard.
 //!
 //! # Quickstart
 //!
@@ -87,6 +90,7 @@ pub use attacks;
 pub use defenses;
 pub use memsys;
 pub use muontrap;
+pub use obs;
 pub use ooo_core;
 pub use reportgen;
 pub use simkit;
