@@ -129,6 +129,7 @@ fn main() {
             interval_ms,
             stall_ms,
         );
+        bench::cli::write_metrics(&options);
         return;
     }
 
@@ -147,6 +148,7 @@ fn main() {
     let wall_clock_ms = runner::merged_wall_clock_ms(events.iter());
     match runner::merge_events(&plan, events, wall_clock_ms) {
         Ok(report) => {
+            bench::cli::write_metrics(&options);
             bench::cli::write_html(&options, || {
                 bench::render::figure_document(&figure, &report, &options.run_id)
                     .expect("figure resolved above, so it is registered")

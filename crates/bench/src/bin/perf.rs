@@ -24,7 +24,7 @@ use workloads::Scale;
 
 fn usage() -> String {
     "usage: perf [--scale tiny|small|large] [--threads N] [--figures a,b,c] \
-     [--all] [--naive] [--out FILE]"
+     [--all] [--naive] [--out FILE] [--metrics FILE]"
         .to_string()
 }
 
@@ -39,6 +39,7 @@ fn main() {
     let mut figures: Vec<String> = vec!["fig5".to_string()];
     let mut naive = false;
     let mut out: Option<std::path::PathBuf> = None;
+    let mut metrics: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +68,10 @@ fn main() {
             "--out" => match args.next() {
                 Some(value) => out = Some(std::path::PathBuf::from(value)),
                 None => exit_usage("--out needs a file"),
+            },
+            "--metrics" => match args.next() {
+                Some(value) => metrics = Some(std::path::PathBuf::from(value)),
+                None => exit_usage("--metrics needs a file"),
             },
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -100,15 +105,25 @@ fn main() {
         });
         writeln!(file, "{text}").expect("write perf report");
     }
+    if let Some(path) = metrics {
+        bench::cli::write_metrics_to(&path);
+    }
     let total = report.total();
     eprintln!(
-        "perf: {} figure(s) at {} scale, {} threads{}: {:.2} cells/s, {:.0} sim-cycles/s, {:.0} insts/s",
+        "perf: {} figure(s) at {} scale, {} threads{}: {:.2} cells/s, {:.0} sim-cycles/s, \
+         {:.0} insts/s, {:.2} sim-cycles/event, {:.0} events/cell",
         report.figures.len(),
         report.scale.name(),
         report.threads,
-        if report.naive_loop { " (naive loop)" } else { "" },
+        if report.naive_loop {
+            " (naive loop)"
+        } else {
+            ""
+        },
         total.cells_per_sec(),
         total.sim_cycles_per_sec(),
         total.committed_insts_per_sec(),
+        total.sim_cycles_per_event(),
+        total.events_per_cell(),
     );
 }

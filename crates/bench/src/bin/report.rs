@@ -62,6 +62,7 @@ fn main() {
         })
         .collect();
     let census = bench::lint::corpus_census(options.scale, &speclint::AnalyzerConfig::default());
+    bench::cli::write_metrics(&options);
     bench::cli::write_html(&options, || {
         bench::render::evaluation_document(
             &reports,

@@ -77,7 +77,10 @@ fn main() {
         std::process::exit(2);
     });
     match session.run_sharded(&shard, &mut events) {
-        Ok(summary) => println!("{}", summary.to_json().to_string_pretty()),
+        Ok(summary) => {
+            bench::cli::write_metrics(&options);
+            println!("{}", summary.to_json().to_string_pretty());
+        }
         Err(e) => {
             eprintln!("shard {} failed: {e}", shard.shard_id);
             std::process::exit(1);

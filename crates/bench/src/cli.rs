@@ -28,6 +28,9 @@
 //!   domain-switch table; on a figure binary or `merge`, that one figure,
 //! * `--html-only` — with `--html`: write the HTML artefact and suppress the
 //!   stdout report,
+//! * `--metrics <file>` — on exit, append one [`obs::metrics`] snapshot of
+//!   the process-global registry to `file` as a JSONL line (unit latencies,
+//!   event counts — whatever the run instrumented),
 //! * `--tiny` — backwards-compatible alias for `--scale tiny`,
 //! * `--help` — print usage.
 
@@ -73,6 +76,9 @@ pub struct CliOptions {
     /// Suppress the stdout report, keeping only the HTML artefact
     /// (`--html-only`).
     pub html_only: bool,
+    /// Append an [`obs::metrics`] registry snapshot (one JSONL line) to this
+    /// file on exit (`--metrics`).
+    pub metrics: Option<PathBuf>,
 }
 
 impl Default for CliOptions {
@@ -89,6 +95,7 @@ impl Default for CliOptions {
             run_id: DEFAULT_RUN_ID.to_string(),
             html: None,
             html_only: false,
+            metrics: None,
         }
     }
 }
@@ -165,6 +172,10 @@ impl CliOptions {
                     options.html = Some(PathBuf::from(value.as_ref()));
                 }
                 "--html-only" => options.html_only = true,
+                "--metrics" => {
+                    let value = args.next().ok_or("--metrics needs a file")?;
+                    options.metrics = Some(PathBuf::from(value.as_ref()));
+                }
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
@@ -244,7 +255,7 @@ pub fn usage() -> String {
     "usage: <binary> [--json] [--scale tiny|small|large] [--threads N] \
      [--store DIR] [--no-store] [--store-readonly] [--events FILE] \
      [--shard-id I --shard-count N] [--run-id ID] \
-     [--html FILE [--html-only]] [--tiny]"
+     [--html FILE [--html-only]] [--metrics FILE] [--tiny]"
         .to_string()
 }
 
@@ -273,6 +284,30 @@ pub fn open_events(options: &CliOptions) -> Option<std::fs::File> {
             std::process::exit(2);
         })
     })
+}
+
+/// Appends one snapshot of the process-global [`obs::metrics`] registry to
+/// the `--metrics` file as a JSONL line. A no-op when `--metrics` was not
+/// given. Call once, when the run's work is finished — appending (rather
+/// than truncating) lets a wrapper collect several invocations into one
+/// telemetry log.
+pub fn write_metrics(options: &CliOptions) {
+    if let Some(path) = &options.metrics {
+        write_metrics_to(path);
+    }
+}
+
+/// [`write_metrics`] for binaries with their own flag parsing (`perf`).
+pub fn write_metrics_to(path: &std::path::Path) {
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| obs::metrics::global().write_snapshot_jsonl(&mut file));
+    if let Err(e) = result {
+        // Telemetry must never fail the run it observes.
+        eprintln!("cannot write metrics snapshot {}: {e}", path.display());
+    }
 }
 
 /// Writes the HTML artefact for `--html`, exiting with a diagnostic on
@@ -322,7 +357,10 @@ pub fn figure_main_rendered(
     if let Some(shard) = options.shard_options() {
         let mut events = open_events(&options).expect("--shard-id implies --events");
         match session.run_sharded(&shard, &mut events) {
-            Ok(summary) => println!("{}", summary.to_json().to_string_pretty()),
+            Ok(summary) => {
+                write_metrics(&options);
+                println!("{}", summary.to_json().to_string_pretty());
+            }
             Err(e) => {
                 eprintln!("shard {} failed: {e}", shard.shard_id);
                 std::process::exit(1);
@@ -335,6 +373,7 @@ pub fn figure_main_rendered(
         Some(file) => Some(file),
         None => None,
     });
+    write_metrics(&options);
     write_html(&options, || {
         crate::render::figure_document(name, &report, &options.run_id)
             .unwrap_or_else(|| panic!("figure binaries pass registered names; got `{name}`"))
@@ -489,6 +528,29 @@ mod tests {
             .contains("merge --html"),
             "shards produce event logs, not rendered reports"
         );
+    }
+
+    #[test]
+    fn metrics_flag_parses_and_snapshots_append() {
+        let options = CliOptions::parse(["--metrics", "/tmp/m.jsonl"]).unwrap();
+        assert_eq!(options.metrics, Some(PathBuf::from("/tmp/m.jsonl")));
+        assert_eq!(
+            CliOptions::parse(Vec::<String>::new()).unwrap().metrics,
+            None
+        );
+        assert!(CliOptions::parse(["--metrics"]).is_err());
+
+        let dir = std::env::temp_dir().join("muontrap-metrics-flag-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.jsonl");
+        let _ = std::fs::remove_file(&path);
+        obs::metrics::global().inc("cli.test_counter", &[], 1);
+        write_metrics_to(&path);
+        write_metrics_to(&path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "each call appends one JSONL line");
+        assert!(text.contains("cli.test_counter"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

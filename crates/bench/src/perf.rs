@@ -10,7 +10,12 @@
 //!   headline number the CI perf-smoke job guards),
 //! * `sim_cycles_per_sec` — simulated cycles retired per wall-clock second,
 //! * `committed_insts_per_sec` — committed µISA instructions per wall-clock
-//!   second.
+//!   second,
+//! * `sim_cycles_per_event` — simulated cycles covered per performed
+//!   per-core tick: the event queue's fast-forward leverage (under
+//!   `--naive` this approaches `1 / running cores`),
+//! * `events_per_cell` — per-core ticks the timing core performed per
+//!   resolved grid cell.
 //!
 //! The workloads are deterministic (seeded generators, no host entropy), so
 //! run-to-run variance is wall-clock noise only. `BENCH_hotpath.json` at the
@@ -42,6 +47,11 @@ pub struct FigurePerf {
     pub sim_cycles: u64,
     /// Total committed instructions across all grid cells.
     pub committed_insts: u64,
+    /// Per-core pipeline ticks the timing loop performed (from the
+    /// process-global `sim.events` counter). The naive loop ticks every
+    /// running core every cycle; the event-driven loop skips quiescent
+    /// ticks, so the naive/event-driven ratio is the queue's leverage.
+    pub events: u64,
 }
 
 impl FigurePerf {
@@ -58,6 +68,27 @@ impl FigurePerf {
     /// Committed instructions per wall-clock second.
     pub fn committed_insts_per_sec(&self) -> f64 {
         per_sec(self.committed_insts as f64, self.wall_ms)
+    }
+
+    /// Simulated cycles covered per performed per-core tick — the
+    /// fast-forward leverage of the event queue (0 when no ticks were
+    /// recorded).
+    pub fn sim_cycles_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / self.events as f64
+        }
+    }
+
+    /// Per-core ticks performed per resolved grid cell (0 for an empty
+    /// grid).
+    pub fn events_per_cell(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.cells as f64
+        }
     }
 }
 
@@ -78,12 +109,18 @@ impl ToJson for FigurePerf {
             ("sims_executed", Json::UInt(self.sims_executed as u64)),
             ("sim_cycles", Json::UInt(self.sim_cycles)),
             ("committed_insts", Json::UInt(self.committed_insts)),
+            ("events", Json::UInt(self.events)),
             ("cells_per_sec", Json::Num(self.cells_per_sec())),
             ("sim_cycles_per_sec", Json::Num(self.sim_cycles_per_sec())),
             (
                 "committed_insts_per_sec",
                 Json::Num(self.committed_insts_per_sec()),
             ),
+            (
+                "sim_cycles_per_event",
+                Json::Num(self.sim_cycles_per_event()),
+            ),
+            ("events_per_cell", Json::Num(self.events_per_cell())),
         ])
     }
 }
@@ -113,6 +150,7 @@ impl PerfReport {
             sims_executed: self.figures.iter().map(|f| f.sims_executed).sum(),
             sim_cycles: self.figures.iter().map(|f| f.sim_cycles).sum(),
             committed_insts: self.figures.iter().map(|f| f.committed_insts).sum(),
+            events: self.figures.iter().map(|f| f.events).sum(),
         }
     }
 
@@ -145,6 +183,7 @@ impl ToJson for PerfReport {
 pub fn measure_figure(name: &str, scale: Scale, threads: usize) -> FigurePerf {
     let session = figure_session(name, scale, &SystemConfig::paper_default(), threads, None)
         .unwrap_or_else(|| panic!("unknown figure `{name}`; expected one of {FIGURE_NAMES:?}"));
+    let events_before = obs::global().counter("sim.events", &[]);
     let started = Instant::now();
     let report = session.run();
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -155,6 +194,7 @@ pub fn measure_figure(name: &str, scale: Scale, threads: usize) -> FigurePerf {
         sims_executed: report.sims_executed,
         sim_cycles: report.cells.iter().map(|c| c.cycles).sum(),
         committed_insts: report.cells.iter().map(|c| c.committed).sum(),
+        events: obs::global().counter("sim.events", &[]) - events_before,
     }
 }
 
@@ -192,10 +232,13 @@ mod tests {
             sims_executed: 12,
             sim_cycles: 1_000_000,
             committed_insts: 400_000,
+            events: 2_000,
         };
         assert!((perf.cells_per_sec() - 5.0).abs() < 1e-9);
         assert!((perf.sim_cycles_per_sec() - 500_000.0).abs() < 1e-3);
         assert!((perf.committed_insts_per_sec() - 200_000.0).abs() < 1e-3);
+        assert!((perf.sim_cycles_per_event() - 500.0).abs() < 1e-9);
+        assert!((perf.events_per_cell() - 200.0).abs() < 1e-9);
     }
 
     #[test]
@@ -207,8 +250,10 @@ mod tests {
             sims_executed: 5,
             sim_cycles: 1,
             committed_insts: 1,
+            events: 0,
         };
         assert_eq!(perf.cells_per_sec(), 0.0);
+        assert_eq!(perf.sim_cycles_per_event(), 0.0, "no events, no ratio");
     }
 
     #[test]
@@ -219,6 +264,13 @@ mod tests {
         assert!(perf.committed_insts > 0);
         assert!(perf.wall_ms > 0.0);
         assert!(perf.cells_per_sec() > 0.0);
+        // `events` counts only simulations this call actually executed (the
+        // process cache can serve repeats), and parallel tests share the
+        // global counter — so only the fresh, event-driven case is pinned.
+        if !simsys::system::naive_loop_requested() && perf.sims_executed > 0 {
+            assert!(perf.events > 0, "the event-driven loop processes events");
+            assert!(perf.events_per_cell() > 0.0);
+        }
     }
 
     #[test]

@@ -186,6 +186,9 @@ pub struct ShardView {
     pub done: bool,
     /// The shard's reported wall clock, once done.
     pub wall_clock_ms: Option<f64>,
+    /// Per-simulation wall times reported by this shard's `Completed`
+    /// events, in arrival order (empty for legacy logs without `sim_ms`).
+    pub sim_ms: Vec<u64>,
 }
 
 impl ShardView {
@@ -201,7 +204,14 @@ impl ShardView {
             last_seen_ms: None,
             done: false,
             wall_clock_ms: None,
+            sim_ms: Vec::new(),
         }
+    }
+
+    /// The shard's p50/p95 simulation latency in milliseconds, `None` until
+    /// it has reported at least one timed simulation.
+    pub fn sim_latency_p50_p95(&self) -> Option<(u64, u64)> {
+        percentiles(&self.sim_ms)
     }
 
     /// The shard's display state: `done`, `running`, or `STALLED` with the
@@ -288,8 +298,11 @@ impl FleetView {
                         stolen_claims += 1;
                     }
                 }
-                RunEvent::Completed { .. } => {
+                RunEvent::Completed { sim_ms, .. } => {
                     shard.executed += 1;
+                    if let Some(ms) = sim_ms {
+                        shard.sim_ms.push(*ms);
+                    }
                     if let Some(t) = event.t_ms() {
                         resolution_stamps.push(t);
                     }
@@ -430,9 +443,27 @@ impl FleetView {
     }
 }
 
+/// Nearest-rank p50/p95 over `samples` (unsorted, any order). `None` when
+/// empty.
+fn percentiles(samples: &[u64]) -> Option<(u64, u64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = |pct: usize| {
+        sorted[(pct * (sorted.len() - 1))
+            .div_ceil(100)
+            .min(sorted.len() - 1)]
+    };
+    Some((rank(50), rank(95)))
+}
+
 /// Renders one dashboard frame — plain text, no terminal control codes, one
 /// trailing newline. This is exactly what `merge --watch --once` prints, so
-/// the golden tests pin this byte-for-byte.
+/// the golden tests pin this byte-for-byte. Shards whose logs carry per-unit
+/// `sim_ms` stamps get a trailing `sim p50/p95` figure; legacy logs render
+/// exactly as before.
 pub fn render_frame(view: &FleetView, opts: &WatchOptions) -> String {
     let mut out = String::new();
     let scale = view.scale.as_deref().unwrap_or("?");
@@ -476,14 +507,24 @@ pub fn render_frame(view: &FleetView, opts: &WatchOptions) -> String {
     }
     for shard in view.shards.values() {
         let fraction = shard.resolved as f64 / shard.units_total.max(1) as f64;
+        let latency = shard
+            .sim_latency_p50_p95()
+            .map_or(String::new(), |(p50, p95)| {
+                format!(
+                    " · sim p50/p95 {}/{}",
+                    fmt_duration_ms(p50),
+                    fmt_duration_ms(p95)
+                )
+            });
         let _ = writeln!(
             out,
-            "shard {:>2} {} {}/{} {}",
+            "shard {:>2} {} {}/{} {}{}",
             shard.shard,
             progress_bar(fraction, opts.width),
             shard.resolved,
             shard.units_total,
             shard.state_label(view.now_ms, opts.stall_after_ms),
+            latency,
         );
     }
     out
@@ -498,9 +539,15 @@ pub fn fleet_table(view: &FleetView, stall_after_ms: u64) -> SummaryTable {
         "cached",
         "stolen",
         "heartbeats",
+        "sim p50/p95",
         "state",
     ]);
     for shard in view.shards.values() {
+        let latency = shard
+            .sim_latency_p50_p95()
+            .map_or("-".to_string(), |(p50, p95)| {
+                format!("{}/{}", fmt_duration_ms(p50), fmt_duration_ms(p95))
+            });
         table.row([
             (shard.shard.to_string(), true),
             (format!("{}/{}", shard.resolved, shard.units_total), true),
@@ -508,6 +555,7 @@ pub fn fleet_table(view: &FleetView, stall_after_ms: u64) -> SummaryTable {
             (shard.cached.to_string(), true),
             (shard.stolen.to_string(), true),
             (shard.heartbeats.to_string(), true),
+            (latency, true),
             (shard.state_label(view.now_ms, stall_after_ms), false),
         ]);
     }

@@ -93,6 +93,7 @@ fn completed(unit: &WorkUnit, shard: usize, t_ms: u64) -> RunEvent {
         fingerprint: unit.fingerprint,
         cell: None,
         t_ms: Some(t_ms),
+        sim_ms: None,
     }
 }
 
@@ -297,6 +298,7 @@ fn random_events(rng: &mut SimRng, plan: &Plan) -> Vec<RunEvent> {
                 fingerprint: unit.fingerprint,
                 cell: None,
                 t_ms,
+                sim_ms: (rng.below(2) == 0).then(|| rng.below(600_000)),
             },
         });
     }
@@ -357,6 +359,7 @@ fn a_dead_shard_reads_as_stalled_and_a_timestampless_one_never_does() {
             fingerprint: unit.fingerprint,
             cell: None,
             t_ms: None,
+            sim_ms: None,
         },
     ];
     let opts = WatchOptions {
@@ -370,6 +373,41 @@ fn a_dead_shard_reads_as_stalled_and_a_timestampless_one_never_does() {
     assert_eq!(
         view.shards[&1].state_label(view.now_ms, opts.stall_after_ms),
         "running"
+    );
+}
+
+#[test]
+fn shard_sim_latency_percentiles_fold_and_render_only_when_reported() {
+    let plan = domain_plan();
+    let unit = &plan.baselines[0];
+    let timed = |shard: usize, t_ms: u64, sim_ms: u64| RunEvent::Completed {
+        shard,
+        kind: unit.kind,
+        index: unit.index,
+        fingerprint: unit.fingerprint,
+        cell: None,
+        t_ms: Some(t_ms),
+        sim_ms: Some(sim_ms),
+    };
+    // Shard 0 reports timings (100..=2000ms); shard 1 is a legacy stream.
+    let mut events: Vec<RunEvent> = (1..=20u64).map(|i| timed(0, i * 10, i * 100)).collect();
+    events.push(completed(unit, 1, 900));
+    let opts = WatchOptions {
+        now_ms: Some(1_000),
+        ..WatchOptions::default()
+    };
+    let view = FleetView::fold(&plan, &events, &opts);
+    let (p50, p95) = view.shards[&0]
+        .sim_latency_p50_p95()
+        .expect("timed shard has percentiles");
+    assert!((900..=1100).contains(&p50), "p50 near the median: {p50}");
+    assert!(p95 >= 1900, "p95 in the tail: {p95}");
+    assert_eq!(view.shards[&1].sim_latency_p50_p95(), None);
+    let frame = render_frame(&view, &opts);
+    assert_eq!(
+        frame.matches("sim p50/p95").count(),
+        1,
+        "only the timed shard shows latency: {frame}"
     );
 }
 

@@ -4,10 +4,18 @@
 //! matters for relative comparisons: per-bank row buffers (row hits are much
 //! cheaper than row misses) and per-bank busy time, so bursts of misses to the
 //! same bank queue behind each other.
+//!
+//! Each bank is a serialized [`TimedServer`]: an access starts when the bank
+//! frees up, occupies it for the row hit/miss service time, and the returned
+//! [`Ticket`](simkit::timeq::Ticket) names the completion cycle. The service
+//! law's `bytes_per_cycle` is 0 (the data-bus transfer is folded into the
+//! row latencies), which reproduces the original latency-annotated model
+//! bit-for-bit.
 
 use simkit::addr::LineAddr;
 use simkit::config::DramConfig;
 use simkit::cycles::Cycle;
+use simkit::timeq::{ServiceLaw, TimedServer};
 
 /// The result of a DRAM access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,10 +26,12 @@ pub struct DramAccess {
     pub row_hit: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone)]
 struct Bank {
     open_row: Option<u64>,
-    busy_until: Cycle,
+    /// One access at a time; requests queue behind the busy window. The
+    /// per-request row hit/miss latency is supplied at request time.
+    server: TimedServer,
 }
 
 /// A banked DRAM timing model with open-row tracking.
@@ -37,8 +47,12 @@ pub struct Dram {
 impl Dram {
     /// Creates a DRAM model.
     pub fn new(config: DramConfig, line_bytes: u64) -> Self {
+        let bank = Bank {
+            open_row: None,
+            server: TimedServer::serialized(ServiceLaw::fixed(0)),
+        };
         Dram {
-            banks: vec![Bank::default(); config.banks.max(1)],
+            banks: vec![bank; config.banks.max(1)],
             config,
             line_bytes,
             accesses: 0,
@@ -63,10 +77,9 @@ impl Dram {
         let addr_bytes = line.raw() * self.line_bytes;
         let row = addr_bytes / self.config.row_bytes;
         let bank_idx = (row as usize) % self.banks.len();
+        let line_bytes = self.line_bytes;
         let bank = &mut self.banks[bank_idx];
 
-        let start = now.max_of(bank.busy_until);
-        let queue_delay = start.since(now);
         let row_hit = bank.open_row == Some(row);
         let service = if row_hit {
             self.config.row_hit_latency
@@ -77,12 +90,16 @@ impl Dram {
             self.row_hits += 1;
         }
         bank.open_row = Some(row);
-        // The bank is occupied for the service time; the data bus transfer is
-        // folded into the service latency.
-        bank.busy_until = start.saturating_add(service);
+        // The bank is occupied for the service time; with the neutral law
+        // (bytes_per_cycle = 0) the data-bus transfer is folded into it. The
+        // queue is unbounded, so the request is always accepted.
+        let ticket = bank
+            .server
+            .request_with_latency(now, service, line_bytes)
+            .expect("unbounded bank queue never pushes back");
 
         DramAccess {
-            latency: queue_delay + service,
+            latency: ticket.latency(now),
             row_hit,
         }
     }

@@ -21,6 +21,7 @@ use simkit::addr::LineAddr;
 use simkit::config::SystemConfig;
 use simkit::cycles::Cycle;
 use simkit::stats::StatSet;
+use simkit::timeq::{ServiceLaw, TimedServer};
 
 use crate::cache::CacheArray;
 use crate::dram::Dram;
@@ -59,7 +60,11 @@ pub struct MemoryHierarchy {
     stats: StatSet,
     l1d_hit_latency: u64,
     l1i_hit_latency: u64,
-    l2_hit_latency: u64,
+    /// The shared L2 lookup path as a timed server: a latency pipe whose
+    /// service law is the L2 hit latency with the line transfer folded in
+    /// (`bytes_per_cycle = 0`), reproducing the original constant exactly.
+    l2_server: TimedServer,
+    line_bytes: u64,
 }
 
 impl MemoryHierarchy {
@@ -83,8 +88,19 @@ impl MemoryHierarchy {
             stats: StatSet::new(),
             l1d_hit_latency: config.l1d.hit_latency,
             l1i_hit_latency: config.l1i.hit_latency,
-            l2_hit_latency: config.l2.hit_latency,
+            l2_server: TimedServer::pipe(ServiceLaw::fixed(config.l2.hit_latency)),
+            line_bytes: config.line_bytes,
         }
+    }
+
+    /// One L2 tag/data lookup through the timed-server model: returns the
+    /// lookup latency (the service law applied to one line).
+    fn l2_lookup_latency(&mut self, when: Cycle) -> u64 {
+        let ticket = self
+            .l2_server
+            .request(when, self.line_bytes)
+            .expect("the L2 lookup pipe is unbounded");
+        ticket.latency(when)
     }
 
     /// Number of cores the hierarchy was built for.
@@ -279,7 +295,7 @@ impl MemoryHierarchy {
                 writeback: false,
             };
         }
-        latency += mshr.issue_delay;
+        latency += mshr.issue_delay(req.when);
         let (below_latency, served_by) = self.fetch_from_l2_or_memory(req.line, req.when, req.fill);
         latency += below_latency;
         self.cores[req.core]
@@ -380,15 +396,17 @@ impl MemoryHierarchy {
                 writeback: false,
             };
         }
-        latency += mshr.issue_delay;
+        latency += mshr.issue_delay(req.when);
 
         let served_by;
         let mut writeback = false;
 
         if remote_exclusive {
             // Dirty/exclusive data forwarded from a remote L1; downgrade it.
+            // The forward rides through the L2 lookup (which discovered the
+            // remote owner) plus the core-to-core transfer.
             served_by = ServiceLevel::RemoteL1;
-            latency += self.l2_hit_latency + REMOTE_FORWARD_LATENCY;
+            latency += self.l2_lookup_latency(req.when) + REMOTE_FORWARD_LATENCY;
             let was_dirty = self.downgrade_remote_copies(req.core, req.line, wants_exclusive);
             writeback = was_dirty;
             if was_dirty {
@@ -471,7 +489,7 @@ impl MemoryHierarchy {
         when: Cycle,
         fill: FillLevel,
     ) -> (u64, ServiceLevel) {
-        let mut latency = self.l2_hit_latency;
+        let mut latency = self.l2_lookup_latency(when);
         if self.l2.lookup(line).is_some() {
             self.stats.bump("hierarchy.l2_hits");
             return (latency, ServiceLevel::L2);
@@ -485,7 +503,7 @@ impl MemoryHierarchy {
             }
             return (latency, ServiceLevel::Dram);
         }
-        latency += mshr.issue_delay;
+        latency += mshr.issue_delay(when);
         let dram = self.dram.access(line, when.saturating_add(latency));
         latency += dram.latency;
         self.l2_mshrs.allocate(line, when.saturating_add(latency));

@@ -8,6 +8,7 @@
 
 use simkit::addr::LineAddr;
 use simkit::cycles::Cycle;
+use simkit::timeq::Backpressure;
 
 /// One outstanding miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,14 +20,25 @@ struct MshrEntry {
 /// What happened when a miss consulted the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MshrOutcome {
-    /// Extra cycles the requester must wait *before* its miss can even be
-    /// issued (structural stall because every MSHR was busy).
-    pub issue_delay: u64,
+    /// Set when every MSHR was busy: the file refused to issue the miss
+    /// until `retry_at` (when the earliest in-flight fill retires). In this
+    /// latency-annotated model the requester absorbs the stall as
+    /// [`issue_delay`](Self::issue_delay) cycles rather than literally
+    /// retrying.
+    pub backpressure: Option<Backpressure>,
     /// Whether the miss coalesced onto an existing in-flight entry for the
     /// same line; if so `fill_ready_at` is that entry's completion time.
     pub coalesced: bool,
     /// When the fill for this line completes (only meaningful if `coalesced`).
     pub fill_ready_at: Cycle,
+}
+
+impl MshrOutcome {
+    /// Extra cycles the requester must wait *before* its miss can even be
+    /// issued — zero unless the file pushed back.
+    pub fn issue_delay(&self, now: Cycle) -> u64 {
+        self.backpressure.map_or(0, |bp| bp.retry_at.since(now))
+    }
 }
 
 /// A file of miss-status-holding registers.
@@ -67,31 +79,31 @@ impl MshrFile {
     /// Consults the MSHR file for a miss to `line` at cycle `now`.
     ///
     /// If the line is already being fetched, the miss coalesces. Otherwise, if
-    /// all MSHRs are busy, the returned `issue_delay` says how long the
-    /// requester must wait for one to free up. The caller is expected to call
+    /// all MSHRs are busy, the returned outcome carries [`Backpressure`]
+    /// naming the cycle a register frees up. The caller is expected to call
     /// [`MshrFile::allocate`] afterwards with the final completion time.
     pub fn check(&mut self, line: LineAddr, now: Cycle) -> MshrOutcome {
         self.retire_completed(now);
         if let Some(entry) = self.entries.iter().find(|e| e.line == line) {
             self.coalesced_count += 1;
             return MshrOutcome {
-                issue_delay: 0,
+                backpressure: None,
                 coalesced: true,
                 fill_ready_at: entry.ready_at,
             };
         }
         if self.entries.len() < self.capacity {
             return MshrOutcome {
-                issue_delay: 0,
+                backpressure: None,
                 coalesced: false,
                 fill_ready_at: now,
             };
         }
-        // All MSHRs busy: wait for the earliest to retire.
+        // All MSHRs busy: push back until the earliest retires.
         let earliest = self.entries.iter().map(|e| e.ready_at).min().unwrap_or(now);
         self.structural_stalls += 1;
         MshrOutcome {
-            issue_delay: earliest.since(now),
+            backpressure: Some(Backpressure { retry_at: earliest }),
             coalesced: false,
             fill_ready_at: earliest,
         }
@@ -154,7 +166,10 @@ mod tests {
         m.allocate(LineAddr::new(2), Cycle::new(80));
         let outcome = m.check(LineAddr::new(3), Cycle::new(10));
         assert!(!outcome.coalesced);
-        assert_eq!(outcome.issue_delay, 40); // waits for line 1 at cycle 50
+        // Pushes back until line 1 retires at cycle 50.
+        let bp = outcome.backpressure.expect("file is full");
+        assert_eq!(bp.retry_at, Cycle::new(50));
+        assert_eq!(outcome.issue_delay(Cycle::new(10)), 40);
         assert_eq!(m.structural_stalls(), 1);
     }
 
@@ -164,7 +179,7 @@ mod tests {
         m.allocate(LineAddr::new(1), Cycle::new(20));
         // At cycle 30 the entry has completed, so a new miss issues freely.
         let outcome = m.check(LineAddr::new(2), Cycle::new(30));
-        assert_eq!(outcome.issue_delay, 0);
+        assert_eq!(outcome.backpressure, None);
         assert_eq!(m.in_flight(Cycle::new(30)), 0);
     }
 
@@ -172,7 +187,7 @@ mod tests {
     fn capacity_is_at_least_one() {
         let mut m = MshrFile::new(0);
         let outcome = m.check(LineAddr::new(9), Cycle::new(0));
-        assert_eq!(outcome.issue_delay, 0);
+        assert_eq!(outcome.backpressure, None);
     }
 
     #[test]

@@ -41,6 +41,7 @@ use simkit::addr::VirtAddr;
 use simkit::config::{PipelineConfig, SystemConfig};
 use simkit::cycles::Cycle;
 use simkit::stats::StatSet;
+use simkit::timeq::EventQueue;
 
 use uarch_isa::inst::{eval_alu, eval_branch, eval_fpu, InstClass, Instruction, MemWidth};
 use uarch_isa::prog::INST_BYTES;
@@ -225,6 +226,31 @@ pub struct OooCore {
     branch_seqs: VecDeque<u64>,
     /// Whether the last [`tick`](Self::tick) performed any pipeline work.
     tick_active: bool,
+    /// Completion tickets: `(done_at, seq)` pushed whenever an entry enters
+    /// `Executing(done_at)` with a finite time. The complete stage pops the
+    /// due tickets instead of scanning the whole ROB, and
+    /// [`next_wake`](Self::next_wake) is the heap minimum. Squashes leave
+    /// stale tickets behind; they are validated (and discarded) on pop.
+    completion_q: EventQueue<u64>,
+    /// Entries currently in `Status::Waiting` (operands/FU pending).
+    waiting_count: usize,
+    /// Entries parked by a memory-model retry (`mem_retry`, executing at
+    /// `Cycle::NEVER`), re-polled by the issue stage each cycle.
+    retry_count: usize,
+    /// Reusable scratch of due sequence numbers for the complete stage.
+    due_scratch: Vec<u64>,
+    /// Memo of the last fruitless issue scan. While valid, every `Waiting`
+    /// entry with seq below `scan_floor_seq` was seen un-issuable and nothing
+    /// that could change that has happened since, so the next scan resumes at
+    /// the floor with the window counter primed to `scan_floor_rank` (the
+    /// number of Waiting entries below the floor). Fetch keeps the memo —
+    /// new entries land past the floor and get scanned; any commit,
+    /// completion, squash or issue invalidates it. This turns the common
+    /// "fetching while the ROB head waits on DRAM" cycles from a full
+    /// window scan into a scan of just the newly fetched entries.
+    scan_memo_valid: bool,
+    scan_floor_seq: u64,
+    scan_floor_rank: usize,
     // Reusable scratch for the taint walk (STT support) — allocated once.
     taint_stack: Vec<usize>,
     taint_visited: Vec<bool>,
@@ -255,6 +281,13 @@ impl OooCore {
             store_seqs: VecDeque::new(),
             branch_seqs: VecDeque::new(),
             tick_active: false,
+            completion_q: EventQueue::new(),
+            waiting_count: 0,
+            retry_count: 0,
+            due_scratch: Vec::new(),
+            scan_memo_valid: false,
+            scan_floor_seq: 0,
+            scan_floor_rank: 0,
             taint_stack: Vec::new(),
             taint_visited: Vec::new(),
         }
@@ -304,6 +337,12 @@ impl OooCore {
         self.stores_in_flight = 0;
         self.store_seqs.clear();
         self.branch_seqs.clear();
+        self.completion_q.clear();
+        self.waiting_count = 0;
+        self.retry_count = 0;
+        self.scan_memo_valid = false;
+        self.scan_floor_seq = 0;
+        self.scan_floor_rank = 0;
         self.last_fetch_line = None;
         let old = self.thread.take();
         self.thread = new_thread;
@@ -400,14 +439,12 @@ impl OooCore {
     /// already behind `now` are ignored — on a quiescent core they cannot be
     /// what the pipeline is waiting for.
     pub fn next_wake(&self, now: Cycle) -> Cycle {
-        let mut wake = Cycle::NEVER;
-        for entry in &self.rob {
-            if let Status::Executing(t) = entry.status {
-                if t != Cycle::NEVER && t >= now && t < wake {
-                    wake = t;
-                }
-            }
-        }
+        // The completion heap's minimum. It may name a squashed instruction
+        // (stale tickets are only discarded when popped), in which case the
+        // wake is early: the tick at that cycle is a no-op that drains the
+        // stale entry — behaviour the naive loop also exhibits, since it
+        // ticks every cycle anyway.
+        let mut wake = self.completion_q.peek().max_of(now);
         if self.done_prefix > 0 && self.commit_stalled_until >= now {
             wake = wake.min(self.commit_stalled_until);
         }
@@ -451,6 +488,9 @@ impl OooCore {
 
     /// Updates the incremental structures for a popped (committed) entry.
     fn retire_bookkeeping(&mut self, entry: &RobEntry) {
+        // Commit shifts the ROB and can unblock issue (register fallback,
+        // head-only instructions): the fruitless-scan memo no longer holds.
+        self.scan_memo_valid = false;
         if entry.is_load() {
             self.loads_in_flight -= 1;
         }
@@ -560,18 +600,43 @@ impl OooCore {
 
     /// Moves finished executions to `Done`, oldest first, resolving branches.
     /// Returns whether any entry changed state (squashes included).
+    ///
+    /// Driven by the completion-ticket heap: only the tickets due at `now`
+    /// are popped, so the stage costs O(completions · log ROB) instead of a
+    /// full ROB scan per cycle. Tickets are validated against the entry they
+    /// name — squashes leave stale tickets behind, and a squash followed by
+    /// re-dispatch reuses sequence numbers, so a ticket is live only if its
+    /// entry is still `Executing` at exactly the ticketed cycle. (A stale
+    /// ticket that collides with a reused sequence number *and* its new
+    /// completion time merely completes an entry that is genuinely due;
+    /// the entry's own ticket then pops as a harmless duplicate.)
     fn complete_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) -> bool {
+        let head = self.head_seq();
+        let rob_len = self.rob.len() as u64;
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        while let Some((ticket_time, seq)) = self.completion_q.pop_due(now) {
+            if seq < head || seq - head >= rob_len {
+                continue; // committed or squashed: stale
+            }
+            match self.rob[(seq - head) as usize].status {
+                Status::Executing(done_at) if done_at == ticket_time => due.push(seq),
+                _ => {} // already Done (duplicate) or re-issued: stale
+            }
+        }
+        // Process in program order: the done prefix extends front-to-back and
+        // the *oldest* mispredicted branch must be the one that squashes.
+        due.sort_unstable();
+        due.dedup();
         let mut squash_after: Option<(usize, usize)> = None; // (rob index, redirect pc)
         let mut transitions = false;
-        for idx in 0..self.rob.len() {
-            let entry = &self.rob[idx];
-            let finished = match entry.status {
-                Status::Executing(done_at) => done_at <= now,
-                _ => false,
-            };
-            if !finished {
-                continue;
-            }
+        if !due.is_empty() {
+            // Done transitions wake dependants: the fruitless-scan memo no
+            // longer holds.
+            self.scan_memo_valid = false;
+        }
+        for &seq in due.iter() {
+            let idx = (seq - head) as usize;
             transitions = true;
             self.rob[idx].status = Status::Done;
             if idx == self.done_prefix {
@@ -585,11 +650,15 @@ impl OooCore {
             if self.rob[idx].is_branch() {
                 let (mispredicted, redirect) = self.resolve_branch(idx);
                 if mispredicted {
+                    // Younger due entries stay `Executing`; the squash below
+                    // removes them, exactly as the scan-based stage left them
+                    // untransitioned when it broke at the first mispredict.
                     squash_after = Some((idx, redirect));
                     break;
                 }
             }
         }
+        self.due_scratch = due;
         if let Some((idx, redirect)) = squash_after {
             self.squash_younger_than(idx, redirect, now, mem);
         }
@@ -628,6 +697,7 @@ impl OooCore {
         now: Cycle,
         mem: &mut dyn MemoryModel,
     ) {
+        self.scan_memo_valid = false;
         let removed = self.rob.len().saturating_sub(idx + 1);
         if removed > 0 {
             for e in self.rob.iter().skip(idx + 1) {
@@ -640,6 +710,16 @@ impl OooCore {
                 }
                 if e.is_store() {
                     self.stores_in_flight -= 1;
+                }
+                // Completion tickets of removed entries go stale in the heap
+                // (validated away on pop); the issue-candidate counts must be
+                // maintained eagerly.
+                match e.status {
+                    Status::Waiting => self.waiting_count -= 1,
+                    Status::Executing(t) if t == Cycle::NEVER && e.mem_retry => {
+                        self.retry_count -= 1
+                    }
+                    _ => {}
                 }
             }
             self.rob.truncate(idx + 1);
@@ -679,6 +759,15 @@ impl OooCore {
     /// instruction issued or any parked memory access re-polled the memory
     /// model (both make the cycle non-quiescent).
     fn issue_stage(&mut self, now: Cycle, mem: &mut dyn MemoryModel) -> bool {
+        // Issue candidates are the Waiting entries plus the parked memory
+        // retries; everything else in the ROB is just scanned past. The
+        // eagerly-maintained counts let the loop stop at the last candidate
+        // (and skip the stage entirely on a fully-stalled ROB).
+        let mut remaining = self.waiting_count + self.retry_count;
+        if remaining == 0 {
+            return false;
+        }
+        let head = self.head_seq();
         let mut issued = 0usize;
         let mut attempts = 0usize;
         let mut int_used = 0usize;
@@ -688,32 +777,60 @@ impl OooCore {
         // The instruction window: only the first `iq_entries` waiting entries
         // are candidates for issue.
         let mut window_seen = 0usize;
+        // Resume past the memoized fruitless-scan floor: the skipped prefix
+        // holds only un-issuable Waiting entries (counted into the window)
+        // and non-candidates, and a scan over them has no side effects at
+        // all, so skipping it is invisible. A parked retry must be re-polled
+        // every cycle, but a retry can only appear through an issue, which
+        // invalidates the memo — valid memo implies no retries.
+        let start_idx = if self.scan_memo_valid {
+            debug_assert_eq!(self.retry_count, 0);
+            debug_assert!(self.scan_floor_seq >= head);
+            window_seen = self.scan_floor_rank;
+            remaining -= self.scan_floor_rank;
+            if remaining == 0 {
+                return false;
+            }
+            (self.scan_floor_seq - head) as usize
+        } else {
+            0
+        };
+        // Where scanning ceased, for the memo: `(index, waiting entries
+        // strictly below it)`. `None` means the loop ran off the ROB tail.
+        let mut stop: Option<(usize, usize)> = None;
 
-        for idx in 0..self.rob.len() {
-            if issued >= self.pipeline.width {
+        for idx in start_idx..self.rob.len() {
+            if issued >= self.pipeline.width || remaining == 0 {
+                stop = Some((idx, window_seen));
                 break;
             }
             let status = self.rob[idx].status;
-            let class = self.rob[idx].inst.class();
+            // Finished entries are scanned straight past: they hold no
+            // candidate and, being done, cannot be a serialising barrier.
+            if matches!(status, Status::Done) {
+                continue;
+            }
 
-            // A serialising instruction blocks younger instructions from
-            // issuing until it has finished executing.
-            if self.rob[idx].inst.is_serialising() && !self.rob[idx].is_done() && idx > 0 {
-                // It may itself execute only at the head (handled below), and
-                // nothing younger may proceed.
-                if idx == 0 {
-                } else if !self.try_issue_at(idx, now, mem) {
-                    // fallthrough: still blocks younger entries
-                }
+            // An unfinished serialising instruction blocks younger
+            // instructions from issuing. It can itself execute only at the
+            // ROB head, where the Waiting branch below handles it like any
+            // other candidate; past the head it cannot issue at all
+            // (`try_issue_at` refuses before touching any state), so there
+            // is nothing to try here.
+            if idx > 0 && self.rob[idx].inst.is_serialising() {
+                stop = Some((idx, window_seen));
                 break;
             }
 
             if matches!(status, Status::Waiting) {
+                remaining -= 1;
                 window_seen += 1;
                 if window_seen > self.pipeline.iq_entries {
+                    stop = Some((idx, window_seen - 1));
                     break;
                 }
                 // Functional unit availability.
+                let class = self.rob[idx].inst.class();
                 let fu_ok = match class {
                     InstClass::IntAlu
                     | InstClass::Branch
@@ -734,6 +851,12 @@ impl OooCore {
                 }
                 if self.try_issue_at(idx, now, mem) {
                     issued += 1;
+                    self.waiting_count -= 1;
+                    if self.entry_is_parked(idx) {
+                        // The memory model parked the access for a later
+                        // retry: it left Waiting but remains a candidate.
+                        self.retry_count += 1;
+                    }
                     match class {
                         InstClass::FpAlu => fp_used += 1,
                         InstClass::MulDiv => muldiv_used += 1,
@@ -749,14 +872,40 @@ impl OooCore {
                 // non-speculative and must succeed). The poll reaches the
                 // memory model, so a cycle with a parked retry is never
                 // quiescent.
+                remaining -= 1;
                 attempts += 1;
                 if self.try_issue_at(idx, now, mem) {
                     issued += 1;
                     mem_ports_used += 1;
+                    if !self.entry_is_parked(idx) {
+                        // Completed (or forwarded): no longer a retry poll.
+                        self.retry_count -= 1;
+                    }
                 }
             }
         }
-        issued > 0 || attempts > 0
+        let active = issued > 0 || attempts > 0;
+        if active {
+            // Something issued or polled: candidate state changed, so any
+            // previous fruitless-scan memo is dead.
+            self.scan_memo_valid = false;
+        } else {
+            // Nothing happened and nothing was perturbed: remember the scan
+            // frontier so the next scan (absent commits, completions or
+            // squashes) resumes there.
+            let (stop_idx, stop_rank) = stop.unwrap_or((self.rob.len(), window_seen));
+            self.scan_memo_valid = true;
+            self.scan_floor_seq = head + stop_idx as u64;
+            self.scan_floor_rank = stop_rank;
+        }
+        active
+    }
+
+    /// Whether entry `idx` is parked waiting for a memory-model retry (it
+    /// "executes" at `Cycle::NEVER` until the retry succeeds).
+    fn entry_is_parked(&self, idx: usize) -> bool {
+        let e = &self.rob[idx];
+        e.mem_retry && matches!(e.status, Status::Executing(t) if t == Cycle::NEVER)
     }
 
     /// The value of source register `reg` as seen through its dispatch-time
@@ -853,7 +1002,10 @@ impl OooCore {
         }
         entry.result = result;
         entry.actual_next = actual_next;
-        entry.status = Status::Executing(now.saturating_add(latency));
+        let done_at = now.saturating_add(latency);
+        let seq = entry.seq;
+        entry.status = Status::Executing(done_at);
+        self.completion_q.push(done_at, seq);
     }
 
     fn issue_memory(
@@ -932,8 +1084,11 @@ impl OooCore {
                     addr_tainted_spectre: ts,
                     addr_tainted_future: tf,
                 };
-                entry.status = Status::Executing(now.saturating_add(1));
+                let done_at = now.saturating_add(1);
+                let seq = entry.seq;
+                entry.status = Status::Executing(done_at);
                 entry.actual_next = entry.pc + 1;
+                self.completion_q.push(done_at, seq);
                 mem.store_address_ready(&ctx);
                 true
             }
@@ -946,7 +1101,10 @@ impl OooCore {
                     entry.result = Some(value);
                     entry.forwarded = true;
                     entry.actual_next = entry.pc + 1;
-                    entry.status = Status::Executing(now.saturating_add(1));
+                    let done_at = now.saturating_add(1);
+                    let seq = entry.seq;
+                    entry.status = Status::Executing(done_at);
+                    self.completion_q.push(done_at, seq);
                     return true;
                 }
                 let ctx = MemAccessCtx {
@@ -973,7 +1131,10 @@ impl OooCore {
                         entry.result = Some(loaded);
                         entry.actual_next = entry.pc + 1;
                         entry.mem_retry = false;
-                        entry.status = Status::Executing(now.saturating_add(latency.max(1)));
+                        let done_at = now.saturating_add(latency.max(1));
+                        let seq = entry.seq;
+                        entry.status = Status::Executing(done_at);
+                        self.completion_q.push(done_at, seq);
                         // Atomics perform their read-modify-write functionally
                         // at execute time; they only run at the ROB head, so
                         // this is never speculative.
@@ -1232,6 +1393,7 @@ impl OooCore {
             }
             self.next_seq += 1;
             self.rob.push_back(entry);
+            self.waiting_count += 1;
             self.fetch_pc = predicted_next;
             active = true;
 

@@ -175,6 +175,24 @@ pub trait MemoryModel {
         true
     }
 
+    /// The earliest cycle at or after `now` at which the model has scheduled
+    /// work for `core` that per-cycle ticking would advance — queued
+    /// invalidations to drain, a deferred fill to apply. `Cycle::NEVER` when
+    /// nothing is pending. The event-driven system loop keeps a core awake
+    /// through the returned cycle (a sleeping core is woken for it), so a
+    /// model with timed background state must not report a later cycle than
+    /// its work really lands on. The default derives the answer from
+    /// [`is_idle`](Self::is_idle): pending work is serviced on the very next
+    /// tick, which matches every model whose `tick` drains its queues
+    /// immediately.
+    fn next_event(&self, core: usize, now: Cycle) -> Cycle {
+        if self.is_idle(core) {
+            Cycle::NEVER
+        } else {
+            now
+        }
+    }
+
     /// Statistics accumulated by the model.
     fn stats(&self) -> StatSet;
 }

@@ -36,6 +36,7 @@ pub mod fingerprint;
 pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod timeq;
 
 pub use addr::{LineAddr, PhysAddr, VirtAddr};
 pub use config::SystemConfig;

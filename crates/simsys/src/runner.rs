@@ -203,6 +203,10 @@ pub enum RunEvent {
         cell: Option<CellResult>,
         /// Emission time, epoch-anchored monotonic milliseconds.
         t_ms: Option<u64>,
+        /// Wall-clock milliseconds the simulation itself took (serialised
+        /// only when present, so logs without it keep their byte shape).
+        /// Feeds the per-shard latency percentiles on the watch dashboard.
+        sim_ms: Option<u64>,
     },
     /// The unit resolved without a simulation.
     Cached {
@@ -331,9 +335,13 @@ impl ToJson for RunEvent {
                 fingerprint,
                 cell,
                 t_ms,
+                sim_ms,
             } => {
                 let mut fields = unit_fields("completed", *shard, *kind, *index, *fingerprint);
                 fields.push(("cell", cell.as_ref().map_or(Json::Null, ToJson::to_json)));
+                if let Some(ms) = sim_ms {
+                    fields.push(("sim_ms", Json::UInt(*ms)));
+                }
                 stamp(&mut fields, t_ms);
                 Json::obj(fields)
             }
@@ -459,6 +467,7 @@ impl FromJson for RunEvent {
                 fingerprint,
                 cell,
                 t_ms,
+                sim_ms: json.get("sim_ms").and_then(Json::as_u64),
             }),
             "cached" => Ok(RunEvent::Cached {
                 shard,
@@ -798,18 +807,21 @@ pub fn execute_local(
     let sink = EventSink::new(sink);
 
     // The one gateway to raw simulation: consult the store, simulate on a
-    // miss, persist the result. Mirrors the pre-runner session exactly.
-    let run_or_load = |unit: &WorkUnit| -> (ExperimentResult, bool) {
+    // miss, persist the result. Mirrors the pre-runner session exactly. The
+    // third element is the simulation's wall time (`None` on a store hit).
+    let run_or_load = |unit: &WorkUnit| -> (ExperimentResult, bool, Option<u64>) {
         if let Some(s) = store {
             if let Some(hit) = s.get(unit.fingerprint) {
-                return (hit, true);
+                return (hit, true, None);
             }
         }
+        let started = Instant::now();
         let result = session::simulate(&unit.workload, unit.defense, &unit.config);
+        let sim_ms = started.elapsed().as_millis() as u64;
         if let Some(s) = store {
             let _ = s.put(unit.fingerprint, &result);
         }
-        (result, false)
+        (result, false, Some(sim_ms))
     };
 
     // Phase A: baselines. Results flow to phase B through a fingerprint map.
@@ -837,7 +849,7 @@ pub fn execute_local(
                 return (Arc::new(hit), false, event);
             }
         }
-        let (result, cached) = run_or_load(unit);
+        let (result, cached, sim_ms) = run_or_load(unit);
         let result = Arc::new(result);
         let event = if cached {
             RunEvent::Cached {
@@ -856,6 +868,7 @@ pub fn execute_local(
                 fingerprint: unit.fingerprint,
                 cell: None,
                 t_ms: stamp_now(),
+                sim_ms,
             }
         };
         sink.emit(&event);
@@ -875,17 +888,18 @@ pub fn execute_local(
     let cell_events = run_parallel(&plan.cells, threads, |unit| {
         let key = unit.baseline.expect("cell units always name a baseline");
         let (baseline, baseline_cached) = &baselines[&key];
-        let (cell, executed) = if unit.copies_baseline {
+        let (cell, executed, sim_ms) = if unit.copies_baseline {
             // An explicit Unprotected column *is* the baseline: derive it
             // rather than simulating the identical machine again, and
             // inherit the baseline's provenance.
             (
                 build_cell(unit, (**baseline).clone(), *baseline_cached, baseline),
                 false,
+                None,
             )
         } else {
-            let (result, cached) = run_or_load(unit);
-            (build_cell(unit, result, cached, baseline), !cached)
+            let (result, cached, sim_ms) = run_or_load(unit);
+            (build_cell(unit, result, cached, baseline), !cached, sim_ms)
         };
         let event = if executed {
             RunEvent::Completed {
@@ -895,6 +909,7 @@ pub fn execute_local(
                 fingerprint: unit.fingerprint,
                 cell: Some(cell),
                 t_ms: stamp_now(),
+                sim_ms,
             }
         } else {
             RunEvent::Cached {
@@ -1158,7 +1173,9 @@ impl ShardState<'_> {
                     });
                     let heartbeat =
                         LeaseHeartbeat::start(self.store, fingerprint, &self.owner, self.opts);
+                    let started = Instant::now();
                     let result = session::simulate(&unit.workload, unit.defense, &unit.config);
+                    let sim_ms = started.elapsed().as_millis() as u64;
                     self.store.put(fingerprint, &result)?;
                     // Stop the heartbeat *before* writing the done marker: a
                     // beat racing with mark_done could rename a live
@@ -1176,6 +1193,7 @@ impl ShardState<'_> {
                         fingerprint,
                         cell: None,
                         t_ms: stamp_now(),
+                        sim_ms: Some(sim_ms),
                     });
                     let result = Arc::new(result);
                     self.baselines
@@ -1271,7 +1289,9 @@ impl ShardState<'_> {
                     });
                     let heartbeat =
                         LeaseHeartbeat::start(self.store, unit.fingerprint, &self.owner, self.opts);
+                    let started = Instant::now();
                     let result = session::simulate(&unit.workload, unit.defense, &unit.config);
+                    let sim_ms = started.elapsed().as_millis() as u64;
                     self.store.put(unit.fingerprint, &result)?;
                     // Stop the heartbeat *before* writing the done marker (a
                     // racing beat could overwrite it with a live lease); the
@@ -1301,6 +1321,7 @@ impl ShardState<'_> {
                         fingerprint: unit.fingerprint,
                         cell,
                         t_ms: stamp_now(),
+                        sim_ms: Some(sim_ms),
                     });
                     return Ok(());
                 }
@@ -1511,6 +1532,7 @@ mod tests {
                 fingerprint: Fingerprint(1),
                 cell: Some(cell.clone()),
                 t_ms: Some(1_700_000_123_789),
+                sim_ms: Some(840),
             },
             RunEvent::Completed {
                 shard: 0,
@@ -1519,6 +1541,7 @@ mod tests {
                 fingerprint: Fingerprint(2),
                 cell: None,
                 t_ms: None,
+                sim_ms: None,
             },
             RunEvent::Cached {
                 shard: 1,
@@ -1647,6 +1670,7 @@ mod tests {
                 fingerprint,
                 cell,
                 t_ms,
+                ..
             } = event
             {
                 cached_shadow.push(RunEvent::Cached {

@@ -490,10 +490,22 @@ impl Default for ExperimentSession {
 /// normalised times or memoization declare a grid on [`ExperimentSession`]
 /// instead.
 pub fn simulate(workload: &Workload, kind: DefenseKind, config: &SystemConfig) -> ExperimentResult {
+    let started = std::time::Instant::now();
     let memory_model = kind.build(config);
     let mut system = System::new(config, memory_model);
     system.load_workload(&workload.thread_programs, workload.shared_memory);
     let report = system.run(workload.cycle_budget);
+    // Per-unit simulation latency, visible in `--metrics` snapshots and any
+    // registry dump; keyed by defense so sweeps show which columns dominate.
+    obs::global().observe(
+        "sim.unit_ms",
+        &[("defense", kind.label())],
+        started.elapsed().as_millis() as u64,
+    );
+    // Timing-loop traffic: per-core pipeline ticks the run performed
+    // (the naive loop ticks every running core every cycle). `perf` reads
+    // the delta to derive sim-cycles-per-event.
+    obs::global().inc("sim.events", &[], system.events_processed());
     ExperimentResult {
         workload: workload.name.clone(),
         defense: kind.label().to_string(),

@@ -85,10 +85,25 @@ pub struct System {
     /// Reusable per-tick buffer for core events — the hot loop never
     /// allocates for event delivery.
     event_scratch: Vec<CoreEvent>,
-    /// Whether [`run`](Self::run) may fast-forward over idle stretches.
-    /// Defaults to on unless `MUONTRAP_NAIVE_LOOP` is set; either way the
-    /// simulated behaviour is bit-identical (see `tests/hotpath_golden.rs`).
+    /// Whether [`run`](Self::run) may drive the event queue instead of
+    /// ticking every core every cycle. Defaults to on unless
+    /// `MUONTRAP_NAIVE_LOOP` is set; either way the simulated behaviour is
+    /// bit-identical (see `tests/hotpath_golden.rs`).
     fast_forward: bool,
+    /// Per-core event queue entry: the next cycle each core must be ticked.
+    /// A quiescent core sleeps until its earliest completion ticket (or a
+    /// scheduler event); an active core is due every cycle.
+    core_wake: Vec<Cycle>,
+    /// Per-core statistics watermark: cycles `[0, accounted_until)` have been
+    /// counted in the core's `stats.cycles`, either by a real tick or by a
+    /// lazy [`OooCore::skip_idle_cycles`] credit at the next tick (or at a
+    /// preemption or the end of the run). Keeping the credit lazy means a
+    /// sleeping core costs nothing per skipped cycle.
+    accounted_until: Vec<u64>,
+    /// Number of `(core, cycle)` ticks actually performed — the event count
+    /// of the event-driven loop. The naive loop performs
+    /// `cycles × running cores` of them; the ratio is the speedup lever.
+    events_processed: u64,
 }
 
 impl System {
@@ -109,6 +124,9 @@ impl System {
             flush_btb_on_switch: true,
             event_scratch: Vec::new(),
             fast_forward: !ooo_core::core::naive_loop_requested(),
+            core_wake: vec![Cycle::ZERO; config.cores],
+            accounted_until: vec![0; config.cores],
+            events_processed: 0,
         }
     }
 
@@ -222,17 +240,26 @@ impl System {
 
     /// Runs the machine until every thread halts or `max_cycles` elapse.
     ///
-    /// When every ticked core reports itself quiescent (no pipeline work at
-    /// all this cycle) and every memory model is idle, the loop jumps
-    /// straight to the earliest cycle anything can happen again — an
-    /// in-flight completion, a stall expiry, or the scheduler quantum — and
-    /// credits the skipped cycles to each running core. The resulting report
-    /// is bit-identical to ticking every cycle (`tests/hotpath_golden.rs`
-    /// proves it against pre-optimization recordings); only the wall clock
-    /// shrinks.
+    /// The loop is event-driven per core: a core that reports itself
+    /// quiescent (no pipeline work at all this cycle) with an idle memory
+    /// model sleeps until its earliest completion ticket — while the other
+    /// cores keep running — and the global clock jumps straight to the
+    /// earliest wake among the cores and the scheduler's own events
+    /// (quantum expiries, pending dispatches). Skipped cycles are credited
+    /// lazily at each core's next tick. The resulting report is
+    /// bit-identical to ticking every core every cycle
+    /// (`tests/hotpath_golden.rs` proves it against pre-optimization
+    /// recordings); only the wall clock shrinks.
     pub fn run(&mut self, max_cycles: u64) -> SystemReport {
         while !self.all_finished() && self.now.raw() < max_cycles {
             self.step(max_cycles);
+        }
+        // Catch up the stats of cores that were asleep when the run ended:
+        // the naive loop would have kept ticking them (idly) to the end.
+        for core_idx in 0..self.cores.len() {
+            if self.running[core_idx].is_some() {
+                self.credit_skipped(core_idx);
+            }
         }
         let committed = self.cores.iter().map(|c| c.stats().committed).sum();
         let mut stats = StatSet::new();
@@ -250,71 +277,138 @@ impl System {
         }
     }
 
-    /// Advances the machine by exactly one cycle (no fast-forward). External
-    /// single-steppers get naive-loop semantics; [`run`](Self::run) uses the
-    /// event-skipping `step` internally.
+    /// Advances the machine by exactly one cycle, ticking every running core
+    /// (no event skipping). External single-steppers get naive-loop
+    /// semantics; [`run`](Self::run) uses the event-driven `step` internally.
     pub fn tick(&mut self) {
-        self.tick_cores();
+        self.process_cycle(true);
         self.now += 1;
     }
 
-    /// One scheduling decision plus one tick of every running core. Returns
-    /// whether *any* core did pipeline work (commit/complete/issue/fetch/
-    /// retry-poll) and the earliest wake cycle the quiescent cores report.
-    fn tick_cores(&mut self) -> (bool, Cycle) {
+    /// Number of `(core, cycle)` pipeline ticks performed so far. The naive
+    /// loop performs one per running core per cycle; the event-driven loop
+    /// skips the quiescent ones, so `cycles × cores / events` measures how
+    /// much of the grid the event queue jumped over.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Credits the cycles a sleeping core skipped since its last tick, so
+    /// its cycle counter reads as if the naive loop had kept (idly) ticking
+    /// it through `self.now` (exclusive).
+    fn credit_skipped(&mut self, core_idx: usize) {
+        let behind = self
+            .now
+            .raw()
+            .saturating_sub(self.accounted_until[core_idx]);
+        if behind > 0 {
+            self.cores[core_idx].skip_idle_cycles(behind);
+        }
+        self.accounted_until[core_idx] = self.now.raw();
+    }
+
+    /// One scheduling decision plus one tick of every *due* running core —
+    /// every running core when `force_all` is set (the naive loop), else
+    /// only the cores whose wake cycle has arrived or whose memory model
+    /// has queued background work.
+    ///
+    /// Cores are visited in index order, exactly as the naive loop visits
+    /// them, so cross-core interactions through the shared memory model
+    /// (invalidation queues) happen on identical cycles: a sleeping core's
+    /// due-check consults `MemoryModel::next_event` *at its slot in the
+    /// order*, which observes whatever earlier-indexed cores queued this
+    /// cycle; work queued by later-indexed cores is caught by the post-pass
+    /// in [`step`](Self::step) and ticks the core next cycle — just as the
+    /// naive loop would.
+    fn process_cycle(&mut self, force_all: bool) {
         self.schedule();
-        let mut any_active = false;
-        let mut wake = Cycle::NEVER;
+        let now = self.now;
         let mut events = std::mem::take(&mut self.event_scratch);
         for core_idx in 0..self.cores.len() {
             if self.running[core_idx].is_none() {
                 continue;
             }
+            let due = force_all
+                || self.core_wake[core_idx] <= now
+                || self.memory_model.next_event(core_idx, now) <= now;
+            if !due {
+                continue;
+            }
+            self.credit_skipped(core_idx);
             events.clear();
-            self.cores[core_idx].tick(self.now, self.memory_model.as_mut(), &mut events);
+            self.cores[core_idx].tick(now, self.memory_model.as_mut(), &mut events);
+            self.accounted_until[core_idx] = now.raw() + 1;
+            self.events_processed += 1;
             for event in events.drain(..) {
                 self.handle_event(core_idx, event);
             }
-            if self.cores[core_idx].quiescent() && self.memory_model.is_idle(core_idx) {
-                // `next_wake` takes the cycle of the *next* tick.
-                wake = wake.min(self.cores[core_idx].next_wake(self.now + 1));
-            } else {
-                any_active = true;
+            if self.running[core_idx].is_none() {
+                continue; // halted on this tick
             }
+            self.core_wake[core_idx] =
+                if self.cores[core_idx].quiescent() && self.memory_model.is_idle(core_idx) {
+                    // `next_wake` takes the cycle of the *next* tick.
+                    self.cores[core_idx].next_wake(now + 1)
+                } else {
+                    now + 1
+                };
         }
         self.event_scratch = events;
-        (any_active, wake)
     }
 
-    /// Advances the machine by one cycle, then fast-forwards over the idle
-    /// stretch if this cycle was globally quiescent. `limit` caps the jump
-    /// (the cycle budget of [`run`](Self::run)); the scheduler quantum caps
-    /// it too whenever a ready thread is waiting for a core, so preemptions
-    /// happen on exactly the cycle the naive loop performs them.
+    /// Processes the current cycle, then advances the clock to the next
+    /// event: the earliest core wake, a memory-model event for a sleeping
+    /// core, a scheduler-quantum expiry (whenever a ready thread is waiting,
+    /// so preemptions happen on exactly the cycle the naive loop performs
+    /// them), or a pending dispatch onto a freed core. `limit` caps the jump
+    /// (the cycle budget of [`run`](Self::run)). Skipped cycles are credited
+    /// to each sleeping core lazily, at its next tick.
     fn step(&mut self, limit: u64) {
-        let (any_active, mut wake) = self.tick_cores();
+        let force_all = !self.fast_forward;
+        self.process_cycle(force_all);
         self.now += 1;
-        if !self.fast_forward || any_active {
+        if force_all {
             return;
         }
-        if !self.ready.is_empty() {
-            for core_idx in 0..self.cores.len() {
-                if self.running[core_idx].is_some() {
-                    let expiry =
-                        self.scheduled_at[core_idx].saturating_add(self.config.scheduler_quantum);
-                    wake = wake.min(expiry);
-                }
+        let mut target = Cycle::new(limit);
+        let ready_waiting = !self.ready.is_empty();
+        let mut free_core = false;
+        let mut any_running = false;
+        for core_idx in 0..self.cores.len() {
+            if self.running[core_idx].is_none() {
+                free_core = true;
+                continue;
             }
+            any_running = true;
+            // Post-pass for cross-core side effects: a core (sleeping or
+            // not) whose memory model picked up queued work this cycle —
+            // an invalidation from a later-indexed core — must tick next
+            // cycle to drain it on schedule.
+            let mut wake = self.core_wake[core_idx];
+            if wake > self.now && self.memory_model.next_event(core_idx, self.now) <= self.now {
+                wake = self.now;
+                self.core_wake[core_idx] = wake;
+            }
+            if ready_waiting {
+                let expiry =
+                    self.scheduled_at[core_idx].saturating_add(self.config.scheduler_quantum);
+                wake = wake.min(expiry);
+            }
+            target = target.min(wake);
         }
-        let target = wake.raw().min(limit);
-        if target > self.now.raw() {
-            let skipped = target - self.now.raw();
-            for core_idx in 0..self.cores.len() {
-                if self.running[core_idx].is_some() {
-                    self.cores[core_idx].skip_idle_cycles(skipped);
-                }
-            }
-            self.now = Cycle::new(target);
+        if ready_waiting && free_core {
+            // A freed core with threads waiting: the next schedule() call
+            // dispatches, so the next cycle must be processed.
+            target = target.min(self.now);
+        }
+        if !any_running {
+            // Nothing on any core: either every thread just finished (the
+            // caller's loop exits without the clock overshooting the halt
+            // cycle) or a dispatch is due next cycle — no jump either way.
+            return;
+        }
+        if target > self.now {
+            self.now = target;
         }
     }
 
@@ -363,11 +457,19 @@ impl System {
         debug_assert!(previous.is_none(), "dispatch onto a busy core");
         self.running[core_idx] = Some(tid);
         self.scheduled_at[core_idx] = self.now;
+        // The incoming thread is due immediately; cycles before now belong
+        // to the previous occupant (already accounted) or to an empty core
+        // (never accounted, as in the naive loop).
+        self.core_wake[core_idx] = self.now;
+        self.accounted_until[core_idx] = self.now.raw();
         self.context_switches += 1;
     }
 
     fn preempt(&mut self, core_idx: usize) {
         if let Some(tid) = self.running[core_idx].take() {
+            // Settle the outgoing thread's idle-cycle credit before the swap
+            // discards the core state it would be charged against.
+            self.credit_skipped(core_idx);
             let context = self.cores[core_idx].swap_thread(None);
             self.threads[tid].context = context;
             if self.threads[tid].finished {

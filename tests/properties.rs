@@ -15,6 +15,7 @@ use simkit::config::CacheConfig;
 use simkit::cycles::Cycle;
 use simkit::rng::SimRng;
 use simkit::stats::{geometric_mean, Histogram, StatSet};
+use simkit::timeq::{EventQueue, ServiceLaw, TimedServer};
 use uarch_isa::inst::{eval_alu, AluOp, MemWidth};
 use uarch_isa::mem::SparseMemory;
 use uarch_isa::Interpreter;
@@ -214,6 +215,110 @@ fn filter_cache_flush_is_total_and_committed_bit_is_monotonic() {
 }
 
 // ---------------------------------------------------------------------------
+// Time-queue properties: the event-driven core's scheduling primitives
+// ---------------------------------------------------------------------------
+
+#[test]
+fn event_queue_drains_in_timestamp_then_payload_order() {
+    for_each_case(64, |rng| {
+        let len = rng.in_range(1, 400) as usize;
+        let pushed: Vec<(Cycle, u64)> = (0..len)
+            .map(|_| (Cycle::new(rng.below(10_000)), rng.next_u64()))
+            .collect();
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for (at, payload) in &pushed {
+            q.push(*at, *payload);
+        }
+        assert_eq!(q.len(), len);
+        let mut popped = Vec::new();
+        while let Some(entry) = q.pop_due(Cycle::NEVER) {
+            popped.push(entry);
+        }
+        assert!(q.is_empty());
+        // Earliest-first, payload breaking ties — and nothing lost or invented.
+        for pair in popped.windows(2) {
+            assert!(pair[0] <= pair[1], "heap order violated: {pair:?}");
+        }
+        let mut expected = pushed.clone();
+        expected.sort_unstable();
+        assert_eq!(popped, expected);
+    });
+}
+
+#[test]
+fn event_queue_never_releases_a_future_event() {
+    for_each_case(64, |rng| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut now = Cycle::ZERO;
+        let mut last_popped = Cycle::ZERO;
+        let mut seq = 0u64;
+        for _ in 0..300 {
+            match rng.below(3) {
+                // Schedule work at or after the current time.
+                0 => {
+                    q.push(now.saturating_add(rng.below(100)), seq);
+                    seq += 1;
+                }
+                // Let time pass.
+                1 => now = now.saturating_add(rng.below(50)),
+                // Drain whatever is due.
+                _ => {
+                    while let Some((at, _)) = q.pop_due(now) {
+                        assert!(at <= now, "popped an event from the future");
+                        // All pushes were at-or-after their push-time `now`
+                        // and `now` is monotone, so due events drain in order.
+                        assert!(at >= last_popped, "completion order went backwards");
+                        last_popped = at;
+                    }
+                    // After draining, nothing due remains (an empty queue
+                    // reports `Cycle::NEVER`).
+                    assert!(q.peek() > now);
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn backpressured_requests_never_complete_ahead_of_accepted_ones() {
+    for_each_case(64, |rng| {
+        let latency = rng.in_range(1, 50);
+        let capacity = rng.in_range(1, 8) as usize;
+        let mut server =
+            TimedServer::serialized(ServiceLaw::fixed(latency)).with_queue_capacity(capacity);
+        let mut now = Cycle::ZERO;
+        let mut last_ready = Cycle::ZERO;
+        for _ in 0..100 {
+            now = now.saturating_add(rng.below(latency * 2));
+            match server.request(now, 0) {
+                Ok(ticket) => {
+                    assert!(
+                        ticket.ready_at >= last_ready,
+                        "serialized completions must be FIFO"
+                    );
+                    assert!(ticket.latency(now) >= latency, "service law undercut");
+                    last_ready = ticket.ready_at;
+                }
+                Err(refused) => {
+                    // A full queue refuses outright: nothing was enqueued, so
+                    // the retry cannot jump ahead of already-accepted work.
+                    assert!(refused.retry_at > now, "retry hint must be in the future");
+                    now = refused.retry_at;
+                    let ticket = server
+                        .request(now, 0)
+                        .expect("the oldest slot frees exactly at retry_at");
+                    assert!(
+                        ticket.ready_at >= last_ready,
+                        "backpressured request reordered ahead of accepted ones"
+                    );
+                    last_ready = ticket.ready_at;
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Random programs: out-of-order core vs functional interpreter
 // ---------------------------------------------------------------------------
 
@@ -292,6 +397,46 @@ fn out_of_order_core_matches_interpreter_on_random_programs() {
         let finished = core.swap_thread(None).expect("context");
 
         assert_eq!(finished.regs.snapshot(), golden.regs.snapshot());
+    });
+}
+
+#[test]
+fn event_driven_and_naive_loops_report_identical_timing() {
+    // The event queue is a pure wall-clock optimisation: skipping idle cycles
+    // and crediting them lazily must not change a single reported number.
+    for_each_case(8, |rng| {
+        let len = rng.in_range(1, 40) as usize;
+        let ops: Vec<(u8, u8, u8, u8, i64)> = (0..len)
+            .map(|_| {
+                (
+                    rng.below(256) as u8,
+                    rng.below(256) as u8,
+                    rng.below(256) as u8,
+                    rng.below(256) as u8,
+                    rng.next_u64() as i64,
+                )
+            })
+            .collect();
+        let program = random_program(&ops);
+        let kind = if rng.below(2) == 0 {
+            DefenseKind::Unprotected
+        } else {
+            DefenseKind::MuonTrap
+        };
+        let cfg = SystemConfig::small_test();
+        let run = |fast_forward: bool| {
+            let mut sys = System::new(&cfg, build_defense(kind, &cfg));
+            sys.set_fast_forward(fast_forward);
+            let process = sys.add_process();
+            sys.add_thread(process, program.clone());
+            sys.run(10_000_000)
+        };
+        let event_driven = run(true);
+        let naive = run(false);
+        assert_eq!(event_driven.cycles, naive.cycles, "cycle counts diverged");
+        assert_eq!(event_driven.committed, naive.committed);
+        assert_eq!(event_driven.completed, naive.completed);
+        assert_eq!(event_driven.context_switches, naive.context_switches);
     });
 }
 
