@@ -23,8 +23,44 @@
 //! re-running it (same `--run-id`) steals the expired leases, serves the
 //! already-stored results as cache hits, and completes the grid with no
 //! simulation repeated.
+//!
+//! Setting `MUONTRAP_SHARD_EXIT_AFTER_EVENTS=<k>` makes the shard abort the
+//! whole process (exit code 17) right after flushing its *k*-th event line —
+//! the deterministic "kill one mid-run" hook behind the `fleet` supervisor's
+//! crash-recovery smoke test.
+
+use std::io::Write;
 
 use simkit::json::ToJson;
+
+/// Exit code of the injected crash — distinct from real failures (1) and
+/// usage errors (2) so the supervisor smoke test can tell them apart.
+const INJECTED_CRASH_EXIT: i32 = 17;
+
+/// An event sink that aborts the process once a quota of JSONL lines has
+/// been flushed to the wrapped log (the partial log stays merge-readable).
+struct ExitAfterEvents {
+    inner: std::fs::File,
+    remaining: u64,
+}
+
+impl Write for ExitAfterEvents {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let written = self.inner.write(buf)?;
+        let lines = buf[..written].iter().filter(|&&b| b == b'\n').count() as u64;
+        if lines >= self.remaining {
+            let _ = self.inner.flush();
+            eprintln!("shard: injected crash (MUONTRAP_SHARD_EXIT_AFTER_EVENTS reached)");
+            std::process::exit(INJECTED_CRASH_EXIT);
+        }
+        self.remaining -= lines;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
 
 fn main() {
     let mut figure: Option<String> = None;
@@ -72,11 +108,21 @@ fn main() {
             bench::FIGURE_NAMES.join(", ")
         ));
     };
-    let mut events = std::fs::File::create(events_path).unwrap_or_else(|e| {
+    let events = std::fs::File::create(events_path).unwrap_or_else(|e| {
         eprintln!("cannot create event log {}: {e}", events_path.display());
         std::process::exit(2);
     });
-    match session.run_sharded(&shard, &mut events) {
+    let mut sink: Box<dyn Write + Send> = match std::env::var("MUONTRAP_SHARD_EXIT_AFTER_EVENTS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(quota) => Box::new(ExitAfterEvents {
+            inner: events,
+            remaining: quota,
+        }),
+        None => Box::new(events),
+    };
+    match session.run_sharded(&shard, &mut *sink) {
         Ok(summary) => {
             bench::cli::write_metrics(&options);
             println!("{}", summary.to_json().to_string_pretty());

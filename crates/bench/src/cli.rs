@@ -22,6 +22,10 @@
 //! * `--run-id <id>` — the identifier shared by every shard of one logical
 //!   run (and reused when resuming it). Required with `--shard-id`, and must
 //!   be unique per logical run,
+//! * `--lease-ttl-ms <ms>` — override the shard lease TTL (default 30000).
+//!   The heartbeat interval is clamped to a third of it, so short TTLs (used
+//!   by the `fleet` supervisor to reclaim killed shards quickly) keep live
+//!   shards beating well inside their leases,
 //! * `--html <file>` — additionally render the report as a self-contained
 //!   HTML page (inline SVG chart, inline CSS, no external assets) via
 //!   [`crate::render`]. On `report`, the page covers every figure plus the
@@ -47,7 +51,7 @@ use workloads::Scale;
 /// name their own (see [`CliOptions::parse`]): freshness provenance is
 /// keyed on it, so silently sharing a default across distinct runs would
 /// corrupt the cached/fresh accounting of every later run on the store.
-const DEFAULT_RUN_ID: &str = "adhoc";
+pub const DEFAULT_RUN_ID: &str = "adhoc";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +75,8 @@ pub struct CliOptions {
     pub shard_count: usize,
     /// Identifier shared by all shards of one logical run (`--run-id`).
     pub run_id: String,
+    /// Shard lease TTL override in milliseconds (`--lease-ttl-ms`).
+    pub lease_ttl_ms: Option<u64>,
     /// Write a self-contained HTML rendering to this file (`--html`).
     pub html: Option<PathBuf>,
     /// Suppress the stdout report, keeping only the HTML artefact
@@ -93,6 +99,7 @@ impl Default for CliOptions {
             shard_id: None,
             shard_count: 1,
             run_id: DEFAULT_RUN_ID.to_string(),
+            lease_ttl_ms: None,
             html: None,
             html_only: false,
             metrics: None,
@@ -166,6 +173,17 @@ impl CliOptions {
                 "--run-id" => {
                     let value = args.next().ok_or("--run-id needs a value")?;
                     options.run_id = value.as_ref().to_string();
+                }
+                "--lease-ttl-ms" => {
+                    let value = args.next().ok_or("--lease-ttl-ms needs a value")?;
+                    let parsed: u64 = value
+                        .as_ref()
+                        .parse()
+                        .map_err(|_| format!("invalid lease TTL `{}`", value.as_ref()))?;
+                    if parsed == 0 {
+                        return Err("--lease-ttl-ms must be at least 1".to_string());
+                    }
+                    options.lease_ttl_ms = Some(parsed);
                 }
                 "--html" => {
                     let value = args.next().ok_or("--html needs a file")?;
@@ -244,9 +262,17 @@ impl CliOptions {
     }
 
     /// The [`ShardOptions`] for this invocation, when `--shard-id` was given.
+    /// `--lease-ttl-ms` overrides the TTL, clamping the heartbeat interval
+    /// to a third of it so the shard always beats well inside its lease.
     pub fn shard_options(&self) -> Option<ShardOptions> {
-        self.shard_id
-            .map(|id| ShardOptions::new(id, self.shard_count, self.run_id.clone()))
+        self.shard_id.map(|id| {
+            let mut opts = ShardOptions::new(id, self.shard_count, self.run_id.clone());
+            if let Some(ttl) = self.lease_ttl_ms {
+                opts.lease_ttl_ms = ttl;
+                opts.heartbeat_ms = opts.heartbeat_ms.min((ttl / 3).max(1));
+            }
+            opts
+        })
     }
 }
 
@@ -254,7 +280,7 @@ impl CliOptions {
 pub fn usage() -> String {
     "usage: <binary> [--json] [--scale tiny|small|large] [--threads N] \
      [--store DIR] [--no-store] [--store-readonly] [--events FILE] \
-     [--shard-id I --shard-count N] [--run-id ID] \
+     [--shard-id I --shard-count N] [--run-id ID] [--lease-ttl-ms MS] \
      [--html FILE [--html-only]] [--metrics FILE] [--tiny]"
         .to_string()
 }
@@ -495,6 +521,44 @@ mod tests {
             CliOptions::parse(["--shard-id", "2", "--shard-count", "2"]).is_err(),
             "shard id out of range"
         );
+    }
+
+    #[test]
+    fn lease_ttl_overrides_shard_options_and_clamps_the_heartbeat() {
+        let shard = |extra: &[&str]| {
+            let mut args = vec![
+                "--shard-id",
+                "0",
+                "--shard-count",
+                "2",
+                "--store",
+                "/tmp/s",
+                "--events",
+                "/tmp/e",
+                "--run-id",
+                "r1",
+            ];
+            args.extend_from_slice(extra);
+            CliOptions::parse(args).unwrap().shard_options().unwrap()
+        };
+        let default = shard(&[]);
+        assert_eq!(default.lease_ttl_ms, 30_000);
+        assert_eq!(default.heartbeat_ms, 5_000);
+        let long = shard(&["--lease-ttl-ms", "60000"]);
+        assert_eq!(long.lease_ttl_ms, 60_000);
+        assert_eq!(
+            long.heartbeat_ms, 5_000,
+            "a longer TTL keeps the default beat"
+        );
+        let short = shard(&["--lease-ttl-ms", "300"]);
+        assert_eq!(short.lease_ttl_ms, 300);
+        assert_eq!(
+            short.heartbeat_ms, 100,
+            "the beat is clamped to a third of the TTL"
+        );
+        assert!(CliOptions::parse(["--lease-ttl-ms", "0"]).is_err());
+        assert!(CliOptions::parse(["--lease-ttl-ms"]).is_err());
+        assert!(usage().contains("--lease-ttl-ms"));
     }
 
     #[test]

@@ -1,0 +1,597 @@
+//! The `fleet` supervisor: N local shard processes, one grid, one merge.
+//!
+//! [`supervise`] spawns `--shards` copies of the `shard` binary against one
+//! shared store, each claiming work units through the store's expiring
+//! leases (see [`simsys::store`]), and babysits them to completion:
+//!
+//! * each shard streams its JSONL event log under the fleet's log
+//!   directory (`shard<i>-a<attempt>.jsonl`, one file per attempt);
+//! * the supervisor tails every log with the [`crate::watch`] machinery and
+//!   prints a live one-line status (resolved units, executed vs cached,
+//!   lease steals, live shards) to stderr;
+//! * a shard that exits nonzero is restarted — up to `--max-restarts`
+//!   times — with a fresh attempt log; its expired leases are stolen by the
+//!   replacement (or by its peers), so no unit is lost and none re-runs;
+//! * when the last child exits, all attempt logs (including the partial
+//!   logs of crashed attempts) are folded with
+//!   [`runner::merge_events`] into the
+//!   figure's merged [`RunReport`]. An incomplete merge — any grid cell no
+//!   attempt resolved — is reported as such, and the `fleet` binary exits
+//!   nonzero.
+//!
+//! The supervisor itself holds no locks and owns no protocol state: every
+//! crash-recovery guarantee comes from the store's lease protocol, which is
+//! exactly what the chaos and property suites pin down. Killing the
+//! supervisor mid-run loses nothing either — re-running it with the same
+//! `--run-id` resumes from the store.
+//!
+//! Progress counters land in the process-global [`obs::metrics`] registry
+//! under `fleet.shards_spawned`, `fleet.restarts` and `fleet.shards_failed`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use simkit::config::SystemConfig;
+use simsys::runner::{self, RunEvent};
+use simsys::session::RunReport;
+use workloads::Scale;
+
+use crate::cli;
+use crate::watch::{FleetView, LogTail, WatchOptions};
+
+/// Parsed `fleet` command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetOptions {
+    /// Figure whose grid the fleet chews through (`--figure`).
+    pub figure: String,
+    /// Shared store directory the shards coordinate through (`--store`).
+    pub store: PathBuf,
+    /// Run identifier shared by every shard (`--run-id`).
+    pub run_id: String,
+    /// Number of shard processes (`--shards`, default 2).
+    pub shards: usize,
+    /// Workload scale (`--scale`, default small).
+    pub scale: Scale,
+    /// Worker threads per shard (`--threads`; default: cores / shards).
+    pub threads: Option<usize>,
+    /// Shard lease TTL override (`--lease-ttl-ms`); short TTLs make killed
+    /// shards' units reclaimable quickly.
+    pub lease_ttl_ms: Option<u64>,
+    /// Restarts allowed per shard before it is declared failed
+    /// (`--max-restarts`, default 2).
+    pub max_restarts: usize,
+    /// Child-reaping poll interval (`--poll-ms`, default 200).
+    pub poll_ms: u64,
+    /// Cadence of the stderr status line (`--status-interval-ms`,
+    /// default 1000).
+    pub status_interval_ms: u64,
+    /// Explicit path to the `shard` binary (`--shard-bin`; default: the
+    /// `shard` beside the running `fleet` executable).
+    pub shard_bin: Option<PathBuf>,
+    /// Directory for the shard event logs (`--log-dir`; default
+    /// `<store>/.fleet/<run-id>`, deep enough that the store's own
+    /// two-level object listing never sees it).
+    pub log_dir: Option<PathBuf>,
+    /// Crash-injection hook (`--kill-shard ID:EVENTS`): shard ID's *first*
+    /// attempt aborts after flushing EVENTS event lines (the smoke test for
+    /// restart + lease-steal recovery). Restarted attempts run normally.
+    pub kill_shard: Option<(usize, u64)>,
+    /// Append an [`obs::metrics`] snapshot here on exit (`--metrics`).
+    pub metrics: Option<PathBuf>,
+}
+
+impl FleetOptions {
+    /// Parses an argument list (excluding the program name).
+    ///
+    /// # Errors
+    /// Returns a usage message when a flag is unknown, a value is missing
+    /// or malformed, or a required flag is absent.
+    pub fn parse<I, S>(args: I) -> Result<FleetOptions, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut figure: Option<String> = None;
+        let mut store: Option<PathBuf> = None;
+        let mut run_id: Option<String> = None;
+        let mut options = FleetOptions {
+            figure: String::new(),
+            store: PathBuf::new(),
+            run_id: String::new(),
+            shards: 2,
+            scale: Scale::Small,
+            threads: None,
+            lease_ttl_ms: None,
+            max_restarts: 2,
+            poll_ms: 200,
+            status_interval_ms: 1_000,
+            shard_bin: None,
+            log_dir: None,
+            kill_shard: None,
+            metrics: None,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| -> Result<String, String> {
+                args.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_ref() {
+                "--figure" => figure = Some(value("--figure")?),
+                "--store" => store = Some(PathBuf::from(value("--store")?)),
+                "--run-id" => run_id = Some(value("--run-id")?),
+                "--shards" => {
+                    options.shards = parse_positive(&value("--shards")?, "--shards")? as usize;
+                }
+                "--scale" => {
+                    options.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--threads" => {
+                    options.threads =
+                        Some(parse_positive(&value("--threads")?, "--threads")? as usize);
+                }
+                "--lease-ttl-ms" => {
+                    options.lease_ttl_ms =
+                        Some(parse_positive(&value("--lease-ttl-ms")?, "--lease-ttl-ms")?);
+                }
+                "--max-restarts" => {
+                    let raw = value("--max-restarts")?;
+                    options.max_restarts = raw
+                        .parse()
+                        .map_err(|_| format!("invalid restart count `{raw}`"))?;
+                }
+                "--poll-ms" => {
+                    options.poll_ms = parse_positive(&value("--poll-ms")?, "--poll-ms")?;
+                }
+                "--status-interval-ms" => {
+                    options.status_interval_ms =
+                        parse_positive(&value("--status-interval-ms")?, "--status-interval-ms")?;
+                }
+                "--shard-bin" => options.shard_bin = Some(PathBuf::from(value("--shard-bin")?)),
+                "--log-dir" => options.log_dir = Some(PathBuf::from(value("--log-dir")?)),
+                "--kill-shard" => {
+                    let raw = value("--kill-shard")?;
+                    let (id, quota) = raw
+                        .split_once(':')
+                        .ok_or_else(|| format!("--kill-shard wants ID:EVENTS, got `{raw}`"))?;
+                    options.kill_shard = Some((
+                        id.parse().map_err(|_| format!("invalid shard id `{id}`"))?,
+                        quota
+                            .parse()
+                            .map_err(|_| format!("invalid event count `{quota}`"))?,
+                    ));
+                }
+                "--metrics" => options.metrics = Some(PathBuf::from(value("--metrics")?)),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        options.figure = figure.ok_or("--figure NAME is required")?;
+        options.store = store.ok_or("--store DIR is required (shards coordinate through it)")?;
+        options.run_id = run_id.ok_or("--run-id ID is required, unique per logical run")?;
+        if options.run_id == cli::DEFAULT_RUN_ID {
+            return Err(format!(
+                "--run-id must not be the placeholder `{}`",
+                cli::DEFAULT_RUN_ID
+            ));
+        }
+        if let Some((victim, _)) = options.kill_shard {
+            if victim >= options.shards {
+                return Err(format!(
+                    "--kill-shard {victim} out of range for --shards {}",
+                    options.shards
+                ));
+            }
+        }
+        Ok(options)
+    }
+
+    /// The effective event-log directory (see [`FleetOptions::log_dir`]).
+    pub fn resolved_log_dir(&self) -> PathBuf {
+        self.log_dir
+            .clone()
+            .unwrap_or_else(|| self.store.join(".fleet").join(&self.run_id))
+    }
+}
+
+fn parse_positive(raw: &str, flag: &str) -> Result<u64, String> {
+    let parsed: u64 = raw
+        .parse()
+        .map_err(|_| format!("invalid value `{raw}` for {flag}"))?;
+    if parsed == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(parsed)
+}
+
+/// What a supervised run left behind.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The strict merged report — `Some` exactly when every grid cell
+    /// resolved.
+    pub report: Option<RunReport>,
+    /// Why the merge was incomplete, when it was.
+    pub merge_error: Option<String>,
+    /// Total child processes spawned, restarts included.
+    pub spawned: usize,
+    /// Restarts performed across all shards.
+    pub restarts: usize,
+    /// Shards that exhausted their restart budget.
+    pub failed_shards: Vec<usize>,
+    /// Every attempt's event log, in spawn order.
+    pub logs: Vec<PathBuf>,
+}
+
+impl FleetOutcome {
+    /// True when the merge covered the whole grid — the fleet's success
+    /// criterion (a permanently failed shard is fine if its peers finished
+    /// the grid).
+    pub fn complete(&self) -> bool {
+        self.report.is_some()
+    }
+}
+
+/// One supervised shard slot (a shard keeps its slot across restarts).
+struct Slot {
+    shard: usize,
+    attempt: usize,
+    child: Option<Child>,
+    restarts_left: usize,
+    failed: bool,
+}
+
+/// Runs the whole fleet to completion: spawn, watch, restart, merge. See
+/// the module docs for the lifecycle.
+///
+/// # Errors
+/// Returns a message when the figure is unknown, the log directory or a
+/// child process cannot be created, or the `shard` binary cannot be found.
+/// An *incomplete merge* is not an error here — it is reported through
+/// [`FleetOutcome::merge_error`] so the caller still gets the logs and
+/// accounting.
+pub fn supervise(options: &FleetOptions) -> Result<FleetOutcome, String> {
+    if options.shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let threads = options.threads.unwrap_or_else(|| {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (cores / options.shards).max(1)
+    });
+    let config = SystemConfig::paper_default();
+    let Some(session) =
+        crate::figure_session(&options.figure, options.scale, &config, threads, None)
+    else {
+        return Err(format!(
+            "unknown figure `{}` (expected one of {})",
+            options.figure,
+            crate::FIGURE_NAMES.join(", ")
+        ));
+    };
+    let plan = session.plan();
+    let log_dir = options.resolved_log_dir();
+    std::fs::create_dir_all(&log_dir)
+        .map_err(|e| format!("cannot create log directory {}: {e}", log_dir.display()))?;
+    let shard_bin = match &options.shard_bin {
+        Some(path) => path.clone(),
+        None => sibling_shard_bin().map_err(|e| e.to_string())?,
+    };
+
+    let metrics = obs::metrics::global();
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut tails: Vec<LogTail> = Vec::new();
+    let mut logs: Vec<PathBuf> = Vec::new();
+    let mut spawned = 0usize;
+    let mut restarts = 0usize;
+    for shard in 0..options.shards {
+        let (child, log) = spawn_shard(options, &shard_bin, threads, &log_dir, shard, 0)?;
+        spawned += 1;
+        metrics.inc("fleet.shards_spawned", &[], 1);
+        tails.push(LogTail::new(&log));
+        logs.push(log);
+        slots.push(Slot {
+            shard,
+            attempt: 0,
+            child: Some(child),
+            restarts_left: options.max_restarts,
+            failed: false,
+        });
+    }
+
+    let mut last_status: Option<Instant> = None;
+    loop {
+        for slot in &mut slots {
+            let Some(child) = slot.child.as_mut() else {
+                continue;
+            };
+            let status = match child.try_wait() {
+                Ok(None) => continue,
+                Ok(Some(status)) => status,
+                Err(e) => {
+                    // Losing track of a child is unrecoverable for its
+                    // slot; its peers (or a later resume) pick up the
+                    // units its leases release.
+                    eprintln!("fleet: cannot wait on shard {}: {e}", slot.shard);
+                    slot.child = None;
+                    slot.failed = true;
+                    metrics.inc("fleet.shards_failed", &[], 1);
+                    continue;
+                }
+            };
+            slot.child = None;
+            if status.success() {
+                continue;
+            }
+            if slot.restarts_left == 0 {
+                slot.failed = true;
+                metrics.inc("fleet.shards_failed", &[], 1);
+                eprintln!(
+                    "fleet: shard {} exited with {status} and no restarts left",
+                    slot.shard
+                );
+                continue;
+            }
+            slot.restarts_left -= 1;
+            slot.attempt += 1;
+            restarts += 1;
+            metrics.inc("fleet.restarts", &[], 1);
+            eprintln!(
+                "fleet: shard {} exited with {status}; restarting (attempt {})",
+                slot.shard, slot.attempt
+            );
+            let (child, log) = spawn_shard(
+                options,
+                &shard_bin,
+                threads,
+                &log_dir,
+                slot.shard,
+                slot.attempt,
+            )?;
+            spawned += 1;
+            metrics.inc("fleet.shards_spawned", &[], 1);
+            tails.push(LogTail::new(&log));
+            logs.push(log);
+            slot.child = Some(child);
+        }
+
+        for tail in &mut tails {
+            let _ = tail.poll();
+        }
+        let live = slots.iter().filter(|s| s.child.is_some()).count();
+        let interval = Duration::from_millis(options.status_interval_ms.max(50));
+        if last_status.is_none_or(|at| at.elapsed() >= interval) {
+            let view = fold_tails(&plan, &tails);
+            eprintln!(
+                "fleet: {}/{} units · {} executed · {} cached · {} stolen · {live} live · {restarts} restarted",
+                view.resolved_units,
+                view.total_units,
+                view.executed_units,
+                view.cached_units,
+                view.stolen_claims,
+            );
+            last_status = Some(Instant::now());
+        }
+        if live == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(options.poll_ms.max(10)));
+    }
+
+    for tail in &mut tails {
+        let _ = tail.poll();
+    }
+    let view = fold_tails(&plan, &tails);
+    eprintln!(
+        "fleet: done — {}/{} units, {} executed, {} cached, {} stolen, {spawned} spawns, {restarts} restarts",
+        view.resolved_units,
+        view.total_units,
+        view.executed_units,
+        view.cached_units,
+        view.stolen_claims,
+    );
+    let events: Vec<RunEvent> = tails
+        .iter()
+        .flat_map(|tail| tail.events.iter().cloned())
+        .collect();
+    let wall_clock_ms = runner::merged_wall_clock_ms(events.iter());
+    let (report, merge_error) = match runner::merge_events(&plan, events, wall_clock_ms) {
+        Ok(report) => (Some(report), None),
+        Err(e) => (None, Some(e.to_string())),
+    };
+    Ok(FleetOutcome {
+        report,
+        merge_error,
+        spawned,
+        restarts,
+        failed_shards: slots.iter().filter(|s| s.failed).map(|s| s.shard).collect(),
+        logs,
+    })
+}
+
+/// Tails, folded into one live view of the whole fleet.
+fn fold_tails(plan: &runner::Plan, tails: &[LogTail]) -> FleetView {
+    let events: Vec<RunEvent> = tails
+        .iter()
+        .flat_map(|tail| tail.events.iter().cloned())
+        .collect();
+    FleetView::fold(plan, &events, &WatchOptions::default())
+}
+
+/// Spawns one shard attempt, returning the child and its event-log path.
+fn spawn_shard(
+    options: &FleetOptions,
+    shard_bin: &Path,
+    threads: usize,
+    log_dir: &Path,
+    shard: usize,
+    attempt: usize,
+) -> Result<(Child, PathBuf), String> {
+    let log = log_dir.join(format!("shard{shard}-a{attempt}.jsonl"));
+    let mut cmd = Command::new(shard_bin);
+    cmd.arg("--figure")
+        .arg(&options.figure)
+        .arg("--scale")
+        .arg(options.scale.to_string())
+        .arg("--threads")
+        .arg(threads.to_string())
+        .arg("--store")
+        .arg(&options.store)
+        .arg("--shard-id")
+        .arg(shard.to_string())
+        .arg("--shard-count")
+        .arg(options.shards.to_string())
+        .arg("--run-id")
+        .arg(&options.run_id)
+        .arg("--events")
+        .arg(&log)
+        // The per-shard ShardSummary JSON is supervisor noise; the fleet's
+        // stdout carries exactly one payload, the merged report.
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    if let Some(ttl) = options.lease_ttl_ms {
+        cmd.arg("--lease-ttl-ms").arg(ttl.to_string());
+    }
+    if let Some((victim, quota)) = options.kill_shard {
+        if victim == shard && attempt == 0 {
+            cmd.env("MUONTRAP_SHARD_EXIT_AFTER_EVENTS", quota.to_string());
+        }
+    }
+    let child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", shard_bin.display()))?;
+    Ok((child, log))
+}
+
+/// The `shard` binary installed beside the running executable — the layout
+/// `cargo build` and `cargo install` both produce.
+fn sibling_shard_bin() -> io::Result<PathBuf> {
+    let exe = std::env::current_exe()?;
+    let dir = exe.parent().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            "fleet binary has no parent directory",
+        )
+    })?;
+    let candidate = dir.join(format!("shard{}", std::env::consts::EXE_SUFFIX));
+    if candidate.is_file() {
+        Ok(candidate)
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "no shard binary beside {}; pass --shard-bin PATH",
+                exe.display()
+            ),
+        ))
+    }
+}
+
+/// The `fleet` usage text.
+pub fn usage() -> String {
+    format!(
+        "usage: fleet --figure NAME --store DIR --run-id ID [--shards N] \
+         [--scale tiny|small|large] [--threads N] [--lease-ttl-ms MS] \
+         [--max-restarts N] [--poll-ms MS] [--status-interval-ms MS] \
+         [--shard-bin PATH] [--log-dir DIR] [--kill-shard ID:EVENTS] \
+         [--metrics FILE]\nfigures: {}",
+        crate::FIGURE_NAMES.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<&'static str> {
+        vec!["--figure", "fig5", "--store", "/tmp/s", "--run-id", "r1"]
+    }
+
+    #[test]
+    fn required_flags_are_enforced() {
+        assert!(FleetOptions::parse(Vec::<String>::new()).is_err());
+        assert!(
+            FleetOptions::parse(["--figure", "fig5"]).is_err(),
+            "no store"
+        );
+        assert!(
+            FleetOptions::parse(["--figure", "fig5", "--store", "/tmp/s"]).is_err(),
+            "no run id"
+        );
+        assert!(
+            FleetOptions::parse([
+                "--figure",
+                "fig5",
+                "--store",
+                "/tmp/s",
+                "--run-id",
+                cli::DEFAULT_RUN_ID
+            ])
+            .is_err(),
+            "the placeholder run id corrupts freshness provenance"
+        );
+        assert!(FleetOptions::parse(base()).is_ok());
+    }
+
+    #[test]
+    fn defaults_and_overrides_parse() {
+        let options = FleetOptions::parse(base()).unwrap();
+        assert_eq!(options.shards, 2);
+        assert_eq!(options.scale, Scale::Small);
+        assert_eq!(options.threads, None);
+        assert_eq!(options.max_restarts, 2);
+        assert_eq!(options.kill_shard, None);
+        assert_eq!(
+            options.resolved_log_dir(),
+            PathBuf::from("/tmp/s/.fleet/r1"),
+            "default logs live under the store, below its two-level listing"
+        );
+
+        let mut args = base();
+        args.extend([
+            "--shards",
+            "4",
+            "--scale",
+            "tiny",
+            "--threads",
+            "1",
+            "--lease-ttl-ms",
+            "250",
+            "--max-restarts",
+            "0",
+            "--kill-shard",
+            "3:5",
+            "--log-dir",
+            "/tmp/logs",
+        ]);
+        let options = FleetOptions::parse(args).unwrap();
+        assert_eq!(options.shards, 4);
+        assert_eq!(options.scale, Scale::Tiny);
+        assert_eq!(options.threads, Some(1));
+        assert_eq!(options.lease_ttl_ms, Some(250));
+        assert_eq!(options.max_restarts, 0, "zero restarts is a valid budget");
+        assert_eq!(options.kill_shard, Some((3, 5)));
+        assert_eq!(options.resolved_log_dir(), PathBuf::from("/tmp/logs"));
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        let with = |extra: &[&str]| {
+            let mut args = base();
+            args.extend_from_slice(extra);
+            FleetOptions::parse(args)
+        };
+        assert!(with(&["--shards", "0"]).is_err());
+        assert!(with(&["--lease-ttl-ms", "0"]).is_err());
+        assert!(with(&["--kill-shard", "5"]).is_err(), "missing :EVENTS");
+        assert!(with(&["--kill-shard", "a:b"]).is_err());
+        assert!(
+            with(&["--kill-shard", "2:1"]).is_err(),
+            "victim must be a real shard"
+        );
+        assert!(with(&["--wat"]).is_err());
+        assert!(usage().contains("--kill-shard"));
+        assert!(usage().contains("--max-restarts"));
+    }
+}

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod fleet;
 pub mod lint;
 pub mod perf;
 pub mod render;

@@ -1,0 +1,138 @@
+//! End-to-end smoke tests for the `fleet` shard supervisor binary.
+//!
+//! These drive the real binaries (`fleet` supervising real `shard` child
+//! processes) over a real filesystem store: the happy path, the
+//! kill-one-shard-mid-run recovery path (via the deterministic
+//! `MUONTRAP_SHARD_EXIT_AFTER_EVENTS` crash hook behind `--kill-shard`),
+//! the warm-store resume, and the incomplete-merge exit code.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    std::env::temp_dir().join(format!(
+        "muontrap-fleet-smoke-{tag}-{}-{nanos}",
+        std::process::id()
+    ))
+}
+
+fn fleet_cmd(store: &std::path::Path, run_id: &str, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fleet"));
+    cmd.arg("--figure")
+        .arg("fig5")
+        .arg("--scale")
+        .arg("tiny")
+        .arg("--threads")
+        .arg("1")
+        .arg("--shards")
+        .arg("2")
+        .arg("--lease-ttl-ms")
+        .arg("400")
+        .arg("--store")
+        .arg(store)
+        .arg("--run-id")
+        .arg(run_id)
+        .arg("--shard-bin")
+        .arg(env!("CARGO_BIN_EXE_shard"))
+        .args(extra);
+    cmd
+}
+
+fn report_field(stdout: &str, field: &str) -> simkit::json::Json {
+    let report = simkit::json::parse(stdout).expect("fleet prints the merged report as JSON");
+    report.get(field).cloned().unwrap_or_else(|| {
+        panic!(
+            "merged report is missing `{field}`: {}",
+            &stdout[..stdout.len().min(400)]
+        )
+    })
+}
+
+#[test]
+fn fleet_survives_a_killed_shard_and_completes_the_merge() {
+    let dir = temp_dir("kill");
+    let store = dir.join("store");
+    // Shard 1's first attempt aborts (exit 17) after flushing 3 events.
+    let output = fleet_cmd(&store, "smoke-kill", &["--kill-shard", "1:3"])
+        .output()
+        .expect("fleet runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "fleet must survive a killed shard; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("restarting (attempt 1)"),
+        "the killed shard must be restarted; stderr:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(
+        report_field(&stdout, "title").as_str(),
+        Some("Figure 5: filter-cache size sweep (fully associative), Parsec-like"),
+    );
+    // Both the crashed attempt's partial log and the replacement's log are
+    // kept — the merge folded all three.
+    let logs = store.join(".fleet").join("smoke-kill");
+    for name in ["shard0-a0.jsonl", "shard1-a0.jsonl", "shard1-a1.jsonl"] {
+        assert!(logs.join(name).is_file(), "missing attempt log {name}");
+    }
+
+    // Warm resume: a second fleet over the same store, new run id, must
+    // complete with zero simulations — every cell served from the store.
+    let output = fleet_cmd(&store, "smoke-warm", &[])
+        .output()
+        .expect("fleet runs");
+    assert!(
+        output.status.success(),
+        "warm fleet failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(
+        report_field(&stdout, "sims_executed").as_u64(),
+        Some(0),
+        "a warm store must serve the whole grid without one simulation"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_unrecoverable_shard_leaves_an_incomplete_merge_and_a_nonzero_exit() {
+    let dir = temp_dir("exhausted");
+    let store = dir.join("store");
+    // One shard, zero restarts, killed almost immediately: nobody is left
+    // to finish the grid, so the merge is incomplete and the exit nonzero.
+    let output = fleet_cmd(
+        &store,
+        "smoke-dead",
+        &[
+            "--shards",
+            "1",
+            "--max-restarts",
+            "0",
+            "--kill-shard",
+            "0:2",
+        ],
+    )
+    .output()
+    .expect("fleet runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "incomplete merge must exit 1; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("merge incomplete"),
+        "stderr must say why:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("no restarts left"),
+        "the exhausted restart budget must be reported:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

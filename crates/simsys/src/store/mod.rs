@@ -1,4 +1,5 @@
-//! Content-addressed, on-disk store of simulation results.
+//! Content-addressed store of simulation results, over pluggable backends
+//! (on-disk by default).
 //!
 //! The paper's evaluation is a large grid of (workload × defense ×
 //! filter-cache geometry) simulations, and regenerating a figure re-runs the
@@ -66,11 +67,23 @@
 //! entries and evicts the least-recently-modified ones until the store fits a
 //! byte cap, returning a [`GcSummary`] (the `store_gc` binary prints it as
 //! JSON).
+//!
+//! # Backends
+//!
+//! Everything above is expressed over the [`StoreBackend`] trait rather than
+//! the filesystem directly: [`ResultStore::open`] plugs in the bit-compatible
+//! [`FsBackend`], [`ResultStore::in_memory`] the deterministic [`MemBackend`],
+//! and [`ResultStore::with_backend`] anything else — including a
+//! [`FaultBackend`] wrapper that injects seeded torn writes, create-new
+//! races, stale reads, latency and transient errors, which is how the chaos
+//! suite drives every recovery path of the lease protocol on purpose instead
+//! of by luck. See [`backend`] for the primitive ↔ protocol mapping.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use simkit::config::SystemConfig;
 use simkit::fingerprint::{self, Fingerprint};
@@ -80,6 +93,12 @@ use defenses::DefenseKind;
 use workloads::Workload;
 
 use crate::session::ExperimentResult;
+
+pub mod backend;
+
+pub use backend::{
+    Fault, FaultBackend, FaultConfig, FaultRecord, FsBackend, MemBackend, ObjectMeta, StoreBackend,
+};
 
 /// Version of the store's key derivation and entry layout. Bump on any
 /// change to [`cell_fingerprint`], the entry schema, or simulation semantics
@@ -138,18 +157,22 @@ pub fn cell_fingerprint(
     fingerprint::of_json(&descriptor)
 }
 
-/// A content-addressed result store rooted at one directory.
+/// A content-addressed result store over one [`StoreBackend`].
 ///
-/// Cloning is cheap (the root path); clones share the same on-disk state, as
-/// do stores opened on the same path by different processes.
+/// Cloning is cheap (a shared backend handle); clones share the same stored
+/// state, as do filesystem-backed stores opened on the same path by
+/// different processes.
 #[derive(Debug, Clone)]
 pub struct ResultStore {
+    backend: Arc<dyn StoreBackend>,
     root: PathBuf,
     read_only: bool,
+    clock: Option<Arc<AtomicU64>>,
 }
 
 impl ResultStore {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a filesystem-backed store rooted at
+    /// `root`, via [`FsBackend`].
     ///
     /// # Errors
     /// Returns the I/O error if the root directory cannot be created.
@@ -157,8 +180,10 @@ impl ResultStore {
         let root = root.into();
         fs::create_dir_all(&root)?;
         Ok(ResultStore {
+            backend: Arc::new(FsBackend::new(root.clone())),
             root,
             read_only: false,
+            clock: None,
         })
     }
 
@@ -168,12 +193,52 @@ impl ResultStore {
     /// artifact it must not dirty. The directory does not have to exist — a
     /// missing store is simply always cold. Leases
     /// ([`try_lease`](Self::try_lease)) and [`gc`](Self::gc) are refused,
-    /// so a read-only store cannot back a sharded run.
+    /// so a read-only store cannot back a sharded run — with one deliberate
+    /// exception: [`release_lease`](Self::release_lease) still works, so a
+    /// handle demoted to read-only mid-flight can always un-pin a claim it
+    /// took earlier instead of leaving it to expire by TTL.
     pub fn read_only(root: impl Into<PathBuf>) -> ResultStore {
+        let root = root.into();
         ResultStore {
-            root: root.into(),
+            backend: Arc::new(FsBackend::new(root.clone())),
+            root,
             read_only: true,
+            clock: None,
         }
+    }
+
+    /// A store over an arbitrary backend — [`MemBackend`] for deterministic
+    /// tests, [`FaultBackend`] for chaos runs, or anything else implementing
+    /// the trait. [`root`](Self::root), [`entry_path`](Self::entry_path) and
+    /// [`lease_path`](Self::lease_path) are only meaningful for
+    /// filesystem-backed stores and degrade to relative paths here.
+    pub fn with_backend(backend: Arc<dyn StoreBackend>) -> ResultStore {
+        ResultStore {
+            backend,
+            root: PathBuf::new(),
+            read_only: false,
+            clock: None,
+        }
+    }
+
+    /// A store over a fresh private [`MemBackend`]. Clones of the returned
+    /// store (but no other store) share its contents.
+    pub fn in_memory() -> ResultStore {
+        Self::with_backend(Arc::new(MemBackend::new()))
+    }
+
+    /// Replaces the wall clock used for lease timestamps and TTL expiry with
+    /// a shared counter holding milliseconds-since-epoch. Tests advance it
+    /// explicitly, so lease expiry becomes a deterministic event instead of
+    /// a sleep.
+    pub fn with_clock(mut self, clock: Arc<AtomicU64>) -> ResultStore {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The backend this store drives its protocol over.
+    pub fn backend(&self) -> &Arc<dyn StoreBackend> {
+        &self.backend
     }
 
     /// Whether this handle was opened with [`read_only`](Self::read_only).
@@ -181,13 +246,40 @@ impl ResultStore {
         self.read_only
     }
 
-    /// The store's root directory.
+    /// The store's root directory (empty for non-filesystem backends).
     pub fn root(&self) -> &Path {
         &self.root
     }
 
+    /// Milliseconds since the Unix epoch, from the test clock when one was
+    /// injected ([`with_clock`](Self::with_clock)).
+    fn now_ms(&self) -> u64 {
+        match &self.clock {
+            Some(clock) => clock.load(Ordering::Relaxed),
+            None => unix_ms(),
+        }
+    }
+
+    /// The backend object name of an entry: `<2 hex>/<30 hex>.json`.
+    fn entry_name(key: Fingerprint) -> String {
+        let hex = key.to_hex();
+        format!("{}/{}.json", &hex[..2], &hex[2..])
+    }
+
+    /// Whether a backend object name denotes a result entry (as opposed to a
+    /// lease or foreign litter).
+    fn is_entry(name: &str) -> bool {
+        !name.starts_with(".leases/") && name.ends_with(".json")
+    }
+
+    /// The backend object name of a lease: `.leases/<32 hex>.lease`.
+    fn lease_name(key: Fingerprint) -> String {
+        format!(".leases/{}.lease", key.to_hex())
+    }
+
     /// The path an entry with this fingerprint lives at (whether or not it
-    /// exists yet). Exposed so tests can corrupt entries deliberately.
+    /// exists yet). Exposed so tests can corrupt entries deliberately; only
+    /// meaningful for filesystem-backed stores.
     pub fn entry_path(&self, key: Fingerprint) -> PathBuf {
         let hex = key.to_hex();
         self.root
@@ -203,13 +295,19 @@ impl ResultStore {
     /// re-simulation rather than propagating corruption.
     pub fn get(&self, key: Fingerprint) -> Option<ExperimentResult> {
         let metrics = obs::global();
-        let Ok(text) = fs::read_to_string(self.entry_path(key)) else {
-            metrics.inc("store.misses", &[], 1);
-            return None;
+        let bytes = match self.backend.read(&Self::entry_name(key)) {
+            Ok(Some(bytes)) => bytes,
+            // A failed read is as much a miss as an absent entry: the
+            // caller re-simulates rather than propagating the defect.
+            Ok(None) | Err(_) => {
+                metrics.inc("store.misses", &[], 1);
+                return None;
+            }
         };
-        metrics.inc("store.read_bytes", &[], text.len() as u64);
+        metrics.inc("store.read_bytes", &[], bytes.len() as u64);
         let decode = || -> Option<ExperimentResult> {
-            let entry = json::parse(&text).ok()?;
+            let text = std::str::from_utf8(&bytes).ok()?;
+            let entry = json::parse(text).ok()?;
             let recorded = entry.get("fingerprint")?.as_str()?;
             if Fingerprint::parse_hex(recorded) != Some(key) {
                 return None;
@@ -233,69 +331,47 @@ impl ResultStore {
         self.get(key).is_some()
     }
 
-    /// Persists `result` under `key`, atomically.
-    ///
-    /// The entry is written to a unique temp file in the destination
-    /// directory and renamed into place, so a concurrent [`get`](Self::get)
-    /// sees either nothing or the complete entry — never a partial write.
-    /// Last writer wins; all writers for one key hold identical content
-    /// (simulations are deterministic), so the race is benign.
+    /// Persists `result` under `key`, atomically
+    /// ([`StoreBackend::put_atomic`] — on disk, a unique temp file renamed
+    /// into place), so a concurrent [`get`](Self::get) sees either nothing
+    /// or the complete entry — never a partial write. Last writer wins; all
+    /// writers for one key hold identical content (simulations are
+    /// deterministic), so the race is benign.
     ///
     /// On a [`read_only`](Self::read_only) store this is a silent no-op
     /// returning `Ok(())`: the caller's result simply isn't persisted.
     ///
     /// # Errors
-    /// Returns the I/O error if the entry cannot be written or renamed.
+    /// Returns the I/O error if the entry cannot be written.
     pub fn put(&self, key: Fingerprint, result: &ExperimentResult) -> io::Result<()> {
-        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
         if self.read_only {
             return Ok(());
         }
-        let path = self.entry_path(key);
-        let dir = path.parent().expect("entry paths always have a parent");
-        fs::create_dir_all(dir)?;
         let entry = Json::obj([
             ("fingerprint", Json::Str(key.to_hex())),
             ("result", result.to_json()),
         ]);
-        let temp = dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
-        ));
         let text = entry.to_string_pretty();
-        fs::write(&temp, &text)?;
-        match fs::rename(&temp, &path) {
-            Ok(()) => {
-                let metrics = obs::global();
-                metrics.inc("store.writes", &[], 1);
-                metrics.inc("store.write_bytes", &[], text.len() as u64);
-                Ok(())
-            }
-            Err(e) => {
-                // Don't leave temp droppings behind on a failed rename.
-                let _ = fs::remove_file(&temp);
-                Err(e)
-            }
-        }
+        self.backend
+            .put_atomic(&Self::entry_name(key), text.as_bytes())?;
+        let metrics = obs::global();
+        metrics.inc("store.writes", &[], 1);
+        metrics.inc("store.write_bytes", &[], text.len() as u64);
+        Ok(())
     }
 
-    /// Number of entries on disk (files in the two-level layout). Walks the
-    /// directory; intended for tests and reporting, not hot paths.
+    /// Number of entries in the store. Lists the backend; intended for tests
+    /// and reporting, not hot paths.
     pub fn len(&self) -> usize {
-        let Ok(shards) = fs::read_dir(&self.root) else {
-            return 0;
-        };
-        shards
-            .filter_map(|shard| fs::read_dir(shard.ok()?.path()).ok())
-            .flatten()
-            .filter(|entry| {
-                entry
-                    .as_ref()
-                    .map(|e| e.path().extension().is_some_and(|x| x == "json"))
-                    .unwrap_or(false)
+        self.backend
+            .list("")
+            .map(|objects| {
+                objects
+                    .iter()
+                    .filter(|object| Self::is_entry(&object.name))
+                    .count()
             })
-            .count()
+            .unwrap_or(0)
     }
 
     /// Whether the store holds no entries.
@@ -346,49 +422,30 @@ impl ResultStore {
                 "cannot lease work on a read-only store",
             ));
         }
-        fs::create_dir_all(self.lease_dir())?;
-        let path = self.lease_path(key);
+        let name = Self::lease_name(key);
         let lease = LeaseInfo {
             owner: owner.to_string(),
             run_id: run_id.to_string(),
-            acquired_unix_ms: unix_ms(),
+            acquired_unix_ms: self.now_ms(),
             ttl_ms,
             done: false,
         };
-        match fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)
-        {
-            Ok(mut file) => {
-                use io::Write as _;
-                file.write_all(lease.to_json().to_string_compact().as_bytes())?;
-                return Ok(LeaseState::Acquired);
-            }
-            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
-            Err(e) => return Err(e),
+        let bytes = lease.to_json().to_string_compact();
+        if self.backend.create_new(&name, bytes.as_bytes())? {
+            return Ok(LeaseState::Acquired);
         }
         // Somebody holds (or held) it. Steal only from the dead.
         let holder = self.read_lease(key);
         let stealable = match &holder {
             None => true, // unreadable or vanished: treat as abandoned
             Some(info) if info.done => !self.contains(key),
-            Some(info) => unix_ms().saturating_sub(info.acquired_unix_ms) > info.ttl_ms,
+            Some(info) => self.now_ms().saturating_sub(info.acquired_unix_ms) > info.ttl_ms,
         };
         if !stealable {
             return Ok(LeaseState::Busy(holder.expect("busy lease is readable")));
         }
-        let temp = self.lease_dir().join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            LEASE_TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        fs::write(&temp, lease.to_json().to_string_compact())?;
-        if let Err(e) = fs::rename(&temp, &path) {
-            let _ = fs::remove_file(&temp);
-            return Err(e);
-        }
-        // Confirm the rename race went our way.
+        self.backend.put_atomic(&name, bytes.as_bytes())?;
+        // Confirm the replacement race went our way.
         match self.read_lease(key) {
             Some(info) if info.owner == lease.owner && !info.done => {
                 obs::global().inc("store.lease_steals", &[], 1);
@@ -398,7 +455,7 @@ impl ResultStore {
             None => Ok(LeaseState::Busy(LeaseInfo {
                 owner: String::new(),
                 run_id: String::new(),
-                acquired_unix_ms: unix_ms(),
+                acquired_unix_ms: self.now_ms(),
                 ttl_ms,
                 done: false,
             })),
@@ -407,8 +464,9 @@ impl ResultStore {
 
     /// Reads the lease on `key`, if present and parseable.
     pub fn read_lease(&self, key: Fingerprint) -> Option<LeaseInfo> {
-        let text = fs::read_to_string(self.lease_path(key)).ok()?;
-        LeaseInfo::from_json(&json::parse(&text).ok()?).ok()
+        let bytes = self.backend.read(&Self::lease_name(key)).ok().flatten()?;
+        let text = std::str::from_utf8(&bytes).ok()?;
+        LeaseInfo::from_json(&json::parse(text).ok()?).ok()
     }
 
     /// Rewrites the lease on `key` as completed by `owner` during `run_id`.
@@ -423,23 +481,17 @@ impl ResultStore {
                 "cannot mark leases on a read-only store",
             ));
         }
-        fs::create_dir_all(self.lease_dir())?;
         let lease = LeaseInfo {
             owner: owner.to_string(),
             run_id: run_id.to_string(),
-            acquired_unix_ms: unix_ms(),
+            acquired_unix_ms: self.now_ms(),
             ttl_ms: 0,
             done: true,
         };
-        let temp = self.lease_dir().join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            LEASE_TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        fs::write(&temp, lease.to_json().to_string_compact())?;
-        fs::rename(&temp, self.lease_path(key)).inspect_err(|_| {
-            let _ = fs::remove_file(&temp);
-        })
+        self.backend.put_atomic(
+            &Self::lease_name(key),
+            lease.to_json().to_string_compact().as_bytes(),
+        )
     }
 
     /// Re-stamps the lease on `key` with a fresh acquisition time, proving
@@ -476,27 +528,27 @@ impl ResultStore {
         let lease = LeaseInfo {
             owner: owner.to_string(),
             run_id: run_id.to_string(),
-            acquired_unix_ms: unix_ms(),
+            acquired_unix_ms: self.now_ms(),
             ttl_ms,
             done: false,
         };
-        let temp = self.lease_dir().join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            LEASE_TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        fs::write(&temp, lease.to_json().to_string_compact())?;
-        if let Err(e) = fs::rename(&temp, self.lease_path(key)) {
-            let _ = fs::remove_file(&temp);
-            return Err(e);
-        }
+        self.backend.put_atomic(
+            &Self::lease_name(key),
+            lease.to_json().to_string_compact().as_bytes(),
+        )?;
         obs::global().inc("store.lease_heartbeats", &[], 1);
         Ok(true)
     }
 
     /// Removes the lease on `key`, if any. Missing leases are not an error.
+    ///
+    /// Deliberately works on [`read_only`](Self::read_only) handles too —
+    /// the one mutation they are allowed. A release only un-pins a *claim*
+    /// (it can never corrupt result data), and refusing it would leave a
+    /// claim taken before the handle was demoted pinned until its TTL
+    /// expires, blocking every other shard on that unit for no reason.
     pub fn release_lease(&self, key: Fingerprint) {
-        let _ = fs::remove_file(self.lease_path(key));
+        let _ = self.backend.remove(&Self::lease_name(key));
     }
 
     /// Whether the entry for `key` was simulated (and marked done) during
@@ -512,15 +564,17 @@ impl ResultStore {
 
     /// Evicts least-recently-modified entries until the store's result
     /// entries fit in `max_bytes`, and sweeps stray temp files left by
-    /// crashed writers. Lease files are untouched, and only temp files
-    /// older than [`GC_TEMP_GRACE`] are swept — a younger one may belong to
-    /// a live writer mid-`put`, and deleting it between its write and its
-    /// rename would fail that writer rather than just waste a result.
+    /// crashed writers ([`StoreBackend::sweep_temp`]). Lease files are
+    /// untouched, and only temp files older than [`GC_TEMP_GRACE`] are
+    /// swept — a younger one may belong to a live writer mid-`put`, and
+    /// deleting it between its write and its rename would fail that writer
+    /// rather than just waste a result.
     ///
     /// # Errors
-    /// Returns an error on a [`read_only`](Self::read_only) store; I/O
-    /// failures on individual entries are skipped, not fatal (a vanished
-    /// entry was evicted by someone else — fine).
+    /// Returns an error on a [`read_only`](Self::read_only) store or when
+    /// the backend cannot be listed; I/O failures on individual entries are
+    /// skipped, not fatal (a vanished entry was evicted by someone else —
+    /// fine).
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcSummary> {
         if self.read_only {
             return Err(io::Error::new(
@@ -528,62 +582,35 @@ impl ResultStore {
                 "cannot gc a read-only store",
             ));
         }
-        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
-        if let Ok(shards) = fs::read_dir(&self.root) {
-            for shard in shards.flatten() {
-                let shard_path = shard.path();
-                if !shard_path.is_dir() || shard_path.ends_with(".leases") {
-                    continue;
-                }
-                let Ok(files) = fs::read_dir(&shard_path) else {
-                    continue;
-                };
-                for file in files.flatten() {
-                    let path = file.path();
-                    let name = file.file_name();
-                    let name = name.to_string_lossy();
-                    if name.starts_with(".tmp-") {
-                        // Crashed-writer litter; live writers rename theirs
-                        // away within moments, so age gates the sweep.
-                        let abandoned =
-                            file.metadata()
-                                .ok()
-                                .and_then(|m| m.modified().ok())
-                                .map(|modified| {
-                                    std::time::SystemTime::now()
-                                        .duration_since(modified)
-                                        .is_ok_and(|age| age >= GC_TEMP_GRACE)
-                                });
-                        if abandoned.unwrap_or(false) {
-                            let _ = fs::remove_file(&path);
-                        }
-                        continue;
-                    }
-                    if path.extension().is_none_or(|x| x != "json") {
-                        continue;
-                    }
-                    let Ok(meta) = file.metadata() else { continue };
-                    let modified = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
-                    entries.push((path, meta.len(), modified));
-                }
-            }
-        }
-        let bytes_before: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        // The litter sweep is advisory: a failure to clean droppings must
+        // not block eviction.
+        let _ = self.backend.sweep_temp(GC_TEMP_GRACE);
+        let mut entries: Vec<ObjectMeta> = self
+            .backend
+            .list("")?
+            .into_iter()
+            .filter(|object| Self::is_entry(&object.name))
+            .collect();
+        let bytes_before: u64 = entries.iter().map(|object| object.len).sum();
         let entries_before = entries.len();
         // Oldest-modified first: those evict first.
-        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        entries.sort_by(|a, b| {
+            a.modified_unix_ms
+                .cmp(&b.modified_unix_ms)
+                .then_with(|| a.name.cmp(&b.name))
+        });
         let mut bytes_after = bytes_before;
         let mut evicted = 0usize;
         let mut bytes_evicted = 0u64;
-        for (path, len, _) in &entries {
+        for object in &entries {
             if bytes_after <= max_bytes {
                 break;
             }
-            if fs::remove_file(path).is_ok() {
+            if self.backend.remove(&object.name).is_ok() {
                 evicted += 1;
-                bytes_evicted += len;
+                bytes_evicted += object.len;
             }
-            bytes_after -= len;
+            bytes_after -= object.len;
         }
         // GC runs out-of-band of any event stream, so the telemetry registry
         // is the only place evictions leave a trace for dashboards.
@@ -605,8 +632,6 @@ impl ResultStore {
 /// A live `put` holds its temp file only between one write and one rename,
 /// so anything this old was abandoned by a crash.
 pub const GC_TEMP_GRACE: std::time::Duration = std::time::Duration::from_secs(600);
-
-static LEASE_TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Milliseconds since the Unix epoch (lease timestamps).
 fn unix_ms() -> u64 {
@@ -1045,6 +1070,190 @@ mod tests {
         assert!(store.is_empty());
         let json = wiped.to_json();
         assert_eq!(json.get("entries_evicted").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn read_only_handles_may_release_but_never_claim_leases() {
+        // The claim is never taken on a read-only handle — and a claim that
+        // *was* taken (by a writable handle, or before a demotion) can still
+        // be released through one, instead of pinning the unit until its
+        // TTL runs out.
+        let store = temp_store("ro-release");
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        assert_eq!(
+            store.try_lease(key, "claimant", "run1", 60_000).unwrap(),
+            LeaseState::Acquired
+        );
+        let ro = ResultStore::read_only(store.root());
+        assert!(ro.try_lease(key, "ro", "run1", 60_000).is_err());
+        ro.release_lease(key);
+        assert_eq!(
+            store.read_lease(key),
+            None,
+            "a read-only handle must still be able to un-pin a claim"
+        );
+        // Releasing a missing lease stays a no-op.
+        ro.release_lease(key);
+        // The unit is immediately claimable again — no TTL wait.
+        assert_eq!(
+            store.try_lease(key, "next", "run1", 60_000).unwrap(),
+            LeaseState::Acquired
+        );
+    }
+
+    #[test]
+    fn mem_backed_store_runs_the_full_protocol() {
+        let store = ResultStore::in_memory();
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        let result = simulate(&w, DefenseKind::MuonTrap, &cfg);
+        assert!(store.is_empty());
+        store.put(key, &result).unwrap();
+        assert_eq!(store.get(key), Some(result));
+        assert_eq!(store.len(), 1);
+        // Clones share the backend; fresh in-memory stores do not.
+        assert_eq!(store.clone().len(), 1);
+        assert!(ResultStore::in_memory().is_empty());
+        // The lease lifecycle works unchanged.
+        assert_eq!(
+            store.try_lease(key, "a", "mem-run", 60_000).unwrap(),
+            LeaseState::Acquired
+        );
+        store.mark_done(key, "a", "mem-run").unwrap();
+        assert!(store.completed_during(key, "mem-run"));
+        store.release_lease(key);
+        assert_eq!(store.read_lease(key), None);
+    }
+
+    #[test]
+    fn lease_expiry_follows_the_injected_clock() {
+        let clock = Arc::new(AtomicU64::new(1_000_000));
+        let store = ResultStore::in_memory().with_clock(Arc::clone(&clock));
+        let (w, cfg) = sample();
+        let key = cell_fingerprint(&w, DefenseKind::MuonTrap, &cfg);
+        assert_eq!(
+            store.try_lease(key, "holder", "run1", 500).unwrap(),
+            LeaseState::Acquired
+        );
+        // Wall time may pass; the injected clock has not, so no steal.
+        assert!(matches!(
+            store.try_lease(key, "thief", "run1", 500).unwrap(),
+            LeaseState::Busy(_)
+        ));
+        // A heartbeat restamps at the injected time.
+        clock.fetch_add(400, Ordering::Relaxed);
+        assert!(store.heartbeat_lease(key, "holder", "run1", 500).unwrap());
+        clock.fetch_add(400, Ordering::Relaxed);
+        assert!(
+            matches!(
+                store.try_lease(key, "thief", "run1", 500).unwrap(),
+                LeaseState::Busy(_)
+            ),
+            "the beat restarted the TTL clock"
+        );
+        // One TTL past the last beat, the steal lands — with no sleeps.
+        clock.fetch_add(200, Ordering::Relaxed);
+        match store.try_lease(key, "thief", "run1", 500).unwrap() {
+            LeaseState::Stolen { previous } => {
+                assert_eq!(previous.unwrap().owner, "holder");
+            }
+            other => panic!("clock-expired lease must be stolen: {other:?}"),
+        }
+    }
+
+    /// Plants `len` raw bytes at `key`'s entry name, bypassing `put` — the
+    /// write order defines the MemBackend modified order GC evicts in.
+    fn plant_entry(store: &ResultStore, key: Fingerprint, len: usize) {
+        store
+            .backend()
+            .put_atomic(&ResultStore::entry_name(key), &vec![b'x'; len])
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_over_mem_backend_evicts_in_write_order_with_exact_accounting() {
+        let store = ResultStore::in_memory();
+        let keys: Vec<Fingerprint> = (1u128..=4).map(Fingerprint).collect();
+        for (i, key) in keys.iter().enumerate() {
+            plant_entry(&store, *key, 100 * (i + 1));
+        }
+        // keys[1] is *corrupt* (never decodable) — GC must still account and
+        // evict it by age like any other entry, not skip or trip over it.
+        assert_eq!(store.get(keys[1]), None);
+        assert_eq!(store.len(), 4);
+
+        // Cap of 750 over 100+200+300+400 bytes: the two oldest go.
+        let summary = store.gc(750).unwrap();
+        assert_eq!(summary.entries_before, 4);
+        assert_eq!(summary.bytes_before, 1000);
+        assert_eq!(summary.entries_evicted, 2);
+        assert_eq!(summary.bytes_evicted, 300, "oldest two: 100 + 200 bytes");
+        assert_eq!(summary.bytes_after, 700);
+        assert_eq!(store.len(), 2);
+        let survivors = store.backend().list("").unwrap();
+        assert!(survivors
+            .iter()
+            .all(|o| o.name != ResultStore::entry_name(keys[0])
+                && o.name != ResultStore::entry_name(keys[1])));
+
+        // Re-writing an entry refreshes its age: now keys[3] is oldest.
+        plant_entry(&store, keys[2], 300);
+        let summary = store.gc(350).unwrap();
+        assert_eq!(summary.entries_evicted, 1);
+        assert_eq!(summary.bytes_evicted, 400, "refreshed entry must survive");
+    }
+
+    #[test]
+    fn gc_zero_cap_empties_the_store_but_never_touches_leases() {
+        let store = ResultStore::in_memory();
+        let keys: Vec<Fingerprint> = (1u128..=3).map(Fingerprint).collect();
+        for key in &keys {
+            plant_entry(&store, *key, 64);
+        }
+        store.try_lease(keys[0], "holder", "run", 60_000).unwrap();
+        let summary = store.gc(0).unwrap();
+        assert_eq!(summary.entries_before, 3);
+        assert_eq!(summary.entries_evicted, 3);
+        assert_eq!(summary.bytes_evicted, summary.bytes_before);
+        assert_eq!(summary.bytes_after, 0);
+        assert!(store.is_empty());
+        assert_eq!(
+            store.read_lease(keys[0]).unwrap().owner,
+            "holder",
+            "a zero cap still spares the coordination state"
+        );
+    }
+
+    #[test]
+    fn gc_with_concurrent_writers_stays_consistent() {
+        let store = ResultStore::in_memory();
+        std::thread::scope(|scope| {
+            for t in 0u128..4 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for i in 0u128..25 {
+                        plant_entry(&store, Fingerprint((t << 64) | i), 50);
+                    }
+                });
+            }
+            let store = store.clone();
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let summary = store.gc(200).unwrap();
+                    // The books must balance on every pass, even racing
+                    // writers: what was seen is either evicted or left.
+                    assert_eq!(
+                        summary.bytes_after,
+                        summary.bytes_before - summary.bytes_evicted
+                    );
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let summary = store.gc(200).unwrap();
+        assert!(summary.bytes_after <= 200, "the cap holds once writes stop");
+        assert!(store.len() <= 4);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Chaos suite: the whole sharded lease/entry protocol under seeded fault
+//! injection.
+//!
+//! Each case runs a two-figure sharded session over one store whose backend
+//! is a [`FaultBackend`]: every read, write, lease create and removal may
+//! suffer a torn write, a lost create-new race, a stale read, a transient
+//! I/O error or injected latency, with the mix drawn from a seeded
+//! [`SimRng`](simkit) stream. Shards that die from injected errors are
+//! retried (the production `fleet` supervisor's restart path), with a test
+//! clock advanced past the lease TTL so abandoned leases expire
+//! deterministically instead of by sleeping.
+//!
+//! The acceptance bar, per seed:
+//! * the merge covers the grid — **no lost cells** (``merge_events`` fails
+//!   the test on any hole) and **no duplicated cells** (checked explicitly);
+//! * the merged reports are **byte-identical to the unfaulted run** after
+//!   canonicalisation. Canonical form zeroes wall-clock and the
+//!   executed/cached *provenance* tallies: a fault landing between "entry
+//!   persisted" and "lease marked done" legitimately turns a fresh cell
+//!   into a cached-looking one on retry, so provenance may flip under
+//!   faults — but the figure payload (cycles, normalised time, baselines)
+//!   must never move by a byte.
+//!
+//! A failing seed prints its number and the full injected-fault log as a
+//! `(op, fault)` script; feeding that to [`FaultBackend::scripted`] replays
+//! the exact interleaving (see `a_seeded_failure_replays_exactly_from_its_
+//! script`), which is how any future failure gets pinned as a regression
+//! test instead of a flake.
+//!
+//! The default sweep keeps `cargo test` quick; the 110-seed sweep behind
+//! `#[ignore]` is what the CI `store-chaos` job runs with
+//! `--release -- --include-ignored`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use muontrap_repro::prelude::*;
+use simsys::runner::{self, RunEvent};
+use simsys::store::{FaultBackend, FaultConfig, FaultRecord, MemBackend};
+
+/// Lease TTL for chaos runs; expiry happens by advancing [`test_clock`]
+/// past it, never by sleeping.
+const TTL_MS: u64 = 1_000;
+
+/// Injected transient errors abort shard attempts; with the chaos mix a
+/// handful of retries always converges — hitting this bound means the
+/// protocol stopped making progress, which is exactly a finding.
+const MAX_ATTEMPTS: usize = 60;
+
+fn figure_a(store: &ResultStore) -> ExperimentSession {
+    ExperimentSession::new()
+        .title("chaos figure A")
+        .scale(Scale::Tiny)
+        .workloads(spec_suite(Scale::Tiny).into_iter().take(2))
+        .defenses([
+            DefenseKind::Unprotected,
+            DefenseKind::MuonTrap,
+            DefenseKind::SttSpectre,
+        ])
+        .config(SystemConfig::small_test())
+        .threads(1)
+        .store(Some(store.clone()))
+}
+
+fn figure_b(store: &ResultStore) -> ExperimentSession {
+    ExperimentSession::new()
+        .title("chaos figure B")
+        .scale(Scale::Tiny)
+        .workloads(spec_suite(Scale::Tiny).into_iter().skip(2).take(2))
+        .defenses([DefenseKind::MuonTrap, DefenseKind::SttSpectre])
+        .config(SystemConfig::small_test())
+        .threads(1)
+        .store(Some(store.clone()))
+}
+
+/// Canonical report form for fault-tolerant byte comparison: wall clock and
+/// execution/cache provenance zeroed (see the module docs for why those may
+/// legitimately flip under faults), figure payload untouched.
+fn canonical(mut report: RunReport) -> String {
+    report.wall_clock_ms = 0.0;
+    report.sims_executed = 0;
+    report.baseline_sims = 0;
+    for cell in &mut report.cells {
+        cell.cached = false;
+    }
+    report.to_json().to_string_pretty()
+}
+
+fn shard_opts(shard: usize, count: usize, run_id: &str) -> ShardOptions {
+    let mut opts = ShardOptions::new(shard, count, run_id);
+    opts.lease_ttl_ms = TTL_MS;
+    // No heartbeat thread: time is the test clock's, not the wall's.
+    opts.heartbeat_ms = 0;
+    opts.poll_ms = 1;
+    opts
+}
+
+/// Runs every shard of one figure sequentially (deterministic interleaving
+/// under the frozen clock), retrying attempts that die from injected
+/// faults, and returns every attempt's events — crashed attempts included,
+/// exactly like feeding a killed shard's partial log to `merge`.
+fn run_figure_sharded(
+    build: impl Fn(&ResultStore) -> ExperimentSession,
+    store: &ResultStore,
+    clock: &AtomicU64,
+    run_id: &str,
+    shards: usize,
+    context: &dyn Fn() -> String,
+) -> Vec<RunEvent> {
+    let mut events = Vec::new();
+    for shard in 0..shards {
+        for attempt in 1..=MAX_ATTEMPTS {
+            // Whatever leases the previous attempt abandoned expire now.
+            clock.fetch_add(TTL_MS + 1, Ordering::Relaxed);
+            let mut sink: Vec<u8> = Vec::new();
+            let outcome = build(store).run_sharded(&shard_opts(shard, shards, run_id), &mut sink);
+            events.extend(
+                runner::read_events(std::io::BufReader::new(&sink[..]))
+                    .expect("attempt logs are well-formed JSONL"),
+            );
+            match outcome {
+                Ok(_) => break,
+                Err(_) if attempt < MAX_ATTEMPTS => continue,
+                Err(e) => panic!(
+                    "shard {shard} of `{run_id}` made no progress in {MAX_ATTEMPTS} attempts: {e}\n{}",
+                    context()
+                ),
+            }
+        }
+    }
+    events
+}
+
+/// Merges one figure's event pile and asserts the no-lost/no-duplicate
+/// invariants, with `context` (seed + fault log) attached to any failure.
+fn merge_checked(
+    session: ExperimentSession,
+    events: Vec<RunEvent>,
+    context: &dyn Fn() -> String,
+) -> RunReport {
+    let plan = session.plan();
+    let wall_clock_ms = runner::merged_wall_clock_ms(events.iter());
+    let report = merge_events(&plan, events, wall_clock_ms)
+        .unwrap_or_else(|e| panic!("cells were lost: {e}\n{}", context()));
+    let mut seen = std::collections::BTreeSet::new();
+    for cell in &report.cells {
+        assert!(
+            seen.insert((cell.workload.clone(), cell.column.clone())),
+            "duplicated cell {}/{}\n{}",
+            cell.workload,
+            cell.column,
+            context()
+        );
+    }
+    assert_eq!(
+        report.cells.len(),
+        report.workloads.len() * report.columns.len(),
+        "grid incomplete\n{}",
+        context()
+    );
+    report
+}
+
+/// One full chaos case: both figures, sharded, over one faulted store.
+/// Returns the canonical merged reports and the injected-fault log.
+fn chaos_run(seed: u64, config: &FaultConfig) -> (String, String, Vec<FaultRecord>) {
+    let mem = Arc::new(MemBackend::new());
+    let faulty = Arc::new(FaultBackend::seeded(
+        Arc::clone(&mem) as _,
+        seed,
+        config.clone(),
+    ));
+    run_over(seed, Arc::clone(&faulty) as _, &faulty)
+}
+
+/// The harness body, shared by seeded and scripted runs.
+fn run_over(
+    seed: u64,
+    backend: Arc<dyn simsys::store::StoreBackend>,
+    faulty: &Arc<FaultBackend>,
+) -> (String, String, Vec<FaultRecord>) {
+    let clock = Arc::new(AtomicU64::new(1_700_000_000_000));
+    let store = ResultStore::with_backend(backend).with_clock(Arc::clone(&clock));
+    let log = Arc::clone(faulty);
+    let context = move || {
+        let script: Vec<(u64, String)> = log
+            .injected()
+            .iter()
+            .map(|r| (r.op, format!("{:?}", r.fault)))
+            .collect();
+        format!("seed {seed:#x}; replay script (op, fault): {script:?}")
+    };
+    let events_a = run_figure_sharded(figure_a, &store, &clock, "chaos-a", 2, &context);
+    let events_b = run_figure_sharded(figure_b, &store, &clock, "chaos-b", 2, &context);
+    let report_a = merge_checked(figure_a(&store), events_a, &context);
+    let report_b = merge_checked(figure_b(&store), events_b, &context);
+    (canonical(report_a), canonical(report_b), faulty.injected())
+}
+
+/// The unfaulted truth both figures must converge to, canonicalised.
+fn reference() -> (String, String) {
+    let store = ResultStore::in_memory();
+    (
+        canonical(figure_a(&store).run()),
+        canonical(figure_b(&store).run()),
+    )
+}
+
+fn sweep(seeds: std::ops::Range<u64>) {
+    let (want_a, want_b) = reference();
+    let config = FaultConfig::chaos();
+    let mut injected_total = 0usize;
+    for seed in seeds {
+        let (got_a, got_b, injected) = chaos_run(seed, &config);
+        injected_total += injected.len();
+        assert_eq!(got_a, want_a, "figure A diverged under seed {seed:#x}");
+        assert_eq!(got_b, want_b, "figure B diverged under seed {seed:#x}");
+    }
+    assert!(
+        injected_total > 0,
+        "the chaos config never fired — the sweep tested nothing"
+    );
+}
+
+#[test]
+fn chaos_seeds_converge_to_the_unfaulted_report() {
+    sweep(0..16);
+}
+
+/// The full 110-seed acceptance sweep; slow in debug, so CI's `store-chaos`
+/// job runs it with `--release -- --include-ignored`.
+#[test]
+#[ignore = "110-seed sweep; run in release via CI's store-chaos job"]
+fn chaos_hundred_plus_seed_sweep() {
+    sweep(16..126);
+}
+
+#[test]
+fn a_seeded_run_replays_exactly_from_its_script() {
+    // The regression-replay mode: take any seeded run's injected-fault log,
+    // feed it back as a script over a fresh store, and the protocol walks
+    // the *identical* interleaving — same injections at the same operation
+    // indices, same merged bytes. This is how a failing seed from the sweep
+    // above gets pinned forever.
+    let config = FaultConfig::chaos();
+    let seed = 0xc4a0_5eed;
+    let (seeded_a, seeded_b, injected) = chaos_run(seed, &config);
+    assert!(
+        !injected.is_empty(),
+        "pick a seed that actually injects faults"
+    );
+
+    let script: Vec<(u64, simsys::store::Fault)> =
+        injected.iter().map(|r| (r.op, r.fault)).collect();
+    let mem = Arc::new(MemBackend::new());
+    let replayed = Arc::new(FaultBackend::scripted(
+        Arc::clone(&mem) as _,
+        script.iter().copied(),
+    ));
+    let (replay_a, replay_b, replay_log) = run_over(seed, Arc::clone(&replayed) as _, &replayed);
+    assert_eq!(replay_a, seeded_a);
+    assert_eq!(replay_b, seeded_b);
+    let as_pairs = |log: &[FaultRecord]| -> Vec<(u64, simsys::store::Fault)> {
+        log.iter().map(|r| (r.op, r.fault)).collect()
+    };
+    assert_eq!(
+        as_pairs(&replay_log),
+        script,
+        "the replay must fire exactly the recorded faults at the recorded ops"
+    );
+    let _ = seeded_a;
+}
+
+#[test]
+fn concurrently_racing_faulted_shards_still_converge() {
+    // The real-concurrency variant: two OS threads race over one faulted
+    // store with the real wall clock and a short TTL. The interleaving is
+    // nondeterministic, so there is no byte-level replay here — the
+    // invariants (nothing lost, nothing duplicated, canonical bytes equal
+    // the unfaulted run) must hold for *every* interleaving.
+    let (want_a, _) = reference();
+    let config = FaultConfig::chaos();
+    for seed in 0..4u64 {
+        let mem = Arc::new(MemBackend::new());
+        let faulty = Arc::new(FaultBackend::seeded(
+            Arc::clone(&mem) as _,
+            seed,
+            config.clone(),
+        ));
+        let store = ResultStore::with_backend(Arc::clone(&faulty) as _);
+        let context = {
+            let faulty = Arc::clone(&faulty);
+            move || format!("seed {seed:#x}; injected: {:?}", faulty.injected())
+        };
+        let logs: Vec<Vec<RunEvent>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|shard| {
+                    let store = store.clone();
+                    scope.spawn(move || {
+                        let mut events = Vec::new();
+                        for attempt in 1.. {
+                            let mut opts = shard_opts(shard, 2, "chaos-race");
+                            // Real clock: short TTL so abandoned leases
+                            // expire while the poll loop waits.
+                            opts.lease_ttl_ms = 200;
+                            let mut sink: Vec<u8> = Vec::new();
+                            let outcome = figure_a(&store).run_sharded(&opts, &mut sink);
+                            events.extend(
+                                runner::read_events(std::io::BufReader::new(&sink[..]))
+                                    .expect("attempt logs are well-formed JSONL"),
+                            );
+                            match outcome {
+                                Ok(_) => break,
+                                Err(e) => {
+                                    assert!(attempt < MAX_ATTEMPTS, "shard {shard} stuck: {e}")
+                                }
+                            }
+                        }
+                        events
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let events: Vec<RunEvent> = logs.into_iter().flatten().collect();
+        let report = merge_checked(figure_a(&store), events, &context);
+        assert_eq!(canonical(report), want_a, "{}", context());
+    }
+}
